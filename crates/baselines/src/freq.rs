@@ -1,0 +1,285 @@
+//! The frequency-based approach: the paper's adaptation of TreePi
+//! (Zhang, Hu & Yang, ICDE 2007) to parse trees (§6.3.2, Table 2).
+//!
+//! "Similar to TreePi, the frequency-based approach stores in the index
+//! all single nodes and a percentage of larger highest frequency
+//! subtrees" — the percentage is the `FB(f%)` column of Table 2. Queries
+//! are greedily covered with the *available* index keys (largest first);
+//! because infrequent structures are not indexed, pruning is partial and
+//! **post-validation is always required**, which is exactly what the
+//! Subtree Index's complete key set avoids.
+
+use std::collections::{HashMap, HashSet};
+
+use si_core::extract::extract_subtrees;
+use si_parsetree::{ParseTree, TreeBuilder, TreeId};
+use si_query::{matcher::Matcher, Axis, QNodeId, Query};
+
+/// Build parameters of a [`FreqIndex`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FreqIndexOptions {
+    /// Maximum subtree size considered (like the SI's `mss`).
+    pub mss: usize,
+    /// Fraction of the highest-frequency keys of sizes `2..=mss` kept
+    /// (Table 2 uses 0.001, 0.01 and 0.1). Size-1 keys are always kept.
+    pub fraction: f64,
+}
+
+/// Evaluation statistics of one frequency-based query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FreqStats {
+    /// Index keys used by the greedy cover.
+    pub cover_keys: usize,
+    /// Of those, how many were larger than a single node.
+    pub multi_node_keys: usize,
+    /// Candidate trees after intersection.
+    pub candidates: usize,
+    /// Trees post-validated.
+    pub validated_trees: usize,
+}
+
+/// In-memory frequency-cutoff subtree index with tid posting lists.
+pub struct FreqIndex<'a> {
+    trees: &'a [ParseTree],
+    options: FreqIndexOptions,
+    lists: HashMap<Vec<u8>, Vec<TreeId>>,
+}
+
+impl<'a> FreqIndex<'a> {
+    /// Builds the index: all size-1 keys plus the top `fraction` of
+    /// larger keys by occurrence count.
+    pub fn build(trees: &'a [ParseTree], options: FreqIndexOptions) -> Self {
+        assert!(options.mss >= 1);
+        assert!((0.0..=1.0).contains(&options.fraction));
+        let mut lists: HashMap<Vec<u8>, Vec<TreeId>> = HashMap::new();
+        let mut occurrences: HashMap<Vec<u8>, u64> = HashMap::new();
+        for (tid, tree) in trees.iter().enumerate() {
+            let tid = tid as TreeId;
+            si_core::extract::for_each_subtree(tree, options.mss, |sub| {
+                *occurrences.entry(sub.key.clone()).or_insert(0) += 1;
+                let list = lists.entry(sub.key.clone()).or_default();
+                if list.last() != Some(&tid) {
+                    list.push(tid);
+                }
+            });
+        }
+        // Rank multi-node keys by frequency and keep the top fraction.
+        let mut multi: Vec<(&Vec<u8>, u64)> = occurrences
+            .iter()
+            .filter(|(k, _)| si_core::canonical::key_size(k) != Some(1))
+            .map(|(k, &c)| (k, c))
+            .collect();
+        multi.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        let keep = ((multi.len() as f64) * options.fraction).ceil() as usize;
+        let dropped: HashSet<Vec<u8>> = multi[keep.min(multi.len())..]
+            .iter()
+            .map(|(k, _)| (*k).clone())
+            .collect();
+        lists.retain(|k, _| !dropped.contains(k));
+        Self {
+            trees,
+            options,
+            lists,
+        }
+    }
+
+    /// Number of keys retained.
+    pub fn key_count(&self) -> usize {
+        self.lists.len()
+    }
+
+    /// Estimated index size in bytes (keys + tid postings).
+    pub fn size_bytes(&self) -> usize {
+        self.lists
+            .iter()
+            .map(|(k, v)| k.len() + v.len() * 4)
+            .sum()
+    }
+
+    /// Evaluates `query` with the same result semantics as
+    /// [`si_core::SubtreeIndex::evaluate`].
+    pub fn evaluate(&self, query: &Query) -> (Vec<(TreeId, u32)>, FreqStats) {
+        let mut stats = FreqStats::default();
+        // Greedy cover per /-component using available keys.
+        let mut lists: Vec<&Vec<TreeId>> = Vec::new();
+        for root in component_roots(query) {
+            let (tree, mapping) = component_tree(query, root);
+            let mut covered = vec![false; mapping.len()];
+            let subtrees = extract_subtrees(&tree, self.options.mss);
+            for n in tree.nodes() {
+                if covered[n.0 as usize] {
+                    continue;
+                }
+                // Largest indexed subtree rooted at n.
+                let best = subtrees
+                    .iter()
+                    .filter(|s| s.root() == n)
+                    .filter(|s| self.lists.contains_key(&s.key))
+                    .max_by_key(|s| s.size());
+                let Some(best) = best else {
+                    // Even the single node is unindexed: label unseen.
+                    return (Vec::new(), stats);
+                };
+                stats.cover_keys += 1;
+                if best.size() > 1 {
+                    stats.multi_node_keys += 1;
+                }
+                for &m in &best.nodes {
+                    covered[m.0 as usize] = true;
+                }
+                lists.push(&self.lists[&best.key]);
+            }
+        }
+        // Intersect tid lists (TreePi's candidate pruning).
+        let mut order: Vec<usize> = (0..lists.len()).collect();
+        order.sort_by_key(|&i| lists[i].len());
+        let mut candidates: Vec<TreeId> = lists[order[0]].clone();
+        for &i in &order[1..] {
+            candidates = intersect(&candidates, lists[i]);
+            if candidates.is_empty() {
+                return (Vec::new(), stats);
+            }
+        }
+        stats.candidates = candidates.len();
+        // Post-validation (always required: non-frequent structures are
+        // not retained in the index).
+        let mut matches = Vec::new();
+        for tid in candidates {
+            let tree = &self.trees[tid as usize];
+            stats.validated_trees += 1;
+            for root in Matcher::new(tree, query).roots() {
+                matches.push((tid, root.0));
+            }
+        }
+        matches.sort_unstable();
+        matches.dedup();
+        (matches, stats)
+    }
+}
+
+fn component_roots(query: &Query) -> Vec<QNodeId> {
+    query
+        .nodes()
+        .filter(|&n| query.parent(n).is_none() || query.axis(n) == Axis::Descendant)
+        .collect()
+}
+
+/// Materializes the `/`-component rooted at `root` as a [`ParseTree`]
+/// (so the SI's subtree enumeration can run on it), plus the mapping
+/// from component-tree node ids to query nodes.
+fn component_tree(query: &Query, root: QNodeId) -> (ParseTree, Vec<QNodeId>) {
+    let mut b = TreeBuilder::new();
+    let mut mapping = Vec::new();
+    fn go(query: &Query, q: QNodeId, b: &mut TreeBuilder, mapping: &mut Vec<QNodeId>) {
+        b.open(query.label(q));
+        mapping.push(q);
+        for c in query.children_via(q, Axis::Child) {
+            go(query, c, b, mapping);
+        }
+        b.close();
+    }
+    go(query, root, &mut b, &mut mapping);
+    (b.finish().expect("component is a tree"), mapping)
+}
+
+fn intersect(a: &[TreeId], b: &[TreeId]) -> Vec<TreeId> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_parsetree::{ptb, LabelInterner};
+    use si_query::parse_query;
+
+    fn corpus(srcs: &[&str]) -> (Vec<ParseTree>, LabelInterner) {
+        let mut li = LabelInterner::new();
+        let trees = srcs.iter().map(|s| ptb::parse(s, &mut li).unwrap()).collect();
+        (trees, li)
+    }
+
+    #[test]
+    fn all_single_nodes_always_indexed() {
+        let (trees, _) = corpus(&["(S (NP (NN x)) (VP (VBZ y)))"]);
+        let idx = FreqIndex::build(&trees, FreqIndexOptions { mss: 3, fraction: 0.0 });
+        // fraction 0 keeps ceil(0) = 0?  ceil(n*0) = 0 multi keys; but all
+        // 7 single-node keys stay.
+        assert!(idx.key_count() >= 7);
+    }
+
+    #[test]
+    fn fraction_controls_key_count() {
+        let corpus = si_corpus::GeneratorConfig::default().with_seed(3).generate(50);
+        let small = FreqIndex::build(corpus.trees(), FreqIndexOptions { mss: 3, fraction: 0.001 });
+        let mid = FreqIndex::build(corpus.trees(), FreqIndexOptions { mss: 3, fraction: 0.01 });
+        let large = FreqIndex::build(corpus.trees(), FreqIndexOptions { mss: 3, fraction: 0.1 });
+        assert!(small.key_count() <= mid.key_count());
+        assert!(mid.key_count() <= large.key_count());
+        assert!(small.size_bytes() <= large.size_bytes());
+    }
+
+    #[test]
+    fn agrees_with_matcher() {
+        let corpus = si_corpus::GeneratorConfig::default().with_seed(8).generate(80);
+        let mut li = corpus.interner().clone();
+        for fraction in [0.001, 0.01, 0.1] {
+            let idx = FreqIndex::build(corpus.trees(), FreqIndexOptions { mss: 3, fraction });
+            for src in ["NP(DT)(NN)", "S(NP)(VP(VBZ))", "VP(//NN)", "PP(IN)(NP(NNS))"] {
+                let q = parse_query(src, &mut li).unwrap();
+                let want: Vec<(TreeId, u32)> = corpus
+                    .trees()
+                    .iter()
+                    .enumerate()
+                    .flat_map(|(tid, t)| {
+                        Matcher::new(t, &q)
+                            .roots()
+                            .into_iter()
+                            .map(move |r| (tid as TreeId, r.0))
+                    })
+                    .collect();
+                let (got, stats) = idx.evaluate(&q);
+                assert_eq!(got, want, "{src} at fraction {fraction}");
+                assert!(stats.cover_keys >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn higher_fraction_prunes_better() {
+        let corpus = si_corpus::GeneratorConfig::default().with_seed(13).generate(150);
+        let mut li = corpus.interner().clone();
+        let q = parse_query("S(NP(DT)(NN))(VP(VBZ)(NP))", &mut li).unwrap();
+        let lo = FreqIndex::build(corpus.trees(), FreqIndexOptions { mss: 3, fraction: 0.001 });
+        let hi = FreqIndex::build(corpus.trees(), FreqIndexOptions { mss: 3, fraction: 0.5 });
+        let (m1, s1) = lo.evaluate(&q);
+        let (m2, s2) = hi.evaluate(&q);
+        assert_eq!(m1, m2);
+        // More multi-node keys available => cover uses bigger keys and
+        // candidate sets cannot grow.
+        assert!(s2.multi_node_keys >= s1.multi_node_keys);
+        assert!(s2.candidates <= s1.candidates);
+    }
+
+    #[test]
+    fn unknown_label_short_circuits() {
+        let (trees, mut li) = corpus(&["(S (NP (NN x)))"]);
+        let idx = FreqIndex::build(&trees, FreqIndexOptions { mss: 2, fraction: 1.0 });
+        let q = parse_query("QQQ", &mut li).unwrap();
+        let (m, stats) = idx.evaluate(&q);
+        assert!(m.is_empty());
+        assert_eq!(stats.validated_trees, 0);
+    }
+}

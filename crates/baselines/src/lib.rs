@@ -1,0 +1,14 @@
+//! Comparator systems used in the paper's Table 2.
+//!
+//! * [`atreegrep`] — a reimplementation of ATreeGrep (Shasha et al.,
+//!   SSDBM 2002): all root-to-leaf label paths in a suffix array, a hash
+//!   prefilter over nodes and edges, and candidate post-validation;
+//! * [`freq`] — the "frequency-based approach", the paper's adaptation of
+//!   TreePi (Zhang et al., ICDE 2007): all single nodes plus the top-`f`%
+//!   most frequent subtrees are indexed, and matching post-validates.
+
+pub mod atreegrep;
+pub mod freq;
+
+pub use atreegrep::ATreeGrep;
+pub use freq::{FreqIndex, FreqIndexOptions};

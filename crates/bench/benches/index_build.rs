@@ -1,0 +1,39 @@
+//! Criterion micro-version of Figures 8–10: index construction per
+//! coding scheme and `mss` over a fixed 1k-sentence corpus.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use si_bench::harness::{corpus, Workdir};
+use si_core::{Coding, IndexOptions, SubtreeIndex};
+
+fn bench_index_build(c: &mut Criterion) {
+    let big = corpus(1_000);
+    let work = Workdir::new("bench-build");
+    let mut group = c.benchmark_group("index_build_1k");
+    group.sample_size(10);
+    for coding in Coding::ALL {
+        for mss in [1usize, 3, 5] {
+            group.bench_with_input(
+                BenchmarkId::new(coding.name().replace(' ', "-"), mss),
+                &mss,
+                |b, &mss| {
+                    b.iter(|| {
+                        let dir = work.path("idx");
+                        let index = SubtreeIndex::build(
+                            &dir,
+                            big.trees(),
+                            big.interner(),
+                            IndexOptions::new(mss, coding),
+                        )
+                        .expect("build");
+                        std::fs::remove_dir_all(&dir).ok();
+                        index.stats().keys
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_build);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion micro-version of Figures 11–12: query evaluation per
+//! coding scheme at mss = 3 over a 2k-sentence corpus, with a small
+//! query (few matches) and a large low-selectivity one (many matches).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use si_bench::harness::bench_fixture;
+use si_core::Coding;
+use si_query::parse_query;
+
+fn bench_query_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_eval_2k_mss3");
+    group.sample_size(20);
+    for coding in Coding::ALL {
+        let (_work, big, index) = bench_fixture(2_000, 3, coding);
+        let mut interner = big.interner().clone();
+        let queries = [
+            ("small_selective", "S(NP(NNS))(VP(VBZ)(NP(DT)(NN)))"),
+            ("mid", "VP(VBZ)(NP(DT)(NN))"),
+            ("large_low_selectivity", "NP(DT)(NN)"),
+            ("descendant", "S(//PP(IN)(NP))"),
+        ];
+        for (name, src) in queries {
+            let query = parse_query(src, &mut interner).unwrap();
+            group.bench_with_input(
+                BenchmarkId::new(coding.name().replace(' ', "-"), name),
+                &query,
+                |b, q| b.iter(|| index.evaluate(q).expect("evaluate").len()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_eval);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion micro-version of Figure 13: root-split query runtime as the
+//! corpus grows (500 / 2000 / 8000 sentences, mss = 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use si_bench::harness::bench_fixture;
+use si_core::Coding;
+use si_query::parse_query;
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability_root_split_mss3");
+    group.sample_size(15);
+    for sentences in [500usize, 2_000, 8_000] {
+        let (_work, big, index) = bench_fixture(sentences, 3, Coding::RootSplit);
+        let mut interner = big.interner().clone();
+        let q = parse_query("S(NP(DT)(NN))(VP(VBZ))", &mut interner).unwrap();
+        group.throughput(Throughput::Elements(sentences as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(sentences), &q, |b, q| {
+            b.iter(|| index.evaluate(q).expect("evaluate").len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

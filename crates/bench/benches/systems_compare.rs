@@ -1,0 +1,38 @@
+//! Criterion micro-version of Table 2: root-split SI (mss=3) vs
+//! ATreeGrep vs the frequency-based approach (1% cutoff).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use si_baselines::{ATreeGrep, FreqIndex, FreqIndexOptions};
+use si_bench::harness::bench_fixture;
+use si_core::Coding;
+use si_query::parse_query;
+
+fn bench_systems(c: &mut Criterion) {
+    let (_work, big, rs) = bench_fixture(2_000, 3, Coding::RootSplit);
+    let atg = ATreeGrep::build(big.trees());
+    let freq = FreqIndex::build(big.trees(), FreqIndexOptions { mss: 3, fraction: 0.01 });
+    let mut interner = big.interner().clone();
+    let queries = [
+        ("high_freq", "NP(DT)(NN)"),
+        ("mid", "S(NP)(VP(VBZ)(NP))"),
+        ("selective", "S(NP(NNS))(VP(VBZ)(NP(DT)(JJ)(NN)))"),
+    ];
+    let mut group = c.benchmark_group("systems_compare_2k");
+    group.sample_size(15);
+    for (name, src) in queries {
+        let q = parse_query(src, &mut interner).unwrap();
+        group.bench_with_input(BenchmarkId::new("root-split", name), &q, |b, q| {
+            b.iter(|| rs.evaluate(q).expect("rs").len())
+        });
+        group.bench_with_input(BenchmarkId::new("atreegrep", name), &q, |b, q| {
+            b.iter(|| atg.evaluate(q).0.len())
+        });
+        group.bench_with_input(BenchmarkId::new("freq-1pct", name), &q, |b, q| {
+            b.iter(|| freq.evaluate(q).0.len())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_systems);
+criterion_main!(benches);

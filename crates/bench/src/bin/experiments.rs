@@ -1,0 +1,67 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p si-bench --release --bin experiments -- all
+//! cargo run -p si-bench --release --bin experiments -- fig2 fig8 tab2
+//! SI_SCALE=paper cargo run -p si-bench --release --bin experiments -- fig13
+//! ```
+//!
+//! Experiment ids: fig2 fig3 fig8 fig9 fig10 tab1 fig11 fig12 tab2 fig13
+//! tab3 (or `all`). See DESIGN.md §6 for the per-experiment index and
+//! EXPERIMENTS.md for recorded paper-vs-measured results.
+
+use si_bench::harness::{self, Scale};
+
+const ALL: &[&str] = &[
+    "fig2", "fig3", "fig8", "fig9", "fig10", "tab1", "fig11", "fig12", "tab2", "fig13", "tab3",
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+        ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in &wanted {
+        if !ALL.contains(id) {
+            eprintln!("unknown experiment {id}; known: {ALL:?}");
+            std::process::exit(2);
+        }
+    }
+    let scale = Scale::from_env();
+    eprintln!("scale: {scale:?} (set SI_SCALE=paper for the paper's sizes)");
+
+    // The build grid backs fig8/fig9/fig10/tab1; compute it once.
+    let needs_grid = wanted
+        .iter()
+        .any(|id| matches!(*id, "fig8" | "fig9" | "fig10" | "tab1"));
+    let grid = needs_grid.then(|| {
+        eprintln!("building the (size x mss x coding) index grid...");
+        harness::run_index_grid(scale)
+    });
+    // The query grid backs fig11/fig12.
+    let needs_queries = wanted.iter().any(|id| matches!(*id, "fig11" | "fig12"));
+    let runs = needs_queries.then(|| {
+        eprintln!("running the query-runtime grid...");
+        harness::run_query_grid(scale)
+    });
+
+    for id in wanted {
+        println!();
+        match id {
+            "fig2" => harness::fig2(scale),
+            "fig3" => harness::fig3(scale),
+            "fig8" => harness::fig8(grid.as_ref().unwrap()),
+            "fig9" => harness::fig9(grid.as_ref().unwrap()),
+            "fig10" => harness::fig10(grid.as_ref().unwrap()),
+            "tab1" => harness::tab1(grid.as_ref().unwrap()),
+            "fig11" => harness::fig11(runs.as_ref().unwrap()),
+            "fig12" => harness::fig12(runs.as_ref().unwrap()),
+            "tab2" => harness::tab2(scale),
+            "fig13" => harness::fig13(scale),
+            "tab3" => harness::tab3(),
+            _ => unreachable!("validated above"),
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Shared experiment harness: dataset construction, query workloads,
+//! timing helpers and the per-figure/table drivers used both by the
+//! `experiments` binary and the Criterion benches.
+
+pub mod harness;
+
+pub use harness::*;

@@ -1,0 +1,466 @@
+//! Subcommand implementations.
+
+use std::error::Error;
+use std::io::Write;
+use std::path::Path;
+
+use si_core::build_ext::ExternalBuildConfig;
+use si_core::cover::decompose;
+use si_core::{Coding, IndexOptions, SubtreeIndex};
+use si_corpus::GeneratorConfig;
+use si_parsetree::{ptb, LabelInterner};
+use si_query::{parse_query, write_query};
+
+use crate::args::Args;
+
+type AnyError = Box<dyn Error>;
+
+const USAGE: &str = "\
+si — Subtree Index over syntactically annotated trees
+
+USAGE:
+  si generate  --sentences N [--seed S] [--out FILE]        write a synthetic PTB corpus
+  si build     --input FILE --index DIR [--mss 3]
+               [--coding root-split|filter|interval]
+               [--external true]                            build an index from PTB text
+  si query     --index DIR QUERY [--show N]                 evaluate a tree query
+  si scan      --input FILE QUERY [--show N]                TGrep2 mode: match without an index
+  si extract   --input FILE [--mss 3] [--top 20]            most frequent subtree keys
+  si stats     --index DIR                                  print index statistics
+  si decompose [--mss 3] [--coding root-split] QUERY        show the query's cover
+
+Query syntax: LABEL('(' [//] node ')')*, e.g. S(NP(NNS))(VP(//NN))";
+
+/// Dispatches a full argv (without the program name).
+pub fn run(argv: &[String]) -> Result<(), AnyError> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        println!("{USAGE}");
+        return Ok(());
+    };
+    let args = Args::parse(rest)?;
+    match cmd.as_str() {
+        "generate" => generate(&args),
+        "build" => build(&args),
+        "query" => query(&args),
+        "scan" => scan(&args),
+        "extract" => extract(&args),
+        "stats" => stats(&args),
+        "decompose" => decompose_cmd(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}; try `si help`").into()),
+    }
+}
+
+fn parse_coding(name: Option<&str>) -> Result<Coding, AnyError> {
+    match name.unwrap_or("root-split") {
+        "root-split" | "rs" => Ok(Coding::RootSplit),
+        "filter" | "filter-based" | "fb" => Ok(Coding::FilterBased),
+        "interval" | "subtree-interval" | "si" => Ok(Coding::SubtreeInterval),
+        other => Err(format!(
+            "unknown coding {other:?} (root-split | filter | interval)"
+        )
+        .into()),
+    }
+}
+
+fn generate(args: &Args) -> Result<(), AnyError> {
+    let sentences: usize = args.get_or("sentences", 1_000)?;
+    let seed: u64 = args.get_or("seed", 42)?;
+    let corpus = GeneratorConfig::default().with_seed(seed).generate(sentences);
+    let mut out: Box<dyn Write> = match args.get("out") {
+        Some(path) => Box::new(std::io::BufWriter::new(std::fs::File::create(path)?)),
+        None => Box::new(std::io::stdout().lock()),
+    };
+    for tree in corpus.trees() {
+        writeln!(out, "{}", ptb::write(tree, corpus.interner()))?;
+    }
+    out.flush()?;
+    eprintln!("wrote {sentences} sentences (seed {seed})");
+    Ok(())
+}
+
+fn build(args: &Args) -> Result<(), AnyError> {
+    let input = args.required("input")?;
+    let index_dir = args.required("index")?;
+    let mss: usize = args.get_or("mss", 3)?;
+    let coding = parse_coding(args.get("coding"))?;
+    let external: bool = args.get_or("external", false)?;
+
+    let text = std::fs::read_to_string(input)?;
+    let mut interner = LabelInterner::new();
+    let trees = ptb::parse_corpus(&text, &mut interner)?;
+    eprintln!("parsed {} trees, {} labels", trees.len(), interner.len());
+
+    let options = IndexOptions::new(mss, coding);
+    let index = if external {
+        SubtreeIndex::build_external(
+            Path::new(index_dir),
+            &trees,
+            &interner,
+            options,
+            ExternalBuildConfig::default(),
+        )?
+    } else {
+        SubtreeIndex::build(Path::new(index_dir), &trees, &interner, options)?
+    };
+    print_stats(&index);
+    Ok(())
+}
+
+fn query(args: &Args) -> Result<(), AnyError> {
+    let index_dir = args.required("index")?;
+    let show: usize = args.get_or("show", 0)?;
+    let [query_text] = args.positional() else {
+        return Err("query: expected exactly one QUERY argument".into());
+    };
+    let index = SubtreeIndex::open(Path::new(index_dir))?;
+    let mut interner = index.interner();
+    let query = parse_query(query_text, &mut interner)?;
+    let started = std::time::Instant::now();
+    let result = index.evaluate(&query)?;
+    let elapsed = started.elapsed();
+    println!(
+        "{} matches in {:.3} ms  ({} covers, {} joins, {} postings fetched{})",
+        result.len(),
+        elapsed.as_secs_f64() * 1e3,
+        result.stats.covers,
+        result.stats.joins,
+        result.stats.postings_fetched,
+        if result.stats.used_validation {
+            ", post-validated"
+        } else {
+            ""
+        }
+    );
+    for &(tid, pre) in result.matches.iter().take(show) {
+        let tree = index.store().get(tid)?;
+        println!("  tree {tid} @ node {pre}: {}", ptb::write(&tree, &interner));
+    }
+    Ok(())
+}
+
+/// TGrep2 / CorpusSearch mode: load the whole corpus and scan it with
+/// the in-memory matcher — the baseline workflow the Subtree Index
+/// replaces (§2 of the paper). Useful for one-off queries and as a
+/// sanity check against `si query`.
+fn scan(args: &Args) -> Result<(), AnyError> {
+    let input = args.required("input")?;
+    let show: usize = args.get_or("show", 0)?;
+    let [query_text] = args.positional() else {
+        return Err("scan: expected exactly one QUERY argument".into());
+    };
+    let text = std::fs::read_to_string(input)?;
+    let mut interner = LabelInterner::new();
+    let trees = ptb::parse_corpus(&text, &mut interner)?;
+    let query = parse_query(query_text, &mut interner)?;
+    let started = std::time::Instant::now();
+    let mut total = 0usize;
+    let mut shown = 0usize;
+    for (tid, tree) in trees.iter().enumerate() {
+        let roots = si_query::match_roots(tree, &query);
+        total += roots.len();
+        if !roots.is_empty() && shown < show {
+            println!("  tree {tid}: {}", ptb::write(tree, &interner));
+            shown += 1;
+        }
+    }
+    println!(
+        "{} matches across {} trees in {:.3} ms (full scan)",
+        total,
+        trees.len(),
+        started.elapsed().as_secs_f64() * 1e3
+    );
+    Ok(())
+}
+
+/// Dumps the most frequent subtree keys of a corpus — the raw material
+/// of Figures 2–4 and of the frequency-based baseline's cutoff.
+fn extract(args: &Args) -> Result<(), AnyError> {
+    let input = args.required("input")?;
+    let mss: usize = args.get_or("mss", 3)?;
+    let top: usize = args.get_or("top", 20)?;
+    let text = std::fs::read_to_string(input)?;
+    let mut interner = LabelInterner::new();
+    let trees = ptb::parse_corpus(&text, &mut interner)?;
+    let mut counts: std::collections::HashMap<Vec<u8>, u64> = std::collections::HashMap::new();
+    for tree in &trees {
+        si_core::extract::for_each_subtree(tree, mss, |sub| {
+            *counts.entry(sub.key.clone()).or_insert(0) += 1;
+        });
+    }
+    let total: u64 = counts.values().sum();
+    println!(
+        "{} unique subtree keys, {} occurrences (mss = {mss}, {} trees)",
+        counts.len(),
+        total,
+        trees.len()
+    );
+    let mut ranked: Vec<(&Vec<u8>, &u64)> = counts.iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+    for (key, count) in ranked.into_iter().take(top) {
+        println!("  {count:>8}  {}", render_key(key, &interner));
+    }
+    Ok(())
+}
+
+/// Renders a canonical key in query syntax.
+fn render_key(key: &[u8], interner: &LabelInterner) -> String {
+    fn go(t: &si_core::canonical::CanonTree, interner: &LabelInterner, out: &mut String) {
+        out.push_str(interner.resolve(si_parsetree::Label(t.label)));
+        for c in &t.children {
+            out.push('(');
+            go(c, interner, out);
+            out.push(')');
+        }
+    }
+    match si_core::canonical::decode_key(key) {
+        Some(shape) => {
+            let mut out = String::new();
+            go(&shape, interner, &mut out);
+            out
+        }
+        None => format!("<malformed key {key:02x?}>"),
+    }
+}
+
+fn stats(args: &Args) -> Result<(), AnyError> {
+    let index_dir = args.required("index")?;
+    let index = SubtreeIndex::open(Path::new(index_dir))?;
+    print_stats(&index);
+    Ok(())
+}
+
+fn print_stats(index: &SubtreeIndex) {
+    let o = index.options();
+    let s = index.stats();
+    println!("index      {}", index.dir().display());
+    println!("coding     {}", o.coding);
+    println!("mss        {}", o.mss);
+    println!("sentences  {}", index.store().len());
+    println!("keys       {}", s.keys);
+    println!("postings   {}", s.postings);
+    println!("index      {} bytes ({:.1} MiB)", s.index_bytes, s.index_bytes as f64 / (1 << 20) as f64);
+    println!("postings   {} bytes", s.posting_bytes);
+    println!("data file  {} bytes", s.data_bytes);
+    println!("built in   {:.2} s", s.build_seconds);
+}
+
+fn decompose_cmd(args: &Args) -> Result<(), AnyError> {
+    let mss: usize = args.get_or("mss", 3)?;
+    let coding = parse_coding(args.get("coding"))?;
+    let [query_text] = args.positional() else {
+        return Err("decompose: expected exactly one QUERY argument".into());
+    };
+    let mut interner = LabelInterner::new();
+    let query = parse_query(query_text, &mut interner)?;
+    let cover = decompose(&query, mss, coding);
+    println!(
+        "{} cover subtrees ({} joins) under {} coding, mss = {mss}:",
+        cover.subtrees.len(),
+        cover.num_joins(),
+        coding
+    );
+    for (i, st) in cover.subtrees.iter().enumerate() {
+        // Render the cover subtree as a query over its member nodes.
+        let rendered = render_subtree(&query, st, &interner);
+        println!(
+            "  [{i}] root=node{} size={}  {}",
+            st.root.0,
+            st.size(),
+            rendered
+        );
+    }
+    Ok(())
+}
+
+/// Renders a cover subtree in query syntax.
+fn render_subtree(
+    query: &si_query::Query,
+    st: &si_core::cover::CoverSubtree,
+    interner: &LabelInterner,
+) -> String {
+    fn go(
+        query: &si_query::Query,
+        n: si_query::QNodeId,
+        members: &[si_query::QNodeId],
+        interner: &LabelInterner,
+        out: &mut String,
+    ) {
+        out.push_str(interner.resolve(query.label(n)));
+        for c in query.children_via(n, si_query::Axis::Child) {
+            if members.contains(&c) {
+                out.push('(');
+                go(query, c, members, interner, out);
+                out.push(')');
+            }
+        }
+    }
+    let mut out = String::new();
+    go(query, st.root, &st.nodes, interner, &mut out);
+    let _ = write_query; // (kept for future full-query rendering)
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| (*x).to_owned()).collect()
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("si-cli-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&argv(&["frobnicate"])).is_err());
+        assert!(run(&argv(&[])).is_ok()); // usage
+        assert!(run(&argv(&["help"])).is_ok());
+    }
+
+    #[test]
+    fn coding_names() {
+        assert_eq!(parse_coding(Some("rs")).unwrap(), Coding::RootSplit);
+        assert_eq!(parse_coding(Some("filter")).unwrap(), Coding::FilterBased);
+        assert_eq!(parse_coding(Some("interval")).unwrap(), Coding::SubtreeInterval);
+        assert_eq!(parse_coding(None).unwrap(), Coding::RootSplit);
+        assert!(parse_coding(Some("bogus")).is_err());
+    }
+
+    #[test]
+    fn full_pipeline_generate_build_query() {
+        let dir = tmp("pipeline");
+        let corpus_file = dir.join("corpus.ptb");
+        let index_dir = dir.join("idx");
+        run(&argv(&[
+            "generate",
+            "--sentences",
+            "100",
+            "--seed",
+            "5",
+            "--out",
+            corpus_file.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "build",
+            "--input",
+            corpus_file.to_str().unwrap(),
+            "--index",
+            index_dir.to_str().unwrap(),
+            "--mss",
+            "3",
+            "--coding",
+            "root-split",
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "query",
+            "--index",
+            index_dir.to_str().unwrap(),
+            "S(NP)(VP)",
+            "--show",
+            "1",
+        ]))
+        .unwrap();
+        run(&argv(&["stats", "--index", index_dir.to_str().unwrap()])).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn external_build_flag() {
+        let dir = tmp("external");
+        let corpus_file = dir.join("corpus.ptb");
+        let index_dir = dir.join("idx");
+        run(&argv(&[
+            "generate", "--sentences", "50", "--out", corpus_file.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "build",
+            "--input",
+            corpus_file.to_str().unwrap(),
+            "--index",
+            index_dir.to_str().unwrap(),
+            "--external",
+            "true",
+        ]))
+        .unwrap();
+        run(&argv(&["query", "--index", index_dir.to_str().unwrap(), "NP(NN)"])).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn decompose_prints_cover() {
+        run(&argv(&["decompose", "--mss", "3", "S(NP(DT)(NN))(VP(VBZ))"])).unwrap();
+        run(&argv(&[
+            "decompose", "--mss", "2", "--coding", "interval", "A(B(C))(D)",
+        ]))
+        .unwrap();
+        assert!(run(&argv(&["decompose"])).is_err());
+    }
+
+    #[test]
+    fn query_requires_exactly_one_positional() {
+        assert!(run(&argv(&["query", "--index", "/nonexistent"])).is_err());
+    }
+}
+
+#[cfg(test)]
+mod scan_extract_tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| (*x).to_owned()).collect()
+    }
+
+    fn corpus_file(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("si-cli-se-{name}-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let f = dir.join("c.ptb");
+        std::fs::write(
+            &f,
+            "(S (NP (DT the) (NN dog)) (VP (VBZ barks)))\n(S (NP (NN cat)) (VP (VBD sat)))\n",
+        )
+        .unwrap();
+        f
+    }
+
+    #[test]
+    fn scan_matches_like_tgrep() {
+        let f = corpus_file("scan");
+        run(&argv(&["scan", "--input", f.to_str().unwrap(), "S(NP(NN))", "--show", "1"])).unwrap();
+        assert!(run(&argv(&["scan", "--input", f.to_str().unwrap()])).is_err());
+        std::fs::remove_dir_all(f.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn extract_dumps_keys() {
+        let f = corpus_file("extract");
+        run(&argv(&[
+            "extract", "--input", f.to_str().unwrap(), "--mss", "2", "--top", "5",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(f.parent().unwrap()).ok();
+    }
+
+    #[test]
+    fn render_key_round_trips_structure() {
+        let mut li = LabelInterner::new();
+        let q = parse_query("NP(DT)(NN)", &mut li).unwrap();
+        let cover = decompose(&q, 3, Coding::RootSplit);
+        let rendered = render_key(&cover.subtrees[0].key, &li);
+        // Canonical order may differ from input order but both children
+        // appear under NP.
+        assert!(rendered.starts_with("NP("));
+        assert!(rendered.contains("DT"));
+        assert!(rendered.contains("NN"));
+    }
+}

@@ -1,0 +1,25 @@
+//! `si` — the Subtree Index command line.
+//!
+//! ```text
+//! si generate  --sentences 10000 --seed 7 --out corpus.ptb
+//! si build     --input corpus.ptb --index ./idx --mss 3 --coding root-split
+//! si query     --index ./idx "S(NP(NNS))(VP(VBZ)(NP))" --show 3
+//! si stats     --index ./idx
+//! si decompose --mss 3 --coding root-split "S(NP(DT)(NN))(VP(VBZ))"
+//! ```
+
+use std::process::ExitCode;
+
+mod args;
+mod commands;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match commands::run(&argv) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,486 @@
+//! Subtree Index construction and the on-disk layout (§4.2, §6.1–6.2).
+//!
+//! An index directory holds
+//!
+//! ```text
+//! <dir>/corpus/      the data file, offset index and labels (CorpusStore)
+//! <dir>/index.bt     the B+Tree: canonical key -> posting list
+//! <dir>/si.meta      mss, coding scheme, build statistics
+//! ```
+//!
+//! Construction streams every tree through the subtree enumeration,
+//! aggregates posting lists per canonical key in memory, then bulk-loads
+//! the B+Tree in key order — the standard inverted-index build the
+//! paper's Figure 10 times.
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use si_parsetree::{varint, LabelInterner, ParseTree, TreeId};
+use si_query::Query;
+use si_storage::{BTree, CorpusStore, Result, StorageError};
+
+use crate::canonical::key_size;
+use crate::coding::{decode_postings, Coding, NodeVal, Posting, PostingBuilder};
+use crate::eval::{evaluate, EvalResult};
+use crate::extract::for_each_subtree;
+use crate::join::JoinAlgo;
+
+/// Build-time parameters of a [`SubtreeIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IndexOptions {
+    /// Maximum subtree size indexed (the paper's `mss`, 1–5 in the
+    /// evaluation; `mss = 1` degenerates to the node approach / LPath).
+    pub mss: usize,
+    /// Posting-list coding scheme.
+    pub coding: Coding,
+}
+
+impl IndexOptions {
+    /// Creates options; `mss` must be in `1..=8`.
+    ///
+    /// # Panics
+    /// Panics on `mss` outside `1..=8` (the paper caps at 5; Lemma 3's
+    /// FFD optimality holds to 6, and 8 is a hard sanity bound).
+    pub fn new(mss: usize, coding: Coding) -> Self {
+        assert!((1..=8).contains(&mss), "mss must be in 1..=8, got {mss}");
+        Self { mss, coding }
+    }
+}
+
+/// Size and timing statistics of a built index (Figures 8–10).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IndexStats {
+    /// Number of index keys (unique subtrees), Figure 2.
+    pub keys: u64,
+    /// Total postings stored (after coding-specific dedup), Figure 9.
+    pub postings: u64,
+    /// Total bytes of the B+Tree file, Figure 8.
+    pub index_bytes: u64,
+    /// Bytes of posting-list payload (excluding B+Tree structure).
+    pub posting_bytes: u64,
+    /// Size of the data file of flattened trees.
+    pub data_bytes: u64,
+    /// Wall-clock build time in seconds, Figure 10.
+    pub build_seconds: f64,
+}
+
+/// A built Subtree Index over a corpus of parse trees.
+pub struct SubtreeIndex {
+    dir: PathBuf,
+    options: IndexOptions,
+    btree: BTree,
+    store: CorpusStore,
+    stats: IndexStats,
+    join_algo: JoinAlgo,
+}
+
+impl SubtreeIndex {
+    /// Builds an index over `trees` at `dir` (created/overwritten).
+    ///
+    /// `interner` must be the interner the trees were built with; it is
+    /// persisted alongside the corpus so queries can resolve labels.
+    pub fn build(
+        dir: &Path,
+        trees: &[ParseTree],
+        interner: &LabelInterner,
+        options: IndexOptions,
+    ) -> Result<Self> {
+        let started = Instant::now();
+        std::fs::create_dir_all(dir)?;
+        let store = CorpusStore::build(&dir.join("corpus"), trees.iter(), interner)?;
+
+        // Aggregate posting lists per canonical key.
+        let mut lists: HashMap<Vec<u8>, PostingBuilder> = HashMap::new();
+        let mut occurrence = Vec::new();
+        for (tid, tree) in trees.iter().enumerate() {
+            let tid = tid as TreeId;
+            for_each_subtree(tree, options.mss, |sub| {
+                occurrence.clear();
+                occurrence.extend(sub.nodes.iter().map(|&n| NodeVal {
+                    pre: tree.pre(n),
+                    post: tree.post(n),
+                    level: tree.level(n),
+                }));
+                // `order`: the node's pre-order rank within the
+                // occurrence (1-based), §4.4.2.
+                let mut pres: Vec<u32> = occurrence.iter().map(|v| v.pre).collect();
+                pres.sort_unstable();
+                let with_order: Vec<(NodeVal, u8)> = occurrence
+                    .iter()
+                    .map(|v| {
+                        let rank = pres.binary_search(&v.pre).expect("own pre") as u8 + 1;
+                        (*v, rank)
+                    })
+                    .collect();
+                lists
+                    .entry(sub.key.clone())
+                    .or_insert_with(|| PostingBuilder::new(options.coding))
+                    .push(tid, &with_order);
+            });
+        }
+
+        // Bulk-load the B+Tree in key order.
+        let mut postings = 0u64;
+        let mut posting_bytes = 0u64;
+        let mut pairs: Vec<(Vec<u8>, Vec<u8>)> = lists
+            .into_iter()
+            .map(|(key, builder)| {
+                postings += builder.count();
+                posting_bytes += builder.byte_len() as u64;
+                (key, builder.finish())
+            })
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        let keys = pairs.len() as u64;
+        let mut btree = BTree::bulk_load(&dir.join("index.bt"), pairs)?;
+        btree.flush()?;
+
+        let stats = IndexStats {
+            keys,
+            postings,
+            index_bytes: btree.stats().file_bytes,
+            posting_bytes,
+            data_bytes: store.data_bytes(),
+            build_seconds: started.elapsed().as_secs_f64(),
+        };
+        let index = Self {
+            dir: dir.to_path_buf(),
+            options,
+            btree,
+            store,
+            stats,
+            join_algo: JoinAlgo::Mpmgjn,
+        };
+        index.write_meta()?;
+        Ok(index)
+    }
+
+    /// Builds an index using `threads` worker threads for the subtree
+    /// enumeration phase (the CPU-bound part of construction). Each
+    /// worker aggregates a contiguous tid range; the per-key posting
+    /// fragments are then stitched in tid order, so the result is
+    /// byte-identical to the sequential [`SubtreeIndex::build`].
+    pub fn build_parallel(
+        dir: &Path,
+        trees: &[ParseTree],
+        interner: &LabelInterner,
+        options: IndexOptions,
+        threads: usize,
+    ) -> Result<Self> {
+        let threads = threads.max(1).min(trees.len().max(1));
+        let started = Instant::now();
+        std::fs::create_dir_all(dir)?;
+        let store = CorpusStore::build(&dir.join("corpus"), trees.iter(), interner)?;
+
+        // Partition trees into contiguous tid ranges, one per worker.
+        let chunk = trees.len().div_ceil(threads);
+        type Fragment = (TreeId, TreeId, PostingBuilder); // first, last, postings
+        let mut partials: Vec<HashMap<Vec<u8>, Fragment>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for (w, slice) in trees.chunks(chunk.max(1)).enumerate() {
+                let base = (w * chunk.max(1)) as TreeId;
+                handles.push(scope.spawn(move || {
+                    let mut lists: HashMap<Vec<u8>, Fragment> = HashMap::new();
+                    let mut occurrence: Vec<(NodeVal, u8)> = Vec::new();
+                    for (off, tree) in slice.iter().enumerate() {
+                        let tid = base + off as TreeId;
+                        for_each_subtree(tree, options.mss, |sub| {
+                            occurrence.clear();
+                            occurrence.extend(sub.nodes.iter().map(|&n| {
+                                (
+                                    NodeVal {
+                                        pre: tree.pre(n),
+                                        post: tree.post(n),
+                                        level: tree.level(n),
+                                    },
+                                    0u8,
+                                )
+                            }));
+                            let mut pres: Vec<u32> =
+                                occurrence.iter().map(|(v, _)| v.pre).collect();
+                            pres.sort_unstable();
+                            for (v, order) in occurrence.iter_mut() {
+                                *order =
+                                    pres.binary_search(&v.pre).expect("own pre") as u8 + 1;
+                            }
+                            let entry = lists.entry(sub.key.clone()).or_insert_with(|| {
+                                (tid, tid, PostingBuilder::new(options.coding))
+                            });
+                            entry.2.push(tid, &occurrence);
+                            entry.1 = tid;
+                        });
+                    }
+                    lists
+                }));
+            }
+            for h in handles {
+                partials.push(h.join().expect("worker panicked"));
+            }
+        });
+
+        // Stitch fragments per key in tid order (workers cover disjoint,
+        // ascending tid ranges in `partials` order).
+        let mut merged: HashMap<Vec<u8>, (u64, Vec<u8>, Option<TreeId>)> = HashMap::new();
+        for partial in partials {
+            for (key, (first_tid, last_tid, builder)) in partial {
+                let count = builder.count();
+                let bytes = builder.finish();
+                let entry = merged.entry(key).or_insert((0, Vec::new(), None));
+                entry.0 += count;
+                match entry.2 {
+                    None => entry.1.extend_from_slice(&bytes),
+                    Some(prev_last) => {
+                        // Rewrite the fragment's leading absolute tid as a
+                        // delta from the previous fragment's last tid.
+                        let (abs, used) = varint::read_u32(&bytes)
+                            .ok_or_else(|| StorageError::Corrupt("fragment head".into()))?;
+                        debug_assert!(abs == first_tid);
+                        varint::write_u32(&mut entry.1, abs - prev_last);
+                        entry.1.extend_from_slice(&bytes[used..]);
+                    }
+                }
+                entry.2 = Some(last_tid);
+            }
+        }
+
+        let mut postings = 0u64;
+        let mut posting_bytes = 0u64;
+        let mut pairs: Vec<(Vec<u8>, Vec<u8>)> = merged
+            .into_iter()
+            .map(|(key, (count, bytes, _))| {
+                postings += count;
+                posting_bytes += bytes.len() as u64;
+                (key, bytes)
+            })
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        let keys = pairs.len() as u64;
+        let mut btree = BTree::bulk_load(&dir.join("index.bt"), pairs)?;
+        btree.flush()?;
+
+        let stats = IndexStats {
+            keys,
+            postings,
+            index_bytes: btree.stats().file_bytes,
+            posting_bytes,
+            data_bytes: store.data_bytes(),
+            build_seconds: started.elapsed().as_secs_f64(),
+        };
+        let index = Self {
+            dir: dir.to_path_buf(),
+            options,
+            btree,
+            store,
+            stats,
+            join_algo: JoinAlgo::Mpmgjn,
+        };
+        index.write_meta()?;
+        Ok(index)
+    }
+
+    /// Builds an index with bounded memory: posting lists are spilled to
+    /// sorted runs under `<dir>/tmp` and k-way merged into the B+Tree
+    /// bulk loader ([`crate::build_ext`]). Produces byte-identical
+    /// results to [`SubtreeIndex::build`]; use it for corpora whose
+    /// posting volume exceeds RAM (the paper's 10⁶-sentence points).
+    pub fn build_external(
+        dir: &Path,
+        trees: &[ParseTree],
+        interner: &LabelInterner,
+        options: IndexOptions,
+        config: crate::build_ext::ExternalBuildConfig,
+    ) -> Result<Self> {
+        use std::cell::RefCell;
+
+        let started = Instant::now();
+        std::fs::create_dir_all(dir)?;
+        let store = CorpusStore::build(&dir.join("corpus"), trees.iter(), interner)?;
+        let tmp = dir.join("tmp");
+        let runs = crate::build_ext::build_runs(&tmp, trees, options.mss, options.coding, config)?;
+        let mut merger = crate::build_ext::RunMerger::open(&runs)?;
+
+        let keys = RefCell::new(0u64);
+        let postings = RefCell::new(0u64);
+        let posting_bytes = RefCell::new(0u64);
+        let error: RefCell<Option<StorageError>> = RefCell::new(None);
+        let pairs = std::iter::from_fn(|| match merger.next_key() {
+            Ok(Some((key, bytes, count))) => {
+                *keys.borrow_mut() += 1;
+                *postings.borrow_mut() += count;
+                *posting_bytes.borrow_mut() += bytes.len() as u64;
+                Some((key, bytes))
+            }
+            Ok(None) => None,
+            Err(e) => {
+                *error.borrow_mut() = Some(e);
+                None
+            }
+        });
+        let mut btree = BTree::bulk_load(&dir.join("index.bt"), pairs)?;
+        if let Some(e) = error.into_inner() {
+            return Err(e);
+        }
+        btree.flush()?;
+        std::fs::remove_dir_all(&tmp).ok();
+
+        let stats = IndexStats {
+            keys: keys.into_inner(),
+            postings: postings.into_inner(),
+            index_bytes: btree.stats().file_bytes,
+            posting_bytes: posting_bytes.into_inner(),
+            data_bytes: store.data_bytes(),
+            build_seconds: started.elapsed().as_secs_f64(),
+        };
+        let index = Self {
+            dir: dir.to_path_buf(),
+            options,
+            btree,
+            store,
+            stats,
+            join_algo: JoinAlgo::Mpmgjn,
+        };
+        index.write_meta()?;
+        Ok(index)
+    }
+
+    /// Opens an existing index directory.
+    pub fn open(dir: &Path) -> Result<Self> {
+        let meta = std::fs::read(dir.join("si.meta"))?;
+        let (options, stats) = decode_meta(&meta)
+            .ok_or_else(|| StorageError::Corrupt("si.meta".into()))?;
+        let btree = BTree::open(&dir.join("index.bt"))?;
+        let store = CorpusStore::open(&dir.join("corpus"))?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            options,
+            btree,
+            store,
+            stats,
+            join_algo: JoinAlgo::Mpmgjn,
+        })
+    }
+
+    /// The build options.
+    pub fn options(&self) -> IndexOptions {
+        self.options
+    }
+
+    /// Build statistics (sizes, posting counts, timing).
+    pub fn stats(&self) -> IndexStats {
+        self.stats
+    }
+
+    /// The index directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The corpus backing this index.
+    pub fn store(&self) -> &CorpusStore {
+        &self.store
+    }
+
+    /// A copy of the corpus label interner (parse queries against this
+    /// so label ids line up; unknown labels simply produce no matches).
+    pub fn interner(&self) -> LabelInterner {
+        self.store.interner().clone()
+    }
+
+    /// Selects the structural-join algorithm (default MPMGJN).
+    pub fn set_join_algo(&mut self, algo: JoinAlgo) {
+        self.join_algo = algo;
+    }
+
+    /// The configured structural-join algorithm.
+    pub fn join_algo(&self) -> JoinAlgo {
+        self.join_algo
+    }
+
+    /// Evaluates `query`, returning the distinct `(tid, pre)` pairs the
+    /// query root maps to, plus evaluation statistics.
+    pub fn evaluate(&self, query: &Query) -> Result<EvalResult> {
+        evaluate(self, query)
+    }
+
+    /// Encoded posting-list length of a key in bytes, without decoding —
+    /// a cheap selectivity estimate (the paper's §7 "statistics about
+    /// subtrees such as their selectivities").
+    pub fn posting_len(&self, key: &[u8]) -> Result<Option<u64>> {
+        self.btree.value_len(key)
+    }
+
+    /// Fetches the decoded posting list of a canonical key, if indexed.
+    pub fn postings(&self, key: &[u8]) -> Result<Option<Vec<Posting>>> {
+        let Some(bytes) = self.btree.get(key)? else {
+            return Ok(None);
+        };
+        let m = key_size(key)
+            .ok_or_else(|| StorageError::Corrupt("bad canonical key".into()))?;
+        Ok(Some(
+            decode_postings(self.options.coding, m, &bytes).collect(),
+        ))
+    }
+
+    /// Iterates all `(key, posting list bytes)` pairs (statistics and the
+    /// frequency-based baseline use this).
+    pub fn iter_keys(&self) -> Result<impl Iterator<Item = Result<(Vec<u8>, Vec<u8>)>> + '_> {
+        self.btree.iter()
+    }
+
+    fn write_meta(&self) -> Result<()> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"SIMETA1\0");
+        varint::write_u64(&mut buf, self.options.mss as u64);
+        buf.push(match self.options.coding {
+            Coding::FilterBased => 0,
+            Coding::SubtreeInterval => 1,
+            Coding::RootSplit => 2,
+        });
+        varint::write_u64(&mut buf, self.stats.keys);
+        varint::write_u64(&mut buf, self.stats.postings);
+        varint::write_u64(&mut buf, self.stats.index_bytes);
+        varint::write_u64(&mut buf, self.stats.posting_bytes);
+        varint::write_u64(&mut buf, self.stats.data_bytes);
+        varint::write_u64(&mut buf, (self.stats.build_seconds * 1e6) as u64);
+        std::fs::write(self.dir.join("si.meta"), buf)?;
+        Ok(())
+    }
+}
+
+fn decode_meta(bytes: &[u8]) -> Option<(IndexOptions, IndexStats)> {
+    let magic = bytes.get(..8)?;
+    if magic != b"SIMETA1\0" {
+        return None;
+    }
+    let mut r = varint::Reader::new(&bytes[8..]);
+    let mss = r.u64()? as usize;
+    let coding = match r.bytes(1)?[0] {
+        0 => Coding::FilterBased,
+        1 => Coding::SubtreeInterval,
+        2 => Coding::RootSplit,
+        _ => return None,
+    };
+    if !(1..=8).contains(&mss) {
+        return None;
+    }
+    let keys = r.u64()?;
+    let postings = r.u64()?;
+    let index_bytes = r.u64()?;
+    let posting_bytes = r.u64()?;
+    let data_bytes = r.u64()?;
+    let build_micros = r.u64()?;
+    Some((
+        IndexOptions { mss, coding },
+        IndexStats {
+            keys,
+            postings,
+            index_bytes,
+            posting_bytes,
+            data_bytes,
+            build_seconds: build_micros as f64 / 1e6,
+        },
+    ))
+}

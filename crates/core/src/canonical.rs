@@ -1,0 +1,355 @@
+//! Canonical encoding of unordered subtrees (§4.2).
+//!
+//! Index keys are *unordered*: `A(B)(C)` and `A(C)(B)` share one key
+//! entry (Figure 4). The canonical form orders every node's children by
+//! the lexicographic order of their own encodings, then emits pre-order
+//! `(label, size)` varint pairs — the paper's flattening, which costs
+//! `mss(⌈log₂(mss+1)⌉ + ⌈log₂|ΣV|⌉)` bits with fixed-width fields; we use
+//! varints so the B+Tree keys stay byte-aligned.
+//!
+//! Keys with **automorphisms** (identical sibling branches, e.g.
+//! `A(B)(B)`) matter for the subtree-interval coding: a posting fixes one
+//! arbitrary assignment of data nodes to canonical positions, and joins
+//! must consider all automorphic reassignments ([`automorphisms`]).
+
+use si_parsetree::varint;
+
+/// A decoded canonical subtree shape.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanonTree {
+    /// Interned label id.
+    pub label: u32,
+    /// Children in canonical order.
+    pub children: Vec<CanonTree>,
+}
+
+impl CanonTree {
+    /// Number of nodes.
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(CanonTree::size).sum::<usize>()
+    }
+}
+
+/// Canonically encodes the subtree reachable from `root` through
+/// `children_of`, labelling nodes with `label_of`.
+///
+/// Returns the key bytes and the nodes listed in canonical order (the
+/// order their `(label, size)` pairs appear in the key). The first entry
+/// is always `root`.
+///
+/// Generic over the node type so the same code serves data trees
+/// ([`si_parsetree::ParseTree`]), queries ([`si_query::Query`]) and
+/// enumeration intermediates.
+pub fn canon_encode<N, L, C, I>(root: N, label_of: &L, children_of: &C) -> (Vec<u8>, Vec<N>)
+where
+    N: Copy,
+    L: Fn(N) -> u32,
+    C: Fn(N) -> I,
+    I: IntoIterator<Item = N>,
+{
+    fn go<N, L, C, I>(n: N, label_of: &L, children_of: &C) -> (Vec<u8>, Vec<N>)
+    where
+        N: Copy,
+        L: Fn(N) -> u32,
+        C: Fn(N) -> I,
+        I: IntoIterator<Item = N>,
+    {
+        let mut blocks: Vec<(Vec<u8>, Vec<N>)> = children_of(n)
+            .into_iter()
+            .map(|c| go(c, label_of, children_of))
+            .collect();
+        blocks.sort_by(|a, b| a.0.cmp(&b.0));
+        let size = 1 + blocks.iter().map(|b| b.1.len()).sum::<usize>();
+        let mut enc = Vec::with_capacity(4 + blocks.iter().map(|b| b.0.len()).sum::<usize>());
+        varint::write_u32(&mut enc, label_of(n));
+        varint::write_u64(&mut enc, size as u64);
+        let mut nodes = Vec::with_capacity(size);
+        nodes.push(n);
+        for (benc, bnodes) in blocks {
+            enc.extend_from_slice(&benc);
+            nodes.extend(bnodes);
+        }
+        (enc, nodes)
+    }
+    go(root, label_of, children_of)
+}
+
+/// Decodes a canonical key back into its shape. Returns `None` on
+/// malformed bytes (truncation, size mismatches).
+pub fn decode_key(bytes: &[u8]) -> Option<CanonTree> {
+    let mut r = varint::Reader::new(bytes);
+    let tree = decode_node(&mut r)?;
+    r.is_empty().then_some(tree)
+}
+
+fn decode_node(r: &mut varint::Reader<'_>) -> Option<CanonTree> {
+    let label = r.u32()?;
+    let size = r.u64()? as usize;
+    if size == 0 {
+        return None;
+    }
+    let mut remaining = size - 1;
+    let mut children = Vec::new();
+    while remaining > 0 {
+        let child = decode_node(r)?;
+        let csize = child.size();
+        if csize > remaining {
+            return None;
+        }
+        remaining -= csize;
+        children.push(child);
+    }
+    Some(CanonTree { label, children })
+}
+
+/// Number of nodes in a canonical key without fully decoding it (the
+/// root's size field).
+pub fn key_size(bytes: &[u8]) -> Option<usize> {
+    let mut r = varint::Reader::new(bytes);
+    let _label = r.u32()?;
+    Some(r.u64()? as usize)
+}
+
+/// All automorphisms of a canonical shape, as permutations over its
+/// pre-order positions: `perm[i] = j` means position `i` may be re-read
+/// as position `j`.
+///
+/// The group is the product of symmetric groups over identical sibling
+/// blocks, composed recursively; for keys of ≤ 6 nodes it is tiny (the
+/// worst case `A(B)(B)(B)(B)(B)` has 120). `limit` caps the enumeration
+/// (0 = unlimited); if hit, the returned set is a correct subset
+/// containing the identity, which keeps joins sound (they may enumerate
+/// fewer assignments) — callers pass a generous limit and the cap exists
+/// only as a safety valve.
+pub fn automorphisms(tree: &CanonTree, limit: usize) -> Vec<Vec<usize>> {
+    // For the subtree at `tree` return permutations relative to its own
+    // pre-order positions (0 = the subtree root).
+    fn go(tree: &CanonTree, limit: usize) -> Vec<Vec<usize>> {
+        let size = tree.size();
+        let ident: Vec<usize> = (0..size).collect();
+        let mut result = vec![ident];
+        // Child block offsets within this subtree's positions.
+        let mut offsets = Vec::with_capacity(tree.children.len());
+        let mut off = 1;
+        for c in &tree.children {
+            offsets.push(off);
+            off += c.size();
+        }
+        // Group identical children (canonical order puts them adjacent).
+        let mut i = 0;
+        while i < tree.children.len() {
+            let mut j = i + 1;
+            while j < tree.children.len() && tree.children[j] == tree.children[i] {
+                j += 1;
+            }
+            let group: Vec<usize> = (i..j).collect();
+            // Inner automorphisms of one representative.
+            let inner = go(&tree.children[i], limit);
+            // Apply every inner automorphism to each group member.
+            if inner.len() > 1 {
+                let mut next = Vec::new();
+                for perm in &result {
+                    for &member in &group {
+                        for ip in inner.iter().skip(1) {
+                            let mut p = perm.clone();
+                            apply_block(&mut p, offsets[member], ip);
+                            next.push(p);
+                            if limit != 0 && result.len() + next.len() >= limit {
+                                result.extend(next);
+                                return result;
+                            }
+                        }
+                    }
+                }
+                result.extend(next);
+            }
+            // Permute the group blocks themselves.
+            if group.len() > 1 {
+                let blocks: Vec<(usize, usize)> = group
+                    .iter()
+                    .map(|&m| (offsets[m], tree.children[m].size()))
+                    .collect();
+                let mut arrangement: Vec<usize> = (0..group.len()).collect();
+                let mut arrangements = Vec::new();
+                permutations(&mut arrangement, 0, &mut arrangements);
+                let mut next = Vec::new();
+                for perm in &result {
+                    for arr in arrangements.iter().skip(1) {
+                        let mut p = perm.clone();
+                        // Send block g to where block arr[g] sits.
+                        for (g, &target) in arr.iter().enumerate() {
+                            let (src_off, len) = blocks[g];
+                            let (dst_off, _) = blocks[target];
+                            p[src_off..src_off + len]
+                                .copy_from_slice(&perm[dst_off..dst_off + len]);
+                        }
+                        next.push(p);
+                        if limit != 0 && result.len() + next.len() >= limit {
+                            result.extend(next);
+                            return result;
+                        }
+                    }
+                }
+                result.extend(next);
+            }
+            i = j;
+        }
+        result
+    }
+    let mut perms = go(tree, limit);
+    perms.sort();
+    perms.dedup();
+    perms
+}
+
+/// Rewrites positions `offset..offset+inner.len()` of `p` through the
+/// relative permutation `inner`.
+fn apply_block(p: &mut [usize], offset: usize, inner: &[usize]) {
+    let orig: Vec<usize> = (0..inner.len()).map(|k| p[offset + k]).collect();
+    for (k, &ik) in inner.iter().enumerate() {
+        p[offset + k] = orig[ik];
+    }
+}
+
+fn permutations(arr: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+    if k == arr.len() {
+        out.push(arr.clone());
+        return;
+    }
+    for i in k..arr.len() {
+        arr.swap(k, i);
+        permutations(arr, k + 1, out);
+        arr.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_parsetree::{ptb, LabelInterner, NodeId, ParseTree};
+
+    fn encode_tree(tree: &ParseTree) -> (Vec<u8>, Vec<NodeId>) {
+        canon_encode(
+            tree.root(),
+            &|n| tree.label(n).id(),
+            &|n| tree.children(n).collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn sibling_order_does_not_matter() {
+        let mut li = LabelInterner::new();
+        let a = ptb::parse("(A (B) (C))", &mut li).unwrap();
+        let b = ptb::parse("(A (C) (B))", &mut li).unwrap();
+        assert_eq!(encode_tree(&a).0, encode_tree(&b).0);
+        // But different structures differ.
+        let c = ptb::parse("(A (B (C)))", &mut li).unwrap();
+        assert_ne!(encode_tree(&a).0, encode_tree(&c).0);
+    }
+
+    #[test]
+    fn deep_reordering_is_canonicalized() {
+        let mut li = LabelInterner::new();
+        let a = ptb::parse("(A (B (D) (E)) (C))", &mut li).unwrap();
+        let b = ptb::parse("(A (C) (B (E) (D)))", &mut li).unwrap();
+        assert_eq!(encode_tree(&a).0, encode_tree(&b).0);
+    }
+
+    #[test]
+    fn canonical_nodes_start_at_root_and_cover_subtree() {
+        let mut li = LabelInterner::new();
+        let t = ptb::parse("(A (C (E)) (B))", &mut li).unwrap();
+        let (_, nodes) = encode_tree(&t);
+        assert_eq!(nodes[0], t.root());
+        assert_eq!(nodes.len(), t.len());
+        let mut sorted: Vec<u32> = nodes.iter().map(|n| n.0).collect();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn decode_round_trips() {
+        let mut li = LabelInterner::new();
+        for src in ["(A)", "(A (B) (C))", "(A (B (C) (D)) (E))", "(X (Y (Z)))"] {
+            let t = ptb::parse(src, &mut li).unwrap();
+            let (enc, _) = encode_tree(&t);
+            let decoded = decode_key(&enc).expect(src);
+            assert_eq!(decoded.size(), t.len());
+            assert_eq!(key_size(&enc), Some(t.len()));
+            // Re-encoding the decoded shape is a fixpoint.
+            let (enc2, _) = canon_encode(
+                &decoded,
+                &|n: &CanonTree| n.label,
+                &|n: &CanonTree| n.children.iter().collect::<Vec<_>>(),
+            );
+            assert_eq!(enc, enc2);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert!(decode_key(&[]).is_none());
+        let mut li = LabelInterner::new();
+        let t = ptb::parse("(A (B))", &mut li).unwrap();
+        let (enc, _) = encode_tree(&t);
+        assert!(decode_key(&enc[..enc.len() - 1]).is_none());
+        let mut extra = enc.clone();
+        extra.push(0);
+        assert!(decode_key(&extra).is_none());
+    }
+
+    #[test]
+    fn automorphisms_of_asymmetric_tree_is_identity() {
+        let mut li = LabelInterner::new();
+        let t = ptb::parse("(A (B) (C))", &mut li).unwrap();
+        let (enc, _) = encode_tree(&t);
+        let shape = decode_key(&enc).unwrap();
+        assert_eq!(automorphisms(&shape, 0), vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn automorphisms_of_twin_leaves() {
+        let mut li = LabelInterner::new();
+        let t = ptb::parse("(A (B) (B))", &mut li).unwrap();
+        let shape = decode_key(&encode_tree(&t).0).unwrap();
+        let autos = automorphisms(&shape, 0);
+        assert_eq!(autos.len(), 2);
+        assert!(autos.contains(&vec![0, 1, 2]));
+        assert!(autos.contains(&vec![0, 2, 1]));
+    }
+
+    #[test]
+    fn automorphisms_of_twin_branches() {
+        // A(B(C))(B(C)): swapping the two B-blocks swaps pairs of positions.
+        let mut li = LabelInterner::new();
+        let t = ptb::parse("(A (B (C)) (B (C)))", &mut li).unwrap();
+        let shape = decode_key(&encode_tree(&t).0).unwrap();
+        let autos = automorphisms(&shape, 0);
+        assert_eq!(autos.len(), 2);
+        assert!(autos.contains(&vec![0, 1, 2, 3, 4]));
+        assert!(autos.contains(&vec![0, 3, 4, 1, 2]));
+    }
+
+    #[test]
+    fn automorphisms_of_triplets() {
+        let mut li = LabelInterner::new();
+        let t = ptb::parse("(A (B) (B) (B))", &mut li).unwrap();
+        let shape = decode_key(&encode_tree(&t).0).unwrap();
+        assert_eq!(automorphisms(&shape, 0).len(), 6);
+        // The cap yields a subset containing the identity.
+        let capped = automorphisms(&shape, 3);
+        assert!(capped.len() <= 3 + 1);
+        assert!(capped.contains(&vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn nested_automorphisms_compose() {
+        // A(B(C)(C)): inner swap of the two Cs only.
+        let mut li = LabelInterner::new();
+        let t = ptb::parse("(A (B (C) (C)))", &mut li).unwrap();
+        let shape = decode_key(&encode_tree(&t).0).unwrap();
+        let autos = automorphisms(&shape, 0);
+        assert_eq!(autos.len(), 2);
+        assert!(autos.contains(&vec![0, 1, 3, 2]));
+    }
+}

@@ -1,0 +1,387 @@
+//! The three posting-list coding schemes (§4.4).
+//!
+//! Every index key (a canonical subtree) owns one posting list; the
+//! coding scheme decides what each posting records:
+//!
+//! | coding            | posting                                   | §     |
+//! |-------------------|-------------------------------------------|-------|
+//! | filter-based      | `tid`                                     | 4.4.1 |
+//! | subtree interval  | `tid, m × (pre, post, level, order)`      | 4.4.2 |
+//! | root-split        | `tid, (pre, post, level)` of the root     | 4.4.3 |
+//!
+//! Lists are sorted by `(tid, root.pre)` and delta-encoded on `tid`.
+//! Filter-based postings deduplicate by `tid`; root-split postings by
+//! `(tid, root.pre)` — the paper's second source of size reduction:
+//! "multiple subtrees which have the same key and the same root ... will
+//! be represented with only one posting".
+//!
+//! Interval postings store nodes in **canonical key order** (position 1
+//! is the root); the `order` field is each node's pre-order rank within
+//! the occurrence, the paper's disambiguator for symmetric instances.
+
+use si_parsetree::{varint, TreeId};
+
+/// Selects the posting-list format of a [`crate::SubtreeIndex`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Coding {
+    /// Tree ids only; query evaluation post-validates candidates.
+    FilterBased,
+    /// Full structural info for every subtree node; exact matching.
+    SubtreeInterval,
+    /// Structural info of the subtree root only; exact matching with
+    /// root-split covers. The paper's headline scheme.
+    RootSplit,
+}
+
+impl Coding {
+    /// All codings in the paper's reporting order.
+    pub const ALL: [Coding; 3] = [Coding::FilterBased, Coding::RootSplit, Coding::SubtreeInterval];
+
+    /// Human-readable name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Coding::FilterBased => "filter-based",
+            Coding::SubtreeInterval => "subtree interval",
+            Coding::RootSplit => "root-split",
+        }
+    }
+}
+
+impl std::fmt::Display for Coding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Structural information of one data node, as stored in postings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeVal {
+    /// Pre-order rank within the tree.
+    pub pre: u32,
+    /// Post-order rank within the tree.
+    pub post: u32,
+    /// Depth (root = 0).
+    pub level: u16,
+}
+
+impl NodeVal {
+    /// Interval containment: is `self` a proper ancestor of `other`
+    /// (within the same tree)?
+    #[inline]
+    pub fn is_ancestor_of(&self, other: &NodeVal) -> bool {
+        self.pre < other.pre && other.post < self.post
+    }
+
+    /// Containment plus a level check: is `self` the parent of `other`?
+    #[inline]
+    pub fn is_parent_of(&self, other: &NodeVal) -> bool {
+        self.is_ancestor_of(other) && other.level == self.level + 1
+    }
+}
+
+/// One decoded posting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Posting {
+    /// Filter-based: candidate tree.
+    Tid(TreeId),
+    /// Root-split: root occurrence.
+    Root {
+        /// Containing tree.
+        tid: TreeId,
+        /// Structural info of the subtree root.
+        root: NodeVal,
+    },
+    /// Subtree interval: full occurrence.
+    Occurrence {
+        /// Containing tree.
+        tid: TreeId,
+        /// `(values, order)` per node, in canonical key order;
+        /// `order` is the node's pre-order rank within the occurrence
+        /// (1-based).
+        nodes: Vec<(NodeVal, u8)>,
+    },
+}
+
+/// Builds one key's posting list during index construction. Occurrences
+/// must be pushed in `(tid, root.pre)` order, which
+/// [`crate::extract::for_each_subtree`] guarantees.
+#[derive(Debug)]
+pub struct PostingBuilder {
+    coding: Coding,
+    buf: Vec<u8>,
+    count: u64,
+    last_tid: Option<TreeId>,
+    last_root_pre: u32,
+}
+
+impl PostingBuilder {
+    /// Creates an empty builder for `coding`.
+    pub fn new(coding: Coding) -> Self {
+        Self {
+            coding,
+            buf: Vec::new(),
+            count: 0,
+            last_tid: None,
+            last_root_pre: 0,
+        }
+    }
+
+    /// Appends one occurrence. `nodes` lists `(values, order)` in
+    /// canonical key order; `nodes[0]` is the root.
+    ///
+    /// # Panics
+    /// Panics (debug) if pushes violate `(tid, root.pre)` order or
+    /// `nodes` is empty.
+    pub fn push(&mut self, tid: TreeId, nodes: &[(NodeVal, u8)]) {
+        debug_assert!(!nodes.is_empty());
+        let root_pre = nodes[0].0.pre;
+        if let Some(last) = self.last_tid {
+            debug_assert!(
+                tid > last || (tid == last && root_pre >= self.last_root_pre),
+                "postings must arrive in (tid, root.pre) order"
+            );
+            // Deduplication.
+            match self.coding {
+                Coding::FilterBased => {
+                    if tid == last {
+                        return;
+                    }
+                }
+                Coding::RootSplit => {
+                    if tid == last && root_pre == self.last_root_pre {
+                        return;
+                    }
+                }
+                Coding::SubtreeInterval => {}
+            }
+        }
+        let delta = tid - self.last_tid.unwrap_or(0);
+        varint::write_u32(&mut self.buf, delta);
+        match self.coding {
+            Coding::FilterBased => {}
+            Coding::RootSplit => {
+                let root = nodes[0].0;
+                varint::write_u32(&mut self.buf, root.pre);
+                varint::write_u32(&mut self.buf, root.post);
+                varint::write_u32(&mut self.buf, u32::from(root.level));
+            }
+            Coding::SubtreeInterval => {
+                for (val, order) in nodes {
+                    varint::write_u32(&mut self.buf, val.pre);
+                    varint::write_u32(&mut self.buf, val.post);
+                    varint::write_u32(&mut self.buf, u32::from(val.level));
+                    varint::write_u32(&mut self.buf, u32::from(*order));
+                }
+            }
+        }
+        self.count += 1;
+        self.last_tid = Some(tid);
+        self.last_root_pre = root_pre;
+    }
+
+    /// Number of postings kept (after deduplication).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Encoded size so far.
+    pub fn byte_len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Finalizes into list bytes.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Decodes a posting list produced by [`PostingBuilder`]. `key_nodes` is
+/// the key's node count (needed by the interval coding; ignored
+/// otherwise).
+pub fn decode_postings(coding: Coding, key_nodes: usize, bytes: &[u8]) -> PostingIter<'_> {
+    PostingIter {
+        coding,
+        key_nodes,
+        r: varint::Reader::new(bytes),
+        tid: 0,
+        first: true,
+    }
+}
+
+/// Iterator over decoded [`Posting`]s.
+pub struct PostingIter<'a> {
+    coding: Coding,
+    key_nodes: usize,
+    r: varint::Reader<'a>,
+    tid: TreeId,
+    first: bool,
+}
+
+impl Iterator for PostingIter<'_> {
+    type Item = Posting;
+
+    fn next(&mut self) -> Option<Posting> {
+        if self.r.is_empty() {
+            return None;
+        }
+        let delta = self.r.u32()?;
+        self.tid = if self.first { delta } else { self.tid + delta };
+        self.first = false;
+        match self.coding {
+            Coding::FilterBased => Some(Posting::Tid(self.tid)),
+            Coding::RootSplit => {
+                let pre = self.r.u32()?;
+                let post = self.r.u32()?;
+                let level = self.r.u32()? as u16;
+                Some(Posting::Root {
+                    tid: self.tid,
+                    root: NodeVal { pre, post, level },
+                })
+            }
+            Coding::SubtreeInterval => {
+                let mut nodes = Vec::with_capacity(self.key_nodes);
+                for _ in 0..self.key_nodes {
+                    let pre = self.r.u32()?;
+                    let post = self.r.u32()?;
+                    let level = self.r.u32()? as u16;
+                    let order = self.r.u32()? as u8;
+                    nodes.push((NodeVal { pre, post, level }, order));
+                }
+                Some(Posting::Occurrence {
+                    tid: self.tid,
+                    nodes,
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nv(pre: u32, post: u32, level: u16) -> NodeVal {
+        NodeVal { pre, post, level }
+    }
+
+    #[test]
+    fn filter_coding_dedups_by_tid() {
+        let mut b = PostingBuilder::new(Coding::FilterBased);
+        b.push(3, &[(nv(0, 5, 0), 1)]);
+        b.push(3, &[(nv(2, 1, 1), 1)]);
+        b.push(7, &[(nv(0, 5, 0), 1)]);
+        assert_eq!(b.count(), 2);
+        let bytes = b.finish();
+        let got: Vec<Posting> = decode_postings(Coding::FilterBased, 1, &bytes).collect();
+        assert_eq!(got, vec![Posting::Tid(3), Posting::Tid(7)]);
+    }
+
+    #[test]
+    fn root_split_dedups_by_tid_and_pre() {
+        let mut b = PostingBuilder::new(Coding::RootSplit);
+        // Two occurrences sharing a root (e.g. NP(NN) over NP with two NNs
+        // would be one posting each, but the same key rooted at the same
+        // NP twice collapses).
+        b.push(1, &[(nv(4, 9, 2), 1), (nv(5, 7, 3), 2)]);
+        b.push(1, &[(nv(4, 9, 2), 1), (nv(6, 8, 3), 2)]);
+        b.push(1, &[(nv(9, 12, 2), 1), (nv(10, 11, 3), 2)]);
+        b.push(2, &[(nv(0, 3, 0), 1), (nv(1, 2, 1), 2)]);
+        assert_eq!(b.count(), 3);
+        let bytes = b.finish();
+        let got: Vec<Posting> = decode_postings(Coding::RootSplit, 2, &bytes).collect();
+        assert_eq!(
+            got,
+            vec![
+                Posting::Root { tid: 1, root: nv(4, 9, 2) },
+                Posting::Root { tid: 1, root: nv(9, 12, 2) },
+                Posting::Root { tid: 2, root: nv(0, 3, 0) },
+            ]
+        );
+    }
+
+    #[test]
+    fn interval_coding_keeps_every_occurrence() {
+        let mut b = PostingBuilder::new(Coding::SubtreeInterval);
+        let occ1 = [(nv(4, 9, 2), 1), (nv(5, 7, 3), 2)];
+        let occ2 = [(nv(4, 9, 2), 1), (nv(6, 8, 3), 2)];
+        b.push(1, &occ1);
+        b.push(1, &occ2);
+        assert_eq!(b.count(), 2);
+        let bytes = b.finish();
+        let got: Vec<Posting> = decode_postings(Coding::SubtreeInterval, 2, &bytes).collect();
+        assert_eq!(
+            got,
+            vec![
+                Posting::Occurrence { tid: 1, nodes: occ1.to_vec() },
+                Posting::Occurrence { tid: 1, nodes: occ2.to_vec() },
+            ]
+        );
+    }
+
+    #[test]
+    fn posting_sizes_ranked_as_in_figure_8() {
+        // For the same occurrences: filter <= root-split <= interval.
+        let occs: Vec<(TreeId, Vec<(NodeVal, u8)>)> = (0..100u32)
+            .map(|i| {
+                // Three occurrences per tree with ascending root pre.
+                let pre = (i % 3) * 4;
+                (
+                    i / 3,
+                    vec![
+                        (nv(pre, pre + 3, 1), 1),
+                        (nv(pre + 1, pre + 1, 2), 2),
+                        (nv(pre + 2, pre + 2, 2), 3),
+                    ],
+                )
+            })
+            .collect();
+        let mut sizes = Vec::new();
+        for coding in [Coding::FilterBased, Coding::RootSplit, Coding::SubtreeInterval] {
+            let mut b = PostingBuilder::new(coding);
+            for (tid, nodes) in &occs {
+                b.push(*tid, nodes);
+            }
+            sizes.push(b.finish().len());
+        }
+        assert!(sizes[0] < sizes[1], "filter < root-split: {sizes:?}");
+        assert!(sizes[1] < sizes[2], "root-split < interval: {sizes:?}");
+    }
+
+    #[test]
+    fn node_val_relations() {
+        let root = nv(0, 10, 0);
+        let child = nv(1, 4, 1);
+        let grandchild = nv(2, 3, 2);
+        assert!(root.is_ancestor_of(&child));
+        assert!(root.is_ancestor_of(&grandchild));
+        assert!(root.is_parent_of(&child));
+        assert!(!root.is_parent_of(&grandchild));
+        assert!(!child.is_ancestor_of(&root));
+        assert!(!child.is_ancestor_of(&child));
+    }
+
+    #[test]
+    fn empty_list_decodes_empty() {
+        assert_eq!(decode_postings(Coding::FilterBased, 1, &[]).count(), 0);
+        assert_eq!(decode_postings(Coding::RootSplit, 1, &[]).count(), 0);
+    }
+
+    #[test]
+    fn large_tid_gaps_round_trip() {
+        let mut b = PostingBuilder::new(Coding::FilterBased);
+        for tid in [0u32, 1, 1_000_000, 4_000_000_000] {
+            b.push(tid, &[(nv(0, 0, 0), 1)]);
+        }
+        let bytes = b.finish();
+        let got: Vec<Posting> = decode_postings(Coding::FilterBased, 1, &bytes).collect();
+        assert_eq!(
+            got,
+            vec![
+                Posting::Tid(0),
+                Posting::Tid(1),
+                Posting::Tid(1_000_000),
+                Posting::Tid(4_000_000_000)
+            ]
+        );
+    }
+}

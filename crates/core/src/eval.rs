@@ -1,0 +1,489 @@
+//! Query evaluation over a [`SubtreeIndex`] (§4.3).
+//!
+//! The two phases of the paper:
+//!
+//! 1. **decomposition** — [`crate::cover::decompose`] picks the cover for
+//!    the index's coding scheme and every cover subtree's posting list is
+//!    fetched from the B+Tree;
+//! 2. **join** — posting lists become tuple streams and a left-deep plan
+//!    (smallest stream first, connected steps only) reduces them with
+//!    equality and structural joins; filter-based coding instead
+//!    intersects tid lists and runs the *filtering phase* (the in-memory
+//!    matcher) over candidate trees.
+//!
+//! The result of a query is the set of distinct `(tid, pre)` pairs its
+//! root maps to (DESIGN.md §5). Same-label sibling distinctness is
+//! enforced with root-level `!=` predicates (minRC patches the cover so
+//! the members are roots); a whole-tree post-validation fallback remains
+//! as a safety net and is reported via [`EvalStats::used_validation`].
+
+use std::collections::HashSet;
+
+use si_parsetree::TreeId;
+use si_query::matcher::Matcher;
+use si_query::{Axis, QNodeId, Query};
+
+use crate::build::SubtreeIndex;
+use crate::canonical::{automorphisms, decode_key};
+use crate::coding::{Coding, Posting};
+use crate::cover::{decompose, Cover};
+use crate::join::{intersect_tids, join, tid_cross_join, JoinKind, Pred, Tuple};
+
+/// Instrumentation of one evaluation.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Cover subtrees fetched.
+    pub covers: usize,
+    /// Binary joins executed.
+    pub joins: usize,
+    /// Postings decoded across all fetched lists.
+    pub postings_fetched: usize,
+    /// Trees materialized and matched in a validation/filtering phase.
+    pub validated_trees: usize,
+    /// Whether root-split fell back to post-validation (sibling-label
+    /// distinctness not expressible over roots; DESIGN.md §5).
+    pub used_validation: bool,
+}
+
+/// Matches plus statistics.
+#[derive(Debug, Clone, Default)]
+pub struct EvalResult {
+    /// Distinct `(tid, pre-of-query-root)` pairs, sorted.
+    pub matches: Vec<(TreeId, u32)>,
+    /// Evaluation statistics.
+    pub stats: EvalStats,
+}
+
+impl EvalResult {
+    /// Number of matches.
+    pub fn len(&self) -> usize {
+        self.matches.len()
+    }
+
+    /// Whether no match was found.
+    pub fn is_empty(&self) -> bool {
+        self.matches.is_empty()
+    }
+}
+
+/// Evaluates `query` against `index`. See the module docs.
+pub fn evaluate(index: &SubtreeIndex, query: &Query) -> si_storage::Result<EvalResult> {
+    let options = index.options();
+    let cover = decompose(query, options.mss, options.coding);
+    debug_assert_eq!(cover.validate(query, options.mss), Ok(()));
+    match options.coding {
+        Coding::FilterBased => eval_filter(index, query, &cover),
+        Coding::RootSplit | Coding::SubtreeInterval => eval_structural(index, query, &cover),
+    }
+}
+
+/// Filter-based evaluation: intersect tid lists, then the filtering
+/// phase (§4.4.1).
+fn eval_filter(
+    index: &SubtreeIndex,
+    query: &Query,
+    cover: &Cover,
+) -> si_storage::Result<EvalResult> {
+    let mut stats = EvalStats {
+        covers: cover.subtrees.len(),
+        ..EvalStats::default()
+    };
+    let mut lists: Vec<Vec<TreeId>> = Vec::with_capacity(cover.subtrees.len());
+    for st in &cover.subtrees {
+        let Some(postings) = index.postings(&st.key)? else {
+            return Ok(EvalResult { matches: Vec::new(), stats });
+        };
+        stats.postings_fetched += postings.len();
+        lists.push(
+            postings
+                .into_iter()
+                .map(|p| match p {
+                    Posting::Tid(tid) => tid,
+                    _ => unreachable!("filter index yields tid postings"),
+                })
+                .collect(),
+        );
+    }
+    stats.joins = lists.len().saturating_sub(1);
+    let candidates = intersect_tids(&lists);
+    let matches = validate_candidates(index, query, &candidates, &mut stats)?;
+    Ok(EvalResult { matches, stats })
+}
+
+/// The filtering / post-validation phase: fetch candidate trees from the
+/// data file and run the in-memory matcher.
+pub(crate) fn validate_candidates(
+    index: &SubtreeIndex,
+    query: &Query,
+    candidates: &[TreeId],
+    stats: &mut EvalStats,
+) -> si_storage::Result<Vec<(TreeId, u32)>> {
+    let mut matches = Vec::new();
+    for &tid in candidates {
+        let tree = index.store().get(tid)?;
+        stats.validated_trees += 1;
+        let matcher = Matcher::new(&tree, query);
+        for root in matcher.roots() {
+            matches.push((tid, root.0));
+        }
+    }
+    matches.sort_unstable();
+    matches.dedup();
+    Ok(matches)
+}
+
+/// A materialized posting stream: tuples plus the query node each slot
+/// binds.
+struct Stream {
+    qnodes: Vec<QNodeId>,
+    tuples: Vec<Tuple>,
+}
+
+/// Structural evaluation for root-split and subtree-interval codings.
+fn eval_structural(
+    index: &SubtreeIndex,
+    query: &Query,
+    cover: &Cover,
+) -> si_storage::Result<EvalResult> {
+    let coding = index.options().coding;
+    let mut stats = EvalStats {
+        covers: cover.subtrees.len(),
+        ..EvalStats::default()
+    };
+
+    // Cheap selectivity pre-pass (§7 future work): posting-list lengths
+    // come from leaf entries without decoding. A missing key means some
+    // cover subtree occurs nowhere — the query has no matches and the
+    // remaining (possibly huge) lists are never touched.
+    for st in &cover.subtrees {
+        if index.posting_len(&st.key)?.is_none() {
+            return Ok(EvalResult { matches: Vec::new(), stats });
+        }
+    }
+
+    // Materialize one stream per cover subtree, shortest posting list
+    // first, with a running semi-join on tids: a tree absent from any
+    // already-materialized stream can never survive the join phase, so
+    // its postings in later (longer) lists are skipped before tuple
+    // expansion. This is what makes selective queries cheap even when
+    // the cover also contains a very frequent key.
+    let mut fetch_order: Vec<usize> = (0..cover.subtrees.len()).collect();
+    {
+        let mut lens = Vec::with_capacity(cover.subtrees.len());
+        for st in &cover.subtrees {
+            lens.push(index.posting_len(&st.key)?.unwrap_or(0));
+        }
+        fetch_order.sort_by_key(|&i| lens[i]);
+    }
+    let mut streams_by_cover: Vec<Option<Stream>> = (0..cover.subtrees.len()).map(|_| None).collect();
+    let mut allowed_tids: Option<Vec<si_parsetree::TreeId>> = None;
+    for &ci in &fetch_order {
+        let st = &cover.subtrees[ci];
+        let Some(postings) = index.postings(&st.key)? else {
+            return Ok(EvalResult { matches: Vec::new(), stats });
+        };
+        stats.postings_fetched += postings.len();
+        let tid_ok = |tid: si_parsetree::TreeId| -> bool {
+            match &allowed_tids {
+                None => true,
+                Some(list) => list.binary_search(&tid).is_ok(),
+            }
+        };
+        let stream = match coding {
+            Coding::RootSplit => Stream {
+                qnodes: vec![st.root],
+                tuples: postings
+                    .into_iter()
+                    .filter_map(|p| match p {
+                        Posting::Root { tid, root } => tid_ok(tid)
+                            .then_some(Tuple { tid, slots: vec![root] }),
+                        _ => unreachable!("root-split index yields root postings"),
+                    })
+                    .collect(),
+            },
+            Coding::SubtreeInterval => {
+                let shape = decode_key(&st.key).expect("well-formed cover key");
+                // Each posting fixes one arbitrary assignment of data
+                // nodes to canonical positions; automorphic reassignments
+                // are equally valid and joins must see them all.
+                let autos = automorphisms(&shape, 720);
+                let mut tuples = Vec::new();
+                for p in postings {
+                    let Posting::Occurrence { tid, nodes } = p else {
+                        unreachable!("interval index yields occurrence postings")
+                    };
+                    if !tid_ok(tid) {
+                        continue;
+                    }
+                    for perm in &autos {
+                        tuples.push(Tuple {
+                            tid,
+                            slots: perm.iter().map(|&j| nodes[j].0).collect(),
+                        });
+                    }
+                }
+                Stream {
+                    qnodes: st.nodes.clone(),
+                    tuples,
+                }
+            }
+            Coding::FilterBased => unreachable!("handled by eval_filter"),
+        };
+        if stream.tuples.is_empty() {
+            return Ok(EvalResult { matches: Vec::new(), stats });
+        }
+        // Tids of this stream become the new allowed set (it is already
+        // a subset of the previous one).
+        let mut tids: Vec<si_parsetree::TreeId> = stream.tuples.iter().map(|t| t.tid).collect();
+        tids.dedup(); // posting order is tid-ascending
+        allowed_tids = Some(tids);
+        streams_by_cover[ci] = Some(stream);
+    }
+    let streams: Vec<Stream> = streams_by_cover
+        .into_iter()
+        .map(|s| s.expect("all covers materialized"))
+        .collect();
+
+    // Cross-stream predicates.
+    let (preds, needs_validation) = build_predicates(query, cover, &streams, coding);
+
+    // Left-deep join: smallest stream first, connected steps preferred.
+    let mut remaining: Vec<usize> = (0..streams.len()).collect();
+    remaining.sort_by_key(|&i| streams[i].tuples.len());
+    let first = remaining.remove(0);
+    let mut joined_qnodes = streams[first].qnodes.clone();
+    let mut joined = streams[first].tuples.clone();
+    let mut placed = vec![first];
+
+    while !remaining.is_empty() {
+        // Prefer the smallest stream connected by some predicate.
+        let next_pos = remaining
+            .iter()
+            .position(|&s| {
+                preds
+                    .iter()
+                    .any(|p| (p.a == s && placed.contains(&p.b)) || (p.b == s && placed.contains(&p.a)))
+            })
+            .unwrap_or(0);
+        let s = remaining.remove(next_pos);
+        let stream = &streams[s];
+
+        // Predicates between `s` and already-placed streams, split into
+        // one driving join condition plus residual filters (rewritten to
+        // combined slot indices). Parent/Ancestor predicates whose child
+        // end is already placed cannot drive our merge forms and become
+        // residuals.
+        let offset = joined_qnodes.len();
+        let slot_of_placed =
+            |q: QNodeId, qnodes: &[QNodeId]| -> Option<usize> { qnodes.iter().position(|&x| x == q) };
+        let mut driving: Option<(JoinKind, usize, usize)> = None;
+        let mut residuals: Vec<Pred> = Vec::new();
+        for p in preds.iter() {
+            let (placed_q, new_q, forward) = if p.b == s && placed.contains(&p.a) {
+                (p.aq, p.bq, true)
+            } else if p.a == s && placed.contains(&p.b) {
+                (p.bq, p.aq, false)
+            } else {
+                continue;
+            };
+            let Some(l) = slot_of_placed(placed_q, &joined_qnodes) else { continue };
+            let Some(rs) = stream.qnodes.iter().position(|&x| x == new_q) else { continue };
+            let r_combined = offset + rs;
+            match (p.kind, forward) {
+                (PredKind::Eq, _) => {
+                    if driving.is_none() {
+                        driving = Some((JoinKind::Eq, l, rs));
+                    } else {
+                        residuals.push(Pred::Eq(l, r_combined));
+                    }
+                }
+                (PredKind::Parent, true) => {
+                    if driving.is_none() {
+                        driving = Some((JoinKind::Parent, l, rs));
+                    } else {
+                        residuals.push(Pred::Parent(l, r_combined));
+                    }
+                }
+                (PredKind::Parent, false) => residuals.push(Pred::Parent(r_combined, l)),
+                (PredKind::Ancestor, true) => {
+                    if driving.is_none() {
+                        driving = Some((JoinKind::Ancestor, l, rs));
+                    } else {
+                        residuals.push(Pred::Ancestor(l, r_combined));
+                    }
+                }
+                (PredKind::Ancestor, false) => residuals.push(Pred::Ancestor(r_combined, l)),
+                (PredKind::Neq, _) => residuals.push(Pred::Neq(l, r_combined)),
+            }
+        }
+        joined = match driving {
+            Some((kind, l, r)) => join(
+                &joined,
+                &stream.tuples,
+                kind,
+                l,
+                r,
+                &residuals,
+                index.join_algo(),
+            ),
+            // Disconnected step (should not happen for valid covers):
+            // conjunction via per-tid cross product.
+            None => tid_cross_join(&joined, &stream.tuples, &residuals),
+        };
+        stats.joins += 1;
+        joined_qnodes.extend(stream.qnodes.iter().copied());
+        placed.push(s);
+        if joined.is_empty() {
+            return Ok(EvalResult { matches: Vec::new(), stats });
+        }
+    }
+
+    if needs_validation {
+        stats.used_validation = true;
+        let mut tids: Vec<TreeId> = joined.iter().map(|t| t.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        let matches = validate_candidates(index, query, &tids, &mut stats)?;
+        return Ok(EvalResult { matches, stats });
+    }
+
+    // Project the query root.
+    let root_slot = joined_qnodes
+        .iter()
+        .position(|&q| q == query.root())
+        .expect("query root exposed by its component's covers");
+    let mut set: HashSet<(TreeId, u32)> = HashSet::with_capacity(joined.len());
+    for t in &joined {
+        set.insert((t.tid, t.slots[root_slot].pre));
+    }
+    let mut matches: Vec<(TreeId, u32)> = set.into_iter().collect();
+    matches.sort_unstable();
+    Ok(EvalResult { matches, stats })
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PredKind {
+    Eq,
+    Parent,
+    Ancestor,
+    Neq,
+}
+
+/// A predicate between two streams: `kind` relates query node `aq`
+/// (exposed by stream `a`) to `bq` (exposed by stream `b`); for
+/// Parent/Ancestor, `aq` is the upper end.
+struct StreamPred {
+    a: usize,
+    b: usize,
+    aq: QNodeId,
+    bq: QNodeId,
+    kind: PredKind,
+}
+
+/// Derives all cross-stream predicates plus the validation flag.
+fn build_predicates(
+    query: &Query,
+    cover: &Cover,
+    streams: &[Stream],
+    coding: Coding,
+) -> (Vec<StreamPred>, bool) {
+    let exposed = |q: QNodeId| -> Vec<usize> {
+        streams
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.qnodes.contains(&q))
+            .map(|(i, _)| i)
+            .collect()
+    };
+    let mut preds: Vec<StreamPred> = Vec::new();
+
+    // Shared exposures: same query node in several streams.
+    for q in query.nodes() {
+        let ex = exposed(q);
+        for w in ex.windows(2) {
+            preds.push(StreamPred {
+                a: w[0],
+                b: w[1],
+                aq: q,
+                bq: q,
+                kind: PredKind::Eq,
+            });
+        }
+    }
+
+    // Query edges across streams.
+    for v in query.nodes().skip(1) {
+        let u = query.parent(v).expect("non-root");
+        let kind = match query.axis(v) {
+            Axis::Child => PredKind::Parent,
+            Axis::Descendant => PredKind::Ancestor,
+        };
+        for &a in &exposed(u) {
+            for &b in &exposed(v) {
+                if a != b {
+                    preds.push(StreamPred { a, b, aq: u, bq: v, kind });
+                }
+            }
+        }
+    }
+
+    // Same-label `/`-sibling distinctness (DESIGN.md §5).
+    let mut needs_validation = false;
+    for p in query.nodes() {
+        let kids: Vec<QNodeId> = query.children_via(p, Axis::Child).collect();
+        for (i, &u) in kids.iter().enumerate() {
+            for &v in &kids[i + 1..] {
+                if query.label(u) != query.label(v) {
+                    continue;
+                }
+                // Co-residence in one cover implies distinctness (an
+                // occurrence is a real subtree).
+                if cover.subtrees.iter().any(|s| s.contains(u) && s.contains(v)) {
+                    continue;
+                }
+                let eu = exposed(u);
+                let ev = exposed(v);
+                if eu.is_empty() || ev.is_empty() {
+                    needs_validation = true;
+                    continue;
+                }
+                for &a in &eu {
+                    for &b in &ev {
+                        if a != b {
+                            preds.push(StreamPred { a, b, aq: u, bq: v, kind: PredKind::Neq });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let _ = coding;
+    (preds, needs_validation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_result_len_and_emptiness() {
+        let r = EvalResult::default();
+        assert_eq!(r.len(), 0);
+        assert!(r.is_empty());
+        let r = EvalResult {
+            matches: vec![(0, 1), (2, 3)],
+            stats: EvalStats::default(),
+        };
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn stream_pred_kinds_are_distinct() {
+        // Guard against accidental re-ordering of the predicate enum —
+        // the join planner matches on these.
+        assert_ne!(PredKind::Eq, PredKind::Parent);
+        assert_ne!(PredKind::Parent, PredKind::Ancestor);
+        assert_ne!(PredKind::Ancestor, PredKind::Neq);
+    }
+}

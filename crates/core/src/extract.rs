@@ -1,0 +1,338 @@
+//! Enumeration of all rooted subtrees up to `mss` nodes (§4.1–4.2).
+//!
+//! A *subtree* (Definition 4, Figure 4) is a node of the data tree
+//! together with a connected set of its descendants, keeping only
+//! parent-child edges. For every node the enumeration produces every such
+//! subtree of size `1..=mss`; the subtree's canonical key
+//! ([`crate::canonical`]) identifies its index entry and the canonical
+//! node listing drives posting construction.
+//!
+//! The count per node grows with the branching factor (Figure 3) but
+//! parse trees keep branching small (§4.1), so complete enumeration is
+//! cheap — the property that makes subtree indexing feasible at all, in
+//! contrast to the arbitrary graphs of Williams et al. (ICDE 2007).
+
+use si_parsetree::varint;
+use si_parsetree::{NodeId, ParseTree};
+
+/// One enumerated subtree occurrence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubtreeRef {
+    /// Canonical key bytes identifying the index entry.
+    pub key: Vec<u8>,
+    /// Data nodes in canonical order; `nodes[0]` is the subtree root.
+    pub nodes: Vec<NodeId>,
+}
+
+impl SubtreeRef {
+    /// The subtree root within the data tree.
+    pub fn root(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Number of nodes.
+    pub fn size(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+/// Enumerates every subtree of size `1..=mss` of `tree`, roots in
+/// pre-order (subtrees sharing a root are adjacent). See
+/// [`for_each_subtree`] for the streaming variant used by index builds.
+pub fn extract_subtrees(tree: &ParseTree, mss: usize) -> Vec<SubtreeRef> {
+    let mut out = Vec::new();
+    for_each_subtree(tree, mss, |s| out.push(s.clone()));
+    out
+}
+
+/// Streaming enumeration: calls `f` for every subtree, roots in
+/// pre-order. Postings built from this order arrive sorted by
+/// `(tid, root.pre)`, the sort order the index stores.
+///
+/// # Panics
+/// Panics if `mss == 0`.
+pub fn for_each_subtree<F: FnMut(&SubtreeRef)>(tree: &ParseTree, mss: usize, mut f: F) {
+    assert!(mss >= 1, "mss must be at least 1");
+    let n = tree.len();
+    // items[v] = all subtrees rooted at v with size <= mss. Children have
+    // larger pre ids, so reverse pre-order is a valid bottom-up schedule.
+    let mut items: Vec<Vec<SubtreeRef>> = vec![Vec::new(); n];
+    for v in (0..n as u32).rev().map(NodeId) {
+        // A combo picks at most one enumerated subtree per child; the
+        // node itself plus the combo is a subtree rooted at v. Combos are
+        // tracked as (child pre, item index) pairs plus their total size.
+        let mut combos: Vec<(Vec<(u32, u32)>, usize)> = vec![(Vec::new(), 0)];
+        if mss > 1 {
+            for c in tree.children(v) {
+                let ci = c.0 as usize;
+                let mut extended = Vec::new();
+                for (combo, used) in &combos {
+                    for (ii, item) in items[ci].iter().enumerate() {
+                        if used + item.size() < mss {
+                            let mut e = combo.clone();
+                            e.push((c.0, ii as u32));
+                            extended.push((e, used + item.size()));
+                        }
+                    }
+                }
+                combos.extend(extended);
+            }
+        }
+        let mut my_items = Vec::with_capacity(combos.len());
+        for (combo, total) in combos {
+            let mut blocks: Vec<&SubtreeRef> = combo
+                .iter()
+                .map(|&(c, i)| &items[c as usize][i as usize])
+                .collect();
+            // Canonical child order: lexicographic on encoded blocks,
+            // matching `canonical::canon_encode`.
+            blocks.sort_by(|a, b| a.key.cmp(&b.key));
+            let size = total + 1;
+            let mut key =
+                Vec::with_capacity(8 + blocks.iter().map(|b| b.key.len()).sum::<usize>());
+            varint::write_u32(&mut key, tree.label(v).id());
+            varint::write_u64(&mut key, size as u64);
+            let mut nodes = Vec::with_capacity(size);
+            nodes.push(v);
+            for b in blocks {
+                key.extend_from_slice(&b.key);
+                nodes.extend_from_slice(&b.nodes);
+            }
+            my_items.push(SubtreeRef { key, nodes });
+        }
+        items[v.0 as usize] = my_items;
+    }
+    for node_items in &items {
+        for item in node_items {
+            f(item);
+        }
+    }
+}
+
+/// Number of subtrees of each size rooted at `v` (index `s` holds the
+/// count for size `s`; index 0 unused). Drives Figure 3.
+pub fn count_by_size(tree: &ParseTree, v: NodeId, mss: usize) -> Vec<u64> {
+    let mut counts = vec![0u64; mss + 1];
+    // Cheap local DP: counts per size for subtrees rooted at each node.
+    fn counts_at(tree: &ParseTree, v: NodeId, mss: usize, memo: &mut Vec<Option<Vec<u64>>>) -> Vec<u64> {
+        if let Some(c) = &memo[v.0 as usize] {
+            return c.clone();
+        }
+        // dp[s] = number of child combos of total size s.
+        let mut dp = vec![0u64; mss];
+        dp[0] = 1;
+        for c in tree.children(v) {
+            let child = counts_at(tree, c, mss, memo);
+            let mut next = dp.clone();
+            for s in 0..mss {
+                if dp[s] == 0 {
+                    continue;
+                }
+                for (cs, &cc) in child.iter().enumerate().skip(1) {
+                    if s + cs < mss {
+                        next[s + cs] += dp[s] * cc;
+                    }
+                }
+            }
+            dp = next;
+        }
+        let mut out = vec![0u64; mss + 1];
+        for (s, &v) in dp.iter().enumerate() {
+            out[s + 1] = v;
+        }
+        memo[v.0 as usize] = Some(out.clone());
+        out
+    }
+    let mut memo = vec![None; tree.len()];
+    let at = counts_at(tree, v, mss, &mut memo);
+    counts[..(mss + 1)].copy_from_slice(&at[..(mss + 1)]);
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canonical::{canon_encode, key_size};
+    use si_parsetree::{ptb, LabelInterner, ParseTree};
+    use std::collections::HashSet;
+
+    fn parse(src: &str) -> (ParseTree, LabelInterner) {
+        let mut li = LabelInterner::new();
+        let t = ptb::parse(src, &mut li).unwrap();
+        (t, li)
+    }
+
+    /// Brute-force baseline: enumerate connected rooted node sets.
+    fn brute_force(tree: &ParseTree, mss: usize) -> HashSet<Vec<u32>> {
+        let mut all = HashSet::new();
+        for root in tree.nodes() {
+            // BFS over subsets: grow sets by adding children of members.
+            let mut sets: Vec<Vec<NodeId>> = vec![vec![root]];
+            let mut seen: HashSet<Vec<u32>> = HashSet::new();
+            while let Some(set) = sets.pop() {
+                let mut ids: Vec<u32> = set.iter().map(|n| n.0).collect();
+                ids.sort_unstable();
+                if !seen.insert(ids.clone()) {
+                    continue;
+                }
+                all.insert(ids);
+                if set.len() == mss {
+                    continue;
+                }
+                for &m in &set {
+                    for c in tree.children(m) {
+                        if !set.contains(&c) {
+                            let mut bigger = set.clone();
+                            bigger.push(c);
+                            sets.push(bigger);
+                        }
+                    }
+                }
+            }
+        }
+        all
+    }
+
+    #[test]
+    fn figure_4_style_key_extraction() {
+        // Figure 4 shows an 8-node tree whose size-2 keys are one per
+        // edge modulo symmetry and whose unique-key counts shrink
+        // relative to occurrence counts. We verify those structural facts
+        // on a similar 8-node tree.
+        let (t, _) = parse("(A (C (A) (B)) (B (A (C) (D))))");
+        let subtrees = extract_subtrees(&t, 5);
+        let by_size = |s: usize| subtrees.iter().filter(|x| x.size() == s).count();
+        assert_eq!(by_size(1), 8); // one per node
+        assert_eq!(by_size(2), 7); // one per edge
+        let unique = |s: usize| {
+            subtrees
+                .iter()
+                .filter(|x| x.size() == s)
+                .map(|x| x.key.clone())
+                .collect::<HashSet<_>>()
+                .len()
+        };
+        // Duplicate structures (two A(C) edges, two A(B)-shaped edges)
+        // collapse under canonical keying.
+        assert!(unique(2) < by_size(2));
+        assert_eq!(unique(1), 4); // labels A, B, C, D
+        // Unique counts can never exceed occurrence counts.
+        for s in 1..=5 {
+            assert!(unique(s) <= by_size(s), "size {s}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_trees() {
+        for src in [
+            "(A (B) (C))",
+            "(A (B (C) (D)) (E))",
+            "(S (NP (DT) (NN)) (VP (VBZ) (NP (NN))))",
+            "(A (A (A (A))))",
+            "(A (B) (B) (B))",
+        ] {
+            let (t, _) = parse(src);
+            for mss in 1..=4 {
+                let ours: HashSet<Vec<u32>> = extract_subtrees(&t, mss)
+                    .into_iter()
+                    .map(|s| {
+                        let mut ids: Vec<u32> = s.nodes.iter().map(|n| n.0).collect();
+                        ids.sort_unstable();
+                        ids
+                    })
+                    .collect();
+                let want = brute_force(&t, mss);
+                assert_eq!(ours, want, "{src} mss={mss}");
+            }
+        }
+    }
+
+    #[test]
+    fn keys_agree_with_canon_encode() {
+        let (t, _) = parse("(S (NP (DT) (NN)) (VP (VBZ)))");
+        // Full-tree extraction at mss = tree size includes the whole tree,
+        // whose key must equal canon_encode of the tree itself.
+        let subtrees = extract_subtrees(&t, t.len());
+        let (full_key, _) = canon_encode(
+            t.root(),
+            &|n| t.label(n).id(),
+            &|n| t.children(n).collect::<Vec<_>>(),
+        );
+        assert!(
+            subtrees.iter().any(|s| s.key == full_key),
+            "whole tree enumerated with canonical key"
+        );
+        for s in &subtrees {
+            assert_eq!(key_size(&s.key), Some(s.size()));
+            assert_eq!(s.nodes[0], s.root());
+        }
+    }
+
+    #[test]
+    fn unary_chain_has_linear_counts() {
+        // A chain of n nodes has n - m + 1 subtrees of size m (§4.1).
+        let (t, _) = parse("(A (B (C (D (E)))))");
+        for mss in 1..=5 {
+            let subtrees = extract_subtrees(&t, mss);
+            let count_m = subtrees.iter().filter(|s| s.size() == mss).count();
+            assert_eq!(count_m, 5 - mss + 1, "mss={mss}");
+        }
+    }
+
+    #[test]
+    fn flat_fanout_has_binomial_counts() {
+        // Root with 5 leaf children: C(5, m-1) subtrees of size m.
+        let (t, _) = parse("(A (B) (C) (D) (E) (F))");
+        let subtrees = extract_subtrees(&t, 4);
+        let rooted_at_root =
+            |s: usize| subtrees.iter().filter(|x| x.size() == s && x.root() == t.root()).count();
+        assert_eq!(rooted_at_root(2), 5);
+        assert_eq!(rooted_at_root(3), 10);
+        assert_eq!(rooted_at_root(4), 10);
+    }
+
+    #[test]
+    fn symmetric_occurrences_share_one_key() {
+        // A(B)(C) and A(C)(B) are the same unordered key (Figure 4).
+        let mut li = LabelInterner::new();
+        let t1 = ptb::parse("(A (B) (C))", &mut li).unwrap();
+        let t2 = ptb::parse("(A (C) (B))", &mut li).unwrap();
+        let k1: HashSet<Vec<u8>> = extract_subtrees(&t1, 3).into_iter().map(|s| s.key).collect();
+        let k2: HashSet<Vec<u8>> = extract_subtrees(&t2, 3).into_iter().map(|s| s.key).collect();
+        assert_eq!(k1, k2);
+    }
+
+    #[test]
+    #[allow(clippy::needless_range_loop)]
+    fn count_by_size_matches_enumeration() {
+        let (t, _) = parse("(S (NP (DT) (NN)) (VP (VBZ) (NP (NN))))");
+        let subtrees = extract_subtrees(&t, 4);
+        for v in t.nodes() {
+            let counts = count_by_size(&t, v, 4);
+            for s in 1..=4 {
+                let actual = subtrees
+                    .iter()
+                    .filter(|x| x.root() == v && x.size() == s)
+                    .count() as u64;
+                assert_eq!(counts[s], actual, "node {} size {s}", v.0);
+            }
+        }
+    }
+
+    #[test]
+    fn roots_arrive_in_preorder() {
+        let (t, _) = parse("(S (NP (DT) (NN)) (VP (VBZ)))");
+        let subtrees = extract_subtrees(&t, 3);
+        let roots: Vec<u32> = subtrees.iter().map(|s| s.root().0).collect();
+        let mut sorted = roots.clone();
+        sorted.sort_unstable();
+        assert_eq!(roots, sorted);
+    }
+
+    #[test]
+    #[should_panic(expected = "mss must be at least 1")]
+    fn zero_mss_panics() {
+        let (t, _) = parse("(A)");
+        extract_subtrees(&t, 0);
+    }
+}

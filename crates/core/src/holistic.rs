@@ -1,0 +1,381 @@
+//! Holistic twig evaluation — the paper's §7 future-work item
+//! ("adapting more efficient structural join approaches such as
+//! TwigStack [5] over our subtree index").
+//!
+//! A cascade of binary structural joins can build intermediate results
+//! much larger than the final answer (the problem TwigStack was designed
+//! to avoid). This module evaluates a whole *twig* of root-split streams
+//! **bottom-up with intermediate state linear in the input size**: for
+//! every twig node it computes the set of stream entries that satisfy
+//! the entire twig below them, using one sorted sweep per edge.
+//!
+//! For the Subtree Index's result semantics (distinct bindings of the
+//! twig root) this produces exactly the binary-join cascade's answer:
+//! a stream entry `v` satisfies an `Ancestor`/`Parent` edge iff some
+//! *satisfied* child entry lies inside `v`'s interval, which the
+//! properly-nested interval structure lets us decide with a suffix
+//! minimum over `post` values — no per-pair work at all.
+//!
+//! The cascade remains the engine default (it also handles equality
+//! joins and residual predicates); this evaluator is exercised by the
+//! tests below and usable wherever a pure structural twig arises.
+
+use si_parsetree::TreeId;
+
+use crate::coding::NodeVal;
+
+/// Edge type above a twig node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TwigAxis {
+    /// Parent-child: the parent binding must be the node's parent.
+    Child,
+    /// Ancestor-descendant (proper).
+    Descendant,
+}
+
+/// One twig node; node 0 is the root and parents precede children.
+#[derive(Debug, Clone)]
+pub struct TwigNode {
+    /// Parent twig node (`None` for the root).
+    pub parent: Option<usize>,
+    /// Axis of the edge from the parent (ignored for the root).
+    pub axis: TwigAxis,
+}
+
+/// A twig pattern over positional streams.
+#[derive(Debug, Clone)]
+pub struct Twig {
+    nodes: Vec<TwigNode>,
+}
+
+impl Twig {
+    /// Builds a twig; validates that node 0 is the root and every
+    /// parent index precedes its child.
+    ///
+    /// # Panics
+    /// Panics on malformed structure (programming error).
+    pub fn new(nodes: Vec<TwigNode>) -> Self {
+        assert!(!nodes.is_empty(), "twig needs at least a root");
+        assert!(nodes[0].parent.is_none(), "node 0 must be the root");
+        for (i, n) in nodes.iter().enumerate().skip(1) {
+            let p = n.parent.expect("non-root twig node needs a parent");
+            assert!(p < i, "parents must precede children");
+        }
+        Self { nodes }
+    }
+
+    /// Number of twig nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the twig is empty (never: construction requires a root).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    fn children(&self, q: usize) -> impl Iterator<Item = usize> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(move |(_, n)| n.parent == Some(q))
+            .map(|(i, _)| i)
+    }
+}
+
+/// Evaluates `twig` over one stream per twig node (entries sorted by
+/// `(tid, pre)`, as posting lists are stored). Returns the distinct
+/// `(tid, root binding)` pairs, sorted.
+pub fn eval_twig(twig: &Twig, streams: &[Vec<(TreeId, NodeVal)>]) -> Vec<(TreeId, NodeVal)> {
+    assert_eq!(streams.len(), twig.len(), "one stream per twig node");
+    // sat[q] = entries of stream q satisfying the whole twig below q,
+    // computed bottom-up (children have larger indices).
+    let mut sat: Vec<Vec<(TreeId, NodeVal)>> = streams.to_vec();
+    for q in (0..twig.len()).rev() {
+        for c in twig.children(q).collect::<Vec<_>>() {
+            let axis = twig.nodes[c].axis;
+            let child_sat = std::mem::take(&mut sat[c]);
+            let parents = std::mem::take(&mut sat[q]);
+            sat[q] = filter_by_child(&parents, &child_sat, axis);
+            sat[c] = child_sat;
+            if sat[q].is_empty() {
+                break;
+            }
+        }
+    }
+    let mut out = std::mem::take(&mut sat[0]);
+    out.sort_by_key(|(tid, v)| (*tid, v.pre));
+    out.dedup_by_key(|(tid, v)| (*tid, v.pre));
+    out
+}
+
+/// Keeps the parent entries that contain at least one satisfied child
+/// entry under `axis`. One merge sweep per tid group plus a suffix
+/// minimum over child `post` values: `p` has a descendant in `c[]` iff
+/// some child entry with `pre > p.pre` has `post < p.post` — nested
+/// intervals guarantee such an entry lies inside `p`.
+fn filter_by_child(
+    parents: &[(TreeId, NodeVal)],
+    children: &[(TreeId, NodeVal)],
+    axis: TwigAxis,
+) -> Vec<(TreeId, NodeVal)> {
+    let mut out = Vec::new();
+    let mut ci = 0usize; // start of the current tid group in children
+    for pgroup in group_by_tid(parents) {
+        let tid = pgroup[0].0;
+        // Advance to the child group of this tid.
+        while ci < children.len() && children[ci].0 < tid {
+            ci += 1;
+        }
+        let cstart = ci;
+        let mut cend = ci;
+        while cend < children.len() && children[cend].0 == tid {
+            cend += 1;
+        }
+        let cgroup = &children[cstart..cend];
+        if cgroup.is_empty() {
+            continue;
+        }
+        match axis {
+            TwigAxis::Descendant => {
+                // suffix_min_post[i] = min post over cgroup[i..].
+                let mut suffix_min = vec![u32::MAX; cgroup.len() + 1];
+                for i in (0..cgroup.len()).rev() {
+                    suffix_min[i] = suffix_min[i + 1].min(cgroup[i].1.post);
+                }
+                for &(ptid, pv) in pgroup {
+                    // First child with pre > p.pre (cgroup sorted by pre).
+                    let idx = cgroup.partition_point(|(_, cv)| cv.pre <= pv.pre);
+                    if suffix_min[idx] < pv.post {
+                        out.push((ptid, pv));
+                    }
+                }
+            }
+            TwigAxis::Child => {
+                // Same sweep, but restricted to entries one level below;
+                // group child entries by level first.
+                let mut by_level: std::collections::HashMap<u16, Vec<NodeVal>> =
+                    std::collections::HashMap::new();
+                for &(_, cv) in cgroup {
+                    by_level.entry(cv.level).or_default().push(cv);
+                }
+                let mut suffix: std::collections::HashMap<u16, (Vec<NodeVal>, Vec<u32>)> =
+                    std::collections::HashMap::new();
+                for (level, vals) in by_level {
+                    let mut mins = vec![u32::MAX; vals.len() + 1];
+                    for i in (0..vals.len()).rev() {
+                        mins[i] = mins[i + 1].min(vals[i].post);
+                    }
+                    suffix.insert(level, (vals, mins));
+                }
+                for &(ptid, pv) in pgroup {
+                    if let Some((vals, mins)) = suffix.get(&(pv.level + 1)) {
+                        let idx = vals.partition_point(|cv| cv.pre <= pv.pre);
+                        if mins[idx] < pv.post {
+                            out.push((ptid, pv));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Splits a `(tid, pre)`-sorted slice into per-tid groups.
+fn group_by_tid(entries: &[(TreeId, NodeVal)]) -> impl Iterator<Item = &[(TreeId, NodeVal)]> {
+    let mut rest = entries;
+    std::iter::from_fn(move || {
+        if rest.is_empty() {
+            return None;
+        }
+        let tid = rest[0].0;
+        let split = rest.partition_point(|(t, _)| *t == tid);
+        let (group, tail) = rest.split_at(split);
+        rest = tail;
+        Some(group)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_parsetree::{ptb, LabelInterner, ParseTree};
+
+    fn stream_for(trees: &[ParseTree], li: &LabelInterner, label: &str) -> Vec<(TreeId, NodeVal)> {
+        let l = li.get(label).expect("label exists");
+        let mut out = Vec::new();
+        for (tid, t) in trees.iter().enumerate() {
+            for n in t.nodes() {
+                if t.label(n) == l {
+                    out.push((
+                        tid as TreeId,
+                        NodeVal {
+                            pre: t.pre(n),
+                            post: t.post(n),
+                            level: t.level(n),
+                        },
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// Naive twig evaluation for cross-checking.
+    fn naive(twig: &Twig, streams: &[Vec<(TreeId, NodeVal)>]) -> Vec<(TreeId, NodeVal)> {
+        fn satisfies(
+            twig: &Twig,
+            streams: &[Vec<(TreeId, NodeVal)>],
+            q: usize,
+            tid: TreeId,
+            v: NodeVal,
+        ) -> bool {
+            twig.children(q).all(|c| {
+                streams[c].iter().any(|&(ctid, cv)| {
+                    ctid == tid
+                        && match twig.nodes[c].axis {
+                            TwigAxis::Descendant => v.is_ancestor_of(&cv),
+                            TwigAxis::Child => v.is_parent_of(&cv),
+                        }
+                        && satisfies(twig, streams, c, tid, cv)
+                })
+            })
+        }
+        let mut out: Vec<(TreeId, NodeVal)> = streams[0]
+            .iter()
+            .copied()
+            .filter(|&(tid, v)| satisfies(twig, streams, 0, tid, v))
+            .collect();
+        out.sort_by_key(|(tid, v)| (*tid, v.pre));
+        out.dedup_by_key(|(tid, v)| (*tid, v.pre));
+        out
+    }
+
+    fn corpus() -> (Vec<ParseTree>, LabelInterner) {
+        let mut li = LabelInterner::new();
+        let trees = vec![
+            ptb::parse("(S (NP (DT a) (NN b)) (VP (VBZ c) (NP (NN d))))", &mut li).unwrap(),
+            ptb::parse("(S (VP (NP (DT e))) (NP (JJ f)))", &mut li).unwrap(),
+            ptb::parse("(NP (NP (NN g)))", &mut li).unwrap(),
+        ];
+        (trees, li)
+    }
+
+    #[test]
+    fn single_edge_descendant() {
+        let (trees, li) = corpus();
+        let twig = Twig::new(vec![
+            TwigNode { parent: None, axis: TwigAxis::Child },
+            TwigNode { parent: Some(0), axis: TwigAxis::Descendant },
+        ]);
+        let streams = vec![stream_for(&trees, &li, "S"), stream_for(&trees, &li, "NN")];
+        let got = eval_twig(&twig, &streams);
+        assert_eq!(got, naive(&twig, &streams));
+        assert_eq!(got.len(), 1); // only tree 0's S dominates an NN
+    }
+
+    #[test]
+    fn parent_axis_checks_levels() {
+        let (trees, li) = corpus();
+        let twig = Twig::new(vec![
+            TwigNode { parent: None, axis: TwigAxis::Child },
+            TwigNode { parent: Some(0), axis: TwigAxis::Child },
+        ]);
+        // NP with a *direct* NN child: tree 0 (NP->NN twice? one NP), tree 2 inner NP.
+        let streams = vec![stream_for(&trees, &li, "NP"), stream_for(&trees, &li, "NN")];
+        let got = eval_twig(&twig, &streams);
+        assert_eq!(got, naive(&twig, &streams));
+        assert_eq!(got.len(), 3); // two NPs in tree 0, inner NP in tree 2
+    }
+
+    #[test]
+    fn branching_twig() {
+        let (trees, li) = corpus();
+        // S(//NP)(//VP) — both branches must be satisfied.
+        let twig = Twig::new(vec![
+            TwigNode { parent: None, axis: TwigAxis::Child },
+            TwigNode { parent: Some(0), axis: TwigAxis::Descendant },
+            TwigNode { parent: Some(0), axis: TwigAxis::Descendant },
+        ]);
+        let streams = vec![
+            stream_for(&trees, &li, "S"),
+            stream_for(&trees, &li, "NP"),
+            stream_for(&trees, &li, "VP"),
+        ];
+        let got = eval_twig(&twig, &streams);
+        assert_eq!(got, naive(&twig, &streams));
+        assert_eq!(got.len(), 2); // both S trees have NP and VP below
+    }
+
+    #[test]
+    fn deep_twig_chain() {
+        let (trees, li) = corpus();
+        // S // VP / NP — chain mixing axes.
+        let twig = Twig::new(vec![
+            TwigNode { parent: None, axis: TwigAxis::Child },
+            TwigNode { parent: Some(0), axis: TwigAxis::Descendant },
+            TwigNode { parent: Some(1), axis: TwigAxis::Child },
+        ]);
+        let streams = vec![
+            stream_for(&trees, &li, "S"),
+            stream_for(&trees, &li, "VP"),
+            stream_for(&trees, &li, "NP"),
+        ];
+        let got = eval_twig(&twig, &streams);
+        assert_eq!(got, naive(&twig, &streams));
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn empty_stream_kills_everything() {
+        let (trees, li) = corpus();
+        let twig = Twig::new(vec![
+            TwigNode { parent: None, axis: TwigAxis::Child },
+            TwigNode { parent: Some(0), axis: TwigAxis::Descendant },
+        ]);
+        let streams = vec![stream_for(&trees, &li, "S"), Vec::new()];
+        assert!(eval_twig(&twig, &streams).is_empty());
+    }
+
+    #[test]
+    fn agrees_with_naive_on_random_twigs() {
+        // Pseudo-random twigs over the generated corpus labels.
+        let corpus = si_corpus::GeneratorConfig::default().with_seed(61).generate(40);
+        let li = corpus.interner().clone();
+        let labels = ["S", "NP", "VP", "NN", "DT", "PP", "IN"];
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut rnd = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _case in 0..40 {
+            let n = 2 + (rnd() % 3) as usize;
+            let mut nodes = vec![TwigNode { parent: None, axis: TwigAxis::Child }];
+            for i in 1..n {
+                nodes.push(TwigNode {
+                    parent: Some((rnd() % i as u64) as usize),
+                    axis: if rnd() % 2 == 0 { TwigAxis::Child } else { TwigAxis::Descendant },
+                });
+            }
+            let twig = Twig::new(nodes);
+            let streams: Vec<Vec<(TreeId, NodeVal)>> = (0..n)
+                .map(|_| stream_for(corpus.trees(), &li, labels[(rnd() % 7) as usize]))
+                .collect();
+            assert_eq!(eval_twig(&twig, &streams), naive(&twig, &streams));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "parents must precede children")]
+    fn malformed_twig_rejected() {
+        // Node 1 claims node 2 (a later node) as its parent.
+        Twig::new(vec![
+            TwigNode { parent: None, axis: TwigAxis::Child },
+            TwigNode { parent: Some(2), axis: TwigAxis::Child },
+            TwigNode { parent: Some(0), axis: TwigAxis::Child },
+        ]);
+    }
+}

@@ -1,0 +1,30 @@
+//! The Subtree Index (SI) — the paper's primary contribution.
+//!
+//! * [`extract`] — enumeration of all unique rooted subtrees of sizes
+//!   `1..=mss` (§4.1–4.2, Figures 2–4);
+//! * [`canonical`] — canonical unordered subtree encoding used as B+Tree
+//!   keys (§4.2);
+//! * [`coding`] — the three posting-list coding schemes (§4.4):
+//!   filter-based, subtree interval and root-split;
+//! * [`build`] — index construction (§4.2, §6.2);
+//! * [`cover`] — query decomposition: covers, `assign`, `optimalCover`,
+//!   `minRC` (§5);
+//! * [`join`] — MPMGJN and stack-based structural joins plus sort-merge
+//!   equality joins (§2);
+//! * [`eval`] — the query processor tying decomposition, posting access
+//!   and joins together (§4.3).
+
+pub mod build;
+pub mod build_ext;
+pub mod canonical;
+pub mod coding;
+pub mod cover;
+pub mod eval;
+pub mod extract;
+pub mod holistic;
+pub mod join;
+
+pub use build::{IndexOptions, IndexStats, SubtreeIndex};
+pub use coding::Coding;
+pub use cover::{minrc, optimal_cover, Cover, CoverSubtree};
+pub use extract::{extract_subtrees, SubtreeRef};

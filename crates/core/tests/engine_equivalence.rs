@@ -1,0 +1,307 @@
+//! Differential tests: every coding scheme must produce exactly the
+//! match set the in-memory matcher computes, across corpora, `mss`
+//! values and query shapes — the core exactness claim of the paper
+//! ("our subtree interval and root-split codings remove the need for
+//! post-validations" while staying exact).
+
+use si_core::{Coding, IndexOptions, SubtreeIndex};
+use si_corpus::GeneratorConfig;
+use si_parsetree::{LabelInterner, ParseTree, TreeId};
+use si_query::{matcher::Matcher, parse_query, Query};
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "si-equiv-{name}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .subsec_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn ground_truth(trees: &[ParseTree], query: &Query) -> Vec<(TreeId, u32)> {
+    let mut out = Vec::new();
+    for (tid, tree) in trees.iter().enumerate() {
+        for root in Matcher::new(tree, query).roots() {
+            out.push((tid as TreeId, root.0));
+        }
+    }
+    out
+}
+
+/// Builds indexes for every (coding, mss) combination and checks every
+/// query against the matcher.
+fn check_all(trees: &[ParseTree], interner: &LabelInterner, queries: &[&str], msses: &[usize]) {
+    let mut qi = interner.clone();
+    let parsed: Vec<(String, Query)> = queries
+        .iter()
+        .map(|q| ((*q).to_string(), parse_query(q, &mut qi).unwrap()))
+        .collect();
+    for &mss in msses {
+        for coding in Coding::ALL {
+            let dir = tmp_dir(&format!("{coding:?}-{mss}").to_lowercase());
+            let index =
+                SubtreeIndex::build(&dir, trees, &qi, IndexOptions::new(mss, coding)).unwrap();
+            for (text, query) in &parsed {
+                let expect = ground_truth(trees, query);
+                let got = index.evaluate(query).unwrap();
+                assert_eq!(
+                    got.matches, expect,
+                    "query {text} under {coding} mss={mss}"
+                );
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+#[test]
+fn handcrafted_corpus_all_codings() {
+    let mut li = LabelInterner::new();
+    let srcs = [
+        "(S (NP (DT the) (NN dog)) (VP (VBZ barks)))",
+        "(S (NP (NNS agouti)) (VP (VBZ is) (NP (DT a) (JJ small) (NN rodent))))",
+        "(S (NP (NN cat)) (VP (VBD sat) (PP (IN on) (NP (DT the) (NN mat)))))",
+        "(S (NP (NP (NN list)) (PP (IN of) (NP (NNS items)))) (VP (VBZ grows)))",
+        "(NP (NN x) (NN y))",
+        "(S (VP (VBZ runs)))",
+    ];
+    let trees: Vec<ParseTree> = srcs
+        .iter()
+        .map(|s| si_parsetree::ptb::parse(s, &mut li).unwrap())
+        .collect();
+    let queries = [
+        "NN",
+        "NP(NN)",
+        "NP(DT)(NN)",
+        "S(NP)(VP)",
+        "S(NP(NN))(VP(VBZ))",
+        "VP(VBZ)(NP(DT)(NN))",
+        "S(//NN)",
+        "VP(//NN)",
+        "S(NP)(//NN)",
+        "NP(NN)(NN)",
+        "S(NP(NNS(agouti)))(VP(VBZ(is))(NP(DT(a))(NN)))",
+        "PP(IN(on))(NP)",
+        "XXUNKNOWN",
+        "S(NP(XX))",
+    ];
+    check_all(&trees, &li, &queries, &[1, 2, 3, 4, 5]);
+}
+
+#[test]
+fn generated_corpus_all_codings() {
+    let corpus = GeneratorConfig::default().with_seed(1234).generate(120);
+    let queries = [
+        "NP(DT)(NN)",
+        "S(NP)(VP)",
+        "VP(VBZ)(NP)",
+        "NP(NP)(PP(IN)(NP))",
+        "S(NP(DT)(NN))(VP)",
+        "S(//PP(IN)(NP))",
+        "VP(//NN)",
+        "NP(DT(the))(NN)",
+        "S(NP(PRP))(VP(VBZ)(NP(DT)(NN)))",
+        "PP(IN(of))(NP(NNS))",
+    ];
+    check_all(corpus.trees(), corpus.interner(), &queries, &[1, 2, 3, 5]);
+}
+
+#[test]
+fn generated_corpus_fb_style_subtree_queries() {
+    // Queries extracted as real subtrees of held-out trees (the FB
+    // construction): guaranteed non-trivial structure.
+    let corpus = GeneratorConfig::default().with_seed(77).generate(100);
+    let mut interner = corpus.interner().clone();
+    let heldout = GeneratorConfig::default()
+        .with_seed(78)
+        .generate_into(30, &mut interner);
+    let fb = si_corpus::fb_query_set(&corpus, &heldout, 5);
+    for &mss in &[2usize, 3, 4] {
+        for coding in Coding::ALL {
+            let dir = tmp_dir(&format!("fb-{coding:?}-{mss}").to_lowercase());
+            let index = SubtreeIndex::build(
+                &dir,
+                corpus.trees(),
+                &interner,
+                IndexOptions::new(mss, coding),
+            )
+            .unwrap();
+            // Every 4th query keeps runtime low while covering all
+            // classes and sizes.
+            for fbq in fb.iter().step_by(4) {
+                let expect = ground_truth(corpus.trees(), &fbq.query);
+                let got = index.evaluate(&fbq.query).unwrap();
+                assert_eq!(
+                    got.matches, expect,
+                    "class {} size {} under {coding} mss={mss}",
+                    fbq.class, fbq.size
+                );
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+#[test]
+fn wh_queries_match_ground_truth() {
+    let corpus = GeneratorConfig::default().with_seed(4242).generate(150);
+    let mut interner = corpus.interner().clone();
+    let wh = si_corpus::wh_query_set(&mut interner);
+    for &mss in &[3usize] {
+        for coding in Coding::ALL {
+            let dir = tmp_dir(&format!("wh-{coding:?}-{mss}").to_lowercase());
+            let index = SubtreeIndex::build(
+                &dir,
+                corpus.trees(),
+                &interner,
+                IndexOptions::new(mss, coding),
+            )
+            .unwrap();
+            for q in wh.iter().step_by(3) {
+                let expect = ground_truth(corpus.trees(), &q.query);
+                let got = index.evaluate(&q.query).unwrap();
+                assert_eq!(got.matches, expect, "{} under {coding}", q.text);
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+#[test]
+fn persistence_round_trip() {
+    let corpus = GeneratorConfig::default().with_seed(9).generate(60);
+    let dir = tmp_dir("persist");
+    let mut qi = corpus.interner().clone();
+    let query = parse_query("S(NP)(VP(VBZ))", &mut qi).unwrap();
+    let expect;
+    {
+        let index = SubtreeIndex::build(
+            &dir,
+            corpus.trees(),
+            &qi,
+            IndexOptions::new(3, Coding::RootSplit),
+        )
+        .unwrap();
+        expect = index.evaluate(&query).unwrap().matches;
+    }
+    let reopened = SubtreeIndex::open(&dir).unwrap();
+    assert_eq!(reopened.options().mss, 3);
+    assert_eq!(reopened.options().coding, Coding::RootSplit);
+    assert_eq!(reopened.evaluate(&query).unwrap().matches, expect);
+    assert_eq!(reopened.stats().keys, {
+        let fresh = SubtreeIndex::build(
+            &tmp_dir("persist2"),
+            corpus.trees(),
+            &qi,
+            IndexOptions::new(3, Coding::RootSplit),
+        )
+        .unwrap();
+        fresh.stats().keys
+    });
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn stack_tree_join_agrees_with_mpmgjn() {
+    let corpus = GeneratorConfig::default().with_seed(31).generate(80);
+    let dir = tmp_dir("stj");
+    let mut qi = corpus.interner().clone();
+    let mut index = SubtreeIndex::build(
+        &dir,
+        corpus.trees(),
+        &qi,
+        IndexOptions::new(2, Coding::RootSplit),
+    )
+    .unwrap();
+    for src in ["S(NP)(VP(VBZ))", "S(//NN)", "NP(//DT)", "VP(VBZ)(NP(DT)(NN))"] {
+        let query = parse_query(src, &mut qi).unwrap();
+        index.set_join_algo(si_core::join::JoinAlgo::Mpmgjn);
+        let a = index.evaluate(&query).unwrap().matches;
+        index.set_join_algo(si_core::join::JoinAlgo::StackTree);
+        let b = index.evaluate(&query).unwrap().matches;
+        assert_eq!(a, b, "{src}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn external_build_matches_in_memory_build() {
+    let corpus = GeneratorConfig::default().with_seed(404).generate(80);
+    let mut qi = corpus.interner().clone();
+    let queries: Vec<Query> = ["NP(DT)(NN)", "S(NP)(VP)", "VP(//NN)"]
+        .iter()
+        .map(|s| parse_query(s, &mut qi).unwrap())
+        .collect();
+    for coding in Coding::ALL {
+        let d1 = tmp_dir(&format!("mem-{coding:?}").to_lowercase());
+        let d2 = tmp_dir(&format!("ext-{coding:?}").to_lowercase());
+        let mem = SubtreeIndex::build(&d1, corpus.trees(), &qi, IndexOptions::new(3, coding))
+            .unwrap();
+        let ext = SubtreeIndex::build_external(
+            &d2,
+            corpus.trees(),
+            &qi,
+            IndexOptions::new(3, coding),
+            si_core::build_ext::ExternalBuildConfig {
+                run_budget_bytes: 4 << 10, // force multiple runs
+            },
+        )
+        .unwrap();
+        assert_eq!(mem.stats().keys, ext.stats().keys, "{coding:?}");
+        assert_eq!(mem.stats().postings, ext.stats().postings, "{coding:?}");
+        assert_eq!(mem.stats().posting_bytes, ext.stats().posting_bytes, "{coding:?}");
+        for q in &queries {
+            assert_eq!(
+                mem.evaluate(q).unwrap().matches,
+                ext.evaluate(q).unwrap().matches,
+                "{coding:?}"
+            );
+        }
+        std::fs::remove_dir_all(&d1).ok();
+        std::fs::remove_dir_all(&d2).ok();
+    }
+}
+
+#[test]
+fn parallel_build_is_byte_identical_to_sequential() {
+    let corpus = GeneratorConfig::default().with_seed(505).generate(90);
+    let mut qi = corpus.interner().clone();
+    let queries: Vec<Query> = ["NP(DT)(NN)", "S(NP)(VP)", "VP(//NN)"]
+        .iter()
+        .map(|s| parse_query(s, &mut qi).unwrap())
+        .collect();
+    for coding in Coding::ALL {
+        let d1 = tmp_dir(&format!("seq-{coding:?}").to_lowercase());
+        let d2 = tmp_dir(&format!("par-{coding:?}").to_lowercase());
+        let seq =
+            SubtreeIndex::build(&d1, corpus.trees(), &qi, IndexOptions::new(3, coding)).unwrap();
+        let par = SubtreeIndex::build_parallel(
+            &d2,
+            corpus.trees(),
+            &qi,
+            IndexOptions::new(3, coding),
+            4,
+        )
+        .unwrap();
+        assert_eq!(seq.stats().keys, par.stats().keys, "{coding:?}");
+        assert_eq!(seq.stats().postings, par.stats().postings, "{coding:?}");
+        assert_eq!(
+            seq.stats().posting_bytes,
+            par.stats().posting_bytes,
+            "{coding:?} stitched bytes must match sequential encoding"
+        );
+        for q in &queries {
+            assert_eq!(
+                seq.evaluate(q).unwrap().matches,
+                par.evaluate(q).unwrap().matches,
+                "{coding:?}"
+            );
+        }
+        std::fs::remove_dir_all(&d1).ok();
+        std::fs::remove_dir_all(&d2).ok();
+    }
+}

@@ -1,0 +1,105 @@
+//! Corpus structural statistics (§4.1 of the paper).
+
+use crate::generator::Corpus;
+
+/// Aggregate structural statistics of a corpus; the quantities §4.1
+/// reports for the AQUAINT sample (average internal branching 1.52, only
+/// two nodes with branching > 10 among 50k, ...).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CorpusStats {
+    /// Number of sentences (trees).
+    pub sentences: usize,
+    /// Total nodes over all trees.
+    pub total_nodes: usize,
+    /// Mean tree size.
+    pub avg_tree_size: f64,
+    /// Number of internal (non-leaf) nodes.
+    pub internal_nodes: usize,
+    /// Mean branching factor over internal nodes.
+    pub avg_internal_branching: f64,
+    /// Largest branching factor seen.
+    pub max_branching: usize,
+    /// `histogram[b]` = number of internal nodes with branching factor
+    /// `b` (index 0 unused).
+    pub branching_histogram: Vec<usize>,
+    /// Number of distinct labels.
+    pub distinct_labels: usize,
+}
+
+impl CorpusStats {
+    /// Computes statistics over `corpus`.
+    pub fn compute(corpus: &Corpus) -> Self {
+        let mut total_nodes = 0usize;
+        let mut internal_nodes = 0usize;
+        let mut child_edges = 0usize;
+        let mut max_branching = 0usize;
+        let mut histogram: Vec<usize> = Vec::new();
+        let mut seen = vec![false; corpus.interner().len()];
+        for t in corpus.trees() {
+            total_nodes += t.len();
+            for n in t.nodes() {
+                seen[t.label(n).id() as usize] = true;
+                let b = t.branching(n);
+                if b > 0 {
+                    internal_nodes += 1;
+                    child_edges += b;
+                    max_branching = max_branching.max(b);
+                    if histogram.len() <= b {
+                        histogram.resize(b + 1, 0);
+                    }
+                    histogram[b] += 1;
+                }
+            }
+        }
+        let sentences = corpus.len();
+        CorpusStats {
+            sentences,
+            total_nodes,
+            avg_tree_size: if sentences == 0 {
+                0.0
+            } else {
+                total_nodes as f64 / sentences as f64
+            },
+            internal_nodes,
+            avg_internal_branching: if internal_nodes == 0 {
+                0.0
+            } else {
+                child_edges as f64 / internal_nodes as f64
+            },
+            max_branching,
+            branching_histogram: histogram,
+            distinct_labels: seen.iter().filter(|&&s| s).count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::GeneratorConfig;
+
+    #[test]
+    fn stats_of_generated_corpus() {
+        let corpus = GeneratorConfig::default().with_seed(5).generate(300);
+        let stats = CorpusStats::compute(&corpus);
+        assert_eq!(stats.sentences, 300);
+        assert!(stats.total_nodes > 300 * 10);
+        assert!(stats.avg_tree_size > 10.0);
+        assert!(stats.avg_internal_branching > 1.0);
+        assert!(stats.max_branching >= 2);
+        assert_eq!(
+            stats.branching_histogram.iter().sum::<usize>(),
+            stats.internal_nodes
+        );
+        assert!(stats.distinct_labels > 30);
+    }
+
+    #[test]
+    fn empty_corpus_stats() {
+        let corpus = Corpus::from_trees(Vec::new(), si_parsetree::LabelInterner::new());
+        let stats = CorpusStats::compute(&corpus);
+        assert_eq!(stats.sentences, 0);
+        assert_eq!(stats.avg_tree_size, 0.0);
+        assert_eq!(stats.avg_internal_branching, 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Compact binary tree codec.
+//!
+//! The paper's experimental setup "flattened and sequentially stored parse
+//! trees in a separate file, which we call the data file" (§6.1). This
+//! module defines that flattening: a tree is a varint node count followed
+//! by pre-order `(label, subtree-size)` varint pairs, exactly the encoding
+//! §4.2 uses for index keys (there with fixed-width fields). Structure is
+//! fully recoverable from subtree sizes.
+
+use crate::label::Label;
+use crate::tree::{ParseTree, TreeBuilder};
+use crate::varint;
+
+/// Appends the flattened form of `tree` to `out`.
+pub fn encode_tree(tree: &ParseTree, out: &mut Vec<u8>) {
+    varint::write_u64(out, tree.len() as u64);
+    for n in tree.nodes() {
+        varint::write_u32(out, tree.label(n).id());
+        varint::write_u32(out, tree.subtree_size(n));
+    }
+}
+
+/// Decodes one tree from the front of `buf`, returning it and the number
+/// of bytes consumed. Returns `None` on truncated or malformed input.
+pub fn decode_tree(buf: &[u8]) -> Option<(ParseTree, usize)> {
+    let mut r = varint::Reader::new(buf);
+    let count = r.u64()? as usize;
+    if count == 0 {
+        return None;
+    }
+    let mut builder = TreeBuilder::new();
+    // Stack of "nodes still missing under this open node".
+    let mut remaining: Vec<u32> = Vec::new();
+    for _ in 0..count {
+        let label = Label(r.u32()?);
+        let size = r.u32()?;
+        if size == 0 {
+            return None;
+        }
+        if let Some(top) = remaining.last_mut() {
+            if *top < size {
+                return None; // child claims more nodes than the parent has left
+            }
+            *top -= size;
+        }
+        builder.open(label);
+        remaining.push(size - 1);
+        while let Some(&0) = remaining.last() {
+            remaining.pop();
+            builder.close();
+        }
+    }
+    if !remaining.is_empty() {
+        return None;
+    }
+    let pos = r.position();
+    builder.finish().map(|t| (t, pos))
+}
+
+/// Size in bytes that [`encode_tree`] will produce for `tree`.
+pub fn encoded_len(tree: &ParseTree) -> usize {
+    let mut n = varint::len_u64(tree.len() as u64);
+    for node in tree.nodes() {
+        n += varint::len_u64(u64::from(tree.label(node).id()));
+        n += varint::len_u64(u64::from(tree.subtree_size(node)));
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabelInterner;
+    use crate::ptb;
+
+    fn round_trip(src: &str) {
+        let mut li = LabelInterner::new();
+        let tree = ptb::parse(src, &mut li).unwrap();
+        let mut buf = Vec::new();
+        encode_tree(&tree, &mut buf);
+        assert_eq!(buf.len(), encoded_len(&tree));
+        let (back, used) = decode_tree(&buf).unwrap();
+        assert_eq!(used, buf.len());
+        assert_eq!(back, tree);
+    }
+
+    #[test]
+    fn round_trips() {
+        round_trip("(NN)");
+        round_trip("(S (NP (DT the) (NN dog)) (VP (VBZ barks)))");
+        round_trip("(A (B (C (D (E)))))"); // unary chain
+        round_trip("(A B C D E F G H I J)"); // flat fan-out
+    }
+
+    #[test]
+    fn two_trees_back_to_back() {
+        let mut li = LabelInterner::new();
+        let t1 = ptb::parse("(S (NP dog))", &mut li).unwrap();
+        let t2 = ptb::parse("(S (VP runs) (NP fast))", &mut li).unwrap();
+        let mut buf = Vec::new();
+        encode_tree(&t1, &mut buf);
+        let split = buf.len();
+        encode_tree(&t2, &mut buf);
+        let (a, used1) = decode_tree(&buf).unwrap();
+        assert_eq!(used1, split);
+        let (b, used2) = decode_tree(&buf[split..]).unwrap();
+        assert_eq!(split + used2, buf.len());
+        assert_eq!(a, t1);
+        assert_eq!(b, t2);
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert!(decode_tree(&[]).is_none());
+        assert!(decode_tree(&[0]).is_none()); // zero-node tree
+        // Claims 2 nodes but only provides one.
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, 2);
+        varint::write_u32(&mut buf, 0);
+        varint::write_u32(&mut buf, 2);
+        assert!(decode_tree(&buf).is_none());
+        // Child larger than parent's remaining budget.
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, 2);
+        varint::write_u32(&mut buf, 0);
+        varint::write_u32(&mut buf, 2);
+        varint::write_u32(&mut buf, 1);
+        varint::write_u32(&mut buf, 5);
+        assert!(decode_tree(&buf).is_none());
+        // Node of size zero.
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, 1);
+        varint::write_u32(&mut buf, 0);
+        varint::write_u32(&mut buf, 0);
+        assert!(decode_tree(&buf).is_none());
+    }
+}

@@ -1,0 +1,268 @@
+//! Penn-Treebank bracketed format I/O.
+//!
+//! The paper's corpora (AQUAINT parsed with the Stanford parser) ship as
+//! bracketed trees like `(S (NP (NNS agouti)) (VP (VBZ is) ...))`. This
+//! module reads and writes that format so real parsed data can be imported
+//! into the index; the synthetic generator uses the same representation.
+//!
+//! Grammar accepted (whitespace-insensitive):
+//!
+//! ```text
+//! tree  := '(' label child* ')' | label
+//! child := tree
+//! ```
+//!
+//! A bare token inside brackets is a leaf (the usual PTB convention for
+//! words under POS tags). A top-level extra wrapping `(ROOT ...)` as
+//! produced by the Stanford parser is kept verbatim.
+
+use crate::label::LabelInterner;
+use crate::tree::{NodeId, ParseTree, TreeBuilder};
+
+/// Errors produced by [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PtbError {
+    /// Ran out of input while a bracket was still open.
+    UnexpectedEof,
+    /// A closing bracket with no matching open, or trailing garbage.
+    Unbalanced(usize),
+    /// An opening bracket without a label.
+    MissingLabel(usize),
+    /// Input contained no tree at all.
+    Empty,
+}
+
+impl std::fmt::Display for PtbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PtbError::UnexpectedEof => write!(f, "unexpected end of input"),
+            PtbError::Unbalanced(pos) => write!(f, "unbalanced bracket at byte {pos}"),
+            PtbError::MissingLabel(pos) => write!(f, "missing label at byte {pos}"),
+            PtbError::Empty => write!(f, "no tree in input"),
+        }
+    }
+}
+
+impl std::error::Error for PtbError {}
+
+/// Parses a single bracketed tree, interning labels into `interner`.
+pub fn parse(input: &str, interner: &mut LabelInterner) -> Result<ParseTree, PtbError> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let mut builder = TreeBuilder::new();
+    parser.tree(&mut builder, interner)?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(PtbError::Unbalanced(parser.pos));
+    }
+    builder.finish().ok_or(PtbError::Empty)
+}
+
+/// Parses a whole file of bracketed trees, one or more per line; blank
+/// lines and `#` comment lines are skipped. Trees may span lines only if
+/// each tree starts at column zero of its first line (the common one-tree-
+/// per-line export is the fast path).
+pub fn parse_corpus(input: &str, interner: &mut LabelInterner) -> Result<Vec<ParseTree>, PtbError> {
+    let mut trees = Vec::new();
+    let mut depth = 0usize;
+    let mut start = None::<usize>;
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'(' => {
+                if depth == 0 {
+                    start = Some(i);
+                }
+                depth += 1;
+            }
+            b')' => {
+                if depth == 0 {
+                    return Err(PtbError::Unbalanced(i));
+                }
+                depth -= 1;
+                if depth == 0 {
+                    let s = start.take().ok_or(PtbError::Unbalanced(i))?;
+                    trees.push(parse(&input[s..=i], interner)?);
+                }
+            }
+            // Comment lines outside any tree run to end of line.
+            b'#' if depth == 0 => {
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    if depth != 0 {
+        return Err(PtbError::UnexpectedEof);
+    }
+    Ok(trees)
+}
+
+/// Writes `tree` in single-line bracketed form.
+pub fn write(tree: &ParseTree, interner: &LabelInterner) -> String {
+    let mut out = String::new();
+    write_node(tree, tree.root(), interner, &mut out);
+    out
+}
+
+fn write_node(tree: &ParseTree, n: NodeId, interner: &LabelInterner, out: &mut String) {
+    if tree.is_leaf(n) && tree.parent(n).is_some() {
+        out.push_str(interner.resolve(tree.label(n)));
+        return;
+    }
+    out.push('(');
+    out.push_str(interner.resolve(tree.label(n)));
+    for c in tree.children(n) {
+        out.push(' ');
+        write_node(tree, c, interner, out);
+    }
+    out.push(')');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len() && self.bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn token(&mut self) -> Option<&str> {
+        let start = self.pos;
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            if b == b'(' || b == b')' || b.is_ascii_whitespace() {
+                break;
+            }
+            self.pos += 1;
+        }
+        if self.pos == start {
+            None
+        } else {
+            // Input is &str, token boundaries are ASCII, so this is valid UTF-8.
+            Some(std::str::from_utf8(&self.bytes[start..self.pos]).unwrap())
+        }
+    }
+
+    fn tree(&mut self, builder: &mut TreeBuilder, interner: &mut LabelInterner) -> Result<(), PtbError> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'(') => {
+                self.pos += 1;
+                self.skip_ws();
+                let label = self
+                    .token()
+                    .map(|t| interner.intern(t))
+                    .ok_or(PtbError::MissingLabel(self.pos))?;
+                builder.open(label);
+                loop {
+                    self.skip_ws();
+                    match self.bytes.get(self.pos) {
+                        Some(b')') => {
+                            self.pos += 1;
+                            builder.close();
+                            return Ok(());
+                        }
+                        Some(_) => self.tree(builder, interner)?,
+                        None => return Err(PtbError::UnexpectedEof),
+                    }
+                }
+            }
+            Some(b')') => Err(PtbError::Unbalanced(self.pos)),
+            Some(_) => {
+                let label = self
+                    .token()
+                    .map(|t| interner.intern(t))
+                    .ok_or(PtbError::MissingLabel(self.pos))?;
+                builder.leaf(label);
+                Ok(())
+            }
+            None => Err(PtbError::UnexpectedEof),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_paper_query_tree() {
+        let mut li = LabelInterner::new();
+        let t = parse("(S (NP (NNS agouti)) (VP (VBZ is) (NP (DT a) NN)))", &mut li).unwrap();
+        assert_eq!(t.len(), 11);
+        assert_eq!(t.validate(), Ok(()));
+        assert_eq!(li.resolve(t.label(t.root())), "S");
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut li = LabelInterner::new();
+        let src = "(S (NP (DT the) (NN dog)) (VP (VBZ barks)))";
+        let t = parse(src, &mut li).unwrap();
+        assert_eq!(write(&t, &li), src);
+    }
+
+    #[test]
+    fn single_label_is_a_tree() {
+        let mut li = LabelInterner::new();
+        let t = parse("NN", &mut li).unwrap();
+        assert_eq!(t.len(), 1);
+        // A bare root is still written with brackets for re-parseability.
+        assert_eq!(write(&t, &li), "(NN)");
+    }
+
+    #[test]
+    fn leaf_with_brackets_allowed() {
+        let mut li = LabelInterner::new();
+        let t = parse("(NP (DT) (NN))", &mut li).unwrap();
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn errors() {
+        let mut li = LabelInterner::new();
+        assert_eq!(parse("(S (NP)", &mut li), Err(PtbError::UnexpectedEof));
+        assert!(matches!(parse("(S))", &mut li), Err(PtbError::Unbalanced(_))));
+        assert!(matches!(parse("( (NP))", &mut li), Err(PtbError::MissingLabel(_))));
+        assert!(matches!(parse("", &mut li), Err(PtbError::UnexpectedEof)));
+        assert!(matches!(parse(")", &mut li), Err(PtbError::Unbalanced(_))));
+    }
+
+    #[test]
+    fn corpus_parsing_skips_blank_and_comment_lines() {
+        let mut li = LabelInterner::new();
+        let input = "# treebank export\n(S (NP dog))\n\n(S (VP runs))\n";
+        let trees = parse_corpus(input, &mut li).unwrap();
+        assert_eq!(trees.len(), 2);
+        assert_eq!(trees[0].len(), 3);
+    }
+
+    #[test]
+    fn corpus_multiline_tree() {
+        let mut li = LabelInterner::new();
+        let input = "(S\n  (NP dog)\n  (VP runs))";
+        let trees = parse_corpus(input, &mut li).unwrap();
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].len(), 5);
+    }
+
+    #[test]
+    fn unicode_labels() {
+        let mut li = LabelInterner::new();
+        let t = parse("(S (NN café))", &mut li).unwrap();
+        assert_eq!(t.len(), 3);
+        assert!(li.get("café").is_some());
+    }
+}

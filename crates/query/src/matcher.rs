@@ -1,0 +1,221 @@
+//! In-memory tree matching (Definition 3).
+//!
+//! This is the reference implementation of query semantics: a dynamic
+//! program that decides, for every (query node, data node) pair, whether
+//! the query subtree embeds at the data node. It triples as
+//!
+//! 1. ground truth for differential tests of all index engines,
+//! 2. the *filtering phase* of filter-based coding (§4.4.1), and
+//! 3. the post-validation step of ATreeGrep and the frequency-based
+//!    baseline.
+//!
+//! Semantics: `/`-children of one query node map to pairwise-distinct
+//! children of the data node (decided with bipartite matching —
+//! Kuhn's algorithm over the embed table); `//`-children each need some
+//! proper descendant that embeds, with no distinctness constraint (see
+//! the crate docs for why this mirrors the index's join phase).
+
+use si_parsetree::{NodeId, ParseTree};
+
+use crate::model::{Axis, QNodeId, Query};
+
+/// Precomputed embedding tables for one `(tree, query)` pair.
+///
+/// Construction costs `O(|Q| · |T| · b·b')` where `b`, `b'` are branching
+/// factors; parse trees keep both tiny (§4.1: average branching 1.52).
+pub struct Matcher<'a> {
+    tree: &'a ParseTree,
+    query: &'a Query,
+    /// `embeds[q * n + d]`: query subtree `q` embeds rooted at data node `d`.
+    embeds: Vec<bool>,
+    /// `desc_ok[q * n + d]`: some proper descendant of `d` embeds `q`.
+    desc_ok: Vec<bool>,
+}
+
+impl<'a> Matcher<'a> {
+    /// Builds the tables bottom-up.
+    pub fn new(tree: &'a ParseTree, query: &'a Query) -> Self {
+        let n = tree.len();
+        let qn = query.len();
+        let mut m = Matcher {
+            tree,
+            query,
+            embeds: vec![false; qn * n],
+            desc_ok: vec![false; qn * n],
+        };
+        // Query nodes in reverse pre-order: children before parents.
+        for q in (0..qn as u32).rev().map(QNodeId) {
+            for d in (0..n as u32).rev().map(NodeId) {
+                let ok = m.compute_embed(q, d);
+                m.embeds[q.index() * n + d.0 as usize] = ok;
+            }
+            // desc_ok needs embeds[q] complete; children of d have larger
+            // pre ranks, so fill in reverse pre-order again.
+            for d in (0..n as u32).rev().map(NodeId) {
+                let any = tree.children(d).any(|c| {
+                    m.embeds[q.index() * n + c.0 as usize]
+                        || m.desc_ok[q.index() * n + c.0 as usize]
+                });
+                m.desc_ok[q.index() * n + d.0 as usize] = any;
+            }
+        }
+        m
+    }
+
+    fn compute_embed(&self, q: QNodeId, d: NodeId) -> bool {
+        if self.query.label(q) != self.tree.label(d) {
+            return false;
+        }
+        let n = self.tree.len();
+        // `//`-children: each needs some proper descendant.
+        for qc in self.query.children_via(q, Axis::Descendant) {
+            if !self.desc_ok[qc.index() * n + d.0 as usize] {
+                return false;
+            }
+        }
+        // `/`-children: injective assignment to data children.
+        let qkids: Vec<QNodeId> = self.query.children_via(q, Axis::Child).collect();
+        if qkids.is_empty() {
+            return true;
+        }
+        let dkids: Vec<NodeId> = self.tree.children(d).collect();
+        if dkids.len() < qkids.len() {
+            return false;
+        }
+        // Kuhn's bipartite matching: query children on the left.
+        let mut matched: Vec<Option<usize>> = vec![None; dkids.len()];
+        for (qi, &qc) in qkids.iter().enumerate() {
+            let mut seen = vec![false; dkids.len()];
+            if !self.try_kuhn(qi, &qkids, &dkids, qc, &mut matched, &mut seen) {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn try_kuhn(
+        &self,
+        qi: usize,
+        qkids: &[QNodeId],
+        dkids: &[NodeId],
+        qc: QNodeId,
+        matched: &mut Vec<Option<usize>>,
+        seen: &mut Vec<bool>,
+    ) -> bool {
+        let n = self.tree.len();
+        for (di, &dc) in dkids.iter().enumerate() {
+            if seen[di] || !self.embeds[qc.index() * n + dc.0 as usize] {
+                continue;
+            }
+            seen[di] = true;
+            let free = match matched[di] {
+                None => true,
+                Some(prev_qi) => {
+                    self.try_kuhn(prev_qi, qkids, dkids, qkids[prev_qi], matched, seen)
+                }
+            };
+            if free {
+                matched[di] = Some(qi);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether the whole query embeds with its root at `d`.
+    pub fn matches_at(&self, d: NodeId) -> bool {
+        self.embeds[self.query.root().index() * self.tree.len() + d.0 as usize]
+    }
+
+    /// All data nodes where the query root can map (the paper's matches
+    /// of the query within this tree).
+    pub fn roots(&self) -> Vec<NodeId> {
+        self.tree.nodes().filter(|&d| self.matches_at(d)).collect()
+    }
+
+    /// Enumerates complete embeddings rooted at `d`, up to `limit`
+    /// (0 = unlimited). Each embedding maps query nodes (pre-order) to
+    /// data nodes. Used by exactness tests of the interval coding.
+    pub fn embeddings_at(&self, d: NodeId, limit: usize) -> Vec<Vec<NodeId>> {
+        let mut out = Vec::new();
+        if self.query.label(self.query.root()) != self.tree.label(d) {
+            return out;
+        }
+        let mut assign = vec![NodeId(u32::MAX); self.query.len()];
+        assign[0] = d;
+        self.backtrack(1, &mut assign, &mut out, limit);
+        out
+    }
+
+    /// Pre-order backtracking: query node `idx`'s parent is already
+    /// assigned (parents precede children in pre-order). Returns false
+    /// once `limit` embeddings have been collected.
+    fn backtrack(
+        &self,
+        idx: usize,
+        assign: &mut Vec<NodeId>,
+        out: &mut Vec<Vec<NodeId>>,
+        limit: usize,
+    ) -> bool {
+        if idx == self.query.len() {
+            out.push(assign.clone());
+            return limit == 0 || out.len() < limit;
+        }
+        let n = self.tree.len();
+        let q = QNodeId(idx as u32);
+        let p = self.query.parent(q).expect("non-root in pre-order");
+        let dp = assign[p.index()];
+        let embeds_here =
+            |dd: NodeId| self.embeds[q.index() * n + dd.0 as usize];
+        let candidates: Vec<NodeId> = match self.query.axis(q) {
+            Axis::Child => {
+                // Distinct from already-assigned `/`-siblings.
+                let used: Vec<NodeId> = self
+                    .query
+                    .children_via(p, Axis::Child)
+                    .filter(|s| s.0 < q.0)
+                    .map(|s| assign[s.index()])
+                    .collect();
+                self.tree
+                    .children(dp)
+                    .filter(|dc| embeds_here(*dc) && !used.contains(dc))
+                    .collect()
+            }
+            Axis::Descendant => self
+                .tree
+                .descendants(dp)
+                .skip(1)
+                .filter(|dd| embeds_here(*dd))
+                .collect(),
+        };
+        for cand in candidates {
+            assign[q.index()] = cand;
+            if !self.backtrack(idx + 1, assign, out, limit) {
+                return false;
+            }
+        }
+        true
+    }
+
+}
+
+/// Whether `query` embeds with its root mapped to `d` in `tree`.
+pub fn matches_at(tree: &ParseTree, query: &Query, d: NodeId) -> bool {
+    Matcher::new(tree, query).matches_at(d)
+}
+
+/// All match roots of `query` in `tree`.
+pub fn match_roots(tree: &ParseTree, query: &Query) -> Vec<NodeId> {
+    Matcher::new(tree, query).roots()
+}
+
+/// Total number of `(tree, root)` matches of `query` across `trees`.
+pub fn count_matches<'a, I>(trees: I, query: &Query) -> usize
+where
+    I: IntoIterator<Item = &'a ParseTree>,
+{
+    trees
+        .into_iter()
+        .map(|t| Matcher::new(t, query).roots().len())
+        .sum()
+}

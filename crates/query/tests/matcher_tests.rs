@@ -1,0 +1,155 @@
+//! Behavioural tests of the in-memory matcher; these pin the query
+//! semantics that every index engine must reproduce.
+
+use si_parsetree::{ptb, LabelInterner, NodeId, ParseTree};
+use si_query::{count_matches, match_roots, matcher::Matcher, parse_query, Query};
+
+fn setup(tree_src: &str, query_src: &str) -> (ParseTree, Query, LabelInterner) {
+    let mut li = LabelInterner::new();
+    let tree = ptb::parse(tree_src, &mut li).unwrap();
+    let query = parse_query(query_src, &mut li).unwrap();
+    (tree, query, li)
+}
+
+fn roots(tree_src: &str, query_src: &str) -> Vec<u32> {
+    let (tree, query, _) = setup(tree_src, query_src);
+    match_roots(&tree, &query).into_iter().map(|n| n.0).collect()
+}
+
+#[test]
+fn single_label_matches_every_occurrence() {
+    assert_eq!(roots("(S (NP (NN dog)) (NP (NN cat)))", "NP"), vec![1, 4]);
+    assert_eq!(roots("(S (NP (NN dog)))", "XX"), Vec::<u32>::new());
+}
+
+#[test]
+fn parent_child_requires_direct_edge() {
+    // S -> NP exists, S -> NN does not (NN is a grandchild).
+    assert_eq!(roots("(S (NP (NN dog)))", "S(NP)"), vec![0]);
+    assert_eq!(roots("(S (NP (NN dog)))", "S(NN)"), Vec::<u32>::new());
+}
+
+#[test]
+fn descendant_axis_reaches_any_depth() {
+    assert_eq!(roots("(S (NP (NN dog)))", "S(//NN)"), vec![0]);
+    assert_eq!(roots("(S (NP (NN dog)))", "S(//dog)"), vec![0]);
+    // Descendant must be proper: an S inside an S.
+    assert_eq!(roots("(S (NP x))", "S(//S)"), Vec::<u32>::new());
+    assert_eq!(roots("(S (SBAR (S (NP x))))", "S(//S)"), vec![0]);
+}
+
+#[test]
+fn unordered_children() {
+    // Query lists children in the opposite order of the data.
+    assert_eq!(roots("(NP (DT the) (NN dog))", "NP(NN)(DT)"), vec![0]);
+}
+
+#[test]
+fn sibling_injectivity_for_child_axis() {
+    // NP(NN)(NN) needs two distinct NN children.
+    assert_eq!(roots("(NP (NN a))", "NP(NN)(NN)"), Vec::<u32>::new());
+    assert_eq!(roots("(NP (NN a) (NN b))", "NP(NN)(NN)"), vec![0]);
+    assert_eq!(roots("(NP (NN a) (JJ x) (NN b))", "NP(NN)(NN)"), vec![0]);
+}
+
+#[test]
+fn descendant_children_are_not_distinctness_constrained() {
+    // Both //NN query nodes may map to the same data node.
+    assert_eq!(roots("(S (NP (NN a)))", "S(//NN)(//NN)"), vec![0]);
+}
+
+#[test]
+fn injectivity_uses_bipartite_matching_not_greedy() {
+    // Query NP(NN(a))(NN): a greedy matcher might bind the bare NN to the
+    // NN(a) child first and fail; bipartite matching must succeed.
+    assert_eq!(roots("(NP (NN a) (NN))", "NP(NN(a))(NN)"), vec![0]);
+    assert_eq!(roots("(NP (NN) (NN))", "NP(NN(a))(NN)"), Vec::<u32>::new());
+}
+
+#[test]
+fn paper_figure_1_example() {
+    // The motivating example: query S(NP(NNS(agouti)))(VP(VBZ(is))(NP(DT(a))(NN)))
+    // matches the parsed sentence even with intervening modifiers.
+    let sentence = "(ROOT (S (NP (DT The) (NNS agouti)) (VP (VBZ is) (NP (DT a) \
+                    (JJ short-tailed) (, ,) (JJ plant-eating) (NN rodent)))))";
+    let (tree, query, _) = setup(
+        sentence,
+        "S(NP(NNS(agouti)))(VP(VBZ(is))(NP(DT(a))(NN)))",
+    );
+    let roots = match_roots(&tree, &query);
+    assert_eq!(roots.len(), 1);
+    assert_eq!(tree.level(roots[0]), 1); // the S under ROOT
+}
+
+#[test]
+fn deep_query_embeds_at_multiple_roots() {
+    let src = "(S (VP (VP (VBZ x)) (VP (VBZ y))))";
+    assert_eq!(roots(src, "VP(VBZ)"), vec![2, 5]);
+    assert_eq!(roots(src, "VP(VP(VBZ))"), vec![1]);
+}
+
+#[test]
+fn count_matches_sums_over_corpus() {
+    let mut li = LabelInterner::new();
+    let t1 = ptb::parse("(S (NP (NN a)) (NP (NN b)))", &mut li).unwrap();
+    let t2 = ptb::parse("(S (NP (NN c)))", &mut li).unwrap();
+    let q = parse_query("NP(NN)", &mut li).unwrap();
+    assert_eq!(count_matches([&t1, &t2], &q), 3);
+}
+
+#[test]
+fn embeddings_enumeration_counts() {
+    let (tree, query, _) = setup("(NP (NN a) (NN b) (NN c))", "NP(NN)(NN)");
+    let m = Matcher::new(&tree, &query);
+    let embs = m.embeddings_at(NodeId(0), 0);
+    // 3 choices for the first NN times 2 for the second = 6 ordered pairs.
+    assert_eq!(embs.len(), 6);
+    for e in &embs {
+        assert_eq!(e[0], NodeId(0));
+        assert_ne!(e[1], e[2]);
+    }
+    // Limit is respected.
+    assert_eq!(m.embeddings_at(NodeId(0), 4).len(), 4);
+    // No embeddings at a non-matching node.
+    assert!(m.embeddings_at(NodeId(1), 0).is_empty());
+}
+
+#[test]
+fn embeddings_with_descendant_axis() {
+    let (tree, query, _) = setup("(S (NP (NP (NN a))))", "S(//NN)");
+    let m = Matcher::new(&tree, &query);
+    let embs = m.embeddings_at(NodeId(0), 0);
+    assert_eq!(embs.len(), 1);
+    assert_eq!(embs[0][1], NodeId(3));
+}
+
+#[test]
+fn embeddings_agree_with_matches_at() {
+    let (tree, query, _) = setup(
+        "(S (NP (DT the) (NN dog)) (VP (VBZ barks) (NP (NN now))))",
+        "S(NP(NN))(VP)",
+    );
+    let m = Matcher::new(&tree, &query);
+    for d in tree.nodes() {
+        assert_eq!(
+            m.matches_at(d),
+            !m.embeddings_at(d, 0).is_empty(),
+            "node {}",
+            d.0
+        );
+    }
+}
+
+#[test]
+fn mixed_axes_query() {
+    let src = "(S (NP (DT the) (NN dog)) (VP (VBZ sees) (NP (DT a) (NN cat))))";
+    // VP with direct VBZ and some NN below.
+    assert_eq!(roots(src, "VP(VBZ)(//NN)"), vec![6]);
+    // S with a NN anywhere and a direct NP.
+    assert_eq!(roots(src, "S(NP)(//NN)"), vec![0]);
+}
+
+#[test]
+fn query_larger_than_tree_never_matches() {
+    assert_eq!(roots("(NP (NN a))", "NP(NN)(NN)(NN)"), Vec::<u32>::new());
+}

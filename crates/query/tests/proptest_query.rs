@@ -1,0 +1,146 @@
+//! Property tests for the query layer: the parser never panics on
+//! arbitrary input, accepts everything the writer produces, and the
+//! matcher respects basic monotonicity laws.
+
+use proptest::prelude::*;
+use si_parsetree::{ptb, LabelInterner};
+use si_query::{match_roots, parse_query, write_query, Axis, Query, QueryBuilder};
+
+#[derive(Debug, Clone)]
+struct Shape {
+    label: u8,
+    axis_bit: bool,
+    children: Vec<Shape>,
+}
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    let leaf = ((0u8..6), any::<bool>()).prop_map(|(label, axis_bit)| Shape {
+        label,
+        axis_bit,
+        children: Vec::new(),
+    });
+    leaf.prop_recursive(4, 20, 3, |inner| {
+        ((0u8..6), any::<bool>(), prop::collection::vec(inner, 0..3)).prop_map(
+            |(label, axis_bit, children)| Shape {
+                label,
+                axis_bit,
+                children,
+            },
+        )
+    })
+}
+
+fn build_query(shape: &Shape, li: &mut LabelInterner) -> Query {
+    fn go(s: &Shape, b: &mut QueryBuilder, li: &mut LabelInterner) {
+        let axis = if s.axis_bit { Axis::Descendant } else { Axis::Child };
+        b.open(li.intern(&format!("Q{}", s.label)), axis);
+        for c in &s.children {
+            go(c, b, li);
+        }
+        b.close();
+    }
+    let mut b = QueryBuilder::new();
+    go(shape, &mut b, li);
+    b.finish().unwrap()
+}
+
+proptest! {
+    #[test]
+    fn parser_never_panics(input in "[A-Za-z0-9()/ ]{0,60}") {
+        let mut li = LabelInterner::new();
+        let _ = parse_query(&input, &mut li); // Ok or Err, never panic
+    }
+
+    #[test]
+    fn ptb_parser_never_panics(input in "[A-Za-z0-9() .#\n]{0,80}") {
+        let mut li = LabelInterner::new();
+        let _ = ptb::parse(&input, &mut li);
+        let _ = ptb::parse_corpus(&input, &mut li);
+    }
+
+    #[test]
+    fn write_parse_round_trip(shape in shape_strategy()) {
+        let mut li = LabelInterner::new();
+        let q = build_query(&shape, &mut li);
+        let text = write_query(&q, &li);
+        let back = parse_query(&text, &mut li).expect("writer output parses");
+        prop_assert_eq!(back.len(), q.len());
+        for n in q.nodes() {
+            prop_assert_eq!(q.label(n), back.label(n));
+            // Root axis is normalized to Child by the builder.
+            if q.parent(n).is_some() {
+                prop_assert_eq!(q.axis(n), back.axis(n));
+            }
+        }
+    }
+
+    #[test]
+    fn relaxing_child_to_descendant_only_adds_matches(shape in shape_strategy()) {
+        // Turning every / edge into // can only grow the match set.
+        let mut li = LabelInterner::new();
+        let strict = build_query(&shape, &mut li);
+        let mut relaxed_shape = shape.clone();
+        fn relax(s: &mut Shape) {
+            s.axis_bit = true;
+            for c in &mut s.children {
+                relax(c);
+            }
+        }
+        relax(&mut relaxed_shape);
+        let relaxed = build_query(&relaxed_shape, &mut li);
+        // A small data tree over the same label alphabet.
+        let tree = ptb::parse(
+            "(Q0 (Q1 (Q2 (Q3) (Q4)) (Q5)) (Q2 (Q1 (Q0))) (Q3 (Q4 (Q5))))",
+            &mut li,
+        )
+        .unwrap();
+        let strict_roots = match_roots(&tree, &strict);
+        let relaxed_roots = match_roots(&tree, &relaxed);
+        for r in &strict_roots {
+            prop_assert!(
+                relaxed_roots.contains(r),
+                "strict match at {} lost after relaxation",
+                r.0
+            );
+        }
+    }
+
+    #[test]
+    fn single_node_queries_match_label_occurrences(label in 0u8..6) {
+        let mut li = LabelInterner::new();
+        let tree = ptb::parse("(Q0 (Q1 (Q2) (Q1)) (Q3 (Q1)))", &mut li).unwrap();
+        let q = parse_query(&format!("Q{label}"), &mut li).unwrap();
+        let roots = match_roots(&tree, &q);
+        let expected = tree
+            .nodes()
+            .filter(|&n| tree.label(n) == q.label(q.root()))
+            .count();
+        prop_assert_eq!(roots.len(), expected);
+    }
+}
+
+proptest! {
+    #[test]
+    fn matches_iff_embeddings_exist(tree_shape in shape_strategy(), query_shape in shape_strategy()) {
+        use si_query::matcher::Matcher;
+        use si_parsetree::TreeBuilder;
+        // Build a data tree from the first shape (ignore its axis bits).
+        fn build_tree(s: &Shape, b: &mut TreeBuilder, li: &mut LabelInterner) {
+            b.open(li.intern(&format!("Q{}", s.label)));
+            for c in &s.children {
+                build_tree(c, b, li);
+            }
+            b.close();
+        }
+        let mut li = LabelInterner::new();
+        let mut tb = TreeBuilder::new();
+        build_tree(&tree_shape, &mut tb, &mut li);
+        let tree = tb.finish().unwrap();
+        let query = build_query(&query_shape, &mut li);
+        let m = Matcher::new(&tree, &query);
+        for d in tree.nodes() {
+            let has_embedding = !m.embeddings_at(d, 1).is_empty();
+            prop_assert_eq!(m.matches_at(d), has_embedding, "node {}", d.0);
+        }
+    }
+}

@@ -1,0 +1,1098 @@
+//! A disk-based B+Tree mapping byte keys to byte values.
+//!
+//! This is the index structure of §6.1: "our subtree index was implemented
+//! as a native disk-based B+Tree index". Keys are canonical subtree
+//! encodings; values are posting lists. The tree supports
+//!
+//! * **bulk loading** from a sorted stream (the normal way an SI is built),
+//! * **upserts** with leaf/internal splits (incremental additions),
+//! * **point lookups**, and
+//! * **in-order scans** over all entries (used by the frequency-based
+//!   baseline and by statistics collection).
+//!
+//! Values larger than [`INLINE_MAX`] bytes are stored in overflow-page
+//! chains; long posting lists (low-selectivity labels) routinely span many
+//! pages. Freed chains are recycled through an intra-file free list.
+//!
+//! # Page formats (4096-byte pages)
+//!
+//! ```text
+//! meta (page 0): "SIBTREE1" | root u32 | height u32 | key_count u64
+//!                | free_head u32 | value_bytes u64
+//! leaf:     0x01 | n u16 | next_leaf u32 | n * entry
+//!   entry:  key_len varint | key | flag u8
+//!           flag 0: val_len varint | val
+//!           flag 1: total_len varint | first_overflow u32
+//! internal: 0x02 | n_children u16 | child0 u32 | (key varint+bytes, child u32)*
+//! overflow: 0x03 | next u32 | len u16 | data
+//! free:     0x04 | next u32
+//! ```
+
+use std::path::Path;
+
+use si_parsetree::varint;
+
+use crate::error::{Result, StorageError};
+use crate::pager::{PageId, Pager, PAGE_SIZE};
+
+/// Values up to this many bytes are stored inline in leaf pages.
+pub const INLINE_MAX: usize = 1024;
+
+/// Maximum supported key length; guarantees any single entry fits a page.
+pub const KEY_MAX: usize = 1024;
+
+const NIL: PageId = PageId::MAX;
+
+const MAGIC: &[u8; 8] = b"SIBTREE1";
+const TAG_LEAF: u8 = 1;
+const TAG_INTERNAL: u8 = 2;
+const TAG_OVERFLOW: u8 = 3;
+const TAG_FREE: u8 = 4;
+
+/// Usable payload bytes per overflow page.
+const OVERFLOW_CAP: usize = PAGE_SIZE - 7;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ValueRef {
+    Inline(Vec<u8>),
+    Overflow { first: PageId, len: u64 },
+}
+
+impl ValueRef {
+    fn encoded_len(&self, _key_len: usize) -> usize {
+        match self {
+            ValueRef::Inline(v) => 1 + varint::len_u64(v.len() as u64) + v.len(),
+            ValueRef::Overflow { len, .. } => 1 + varint::len_u64(*len) + 4,
+        }
+    }
+
+    fn len(&self) -> u64 {
+        match self {
+            ValueRef::Inline(v) => v.len() as u64,
+            ValueRef::Overflow { len, .. } => *len,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        entries: Vec<(Vec<u8>, ValueRef)>,
+        next: PageId,
+    },
+    Internal {
+        /// `children.len() == keys.len() + 1`; `keys[i]` separates
+        /// `children[i]` (keys < keys[i]) from `children[i+1]` (keys >=).
+        children: Vec<PageId>,
+        keys: Vec<Vec<u8>>,
+    },
+}
+
+impl Node {
+    fn encode(&self, out: &mut [u8; PAGE_SIZE]) {
+        out.fill(0);
+        let mut buf = Vec::with_capacity(PAGE_SIZE);
+        match self {
+            Node::Leaf { entries, next } => {
+                buf.push(TAG_LEAF);
+                buf.extend_from_slice(&(entries.len() as u16).to_le_bytes());
+                buf.extend_from_slice(&next.to_le_bytes());
+                for (key, val) in entries {
+                    varint::write_u64(&mut buf, key.len() as u64);
+                    buf.extend_from_slice(key);
+                    match val {
+                        ValueRef::Inline(v) => {
+                            buf.push(0);
+                            varint::write_u64(&mut buf, v.len() as u64);
+                            buf.extend_from_slice(v);
+                        }
+                        ValueRef::Overflow { first, len } => {
+                            buf.push(1);
+                            varint::write_u64(&mut buf, *len);
+                            buf.extend_from_slice(&first.to_le_bytes());
+                        }
+                    }
+                }
+            }
+            Node::Internal { children, keys } => {
+                debug_assert_eq!(children.len(), keys.len() + 1);
+                buf.push(TAG_INTERNAL);
+                buf.extend_from_slice(&(children.len() as u16).to_le_bytes());
+                buf.extend_from_slice(&children[0].to_le_bytes());
+                for (key, &child) in keys.iter().zip(&children[1..]) {
+                    varint::write_u64(&mut buf, key.len() as u64);
+                    buf.extend_from_slice(key);
+                    buf.extend_from_slice(&child.to_le_bytes());
+                }
+            }
+        }
+        debug_assert!(buf.len() <= PAGE_SIZE, "node overflows page: {}", buf.len());
+        out[..buf.len()].copy_from_slice(&buf);
+    }
+
+    fn decode(buf: &[u8; PAGE_SIZE]) -> Result<Node> {
+        let corrupt = |what: &str| StorageError::Corrupt(format!("btree node: {what}"));
+        match buf[0] {
+            TAG_LEAF => {
+                let n = u16::from_le_bytes([buf[1], buf[2]]) as usize;
+                let next = PageId::from_le_bytes([buf[3], buf[4], buf[5], buf[6]]);
+                let mut r = varint::Reader::new(&buf[7..]);
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let klen = r.u64().ok_or_else(|| corrupt("key len"))? as usize;
+                    let key = r.bytes(klen).ok_or_else(|| corrupt("key bytes"))?.to_vec();
+                    let flag = r.bytes(1).ok_or_else(|| corrupt("flag"))?[0];
+                    let val = match flag {
+                        0 => {
+                            let vlen = r.u64().ok_or_else(|| corrupt("val len"))? as usize;
+                            ValueRef::Inline(
+                                r.bytes(vlen).ok_or_else(|| corrupt("val bytes"))?.to_vec(),
+                            )
+                        }
+                        1 => {
+                            let len = r.u64().ok_or_else(|| corrupt("ov len"))?;
+                            let b = r.bytes(4).ok_or_else(|| corrupt("ov page"))?;
+                            ValueRef::Overflow {
+                                first: PageId::from_le_bytes([b[0], b[1], b[2], b[3]]),
+                                len,
+                            }
+                        }
+                        _ => return Err(corrupt("bad value flag")),
+                    };
+                    entries.push((key, val));
+                }
+                Ok(Node::Leaf { entries, next })
+            }
+            TAG_INTERNAL => {
+                let n = u16::from_le_bytes([buf[1], buf[2]]) as usize;
+                if n == 0 {
+                    return Err(corrupt("internal with no children"));
+                }
+                let mut r = varint::Reader::new(&buf[3..]);
+                let b = r.bytes(4).ok_or_else(|| corrupt("child0"))?;
+                let mut children = vec![PageId::from_le_bytes([b[0], b[1], b[2], b[3]])];
+                let mut keys = Vec::with_capacity(n - 1);
+                for _ in 1..n {
+                    let klen = r.u64().ok_or_else(|| corrupt("sep len"))? as usize;
+                    keys.push(r.bytes(klen).ok_or_else(|| corrupt("sep bytes"))?.to_vec());
+                    let b = r.bytes(4).ok_or_else(|| corrupt("child"))?;
+                    children.push(PageId::from_le_bytes([b[0], b[1], b[2], b[3]]));
+                }
+                Ok(Node::Internal { children, keys })
+            }
+            t => Err(corrupt(&format!("unexpected page tag {t}"))),
+        }
+    }
+
+    fn encoded_len(&self) -> usize {
+        match self {
+            Node::Leaf { entries, .. } => {
+                7 + entries
+                    .iter()
+                    .map(|(k, v)| {
+                        varint::len_u64(k.len() as u64) + k.len() + v.encoded_len(k.len())
+                    })
+                    .sum::<usize>()
+            }
+            Node::Internal { children, keys } => {
+                3 + 4 * children.len()
+                    + keys
+                        .iter()
+                        .map(|k| varint::len_u64(k.len() as u64) + k.len())
+                        .sum::<usize>()
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Meta {
+    root: PageId,
+    height: u32,
+    key_count: u64,
+    free_head: PageId,
+    value_bytes: u64,
+}
+
+impl Meta {
+    fn encode(&self, out: &mut [u8; PAGE_SIZE]) {
+        out.fill(0);
+        out[..8].copy_from_slice(MAGIC);
+        out[8..12].copy_from_slice(&self.root.to_le_bytes());
+        out[12..16].copy_from_slice(&self.height.to_le_bytes());
+        out[16..24].copy_from_slice(&self.key_count.to_le_bytes());
+        out[24..28].copy_from_slice(&self.free_head.to_le_bytes());
+        out[28..36].copy_from_slice(&self.value_bytes.to_le_bytes());
+    }
+
+    fn decode(buf: &[u8; PAGE_SIZE]) -> Result<Meta> {
+        if &buf[..8] != MAGIC {
+            return Err(StorageError::Corrupt("bad btree magic".into()));
+        }
+        Ok(Meta {
+            root: PageId::from_le_bytes(buf[8..12].try_into().unwrap()),
+            height: u32::from_le_bytes(buf[12..16].try_into().unwrap()),
+            key_count: u64::from_le_bytes(buf[16..24].try_into().unwrap()),
+            free_head: PageId::from_le_bytes(buf[24..28].try_into().unwrap()),
+            value_bytes: u64::from_le_bytes(buf[28..36].try_into().unwrap()),
+        })
+    }
+}
+
+/// Aggregate statistics of a [`BTree`], used by the index-size experiments
+/// (Figure 8) and posting-count reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BTreeStats {
+    /// Number of distinct keys.
+    pub key_count: u64,
+    /// Total bytes across all stored values.
+    pub value_bytes: u64,
+    /// Height of the tree (0 = the root is a leaf).
+    pub height: u32,
+    /// Total pages in the backing file, including meta and free pages.
+    pub pages: u32,
+    /// Total size of the backing file in bytes.
+    pub file_bytes: u64,
+}
+
+/// A disk-resident B+Tree; see the module docs for the format.
+pub struct BTree {
+    pager: Pager,
+    meta: Meta,
+}
+
+impl BTree {
+    /// Creates an empty tree at `path` (truncates an existing file).
+    pub fn create(path: &Path) -> Result<Self> {
+        let pager = Pager::create(path)?;
+        let meta_page = pager.allocate()?;
+        debug_assert_eq!(meta_page, 0);
+        let root = pager.allocate()?;
+        let mut tree = Self {
+            pager,
+            meta: Meta {
+                root,
+                height: 0,
+                key_count: 0,
+                free_head: NIL,
+                value_bytes: 0,
+            },
+        };
+        tree.write_node(
+            root,
+            &Node::Leaf {
+                entries: Vec::new(),
+                next: NIL,
+            },
+        )?;
+        tree.sync_meta()?;
+        Ok(tree)
+    }
+
+    /// Opens an existing tree.
+    pub fn open(path: &Path) -> Result<Self> {
+        let pager = Pager::open(path)?;
+        let mut buf = [0u8; PAGE_SIZE];
+        pager.read(0, &mut buf)?;
+        let meta = Meta::decode(&buf)?;
+        Ok(Self { pager, meta })
+    }
+
+    /// Flushes all buffered pages and the meta page.
+    pub fn flush(&mut self) -> Result<()> {
+        self.sync_meta()?;
+        self.pager.flush()
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> BTreeStats {
+        BTreeStats {
+            key_count: self.meta.key_count,
+            value_bytes: self.meta.value_bytes,
+            height: self.meta.height,
+            pages: self.pager.page_count(),
+            file_bytes: self.pager.size_bytes(),
+        }
+    }
+
+    /// Looks up `key`, returning its value if present.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut page = self.meta.root;
+        for _ in 0..self.meta.height {
+            match self.read_node(page)? {
+                Node::Internal { children, keys } => {
+                    page = children[child_index(&keys, key)];
+                }
+                Node::Leaf { .. } => {
+                    return Err(StorageError::Corrupt("leaf above leaf level".into()))
+                }
+            }
+        }
+        match self.read_node(page)? {
+            Node::Leaf { entries, .. } => match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                Ok(i) => Ok(Some(self.load_value(&entries[i].1)?)),
+                Err(_) => Ok(None),
+            },
+            Node::Internal { .. } => Err(StorageError::Corrupt("internal at leaf level".into())),
+        }
+    }
+
+    /// The stored value's length in bytes without materializing it —
+    /// overflow chains are not followed (their total length lives in the
+    /// leaf entry). Used as a cheap selectivity statistic by the query
+    /// processor.
+    pub fn value_len(&self, key: &[u8]) -> Result<Option<u64>> {
+        let mut page = self.meta.root;
+        for _ in 0..self.meta.height {
+            match self.read_node(page)? {
+                Node::Internal { children, keys } => page = children[child_index(&keys, key)],
+                Node::Leaf { .. } => {
+                    return Err(StorageError::Corrupt("leaf above leaf level".into()))
+                }
+            }
+        }
+        match self.read_node(page)? {
+            Node::Leaf { entries, .. } => {
+                Ok(entries
+                    .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+                    .ok()
+                    .map(|i| entries[i].1.len()))
+            }
+            Node::Internal { .. } => Err(StorageError::Corrupt("internal at leaf level".into())),
+        }
+    }
+
+    /// Whether `key` is present (no value materialization).
+    pub fn contains(&self, key: &[u8]) -> Result<bool> {
+        let mut page = self.meta.root;
+        for _ in 0..self.meta.height {
+            match self.read_node(page)? {
+                Node::Internal { children, keys } => page = children[child_index(&keys, key)],
+                Node::Leaf { .. } => {
+                    return Err(StorageError::Corrupt("leaf above leaf level".into()))
+                }
+            }
+        }
+        match self.read_node(page)? {
+            Node::Leaf { entries, .. } => {
+                Ok(entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)).is_ok())
+            }
+            Node::Internal { .. } => Err(StorageError::Corrupt("internal at leaf level".into())),
+        }
+    }
+
+    /// Inserts or replaces `key`.
+    pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        if key.len() > KEY_MAX {
+            return Err(StorageError::OutOfRange(format!(
+                "key length {} exceeds {KEY_MAX}",
+                key.len()
+            )));
+        }
+        // Descend, recording the path.
+        let mut path: Vec<(PageId, usize)> = Vec::with_capacity(self.meta.height as usize);
+        let mut page = self.meta.root;
+        for _ in 0..self.meta.height {
+            match self.read_node(page)? {
+                Node::Internal { children, keys } => {
+                    let i = child_index(&keys, key);
+                    path.push((page, i));
+                    page = children[i];
+                }
+                Node::Leaf { .. } => {
+                    return Err(StorageError::Corrupt("leaf above leaf level".into()))
+                }
+            }
+        }
+        let (mut entries, next) = match self.read_node(page)? {
+            Node::Leaf { entries, next } => (entries, next),
+            Node::Internal { .. } => {
+                return Err(StorageError::Corrupt("internal at leaf level".into()))
+            }
+        };
+        let val_ref = self.store_value(value)?;
+        match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+            Ok(i) => {
+                let old = std::mem::replace(&mut entries[i].1, val_ref);
+                self.meta.value_bytes = self.meta.value_bytes - old.len() + value.len() as u64;
+                if let ValueRef::Overflow { first, .. } = old {
+                    self.free_chain(first)?;
+                }
+            }
+            Err(i) => {
+                entries.insert(i, (key.to_vec(), val_ref));
+                self.meta.key_count += 1;
+                self.meta.value_bytes += value.len() as u64;
+            }
+        }
+        let node = Node::Leaf { entries, next };
+        if node.encoded_len() <= PAGE_SIZE {
+            self.write_node(page, &node)?;
+            return Ok(());
+        }
+        // Split the leaf and propagate.
+        let (left, sep, right_page) = self.split_leaf(page, node)?;
+        self.write_node(page, &left)?;
+        self.propagate_split(path, sep, right_page)
+    }
+
+    /// Bulk-loads a tree from a stream of key/value pairs in strictly
+    /// ascending key order. Much faster than repeated [`BTree::insert`]
+    /// and produces ~full pages.
+    ///
+    /// # Errors
+    /// Fails if keys are not strictly ascending.
+    pub fn bulk_load<I>(path: &Path, pairs: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = (Vec<u8>, Vec<u8>)>,
+    {
+        let pager = Pager::create(path)?;
+        let meta_page = pager.allocate()?;
+        debug_assert_eq!(meta_page, 0);
+        let mut tree = Self {
+            pager,
+            meta: Meta {
+                root: NIL,
+                height: 0,
+                key_count: 0,
+                free_head: NIL,
+                value_bytes: 0,
+            },
+        };
+
+        // Fill leaves left to right.
+        let mut leaves: Vec<(Vec<u8>, PageId)> = Vec::new(); // (first key, page)
+        let mut cur: Vec<(Vec<u8>, ValueRef)> = Vec::new();
+        let mut cur_size = 7usize;
+        let mut last_key: Option<Vec<u8>> = None;
+        let flush_leaf =
+            |tree: &mut BTree, cur: &mut Vec<(Vec<u8>, ValueRef)>, cur_size: &mut usize,
+             leaves: &mut Vec<(Vec<u8>, PageId)>|
+             -> Result<()> {
+                if cur.is_empty() {
+                    return Ok(());
+                }
+                let page = tree.alloc_page()?;
+                if let Some((_, prev)) = leaves.last() {
+                    tree.set_leaf_next(*prev, page)?;
+                }
+                let first_key = cur[0].0.clone();
+                let node = Node::Leaf {
+                    entries: std::mem::take(cur),
+                    next: NIL,
+                };
+                tree.write_node(page, &node)?;
+                leaves.push((first_key, page));
+                *cur_size = 7;
+                Ok(())
+            };
+
+        for (key, value) in pairs {
+            if key.len() > KEY_MAX {
+                return Err(StorageError::OutOfRange(format!(
+                    "key length {} exceeds {KEY_MAX}",
+                    key.len()
+                )));
+            }
+            if let Some(prev) = &last_key {
+                if prev >= &key {
+                    return Err(StorageError::OutOfRange(
+                        "bulk_load keys must be strictly ascending".into(),
+                    ));
+                }
+            }
+            last_key = Some(key.clone());
+            let val_ref = tree.store_value(&value)?;
+            let esize = varint::len_u64(key.len() as u64) + key.len() + val_ref.encoded_len(key.len());
+            if cur_size + esize > PAGE_SIZE {
+                flush_leaf(&mut tree, &mut cur, &mut cur_size, &mut leaves)?;
+            }
+            cur_size += esize;
+            tree.meta.key_count += 1;
+            tree.meta.value_bytes += value.len() as u64;
+            cur.push((key, val_ref));
+        }
+        flush_leaf(&mut tree, &mut cur, &mut cur_size, &mut leaves)?;
+
+        if leaves.is_empty() {
+            let root = tree.alloc_page()?;
+            tree.write_node(
+                root,
+                &Node::Leaf {
+                    entries: Vec::new(),
+                    next: NIL,
+                },
+            )?;
+            tree.meta.root = root;
+            tree.meta.height = 0;
+            tree.sync_meta()?;
+            return Ok(tree);
+        }
+
+        // Build internal levels bottom-up.
+        let mut level: Vec<(Vec<u8>, PageId)> = leaves;
+        let mut height = 0u32;
+        while level.len() > 1 {
+            height += 1;
+            let mut next_level: Vec<(Vec<u8>, PageId)> = Vec::new();
+            let mut children: Vec<PageId> = Vec::new();
+            let mut keys: Vec<Vec<u8>> = Vec::new();
+            let mut first_key: Option<Vec<u8>> = None;
+            let mut size = 3usize;
+            for (key, page) in level {
+                let addition = if children.is_empty() {
+                    4
+                } else {
+                    4 + varint::len_u64(key.len() as u64) + key.len()
+                };
+                if !children.is_empty() && size + addition > PAGE_SIZE {
+                    let node_page = tree.alloc_page()?;
+                    tree.write_node(
+                        node_page,
+                        &Node::Internal {
+                            children: std::mem::take(&mut children),
+                            keys: std::mem::take(&mut keys),
+                        },
+                    )?;
+                    next_level.push((first_key.take().unwrap(), node_page));
+                    size = 3;
+                }
+                if children.is_empty() {
+                    first_key = Some(key);
+                    size += 4;
+                } else {
+                    size += 4 + varint::len_u64(key.len() as u64) + key.len();
+                    keys.push(key);
+                }
+                children.push(page);
+            }
+            if !children.is_empty() {
+                let node_page = tree.alloc_page()?;
+                tree.write_node(node_page, &Node::Internal { children, keys })?;
+                next_level.push((first_key.take().unwrap(), node_page));
+            }
+            level = next_level;
+        }
+        tree.meta.root = level[0].1;
+        tree.meta.height = height;
+        tree.sync_meta()?;
+        Ok(tree)
+    }
+
+    /// Iterates all `(key, value)` pairs in key order.
+    pub fn iter(&self) -> Result<Iter<'_>> {
+        let mut page = self.meta.root;
+        for _ in 0..self.meta.height {
+            match self.read_node(page)? {
+                Node::Internal { children, .. } => page = children[0],
+                Node::Leaf { .. } => {
+                    return Err(StorageError::Corrupt("leaf above leaf level".into()))
+                }
+            }
+        }
+        Ok(Iter {
+            tree: self,
+            leaf: Some(page),
+            entries: Vec::new(),
+            pos: 0,
+        })
+    }
+
+    // ---- internals ----
+
+    fn sync_meta(&mut self) -> Result<()> {
+        let mut buf = [0u8; PAGE_SIZE];
+        self.meta.encode(&mut buf);
+        self.pager.write(0, &buf)
+    }
+
+    fn read_node(&self, page: PageId) -> Result<Node> {
+        let mut buf = [0u8; PAGE_SIZE];
+        self.pager.read(page, &mut buf)?;
+        Node::decode(&buf)
+    }
+
+    fn write_node(&self, page: PageId, node: &Node) -> Result<()> {
+        let mut buf = [0u8; PAGE_SIZE];
+        node.encode(&mut buf);
+        self.pager.write(page, &buf)
+    }
+
+    fn set_leaf_next(&self, page: PageId, next: PageId) -> Result<()> {
+        let mut buf = [0u8; PAGE_SIZE];
+        self.pager.read(page, &mut buf)?;
+        buf[3..7].copy_from_slice(&next.to_le_bytes());
+        self.pager.write(page, &buf)
+    }
+
+    fn alloc_page(&mut self) -> Result<PageId> {
+        if self.meta.free_head != NIL {
+            let page = self.meta.free_head;
+            let mut buf = [0u8; PAGE_SIZE];
+            self.pager.read(page, &mut buf)?;
+            if buf[0] != TAG_FREE {
+                return Err(StorageError::Corrupt("free list points at live page".into()));
+            }
+            self.meta.free_head = PageId::from_le_bytes(buf[1..5].try_into().unwrap());
+            Ok(page)
+        } else {
+            Ok(self.pager.allocate()?)
+        }
+    }
+
+    fn free_page(&mut self, page: PageId) -> Result<()> {
+        let mut buf = [0u8; PAGE_SIZE];
+        buf[0] = TAG_FREE;
+        buf[1..5].copy_from_slice(&self.meta.free_head.to_le_bytes());
+        self.pager.write(page, &buf)?;
+        self.meta.free_head = page;
+        Ok(())
+    }
+
+    fn free_chain(&mut self, mut page: PageId) -> Result<()> {
+        while page != NIL {
+            let mut buf = [0u8; PAGE_SIZE];
+            self.pager.read(page, &mut buf)?;
+            if buf[0] != TAG_OVERFLOW {
+                return Err(StorageError::Corrupt("overflow chain broken".into()));
+            }
+            let next = PageId::from_le_bytes(buf[1..5].try_into().unwrap());
+            self.free_page(page)?;
+            page = next;
+        }
+        Ok(())
+    }
+
+    fn store_value(&mut self, value: &[u8]) -> Result<ValueRef> {
+        if value.len() <= INLINE_MAX {
+            return Ok(ValueRef::Inline(value.to_vec()));
+        }
+        // Write the overflow chain back-to-front so each page knows its
+        // successor.
+        let mut next = NIL;
+        let mut chunks: Vec<&[u8]> = value.chunks(OVERFLOW_CAP).collect();
+        while let Some(chunk) = chunks.pop() {
+            let page = self.alloc_page()?;
+            let mut buf = [0u8; PAGE_SIZE];
+            buf[0] = TAG_OVERFLOW;
+            buf[1..5].copy_from_slice(&next.to_le_bytes());
+            buf[5..7].copy_from_slice(&(chunk.len() as u16).to_le_bytes());
+            buf[7..7 + chunk.len()].copy_from_slice(chunk);
+            self.pager.write(page, &buf)?;
+            next = page;
+        }
+        Ok(ValueRef::Overflow {
+            first: next,
+            len: value.len() as u64,
+        })
+    }
+
+    fn load_value(&self, val: &ValueRef) -> Result<Vec<u8>> {
+        match val {
+            ValueRef::Inline(v) => Ok(v.clone()),
+            ValueRef::Overflow { first, len } => {
+                let mut out = Vec::with_capacity(*len as usize);
+                let mut page = *first;
+                while page != NIL {
+                    let mut buf = [0u8; PAGE_SIZE];
+                    self.pager.read(page, &mut buf)?;
+                    if buf[0] != TAG_OVERFLOW {
+                        return Err(StorageError::Corrupt("overflow chain broken".into()));
+                    }
+                    let next = PageId::from_le_bytes(buf[1..5].try_into().unwrap());
+                    let len = u16::from_le_bytes([buf[5], buf[6]]) as usize;
+                    if len > OVERFLOW_CAP {
+                        return Err(StorageError::Corrupt("overflow page length".into()));
+                    }
+                    out.extend_from_slice(&buf[7..7 + len]);
+                    page = next;
+                }
+                if out.len() as u64 != *len {
+                    return Err(StorageError::Corrupt("overflow chain length mismatch".into()));
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    fn split_leaf(&mut self, _page: PageId, node: Node) -> Result<(Node, Vec<u8>, PageId)> {
+        let (entries, next) = match node {
+            Node::Leaf { entries, next } => (entries, next),
+            Node::Internal { .. } => unreachable!("split_leaf on internal node"),
+        };
+        // Split by accumulated encoded size at roughly the midpoint.
+        let total: usize = entries
+            .iter()
+            .map(|(k, v)| varint::len_u64(k.len() as u64) + k.len() + v.encoded_len(k.len()))
+            .sum();
+        let mut acc = 0usize;
+        let mut split_at = entries.len() / 2;
+        for (i, (k, v)) in entries.iter().enumerate() {
+            acc += varint::len_u64(k.len() as u64) + k.len() + v.encoded_len(k.len());
+            if acc * 2 >= total {
+                split_at = (i + 1).min(entries.len() - 1).max(1);
+                break;
+            }
+        }
+        let right_entries = entries[split_at..].to_vec();
+        let left_entries = entries[..split_at].to_vec();
+        let sep = right_entries[0].0.clone();
+        let right_page = self.alloc_page()?;
+        self.write_node(
+            right_page,
+            &Node::Leaf {
+                entries: right_entries,
+                next,
+            },
+        )?;
+        Ok((
+            Node::Leaf {
+                entries: left_entries,
+                next: right_page,
+            },
+            sep,
+            right_page,
+        ))
+    }
+
+    fn propagate_split(
+        &mut self,
+        mut path: Vec<(PageId, usize)>,
+        mut sep: Vec<u8>,
+        mut new_child: PageId,
+    ) -> Result<()> {
+        while let Some((page, child_idx)) = path.pop() {
+            let (mut children, mut keys) = match self.read_node(page)? {
+                Node::Internal { children, keys } => (children, keys),
+                Node::Leaf { .. } => {
+                    return Err(StorageError::Corrupt("leaf on internal path".into()))
+                }
+            };
+            keys.insert(child_idx, sep);
+            children.insert(child_idx + 1, new_child);
+            let node = Node::Internal { children, keys };
+            if node.encoded_len() <= PAGE_SIZE {
+                self.write_node(page, &node)?;
+                return Ok(());
+            }
+            let (children, keys) = match node {
+                Node::Internal { children, keys } => (children, keys),
+                Node::Leaf { .. } => unreachable!(),
+            };
+            // Internal split: the middle key moves up.
+            let mid = keys.len() / 2;
+            let up_key = keys[mid].clone();
+            let right_keys = keys[mid + 1..].to_vec();
+            let right_children = children[mid + 1..].to_vec();
+            let left_keys = keys[..mid].to_vec();
+            let left_children = children[..mid + 1].to_vec();
+            let right_page = self.alloc_page()?;
+            self.write_node(
+                right_page,
+                &Node::Internal {
+                    children: right_children,
+                    keys: right_keys,
+                },
+            )?;
+            self.write_node(
+                page,
+                &Node::Internal {
+                    children: left_children,
+                    keys: left_keys,
+                },
+            )?;
+            sep = up_key;
+            new_child = right_page;
+        }
+        // Root split.
+        let new_root = self.alloc_page()?;
+        let old_root = self.meta.root;
+        self.write_node(
+            new_root,
+            &Node::Internal {
+                children: vec![old_root, new_child],
+                keys: vec![sep],
+            },
+        )?;
+        self.meta.root = new_root;
+        self.meta.height += 1;
+        Ok(())
+    }
+}
+
+fn child_index(keys: &[Vec<u8>], key: &[u8]) -> usize {
+    // First child whose separator is > key; equal separators go right.
+    match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
+        Ok(i) => i + 1,
+        Err(i) => i,
+    }
+}
+
+/// In-order iterator over all entries of a [`BTree`].
+pub struct Iter<'a> {
+    tree: &'a BTree,
+    leaf: Option<PageId>,
+    entries: Vec<(Vec<u8>, ValueRef)>,
+    pos: usize,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = Result<(Vec<u8>, Vec<u8>)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if self.pos < self.entries.len() {
+                let (key, val) = &self.entries[self.pos];
+                self.pos += 1;
+                let value = match self.tree.load_value(val) {
+                    Ok(v) => v,
+                    Err(e) => return Some(Err(e)),
+                };
+                return Some(Ok((key.clone(), value)));
+            }
+            let page = self.leaf?;
+            match self.tree.read_node(page) {
+                Ok(Node::Leaf { entries, next }) => {
+                    self.entries = entries;
+                    self.pos = 0;
+                    self.leaf = (next != NIL).then_some(next);
+                    if self.entries.is_empty() && self.leaf.is_none() {
+                        return None;
+                    }
+                }
+                Ok(Node::Internal { .. }) => {
+                    self.leaf = None;
+                    return Some(Err(StorageError::Corrupt("internal in leaf chain".into())));
+                }
+                Err(e) => {
+                    self.leaf = None;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("si-btree-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn empty_tree_lookup() {
+        let path = tmp("empty");
+        let tree = BTree::create(&path).unwrap();
+        assert_eq!(tree.get(b"missing").unwrap(), None);
+        assert!(!tree.contains(b"missing").unwrap());
+        assert_eq!(tree.stats().key_count, 0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn insert_get_small() {
+        let path = tmp("small");
+        let mut tree = BTree::create(&path).unwrap();
+        tree.insert(b"NP", b"posting-np").unwrap();
+        tree.insert(b"VP", b"posting-vp").unwrap();
+        tree.insert(b"DT", b"posting-dt").unwrap();
+        assert_eq!(tree.get(b"NP").unwrap().unwrap(), b"posting-np");
+        assert_eq!(tree.get(b"DT").unwrap().unwrap(), b"posting-dt");
+        assert_eq!(tree.get(b"XX").unwrap(), None);
+        tree.insert(b"NP", b"replaced").unwrap();
+        assert_eq!(tree.get(b"NP").unwrap().unwrap(), b"replaced");
+        assert_eq!(tree.stats().key_count, 3);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn many_inserts_split_leaves_and_internals() {
+        let path = tmp("many");
+        let mut tree = BTree::create(&path).unwrap();
+        let mut model = BTreeMap::new();
+        // Insert in a scrambled order to exercise splits at all positions.
+        for i in 0u32..3000 {
+            let k = format!("key-{:08}", i.wrapping_mul(2654435761) % 100_000);
+            let v = format!("value-{i}");
+            model.insert(k.clone().into_bytes(), v.clone().into_bytes());
+            tree.insert(k.as_bytes(), v.as_bytes()).unwrap();
+        }
+        assert_eq!(tree.stats().key_count, model.len() as u64);
+        assert!(tree.stats().height >= 1, "expected splits");
+        for (k, v) in &model {
+            assert_eq!(tree.get(k).unwrap().as_ref(), Some(v), "key {:?}", k);
+        }
+        // Iteration returns entries in sorted order.
+        let got: Vec<_> = tree.iter().unwrap().map(|r| r.unwrap()).collect();
+        let want: Vec<_> = model.into_iter().collect();
+        assert_eq!(got, want);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn overflow_values_round_trip() {
+        let path = tmp("overflow");
+        let mut tree = BTree::create(&path).unwrap();
+        let big: Vec<u8> = (0..50_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        tree.insert(b"big", &big).unwrap();
+        tree.insert(b"small", b"x").unwrap();
+        assert_eq!(tree.get(b"big").unwrap().unwrap(), big);
+        assert_eq!(tree.get(b"small").unwrap().unwrap(), b"x");
+        // Replace the big value; the old ~49-page chain goes to the free
+        // list, so the next big insert recycles pages instead of growing
+        // the file.
+        tree.insert(b"big", &big[..40_000]).unwrap();
+        let pages_before = tree.stats().pages;
+        tree.insert(b"big2", &big[..40_000]).unwrap();
+        let pages_after = tree.stats().pages;
+        assert_eq!(tree.get(b"big").unwrap().unwrap(), &big[..40_000]);
+        assert_eq!(tree.get(b"big2").unwrap().unwrap(), &big[..40_000]);
+        assert!(
+            pages_after <= pages_before + 1,
+            "free list should recycle overflow pages: {pages_before} -> {pages_after}"
+        );
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bulk_load_matches_inserts() {
+        let path_a = tmp("bulk-a");
+        let path_b = tmp("bulk-b");
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..2000u32)
+            .map(|i| {
+                (
+                    format!("k{:06}", i).into_bytes(),
+                    format!("v{i}").repeat(i as usize % 7 + 1).into_bytes(),
+                )
+            })
+            .collect();
+        let bulk = BTree::bulk_load(&path_a, pairs.clone()).unwrap();
+        let mut manual = BTree::create(&path_b).unwrap();
+        for (k, v) in &pairs {
+            manual.insert(k, v).unwrap();
+        }
+        for (k, v) in &pairs {
+            assert_eq!(bulk.get(k).unwrap().as_ref(), Some(v));
+            assert_eq!(manual.get(k).unwrap().as_ref(), Some(v));
+        }
+        let got: Vec<_> = bulk.iter().unwrap().map(|r| r.unwrap()).collect();
+        assert_eq!(got, pairs);
+        assert_eq!(bulk.stats().key_count, 2000);
+        // Bulk-loaded trees pack pages more tightly.
+        assert!(bulk.stats().pages <= manual.stats().pages);
+        std::fs::remove_file(path_a).ok();
+        std::fs::remove_file(path_b).ok();
+    }
+
+    #[test]
+    fn bulk_load_rejects_unsorted() {
+        let path = tmp("unsorted");
+        let pairs = vec![
+            (b"b".to_vec(), b"1".to_vec()),
+            (b"a".to_vec(), b"2".to_vec()),
+        ];
+        assert!(BTree::bulk_load(&path, pairs).is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bulk_load_empty() {
+        let path = tmp("bulk-empty");
+        let tree = BTree::bulk_load(&path, Vec::new()).unwrap();
+        assert_eq!(tree.get(b"x").unwrap(), None);
+        assert_eq!(tree.iter().unwrap().count(), 0);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn persists_across_reopen() {
+        let path = tmp("reopen");
+        {
+            let mut tree = BTree::create(&path).unwrap();
+            for i in 0..500u32 {
+                tree.insert(format!("k{i:04}").as_bytes(), &i.to_le_bytes())
+                    .unwrap();
+            }
+            tree.flush().unwrap();
+        }
+        let tree = BTree::open(&path).unwrap();
+        assert_eq!(tree.stats().key_count, 500);
+        for i in 0..500u32 {
+            assert_eq!(
+                tree.get(format!("k{i:04}").as_bytes()).unwrap().unwrap(),
+                i.to_le_bytes()
+            );
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn oversized_key_rejected() {
+        let path = tmp("bigkey");
+        let mut tree = BTree::create(&path).unwrap();
+        let key = vec![7u8; KEY_MAX + 1];
+        assert!(tree.insert(&key, b"v").is_err());
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn bulk_load_with_overflow_values() {
+        let path = tmp("bulk-ov");
+        let big = vec![0xEEu8; 30_000];
+        let pairs = vec![
+            (b"aaa".to_vec(), big.clone()),
+            (b"bbb".to_vec(), b"tiny".to_vec()),
+            (b"ccc".to_vec(), big.clone()),
+        ];
+        let tree = BTree::bulk_load(&path, pairs).unwrap();
+        assert_eq!(tree.get(b"aaa").unwrap().unwrap(), big);
+        assert_eq!(tree.get(b"bbb").unwrap().unwrap(), b"tiny");
+        assert_eq!(tree.get(b"ccc").unwrap().unwrap(), big);
+        std::fs::remove_file(path).ok();
+    }
+}
+
+#[cfg(test)]
+mod value_len_tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("si-btree-vlen");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn value_len_matches_stored_sizes() {
+        let path = tmp("basic");
+        let mut tree = BTree::create(&path).unwrap();
+        tree.insert(b"small", &[1, 2, 3]).unwrap();
+        let big = vec![7u8; 20_000]; // overflow chain
+        tree.insert(b"big", &big).unwrap();
+        assert_eq!(tree.value_len(b"small").unwrap(), Some(3));
+        assert_eq!(tree.value_len(b"big").unwrap(), Some(20_000));
+        assert_eq!(tree.value_len(b"missing").unwrap(), None);
+        // Overwrite changes the reported length.
+        tree.insert(b"big", &big[..5_000]).unwrap();
+        assert_eq!(tree.value_len(b"big").unwrap(), Some(5_000));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn value_len_on_bulk_loaded_tree() {
+        let path = tmp("bulk");
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..500u32)
+            .map(|i| (format!("k{i:05}").into_bytes(), vec![0u8; (i % 97) as usize]))
+            .collect();
+        let tree = BTree::bulk_load(&path, pairs.clone()).unwrap();
+        for (k, v) in &pairs {
+            assert_eq!(tree.value_len(k).unwrap(), Some(v.len() as u64));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

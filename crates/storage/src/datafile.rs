@@ -1,0 +1,236 @@
+//! The corpus store: data file + offset index + label interner.
+//!
+//! Mirrors §6.1 of the paper: "we also flattened and sequentially stored
+//! parse trees in a separate file, which we call the data file". A
+//! [`CorpusStore`] is a directory holding
+//!
+//! * `trees.dat` — concatenated flattened trees ([`si_parsetree::codec`]),
+//! * `trees.idx` — little-endian `u64` byte offsets, one per tree,
+//! * `labels.dat` — the serialized [`LabelInterner`].
+//!
+//! Random access by [`TreeId`] is an offset lookup plus one ranged read;
+//! the filtering phase of filter-based coding and the post-validation of
+//! the baselines go through this path, so its cost is part of what the
+//! paper measures.
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use parking_lot::Mutex;
+
+use si_parsetree::{codec, LabelInterner, ParseTree, TreeId};
+
+use crate::error::{Result, StorageError};
+
+/// An on-disk corpus of parse trees with random access by tree id.
+pub struct CorpusStore {
+    dir: PathBuf,
+    data: Mutex<File>,
+    /// Byte offset of each tree in `trees.dat`; entry `len` is the total
+    /// data length, so tree `i` spans `offsets[i]..offsets[i+1]`.
+    offsets: Vec<u64>,
+    interner: LabelInterner,
+}
+
+impl CorpusStore {
+    /// Builds a corpus store at `dir` from an iterator of trees and the
+    /// interner their labels live in. Any existing store is overwritten.
+    pub fn build<'a, I>(dir: &Path, trees: I, interner: &LabelInterner) -> Result<Self>
+    where
+        I: IntoIterator<Item = &'a ParseTree>,
+    {
+        std::fs::create_dir_all(dir)?;
+        let data_path = dir.join("trees.dat");
+        let mut writer = BufWriter::new(File::create(&data_path)?);
+        let mut offsets = vec![0u64];
+        let mut buf = Vec::with_capacity(4096);
+        for tree in trees {
+            buf.clear();
+            codec::encode_tree(tree, &mut buf);
+            writer.write_all(&buf)?;
+            let last = *offsets.last().unwrap();
+            offsets.push(last + buf.len() as u64);
+        }
+        writer.flush()?;
+        drop(writer);
+
+        let mut idx = BufWriter::new(File::create(dir.join("trees.idx"))?);
+        for off in &offsets {
+            idx.write_all(&off.to_le_bytes())?;
+        }
+        idx.flush()?;
+
+        let mut labels = Vec::new();
+        interner.encode(&mut labels);
+        std::fs::write(dir.join("labels.dat"), labels)?;
+
+        let data = OpenOptions::new().read(true).open(&data_path)?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            data: Mutex::new(data),
+            offsets,
+            interner: interner.clone(),
+        })
+    }
+
+    /// Opens an existing store.
+    pub fn open(dir: &Path) -> Result<Self> {
+        let data = OpenOptions::new().read(true).open(dir.join("trees.dat"))?;
+        let idx_bytes = std::fs::read(dir.join("trees.idx"))?;
+        if idx_bytes.len() % 8 != 0 || idx_bytes.is_empty() {
+            return Err(StorageError::Corrupt("trees.idx length".into()));
+        }
+        let offsets: Vec<u64> = idx_bytes
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().unwrap()))
+            .collect();
+        if !offsets.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(StorageError::Corrupt("trees.idx not monotone".into()));
+        }
+        let label_bytes = std::fs::read(dir.join("labels.dat"))?;
+        let (interner, _) = LabelInterner::decode(&label_bytes)
+            .ok_or_else(|| StorageError::Corrupt("labels.dat".into()))?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            data: Mutex::new(data),
+            offsets,
+            interner,
+        })
+    }
+
+    /// Number of trees stored.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the store holds no trees.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The label interner shared by all stored trees.
+    pub fn interner(&self) -> &LabelInterner {
+        &self.interner
+    }
+
+    /// Directory backing this store.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Total bytes of the data file (the paper's "data file size").
+    pub fn data_bytes(&self) -> u64 {
+        *self.offsets.last().unwrap()
+    }
+
+    /// Fetches and decodes tree `tid`.
+    pub fn get(&self, tid: TreeId) -> Result<ParseTree> {
+        let i = tid as usize;
+        if i + 1 >= self.offsets.len() {
+            return Err(StorageError::OutOfRange(format!("tid {tid}")));
+        }
+        let start = self.offsets[i];
+        let len = (self.offsets[i + 1] - start) as usize;
+        let mut buf = vec![0u8; len];
+        {
+            let mut f = self.data.lock();
+            f.seek(SeekFrom::Start(start))?;
+            f.read_exact(&mut buf)?;
+        }
+        let (tree, used) = codec::decode_tree(&buf)
+            .ok_or_else(|| StorageError::Corrupt(format!("tree {tid}")))?;
+        if used != len {
+            return Err(StorageError::Corrupt(format!("tree {tid} trailing bytes")));
+        }
+        Ok(tree)
+    }
+
+    /// Iterates all trees in id order (sequential scan of the data file).
+    pub fn iter(&self) -> impl Iterator<Item = Result<(TreeId, ParseTree)>> + '_ {
+        (0..self.len() as TreeId).map(move |tid| self.get(tid).map(|t| (tid, t)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use si_parsetree::ptb;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("si-corpusstore-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    fn sample_corpus() -> (Vec<ParseTree>, LabelInterner) {
+        let mut li = LabelInterner::new();
+        let trees = vec![
+            ptb::parse("(S (NP (DT the) (NN dog)) (VP (VBZ barks)))", &mut li).unwrap(),
+            ptb::parse("(S (NP (NNS agouti)) (VP (VBZ is) (NP (DT a) (NN rodent))))", &mut li)
+                .unwrap(),
+            ptb::parse("(NN)", &mut li).unwrap(),
+        ];
+        (trees, li)
+    }
+
+    #[test]
+    fn build_and_get() {
+        let dir = tmp("build");
+        let (trees, li) = sample_corpus();
+        let store = CorpusStore::build(&dir, &trees, &li).unwrap();
+        assert_eq!(store.len(), 3);
+        for (i, t) in trees.iter().enumerate() {
+            assert_eq!(&store.get(i as TreeId).unwrap(), t);
+        }
+        assert!(store.get(3).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn reopen_preserves_everything() {
+        let dir = tmp("reopen");
+        let (trees, li) = sample_corpus();
+        {
+            CorpusStore::build(&dir, &trees, &li).unwrap();
+        }
+        let store = CorpusStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 3);
+        assert_eq!(store.interner().len(), li.len());
+        assert_eq!(store.get(1).unwrap(), trees[1]);
+        let all: Vec<_> = store.iter().map(|r| r.unwrap().1).collect();
+        assert_eq!(all, trees);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let dir = tmp("empty");
+        let li = LabelInterner::new();
+        let store = CorpusStore::build(&dir, std::iter::empty(), &li).unwrap();
+        assert!(store.is_empty());
+        assert_eq!(store.data_bytes(), 0);
+        assert!(store.get(0).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn corrupt_index_rejected() {
+        let dir = tmp("corrupt");
+        let (trees, li) = sample_corpus();
+        CorpusStore::build(&dir, &trees, &li).unwrap();
+        std::fs::write(dir.join("trees.idx"), [1, 2, 3]).unwrap();
+        assert!(CorpusStore::open(&dir).is_err());
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn data_bytes_reports_file_size() {
+        let dir = tmp("size");
+        let (trees, li) = sample_corpus();
+        let store = CorpusStore::build(&dir, &trees, &li).unwrap();
+        let meta = std::fs::metadata(dir.join("trees.dat")).unwrap();
+        assert_eq!(store.data_bytes(), meta.len());
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,68 @@
+//! Storage error type.
+
+use std::fmt;
+use std::io;
+
+/// Errors surfaced by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying file I/O failed.
+    Io(io::Error),
+    /// A page, tree or key reference was out of range.
+    OutOfRange(String),
+    /// On-disk bytes did not decode (wrong magic, truncated varint, ...).
+    Corrupt(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::OutOfRange(what) => write!(f, "out of range: {what}"),
+            StorageError::Corrupt(what) => write!(f, "corrupt storage: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Storage-layer result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let io = StorageError::from(io::Error::other("boom"));
+        assert!(io.to_string().contains("boom"));
+        assert!(StorageError::OutOfRange("tid 7".into())
+            .to_string()
+            .contains("tid 7"));
+        assert!(StorageError::Corrupt("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
+    }
+
+    #[test]
+    fn source_chains_io() {
+        use std::error::Error;
+        let e = StorageError::from(io::Error::other("x"));
+        assert!(e.source().is_some());
+        assert!(StorageError::Corrupt("y".into()).source().is_none());
+    }
+}

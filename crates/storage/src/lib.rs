@@ -1,0 +1,25 @@
+//! Disk substrate for the Subtree Index.
+//!
+//! The paper's implementation is "a native disk-based B+Tree index" with
+//! 4096-byte pages, relying on OS page buffering plus a small user-space
+//! cache, and "flattened and sequentially stored parse trees in a separate
+//! file, which we call the data file" (§6.1). This crate provides exactly
+//! those pieces:
+//!
+//! * [`pager`] — a page-granular file abstraction with a write-back LRU
+//!   cache ([`Pager`]);
+//! * [`btree`] — a disk B+Tree ([`BTree`]) mapping arbitrary byte keys
+//!   (canonical subtree encodings) to arbitrary byte values (posting
+//!   lists), with overflow chains for values larger than a page;
+//! * [`datafile`] — the corpus store ([`CorpusStore`]): the data file of
+//!   flattened trees, its offset index and the label interner.
+
+pub mod btree;
+pub mod datafile;
+pub mod error;
+pub mod pager;
+
+pub use btree::{BTree, BTreeStats};
+pub use datafile::CorpusStore;
+pub use error::{Result, StorageError};
+pub use pager::{PageId, Pager, PAGE_SIZE};

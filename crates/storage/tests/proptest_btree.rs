@@ -1,0 +1,106 @@
+//! Property test: the disk B+Tree behaves exactly like `BTreeMap` under
+//! arbitrary insert/overwrite workloads, including page-sized values and
+//! reopen cycles.
+
+use std::collections::BTreeMap;
+
+use proptest::prelude::*;
+use si_storage::BTree;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { key: Vec<u8>, value_len: usize },
+    Lookup { key: Vec<u8> },
+}
+
+fn key_strategy() -> impl Strategy<Value = Vec<u8>> {
+    // Small key space to force overwrites; varied lengths to stress
+    // leaf packing.
+    prop::collection::vec(0u8..16, 1..20)
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (key_strategy(), 0usize..5000).prop_map(|(key, value_len)| Op::Insert { key, value_len }),
+        key_strategy().prop_map(|key| Op::Lookup { key }),
+    ]
+}
+
+fn value_for(key: &[u8], len: usize) -> Vec<u8> {
+    // Deterministic value derived from key and length.
+    (0..len).map(|i| key[i % key.len()].wrapping_mul(31).wrapping_add(i as u8)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn behaves_like_btreemap(ops in prop::collection::vec(op_strategy(), 1..120)) {
+        let path = std::env::temp_dir().join(format!(
+            "si-prop-btree-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        let mut tree = BTree::create(&path).unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Insert { key, value_len } => {
+                    let value = value_for(key, *value_len);
+                    tree.insert(key, &value).unwrap();
+                    model.insert(key.clone(), value);
+                }
+                Op::Lookup { key } => {
+                    prop_assert_eq!(tree.get(key).unwrap(), model.get(key).cloned());
+                }
+            }
+        }
+        prop_assert_eq!(tree.stats().key_count, model.len() as u64);
+        // Full scan agrees, in order.
+        let scanned: Vec<(Vec<u8>, Vec<u8>)> =
+            tree.iter().unwrap().map(|r| r.unwrap()).collect();
+        let want: Vec<(Vec<u8>, Vec<u8>)> = model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(&scanned, &want);
+        // Reopen preserves everything.
+        tree.flush().unwrap();
+        drop(tree);
+        let reopened = BTree::open(&path).unwrap();
+        for (k, v) in &model {
+            let got = reopened.get(k).unwrap();
+            prop_assert_eq!(got.as_ref(), Some(v));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bulk_load_equals_scan(pairs in prop::collection::btree_map(
+        prop::collection::vec(0u8..32, 1..24),
+        0usize..3000,
+        0..80,
+    )) {
+        let path = std::env::temp_dir().join(format!(
+            "si-prop-bulk-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        let materialized: Vec<(Vec<u8>, Vec<u8>)> = pairs
+            .iter()
+            .map(|(k, &len)| (k.clone(), value_for(k, len)))
+            .collect();
+        let tree = BTree::bulk_load(&path, materialized.clone()).unwrap();
+        let scanned: Vec<(Vec<u8>, Vec<u8>)> =
+            tree.iter().unwrap().map(|r| r.unwrap()).collect();
+        prop_assert_eq!(&scanned, &materialized);
+        for (k, v) in &materialized {
+            let got = tree.get(k).unwrap();
+            prop_assert_eq!(got.as_ref(), Some(v));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,74 @@
+//! A corpus-linguistics workload: frequency statistics of syntactic
+//! constructions over a treebank — the kind of query TGrep2 and
+//! CorpusSearch users run, here answered from the index instead of a
+//! full corpus scan.
+//!
+//! ```text
+//! cargo run --release --example corpus_linguistics
+//! ```
+
+use std::time::Instant;
+
+use si_corpus::CorpusStats;
+use si_query::count_matches;
+use subtree_index::prelude::*;
+
+fn main() {
+    let corpus = GeneratorConfig::default().with_seed(7).generate(5_000);
+    let stats = CorpusStats::compute(&corpus);
+    println!(
+        "treebank: {} sentences, {} nodes, avg tree size {:.1}, avg internal branching {:.2}",
+        stats.sentences, stats.total_nodes, stats.avg_tree_size, stats.avg_internal_branching
+    );
+
+    let dir = std::env::temp_dir().join("si-linguistics-example");
+    let index = SubtreeIndex::build(
+        &dir,
+        corpus.trees(),
+        corpus.interner(),
+        IndexOptions::new(3, Coding::RootSplit),
+    )
+    .expect("build");
+    let mut interner = index.interner();
+
+    // Construction frequencies: how often does each pattern occur?
+    let constructions = [
+        ("subject-verb-object clause", "S(NP)(VP(VBZ)(NP))"),
+        ("PP attachment to NP", "NP(NP)(PP(IN)(NP))"),
+        ("relative clause", "NP(NP)(SBAR)"),
+        ("coordination", "NP(NP)(CC)(NP)"),
+        ("modal verb phrase", "VP(MD)(VP)"),
+        ("definite nominal", "NP(DT(the))(NN)"),
+        ("clausal complement", "VP(VBZ)(SBAR)"),
+        ("nested PP chain", "PP(IN)(NP(NP)(PP))"),
+    ];
+    println!("\n{:<30} {:>9} {:>12} {:>12}", "construction", "matches", "index (ms)", "scan (ms)");
+    for (name, src) in constructions {
+        let query = parse_query(src, &mut interner).expect("query");
+        let t0 = Instant::now();
+        let via_index = index.evaluate(&query).expect("evaluate").len();
+        let index_ms = t0.elapsed().as_secs_f64() * 1e3;
+        // The TGrep2 way: scan every tree with the matcher.
+        let t1 = Instant::now();
+        let via_scan = count_matches(corpus.trees().iter(), &query);
+        let scan_ms = t1.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(via_index, via_scan, "index and scan must agree");
+        println!("{name:<30} {via_index:>9} {index_ms:>12.2} {scan_ms:>12.2}");
+    }
+
+    // Per-label selectivity: the backbone of query optimization.
+    let freq = corpus.label_frequencies();
+    let mut tagged: Vec<(&str, u64)> = corpus
+        .interner()
+        .iter()
+        .map(|(l, name)| (name, freq[l.id() as usize]))
+        .filter(|(name, _)| name.chars().all(|c| c.is_ascii_uppercase()))
+        .collect();
+    tagged.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
+    println!("\nmost frequent grammatical tags:");
+    for (name, count) in tagged.iter().take(8) {
+        println!("  {name:<8} {count}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

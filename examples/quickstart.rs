@@ -1,0 +1,67 @@
+//! Quickstart: build a Subtree Index over a synthetic treebank and run a
+//! few tree-pattern queries.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use subtree_index::prelude::*;
+
+fn main() {
+    // 1. Get a corpus. Here: 2,000 synthetic news-style parse trees
+    //    (deterministic from the seed). To index real data instead, read
+    //    PTB bracketed trees with `si_parsetree::ptb::parse_corpus`.
+    let corpus = GeneratorConfig::default().with_seed(42).generate(2_000);
+    println!(
+        "corpus: {} sentences, {} distinct labels",
+        corpus.len(),
+        corpus.interner().len()
+    );
+
+    // 2. Build the index: all unique subtrees of up to mss = 3 nodes,
+    //    root-split coding (the paper's fastest configuration).
+    let dir = std::env::temp_dir().join("si-quickstart");
+    let index = SubtreeIndex::build(
+        &dir,
+        corpus.trees(),
+        corpus.interner(),
+        IndexOptions::new(3, Coding::RootSplit),
+    )
+    .expect("index build");
+    let stats = index.stats();
+    println!(
+        "index: {} keys, {} postings, {:.1} MiB, built in {:.2}s",
+        stats.keys,
+        stats.postings,
+        stats.index_bytes as f64 / (1024.0 * 1024.0),
+        stats.build_seconds
+    );
+
+    // 3. Query it. `/` (default) is parent-child, `//` is
+    //    ancestor-descendant; queries are unordered.
+    let mut interner = index.interner();
+    for src in [
+        "NP(DT)(NN)",                   // determiner + noun under one NP
+        "S(NP)(VP(VBZ)(NP))",           // transitive present-tense clause
+        "VP(//NN)",                     // a VP dominating a noun anywhere
+        "S(NP(DT(the))(NN))(VP(VBZ))",  // lexicalized: subject "the ..."
+    ] {
+        let query = parse_query(src, &mut interner).expect("query syntax");
+        let result = index.evaluate(&query).expect("evaluate");
+        println!(
+            "{src:<30} {:>6} matches  ({} covers, {} joins)",
+            result.len(),
+            result.stats.covers,
+            result.stats.joins
+        );
+        // Show one concrete sentence for the first query forms.
+        if let Some(&(tid, _pre)) = result.matches.first() {
+            let tree = index.store().get(tid).expect("fetch tree");
+            let text = si_parsetree::ptb::write(&tree, &interner);
+            let short = if text.len() > 100 { &text[..100] } else { &text };
+            println!("    e.g. tree {tid}: {short}...");
+        }
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,69 @@
+//! # subtree-index
+//!
+//! A production-quality Rust implementation of the **Subtree Index (SI)**
+//! from *"Efficient Indexing and Querying over Syntactically Annotated
+//! Trees"* (Chubak & Rafiei, PVLDB 5(11), 2012).
+//!
+//! The SI indexes **all unique subtrees up to a maximum size `mss`** of a
+//! corpus of syntactic parse trees and supports exact tree-pattern queries
+//! with parent-child (`/`) and ancestor-descendant (`//`) axes under three
+//! posting-list coding schemes:
+//!
+//! * **filter-based** — tree ids only; candidates are post-validated,
+//! * **subtree interval** — `(pre, post, level, order)` per subtree node,
+//! * **root-split** — `(pre, post, level)` of the subtree root only; the
+//!   paper's headline contribution, smallest and fastest.
+//!
+//! This facade crate re-exports the workspace's public API. See the
+//! individual crates for details:
+//!
+//! * [`si_parsetree`] — trees, labels, interval numbering, PTB I/O;
+//! * [`si_storage`] — pager, disk B+Tree, corpus store;
+//! * [`si_corpus`] — synthetic treebank generator and query sets;
+//! * [`si_query`] — query model, parser and in-memory matcher;
+//! * [`si_core`] — subtree extraction, coding schemes, decomposition and
+//!   the query processor;
+//! * [`si_baselines`] — ATreeGrep and the frequency-based comparators.
+//!
+//! # Quickstart
+//!
+//! See `examples/quickstart.rs`; abridged:
+//!
+//! ```no_run
+//! use subtree_index::prelude::*;
+//!
+//! // Generate a small synthetic treebank (or import PTB files).
+//! let corpus = GeneratorConfig::default().with_seed(42).generate(1_000);
+//!
+//! // Build a Subtree Index with mss = 3 under root-split coding.
+//! let dir = std::path::Path::new("/tmp/si-demo");
+//! let index = SubtreeIndex::build(
+//!     dir,
+//!     corpus.trees(),
+//!     corpus.interner(),
+//!     IndexOptions::new(3, Coding::RootSplit),
+//! )
+//! .unwrap();
+//!
+//! // Query: a VP whose child NP dominates a NN somewhere below.
+//! let mut interner = index.interner();
+//! let query = parse_query("VP(NP(//NN))", &mut interner).unwrap();
+//! let matches = index.evaluate(&query).unwrap();
+//! println!("{} matches", matches.len());
+//! ```
+
+pub use si_baselines;
+pub use si_core;
+pub use si_corpus;
+pub use si_parsetree;
+pub use si_query;
+pub use si_storage;
+
+/// Convenient single-import surface for applications.
+pub mod prelude {
+    pub use si_core::{Coding, IndexOptions, SubtreeIndex};
+    pub use si_corpus::GeneratorConfig;
+    pub use si_parsetree::{Label, LabelInterner, NodeId, ParseTree, TreeBuilder, TreeId};
+    pub use si_query::{parse_query, Axis, Query};
+    pub use si_storage::CorpusStore;
+}

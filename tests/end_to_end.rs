@@ -1,0 +1,159 @@
+//! Workspace-level integration tests: the five engines (three SI
+//! codings, ATreeGrep, frequency-based) plus the matcher must agree on
+//! randomized corpora; persistence and PTB import round-trip through the
+//! whole stack.
+
+use subtree_index::prelude::*;
+use subtree_index::si_baselines::{ATreeGrep, FreqIndex, FreqIndexOptions};
+use subtree_index::si_corpus::fb_query_set;
+use subtree_index::si_parsetree::ptb;
+use subtree_index::si_query::matcher::Matcher;
+
+fn tmp(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("si-e2e-{name}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn truth(trees: &[ParseTree], q: &Query) -> Vec<(TreeId, u32)> {
+    let mut out = Vec::new();
+    for (tid, tree) in trees.iter().enumerate() {
+        for r in Matcher::new(tree, q).roots() {
+            out.push((tid as TreeId, r.0));
+        }
+    }
+    out
+}
+
+#[test]
+fn five_engines_agree() {
+    let corpus = GeneratorConfig::default().with_seed(2024).generate(100);
+    let mut interner = corpus.interner().clone();
+    let heldout = GeneratorConfig::default()
+        .with_seed(2025)
+        .generate_into(30, &mut interner);
+    let fb = fb_query_set(&corpus, &heldout, 11);
+    let queries: Vec<Query> = fb.iter().step_by(5).map(|f| f.query.clone()).collect();
+
+    let base = tmp("five");
+    let indexes: Vec<SubtreeIndex> = [Coding::FilterBased, Coding::RootSplit, Coding::SubtreeInterval]
+        .into_iter()
+        .map(|coding| {
+            SubtreeIndex::build(
+                &base.join(format!("{coding:?}")),
+                corpus.trees(),
+                &interner,
+                IndexOptions::new(3, coding),
+            )
+            .unwrap()
+        })
+        .collect();
+    let atg = ATreeGrep::build(corpus.trees());
+    let freq = FreqIndex::build(corpus.trees(), FreqIndexOptions { mss: 3, fraction: 0.01 });
+
+    for q in &queries {
+        let want = truth(corpus.trees(), q);
+        for index in &indexes {
+            assert_eq!(
+                index.evaluate(q).unwrap().matches,
+                want,
+                "SI {:?}",
+                index.options().coding
+            );
+        }
+        assert_eq!(atg.evaluate(q).0, want, "atreegrep");
+        assert_eq!(freq.evaluate(q).0, want, "frequency-based");
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn ptb_import_pipeline() {
+    // Import a bracketed file, index it, query it, reopen it.
+    let text = "\
+# sample export
+(S (NP (DT the) (NN index)) (VP (VBZ works)))
+(S (NP (NNS trees)) (VP (VBP are) (ADJP (JJ fine))))
+(S (NP (DT a) (NN query)) (VP (VBZ finds) (NP (DT the) (NN match))))
+";
+    let mut interner = LabelInterner::new();
+    let trees = ptb::parse_corpus(text, &mut interner).unwrap();
+    assert_eq!(trees.len(), 3);
+    let dir = tmp("ptb");
+    let index =
+        SubtreeIndex::build(&dir, &trees, &interner, IndexOptions::new(2, Coding::RootSplit))
+            .unwrap();
+    let mut qi = index.interner();
+    let q = parse_query("VP(VBZ)(NP(DT)(NN))", &mut qi).unwrap();
+    assert_eq!(index.evaluate(&q).unwrap().matches, vec![(2, 6)]);
+    drop(index);
+    let reopened = SubtreeIndex::open(&dir).unwrap();
+    assert_eq!(reopened.evaluate(&q).unwrap().matches, vec![(2, 6)]);
+    // Round-trip the stored tree back to bracketed text.
+    let tree = reopened.store().get(2).unwrap();
+    let written = ptb::write(&tree, reopened.store().interner());
+    assert!(written.starts_with("(S (NP (DT a) (NN query))"));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn match_counts_are_coding_independent_across_mss() {
+    let corpus = GeneratorConfig::default().with_seed(77).generate(150);
+    let mut interner = corpus.interner().clone();
+    let queries: Vec<Query> = ["NP(DT)(NN)", "S(NP)(VP)", "VP(//NN)", "S(NP(NP)(PP))(VP)"]
+        .iter()
+        .map(|s| parse_query(s, &mut interner).unwrap())
+        .collect();
+    let base = tmp("countgrid");
+    let mut reference: Vec<Option<Vec<(TreeId, u32)>>> = vec![None; queries.len()];
+    for mss in 1..=5 {
+        for coding in [Coding::FilterBased, Coding::RootSplit, Coding::SubtreeInterval] {
+            let index = SubtreeIndex::build(
+                &base.join(format!("{mss}-{coding:?}")),
+                corpus.trees(),
+                &interner,
+                IndexOptions::new(mss, coding),
+            )
+            .unwrap();
+            for (i, q) in queries.iter().enumerate() {
+                let got = index.evaluate(q).unwrap().matches;
+                match &reference[i] {
+                    None => reference[i] = Some(got),
+                    Some(want) => assert_eq!(&got, want, "query {i} mss {mss} {coding:?}"),
+                }
+            }
+        }
+    }
+    std::fs::remove_dir_all(&base).ok();
+}
+
+#[test]
+fn root_split_is_smaller_and_not_slower_than_interval() {
+    // The paper's headline size claim: root-split cuts the interval
+    // index by 50-80% (abstract), more as mss grows.
+    let corpus = GeneratorConfig::default().with_seed(5).generate(400);
+    let base = tmp("sizes");
+    for mss in [3usize, 5] {
+        let rs = SubtreeIndex::build(
+            &base.join(format!("rs{mss}")),
+            corpus.trees(),
+            corpus.interner(),
+            IndexOptions::new(mss, Coding::RootSplit),
+        )
+        .unwrap();
+        let iv = SubtreeIndex::build(
+            &base.join(format!("iv{mss}")),
+            corpus.trees(),
+            corpus.interner(),
+            IndexOptions::new(mss, Coding::SubtreeInterval),
+        )
+        .unwrap();
+        let ratio = rs.stats().posting_bytes as f64 / iv.stats().posting_bytes as f64;
+        assert!(
+            ratio < 0.5,
+            "mss={mss}: root-split postings should be <50% of interval, got {ratio:.2}"
+        );
+        assert!(rs.stats().postings <= iv.stats().postings);
+    }
+    std::fs::remove_dir_all(&base).ok();
+}

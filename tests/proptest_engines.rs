@@ -1,0 +1,101 @@
+//! The capstone property: on arbitrary small corpora and arbitrary
+//! subtree-shaped queries, every engine returns exactly the matcher's
+//! result set.
+
+use proptest::prelude::*;
+use subtree_index::prelude::*;
+use subtree_index::si_baselines::{ATreeGrep, FreqIndex, FreqIndexOptions};
+use subtree_index::si_parsetree::TreeBuilder;
+use subtree_index::si_query::matcher::Matcher;
+use subtree_index::si_query::QueryBuilder;
+
+#[derive(Debug, Clone)]
+struct Shape {
+    label: u8,
+    children: Vec<Shape>,
+}
+
+fn shape_strategy(max_label: u8, depth: u32, nodes: u32) -> impl Strategy<Value = Shape> {
+    let leaf = (0..max_label).prop_map(|label| Shape { label, children: Vec::new() });
+    leaf.prop_recursive(depth, nodes, 3, move |inner| {
+        ((0..max_label), prop::collection::vec(inner, 0..3))
+            .prop_map(|(label, children)| Shape { label, children })
+    })
+}
+
+fn build_tree(shape: &Shape, li: &mut LabelInterner) -> ParseTree {
+    fn go(shape: &Shape, b: &mut TreeBuilder, li: &mut LabelInterner) {
+        b.open(li.intern(&format!("T{}", shape.label)));
+        for c in &shape.children {
+            go(c, b, li);
+        }
+        b.close();
+    }
+    let mut b = TreeBuilder::new();
+    go(shape, &mut b, li);
+    b.finish().unwrap()
+}
+
+fn build_query(shape: &Shape, mut axis_bits: u64, li: &mut LabelInterner) -> Query {
+    fn go(shape: &Shape, bits: &mut u64, b: &mut QueryBuilder, li: &mut LabelInterner) {
+        let axis = if *bits & 1 == 1 { Axis::Descendant } else { Axis::Child };
+        *bits >>= 1;
+        b.open(li.intern(&format!("T{}", shape.label)), axis);
+        for c in &shape.children {
+            go(c, bits, b, li);
+        }
+        b.close();
+    }
+    let mut b = QueryBuilder::new();
+    go(shape, &mut axis_bits, &mut b, li);
+    b.finish().unwrap()
+}
+
+fn truth(trees: &[ParseTree], q: &Query) -> Vec<(TreeId, u32)> {
+    let mut out = Vec::new();
+    for (tid, tree) in trees.iter().enumerate() {
+        for r in Matcher::new(tree, q).roots() {
+            out.push((tid as TreeId, r.0));
+        }
+    }
+    out
+}
+
+proptest! {
+    // Each case builds six indexes; keep the case count moderate.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn all_engines_agree_on_random_inputs(
+        corpus_shapes in prop::collection::vec(shape_strategy(4, 4, 20), 3..12),
+        query_shape in shape_strategy(4, 3, 6),
+        axis_bits in any::<u64>(),
+        mss in 1usize..4,
+    ) {
+        let mut li = LabelInterner::new();
+        let trees: Vec<ParseTree> = corpus_shapes.iter().map(|s| build_tree(s, &mut li)).collect();
+        let query = build_query(&query_shape, axis_bits, &mut li);
+        let want = truth(&trees, &query);
+
+        let base = std::env::temp_dir().join(format!(
+            "si-prop-engines-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .subsec_nanos()
+        ));
+        for coding in [Coding::FilterBased, Coding::RootSplit, Coding::SubtreeInterval] {
+            let dir = base.join(format!("{coding:?}"));
+            let index = SubtreeIndex::build(&dir, &trees, &li, IndexOptions::new(mss, coding))
+                .expect("build");
+            let got = index.evaluate(&query).expect("evaluate").matches;
+            prop_assert_eq!(&got, &want, "coding {:?} mss {}", coding, mss);
+        }
+        let atg = ATreeGrep::build(&trees);
+        prop_assert_eq!(atg.evaluate(&query).0, want.clone(), "atreegrep");
+        let freq = FreqIndex::build(&trees, FreqIndexOptions { mss, fraction: 0.05 });
+        prop_assert_eq!(freq.evaluate(&query).0, want, "freq");
+        std::fs::remove_dir_all(&base).ok();
+    }
+}
