@@ -279,8 +279,7 @@ fn suffix_array(seq: &[u32]) -> Vec<u32> {
         for w in 1..n {
             let prev = sa[w - 1];
             let cur = sa[w];
-            tmp[cur as usize] =
-                tmp[prev as usize] + u64::from(key(prev) != key(cur));
+            tmp[cur as usize] = tmp[prev as usize] + u64::from(key(prev) != key(cur));
         }
         rank.copy_from_slice(&tmp);
         if rank[sa[n - 1] as usize] as usize == n - 1 {
@@ -318,7 +317,10 @@ mod tests {
 
     fn corpus(srcs: &[&str]) -> (Vec<ParseTree>, LabelInterner) {
         let mut li = LabelInterner::new();
-        let trees = srcs.iter().map(|s| ptb::parse(s, &mut li).unwrap()).collect();
+        let trees = srcs
+            .iter()
+            .map(|s| ptb::parse(s, &mut li).unwrap())
+            .collect();
         (trees, li)
     }
 
@@ -369,7 +371,9 @@ mod tests {
 
     #[test]
     fn agrees_with_matcher_on_generated_corpus() {
-        let corpus = si_corpus::GeneratorConfig::default().with_seed(51).generate(80);
+        let corpus = si_corpus::GeneratorConfig::default()
+            .with_seed(51)
+            .generate(80);
         let mut li = corpus.interner().clone();
         let atg = ATreeGrep::build(corpus.trees());
         for src in [

@@ -90,10 +90,7 @@ impl<'a> FreqIndex<'a> {
 
     /// Estimated index size in bytes (keys + tid postings).
     pub fn size_bytes(&self) -> usize {
-        self.lists
-            .iter()
-            .map(|(k, v)| k.len() + v.len() * 4)
-            .sum()
+        self.lists.iter().map(|(k, v)| k.len() + v.len() * 4).sum()
     }
 
     /// Evaluates `query` with the same result semantics as
@@ -207,14 +204,23 @@ mod tests {
 
     fn corpus(srcs: &[&str]) -> (Vec<ParseTree>, LabelInterner) {
         let mut li = LabelInterner::new();
-        let trees = srcs.iter().map(|s| ptb::parse(s, &mut li).unwrap()).collect();
+        let trees = srcs
+            .iter()
+            .map(|s| ptb::parse(s, &mut li).unwrap())
+            .collect();
         (trees, li)
     }
 
     #[test]
     fn all_single_nodes_always_indexed() {
         let (trees, _) = corpus(&["(S (NP (NN x)) (VP (VBZ y)))"]);
-        let idx = FreqIndex::build(&trees, FreqIndexOptions { mss: 3, fraction: 0.0 });
+        let idx = FreqIndex::build(
+            &trees,
+            FreqIndexOptions {
+                mss: 3,
+                fraction: 0.0,
+            },
+        );
         // fraction 0 keeps ceil(0) = 0?  ceil(n*0) = 0 multi keys; but all
         // 7 single-node keys stay.
         assert!(idx.key_count() >= 7);
@@ -222,10 +228,30 @@ mod tests {
 
     #[test]
     fn fraction_controls_key_count() {
-        let corpus = si_corpus::GeneratorConfig::default().with_seed(3).generate(50);
-        let small = FreqIndex::build(corpus.trees(), FreqIndexOptions { mss: 3, fraction: 0.001 });
-        let mid = FreqIndex::build(corpus.trees(), FreqIndexOptions { mss: 3, fraction: 0.01 });
-        let large = FreqIndex::build(corpus.trees(), FreqIndexOptions { mss: 3, fraction: 0.1 });
+        let corpus = si_corpus::GeneratorConfig::default()
+            .with_seed(3)
+            .generate(50);
+        let small = FreqIndex::build(
+            corpus.trees(),
+            FreqIndexOptions {
+                mss: 3,
+                fraction: 0.001,
+            },
+        );
+        let mid = FreqIndex::build(
+            corpus.trees(),
+            FreqIndexOptions {
+                mss: 3,
+                fraction: 0.01,
+            },
+        );
+        let large = FreqIndex::build(
+            corpus.trees(),
+            FreqIndexOptions {
+                mss: 3,
+                fraction: 0.1,
+            },
+        );
         assert!(small.key_count() <= mid.key_count());
         assert!(mid.key_count() <= large.key_count());
         assert!(small.size_bytes() <= large.size_bytes());
@@ -233,11 +259,18 @@ mod tests {
 
     #[test]
     fn agrees_with_matcher() {
-        let corpus = si_corpus::GeneratorConfig::default().with_seed(8).generate(80);
+        let corpus = si_corpus::GeneratorConfig::default()
+            .with_seed(8)
+            .generate(80);
         let mut li = corpus.interner().clone();
         for fraction in [0.001, 0.01, 0.1] {
             let idx = FreqIndex::build(corpus.trees(), FreqIndexOptions { mss: 3, fraction });
-            for src in ["NP(DT)(NN)", "S(NP)(VP(VBZ))", "VP(//NN)", "PP(IN)(NP(NNS))"] {
+            for src in [
+                "NP(DT)(NN)",
+                "S(NP)(VP(VBZ))",
+                "VP(//NN)",
+                "PP(IN)(NP(NNS))",
+            ] {
                 let q = parse_query(src, &mut li).unwrap();
                 let want: Vec<(TreeId, u32)> = corpus
                     .trees()
@@ -259,11 +292,25 @@ mod tests {
 
     #[test]
     fn higher_fraction_prunes_better() {
-        let corpus = si_corpus::GeneratorConfig::default().with_seed(13).generate(150);
+        let corpus = si_corpus::GeneratorConfig::default()
+            .with_seed(13)
+            .generate(150);
         let mut li = corpus.interner().clone();
         let q = parse_query("S(NP(DT)(NN))(VP(VBZ)(NP))", &mut li).unwrap();
-        let lo = FreqIndex::build(corpus.trees(), FreqIndexOptions { mss: 3, fraction: 0.001 });
-        let hi = FreqIndex::build(corpus.trees(), FreqIndexOptions { mss: 3, fraction: 0.5 });
+        let lo = FreqIndex::build(
+            corpus.trees(),
+            FreqIndexOptions {
+                mss: 3,
+                fraction: 0.001,
+            },
+        );
+        let hi = FreqIndex::build(
+            corpus.trees(),
+            FreqIndexOptions {
+                mss: 3,
+                fraction: 0.5,
+            },
+        );
         let (m1, s1) = lo.evaluate(&q);
         let (m2, s2) = hi.evaluate(&q);
         assert_eq!(m1, m2);
@@ -276,7 +323,13 @@ mod tests {
     #[test]
     fn unknown_label_short_circuits() {
         let (trees, mut li) = corpus(&["(S (NP (NN x)))"]);
-        let idx = FreqIndex::build(&trees, FreqIndexOptions { mss: 2, fraction: 1.0 });
+        let idx = FreqIndex::build(
+            &trees,
+            FreqIndexOptions {
+                mss: 2,
+                fraction: 1.0,
+            },
+        );
         let q = parse_query("QQQ", &mut li).unwrap();
         let (m, stats) = idx.evaluate(&q);
         assert!(m.is_empty());

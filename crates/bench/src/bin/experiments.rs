@@ -7,13 +7,26 @@
 //! ```
 //!
 //! Experiment ids: fig2 fig3 fig8 fig9 fig10 tab1 fig11 fig12 tab2 fig13
-//! tab3 (or `all`). See DESIGN.md §6 for the per-experiment index and
-//! EXPERIMENTS.md for recorded paper-vs-measured results.
+//! tab3 streaming (or `all`). See DESIGN.md §6 for the per-experiment
+//! index and EXPERIMENTS.md for recorded paper-vs-measured results.
+//! `streaming` runs the executor ablation (streaming pipeline vs legacy
+//! materializing evaluator) and writes `BENCH_streaming.json`.
 
 use si_bench::harness::{self, Scale};
 
 const ALL: &[&str] = &[
-    "fig2", "fig3", "fig8", "fig9", "fig10", "tab1", "fig11", "fig12", "tab2", "fig13", "tab3",
+    "fig2",
+    "fig3",
+    "fig8",
+    "fig9",
+    "fig10",
+    "tab1",
+    "fig11",
+    "fig12",
+    "tab2",
+    "fig13",
+    "tab3",
+    "streaming",
 ];
 
 fn main() {
@@ -61,6 +74,10 @@ fn main() {
             "tab2" => harness::tab2(scale),
             "fig13" => harness::fig13(scale),
             "tab3" => harness::tab3(),
+            "streaming" => {
+                let rows = harness::run_streaming_ablation(scale);
+                harness::emit_streaming_ablation(scale, &rows).expect("write BENCH_streaming.json");
+            }
             _ => unreachable!("validated above"),
         }
     }

@@ -81,7 +81,9 @@ pub const CORPUS_SEED: u64 = 0x5EED_0001;
 
 /// Generates the standard corpus of `n` sentences.
 pub fn corpus(n: usize) -> Corpus {
-    GeneratorConfig::default().with_seed(CORPUS_SEED).generate(n)
+    GeneratorConfig::default()
+        .with_seed(CORPUS_SEED)
+        .generate(n)
 }
 
 /// A scratch directory under the system temp dir, removed on drop.
@@ -263,7 +265,10 @@ fn grid_table(cells: &[GridCell], what: &str, f: impl Fn(&GridCell) -> String) {
     sizes.dedup();
     for &n in &sizes {
         println!("\n## {n} sentences — {what}");
-        println!("{:<18} {:>12} {:>12} {:>12} {:>12} {:>12}", "coding", "mss=1", "mss=2", "mss=3", "mss=4", "mss=5");
+        println!(
+            "{:<18} {:>12} {:>12} {:>12} {:>12} {:>12}",
+            "coding", "mss=1", "mss=2", "mss=3", "mss=4", "mss=5"
+        );
         for coding in Coding::ALL {
             let mut row = format!("{:<18}", coding.name());
             for mss in 1..=5 {
@@ -281,7 +286,9 @@ fn grid_table(cells: &[GridCell], what: &str, f: impl Fn(&GridCell) -> String) {
 /// Prints Figure 8 (index size in bytes).
 pub fn fig8(cells: &[GridCell]) {
     println!("# Figure 8: subtree index size (bytes)");
-    grid_table(cells, "index size (bytes)", |c| c.stats.index_bytes.to_string());
+    grid_table(cells, "index size (bytes)", |c| {
+        c.stats.index_bytes.to_string()
+    });
 }
 
 /// Prints Figure 9 (total number of postings).
@@ -293,13 +300,18 @@ pub fn fig9(cells: &[GridCell]) {
 /// Prints Figure 10 (index construction time).
 pub fn fig10(cells: &[GridCell]) {
     println!("# Figure 10: index construction time (seconds)");
-    grid_table(cells, "build seconds", |c| format!("{:.2}", c.stats.build_seconds));
+    grid_table(cells, "build seconds", |c| {
+        format!("{:.2}", c.stats.build_seconds)
+    });
 }
 
 /// Prints Table 1 (size ratio mss=5 / mss=1 per coding).
 pub fn tab1(cells: &[GridCell]) {
     println!("# Table 1: index size ratio, mss=5 over mss=1");
-    println!("{:<10} {:>14} {:>12} {:>18}", "sentences", "filter-based", "root-split", "subtree interval");
+    println!(
+        "{:<10} {:>14} {:>12} {:>18}",
+        "sentences", "filter-based", "root-split", "subtree interval"
+    );
     let mut sizes: Vec<usize> = cells.iter().map(|c| c.sentences).collect();
     sizes.sort_unstable();
     sizes.dedup();
@@ -347,7 +359,11 @@ pub fn run_query_grid(scale: Scale) -> Vec<QueryRun> {
     let n = scale.query_corpus();
     let big = corpus(n);
     let (wh, fb) = workload(&big, 200);
-    let queries: Vec<&Query> = wh.iter().map(|(_, q)| q).chain(fb.iter().map(|(_, _, q)| q)).collect();
+    let queries: Vec<&Query> = wh
+        .iter()
+        .map(|(_, q)| q)
+        .chain(fb.iter().map(|(_, _, q)| q))
+        .collect();
     let mut runs = Vec::new();
     for mss in 1..=5 {
         for coding in Coding::ALL {
@@ -394,13 +410,18 @@ pub fn fig11(runs: &[QueryRun]) {
     ];
     for mss in 1..=5 {
         println!("\n## mss = {mss}");
-        println!("{:<18} {:>10} {:>10} {:>10} {:>10} {:>10}", "coding", "<10", "10-100", "100-1k", "1k-10k", ">10k");
+        println!(
+            "{:<18} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            "coding", "<10", "10-100", "100-1k", "1k-10k", ">10k"
+        );
         for coding in Coding::ALL {
             let mut row = format!("{:<18}", coding.name());
             for (_, lo, hi) in bins {
                 let sel: Vec<&QueryRun> = runs
                     .iter()
-                    .filter(|r| r.coding == coding && r.mss == mss && r.matches >= lo && r.matches < hi)
+                    .filter(|r| {
+                        r.coding == coding && r.mss == mss && r.matches >= lo && r.matches < hi
+                    })
                     .collect();
                 if sel.is_empty() {
                     row.push_str(&format!(" {:>10}", "-"));
@@ -431,7 +452,10 @@ pub fn fig12(runs: &[QueryRun]) {
                 let sel: Vec<&QueryRun> = runs
                     .iter()
                     .filter(|r| {
-                        r.coding == coding && r.mss == mss && r.query_size == size && r.matches >= 100
+                        r.coding == coding
+                            && r.mss == mss
+                            && r.query_size == size
+                            && r.matches >= 100
                     })
                     .collect();
                 if sel.is_empty() {
@@ -548,7 +572,11 @@ pub fn fig13(scale: Scale) {
     for &n in &sizes {
         let trees = &big.trees()[..n];
         let mut row = format!("{n:<10}");
-        for coding in [Coding::FilterBased, Coding::RootSplit, Coding::SubtreeInterval] {
+        for coding in [
+            Coding::FilterBased,
+            Coding::RootSplit,
+            Coding::SubtreeInterval,
+        ] {
             let dir = work.path(&format!("{n}-{coding:?}"));
             let index =
                 SubtreeIndex::build(&dir, trees, big.interner(), IndexOptions::new(3, coding))
@@ -590,7 +618,11 @@ pub fn tab3() {
     }
     println!();
     for group in WhGroup::ALL {
-        let queries: Vec<&Query> = wh.iter().filter(|q| q.group == group).map(|q| &q.query).collect();
+        let queries: Vec<&Query> = wh
+            .iter()
+            .filter(|q| q.group == group)
+            .map(|q| &q.query)
+            .collect();
         print!("{:<8}", group.to_string());
         for mss in 2..=5 {
             let avg = |covers: &dyn Fn(&Query) -> usize| -> f64 {
@@ -604,8 +636,219 @@ pub fn tab3() {
     }
 }
 
+// --------------------------------------------------------------------
+// Streaming-executor ablation: BENCH_streaming.json
+// --------------------------------------------------------------------
+
+/// One executor's measurement of one query.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecMeasure {
+    /// Mean wall-clock seconds over `Scale::reps()` runs.
+    pub seconds: f64,
+    /// Peak resident posting-derived bytes (`EvalStats::peak_posting_bytes`).
+    pub peak_posting_bytes: usize,
+    /// Postings decoded.
+    pub postings_fetched: usize,
+}
+
+/// Streaming vs materialized on one query.
+#[derive(Debug, Clone)]
+pub struct AblationRow {
+    /// Query text.
+    pub name: String,
+    /// Coding scheme measured.
+    pub coding: Coding,
+    /// Match count (identical across executors by construction).
+    pub matches: usize,
+    /// Streaming pipeline measurement.
+    pub streaming: ExecMeasure,
+    /// Legacy materializing evaluator measurement.
+    pub materialized: ExecMeasure,
+}
+
+fn measure(
+    index: &SubtreeIndex,
+    q: &Query,
+    reps: usize,
+) -> (Vec<(si_parsetree::TreeId, u32)>, ExecMeasure) {
+    let mut seconds = 0.0;
+    let mut last = None;
+    for _ in 0..reps {
+        let (result, secs) = time(|| index.evaluate(q).expect("evaluate"));
+        seconds += secs;
+        last = Some(result);
+    }
+    let result = last.expect("at least one rep");
+    let measure = ExecMeasure {
+        seconds: seconds / reps as f64,
+        peak_posting_bytes: result.stats.peak_posting_bytes,
+        postings_fetched: result.stats.postings_fetched,
+    };
+    (result.matches, measure)
+}
+
+/// Runs the executor ablation: every workload query under both
+/// executors, asserting identical match sets (a live equivalence check)
+/// and recording latency plus peak resident posting bytes.
+pub fn run_streaming_ablation(scale: Scale) -> Vec<AblationRow> {
+    let work = Workdir::new("streamabl");
+    let n = match scale {
+        Scale::Small => 5_000,
+        Scale::Paper => 100_000,
+    };
+    let big = corpus(n);
+    let (wh, fb) = workload(&big, 200);
+    let queries: Vec<(String, &Query)> = wh
+        .iter()
+        .map(|(name, q)| (name.clone(), q))
+        .chain(fb.iter().map(|(c, s, q)| (format!("fb-{c}-{s}"), q)))
+        .collect();
+    let reps = scale.reps();
+    let mut rows = Vec::new();
+    for coding in [
+        Coding::RootSplit,
+        Coding::SubtreeInterval,
+        Coding::FilterBased,
+    ] {
+        let dir = work.path(&format!("abl-{coding:?}"));
+        let mut index = SubtreeIndex::build(
+            &dir,
+            big.trees(),
+            big.interner(),
+            IndexOptions::new(3, coding),
+        )
+        .expect("ablation build");
+        for (name, q) in &queries {
+            index.set_exec_mode(si_core::ExecMode::Streaming);
+            let (m_s, streaming) = measure(&index, q, reps);
+            index.set_exec_mode(si_core::ExecMode::Materialized);
+            let (m_m, materialized) = measure(&index, q, reps);
+            assert_eq!(
+                m_s, m_m,
+                "executor match-set mismatch on {name} under {coding}"
+            );
+            rows.push(AblationRow {
+                name: name.clone(),
+                coding,
+                matches: m_s.len(),
+                streaming,
+                materialized,
+            });
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    rows
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Prints the ablation summary and writes `BENCH_streaming.json` into
+/// the current directory so future PRs have a perf trajectory to diff
+/// against.
+pub fn emit_streaming_ablation(scale: Scale, rows: &[AblationRow]) -> std::io::Result<()> {
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"scale\": \"{scale:?}\",\n  \"mss\": 3,\n  \"queries\": [\n"
+    ));
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"query\": \"{}\", \"coding\": \"{}\", \"matches\": {}, \
+             \"streaming\": {{\"seconds\": {:.6}, \"peak_posting_bytes\": {}, \"postings_fetched\": {}}}, \
+             \"materialized\": {{\"seconds\": {:.6}, \"peak_posting_bytes\": {}, \"postings_fetched\": {}}}}}{}\n",
+            json_escape(&r.name),
+            r.coding.name(),
+            r.matches,
+            r.streaming.seconds,
+            r.streaming.peak_posting_bytes,
+            r.streaming.postings_fetched,
+            r.materialized.seconds,
+            r.materialized.peak_posting_bytes,
+            r.materialized.postings_fetched,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ],\n");
+
+    // Summary per coding: mean latency and byte-footprint wins.
+    println!("# Executor ablation: streaming vs materialized (peak resident posting bytes)");
+    println!(
+        "{:<18} {:>8} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "coding", "queries", "str ms", "mat ms", "str KiB", "mat KiB", "<50% B"
+    );
+    let mut summaries = Vec::new();
+    for coding in [
+        Coding::RootSplit,
+        Coding::SubtreeInterval,
+        Coding::FilterBased,
+    ] {
+        let sel: Vec<&AblationRow> = rows.iter().filter(|r| r.coding == coding).collect();
+        if sel.is_empty() {
+            continue;
+        }
+        let mean = |f: &dyn Fn(&AblationRow) -> f64| -> f64 {
+            sel.iter().map(|r| f(r)).sum::<f64>() / sel.len() as f64
+        };
+        let s_ms = mean(&|r| r.streaming.seconds) * 1e3;
+        let m_ms = mean(&|r| r.materialized.seconds) * 1e3;
+        let s_kib = mean(&|r| r.streaming.peak_posting_bytes as f64) / 1024.0;
+        let m_kib = mean(&|r| r.materialized.peak_posting_bytes as f64) / 1024.0;
+        let below_half = sel
+            .iter()
+            .filter(|r| {
+                r.materialized.peak_posting_bytes > 0
+                    && (r.streaming.peak_posting_bytes as f64)
+                        < 0.5 * r.materialized.peak_posting_bytes as f64
+            })
+            .count();
+        println!(
+            "{:<18} {:>8} {:>12.4} {:>12.4} {:>12.1} {:>12.1} {:>10}",
+            coding.name(),
+            sel.len(),
+            s_ms,
+            m_ms,
+            s_kib,
+            m_kib,
+            below_half
+        );
+        summaries.push(format!(
+            "    {{\"coding\": \"{}\", \"queries\": {}, \"streaming_mean_ms\": {:.4}, \
+             \"materialized_mean_ms\": {:.4}, \"streaming_mean_peak_bytes\": {:.0}, \
+             \"materialized_mean_peak_bytes\": {:.0}, \"queries_below_half_bytes\": {}}}",
+            coding.name(),
+            sel.len(),
+            s_ms,
+            m_ms,
+            s_kib * 1024.0,
+            m_kib * 1024.0,
+            below_half
+        ));
+    }
+    json.push_str("  \"summary\": [\n");
+    json.push_str(&summaries.join(",\n"));
+    json.push_str("\n  ]\n}\n");
+    std::fs::write("BENCH_streaming.json", json)?;
+    println!(
+        "wrote BENCH_streaming.json ({} query measurements)",
+        rows.len()
+    );
+    Ok(())
+}
+
 /// Convenience: a tiny corpus + root-split index for Criterion benches.
-pub fn bench_fixture(sentences: usize, mss: usize, coding: Coding) -> (Workdir, Corpus, SubtreeIndex) {
+pub fn bench_fixture(
+    sentences: usize,
+    mss: usize,
+    coding: Coding,
+) -> (Workdir, Corpus, SubtreeIndex) {
     let work = Workdir::new(&format!("crit-{sentences}-{mss}-{coding:?}"));
     let big = corpus(sentences);
     let index = SubtreeIndex::build(

@@ -47,11 +47,7 @@ impl Args {
                 let value = argv
                     .get(i + 1)
                     .ok_or_else(|| ArgError::MissingValue(name.to_owned()))?;
-                if out
-                    .flags
-                    .insert(name.to_owned(), value.clone())
-                    .is_some()
-                {
+                if out.flags.insert(name.to_owned(), value.clone()).is_some() {
                     return Err(ArgError::Duplicate(name.to_owned()));
                 }
                 i += 2;
@@ -130,13 +126,20 @@ mod tests {
             ArgError::Duplicate("a".into())
         );
         let a = Args::parse(&argv(&["--n", "abc"])).unwrap();
-        assert!(matches!(a.get_or::<u32>("n", 0), Err(ArgError::Invalid(_, _))));
+        assert!(matches!(
+            a.get_or::<u32>("n", 0),
+            Err(ArgError::Invalid(_, _))
+        ));
         assert!(matches!(a.required("x"), Err(ArgError::Required(_))));
     }
 
     #[test]
     fn display_messages() {
-        assert!(ArgError::Required("idx".into()).to_string().contains("--idx"));
-        assert!(ArgError::Invalid("n".into(), "x".into()).to_string().contains("parse"));
+        assert!(ArgError::Required("idx".into())
+            .to_string()
+            .contains("--idx"));
+        assert!(ArgError::Invalid("n".into(), "x".into())
+            .to_string()
+            .contains("parse"));
     }
 }

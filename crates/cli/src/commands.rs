@@ -6,7 +6,7 @@ use std::path::Path;
 
 use si_core::build_ext::ExternalBuildConfig;
 use si_core::cover::decompose;
-use si_core::{Coding, IndexOptions, SubtreeIndex};
+use si_core::{Coding, ExecMode, IndexOptions, SubtreeIndex};
 use si_corpus::GeneratorConfig;
 use si_parsetree::{ptb, LabelInterner};
 use si_query::{parse_query, write_query};
@@ -23,7 +23,8 @@ USAGE:
   si build     --input FILE --index DIR [--mss 3]
                [--coding root-split|filter|interval]
                [--external true]                            build an index from PTB text
-  si query     --index DIR QUERY [--show N]                 evaluate a tree query
+  si query     --index DIR QUERY [--show N]
+               [--exec streaming|materialized]              evaluate a tree query
   si scan      --input FILE QUERY [--show N]                TGrep2 mode: match without an index
   si extract   --input FILE [--mss 3] [--top 20]            most frequent subtree keys
   si stats     --index DIR                                  print index statistics
@@ -54,22 +55,29 @@ pub fn run(argv: &[String]) -> Result<(), AnyError> {
     }
 }
 
+fn parse_exec(name: Option<&str>) -> Result<ExecMode, AnyError> {
+    match name.unwrap_or("streaming") {
+        "streaming" | "s" => Ok(ExecMode::Streaming),
+        "materialized" | "m" | "legacy" => Ok(ExecMode::Materialized),
+        other => Err(format!("unknown executor {other:?} (streaming | materialized)").into()),
+    }
+}
+
 fn parse_coding(name: Option<&str>) -> Result<Coding, AnyError> {
     match name.unwrap_or("root-split") {
         "root-split" | "rs" => Ok(Coding::RootSplit),
         "filter" | "filter-based" | "fb" => Ok(Coding::FilterBased),
         "interval" | "subtree-interval" | "si" => Ok(Coding::SubtreeInterval),
-        other => Err(format!(
-            "unknown coding {other:?} (root-split | filter | interval)"
-        )
-        .into()),
+        other => Err(format!("unknown coding {other:?} (root-split | filter | interval)").into()),
     }
 }
 
 fn generate(args: &Args) -> Result<(), AnyError> {
     let sentences: usize = args.get_or("sentences", 1_000)?;
     let seed: u64 = args.get_or("seed", 42)?;
-    let corpus = GeneratorConfig::default().with_seed(seed).generate(sentences);
+    let corpus = GeneratorConfig::default()
+        .with_seed(seed)
+        .generate(sentences);
     let mut out: Box<dyn Write> = match args.get("out") {
         Some(path) => Box::new(std::io::BufWriter::new(std::fs::File::create(path)?)),
         None => Box::new(std::io::stdout().lock()),
@@ -116,19 +124,23 @@ fn query(args: &Args) -> Result<(), AnyError> {
     let [query_text] = args.positional() else {
         return Err("query: expected exactly one QUERY argument".into());
     };
-    let index = SubtreeIndex::open(Path::new(index_dir))?;
+    let exec = parse_exec(args.get("exec"))?;
+    let mut index = SubtreeIndex::open(Path::new(index_dir))?;
+    index.set_exec_mode(exec);
     let mut interner = index.interner();
     let query = parse_query(query_text, &mut interner)?;
     let started = std::time::Instant::now();
     let result = index.evaluate(&query)?;
     let elapsed = started.elapsed();
     println!(
-        "{} matches in {:.3} ms  ({} covers, {} joins, {} postings fetched{})",
+        "{} matches in {:.3} ms  ({} executor, {} covers, {} joins, {} postings fetched, {} peak posting bytes{})",
         result.len(),
         elapsed.as_secs_f64() * 1e3,
+        exec.name(),
         result.stats.covers,
         result.stats.joins,
         result.stats.postings_fetched,
+        result.stats.peak_posting_bytes,
         if result.stats.used_validation {
             ", post-validated"
         } else {
@@ -137,7 +149,10 @@ fn query(args: &Args) -> Result<(), AnyError> {
     );
     for &(tid, pre) in result.matches.iter().take(show) {
         let tree = index.store().get(tid)?;
-        println!("  tree {tid} @ node {pre}: {}", ptb::write(&tree, &interner));
+        println!(
+            "  tree {tid} @ node {pre}: {}",
+            ptb::write(&tree, &interner)
+        );
     }
     Ok(())
 }
@@ -242,7 +257,11 @@ fn print_stats(index: &SubtreeIndex) {
     println!("sentences  {}", index.store().len());
     println!("keys       {}", s.keys);
     println!("postings   {}", s.postings);
-    println!("index      {} bytes ({:.1} MiB)", s.index_bytes, s.index_bytes as f64 / (1 << 20) as f64);
+    println!(
+        "index      {} bytes ({:.1} MiB)",
+        s.index_bytes,
+        s.index_bytes as f64 / (1 << 20) as f64
+    );
     println!("postings   {} bytes", s.posting_bytes);
     println!("data file  {} bytes", s.data_bytes);
     println!("built in   {:.2} s", s.build_seconds);
@@ -329,7 +348,10 @@ mod tests {
     fn coding_names() {
         assert_eq!(parse_coding(Some("rs")).unwrap(), Coding::RootSplit);
         assert_eq!(parse_coding(Some("filter")).unwrap(), Coding::FilterBased);
-        assert_eq!(parse_coding(Some("interval")).unwrap(), Coding::SubtreeInterval);
+        assert_eq!(
+            parse_coding(Some("interval")).unwrap(),
+            Coding::SubtreeInterval
+        );
         assert_eq!(parse_coding(None).unwrap(), Coding::RootSplit);
         assert!(parse_coding(Some("bogus")).is_err());
     }
@@ -380,7 +402,11 @@ mod tests {
         let corpus_file = dir.join("corpus.ptb");
         let index_dir = dir.join("idx");
         run(&argv(&[
-            "generate", "--sentences", "50", "--out", corpus_file.to_str().unwrap(),
+            "generate",
+            "--sentences",
+            "50",
+            "--out",
+            corpus_file.to_str().unwrap(),
         ]))
         .unwrap();
         run(&argv(&[
@@ -393,15 +419,32 @@ mod tests {
             "true",
         ]))
         .unwrap();
-        run(&argv(&["query", "--index", index_dir.to_str().unwrap(), "NP(NN)"])).unwrap();
+        run(&argv(&[
+            "query",
+            "--index",
+            index_dir.to_str().unwrap(),
+            "NP(NN)",
+        ]))
+        .unwrap();
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn decompose_prints_cover() {
-        run(&argv(&["decompose", "--mss", "3", "S(NP(DT)(NN))(VP(VBZ))"])).unwrap();
         run(&argv(&[
-            "decompose", "--mss", "2", "--coding", "interval", "A(B(C))(D)",
+            "decompose",
+            "--mss",
+            "3",
+            "S(NP(DT)(NN))(VP(VBZ))",
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "decompose",
+            "--mss",
+            "2",
+            "--coding",
+            "interval",
+            "A(B(C))(D)",
         ]))
         .unwrap();
         assert!(run(&argv(&["decompose"])).is_err());
@@ -410,6 +453,53 @@ mod tests {
     #[test]
     fn query_requires_exactly_one_positional() {
         assert!(run(&argv(&["query", "--index", "/nonexistent"])).is_err());
+    }
+
+    #[test]
+    fn query_exec_flag_selects_executor() {
+        let dir = tmp("execflag");
+        let corpus_file = dir.join("corpus.ptb");
+        let index_dir = dir.join("idx");
+        run(&argv(&[
+            "generate",
+            "--sentences",
+            "40",
+            "--out",
+            corpus_file.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "build",
+            "--input",
+            corpus_file.to_str().unwrap(),
+            "--index",
+            index_dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let idx = index_dir.to_str().unwrap();
+        run(&argv(&[
+            "query",
+            "--index",
+            idx,
+            "--exec",
+            "streaming",
+            "NP(NN)",
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "query",
+            "--index",
+            idx,
+            "--exec",
+            "materialized",
+            "NP(NN)",
+        ]))
+        .unwrap();
+        assert!(run(&argv(&[
+            "query", "--index", idx, "--exec", "bogus", "NP(NN)"
+        ]))
+        .is_err());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
 
@@ -436,7 +526,15 @@ mod scan_extract_tests {
     #[test]
     fn scan_matches_like_tgrep() {
         let f = corpus_file("scan");
-        run(&argv(&["scan", "--input", f.to_str().unwrap(), "S(NP(NN))", "--show", "1"])).unwrap();
+        run(&argv(&[
+            "scan",
+            "--input",
+            f.to_str().unwrap(),
+            "S(NP(NN))",
+            "--show",
+            "1",
+        ]))
+        .unwrap();
         assert!(run(&argv(&["scan", "--input", f.to_str().unwrap()])).is_err());
         std::fs::remove_dir_all(f.parent().unwrap()).ok();
     }
@@ -445,7 +543,13 @@ mod scan_extract_tests {
     fn extract_dumps_keys() {
         let f = corpus_file("extract");
         run(&argv(&[
-            "extract", "--input", f.to_str().unwrap(), "--mss", "2", "--top", "5",
+            "extract",
+            "--input",
+            f.to_str().unwrap(),
+            "--mss",
+            "2",
+            "--top",
+            "5",
         ]))
         .unwrap();
         std::fs::remove_dir_all(f.parent().unwrap()).ok();

@@ -22,8 +22,9 @@ use si_query::Query;
 use si_storage::{BTree, CorpusStore, Result, StorageError};
 
 use crate::canonical::key_size;
-use crate::coding::{decode_postings, Coding, NodeVal, Posting, PostingBuilder};
-use crate::eval::{evaluate, EvalResult};
+use crate::coding::{decode_postings, Coding, NodeVal, Posting, PostingBuilder, PostingCursor};
+use crate::eval::EvalResult;
+use crate::exec::ExecMode;
 use crate::extract::for_each_subtree;
 use crate::join::JoinAlgo;
 
@@ -74,6 +75,7 @@ pub struct SubtreeIndex {
     store: CorpusStore,
     stats: IndexStats,
     join_algo: JoinAlgo,
+    exec_mode: ExecMode,
 }
 
 impl SubtreeIndex {
@@ -152,6 +154,7 @@ impl SubtreeIndex {
             store,
             stats,
             join_algo: JoinAlgo::Mpmgjn,
+            exec_mode: ExecMode::Streaming,
         };
         index.write_meta()?;
         Ok(index)
@@ -203,12 +206,11 @@ impl SubtreeIndex {
                                 occurrence.iter().map(|(v, _)| v.pre).collect();
                             pres.sort_unstable();
                             for (v, order) in occurrence.iter_mut() {
-                                *order =
-                                    pres.binary_search(&v.pre).expect("own pre") as u8 + 1;
+                                *order = pres.binary_search(&v.pre).expect("own pre") as u8 + 1;
                             }
-                            let entry = lists.entry(sub.key.clone()).or_insert_with(|| {
-                                (tid, tid, PostingBuilder::new(options.coding))
-                            });
+                            let entry = lists
+                                .entry(sub.key.clone())
+                                .or_insert_with(|| (tid, tid, PostingBuilder::new(options.coding)));
                             entry.2.push(tid, &occurrence);
                             entry.1 = tid;
                         });
@@ -276,6 +278,7 @@ impl SubtreeIndex {
             store,
             stats,
             join_algo: JoinAlgo::Mpmgjn,
+            exec_mode: ExecMode::Streaming,
         };
         index.write_meta()?;
         Ok(index)
@@ -341,6 +344,7 @@ impl SubtreeIndex {
             store,
             stats,
             join_algo: JoinAlgo::Mpmgjn,
+            exec_mode: ExecMode::Streaming,
         };
         index.write_meta()?;
         Ok(index)
@@ -349,8 +353,8 @@ impl SubtreeIndex {
     /// Opens an existing index directory.
     pub fn open(dir: &Path) -> Result<Self> {
         let meta = std::fs::read(dir.join("si.meta"))?;
-        let (options, stats) = decode_meta(&meta)
-            .ok_or_else(|| StorageError::Corrupt("si.meta".into()))?;
+        let (options, stats) =
+            decode_meta(&meta).ok_or_else(|| StorageError::Corrupt("si.meta".into()))?;
         let btree = BTree::open(&dir.join("index.bt"))?;
         let store = CorpusStore::open(&dir.join("corpus"))?;
         Ok(Self {
@@ -360,6 +364,7 @@ impl SubtreeIndex {
             store,
             stats,
             join_algo: JoinAlgo::Mpmgjn,
+            exec_mode: ExecMode::Streaming,
         })
     }
 
@@ -399,10 +404,27 @@ impl SubtreeIndex {
         self.join_algo
     }
 
+    /// Selects the query executor (default [`ExecMode::Streaming`]).
+    /// The materializing evaluator is retained as the equivalence
+    /// oracle and the bench ablation's baseline.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = mode;
+    }
+
+    /// The configured query executor.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
+    }
+
     /// Evaluates `query`, returning the distinct `(tid, pre)` pairs the
-    /// query root maps to, plus evaluation statistics.
+    /// query root maps to, plus evaluation statistics. Dispatches to the
+    /// streaming pipeline ([`crate::exec`]) or the legacy materializing
+    /// evaluator ([`crate::eval`]) per [`SubtreeIndex::exec_mode`].
     pub fn evaluate(&self, query: &Query) -> Result<EvalResult> {
-        evaluate(self, query)
+        match self.exec_mode {
+            ExecMode::Streaming => crate::exec::evaluate_streaming(self, query),
+            ExecMode::Materialized => crate::eval::evaluate(self, query),
+        }
     }
 
     /// Encoded posting-list length of a key in bytes, without decoding —
@@ -412,16 +434,38 @@ impl SubtreeIndex {
         self.btree.value_len(key)
     }
 
+    /// Opens a streaming posting cursor over `key`'s list: bytes flow
+    /// from the B+Tree one page at a time and decode incrementally —
+    /// the storage-to-coding seam of the streaming executor. `None`
+    /// when the key is absent.
+    pub fn posting_cursor(
+        &self,
+        key: &[u8],
+    ) -> Result<Option<PostingCursor<si_storage::ValueReader<'_>>>> {
+        let Some(reader) = self.btree.value_reader(key)? else {
+            return Ok(None);
+        };
+        let m = key_size(key).ok_or_else(|| StorageError::Corrupt("bad canonical key".into()))?;
+        Ok(Some(PostingCursor::new(self.options.coding, m, reader)))
+    }
+
     /// Fetches the decoded posting list of a canonical key, if indexed.
     pub fn postings(&self, key: &[u8]) -> Result<Option<Vec<Posting>>> {
+        Ok(self.postings_with_len(key)?.map(|(postings, _)| postings))
+    }
+
+    /// [`SubtreeIndex::postings`] plus the list's raw encoded byte
+    /// length, from the same single B+Tree descent (the legacy
+    /// evaluator's byte instrumentation needs both).
+    pub fn postings_with_len(&self, key: &[u8]) -> Result<Option<(Vec<Posting>, usize)>> {
         let Some(bytes) = self.btree.get(key)? else {
             return Ok(None);
         };
-        let m = key_size(key)
-            .ok_or_else(|| StorageError::Corrupt("bad canonical key".into()))?;
-        Ok(Some(
+        let m = key_size(key).ok_or_else(|| StorageError::Corrupt("bad canonical key".into()))?;
+        Ok(Some((
             decode_postings(self.options.coding, m, &bytes).collect(),
-        ))
+            bytes.len(),
+        )))
     }
 
     /// Iterates all `(key, posting list bytes)` pairs (statistics and the

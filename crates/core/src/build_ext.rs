@@ -81,9 +81,7 @@ pub fn build_runs(
     let mut buffered = 0usize;
     let mut occurrence: Vec<(NodeVal, u8)> = Vec::new();
 
-    let flush = |lists: &mut HashMap<Vec<u8>, OpenList>,
-                     runs: &mut Vec<PathBuf>|
-     -> Result<()> {
+    let flush = |lists: &mut HashMap<Vec<u8>, OpenList>, runs: &mut Vec<PathBuf>| -> Result<()> {
         if lists.is_empty() {
             return Ok(());
         }
@@ -207,10 +205,12 @@ impl RunReader {
             .ok_or_else(|| StorageError::Corrupt("run: count".into()))?;
         let first_tid = self
             .read_varint()?
-            .ok_or_else(|| StorageError::Corrupt("run: first_tid".into()))? as TreeId;
+            .ok_or_else(|| StorageError::Corrupt("run: first_tid".into()))?
+            as TreeId;
         let last_tid = self
             .read_varint()?
-            .ok_or_else(|| StorageError::Corrupt("run: last_tid".into()))? as TreeId;
+            .ok_or_else(|| StorageError::Corrupt("run: last_tid".into()))?
+            as TreeId;
         let len = self
             .read_varint()?
             .ok_or_else(|| StorageError::Corrupt("run: len".into()))?;
@@ -365,8 +365,14 @@ mod tests {
     #[test]
     fn empty_corpus_yields_no_runs() {
         let dir = tmp("empty");
-        let runs = build_runs(&dir, &[], 3, Coding::RootSplit, ExternalBuildConfig::default())
-            .unwrap();
+        let runs = build_runs(
+            &dir,
+            &[],
+            3,
+            Coding::RootSplit,
+            ExternalBuildConfig::default(),
+        )
+        .unwrap();
         assert!(runs.is_empty());
         let mut merger = RunMerger::open(&runs).unwrap();
         assert!(merger.next_key().unwrap().is_none());

@@ -229,11 +229,9 @@ mod tests {
     use si_parsetree::{ptb, LabelInterner, NodeId, ParseTree};
 
     fn encode_tree(tree: &ParseTree) -> (Vec<u8>, Vec<NodeId>) {
-        canon_encode(
-            tree.root(),
-            &|n| tree.label(n).id(),
-            &|n| tree.children(n).collect::<Vec<_>>(),
-        )
+        canon_encode(tree.root(), &|n| tree.label(n).id(), &|n| {
+            tree.children(n).collect::<Vec<_>>()
+        })
     }
 
     #[test]
@@ -277,11 +275,9 @@ mod tests {
             assert_eq!(decoded.size(), t.len());
             assert_eq!(key_size(&enc), Some(t.len()));
             // Re-encoding the decoded shape is a fixpoint.
-            let (enc2, _) = canon_encode(
-                &decoded,
-                &|n: &CanonTree| n.label,
-                &|n: &CanonTree| n.children.iter().collect::<Vec<_>>(),
-            );
+            let (enc2, _) = canon_encode(&decoded, &|n: &CanonTree| n.label, &|n: &CanonTree| {
+                n.children.iter().collect::<Vec<_>>()
+            });
             assert_eq!(enc, enc2);
         }
     }

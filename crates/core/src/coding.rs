@@ -35,7 +35,11 @@ pub enum Coding {
 
 impl Coding {
     /// All codings in the paper's reporting order.
-    pub const ALL: [Coding; 3] = [Coding::FilterBased, Coding::RootSplit, Coding::SubtreeInterval];
+    pub const ALL: [Coding; 3] = [
+        Coding::FilterBased,
+        Coding::RootSplit,
+        Coding::SubtreeInterval,
+    ];
 
     /// Human-readable name as used in the paper's figures.
     pub fn name(&self) -> &'static str {
@@ -195,24 +199,224 @@ impl PostingBuilder {
     }
 }
 
+/// An incremental source of posting-list bytes: an in-memory slice
+/// ([`SliceSource`]) or a disk cursor walking B+Tree overflow chains
+/// page-by-page (`ValueReader`, see `crate::build`). The streaming
+/// executor never sees more than one chunk plus a partial posting in
+/// memory at a time.
+pub trait ChunkSource {
+    /// Appends the next chunk of bytes to `out`, returning how many bytes
+    /// were appended. `Ok(0)` signals exhaustion.
+    fn read_chunk(&mut self, out: &mut Vec<u8>) -> si_storage::Result<usize>;
+}
+
+/// A B+Tree value cursor is a chunk source: each chunk is one disk
+/// page's payload, so a [`PostingCursor`] over it decodes straight off
+/// the pager without ever materializing the list.
+impl ChunkSource for si_storage::btree::ValueReader<'_> {
+    fn read_chunk(&mut self, out: &mut Vec<u8>) -> si_storage::Result<usize> {
+        si_storage::btree::ValueReader::read_chunk(self, out)
+    }
+}
+
+/// [`ChunkSource`] over an in-memory byte slice; delivers everything as
+/// one chunk.
+pub struct SliceSource<'a> {
+    bytes: &'a [u8],
+    done: bool,
+}
+
+impl<'a> SliceSource<'a> {
+    /// Wraps `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, done: false }
+    }
+}
+
+impl ChunkSource for SliceSource<'_> {
+    fn read_chunk(&mut self, out: &mut Vec<u8>) -> si_storage::Result<usize> {
+        if self.done {
+            return Ok(0);
+        }
+        self.done = true;
+        out.extend_from_slice(self.bytes);
+        Ok(self.bytes.len())
+    }
+}
+
+/// Streaming decoder of a posting list produced by [`PostingBuilder`]:
+/// pulls bytes from any [`ChunkSource`] and yields one [`Posting`] at a
+/// time, carrying the `tid` delta-decode state across chunk (and hence
+/// disk-page) boundaries. The resident buffer holds at most one source
+/// chunk plus one partial posting, so decoding a multi-page posting list
+/// costs O(chunk) memory instead of O(list).
+pub struct PostingCursor<S> {
+    coding: Coding,
+    key_nodes: usize,
+    src: S,
+    /// Undecoded byte window; `pos..` is live.
+    buf: Vec<u8>,
+    pos: usize,
+    tid: TreeId,
+    first: bool,
+    src_done: bool,
+    decoded: usize,
+    peak_buf: usize,
+}
+
+impl<S: ChunkSource> PostingCursor<S> {
+    /// Creates a cursor. `key_nodes` is the key's node count (needed by
+    /// the interval coding; ignored otherwise).
+    pub fn new(coding: Coding, key_nodes: usize, src: S) -> Self {
+        Self {
+            coding,
+            key_nodes,
+            src,
+            buf: Vec::new(),
+            pos: 0,
+            tid: 0,
+            first: true,
+            src_done: false,
+            decoded: 0,
+            peak_buf: 0,
+        }
+    }
+
+    /// Postings decoded so far.
+    pub fn decoded(&self) -> usize {
+        self.decoded
+    }
+
+    /// High-water mark of resident undecoded bytes — the streaming
+    /// executor's "pages in flight" figure for this list.
+    pub fn peak_buffer_bytes(&self) -> usize {
+        self.peak_buf
+    }
+
+    /// Pulls one more chunk from the source into the window, compacting
+    /// the consumed prefix first. Returns whether new bytes arrived.
+    fn refill(&mut self) -> si_storage::Result<bool> {
+        if self.src_done {
+            return Ok(false);
+        }
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        let n = self.src.read_chunk(&mut self.buf)?;
+        if n == 0 {
+            self.src_done = true;
+        }
+        self.peak_buf = self.peak_buf.max(self.buf.len());
+        Ok(n > 0)
+    }
+
+    /// Attempts to decode one posting from the current window without
+    /// consuming on failure. `None` = window truncated mid-posting.
+    fn try_decode(&self) -> Option<(Posting, usize)> {
+        decode_one(
+            self.coding,
+            self.key_nodes,
+            self.first,
+            self.tid,
+            &self.buf[self.pos..],
+        )
+    }
+
+    /// Decodes the next posting, refilling from the source as needed.
+    /// Returns `Ok(None)` at a clean end of list; a list that ends
+    /// mid-posting is reported as corruption.
+    pub fn next_posting(&mut self) -> si_storage::Result<Option<Posting>> {
+        loop {
+            if self.pos < self.buf.len() {
+                if let Some((posting, used)) = self.try_decode() {
+                    self.pos += used;
+                    self.tid = match posting {
+                        Posting::Tid(tid) => tid,
+                        Posting::Root { tid, .. } => tid,
+                        Posting::Occurrence { tid, .. } => tid,
+                    };
+                    self.first = false;
+                    self.decoded += 1;
+                    return Ok(Some(posting));
+                }
+            }
+            if !self.refill()? {
+                return if self.pos < self.buf.len() {
+                    Err(si_storage::StorageError::Corrupt(
+                        "posting list ends mid-posting".into(),
+                    ))
+                } else {
+                    Ok(None)
+                };
+            }
+        }
+    }
+}
+
+/// Decodes one posting from the front of `bytes`, returning it and the
+/// bytes consumed; `None` when `bytes` ends mid-posting. The single
+/// decode implementation behind both [`PostingCursor`] (chunked) and
+/// [`PostingIter`] (borrowed slice).
+fn decode_one(
+    coding: Coding,
+    key_nodes: usize,
+    first: bool,
+    prev_tid: TreeId,
+    bytes: &[u8],
+) -> Option<(Posting, usize)> {
+    let mut r = varint::Reader::new(bytes);
+    let delta = r.u32()?;
+    let tid = if first { delta } else { prev_tid + delta };
+    let posting = match coding {
+        Coding::FilterBased => Posting::Tid(tid),
+        Coding::RootSplit => {
+            let pre = r.u32()?;
+            let post = r.u32()?;
+            let level = r.u32()? as u16;
+            Posting::Root {
+                tid,
+                root: NodeVal { pre, post, level },
+            }
+        }
+        Coding::SubtreeInterval => {
+            let mut nodes = Vec::with_capacity(key_nodes);
+            for _ in 0..key_nodes {
+                let pre = r.u32()?;
+                let post = r.u32()?;
+                let level = r.u32()? as u16;
+                let order = r.u32()? as u8;
+                nodes.push((NodeVal { pre, post, level }, order));
+            }
+            Posting::Occurrence { tid, nodes }
+        }
+    };
+    Some((posting, r.position()))
+}
+
 /// Decodes a posting list produced by [`PostingBuilder`]. `key_nodes` is
 /// the key's node count (needed by the interval coding; ignored
-/// otherwise).
+/// otherwise). Borrows `bytes` zero-copy; the streaming executor uses
+/// [`PostingCursor`] over B+Tree value readers instead.
 pub fn decode_postings(coding: Coding, key_nodes: usize, bytes: &[u8]) -> PostingIter<'_> {
     PostingIter {
         coding,
         key_nodes,
-        r: varint::Reader::new(bytes),
+        bytes,
+        pos: 0,
         tid: 0,
         first: true,
     }
 }
 
-/// Iterator over decoded [`Posting`]s.
+/// Iterator over decoded [`Posting`]s of an in-memory list, decoding in
+/// place without copying the list. Truncated lists end the iteration
+/// early.
 pub struct PostingIter<'a> {
     coding: Coding,
     key_nodes: usize,
-    r: varint::Reader<'a>,
+    bytes: &'a [u8],
+    pos: usize,
     tid: TreeId,
     first: bool,
 }
@@ -221,38 +425,24 @@ impl Iterator for PostingIter<'_> {
     type Item = Posting;
 
     fn next(&mut self) -> Option<Posting> {
-        if self.r.is_empty() {
+        if self.pos >= self.bytes.len() {
             return None;
         }
-        let delta = self.r.u32()?;
-        self.tid = if self.first { delta } else { self.tid + delta };
+        let (posting, used) = decode_one(
+            self.coding,
+            self.key_nodes,
+            self.first,
+            self.tid,
+            &self.bytes[self.pos..],
+        )?;
+        self.pos += used;
+        self.tid = match &posting {
+            Posting::Tid(tid) => *tid,
+            Posting::Root { tid, .. } => *tid,
+            Posting::Occurrence { tid, .. } => *tid,
+        };
         self.first = false;
-        match self.coding {
-            Coding::FilterBased => Some(Posting::Tid(self.tid)),
-            Coding::RootSplit => {
-                let pre = self.r.u32()?;
-                let post = self.r.u32()?;
-                let level = self.r.u32()? as u16;
-                Some(Posting::Root {
-                    tid: self.tid,
-                    root: NodeVal { pre, post, level },
-                })
-            }
-            Coding::SubtreeInterval => {
-                let mut nodes = Vec::with_capacity(self.key_nodes);
-                for _ in 0..self.key_nodes {
-                    let pre = self.r.u32()?;
-                    let post = self.r.u32()?;
-                    let level = self.r.u32()? as u16;
-                    let order = self.r.u32()? as u8;
-                    nodes.push((NodeVal { pre, post, level }, order));
-                }
-                Some(Posting::Occurrence {
-                    tid: self.tid,
-                    nodes,
-                })
-            }
-        }
+        Some(posting)
     }
 }
 
@@ -292,9 +482,18 @@ mod tests {
         assert_eq!(
             got,
             vec![
-                Posting::Root { tid: 1, root: nv(4, 9, 2) },
-                Posting::Root { tid: 1, root: nv(9, 12, 2) },
-                Posting::Root { tid: 2, root: nv(0, 3, 0) },
+                Posting::Root {
+                    tid: 1,
+                    root: nv(4, 9, 2)
+                },
+                Posting::Root {
+                    tid: 1,
+                    root: nv(9, 12, 2)
+                },
+                Posting::Root {
+                    tid: 2,
+                    root: nv(0, 3, 0)
+                },
             ]
         );
     }
@@ -312,8 +511,14 @@ mod tests {
         assert_eq!(
             got,
             vec![
-                Posting::Occurrence { tid: 1, nodes: occ1.to_vec() },
-                Posting::Occurrence { tid: 1, nodes: occ2.to_vec() },
+                Posting::Occurrence {
+                    tid: 1,
+                    nodes: occ1.to_vec()
+                },
+                Posting::Occurrence {
+                    tid: 1,
+                    nodes: occ2.to_vec()
+                },
             ]
         );
     }
@@ -336,7 +541,11 @@ mod tests {
             })
             .collect();
         let mut sizes = Vec::new();
-        for coding in [Coding::FilterBased, Coding::RootSplit, Coding::SubtreeInterval] {
+        for coding in [
+            Coding::FilterBased,
+            Coding::RootSplit,
+            Coding::SubtreeInterval,
+        ] {
             let mut b = PostingBuilder::new(coding);
             for (tid, nodes) in &occs {
                 b.push(*tid, nodes);
@@ -364,6 +573,89 @@ mod tests {
     fn empty_list_decodes_empty() {
         assert_eq!(decode_postings(Coding::FilterBased, 1, &[]).count(), 0);
         assert_eq!(decode_postings(Coding::RootSplit, 1, &[]).count(), 0);
+    }
+
+    /// Source that drips bytes in fixed-size chunks, simulating page
+    /// boundaries falling mid-varint and mid-posting.
+    struct DripSource {
+        bytes: Vec<u8>,
+        pos: usize,
+        chunk: usize,
+    }
+
+    impl ChunkSource for DripSource {
+        fn read_chunk(&mut self, out: &mut Vec<u8>) -> si_storage::Result<usize> {
+            let end = (self.pos + self.chunk).min(self.bytes.len());
+            let n = end - self.pos;
+            out.extend_from_slice(&self.bytes[self.pos..end]);
+            self.pos = end;
+            Ok(n)
+        }
+    }
+
+    fn all_codings_sample() -> Vec<(Coding, usize, Vec<u8>, Vec<Posting>)> {
+        let mut out = Vec::new();
+        for coding in Coding::ALL {
+            let mut b = PostingBuilder::new(coding);
+            for tid in [0u32, 1, 5, 5, 1_000_000, 4_000_000_000] {
+                b.push(
+                    tid,
+                    &[
+                        (nv(tid % 90, tid % 90 + 3, 2), 1),
+                        (nv(tid % 90 + 1, tid % 90 + 1, 3), 2),
+                    ],
+                );
+            }
+            let bytes = b.finish();
+            let want: Vec<Posting> = decode_postings(coding, 2, &bytes).collect();
+            out.push((coding, 2, bytes, want));
+        }
+        out
+    }
+
+    #[test]
+    fn cursor_preserves_delta_state_across_chunk_boundaries() {
+        for (coding, key_nodes, bytes, want) in all_codings_sample() {
+            for chunk in [1usize, 2, 3, 5, 7, 4096] {
+                let mut cursor = PostingCursor::new(
+                    coding,
+                    key_nodes,
+                    DripSource {
+                        bytes: bytes.clone(),
+                        pos: 0,
+                        chunk,
+                    },
+                );
+                let mut got = Vec::new();
+                while let Some(p) = cursor.next_posting().unwrap() {
+                    got.push(p);
+                }
+                assert_eq!(got, want, "{coding} chunk={chunk}");
+                assert_eq!(cursor.decoded(), want.len());
+                // Resident window never exceeds one chunk plus the
+                // partial posting carried over the boundary.
+                assert!(
+                    cursor.peak_buffer_bytes() <= chunk + 40,
+                    "{coding} chunk={chunk}: peak {}",
+                    cursor.peak_buffer_bytes()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_reports_truncated_list() {
+        let mut b = PostingBuilder::new(Coding::RootSplit);
+        b.push(3, &[(nv(1, 4, 1), 1)]);
+        b.push(9, &[(nv(2, 3, 2), 1)]);
+        let bytes = b.finish();
+        let cut = &bytes[..bytes.len() - 1];
+        let mut cursor = PostingCursor::new(Coding::RootSplit, 1, SliceSource::new(cut));
+        assert!(cursor.next_posting().unwrap().is_some());
+        assert!(
+            cursor.next_posting().is_err(),
+            "mid-posting end is corruption"
+        );
     }
 
     #[test]

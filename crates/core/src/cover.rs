@@ -425,15 +425,12 @@ impl<'q> Decomposer<'q> {
             .into_iter()
             .map(|(root, nodes)| {
                 let members = nodes;
-                let (key, canon_nodes) = canon_encode(
-                    root,
-                    &|n: QNodeId| q.label(n).id(),
-                    &|n: QNodeId| {
+                let (key, canon_nodes) =
+                    canon_encode(root, &|n: QNodeId| q.label(n).id(), &|n: QNodeId| {
                         q.children_via(n, Axis::Child)
                             .filter(|c| members.contains(c))
                             .collect::<Vec<_>>()
-                    },
-                );
+                    });
                 debug_assert_eq!(canon_nodes.len(), members.len());
                 CoverSubtree {
                     root,
@@ -510,11 +507,7 @@ mod tests {
                 let (query, _) = chain(n);
                 let cover = minrc(&query, mss);
                 cover.validate(&query, mss).unwrap();
-                assert_eq!(
-                    cover.subtrees.len(),
-                    n - mss + 1,
-                    "chain {n} mss {mss}"
-                );
+                assert_eq!(cover.subtrees.len(), n - mss + 1, "chain {n} mss {mss}");
             }
         }
     }
@@ -582,7 +575,11 @@ mod tests {
                         u.0
                     );
                     assert!(
-                        cover.subtrees.iter().filter(|s| s.contains(v)).all(|s| s.root == v),
+                        cover
+                            .subtrees
+                            .iter()
+                            .filter(|s| s.contains(v))
+                            .all(|s| s.root == v),
                         "{src}: child end of uncovered edge must be a root"
                     );
                 }
@@ -619,7 +616,11 @@ mod tests {
         assert!(
             cover.subtrees.iter().any(|s| s.root == b),
             "B must be a cover root: {:?}",
-            cover.subtrees.iter().map(|s| (s.root.0, s.size())).collect::<Vec<_>>()
+            cover
+                .subtrees
+                .iter()
+                .map(|s| (s.root.0, s.size()))
+                .collect::<Vec<_>>()
         );
     }
 

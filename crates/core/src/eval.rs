@@ -1,4 +1,12 @@
-//! Query evaluation over a [`SubtreeIndex`] (§4.3).
+//! The legacy **materializing** query evaluator (§4.3).
+//!
+//! This is the original evaluation path: every cover's posting list is
+//! fully decoded into `Vec<Tuple>` before the join phase, so memory
+//! scales with the largest posting list. It is retained behind
+//! [`crate::exec::ExecMode::Materialized`] as the equivalence oracle
+//! for the streaming executor ([`crate::exec`], the default) and as the
+//! baseline of the `crates/bench` executor ablation. `EvalStats`
+//! instrumentation (including `peak_posting_bytes`) is shared by both.
 //!
 //! The two phases of the paper:
 //!
@@ -21,20 +29,24 @@ use std::collections::HashSet;
 
 use si_parsetree::TreeId;
 use si_query::matcher::Matcher;
-use si_query::{Axis, QNodeId, Query};
+use si_query::{QNodeId, Query};
 
 use crate::build::SubtreeIndex;
 use crate::canonical::{automorphisms, decode_key};
 use crate::coding::{Coding, Posting};
 use crate::cover::{decompose, Cover};
-use crate::join::{intersect_tids, join, tid_cross_join, JoinKind, Pred, Tuple};
+use crate::join::{intersect_tids, join, tid_cross_join, tuples_bytes, JoinKind, Pred, Tuple};
+use crate::plan::{cross_stream_predicates, PredKind};
 
 /// Instrumentation of one evaluation.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EvalStats {
     /// Cover subtrees fetched.
     pub covers: usize,
-    /// Binary joins executed.
+    /// Binary joins in the executed plan. The streaming executor always
+    /// reports the full plan (its operators exist even when no tuple
+    /// flows); the materialized evaluator stops counting when an
+    /// intermediate result empties out.
     pub joins: usize,
     /// Postings decoded across all fetched lists.
     pub postings_fetched: usize,
@@ -43,6 +55,12 @@ pub struct EvalStats {
     /// Whether root-split fell back to post-validation (sibling-label
     /// distinctness not expressible over roots; DESIGN.md §5).
     pub used_validation: bool,
+    /// High-water mark of resident posting-derived bytes. The
+    /// materializing evaluator pays every stream's full tuple expansion
+    /// (plus the raw bytes of the list currently decoding); the
+    /// streaming executor pays the pages in flight plus its small
+    /// operator windows — the ablation `crates/bench` measures.
+    pub peak_posting_bytes: usize,
 }
 
 /// Matches plus statistics.
@@ -88,12 +106,24 @@ fn eval_filter(
         covers: cover.subtrees.len(),
         ..EvalStats::default()
     };
+    // Resident-byte accounting: raw list bytes are transient (alive only
+    // while that list decodes), the decoded tid lists stay live until the
+    // intersection completes.
+    let mut resident = 0usize;
     let mut lists: Vec<Vec<TreeId>> = Vec::with_capacity(cover.subtrees.len());
     for st in &cover.subtrees {
-        let Some(postings) = index.postings(&st.key)? else {
-            return Ok(EvalResult { matches: Vec::new(), stats });
+        let Some((postings, raw_bytes)) = index.postings_with_len(&st.key)? else {
+            return Ok(EvalResult {
+                matches: Vec::new(),
+                stats,
+            });
         };
         stats.postings_fetched += postings.len();
+        let tid_bytes = postings.len() * std::mem::size_of::<TreeId>();
+        stats.peak_posting_bytes = stats
+            .peak_posting_bytes
+            .max(resident + raw_bytes + tid_bytes);
+        resident += tid_bytes;
         lists.push(
             postings
                 .into_iter()
@@ -157,7 +187,10 @@ fn eval_structural(
     // remaining (possibly huge) lists are never touched.
     for st in &cover.subtrees {
         if index.posting_len(&st.key)?.is_none() {
-            return Ok(EvalResult { matches: Vec::new(), stats });
+            return Ok(EvalResult {
+                matches: Vec::new(),
+                stats,
+            });
         }
     }
 
@@ -168,19 +201,25 @@ fn eval_structural(
     // expansion. This is what makes selective queries cheap even when
     // the cover also contains a very frequent key.
     let mut fetch_order: Vec<usize> = (0..cover.subtrees.len()).collect();
-    {
-        let mut lens = Vec::with_capacity(cover.subtrees.len());
-        for st in &cover.subtrees {
-            lens.push(index.posting_len(&st.key)?.unwrap_or(0));
-        }
-        fetch_order.sort_by_key(|&i| lens[i]);
+    let mut lens = Vec::with_capacity(cover.subtrees.len());
+    for st in &cover.subtrees {
+        lens.push(index.posting_len(&st.key)?.unwrap_or(0));
     }
-    let mut streams_by_cover: Vec<Option<Stream>> = (0..cover.subtrees.len()).map(|_| None).collect();
+    fetch_order.sort_by_key(|&i| lens[i]);
+    // Resident-byte accounting: raw list bytes are transient (alive only
+    // while their stream is decoded and expanded); every stream's tuple
+    // expansion stays live until the join phase completes.
+    let mut resident = 0usize;
+    let mut streams_by_cover: Vec<Option<Stream>> =
+        (0..cover.subtrees.len()).map(|_| None).collect();
     let mut allowed_tids: Option<Vec<si_parsetree::TreeId>> = None;
     for &ci in &fetch_order {
         let st = &cover.subtrees[ci];
         let Some(postings) = index.postings(&st.key)? else {
-            return Ok(EvalResult { matches: Vec::new(), stats });
+            return Ok(EvalResult {
+                matches: Vec::new(),
+                stats,
+            });
         };
         stats.postings_fetched += postings.len();
         let tid_ok = |tid: si_parsetree::TreeId| -> bool {
@@ -195,8 +234,10 @@ fn eval_structural(
                 tuples: postings
                     .into_iter()
                     .filter_map(|p| match p {
-                        Posting::Root { tid, root } => tid_ok(tid)
-                            .then_some(Tuple { tid, slots: vec![root] }),
+                        Posting::Root { tid, root } => tid_ok(tid).then_some(Tuple {
+                            tid,
+                            slots: vec![root],
+                        }),
                         _ => unreachable!("root-split index yields root postings"),
                     })
                     .collect(),
@@ -229,8 +270,18 @@ fn eval_structural(
             }
             Coding::FilterBased => unreachable!("handled by eval_filter"),
         };
+        // The raw list bytes are transient (freed once decoded); the
+        // expanded tuples stay live until the join phase completes.
+        let tuple_bytes = tuples_bytes(&stream.tuples);
+        stats.peak_posting_bytes = stats
+            .peak_posting_bytes
+            .max(resident + lens[ci] as usize + tuple_bytes);
+        resident += tuple_bytes;
         if stream.tuples.is_empty() {
-            return Ok(EvalResult { matches: Vec::new(), stats });
+            return Ok(EvalResult {
+                matches: Vec::new(),
+                stats,
+            });
         }
         // Tids of this stream become the new allowed set (it is already
         // a subset of the previous one).
@@ -244,8 +295,11 @@ fn eval_structural(
         .map(|s| s.expect("all covers materialized"))
         .collect();
 
-    // Cross-stream predicates.
-    let (preds, needs_validation) = build_predicates(query, cover, &streams, coding);
+    // Cross-stream predicates (derivation shared with the streaming
+    // planner, `crate::plan`, so both executors enforce identical
+    // semantics).
+    let exposed: Vec<Vec<QNodeId>> = streams.iter().map(|s| s.qnodes.clone()).collect();
+    let (preds, needs_validation) = cross_stream_predicates(query, cover, &exposed);
 
     // Left-deep join: smallest stream first, connected steps preferred.
     let mut remaining: Vec<usize> = (0..streams.len()).collect();
@@ -260,9 +314,9 @@ fn eval_structural(
         let next_pos = remaining
             .iter()
             .position(|&s| {
-                preds
-                    .iter()
-                    .any(|p| (p.a == s && placed.contains(&p.b)) || (p.b == s && placed.contains(&p.a)))
+                preds.iter().any(|p| {
+                    (p.a == s && placed.contains(&p.b)) || (p.b == s && placed.contains(&p.a))
+                })
             })
             .unwrap_or(0);
         let s = remaining.remove(next_pos);
@@ -274,8 +328,9 @@ fn eval_structural(
         // end is already placed cannot drive our merge forms and become
         // residuals.
         let offset = joined_qnodes.len();
-        let slot_of_placed =
-            |q: QNodeId, qnodes: &[QNodeId]| -> Option<usize> { qnodes.iter().position(|&x| x == q) };
+        let slot_of_placed = |q: QNodeId, qnodes: &[QNodeId]| -> Option<usize> {
+            qnodes.iter().position(|&x| x == q)
+        };
         let mut driving: Option<(JoinKind, usize, usize)> = None;
         let mut residuals: Vec<Pred> = Vec::new();
         for p in preds.iter() {
@@ -286,8 +341,12 @@ fn eval_structural(
             } else {
                 continue;
             };
-            let Some(l) = slot_of_placed(placed_q, &joined_qnodes) else { continue };
-            let Some(rs) = stream.qnodes.iter().position(|&x| x == new_q) else { continue };
+            let Some(l) = slot_of_placed(placed_q, &joined_qnodes) else {
+                continue;
+            };
+            let Some(rs) = stream.qnodes.iter().position(|&x| x == new_q) else {
+                continue;
+            };
             let r_combined = offset + rs;
             match (p.kind, forward) {
                 (PredKind::Eq, _) => {
@@ -331,10 +390,16 @@ fn eval_structural(
             None => tid_cross_join(&joined, &stream.tuples, &residuals),
         };
         stats.joins += 1;
+        stats.peak_posting_bytes = stats
+            .peak_posting_bytes
+            .max(resident + tuples_bytes(&joined));
         joined_qnodes.extend(stream.qnodes.iter().copied());
         placed.push(s);
         if joined.is_empty() {
-            return Ok(EvalResult { matches: Vec::new(), stats });
+            return Ok(EvalResult {
+                matches: Vec::new(),
+                stats,
+            });
         }
     }
 
@@ -361,106 +426,6 @@ fn eval_structural(
     Ok(EvalResult { matches, stats })
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum PredKind {
-    Eq,
-    Parent,
-    Ancestor,
-    Neq,
-}
-
-/// A predicate between two streams: `kind` relates query node `aq`
-/// (exposed by stream `a`) to `bq` (exposed by stream `b`); for
-/// Parent/Ancestor, `aq` is the upper end.
-struct StreamPred {
-    a: usize,
-    b: usize,
-    aq: QNodeId,
-    bq: QNodeId,
-    kind: PredKind,
-}
-
-/// Derives all cross-stream predicates plus the validation flag.
-fn build_predicates(
-    query: &Query,
-    cover: &Cover,
-    streams: &[Stream],
-    coding: Coding,
-) -> (Vec<StreamPred>, bool) {
-    let exposed = |q: QNodeId| -> Vec<usize> {
-        streams
-            .iter()
-            .enumerate()
-            .filter(|(_, s)| s.qnodes.contains(&q))
-            .map(|(i, _)| i)
-            .collect()
-    };
-    let mut preds: Vec<StreamPred> = Vec::new();
-
-    // Shared exposures: same query node in several streams.
-    for q in query.nodes() {
-        let ex = exposed(q);
-        for w in ex.windows(2) {
-            preds.push(StreamPred {
-                a: w[0],
-                b: w[1],
-                aq: q,
-                bq: q,
-                kind: PredKind::Eq,
-            });
-        }
-    }
-
-    // Query edges across streams.
-    for v in query.nodes().skip(1) {
-        let u = query.parent(v).expect("non-root");
-        let kind = match query.axis(v) {
-            Axis::Child => PredKind::Parent,
-            Axis::Descendant => PredKind::Ancestor,
-        };
-        for &a in &exposed(u) {
-            for &b in &exposed(v) {
-                if a != b {
-                    preds.push(StreamPred { a, b, aq: u, bq: v, kind });
-                }
-            }
-        }
-    }
-
-    // Same-label `/`-sibling distinctness (DESIGN.md §5).
-    let mut needs_validation = false;
-    for p in query.nodes() {
-        let kids: Vec<QNodeId> = query.children_via(p, Axis::Child).collect();
-        for (i, &u) in kids.iter().enumerate() {
-            for &v in &kids[i + 1..] {
-                if query.label(u) != query.label(v) {
-                    continue;
-                }
-                // Co-residence in one cover implies distinctness (an
-                // occurrence is a real subtree).
-                if cover.subtrees.iter().any(|s| s.contains(u) && s.contains(v)) {
-                    continue;
-                }
-                let eu = exposed(u);
-                let ev = exposed(v);
-                if eu.is_empty() || ev.is_empty() {
-                    needs_validation = true;
-                    continue;
-                }
-                for &a in &eu {
-                    for &b in &ev {
-                        if a != b {
-                            preds.push(StreamPred { a, b, aq: u, bq: v, kind: PredKind::Neq });
-                        }
-                    }
-                }
-            }
-        }
-    }
-    let _ = coding;
-    (preds, needs_validation)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -481,7 +446,7 @@ mod tests {
     #[test]
     fn stream_pred_kinds_are_distinct() {
         // Guard against accidental re-ordering of the predicate enum —
-        // the join planner matches on these.
+        // both join planners match on these.
         assert_ne!(PredKind::Eq, PredKind::Parent);
         assert_ne!(PredKind::Parent, PredKind::Ancestor);
         assert_ne!(PredKind::Ancestor, PredKind::Neq);

@@ -1,0 +1,927 @@
+//! Volcano-style streaming execution of a [`Plan`] (§4.3).
+//!
+//! Every operator is a pull-based [`TupleStream`] over `(tid, slots)`
+//! tuples sorted tid-major; posting bytes flow from the B+Tree one page
+//! at a time ([`si_storage::ValueReader`] → [`PostingCursor`]) and are
+//! decoded, expanded and joined incrementally. Peak memory is bounded by
+//! the pages in flight plus the small per-operator windows (one tid
+//! group for merge joins, the ancestor stack for Stack-Tree) — never by
+//! the largest posting list, which the legacy materializing evaluator
+//! pays in full.
+//!
+//! Operators:
+//!
+//! * [`PostingScan`] — decodes one cover subtree's posting list straight
+//!   off the pager; expands interval postings by the key's
+//!   automorphisms;
+//! * `SortExchange` — order enforcer; the only operator that
+//!   materializes, inserted by the planner solely where a driving slot's
+//!   order is not already established (never for root-split covers);
+//! * `MergeEqJoin` — sort-merge equality join on a shared query node
+//!   (§4.3's equality joins);
+//! * `MpmgjnJoin` / `StackTreeJoin` — the paper's structural joins
+//!   (Zhang et al. SIGMOD 2001; Al-Khalifa et al. ICDE 2002), both
+//!   streaming merges over `(tid, pre)`-sorted inputs;
+//! * `TidCrossJoin` — per-tid nested loop, the fallback for disconnected
+//!   join graphs (rare; valid covers are connected).
+//!
+//! Filter-based coding intersects the cover's tid streams with a k-way
+//! merge and hands the survivors to the filtering phase, so candidate
+//! tid lists are never materialized either.
+
+use std::cell::Cell;
+use std::collections::{HashSet, VecDeque};
+use std::rc::Rc;
+
+use si_parsetree::TreeId;
+use si_query::Query;
+use si_storage::{Result, StorageError, ValueReader};
+
+use crate::build::SubtreeIndex;
+use crate::canonical::{automorphisms, decode_key};
+use crate::coding::{Coding, Posting, PostingCursor};
+use crate::cover::{decompose, Cover};
+use crate::eval::{validate_candidates, EvalResult, EvalStats};
+use crate::join::{JoinKind, Pred, Tuple};
+use crate::plan::{plan_structural, Plan, PlanStep};
+
+/// Executor selector: the streaming pipeline (default) or the legacy
+/// materializing evaluator, retained as the equivalence oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Cursor-based pipeline from disk pages to joins (this module).
+    #[default]
+    Streaming,
+    /// Legacy evaluator: materializes every posting list into `Vec`s
+    /// before the join phase ([`crate::eval`]).
+    Materialized,
+}
+
+impl ExecMode {
+    /// Name for CLI/bench output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExecMode::Streaming => "streaming",
+            ExecMode::Materialized => "materialized",
+        }
+    }
+}
+
+/// Shared accounting of resident posting/tuple bytes across the operator
+/// tree; `peak` is the figure the bench ablation reports.
+#[derive(Clone, Default)]
+pub struct MemMeter {
+    inner: Rc<Cell<(usize, usize)>>,
+}
+
+impl MemMeter {
+    fn adjust(&self, old: usize, new: usize) {
+        let (cur, peak) = self.inner.get();
+        let cur = cur + new - old.min(cur);
+        self.inner.set((cur, peak.max(cur)));
+    }
+
+    fn add(&self, n: usize) {
+        self.adjust(0, n);
+    }
+
+    fn sub(&self, n: usize) {
+        self.adjust(n, 0);
+    }
+
+    /// High-water mark of resident bytes.
+    pub fn peak(&self) -> usize {
+        self.inner.get().1
+    }
+}
+
+use crate::join::{tuple_bytes, tuples_bytes};
+
+/// A pull-based stream of join tuples, tid-major ordered.
+pub trait TupleStream {
+    /// Produces the next tuple, or `None` at end of stream.
+    fn next(&mut self) -> Result<Option<Tuple>>;
+}
+
+type BoxStream<'a> = Box<dyn TupleStream + 'a>;
+
+/// Leaf operator: streams one cover subtree's postings from the B+Tree
+/// and turns them into single- or multi-slot tuples, sorted by
+/// `(tid, slots[0].pre)` — the order [`crate::coding::PostingBuilder`]
+/// wrote them in.
+pub struct PostingScan<'a> {
+    cursor: PostingCursor<ValueReader<'a>>,
+    /// Automorphic slot permutations (interval coding only).
+    autos: Vec<Vec<usize>>,
+    pending: VecDeque<Tuple>,
+    fetched: Rc<Cell<usize>>,
+    meter: MemMeter,
+    reported: usize,
+}
+
+impl<'a> PostingScan<'a> {
+    /// Opens a scan over `key`'s posting list; `None` when the key is
+    /// absent from the index.
+    pub fn open(
+        index: &'a SubtreeIndex,
+        key: &[u8],
+        fetched: Rc<Cell<usize>>,
+        meter: MemMeter,
+    ) -> Result<Option<Self>> {
+        let Some(cursor) = index.posting_cursor(key)? else {
+            return Ok(None);
+        };
+        let autos = match index.options().coding {
+            Coding::SubtreeInterval => {
+                let shape = decode_key(key)
+                    .ok_or_else(|| StorageError::Corrupt("bad canonical key".into()))?;
+                automorphisms(&shape, 720)
+            }
+            _ => Vec::new(),
+        };
+        Ok(Some(Self {
+            cursor,
+            autos,
+            pending: VecDeque::new(),
+            fetched,
+            meter,
+            reported: 0,
+        }))
+    }
+
+    fn report(&mut self) {
+        // The scan's footprint is its page window (reported at its
+        // high-water mark so short inline lists register too) plus the
+        // pending automorphic expansion.
+        let now =
+            self.cursor.peak_buffer_bytes() + self.pending.iter().map(tuple_bytes).sum::<usize>();
+        self.meter.adjust(self.reported, now);
+        self.reported = now;
+    }
+}
+
+impl TupleStream for PostingScan<'_> {
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        loop {
+            if let Some(t) = self.pending.pop_front() {
+                self.report();
+                return Ok(Some(t));
+            }
+            let Some(posting) = self.cursor.next_posting()? else {
+                self.report();
+                return Ok(None);
+            };
+            self.fetched.set(self.fetched.get() + 1);
+            match posting {
+                Posting::Root { tid, root } => {
+                    self.report();
+                    return Ok(Some(Tuple {
+                        tid,
+                        slots: vec![root],
+                    }));
+                }
+                Posting::Occurrence { tid, nodes } => {
+                    // Each posting fixes one arbitrary assignment of data
+                    // nodes to canonical positions; automorphic
+                    // reassignments are equally valid and joins must see
+                    // them all.
+                    for perm in &self.autos {
+                        self.pending.push_back(Tuple {
+                            tid,
+                            slots: perm.iter().map(|&j| nodes[j].0).collect(),
+                        });
+                    }
+                }
+                Posting::Tid(_) => {
+                    return Err(StorageError::Corrupt(
+                        "tid posting in structural scan".into(),
+                    ))
+                }
+            }
+        }
+    }
+}
+
+/// Order enforcer: materializes its input and re-emits it sorted by
+/// `(tid, slots[slot].pre)`. The planner inserts one only where the
+/// driving slot's order is not already established.
+struct SortExchange<'a> {
+    input: Option<BoxStream<'a>>,
+    slot: usize,
+    buf: VecDeque<Tuple>,
+    meter: MemMeter,
+}
+
+impl<'a> SortExchange<'a> {
+    fn new(input: BoxStream<'a>, slot: usize, meter: MemMeter) -> Self {
+        Self {
+            input: Some(input),
+            slot,
+            buf: VecDeque::new(),
+            meter,
+        }
+    }
+}
+
+impl TupleStream for SortExchange<'_> {
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        if let Some(mut input) = self.input.take() {
+            let mut all = Vec::new();
+            while let Some(t) = input.next()? {
+                self.meter.add(tuple_bytes(&t));
+                all.push(t);
+            }
+            let slot = self.slot;
+            all.sort_by_key(|t| (t.tid, t.slots[slot].pre));
+            self.buf = all.into();
+        }
+        match self.buf.pop_front() {
+            Some(t) => {
+                self.meter.sub(tuple_bytes(&t));
+                Ok(Some(t))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+fn combine(l: &Tuple, r: &Tuple) -> Tuple {
+    let mut slots = Vec::with_capacity(l.slots.len() + r.slots.len());
+    slots.extend_from_slice(&l.slots);
+    slots.extend_from_slice(&r.slots);
+    Tuple { tid: l.tid, slots }
+}
+
+fn passes(residuals: &[Pred], t: &Tuple) -> bool {
+    residuals.iter().all(|p| p.holds(&t.slots))
+}
+
+/// Sort-merge equality join on `(tid, pre)` of the driving slots; both
+/// inputs must arrive sorted on them. Buffers only the current
+/// equal-key groups (the cross product of duplicates).
+struct MergeEqJoin<'a> {
+    left: BoxStream<'a>,
+    right: BoxStream<'a>,
+    ls: usize,
+    rs: usize,
+    residuals: Vec<Pred>,
+    lnext: Option<Tuple>,
+    rnext: Option<Tuple>,
+    started: bool,
+    out: VecDeque<Tuple>,
+    meter: MemMeter,
+}
+
+impl<'a> MergeEqJoin<'a> {
+    fn new(
+        left: BoxStream<'a>,
+        right: BoxStream<'a>,
+        ls: usize,
+        rs: usize,
+        residuals: Vec<Pred>,
+        meter: MemMeter,
+    ) -> Self {
+        Self {
+            left,
+            right,
+            ls,
+            rs,
+            residuals,
+            lnext: None,
+            rnext: None,
+            started: false,
+            out: VecDeque::new(),
+            meter,
+        }
+    }
+}
+
+impl TupleStream for MergeEqJoin<'_> {
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        loop {
+            if let Some(t) = self.out.pop_front() {
+                self.meter.sub(tuple_bytes(&t));
+                return Ok(Some(t));
+            }
+            if !self.started {
+                self.started = true;
+                self.lnext = self.left.next()?;
+                self.rnext = self.right.next()?;
+            }
+            let (Some(l), Some(r)) = (&self.lnext, &self.rnext) else {
+                return Ok(None);
+            };
+            let lk = (l.tid, l.slots[self.ls].pre);
+            let rk = (r.tid, r.slots[self.rs].pre);
+            match lk.cmp(&rk) {
+                std::cmp::Ordering::Less => self.lnext = self.left.next()?,
+                std::cmp::Ordering::Greater => self.rnext = self.right.next()?,
+                std::cmp::Ordering::Equal => {
+                    // Gather both equal-key groups and emit their cross
+                    // product (groups are tiny: same data node in the
+                    // same tree).
+                    let mut lgroup = Vec::new();
+                    while let Some(l) = &self.lnext {
+                        if (l.tid, l.slots[self.ls].pre) != lk {
+                            break;
+                        }
+                        lgroup.push(self.lnext.take().unwrap());
+                        self.lnext = self.left.next()?;
+                    }
+                    let mut rgroup = Vec::new();
+                    while let Some(r) = &self.rnext {
+                        if (r.tid, r.slots[self.rs].pre) != rk {
+                            break;
+                        }
+                        rgroup.push(self.rnext.take().unwrap());
+                        self.rnext = self.right.next()?;
+                    }
+                    for l in &lgroup {
+                        for r in &rgroup {
+                            let c = combine(l, r);
+                            if passes(&self.residuals, &c) {
+                                self.meter.add(tuple_bytes(&c));
+                                self.out.push_back(c);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Streaming Multi-Predicate Merge Join (Zhang et al.): both inputs
+/// sorted by `(tid, pre)` on the driving slots; buffers the left tuples
+/// of the current tid whose interval can still contain upcoming right
+/// tuples (per-tree windows — tens of nodes in parse trees).
+struct MpmgjnJoin<'a> {
+    left: BoxStream<'a>,
+    right: BoxStream<'a>,
+    kind: JoinKind,
+    ls: usize,
+    rs: usize,
+    residuals: Vec<Pred>,
+    window: Vec<Tuple>,
+    window_bytes: usize,
+    lnext: Option<Tuple>,
+    left_done: bool,
+    started: bool,
+    out: VecDeque<Tuple>,
+    meter: MemMeter,
+}
+
+impl<'a> MpmgjnJoin<'a> {
+    fn new(
+        left: BoxStream<'a>,
+        right: BoxStream<'a>,
+        kind: JoinKind,
+        ls: usize,
+        rs: usize,
+        residuals: Vec<Pred>,
+        meter: MemMeter,
+    ) -> Self {
+        debug_assert!(matches!(kind, JoinKind::Parent | JoinKind::Ancestor));
+        Self {
+            left,
+            right,
+            kind,
+            ls,
+            rs,
+            residuals,
+            window: Vec::new(),
+            window_bytes: 0,
+            lnext: None,
+            left_done: false,
+            started: false,
+            out: VecDeque::new(),
+            meter,
+        }
+    }
+
+    fn pull_left(&mut self) -> Result<()> {
+        if self.left_done {
+            self.lnext = None;
+            return Ok(());
+        }
+        self.lnext = self.left.next()?;
+        if self.lnext.is_none() {
+            self.left_done = true;
+        }
+        Ok(())
+    }
+
+    fn clear_window(&mut self) {
+        self.meter.sub(self.window_bytes);
+        self.window_bytes = 0;
+        self.window.clear();
+    }
+}
+
+impl TupleStream for MpmgjnJoin<'_> {
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        loop {
+            if let Some(t) = self.out.pop_front() {
+                self.meter.sub(tuple_bytes(&t));
+                return Ok(Some(t));
+            }
+            if !self.started {
+                self.started = true;
+                self.pull_left()?;
+            }
+            let Some(r) = self.right.next()? else {
+                self.clear_window();
+                return Ok(None);
+            };
+            // Left tuples of earlier trees can never match this or any
+            // future right tuple.
+            if self.window.first().is_some_and(|w| w.tid < r.tid) {
+                self.clear_window();
+            }
+            while let Some(l) = &self.lnext {
+                if l.tid < r.tid {
+                    self.pull_left()?;
+                } else if l.tid == r.tid && l.slots[self.ls].pre < r.slots[self.rs].pre {
+                    let l = self.lnext.take().unwrap();
+                    self.window_bytes += tuple_bytes(&l);
+                    self.meter.add(tuple_bytes(&l));
+                    self.window.push(l);
+                    self.pull_left()?;
+                } else {
+                    break;
+                }
+            }
+            if self.window.is_empty() && self.left_done {
+                // No left candidate can ever appear again.
+                return Ok(None);
+            }
+            let rv = r.slots[self.rs];
+            for l in &self.window {
+                if l.tid != r.tid {
+                    continue;
+                }
+                let lv = l.slots[self.ls];
+                let ok = match self.kind {
+                    JoinKind::Parent => lv.is_parent_of(&rv),
+                    JoinKind::Ancestor => lv.is_ancestor_of(&rv),
+                    JoinKind::Eq => unreachable!("Eq uses MergeEqJoin"),
+                };
+                if ok {
+                    let c = combine(l, &r);
+                    if passes(&self.residuals, &c) {
+                        self.meter.add(tuple_bytes(&c));
+                        self.out.push_back(c);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Streaming Stack-Tree join (Al-Khalifa et al.): one merged pass with a
+/// stack of open ancestors — the per-tid memory is the tree depth, not
+/// the node count.
+struct StackTreeJoin<'a> {
+    left: BoxStream<'a>,
+    right: BoxStream<'a>,
+    kind: JoinKind,
+    ls: usize,
+    rs: usize,
+    residuals: Vec<Pred>,
+    stack: Vec<Tuple>,
+    lnext: Option<Tuple>,
+    left_done: bool,
+    started: bool,
+    out: VecDeque<Tuple>,
+    meter: MemMeter,
+}
+
+impl<'a> StackTreeJoin<'a> {
+    fn new(
+        left: BoxStream<'a>,
+        right: BoxStream<'a>,
+        kind: JoinKind,
+        ls: usize,
+        rs: usize,
+        residuals: Vec<Pred>,
+        meter: MemMeter,
+    ) -> Self {
+        debug_assert!(matches!(kind, JoinKind::Parent | JoinKind::Ancestor));
+        Self {
+            left,
+            right,
+            kind,
+            ls,
+            rs,
+            residuals,
+            stack: Vec::new(),
+            lnext: None,
+            left_done: false,
+            started: false,
+            out: VecDeque::new(),
+            meter,
+        }
+    }
+
+    fn pull_left(&mut self) -> Result<()> {
+        if self.left_done {
+            self.lnext = None;
+            return Ok(());
+        }
+        self.lnext = self.left.next()?;
+        if self.lnext.is_none() {
+            self.left_done = true;
+        }
+        Ok(())
+    }
+}
+
+impl TupleStream for StackTreeJoin<'_> {
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        loop {
+            if let Some(t) = self.out.pop_front() {
+                self.meter.sub(tuple_bytes(&t));
+                return Ok(Some(t));
+            }
+            if !self.started {
+                self.started = true;
+                self.pull_left()?;
+            }
+            let Some(r) = self.right.next()? else {
+                let freed = tuples_bytes(&self.stack);
+                self.meter.sub(freed);
+                self.stack.clear();
+                return Ok(None);
+            };
+            let rv = r.slots[self.rs];
+            // Pop ancestors that cannot contain r (different tree or
+            // closed interval).
+            while let Some(top) = self.stack.last() {
+                let tv = top.slots[self.ls];
+                if top.tid < r.tid || (top.tid == r.tid && !tv.is_ancestor_of(&rv)) {
+                    let freed = tuple_bytes(top);
+                    self.meter.sub(freed);
+                    self.stack.pop();
+                } else {
+                    break;
+                }
+            }
+            // Push left tuples that start before r, keeping only the
+            // ancestor path of r.
+            while let Some(l) = &self.lnext {
+                let on_path = l.tid == r.tid && l.slots[self.ls].pre < rv.pre;
+                let earlier_tree = l.tid < r.tid;
+                if !(on_path || earlier_tree) {
+                    break;
+                }
+                let l = self.lnext.take().unwrap();
+                if l.tid == r.tid && l.slots[self.ls].is_ancestor_of(&rv) {
+                    while let Some(top) = self.stack.last() {
+                        if top.tid != r.tid || !top.slots[self.ls].is_ancestor_of(&rv) {
+                            let freed = tuple_bytes(top);
+                            self.meter.sub(freed);
+                            self.stack.pop();
+                        } else {
+                            break;
+                        }
+                    }
+                    self.meter.add(tuple_bytes(&l));
+                    self.stack.push(l);
+                }
+                self.pull_left()?;
+            }
+            if self.stack.is_empty() && self.left_done {
+                return Ok(None);
+            }
+            for l in &self.stack {
+                if l.tid != r.tid {
+                    continue;
+                }
+                let lv = l.slots[self.ls];
+                let ok = match self.kind {
+                    JoinKind::Parent => lv.is_parent_of(&rv),
+                    JoinKind::Ancestor => lv.is_ancestor_of(&rv),
+                    JoinKind::Eq => unreachable!("Eq uses MergeEqJoin"),
+                };
+                if ok {
+                    let c = combine(l, &r);
+                    if passes(&self.residuals, &c) {
+                        self.meter.add(tuple_bytes(&c));
+                        self.out.push_back(c);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Per-tid nested-loop join, the fallback when no predicate connects two
+/// streams (disconnected join graphs; rare — valid covers are
+/// connected). Buffers one tid group per side.
+struct TidCrossJoin<'a> {
+    left: BoxStream<'a>,
+    right: BoxStream<'a>,
+    residuals: Vec<Pred>,
+    lnext: Option<Tuple>,
+    rnext: Option<Tuple>,
+    started: bool,
+    out: VecDeque<Tuple>,
+    meter: MemMeter,
+}
+
+impl<'a> TidCrossJoin<'a> {
+    fn new(
+        left: BoxStream<'a>,
+        right: BoxStream<'a>,
+        residuals: Vec<Pred>,
+        meter: MemMeter,
+    ) -> Self {
+        Self {
+            left,
+            right,
+            residuals,
+            lnext: None,
+            rnext: None,
+            started: false,
+            out: VecDeque::new(),
+            meter,
+        }
+    }
+}
+
+impl TupleStream for TidCrossJoin<'_> {
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        loop {
+            if let Some(t) = self.out.pop_front() {
+                self.meter.sub(tuple_bytes(&t));
+                return Ok(Some(t));
+            }
+            if !self.started {
+                self.started = true;
+                self.lnext = self.left.next()?;
+                self.rnext = self.right.next()?;
+            }
+            let (Some(l), Some(r)) = (&self.lnext, &self.rnext) else {
+                return Ok(None);
+            };
+            match l.tid.cmp(&r.tid) {
+                std::cmp::Ordering::Less => self.lnext = self.left.next()?,
+                std::cmp::Ordering::Greater => self.rnext = self.right.next()?,
+                std::cmp::Ordering::Equal => {
+                    let tid = l.tid;
+                    let mut lgroup = Vec::new();
+                    while let Some(l) = &self.lnext {
+                        if l.tid != tid {
+                            break;
+                        }
+                        lgroup.push(self.lnext.take().unwrap());
+                        self.lnext = self.left.next()?;
+                    }
+                    let mut rgroup = Vec::new();
+                    while let Some(r) = &self.rnext {
+                        if r.tid != tid {
+                            break;
+                        }
+                        rgroup.push(self.rnext.take().unwrap());
+                        self.rnext = self.right.next()?;
+                    }
+                    for l in &lgroup {
+                        for r in &rgroup {
+                            let c = combine(l, r);
+                            if passes(&self.residuals, &c) {
+                                self.meter.add(tuple_bytes(&c));
+                                self.out.push_back(c);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Builds the operator tree for `plan` and fully evaluates it.
+fn run_structural(
+    index: &SubtreeIndex,
+    query: &Query,
+    cover: &Cover,
+    plan: &Plan,
+    stats: &mut EvalStats,
+) -> Result<Vec<(TreeId, u32)>> {
+    let meter = MemMeter::default();
+    let fetched = Rc::new(Cell::new(0usize));
+    let open_scan = |cover_idx: usize| -> Result<Option<PostingScan<'_>>> {
+        PostingScan::open(
+            index,
+            &cover.subtrees[cover_idx].key,
+            fetched.clone(),
+            meter.clone(),
+        )
+    };
+
+    let Some(base) = open_scan(plan.base)? else {
+        return Ok(Vec::new());
+    };
+    let mut stream: BoxStream<'_> = Box::new(base);
+    for step in &plan.steps {
+        let PlanStep {
+            cover: ci,
+            driving,
+            residuals,
+            sort_left,
+            sort_right,
+        } = step;
+        let Some(scan) = open_scan(*ci)? else {
+            return Ok(Vec::new());
+        };
+        let mut right: BoxStream<'_> = Box::new(scan);
+        if let Some(slot) = sort_right {
+            right = Box::new(SortExchange::new(right, *slot, meter.clone()));
+        }
+        if let Some(slot) = sort_left {
+            stream = Box::new(SortExchange::new(stream, *slot, meter.clone()));
+        }
+        stream = match driving {
+            Some((JoinKind::Eq, l, rs)) => Box::new(MergeEqJoin::new(
+                stream,
+                right,
+                *l,
+                *rs,
+                residuals.clone(),
+                meter.clone(),
+            )),
+            Some((kind @ (JoinKind::Parent | JoinKind::Ancestor), l, rs)) => {
+                match index.join_algo() {
+                    crate::join::JoinAlgo::Mpmgjn => Box::new(MpmgjnJoin::new(
+                        stream,
+                        right,
+                        *kind,
+                        *l,
+                        *rs,
+                        residuals.clone(),
+                        meter.clone(),
+                    )),
+                    crate::join::JoinAlgo::StackTree => Box::new(StackTreeJoin::new(
+                        stream,
+                        right,
+                        *kind,
+                        *l,
+                        *rs,
+                        residuals.clone(),
+                        meter.clone(),
+                    )),
+                }
+            }
+            None => Box::new(TidCrossJoin::new(
+                stream,
+                right,
+                residuals.clone(),
+                meter.clone(),
+            )),
+        };
+        stats.joins += 1;
+    }
+
+    let matches = if plan.needs_validation {
+        stats.used_validation = true;
+        let mut tids: Vec<TreeId> = Vec::new();
+        while let Some(t) = stream.next()? {
+            if tids.last() != Some(&t.tid) {
+                tids.push(t.tid);
+            }
+        }
+        tids.sort_unstable();
+        tids.dedup();
+        validate_candidates(index, query, &tids, stats)?
+    } else {
+        let root_slot = plan.root_slot.expect("projection slot planned");
+        let mut set: HashSet<(TreeId, u32)> = HashSet::new();
+        while let Some(t) = stream.next()? {
+            set.insert((t.tid, t.slots[root_slot].pre));
+        }
+        let mut matches: Vec<(TreeId, u32)> = set.into_iter().collect();
+        matches.sort_unstable();
+        matches
+    };
+    stats.postings_fetched += fetched.get();
+    stats.peak_posting_bytes = stats.peak_posting_bytes.max(meter.peak());
+    Ok(matches)
+}
+
+/// Streaming evaluation under the filter-based coding: a k-way merge
+/// intersection of the covers' ascending tid streams feeds the
+/// filtering phase directly — no tid list is ever materialized.
+fn eval_filter_streaming(
+    index: &SubtreeIndex,
+    query: &Query,
+    cover: &Cover,
+    stats: &mut EvalStats,
+) -> Result<EvalResult> {
+    let meter = MemMeter::default();
+    let fetched = Rc::new(Cell::new(0usize));
+    let mut cursors = Vec::with_capacity(cover.subtrees.len());
+    for st in &cover.subtrees {
+        let Some(cursor) = index.posting_cursor(&st.key)? else {
+            return Ok(EvalResult {
+                matches: Vec::new(),
+                stats: *stats,
+            });
+        };
+        cursors.push(cursor);
+    }
+    stats.joins = cursors.len().saturating_sub(1);
+
+    let advance = |cursor: &mut PostingCursor<ValueReader<'_>>| -> Result<Option<TreeId>> {
+        let Some(p) = cursor.next_posting()? else {
+            return Ok(None);
+        };
+        fetched.set(fetched.get() + 1);
+        match p {
+            Posting::Tid(tid) => Ok(Some(tid)),
+            _ => Err(StorageError::Corrupt(
+                "structural posting in filter index".into(),
+            )),
+        }
+    };
+
+    // Classic leapfrog intersection over ascending streams.
+    let mut candidates: Vec<TreeId> = Vec::new();
+    'outer: {
+        let mut heads: Vec<TreeId> = Vec::with_capacity(cursors.len());
+        for cursor in &mut cursors {
+            match advance(cursor)? {
+                Some(tid) => heads.push(tid),
+                None => break 'outer,
+            }
+        }
+        loop {
+            let target = *heads.iter().max().unwrap();
+            let mut all_equal = true;
+            for (i, cursor) in cursors.iter_mut().enumerate() {
+                while heads[i] < target {
+                    match advance(cursor)? {
+                        Some(tid) => heads[i] = tid,
+                        None => break 'outer,
+                    }
+                }
+                if heads[i] > target {
+                    all_equal = false;
+                }
+            }
+            if all_equal {
+                candidates.push(target);
+                for (i, cursor) in cursors.iter_mut().enumerate() {
+                    match advance(cursor)? {
+                        Some(tid) => heads[i] = tid,
+                        None => break 'outer,
+                    }
+                }
+            }
+        }
+    }
+    // Resident bytes: the cursor windows plus the candidate list.
+    let windows: usize = cursors.iter().map(|c| c.peak_buffer_bytes()).sum();
+    meter.add(windows + candidates.len() * std::mem::size_of::<TreeId>());
+    stats.postings_fetched += fetched.get();
+    let matches = validate_candidates(index, query, &candidates, stats)?;
+    stats.peak_posting_bytes = stats.peak_posting_bytes.max(meter.peak());
+    Ok(EvalResult {
+        matches,
+        stats: *stats,
+    })
+}
+
+/// Evaluates `query` with the streaming pipeline. Entry point behind
+/// [`SubtreeIndex::evaluate`] when [`ExecMode::Streaming`] is selected
+/// (the default).
+pub fn evaluate_streaming(index: &SubtreeIndex, query: &Query) -> Result<EvalResult> {
+    let options = index.options();
+    let cover = decompose(query, options.mss, options.coding);
+    debug_assert_eq!(cover.validate(query, options.mss), Ok(()));
+    let mut stats = EvalStats {
+        covers: cover.subtrees.len(),
+        ..EvalStats::default()
+    };
+    if options.coding == Coding::FilterBased {
+        return eval_filter_streaming(index, query, &cover, &mut stats);
+    }
+
+    // Posting-list lengths from leaf entries — the planner's only
+    // statistic. A missing key means some cover subtree occurs nowhere:
+    // no matches, and no posting list is ever opened.
+    let mut lens = Vec::with_capacity(cover.subtrees.len());
+    for st in &cover.subtrees {
+        match index.posting_len(&st.key)? {
+            Some(len) => lens.push(len),
+            None => {
+                return Ok(EvalResult {
+                    matches: Vec::new(),
+                    stats,
+                })
+            }
+        }
+    }
+    let plan = plan_structural(query, &cover, options.coding, &lens);
+    let matches = run_structural(index, query, &cover, &plan, &mut stats)?;
+    Ok(EvalResult { matches, stats })
+}

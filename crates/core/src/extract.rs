@@ -88,8 +88,7 @@ pub fn for_each_subtree<F: FnMut(&SubtreeRef)>(tree: &ParseTree, mss: usize, mut
             // matching `canonical::canon_encode`.
             blocks.sort_by(|a, b| a.key.cmp(&b.key));
             let size = total + 1;
-            let mut key =
-                Vec::with_capacity(8 + blocks.iter().map(|b| b.key.len()).sum::<usize>());
+            let mut key = Vec::with_capacity(8 + blocks.iter().map(|b| b.key.len()).sum::<usize>());
             varint::write_u32(&mut key, tree.label(v).id());
             varint::write_u64(&mut key, size as u64);
             let mut nodes = Vec::with_capacity(size);
@@ -114,7 +113,12 @@ pub fn for_each_subtree<F: FnMut(&SubtreeRef)>(tree: &ParseTree, mss: usize, mut
 pub fn count_by_size(tree: &ParseTree, v: NodeId, mss: usize) -> Vec<u64> {
     let mut counts = vec![0u64; mss + 1];
     // Cheap local DP: counts per size for subtrees rooted at each node.
-    fn counts_at(tree: &ParseTree, v: NodeId, mss: usize, memo: &mut Vec<Option<Vec<u64>>>) -> Vec<u64> {
+    fn counts_at(
+        tree: &ParseTree,
+        v: NodeId,
+        mss: usize,
+        memo: &mut Vec<Option<Vec<u64>>>,
+    ) -> Vec<u64> {
         if let Some(c) = &memo[v.0 as usize] {
             return c.clone();
         }
@@ -216,7 +220,7 @@ mod tests {
         // collapse under canonical keying.
         assert!(unique(2) < by_size(2));
         assert_eq!(unique(1), 4); // labels A, B, C, D
-        // Unique counts can never exceed occurrence counts.
+                                  // Unique counts can never exceed occurrence counts.
         for s in 1..=5 {
             assert!(unique(s) <= by_size(s), "size {s}");
         }
@@ -253,11 +257,9 @@ mod tests {
         // Full-tree extraction at mss = tree size includes the whole tree,
         // whose key must equal canon_encode of the tree itself.
         let subtrees = extract_subtrees(&t, t.len());
-        let (full_key, _) = canon_encode(
-            t.root(),
-            &|n| t.label(n).id(),
-            &|n| t.children(n).collect::<Vec<_>>(),
-        );
+        let (full_key, _) = canon_encode(t.root(), &|n| t.label(n).id(), &|n| {
+            t.children(n).collect::<Vec<_>>()
+        });
         assert!(
             subtrees.iter().any(|s| s.key == full_key),
             "whole tree enumerated with canonical key"
@@ -284,8 +286,12 @@ mod tests {
         // Root with 5 leaf children: C(5, m-1) subtrees of size m.
         let (t, _) = parse("(A (B) (C) (D) (E) (F))");
         let subtrees = extract_subtrees(&t, 4);
-        let rooted_at_root =
-            |s: usize| subtrees.iter().filter(|x| x.size() == s && x.root() == t.root()).count();
+        let rooted_at_root = |s: usize| {
+            subtrees
+                .iter()
+                .filter(|x| x.size() == s && x.root() == t.root())
+                .count()
+        };
         assert_eq!(rooted_at_root(2), 5);
         assert_eq!(rooted_at_root(3), 10);
         assert_eq!(rooted_at_root(4), 10);
@@ -297,8 +303,14 @@ mod tests {
         let mut li = LabelInterner::new();
         let t1 = ptb::parse("(A (B) (C))", &mut li).unwrap();
         let t2 = ptb::parse("(A (C) (B))", &mut li).unwrap();
-        let k1: HashSet<Vec<u8>> = extract_subtrees(&t1, 3).into_iter().map(|s| s.key).collect();
-        let k2: HashSet<Vec<u8>> = extract_subtrees(&t2, 3).into_iter().map(|s| s.key).collect();
+        let k1: HashSet<Vec<u8>> = extract_subtrees(&t1, 3)
+            .into_iter()
+            .map(|s| s.key)
+            .collect();
+        let k2: HashSet<Vec<u8>> = extract_subtrees(&t2, 3)
+            .into_iter()
+            .map(|s| s.key)
+            .collect();
         assert_eq!(k1, k2);
     }
 

@@ -266,8 +266,14 @@ mod tests {
     fn single_edge_descendant() {
         let (trees, li) = corpus();
         let twig = Twig::new(vec![
-            TwigNode { parent: None, axis: TwigAxis::Child },
-            TwigNode { parent: Some(0), axis: TwigAxis::Descendant },
+            TwigNode {
+                parent: None,
+                axis: TwigAxis::Child,
+            },
+            TwigNode {
+                parent: Some(0),
+                axis: TwigAxis::Descendant,
+            },
         ]);
         let streams = vec![stream_for(&trees, &li, "S"), stream_for(&trees, &li, "NN")];
         let got = eval_twig(&twig, &streams);
@@ -279,8 +285,14 @@ mod tests {
     fn parent_axis_checks_levels() {
         let (trees, li) = corpus();
         let twig = Twig::new(vec![
-            TwigNode { parent: None, axis: TwigAxis::Child },
-            TwigNode { parent: Some(0), axis: TwigAxis::Child },
+            TwigNode {
+                parent: None,
+                axis: TwigAxis::Child,
+            },
+            TwigNode {
+                parent: Some(0),
+                axis: TwigAxis::Child,
+            },
         ]);
         // NP with a *direct* NN child: tree 0 (NP->NN twice? one NP), tree 2 inner NP.
         let streams = vec![stream_for(&trees, &li, "NP"), stream_for(&trees, &li, "NN")];
@@ -294,9 +306,18 @@ mod tests {
         let (trees, li) = corpus();
         // S(//NP)(//VP) — both branches must be satisfied.
         let twig = Twig::new(vec![
-            TwigNode { parent: None, axis: TwigAxis::Child },
-            TwigNode { parent: Some(0), axis: TwigAxis::Descendant },
-            TwigNode { parent: Some(0), axis: TwigAxis::Descendant },
+            TwigNode {
+                parent: None,
+                axis: TwigAxis::Child,
+            },
+            TwigNode {
+                parent: Some(0),
+                axis: TwigAxis::Descendant,
+            },
+            TwigNode {
+                parent: Some(0),
+                axis: TwigAxis::Descendant,
+            },
         ]);
         let streams = vec![
             stream_for(&trees, &li, "S"),
@@ -313,9 +334,18 @@ mod tests {
         let (trees, li) = corpus();
         // S // VP / NP — chain mixing axes.
         let twig = Twig::new(vec![
-            TwigNode { parent: None, axis: TwigAxis::Child },
-            TwigNode { parent: Some(0), axis: TwigAxis::Descendant },
-            TwigNode { parent: Some(1), axis: TwigAxis::Child },
+            TwigNode {
+                parent: None,
+                axis: TwigAxis::Child,
+            },
+            TwigNode {
+                parent: Some(0),
+                axis: TwigAxis::Descendant,
+            },
+            TwigNode {
+                parent: Some(1),
+                axis: TwigAxis::Child,
+            },
         ]);
         let streams = vec![
             stream_for(&trees, &li, "S"),
@@ -331,8 +361,14 @@ mod tests {
     fn empty_stream_kills_everything() {
         let (trees, li) = corpus();
         let twig = Twig::new(vec![
-            TwigNode { parent: None, axis: TwigAxis::Child },
-            TwigNode { parent: Some(0), axis: TwigAxis::Descendant },
+            TwigNode {
+                parent: None,
+                axis: TwigAxis::Child,
+            },
+            TwigNode {
+                parent: Some(0),
+                axis: TwigAxis::Descendant,
+            },
         ]);
         let streams = vec![stream_for(&trees, &li, "S"), Vec::new()];
         assert!(eval_twig(&twig, &streams).is_empty());
@@ -341,7 +377,9 @@ mod tests {
     #[test]
     fn agrees_with_naive_on_random_twigs() {
         // Pseudo-random twigs over the generated corpus labels.
-        let corpus = si_corpus::GeneratorConfig::default().with_seed(61).generate(40);
+        let corpus = si_corpus::GeneratorConfig::default()
+            .with_seed(61)
+            .generate(40);
         let li = corpus.interner().clone();
         let labels = ["S", "NP", "VP", "NN", "DT", "PP", "IN"];
         let mut state = 0x9E3779B97F4A7C15u64;
@@ -353,11 +391,18 @@ mod tests {
         };
         for _case in 0..40 {
             let n = 2 + (rnd() % 3) as usize;
-            let mut nodes = vec![TwigNode { parent: None, axis: TwigAxis::Child }];
+            let mut nodes = vec![TwigNode {
+                parent: None,
+                axis: TwigAxis::Child,
+            }];
             for i in 1..n {
                 nodes.push(TwigNode {
                     parent: Some((rnd() % i as u64) as usize),
-                    axis: if rnd() % 2 == 0 { TwigAxis::Child } else { TwigAxis::Descendant },
+                    axis: if rnd() % 2 == 0 {
+                        TwigAxis::Child
+                    } else {
+                        TwigAxis::Descendant
+                    },
                 });
             }
             let twig = Twig::new(nodes);
@@ -373,9 +418,18 @@ mod tests {
     fn malformed_twig_rejected() {
         // Node 1 claims node 2 (a later node) as its parent.
         Twig::new(vec![
-            TwigNode { parent: None, axis: TwigAxis::Child },
-            TwigNode { parent: Some(2), axis: TwigAxis::Child },
-            TwigNode { parent: Some(0), axis: TwigAxis::Child },
+            TwigNode {
+                parent: None,
+                axis: TwigAxis::Child,
+            },
+            TwigNode {
+                parent: Some(2),
+                axis: TwigAxis::Child,
+            },
+            TwigNode {
+                parent: Some(0),
+                axis: TwigAxis::Child,
+            },
         ]);
     }
 }

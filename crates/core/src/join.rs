@@ -30,6 +30,17 @@ pub struct Tuple {
     pub slots: Vec<NodeVal>,
 }
 
+/// Approximate resident size of a tuple (memory instrumentation shared
+/// by both executors).
+pub(crate) fn tuple_bytes(t: &Tuple) -> usize {
+    std::mem::size_of::<Tuple>() + t.slots.len() * std::mem::size_of::<NodeVal>()
+}
+
+/// Sum of [`tuple_bytes`] over a buffer.
+pub(crate) fn tuples_bytes(ts: &[Tuple]) -> usize {
+    ts.iter().map(tuple_bytes).sum()
+}
+
 /// The driving condition of a binary join.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum JoinKind {
@@ -116,8 +127,12 @@ pub fn tid_cross_join(left: &[Tuple], right: &[Tuple], residual: &[Pred]) -> Vec
             std::cmp::Ordering::Greater => j += 1,
             std::cmp::Ordering::Equal => {
                 let tid = lrefs[i].tid;
-                let i_end = (i..lrefs.len()).find(|&x| lrefs[x].tid != tid).unwrap_or(lrefs.len());
-                let j_end = (j..rrefs.len()).find(|&x| rrefs[x].tid != tid).unwrap_or(rrefs.len());
+                let i_end = (i..lrefs.len())
+                    .find(|&x| lrefs[x].tid != tid)
+                    .unwrap_or(lrefs.len());
+                let j_end = (j..rrefs.len())
+                    .find(|&x| rrefs[x].tid != tid)
+                    .unwrap_or(rrefs.len());
                 for l in &lrefs[i..i_end] {
                     for r in &rrefs[j..j_end] {
                         let c = combine(l, r);
@@ -274,8 +289,7 @@ fn stack_tree(left: &[Tuple], right: &[Tuple], kind: JoinKind, ls: usize, rs: us
         }
         // Push left tuples that start before r.
         while i < lrefs.len()
-            && (lrefs[i].tid < r.tid
-                || (lrefs[i].tid == r.tid && lrefs[i].slots[ls].pre < rv.pre))
+            && (lrefs[i].tid < r.tid || (lrefs[i].tid == r.tid && lrefs[i].slots[ls].pre < rv.pre))
         {
             let lv = lrefs[i].slots[ls];
             if lrefs[i].tid == r.tid && lv.is_ancestor_of(&rv) {
@@ -320,7 +334,10 @@ mod tests {
     }
 
     fn t1(tid: TreeId, v: NodeVal) -> Tuple {
-        Tuple { tid, slots: vec![v] }
+        Tuple {
+            tid,
+            slots: vec![v],
+        }
     }
 
     /// A small synthetic tree (pre, post, level):
@@ -385,14 +402,20 @@ mod tests {
             (4, 5),
         ];
         assert_eq!(structural_pairs(JoinKind::Ancestor, JoinAlgo::Mpmgjn), want);
-        assert_eq!(structural_pairs(JoinKind::Ancestor, JoinAlgo::StackTree), want);
+        assert_eq!(
+            structural_pairs(JoinKind::Ancestor, JoinAlgo::StackTree),
+            want
+        );
     }
 
     #[test]
     fn parent_join_checks_level() {
         let want = vec![(0, 1), (0, 4), (1, 2), (1, 3), (4, 5)];
         assert_eq!(structural_pairs(JoinKind::Parent, JoinAlgo::Mpmgjn), want);
-        assert_eq!(structural_pairs(JoinKind::Parent, JoinAlgo::StackTree), want);
+        assert_eq!(
+            structural_pairs(JoinKind::Parent, JoinAlgo::StackTree),
+            want
+        );
     }
 
     #[test]
@@ -408,7 +431,10 @@ mod tests {
     #[test]
     fn residual_predicates_filter() {
         let n = nodes();
-        let left = vec![Tuple { tid: 1, slots: vec![n[1], n[2]] }];
+        let left = vec![Tuple {
+            tid: 1,
+            slots: vec![n[1], n[2]],
+        }];
         let right = vec![t1(1, n[2]), t1(1, n[3])];
         // Join a's tuple to children of a, requiring the right node to
         // differ from slot 1 (which holds b = pre 2).

@@ -11,8 +11,13 @@
 //!   `minRC` (§5);
 //! * [`join`] — MPMGJN and stack-based structural joins plus sort-merge
 //!   equality joins (§2);
-//! * [`eval`] — the query processor tying decomposition, posting access
-//!   and joins together (§4.3).
+//! * [`plan`] — left-deep streaming join planning over posting-list
+//!   byte lengths (no decoding at plan time);
+//! * [`exec`] — the Volcano-style streaming executor: cursor-based
+//!   posting scans, merge/structural join operators and order
+//!   enforcers (§4.3, the default query path);
+//! * [`eval`] — the legacy materializing query processor, retained as
+//!   the equivalence oracle behind [`exec::ExecMode::Materialized`].
 
 pub mod build;
 pub mod build_ext;
@@ -20,11 +25,14 @@ pub mod canonical;
 pub mod coding;
 pub mod cover;
 pub mod eval;
+pub mod exec;
 pub mod extract;
 pub mod holistic;
 pub mod join;
+pub mod plan;
 
 pub use build::{IndexOptions, IndexStats, SubtreeIndex};
 pub use coding::Coding;
 pub use cover::{minrc, optimal_cover, Cover, CoverSubtree};
+pub use exec::ExecMode;
 pub use extract::{extract_subtrees, SubtreeRef};

@@ -1,0 +1,412 @@
+//! Left-deep join planning for the streaming executor (§4.3's join
+//! phase, planned ahead of execution).
+//!
+//! The legacy evaluator materialized every cover's posting list and only
+//! then ordered the joins by tuple counts. This module plans the whole
+//! pipeline *before* a single posting is decoded, using
+//! [`BTree::value_len`](si_storage::BTree::value_len) — the encoded
+//! posting-list length read from the leaf entry — as the selectivity
+//! estimate (the statistic §7 of the paper anticipates). The resulting
+//! [`Plan`] is a left-deep operator tree:
+//!
+//! * the shortest posting list becomes the base [`PostingScan`
+//!   (`crate::exec::PostingScan`)];
+//! * each further step joins the smallest *connected* remaining list via
+//!   one driving predicate — a sort-merge equality join for shared query
+//!   nodes, MPMGJN or Stack-Tree for `/` and `//` edges (Zhang et al.
+//!   SIGMOD 2001; Al-Khalifa et al. ICDE 2002) — with every other
+//!   predicate between the two sides applied as a residual filter;
+//! * order requirements are tracked symbolically: posting scans arrive
+//!   sorted by `(tid, root.pre)`, joins emit in right-input order, and a
+//!   sort enforcer is inserted only where the driving slot's order is
+//!   not already established.
+//!
+//! Predicate derivation (shared query nodes, query edges across covers,
+//! and the same-label `/`-sibling distinctness rule of DESIGN.md §5) is
+//! shared with the legacy evaluator so both executors enforce exactly
+//! the same semantics — the basis of the equivalence suite.
+
+use si_query::{Axis, QNodeId, Query};
+
+use crate::coding::Coding;
+use crate::cover::Cover;
+use crate::join::{JoinKind, Pred};
+
+/// Relation between two query nodes exposed by different streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PredKind {
+    /// Both streams bind the same data node.
+    Eq,
+    /// The first node is the parent of the second.
+    Parent,
+    /// The first node is a proper ancestor of the second.
+    Ancestor,
+    /// The nodes bind distinct data nodes (sibling distinctness).
+    Neq,
+}
+
+/// A predicate between two streams: `kind` relates query node `aq`
+/// (exposed by stream `a`) to `bq` (exposed by stream `b`); for
+/// Parent/Ancestor, `aq` is the upper end.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamPred {
+    /// Stream exposing the first endpoint.
+    pub a: usize,
+    /// Stream exposing the second endpoint.
+    pub b: usize,
+    /// First endpoint (upper end for Parent/Ancestor).
+    pub aq: QNodeId,
+    /// Second endpoint.
+    pub bq: QNodeId,
+    /// The relation.
+    pub kind: PredKind,
+}
+
+/// The query nodes each cover subtree exposes as tuple slots under
+/// `coding`: just the root for root-split, every member for the interval
+/// coding.
+pub fn exposed_qnodes(cover: &Cover, coding: Coding) -> Vec<Vec<QNodeId>> {
+    cover
+        .subtrees
+        .iter()
+        .map(|st| match coding {
+            Coding::RootSplit => vec![st.root],
+            Coding::SubtreeInterval => st.nodes.clone(),
+            Coding::FilterBased => Vec::new(),
+        })
+        .collect()
+}
+
+/// Derives all cross-stream predicates plus the validation-fallback
+/// flag. `exposed` lists the query nodes each stream exposes (see
+/// [`exposed_qnodes`]).
+pub fn cross_stream_predicates(
+    query: &Query,
+    cover: &Cover,
+    exposed: &[Vec<QNodeId>],
+) -> (Vec<StreamPred>, bool) {
+    let streams_of = |q: QNodeId| -> Vec<usize> {
+        exposed
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.contains(&q))
+            .map(|(i, _)| i)
+            .collect()
+    };
+    let mut preds: Vec<StreamPred> = Vec::new();
+
+    // Shared exposures: same query node in several streams.
+    for q in query.nodes() {
+        let ex = streams_of(q);
+        for w in ex.windows(2) {
+            preds.push(StreamPred {
+                a: w[0],
+                b: w[1],
+                aq: q,
+                bq: q,
+                kind: PredKind::Eq,
+            });
+        }
+    }
+
+    // Query edges across streams.
+    for v in query.nodes().skip(1) {
+        let u = query.parent(v).expect("non-root");
+        let kind = match query.axis(v) {
+            Axis::Child => PredKind::Parent,
+            Axis::Descendant => PredKind::Ancestor,
+        };
+        for &a in &streams_of(u) {
+            for &b in &streams_of(v) {
+                if a != b {
+                    preds.push(StreamPred {
+                        a,
+                        b,
+                        aq: u,
+                        bq: v,
+                        kind,
+                    });
+                }
+            }
+        }
+    }
+
+    // Same-label `/`-sibling distinctness (DESIGN.md §5).
+    let mut needs_validation = false;
+    for p in query.nodes() {
+        let kids: Vec<QNodeId> = query.children_via(p, Axis::Child).collect();
+        for (i, &u) in kids.iter().enumerate() {
+            for &v in &kids[i + 1..] {
+                if query.label(u) != query.label(v) {
+                    continue;
+                }
+                // Co-residence in one cover implies distinctness (an
+                // occurrence is a real subtree).
+                if cover
+                    .subtrees
+                    .iter()
+                    .any(|s| s.contains(u) && s.contains(v))
+                {
+                    continue;
+                }
+                let eu = streams_of(u);
+                let ev = streams_of(v);
+                if eu.is_empty() || ev.is_empty() {
+                    needs_validation = true;
+                    continue;
+                }
+                for &a in &eu {
+                    for &b in &ev {
+                        if a != b {
+                            preds.push(StreamPred {
+                                a,
+                                b,
+                                aq: u,
+                                bq: v,
+                                kind: PredKind::Neq,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    (preds, needs_validation)
+}
+
+/// One join step of a left-deep [`Plan`]: the accumulated left input is
+/// combined with cover `cover`'s posting scan.
+#[derive(Debug, Clone)]
+pub struct PlanStep {
+    /// Index into `cover.subtrees` of the stream joined at this step.
+    pub cover: usize,
+    /// Driving condition `(kind, left_combined_slot, right_slot)`; `None`
+    /// falls back to a per-tid cross join (disconnected join graphs).
+    pub driving: Option<(JoinKind, usize, usize)>,
+    /// Residual predicates over the *combined* slot vector (left slots
+    /// first), applied as a filter after the driving join.
+    pub residuals: Vec<Pred>,
+    /// Sort the left input by this combined slot before joining (order
+    /// enforcer; absent when the required order is already established).
+    pub sort_left: Option<usize>,
+    /// Sort the right posting scan by this slot before joining (posting
+    /// scans arrive sorted by slot 0, the subtree root).
+    pub sort_right: Option<usize>,
+}
+
+/// A planned left-deep streaming pipeline for structural codings.
+#[derive(Debug, Clone)]
+pub struct Plan {
+    /// Cover index of the base (smallest) posting scan.
+    pub base: usize,
+    /// Join steps, in execution order.
+    pub steps: Vec<PlanStep>,
+    /// Slot of the query root in the final combined slot vector (absent
+    /// only when the validation fallback is required).
+    pub root_slot: Option<usize>,
+    /// Whether matches must be re-validated against the data file
+    /// (sibling distinctness not expressible over the exposed slots).
+    pub needs_validation: bool,
+}
+
+/// Plans the streaming pipeline for `query` under a structural coding.
+/// `lens[i]` is the encoded posting-list byte length of cover `i` (from
+/// [`BTree::value_len`](si_storage::BTree::value_len)) — the plan's only
+/// statistic; nothing is decoded at planning time.
+pub fn plan_structural(query: &Query, cover: &Cover, coding: Coding, lens: &[u64]) -> Plan {
+    debug_assert_eq!(lens.len(), cover.subtrees.len());
+    let exposed = exposed_qnodes(cover, coding);
+    let (preds, needs_validation) = cross_stream_predicates(query, cover, &exposed);
+
+    // Left-deep order: smallest list first, then smallest connected.
+    let mut remaining: Vec<usize> = (0..cover.subtrees.len()).collect();
+    remaining.sort_by_key(|&i| lens[i]);
+    let base = remaining.remove(0);
+    let mut placed = vec![base];
+    let mut joined_qnodes: Vec<QNodeId> = exposed[base].clone();
+    // Combined slot the left input is currently sorted by; scans arrive
+    // sorted by their root slot (slot 0).
+    let mut left_sorted: Option<usize> = Some(0);
+
+    let mut steps = Vec::new();
+    while !remaining.is_empty() {
+        let next_pos = remaining
+            .iter()
+            .position(|&s| {
+                preds.iter().any(|p| {
+                    (p.a == s && placed.contains(&p.b)) || (p.b == s && placed.contains(&p.a))
+                })
+            })
+            .unwrap_or(0);
+        let s = remaining.remove(next_pos);
+        let qnodes = &exposed[s];
+        let offset = joined_qnodes.len();
+
+        // Split predicates between `s` and the placed prefix into one
+        // driving condition plus residuals (combined slot indexing).
+        // Parent/Ancestor predicates whose child end is already placed
+        // cannot drive the merge forms and become residuals.
+        let mut driving: Option<(JoinKind, usize, usize)> = None;
+        let mut residuals: Vec<Pred> = Vec::new();
+        for p in preds.iter() {
+            let (placed_q, new_q, forward) = if p.b == s && placed.contains(&p.a) {
+                (p.aq, p.bq, true)
+            } else if p.a == s && placed.contains(&p.b) {
+                (p.bq, p.aq, false)
+            } else {
+                continue;
+            };
+            let Some(l) = joined_qnodes.iter().position(|&x| x == placed_q) else {
+                continue;
+            };
+            let Some(rs) = qnodes.iter().position(|&x| x == new_q) else {
+                continue;
+            };
+            let r_combined = offset + rs;
+            match (p.kind, forward) {
+                (PredKind::Eq, _) => {
+                    if driving.is_none() {
+                        driving = Some((JoinKind::Eq, l, rs));
+                    } else {
+                        residuals.push(Pred::Eq(l, r_combined));
+                    }
+                }
+                (PredKind::Parent, true) => {
+                    if driving.is_none() {
+                        driving = Some((JoinKind::Parent, l, rs));
+                    } else {
+                        residuals.push(Pred::Parent(l, r_combined));
+                    }
+                }
+                (PredKind::Parent, false) => residuals.push(Pred::Parent(r_combined, l)),
+                (PredKind::Ancestor, true) => {
+                    if driving.is_none() {
+                        driving = Some((JoinKind::Ancestor, l, rs));
+                    } else {
+                        residuals.push(Pred::Ancestor(l, r_combined));
+                    }
+                }
+                (PredKind::Ancestor, false) => residuals.push(Pred::Ancestor(r_combined, l)),
+                (PredKind::Neq, _) => residuals.push(Pred::Neq(l, r_combined)),
+            }
+        }
+
+        let (sort_left, sort_right) = match driving {
+            Some((_, l, rs)) => (
+                (left_sorted != Some(l)).then_some(l),
+                (rs != 0).then_some(rs),
+            ),
+            // Per-tid cross join only needs tid-major order, which every
+            // stream already has.
+            None => (None, None),
+        };
+        // Merge joins emit in right-input order: sorted by the newly
+        // joined stream's driving slot. A cross join interleaves
+        // per-tid groups without a slot order.
+        left_sorted = driving.map(|(_, _, rs)| offset + rs);
+
+        steps.push(PlanStep {
+            cover: s,
+            driving,
+            residuals,
+            sort_left,
+            sort_right,
+        });
+        joined_qnodes.extend(qnodes.iter().copied());
+        placed.push(s);
+    }
+
+    let root_slot = joined_qnodes.iter().position(|&q| q == query.root());
+    debug_assert!(
+        needs_validation || root_slot.is_some(),
+        "query root exposed by its component's covers"
+    );
+    Plan {
+        base,
+        steps,
+        root_slot,
+        needs_validation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cover::decompose;
+    use si_parsetree::LabelInterner;
+    use si_query::parse_query;
+
+    fn plan_for(src: &str, mss: usize, coding: Coding, lens: &[u64]) -> (Plan, Cover) {
+        let mut li = LabelInterner::new();
+        let q = parse_query(src, &mut li).unwrap();
+        let cover = decompose(&q, mss, coding);
+        let lens: Vec<u64> = (0..cover.subtrees.len())
+            .map(|i| lens.get(i).copied().unwrap_or(10 * (i as u64 + 1)))
+            .collect();
+        let plan = plan_structural(&q, &cover, coding, &lens);
+        (plan, cover)
+    }
+
+    #[test]
+    fn single_cover_has_no_steps() {
+        let (plan, cover) = plan_for("NP(DT)(NN)", 3, Coding::RootSplit, &[]);
+        assert_eq!(cover.subtrees.len(), 1);
+        assert!(plan.steps.is_empty());
+        assert_eq!(plan.root_slot, Some(0));
+        assert!(!plan.needs_validation);
+    }
+
+    #[test]
+    fn base_is_shortest_list() {
+        let mut li = LabelInterner::new();
+        let q = parse_query("S(NP(DT)(NN))(VP(VBZ)(NP))", &mut li).unwrap();
+        let cover = decompose(&q, 2, Coding::RootSplit);
+        assert!(cover.subtrees.len() >= 2);
+        // The base must be the cover with the smallest byte length.
+        let lens: Vec<u64> = (0..cover.subtrees.len())
+            .map(|i| [500u64, 40, 900, 7, 333, 61][i])
+            .collect();
+        let plan = plan_structural(&q, &cover, Coding::RootSplit, &lens);
+        let min = (0..cover.subtrees.len()).min_by_key(|&i| lens[i]).unwrap();
+        assert_eq!(plan.base, min);
+        assert_eq!(plan.steps.len(), cover.subtrees.len() - 1);
+    }
+
+    #[test]
+    fn interval_coding_steps_are_fully_connected() {
+        // The interval coding exposes every query node, so a connected
+        // query always yields driving predicates (root-split covers may
+        // leave interior nodes unexposed and fall back to per-tid cross
+        // joins — the same fallback the legacy evaluator takes).
+        let (plan, _) = plan_for("S(NP(DT)(NN))(VP(VBZ))", 2, Coding::SubtreeInterval, &[]);
+        for step in &plan.steps {
+            assert!(
+                step.driving.is_some(),
+                "interval streams expose all nodes; joins must connect"
+            );
+        }
+    }
+
+    #[test]
+    fn descendant_edges_plan_structural_joins() {
+        let (plan, _) = plan_for("S(//NN)", 3, Coding::RootSplit, &[]);
+        assert_eq!(plan.steps.len(), 1);
+        let (kind, _, _) = plan.steps[0].driving.unwrap();
+        assert!(matches!(kind, JoinKind::Ancestor | JoinKind::Parent));
+    }
+
+    #[test]
+    fn root_split_scans_never_need_right_sorts() {
+        // Root-split streams expose exactly one slot (the root), which
+        // is the order postings arrive in.
+        let (plan, _) = plan_for(
+            "S(NP(DT)(NN))(VP(VBZ)(NP(//JJ)))",
+            2,
+            Coding::RootSplit,
+            &[9, 200, 13, 700, 44],
+        );
+        for step in &plan.steps {
+            assert_eq!(step.sort_right, None);
+        }
+    }
+}

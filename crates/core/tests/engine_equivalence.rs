@@ -48,10 +48,7 @@ fn check_all(trees: &[ParseTree], interner: &LabelInterner, queries: &[&str], ms
             for (text, query) in &parsed {
                 let expect = ground_truth(trees, query);
                 let got = index.evaluate(query).unwrap();
-                assert_eq!(
-                    got.matches, expect,
-                    "query {text} under {coding} mss={mss}"
-                );
+                assert_eq!(got.matches, expect, "query {text} under {coding} mss={mss}");
             }
             std::fs::remove_dir_all(&dir).ok();
         }
@@ -171,6 +168,131 @@ fn wh_queries_match_ground_truth() {
     }
 }
 
+/// Randomized differential property test (self-contained — the external
+/// `proptest` crate is unavailable offline): across random corpora and
+/// real-subtree queries, the streaming executor must return exactly the
+/// match set of the legacy materializing evaluator under every coding,
+/// with internally consistent `EvalStats`.
+#[test]
+fn property_streaming_matches_materialized_across_codings() {
+    // Deterministic seed schedule; each round draws a fresh corpus and
+    // a fresh FB-style query set.
+    for round in 0u64..4 {
+        let corpus_seed = 0xC0FFEE + round * 7919;
+        let corpus = GeneratorConfig::default()
+            .with_seed(corpus_seed)
+            .generate(60 + (round as usize) * 25);
+        let mut interner = corpus.interner().clone();
+        let heldout = GeneratorConfig::default()
+            .with_seed(corpus_seed + 1)
+            .generate_into(25, &mut interner);
+        let fb = si_corpus::fb_query_set(&corpus, &heldout, corpus_seed + 2);
+        let mss = 2 + (round as usize % 2); // rotate 2, 3
+        for coding in Coding::ALL {
+            let dir = tmp_dir(&format!("prop-{round}-{coding:?}-{mss}").to_lowercase());
+            let mut index = SubtreeIndex::build(
+                &dir,
+                corpus.trees(),
+                &interner,
+                IndexOptions::new(mss, coding),
+            )
+            .unwrap();
+            for fbq in fb.iter().step_by(3) {
+                index.set_exec_mode(si_core::ExecMode::Streaming);
+                let s = index.evaluate(&fbq.query).unwrap();
+                index.set_exec_mode(si_core::ExecMode::Materialized);
+                let m = index.evaluate(&fbq.query).unwrap();
+                assert_eq!(
+                    s.matches, m.matches,
+                    "round {round} class {} size {} under {coding} mss={mss}",
+                    fbq.class, fbq.size
+                );
+                // The matcher is the independent ground truth.
+                assert_eq!(
+                    s.matches,
+                    ground_truth(corpus.trees(), &fbq.query),
+                    "round {round} ground truth under {coding} mss={mss}"
+                );
+                // Stats sanity for both executors.
+                for (which, stats) in [("streaming", s.stats), ("materialized", m.stats)] {
+                    assert!(stats.covers >= 1, "{which}: no covers");
+                    assert!(
+                        stats.joins <= stats.covers.saturating_sub(1),
+                        "{which}: more joins than cover pairs"
+                    );
+                    if !s.matches.is_empty() {
+                        assert_eq!(
+                            stats.joins,
+                            stats.covers - 1,
+                            "{which}: non-empty result must execute the full plan"
+                        );
+                        assert!(stats.postings_fetched > 0, "{which}: no postings decoded");
+                        assert!(
+                            stats.peak_posting_bytes > 0,
+                            "{which}: resident bytes untracked"
+                        );
+                    }
+                }
+                assert_eq!(s.stats.covers, m.stats.covers, "same decomposition");
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+/// The acceptance criterion of the streaming refactor, as a test: with
+/// one rare and one very frequent cover subtree, the streaming executor
+/// holds O(pages in flight) posting bytes while the materializing
+/// evaluator pays for the full frequent list — streaming must stay
+/// under 50% of the legacy footprint (it is typically under 10%).
+#[test]
+fn streaming_bounds_resident_bytes_on_skewed_lists() {
+    let mut li = LabelInterner::new();
+    let mut srcs: Vec<String> = Vec::new();
+    // Two rare trees carrying the selective key.
+    srcs.push("(FRAG (NP (NN target)))".to_string());
+    srcs.push("(S (FRAG (NP (NN target))) (VP (VBZ is)))".to_string());
+    // A long tail of filler trees, each contributing many distinct
+    // NP-rooted NN occurrences (distinct roots survive root-split
+    // deduplication, so the NN-side posting list grows with the corpus).
+    for i in 0..1500 {
+        let nps: String = (0..8).map(|j| format!("(NP (NN w{i}x{j}))")).collect();
+        srcs.push(format!("(S {nps} (VP (VBZ v{i})))"));
+    }
+    let trees: Vec<ParseTree> = srcs
+        .iter()
+        .map(|s| si_parsetree::ptb::parse(s, &mut li).unwrap())
+        .collect();
+    let dir = tmp_dir("skewed");
+    let mut index =
+        SubtreeIndex::build(&dir, &trees, &li, IndexOptions::new(2, Coding::RootSplit)).unwrap();
+    let mut qi = li.clone();
+    let query = parse_query("FRAG(NP(NN))", &mut qi).unwrap();
+
+    index.set_exec_mode(si_core::ExecMode::Streaming);
+    let s = index.evaluate(&query).unwrap();
+    index.set_exec_mode(si_core::ExecMode::Materialized);
+    let m = index.evaluate(&query).unwrap();
+
+    assert_eq!(s.matches, m.matches);
+    assert_eq!(s.matches, ground_truth(&trees, &query));
+    assert!(!s.matches.is_empty(), "the rare pattern must match");
+    // The frequent NN list spans multiple pages; materializing pays for
+    // all of it, streaming only for the pages in flight.
+    assert!(
+        m.stats.peak_posting_bytes > 8 * 1024,
+        "test corpus too small to be meaningful: legacy peak {}",
+        m.stats.peak_posting_bytes
+    );
+    assert!(
+        (s.stats.peak_posting_bytes as f64) < 0.5 * m.stats.peak_posting_bytes as f64,
+        "streaming peak {} must stay under half of materialized peak {}",
+        s.stats.peak_posting_bytes,
+        m.stats.peak_posting_bytes
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn persistence_round_trip() {
     let corpus = GeneratorConfig::default().with_seed(9).generate(60);
@@ -217,7 +339,12 @@ fn stack_tree_join_agrees_with_mpmgjn() {
         IndexOptions::new(2, Coding::RootSplit),
     )
     .unwrap();
-    for src in ["S(NP)(VP(VBZ))", "S(//NN)", "NP(//DT)", "VP(VBZ)(NP(DT)(NN))"] {
+    for src in [
+        "S(NP)(VP(VBZ))",
+        "S(//NN)",
+        "NP(//DT)",
+        "VP(VBZ)(NP(DT)(NN))",
+    ] {
         let query = parse_query(src, &mut qi).unwrap();
         index.set_join_algo(si_core::join::JoinAlgo::Mpmgjn);
         let a = index.evaluate(&query).unwrap().matches;
@@ -239,8 +366,8 @@ fn external_build_matches_in_memory_build() {
     for coding in Coding::ALL {
         let d1 = tmp_dir(&format!("mem-{coding:?}").to_lowercase());
         let d2 = tmp_dir(&format!("ext-{coding:?}").to_lowercase());
-        let mem = SubtreeIndex::build(&d1, corpus.trees(), &qi, IndexOptions::new(3, coding))
-            .unwrap();
+        let mem =
+            SubtreeIndex::build(&d1, corpus.trees(), &qi, IndexOptions::new(3, coding)).unwrap();
         let ext = SubtreeIndex::build_external(
             &d2,
             corpus.trees(),
@@ -253,7 +380,11 @@ fn external_build_matches_in_memory_build() {
         .unwrap();
         assert_eq!(mem.stats().keys, ext.stats().keys, "{coding:?}");
         assert_eq!(mem.stats().postings, ext.stats().postings, "{coding:?}");
-        assert_eq!(mem.stats().posting_bytes, ext.stats().posting_bytes, "{coding:?}");
+        assert_eq!(
+            mem.stats().posting_bytes,
+            ext.stats().posting_bytes,
+            "{coding:?}"
+        );
         for q in &queries {
             assert_eq!(
                 mem.evaluate(q).unwrap().matches,
@@ -279,14 +410,9 @@ fn parallel_build_is_byte_identical_to_sequential() {
         let d2 = tmp_dir(&format!("par-{coding:?}").to_lowercase());
         let seq =
             SubtreeIndex::build(&d1, corpus.trees(), &qi, IndexOptions::new(3, coding)).unwrap();
-        let par = SubtreeIndex::build_parallel(
-            &d2,
-            corpus.trees(),
-            &qi,
-            IndexOptions::new(3, coding),
-            4,
-        )
-        .unwrap();
+        let par =
+            SubtreeIndex::build_parallel(&d2, corpus.trees(), &qi, IndexOptions::new(3, coding), 4)
+                .unwrap();
         assert_eq!(seq.stats().keys, par.stats().keys, "{coding:?}");
         assert_eq!(seq.stats().postings, par.stats().postings, "{coding:?}");
         assert_eq!(

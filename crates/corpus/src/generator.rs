@@ -14,8 +14,7 @@
 //!
 //! Generation is fully deterministic from the seed.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 
 use si_parsetree::{Label, LabelInterner, ParseTree, TreeBuilder};
 
@@ -76,7 +75,10 @@ impl Lexicon {
 
     fn sample(&self, rng: &mut StdRng) -> &str {
         let u: f64 = rng.gen();
-        let i = self.cum.partition_point(|&c| c < u).min(self.words.len() - 1);
+        let i = self
+            .cum
+            .partition_point(|&c| c < u)
+            .min(self.words.len() - 1);
         &self.words[i]
     }
 }
@@ -125,7 +127,11 @@ impl Pcfg {
             ("NP", &["NP", ",", "NP", ","], 1.5),
             ("NP", &["QP", "NNS"], 1.0),
             // A rare long coordination: the source of high-branching nodes.
-            ("NP", &["NP", ",", "NP", ",", "NP", ",", "NP", "CC", "NP"], 0.2),
+            (
+                "NP",
+                &["NP", ",", "NP", ",", "NP", ",", "NP", "CC", "NP"],
+                0.2,
+            ),
             ("VP", &["VBZ", "NP"], 12.0),
             ("VP", &["VBD", "NP"], 10.0),
             ("VP", &["VBZ"], 3.5),
@@ -184,7 +190,9 @@ impl Pcfg {
             Lexicon::open("CD", "num", 900),
             Lexicon::closed(
                 "DT",
-                &["the", "a", "an", "this", "that", "these", "those", "some", "no", "every"],
+                &[
+                    "the", "a", "an", "this", "that", "these", "those", "some", "no", "every",
+                ],
             ),
             Lexicon::closed(
                 "IN",
@@ -198,9 +206,14 @@ impl Pcfg {
             Lexicon::closed("CC", &["and", "or", "but", "nor", "yet"]),
             Lexicon::closed(
                 "PRP",
-                &["it", "he", "they", "she", "we", "i", "you", "them", "him", "her"],
+                &[
+                    "it", "he", "they", "she", "we", "i", "you", "them", "him", "her",
+                ],
             ),
-            Lexicon::closed("MD", &["will", "would", "can", "could", "may", "should", "must"]),
+            Lexicon::closed(
+                "MD",
+                &["will", "would", "can", "could", "may", "should", "must"],
+            ),
             Lexicon::closed("WP", &["who", "what", "whom"]),
             Lexicon::closed("WDT", &["which", "that"]),
             Lexicon::closed("WRB", &["where", "when", "why", "how"]),
@@ -232,7 +245,10 @@ impl Pcfg {
                     }
                 })
                 .collect();
-            rules[lhs_idx].push(Rule { rhs, weight: *weight });
+            rules[lhs_idx].push(Rule {
+                rhs,
+                weight: *weight,
+            });
         }
 
         let cum: Vec<Vec<f64>> = rules
@@ -286,7 +302,9 @@ impl Pcfg {
             return &self.rules[nt][self.min_rule[nt]];
         }
         let u: f64 = rng.gen();
-        let i = self.cum[nt].partition_point(|&c| c < u).min(self.rules[nt].len() - 1);
+        let i = self.cum[nt]
+            .partition_point(|&c| c < u)
+            .min(self.rules[nt].len() - 1);
         &self.rules[nt][i]
     }
 }
@@ -337,12 +355,23 @@ impl GeneratorConfig {
         let mut rng = StdRng::seed_from_u64(self.seed);
         // Pre-intern tags so label ids are stable regardless of word order.
         let nt_labels: Vec<Label> = pcfg.nt_names.iter().map(|s| interner.intern(s)).collect();
-        let pos_labels: Vec<Label> = pcfg.lexicons.iter().map(|l| interner.intern(&l.tag)).collect();
+        let pos_labels: Vec<Label> = pcfg
+            .lexicons
+            .iter()
+            .map(|l| interner.intern(&l.tag))
+            .collect();
         let mut trees = Vec::with_capacity(n);
         for _ in 0..n {
             let mut b = TreeBuilder::new();
             self.expand(
-                &pcfg, pcfg.start, 0, &mut rng, &mut b, &nt_labels, &pos_labels, interner,
+                &pcfg,
+                pcfg.start,
+                0,
+                &mut rng,
+                &mut b,
+                &nt_labels,
+                &pos_labels,
+                interner,
             );
             trees.push(b.finish().expect("generator emits balanced trees"));
         }
@@ -367,9 +396,16 @@ impl GeneratorConfig {
         let rule = pcfg.sample_rule(nt, depth, self.max_depth, rng).clone();
         for sym in &rule.rhs {
             match *sym {
-                Sym::Nt(child) => {
-                    self.expand(pcfg, child, depth + 1, rng, b, nt_labels, pos_labels, interner)
-                }
+                Sym::Nt(child) => self.expand(
+                    pcfg,
+                    child,
+                    depth + 1,
+                    rng,
+                    b,
+                    nt_labels,
+                    pos_labels,
+                    interner,
+                ),
                 Sym::Pos(pos) => {
                     b.open(pos_labels[pos]);
                     if self.with_words {
@@ -539,7 +575,9 @@ mod tests {
         let mut interner = LabelInterner::new();
         let config = GeneratorConfig::default();
         let a = config.generate_into(10, &mut interner);
-        let b = GeneratorConfig::default().with_seed(99).generate_into(10, &mut interner);
+        let b = GeneratorConfig::default()
+            .with_seed(99)
+            .generate_into(10, &mut interner);
         // Tags interned once: the S label of both corpora is the same id.
         assert_eq!(a[0].label(a[0].root()), b[0].label(b[0].root()));
     }

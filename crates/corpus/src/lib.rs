@@ -9,6 +9,7 @@
 
 pub mod generator;
 pub mod queryset;
+pub mod rng;
 pub mod stats;
 
 pub use generator::{Corpus, GeneratorConfig};

@@ -10,8 +10,7 @@
 //!   extracted as subtrees of *held-out* parse trees whose node labels
 //!   realize the class's frequency bands.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::StdRng;
 
 use si_parsetree::{LabelInterner, NodeId, ParseTree};
 use si_query::{parse_query, Query};
@@ -63,57 +62,150 @@ pub struct WhQuery {
 /// Sizes run 9–15 nodes, matching the join counts of Table 3.
 const WH_TEMPLATES: &[(WhGroup, &str)] = &[
     // --- who: subjects and predicates naming people ---
-    (WhGroup::Who, "S(NP(NNP))(VP(VBZ)(NP(DT)(NN))(PP(IN)(NP(NNP))))"),
+    (
+        WhGroup::Who,
+        "S(NP(NNP))(VP(VBZ)(NP(DT)(NN))(PP(IN)(NP(NNP))))",
+    ),
     (WhGroup::Who, "S(NP(NNP)(NNP))(VP(VBD)(NP(DT)(NN)))"),
-    (WhGroup::Who, "S(NP(NP(DT)(NN))(PP(IN)(NP(NNP))))(VP(VBZ)(NP(NNP)))"),
-    (WhGroup::Who, "S(NP(DT)(NN))(VP(VBZ)(NP(NP(NNP))(PP(IN)(NP))))"),
-    (WhGroup::Who, "S(NP(NNP))(VP(VBD)(NP(DT)(JJ)(NN))(PP(IN)(NP)))"),
+    (
+        WhGroup::Who,
+        "S(NP(NP(DT)(NN))(PP(IN)(NP(NNP))))(VP(VBZ)(NP(NNP)))",
+    ),
+    (
+        WhGroup::Who,
+        "S(NP(DT)(NN))(VP(VBZ)(NP(NP(NNP))(PP(IN)(NP))))",
+    ),
+    (
+        WhGroup::Who,
+        "S(NP(NNP))(VP(VBD)(NP(DT)(JJ)(NN))(PP(IN)(NP)))",
+    ),
     (WhGroup::Who, "S(NP(PRP))(VP(VBZ)(NP(DT)(NN)(NN)))"),
     (WhGroup::Who, "S(NP(NNP))(VP(MD)(VP(VB)(NP(DT)(NN))))"),
-    (WhGroup::Who, "S(NP(NP(DT)(NN))(SBAR(WHNP(WP))(S(VP(VBZ)(NP)))))"),
-    (WhGroup::Who, "S(NP(NNP))(VP(VBZ)(SBAR(IN)(S(NP(PRP))(VP(VBD)))))"),
+    (
+        WhGroup::Who,
+        "S(NP(NP(DT)(NN))(SBAR(WHNP(WP))(S(VP(VBZ)(NP)))))",
+    ),
+    (
+        WhGroup::Who,
+        "S(NP(NNP))(VP(VBZ)(SBAR(IN)(S(NP(PRP))(VP(VBD)))))",
+    ),
     (WhGroup::Who, "S(NP(DT)(NN))(VP(VBZ)(NP(NNP)(NNP)))"),
     (WhGroup::Who, "S(NP(NNP))(VP(VBZ)(ADJP(JJ)(PP(IN)(NP))))"),
-    (WhGroup::Who, "S(NP(NNP))(VP(VBZ)(NP(NP(NN))(PP(IN)(NP(NNP)))))"),
+    (
+        WhGroup::Who,
+        "S(NP(NNP))(VP(VBZ)(NP(NP(NN))(PP(IN)(NP(NNP)))))",
+    ),
     // --- which: restricted nominals, relative clauses ---
-    (WhGroup::Which, "S(NP(NP(DT)(NN))(SBAR(WHNP(WDT))(S(VP(VBZ)(NP)))))"),
-    (WhGroup::Which, "S(NP(DT)(JJ)(NN))(VP(VBZ)(NP(DT)(NN))(PP(IN)(NP)))"),
+    (
+        WhGroup::Which,
+        "S(NP(NP(DT)(NN))(SBAR(WHNP(WDT))(S(VP(VBZ)(NP)))))",
+    ),
+    (
+        WhGroup::Which,
+        "S(NP(DT)(JJ)(NN))(VP(VBZ)(NP(DT)(NN))(PP(IN)(NP)))",
+    ),
     (WhGroup::Which, "S(NP(DT)(NN)(NN))(VP(VBD)(NP(DT)(JJ)(NN)))"),
-    (WhGroup::Which, "S(NP(NP(DT)(NNS))(PP(IN)(NP(NNP))))(VP(VBP)(NP))"),
-    (WhGroup::Which, "S(NP(DT)(NN))(VP(VBZ)(NP(NP(DT)(JJ)(NN))(PP(IN)(NP))))"),
-    (WhGroup::Which, "S(NP(JJ)(NNS))(VP(VBP)(NP(DT)(NN))(PP(IN)(NP)))"),
-    (WhGroup::Which, "S(NP(DT)(NN))(VP(MD)(VP(VB)(NP(DT)(NN)(NN))))"),
-    (WhGroup::Which, "S(NP(NP(CD)(NNS))(PP(IN)(NP)))(VP(VBP)(ADJP(JJ)))"),
-    (WhGroup::Which, "S(NP(DT)(NNS))(VP(VBD)(SBAR(IN)(S(NP)(VP(VBZ)))))"),
-    (WhGroup::Which, "S(NP(NP(DT)(NN))(SBAR(WHNP(WDT)(NN))(S(VP(VBZ)))))"),
+    (
+        WhGroup::Which,
+        "S(NP(NP(DT)(NNS))(PP(IN)(NP(NNP))))(VP(VBP)(NP))",
+    ),
+    (
+        WhGroup::Which,
+        "S(NP(DT)(NN))(VP(VBZ)(NP(NP(DT)(JJ)(NN))(PP(IN)(NP))))",
+    ),
+    (
+        WhGroup::Which,
+        "S(NP(JJ)(NNS))(VP(VBP)(NP(DT)(NN))(PP(IN)(NP)))",
+    ),
+    (
+        WhGroup::Which,
+        "S(NP(DT)(NN))(VP(MD)(VP(VB)(NP(DT)(NN)(NN))))",
+    ),
+    (
+        WhGroup::Which,
+        "S(NP(NP(CD)(NNS))(PP(IN)(NP)))(VP(VBP)(ADJP(JJ)))",
+    ),
+    (
+        WhGroup::Which,
+        "S(NP(DT)(NNS))(VP(VBD)(SBAR(IN)(S(NP)(VP(VBZ)))))",
+    ),
+    (
+        WhGroup::Which,
+        "S(NP(NP(DT)(NN))(SBAR(WHNP(WDT)(NN))(S(VP(VBZ)))))",
+    ),
     (WhGroup::Which, "S(NP(DT)(JJ)(JJ)(NN))(VP(VBZ)(NP(NN)))"),
-    (WhGroup::Which, "S(NP(DT)(NN))(VP(VBZ)(NP(JJ)(NNS))(PP(IN)(NP)))"),
+    (
+        WhGroup::Which,
+        "S(NP(DT)(NN))(VP(VBZ)(NP(JJ)(NNS))(PP(IN)(NP)))",
+    ),
     // --- where: locative prepositional structure ---
     (WhGroup::Where, "S(NP(NNP))(VP(VBZ)(PP(IN)(NP(NNP)(NNP))))"),
     (WhGroup::Where, "S(NP(DT)(NN))(VP(VBZ)(PP(IN)(NP(DT)(NN))))"),
-    (WhGroup::Where, "S(NP(NNP))(VP(VBD)(NP(DT)(NN))(PP(IN)(NP(NNP))))"),
+    (
+        WhGroup::Where,
+        "S(NP(NNP))(VP(VBD)(NP(DT)(NN))(PP(IN)(NP(NNP))))",
+    ),
     (WhGroup::Where, "S(PP(IN)(NP(NNP)))(,)(NP(DT)(NN))(VP(VBZ))"),
-    (WhGroup::Where, "S(NP(NP(DT)(NN))(PP(IN)(NP(NNP))))(VP(VBZ)(NP))"),
-    (WhGroup::Where, "S(NP(DT)(NNS))(VP(VBP)(PP(IN)(NP(DT)(JJ)(NN))))"),
+    (
+        WhGroup::Where,
+        "S(NP(NP(DT)(NN))(PP(IN)(NP(NNP))))(VP(VBZ)(NP))",
+    ),
+    (
+        WhGroup::Where,
+        "S(NP(DT)(NNS))(VP(VBP)(PP(IN)(NP(DT)(JJ)(NN))))",
+    ),
     (WhGroup::Where, "S(NP(NNP))(VP(VBZ)(VP(VBN)(PP(IN)(NP))))"),
-    (WhGroup::Where, "S(NP(DT)(NN)(NN))(VP(VBZ)(PP(IN)(NP(NNP))))"),
-    (WhGroup::Where, "S(NP(PRP))(VP(VBD)(PP(IN)(NP(NP(NN))(PP(IN)(NP)))))"),
-    (WhGroup::Where, "S(NP(NNP)(NNP))(VP(VBZ)(PP(TO)(NP(DT)(NN))))"),
-    (WhGroup::Where, "S(NP(DT)(NN))(VP(VBD)(PP(IN)(NP(JJ)(NNS))))"),
-    (WhGroup::Where, "S(NP(NNS))(VP(VBP)(PP(IN)(NP(DT)(NN))(PP(IN)(NP))))"),
+    (
+        WhGroup::Where,
+        "S(NP(DT)(NN)(NN))(VP(VBZ)(PP(IN)(NP(NNP))))",
+    ),
+    (
+        WhGroup::Where,
+        "S(NP(PRP))(VP(VBD)(PP(IN)(NP(NP(NN))(PP(IN)(NP)))))",
+    ),
+    (
+        WhGroup::Where,
+        "S(NP(NNP)(NNP))(VP(VBZ)(PP(TO)(NP(DT)(NN))))",
+    ),
+    (
+        WhGroup::Where,
+        "S(NP(DT)(NN))(VP(VBD)(PP(IN)(NP(JJ)(NNS))))",
+    ),
+    (
+        WhGroup::Where,
+        "S(NP(NNS))(VP(VBP)(PP(IN)(NP(DT)(NN))(PP(IN)(NP))))",
+    ),
     // --- what: definitional and event structure ---
     (WhGroup::What, "S(NP(NN))(VP(VBZ)(NP(DT)(JJ)(NN)))"),
-    (WhGroup::What, "S(NP(DT)(NN))(VP(VBZ)(NP(NP(NN))(PP(IN)(NP(NNS)))))"),
+    (
+        WhGroup::What,
+        "S(NP(DT)(NN))(VP(VBZ)(NP(NP(NN))(PP(IN)(NP(NNS)))))",
+    ),
     (WhGroup::What, "S(NP(NNS))(VP(VBP)(NP(DT)(NN))(PP(IN)(NP)))"),
-    (WhGroup::What, "S(NP(DT)(NN))(VP(VBZ)(SBAR(IN)(S(NP(PRP))(VP(VBZ)))))"),
+    (
+        WhGroup::What,
+        "S(NP(DT)(NN))(VP(VBZ)(SBAR(IN)(S(NP(PRP))(VP(VBZ)))))",
+    ),
     (WhGroup::What, "S(NP(DT)(NN)(NN))(VP(VBZ)(NP(DT)(NN)))"),
     (WhGroup::What, "S(NP(DT)(NN))(VP(VBZ)(ADJP(RB)(JJ)))"),
-    (WhGroup::What, "S(NP(DT)(JJ)(NN))(VP(VBD)(NP(NNS))(PP(IN)(NP)))"),
-    (WhGroup::What, "S(NP(NP(NN))(PP(IN)(NP(DT)(NN))))(VP(VBZ)(NP))"),
+    (
+        WhGroup::What,
+        "S(NP(DT)(JJ)(NN))(VP(VBD)(NP(NNS))(PP(IN)(NP)))",
+    ),
+    (
+        WhGroup::What,
+        "S(NP(NP(NN))(PP(IN)(NP(DT)(NN))))(VP(VBZ)(NP))",
+    ),
     (WhGroup::What, "S(NP(DT)(NN))(VP(MD)(VP(VB)(NP(JJ)(NNS))))"),
     (WhGroup::What, "S(NP(NN)(NNS))(VP(VBP)(NP(DT)(NN)))"),
-    (WhGroup::What, "S(NP(DT)(NN))(VP(VBZ)(NP(CD)(NNS))(PP(IN)(NP)))"),
-    (WhGroup::What, "S(NP(NNS))(VP(VBD)(SBAR(WHADVP(WRB))(S(NP)(VP))))"),
+    (
+        WhGroup::What,
+        "S(NP(DT)(NN))(VP(VBZ)(NP(CD)(NNS))(PP(IN)(NP)))",
+    ),
+    (
+        WhGroup::What,
+        "S(NP(NNS))(VP(VBD)(SBAR(WHADVP(WRB))(S(NP)(VP))))",
+    ),
 ];
 
 /// Builds the 48-query WH set, interning labels into `interner`.
@@ -252,8 +344,8 @@ pub fn fb_query_set(corpus: &Corpus, heldout: &[ParseTree], seed: u64) -> Vec<Fb
     let mut out = Vec::with_capacity(70);
     for class in FbClass::ALL {
         for size in 1..=10 {
-            let query = extract_class_query(heldout, &bands, class, size, &mut rng)
-                .unwrap_or_else(|| {
+            let query =
+                extract_class_query(heldout, &bands, class, size, &mut rng).unwrap_or_else(|| {
                     // Fall back to any subtree of the right size.
                     extract_any_subtree(heldout, size, &mut rng)
                 });
@@ -310,9 +402,9 @@ fn extract_class_query(
         if keep.len() != size {
             continue;
         }
-        let covered = required.iter().all(|b| {
-            keep.iter().any(|&n| band_of(t, n) == Some(*b))
-        });
+        let covered = required
+            .iter()
+            .all(|b| keep.iter().any(|&n| band_of(t, n) == Some(*b)));
         if !covered {
             continue;
         }
@@ -437,7 +529,11 @@ mod tests {
                 .query
                 .nodes()
                 .any(|n| bands[q.query.label(n).id() as usize] == Some(Band::High));
-            assert!(has_high, "H query of size {} lacks a high-band label", q.size);
+            assert!(
+                has_high,
+                "H query of size {} lacks a high-band label",
+                q.size
+            );
         }
     }
 }

@@ -113,7 +113,7 @@ mod tests {
     fn malformed_inputs_rejected() {
         assert!(decode_tree(&[]).is_none());
         assert!(decode_tree(&[0]).is_none()); // zero-node tree
-        // Claims 2 nodes but only provides one.
+                                              // Claims 2 nodes but only provides one.
         let mut buf = Vec::new();
         varint::write_u64(&mut buf, 2);
         varint::write_u32(&mut buf, 0);

@@ -155,7 +155,11 @@ impl Parser<'_> {
         }
     }
 
-    fn tree(&mut self, builder: &mut TreeBuilder, interner: &mut LabelInterner) -> Result<(), PtbError> {
+    fn tree(
+        &mut self,
+        builder: &mut TreeBuilder,
+        interner: &mut LabelInterner,
+    ) -> Result<(), PtbError> {
         self.skip_ws();
         match self.bytes.get(self.pos) {
             Some(b'(') => {
@@ -200,7 +204,11 @@ mod tests {
     #[test]
     fn parse_paper_query_tree() {
         let mut li = LabelInterner::new();
-        let t = parse("(S (NP (NNS agouti)) (VP (VBZ is) (NP (DT a) NN)))", &mut li).unwrap();
+        let t = parse(
+            "(S (NP (NNS agouti)) (VP (VBZ is) (NP (DT a) NN)))",
+            &mut li,
+        )
+        .unwrap();
         assert_eq!(t.len(), 11);
         assert_eq!(t.validate(), Ok(()));
         assert_eq!(li.resolve(t.label(t.root())), "S");
@@ -234,8 +242,14 @@ mod tests {
     fn errors() {
         let mut li = LabelInterner::new();
         assert_eq!(parse("(S (NP)", &mut li), Err(PtbError::UnexpectedEof));
-        assert!(matches!(parse("(S))", &mut li), Err(PtbError::Unbalanced(_))));
-        assert!(matches!(parse("( (NP))", &mut li), Err(PtbError::MissingLabel(_))));
+        assert!(matches!(
+            parse("(S))", &mut li),
+            Err(PtbError::Unbalanced(_))
+        ));
+        assert!(matches!(
+            parse("( (NP))", &mut li),
+            Err(PtbError::MissingLabel(_))
+        ));
         assert!(matches!(parse("", &mut li), Err(PtbError::UnexpectedEof)));
         assert!(matches!(parse(")", &mut li), Err(PtbError::Unbalanced(_))));
     }

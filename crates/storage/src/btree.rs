@@ -315,8 +315,8 @@ impl BTree {
         }
     }
 
-    /// Looks up `key`, returning its value if present.
-    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+    /// Descends to the leaf entry of `key`, returning its [`ValueRef`].
+    fn lookup(&self, key: &[u8]) -> Result<Option<ValueRef>> {
         let mut page = self.meta.root;
         for _ in 0..self.meta.height {
             match self.read_node(page)? {
@@ -329,12 +329,32 @@ impl BTree {
             }
         }
         match self.read_node(page)? {
-            Node::Leaf { entries, .. } => match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
-                Ok(i) => Ok(Some(self.load_value(&entries[i].1)?)),
-                Err(_) => Ok(None),
-            },
+            Node::Leaf { mut entries, .. } => {
+                match entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)) {
+                    Ok(i) => Ok(Some(entries.swap_remove(i).1)),
+                    Err(_) => Ok(None),
+                }
+            }
             Node::Internal { .. } => Err(StorageError::Corrupt("internal at leaf level".into())),
         }
+    }
+
+    /// Looks up `key`, returning its value if present. Thin wrapper over
+    /// [`BTree::value_reader`]; prefer the reader for long values (it
+    /// streams overflow chains page-by-page instead of materializing).
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        match self.value_reader(key)? {
+            Some(reader) => Ok(Some(reader.read_to_vec()?)),
+            None => Ok(None),
+        }
+    }
+
+    /// Opens a streaming cursor over the value of `key`. The cursor pulls
+    /// bytes page-at-a-time through the pager (including overflow
+    /// chains), so memory stays O(1 page) regardless of value length —
+    /// the storage end of the streaming query pipeline.
+    pub fn value_reader(&self, key: &[u8]) -> Result<Option<ValueReader<'_>>> {
+        Ok(self.lookup(key)?.map(|val| self.reader_for(val)))
     }
 
     /// The stored value's length in bytes without materializing it —
@@ -342,43 +362,12 @@ impl BTree {
     /// leaf entry). Used as a cheap selectivity statistic by the query
     /// processor.
     pub fn value_len(&self, key: &[u8]) -> Result<Option<u64>> {
-        let mut page = self.meta.root;
-        for _ in 0..self.meta.height {
-            match self.read_node(page)? {
-                Node::Internal { children, keys } => page = children[child_index(&keys, key)],
-                Node::Leaf { .. } => {
-                    return Err(StorageError::Corrupt("leaf above leaf level".into()))
-                }
-            }
-        }
-        match self.read_node(page)? {
-            Node::Leaf { entries, .. } => {
-                Ok(entries
-                    .binary_search_by(|(k, _)| k.as_slice().cmp(key))
-                    .ok()
-                    .map(|i| entries[i].1.len()))
-            }
-            Node::Internal { .. } => Err(StorageError::Corrupt("internal at leaf level".into())),
-        }
+        Ok(self.lookup(key)?.map(|v| v.len()))
     }
 
     /// Whether `key` is present (no value materialization).
     pub fn contains(&self, key: &[u8]) -> Result<bool> {
-        let mut page = self.meta.root;
-        for _ in 0..self.meta.height {
-            match self.read_node(page)? {
-                Node::Internal { children, keys } => page = children[child_index(&keys, key)],
-                Node::Leaf { .. } => {
-                    return Err(StorageError::Corrupt("leaf above leaf level".into()))
-                }
-            }
-        }
-        match self.read_node(page)? {
-            Node::Leaf { entries, .. } => {
-                Ok(entries.binary_search_by(|(k, _)| k.as_slice().cmp(key)).is_ok())
-            }
-            Node::Internal { .. } => Err(StorageError::Corrupt("internal at leaf level".into())),
-        }
+        Ok(self.lookup(key)?.is_some())
     }
 
     /// Inserts or replaces `key`.
@@ -465,27 +454,28 @@ impl BTree {
         let mut cur: Vec<(Vec<u8>, ValueRef)> = Vec::new();
         let mut cur_size = 7usize;
         let mut last_key: Option<Vec<u8>> = None;
-        let flush_leaf =
-            |tree: &mut BTree, cur: &mut Vec<(Vec<u8>, ValueRef)>, cur_size: &mut usize,
-             leaves: &mut Vec<(Vec<u8>, PageId)>|
-             -> Result<()> {
-                if cur.is_empty() {
-                    return Ok(());
-                }
-                let page = tree.alloc_page()?;
-                if let Some((_, prev)) = leaves.last() {
-                    tree.set_leaf_next(*prev, page)?;
-                }
-                let first_key = cur[0].0.clone();
-                let node = Node::Leaf {
-                    entries: std::mem::take(cur),
-                    next: NIL,
-                };
-                tree.write_node(page, &node)?;
-                leaves.push((first_key, page));
-                *cur_size = 7;
-                Ok(())
+        let flush_leaf = |tree: &mut BTree,
+                          cur: &mut Vec<(Vec<u8>, ValueRef)>,
+                          cur_size: &mut usize,
+                          leaves: &mut Vec<(Vec<u8>, PageId)>|
+         -> Result<()> {
+            if cur.is_empty() {
+                return Ok(());
+            }
+            let page = tree.alloc_page()?;
+            if let Some((_, prev)) = leaves.last() {
+                tree.set_leaf_next(*prev, page)?;
+            }
+            let first_key = cur[0].0.clone();
+            let node = Node::Leaf {
+                entries: std::mem::take(cur),
+                next: NIL,
             };
+            tree.write_node(page, &node)?;
+            leaves.push((first_key, page));
+            *cur_size = 7;
+            Ok(())
+        };
 
         for (key, value) in pairs {
             if key.len() > KEY_MAX {
@@ -503,7 +493,8 @@ impl BTree {
             }
             last_key = Some(key.clone());
             let val_ref = tree.store_value(&value)?;
-            let esize = varint::len_u64(key.len() as u64) + key.len() + val_ref.encoded_len(key.len());
+            let esize =
+                varint::len_u64(key.len() as u64) + key.len() + val_ref.encoded_len(key.len());
             if cur_size + esize > PAGE_SIZE {
                 flush_leaf(&mut tree, &mut cur, &mut cur_size, &mut leaves)?;
             }
@@ -631,7 +622,9 @@ impl BTree {
             let mut buf = [0u8; PAGE_SIZE];
             self.pager.read(page, &mut buf)?;
             if buf[0] != TAG_FREE {
-                return Err(StorageError::Corrupt("free list points at live page".into()));
+                return Err(StorageError::Corrupt(
+                    "free list points at live page".into(),
+                ));
             }
             self.meta.free_head = PageId::from_le_bytes(buf[1..5].try_into().unwrap());
             Ok(page)
@@ -687,32 +680,27 @@ impl BTree {
         })
     }
 
-    fn load_value(&self, val: &ValueRef) -> Result<Vec<u8>> {
-        match val {
-            ValueRef::Inline(v) => Ok(v.clone()),
-            ValueRef::Overflow { first, len } => {
-                let mut out = Vec::with_capacity(*len as usize);
-                let mut page = *first;
-                while page != NIL {
-                    let mut buf = [0u8; PAGE_SIZE];
-                    self.pager.read(page, &mut buf)?;
-                    if buf[0] != TAG_OVERFLOW {
-                        return Err(StorageError::Corrupt("overflow chain broken".into()));
-                    }
-                    let next = PageId::from_le_bytes(buf[1..5].try_into().unwrap());
-                    let len = u16::from_le_bytes([buf[5], buf[6]]) as usize;
-                    if len > OVERFLOW_CAP {
-                        return Err(StorageError::Corrupt("overflow page length".into()));
-                    }
-                    out.extend_from_slice(&buf[7..7 + len]);
-                    page = next;
-                }
-                if out.len() as u64 != *len {
-                    return Err(StorageError::Corrupt("overflow chain length mismatch".into()));
-                }
-                Ok(out)
-            }
+    /// Builds a [`ValueReader`] over a leaf entry's value — the single
+    /// chain-walking implementation behind [`BTree::get`],
+    /// [`BTree::value_reader`] and [`Iter`].
+    fn reader_for(&self, val: ValueRef) -> ValueReader<'_> {
+        let total = val.len();
+        let state = match val {
+            ValueRef::Inline(v) => ReaderState::Inline(v),
+            ValueRef::Overflow { first, .. } => ReaderState::Chain {
+                next: first,
+                delivered: 0,
+            },
+        };
+        ValueReader {
+            tree: self,
+            total,
+            state,
         }
+    }
+
+    fn load_value(&self, val: &ValueRef) -> Result<Vec<u8>> {
+        self.reader_for(val.clone()).read_to_vec()
     }
 
     fn split_leaf(&mut self, _page: PageId, node: Node) -> Result<(Node, Vec<u8>, PageId)> {
@@ -825,6 +813,105 @@ fn child_index(keys: &[Vec<u8>], key: &[u8]) -> usize {
     match keys.binary_search_by(|k| k.as_slice().cmp(key)) {
         Ok(i) => i + 1,
         Err(i) => i,
+    }
+}
+
+enum ReaderState {
+    /// Inline value not yet emitted.
+    Inline(Vec<u8>),
+    /// Overflow chain: next page plus bytes handed out so far.
+    Chain {
+        next: PageId,
+        delivered: u64,
+    },
+    Done,
+}
+
+/// A streaming cursor over one stored value (see
+/// [`BTree::value_reader`]). Each [`ValueReader::read_chunk`] call pulls
+/// at most one page's payload through the pager, so a consumer that
+/// processes chunks incrementally holds O(pages in flight) bytes even
+/// for multi-megabyte overflow chains.
+pub struct ValueReader<'a> {
+    tree: &'a BTree,
+    total: u64,
+    state: ReaderState,
+}
+
+impl ValueReader<'_> {
+    /// Total value length in bytes (known up front from the leaf entry).
+    pub fn len(&self) -> u64 {
+        self.total
+    }
+
+    /// Whether the value has zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Appends the next chunk of the value to `out`, returning the number
+    /// of bytes appended. `Ok(0)` signals the end of the value. Chunks
+    /// are at most one page's payload (`PAGE_SIZE - 7` bytes) for
+    /// overflow values; inline values arrive as a single chunk.
+    pub fn read_chunk(&mut self, out: &mut Vec<u8>) -> Result<usize> {
+        match std::mem::replace(&mut self.state, ReaderState::Done) {
+            ReaderState::Done => Ok(0),
+            ReaderState::Inline(v) => {
+                out.extend_from_slice(&v);
+                Ok(v.len())
+            }
+            ReaderState::Chain { next, delivered } => {
+                if next == NIL {
+                    if delivered != self.total {
+                        return Err(StorageError::Corrupt(
+                            "overflow chain length mismatch".into(),
+                        ));
+                    }
+                    return Ok(0);
+                }
+                let mut buf = [0u8; PAGE_SIZE];
+                self.tree.pager.read(next, &mut buf)?;
+                if buf[0] != TAG_OVERFLOW {
+                    return Err(StorageError::Corrupt("overflow chain broken".into()));
+                }
+                let succ = PageId::from_le_bytes(buf[1..5].try_into().unwrap());
+                let len = u16::from_le_bytes([buf[5], buf[6]]) as usize;
+                if len > OVERFLOW_CAP {
+                    return Err(StorageError::Corrupt("overflow page length".into()));
+                }
+                if len == 0 {
+                    // Chains are written from non-empty chunks; an empty
+                    // page would read as end-of-value to incremental
+                    // consumers and silently truncate the stream.
+                    return Err(StorageError::Corrupt("empty overflow page".into()));
+                }
+                let delivered = delivered + len as u64;
+                if delivered > self.total {
+                    return Err(StorageError::Corrupt(
+                        "overflow chain longer than declared".into(),
+                    ));
+                }
+                out.extend_from_slice(&buf[7..7 + len]);
+                self.state = ReaderState::Chain {
+                    next: succ,
+                    delivered,
+                };
+                Ok(len)
+            }
+        }
+    }
+
+    /// Materializes the remainder of the value (the implementation behind
+    /// [`BTree::get`]).
+    pub fn read_to_vec(mut self) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(self.total as usize);
+        while self.read_chunk(&mut out)? > 0 {}
+        if out.len() as u64 != self.total {
+            return Err(StorageError::Corrupt(
+                "overflow chain length mismatch".into(),
+            ));
+        }
+        Ok(out)
     }
 }
 
@@ -1058,6 +1145,110 @@ mod tests {
 }
 
 #[cfg(test)]
+mod value_reader_tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("si-btree-vreader");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn inline_value_single_chunk() {
+        let path = tmp("inline");
+        let mut tree = BTree::create(&path).unwrap();
+        tree.insert(b"k", b"small value").unwrap();
+        let mut r = tree.value_reader(b"k").unwrap().unwrap();
+        assert_eq!(r.len(), 11);
+        assert!(!r.is_empty());
+        let mut out = Vec::new();
+        assert_eq!(r.read_chunk(&mut out).unwrap(), 11);
+        assert_eq!(out, b"small value");
+        assert_eq!(r.read_chunk(&mut out).unwrap(), 0);
+        assert!(tree.value_reader(b"missing").unwrap().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn overflow_value_streams_page_sized_chunks() {
+        let path = tmp("chain");
+        let mut tree = BTree::create(&path).unwrap();
+        let big: Vec<u8> = (0..60_000u32).flat_map(|i| i.to_le_bytes()).collect();
+        tree.insert(b"big", &big).unwrap();
+        let mut r = tree.value_reader(b"big").unwrap().unwrap();
+        assert_eq!(r.len(), big.len() as u64);
+        let mut out = Vec::new();
+        let mut chunks = 0;
+        let mut max_chunk = 0;
+        loop {
+            let n = r.read_chunk(&mut out).unwrap();
+            if n == 0 {
+                break;
+            }
+            chunks += 1;
+            max_chunk = max_chunk.max(n);
+        }
+        assert_eq!(out, big);
+        assert!(max_chunk <= OVERFLOW_CAP, "chunks are page-bounded");
+        assert_eq!(chunks, big.len().div_ceil(OVERFLOW_CAP));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn read_to_vec_matches_get() {
+        let path = tmp("same");
+        let mut tree = BTree::create(&path).unwrap();
+        let vals: Vec<Vec<u8>> = vec![
+            Vec::new(),
+            b"tiny".to_vec(),
+            vec![0xAB; INLINE_MAX],
+            vec![0xCD; INLINE_MAX + 1],
+            vec![0xEF; 3 * OVERFLOW_CAP + 17],
+        ];
+        for (i, v) in vals.iter().enumerate() {
+            tree.insert(format!("k{i}").as_bytes(), v).unwrap();
+        }
+        for (i, v) in vals.iter().enumerate() {
+            let key = format!("k{i}");
+            assert_eq!(&tree.get(key.as_bytes()).unwrap().unwrap(), v);
+            let r = tree.value_reader(key.as_bytes()).unwrap().unwrap();
+            assert_eq!(&r.read_to_vec().unwrap(), v);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streaming_reads_do_not_spike_cache() {
+        // A value much larger than the pager cache still streams through:
+        // the reader only ever asks for one page at a time.
+        let path = tmp("coldcache");
+        {
+            let mut tree = BTree::create(&path).unwrap();
+            let big = vec![7u8; 64 * PAGE_SIZE];
+            tree.insert(b"big", &big).unwrap();
+            tree.flush().unwrap();
+        }
+        let tree = BTree::open(&path).unwrap();
+        let mut r = tree.value_reader(b"big").unwrap().unwrap();
+        let mut total = 0usize;
+        let mut chunk = Vec::new();
+        loop {
+            chunk.clear();
+            let n = r.read_chunk(&mut chunk).unwrap();
+            if n == 0 {
+                break;
+            }
+            // The consumer drops every chunk: peak memory is one page.
+            assert!(chunk.len() <= PAGE_SIZE);
+            total += n;
+        }
+        assert_eq!(total, 64 * PAGE_SIZE);
+        std::fs::remove_file(&path).ok();
+    }
+}
+
+#[cfg(test)]
 mod value_len_tests {
     use super::*;
 
@@ -1087,7 +1278,12 @@ mod value_len_tests {
     fn value_len_on_bulk_loaded_tree() {
         let path = tmp("bulk");
         let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..500u32)
-            .map(|i| (format!("k{i:05}").into_bytes(), vec![0u8; (i % 97) as usize]))
+            .map(|i| {
+                (
+                    format!("k{i:05}").into_bytes(),
+                    vec![0u8; (i % 97) as usize],
+                )
+            })
             .collect();
         let tree = BTree::bulk_load(&path, pairs.clone()).unwrap();
         for (k, v) in &pairs {

@@ -17,7 +17,7 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 use si_parsetree::{codec, LabelInterner, ParseTree, TreeId};
 
@@ -134,12 +134,12 @@ impl CorpusStore {
         let len = (self.offsets[i + 1] - start) as usize;
         let mut buf = vec![0u8; len];
         {
-            let mut f = self.data.lock();
+            let mut f = self.data.lock().unwrap_or_else(|e| e.into_inner());
             f.seek(SeekFrom::Start(start))?;
             f.read_exact(&mut buf)?;
         }
-        let (tree, used) = codec::decode_tree(&buf)
-            .ok_or_else(|| StorageError::Corrupt(format!("tree {tid}")))?;
+        let (tree, used) =
+            codec::decode_tree(&buf).ok_or_else(|| StorageError::Corrupt(format!("tree {tid}")))?;
         if used != len {
             return Err(StorageError::Corrupt(format!("tree {tid} trailing bytes")));
         }
@@ -167,8 +167,11 @@ mod tests {
         let mut li = LabelInterner::new();
         let trees = vec![
             ptb::parse("(S (NP (DT the) (NN dog)) (VP (VBZ barks)))", &mut li).unwrap(),
-            ptb::parse("(S (NP (NNS agouti)) (VP (VBZ is) (NP (DT a) (NN rodent))))", &mut li)
-                .unwrap(),
+            ptb::parse(
+                "(S (NP (NNS agouti)) (VP (VBZ is) (NP (DT a) (NN rodent))))",
+                &mut li,
+            )
+            .unwrap(),
             ptb::parse("(NN)", &mut li).unwrap(),
         ];
         (trees, li)

@@ -19,7 +19,7 @@ pub mod datafile;
 pub mod error;
 pub mod pager;
 
-pub use btree::{BTree, BTreeStats};
+pub use btree::{BTree, BTreeStats, ValueReader};
 pub use datafile::CorpusStore;
 pub use error::{Result, StorageError};
 pub use pager::{PageId, Pager, PAGE_SIZE};

@@ -13,8 +13,7 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
-
-use parking_lot::Mutex;
+use std::sync::{Mutex, MutexGuard};
 
 use crate::error::{Result, StorageError};
 
@@ -108,7 +107,12 @@ impl Lru {
     /// Inserts a slot for `page`, evicting the LRU slot if full.
     /// Returns `(slot_index, evicted)` where `evicted` is the page and
     /// buffer of a dirty evictee that must be written back.
-    fn insert(&mut self, page: PageId, buf: PageBuf, dirty: bool) -> (usize, Option<(PageId, PageBuf)>) {
+    fn insert(
+        &mut self,
+        page: PageId,
+        buf: PageBuf,
+        dirty: bool,
+    ) -> (usize, Option<(PageId, PageBuf)>) {
         debug_assert!(!self.map.contains_key(&page));
         if self.slots.len() < self.capacity {
             let i = self.slots.len();
@@ -160,6 +164,13 @@ pub struct Pager {
 }
 
 impl Pager {
+    /// Locks the inner state; a poisoned lock (a panic mid-operation in
+    /// another thread) still yields the data, matching the previous
+    /// panic-oblivious mutex semantics.
+    fn lock(&self) -> MutexGuard<'_, PagerInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Creates a new empty pager file at `path`, truncating any existing
     /// file.
     pub fn create(path: &Path) -> Result<Self> {
@@ -214,18 +225,18 @@ impl Pager {
 
     /// Number of pages currently allocated.
     pub fn page_count(&self) -> u32 {
-        self.inner.lock().page_count
+        self.lock().page_count
     }
 
     /// `(physical_reads, physical_writes)` performed so far.
     pub fn io_stats(&self) -> (u64, u64) {
-        let g = self.inner.lock();
+        let g = self.lock();
         (g.physical_reads, g.physical_writes)
     }
 
     /// Allocates a fresh zeroed page at the end of the file.
     pub fn allocate(&self) -> Result<PageId> {
-        let mut g = self.inner.lock();
+        let mut g = self.lock();
         let id = g.page_count;
         g.page_count = g
             .page_count
@@ -241,7 +252,7 @@ impl Pager {
 
     /// Reads page `id` into `out`.
     pub fn read(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) -> Result<()> {
-        let mut g = self.inner.lock();
+        let mut g = self.lock();
         if id >= g.page_count {
             return Err(StorageError::OutOfRange(format!("page {id}")));
         }
@@ -263,7 +274,7 @@ impl Pager {
 
     /// Writes `data` as the new contents of page `id`.
     pub fn write(&self, id: PageId, data: &[u8; PAGE_SIZE]) -> Result<()> {
-        let mut g = self.inner.lock();
+        let mut g = self.lock();
         if id >= g.page_count {
             return Err(StorageError::OutOfRange(format!("page {id}")));
         }
@@ -284,7 +295,7 @@ impl Pager {
 
     /// Flushes all dirty pages (and the file) to disk.
     pub fn flush(&self) -> Result<()> {
-        let mut g = self.inner.lock();
+        let mut g = self.lock();
         // Ensure the file is long enough even if tail pages were never
         // explicitly flushed.
         let want_len = g.page_count as u64 * PAGE_SIZE as u64;
@@ -308,7 +319,7 @@ impl Pager {
 
     /// Total size of the file in bytes after a flush.
     pub fn size_bytes(&self) -> u64 {
-        self.inner.lock().page_count as u64 * PAGE_SIZE as u64
+        self.lock().page_count as u64 * PAGE_SIZE as u64
     }
 }
 

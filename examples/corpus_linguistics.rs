@@ -42,7 +42,10 @@ fn main() {
         ("clausal complement", "VP(VBZ)(SBAR)"),
         ("nested PP chain", "PP(IN)(NP(NP)(PP))"),
     ];
-    println!("\n{:<30} {:>9} {:>12} {:>12}", "construction", "matches", "index (ms)", "scan (ms)");
+    println!(
+        "\n{:<30} {:>9} {:>12} {:>12}",
+        "construction", "matches", "index (ms)", "scan (ms)"
+    );
     for (name, src) in constructions {
         let query = parse_query(src, &mut interner).expect("query");
         let t0 = Instant::now();

@@ -35,8 +35,13 @@ fn main() {
         .collect();
 
     let dir = std::env::temp_dir().join("si-qa-example");
-    let index = SubtreeIndex::build(&dir, &trees, &interner, IndexOptions::new(3, Coding::RootSplit))
-        .expect("build");
+    let index = SubtreeIndex::build(
+        &dir,
+        &trees,
+        &interner,
+        IndexOptions::new(3, Coding::RootSplit),
+    )
+    .expect("build");
 
     // Figure 1(a): the parse skeleton of "agouti is a <answer>".
     let question = "S(NP(NNS(agouti)))(VP(VBZ(is))(NP(DT(a))(NN)))";
@@ -63,11 +68,12 @@ fn main() {
     // the forest; structural search does not.
     let keyword_hits = trees
         .iter()
-        .filter(|t| {
-            t.nodes().any(|n| interner.resolve(t.label(n)) == "agouti")
-        })
+        .filter(|t| t.nodes().any(|n| interner.resolve(t.label(n)) == "agouti"))
         .count();
-    println!("\nkeyword 'agouti' hits {keyword_hits} sentences; the tree query returns {}", result.len());
+    println!(
+        "\nkeyword 'agouti' hits {keyword_hits} sentences; the tree query returns {}",
+        result.len()
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }

@@ -41,10 +41,10 @@ fn main() {
     //    ancestor-descendant; queries are unordered.
     let mut interner = index.interner();
     for src in [
-        "NP(DT)(NN)",                   // determiner + noun under one NP
-        "S(NP)(VP(VBZ)(NP))",           // transitive present-tense clause
-        "VP(//NN)",                     // a VP dominating a noun anywhere
-        "S(NP(DT(the))(NN))(VP(VBZ))",  // lexicalized: subject "the ..."
+        "NP(DT)(NN)",                  // determiner + noun under one NP
+        "S(NP)(VP(VBZ)(NP))",          // transitive present-tense clause
+        "VP(//NN)",                    // a VP dominating a noun anywhere
+        "S(NP(DT(the))(NN))(VP(VBZ))", // lexicalized: subject "the ..."
     ] {
         let query = parse_query(src, &mut interner).expect("query syntax");
         let result = index.evaluate(&query).expect("evaluate");
@@ -58,7 +58,11 @@ fn main() {
         if let Some(&(tid, _pre)) = result.matches.first() {
             let tree = index.store().get(tid).expect("fetch tree");
             let text = si_parsetree::ptb::write(&tree, &interner);
-            let short = if text.len() > 100 { &text[..100] } else { &text };
+            let short = if text.len() > 100 {
+                &text[..100]
+            } else {
+                &text
+            };
             println!("    e.g. tree {tid}: {short}...");
         }
     }

@@ -61,7 +61,7 @@ pub use si_storage;
 
 /// Convenient single-import surface for applications.
 pub mod prelude {
-    pub use si_core::{Coding, IndexOptions, SubtreeIndex};
+    pub use si_core::{Coding, ExecMode, IndexOptions, SubtreeIndex};
     pub use si_corpus::GeneratorConfig;
     pub use si_parsetree::{Label, LabelInterner, NodeId, ParseTree, TreeBuilder, TreeId};
     pub use si_query::{parse_query, Axis, Query};

@@ -36,20 +36,30 @@ fn five_engines_agree() {
     let queries: Vec<Query> = fb.iter().step_by(5).map(|f| f.query.clone()).collect();
 
     let base = tmp("five");
-    let indexes: Vec<SubtreeIndex> = [Coding::FilterBased, Coding::RootSplit, Coding::SubtreeInterval]
-        .into_iter()
-        .map(|coding| {
-            SubtreeIndex::build(
-                &base.join(format!("{coding:?}")),
-                corpus.trees(),
-                &interner,
-                IndexOptions::new(3, coding),
-            )
-            .unwrap()
-        })
-        .collect();
+    let indexes: Vec<SubtreeIndex> = [
+        Coding::FilterBased,
+        Coding::RootSplit,
+        Coding::SubtreeInterval,
+    ]
+    .into_iter()
+    .map(|coding| {
+        SubtreeIndex::build(
+            &base.join(format!("{coding:?}")),
+            corpus.trees(),
+            &interner,
+            IndexOptions::new(3, coding),
+        )
+        .unwrap()
+    })
+    .collect();
     let atg = ATreeGrep::build(corpus.trees());
-    let freq = FreqIndex::build(corpus.trees(), FreqIndexOptions { mss: 3, fraction: 0.01 });
+    let freq = FreqIndex::build(
+        corpus.trees(),
+        FreqIndexOptions {
+            mss: 3,
+            fraction: 0.01,
+        },
+    );
 
     for q in &queries {
         let want = truth(corpus.trees(), q);
@@ -80,9 +90,13 @@ fn ptb_import_pipeline() {
     let trees = ptb::parse_corpus(text, &mut interner).unwrap();
     assert_eq!(trees.len(), 3);
     let dir = tmp("ptb");
-    let index =
-        SubtreeIndex::build(&dir, &trees, &interner, IndexOptions::new(2, Coding::RootSplit))
-            .unwrap();
+    let index = SubtreeIndex::build(
+        &dir,
+        &trees,
+        &interner,
+        IndexOptions::new(2, Coding::RootSplit),
+    )
+    .unwrap();
     let mut qi = index.interner();
     let q = parse_query("VP(VBZ)(NP(DT)(NN))", &mut qi).unwrap();
     assert_eq!(index.evaluate(&q).unwrap().matches, vec![(2, 6)]);
@@ -107,7 +121,11 @@ fn match_counts_are_coding_independent_across_mss() {
     let base = tmp("countgrid");
     let mut reference: Vec<Option<Vec<(TreeId, u32)>>> = vec![None; queries.len()];
     for mss in 1..=5 {
-        for coding in [Coding::FilterBased, Coding::RootSplit, Coding::SubtreeInterval] {
+        for coding in [
+            Coding::FilterBased,
+            Coding::RootSplit,
+            Coding::SubtreeInterval,
+        ] {
             let index = SubtreeIndex::build(
                 &base.join(format!("{mss}-{coding:?}")),
                 corpus.trees(),

