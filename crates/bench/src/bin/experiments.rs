@@ -4,13 +4,22 @@
 //! cargo run -p si-bench --release --bin experiments -- all
 //! cargo run -p si-bench --release --bin experiments -- fig2 fig8 tab2
 //! SI_SCALE=paper cargo run -p si-bench --release --bin experiments -- fig13
+//! cargo run -p si-bench --release --bin experiments -- service --threads 4
 //! ```
 //!
 //! Experiment ids: fig2 fig3 fig8 fig9 fig10 tab1 fig11 fig12 tab2 fig13
-//! tab3 streaming (or `all`). See DESIGN.md §6 for the per-experiment
-//! index and EXPERIMENTS.md for recorded paper-vs-measured results.
-//! `streaming` runs the executor ablation (streaming pipeline vs legacy
-//! materializing evaluator) and writes `BENCH_streaming.json`.
+//! tab3 streaming service (or `all`). See DESIGN.md §6 for the
+//! per-experiment index and EXPERIMENTS.md for recorded paper-vs-measured
+//! results. `streaming` runs the executor ablation (streaming pipeline vs
+//! legacy materializing evaluator) and writes `BENCH_streaming.json`;
+//! `service` benchmarks the concurrent query service (shared scans +
+//! block cache) against one-at-a-time execution and writes
+//! `BENCH_service.json`.
+//!
+//! Flags: `--seed N` pins the corpus RNG seed (default `0x5EED0001`) so
+//! every `BENCH_*.json` is reproducible across machines; `--threads N`
+//! sets the service worker count (default: available parallelism — the
+//! CI smoke job passes `--threads 4` explicitly).
 
 use si_bench::harness::{self, Scale};
 
@@ -27,14 +36,51 @@ const ALL: &[&str] = &[
     "fig13",
     "tab3",
     "streaming",
+    "service",
 ];
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
+    let mut ids: Vec<String> = Vec::new();
+    let mut threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                let v = args.get(i + 1).unwrap_or_else(|| {
+                    eprintln!("--seed needs a value");
+                    std::process::exit(2);
+                });
+                let seed = parse_seed(v).unwrap_or_else(|| {
+                    eprintln!("--seed: cannot parse {v:?} (decimal or 0x-hex)");
+                    std::process::exit(2);
+                });
+                harness::set_corpus_seed(seed);
+                i += 2;
+            }
+            "--threads" => {
+                let v = args.get(i + 1).unwrap_or_else(|| {
+                    eprintln!("--threads needs a value");
+                    std::process::exit(2);
+                });
+                threads = v.parse().unwrap_or_else(|_| {
+                    eprintln!("--threads: cannot parse {v:?}");
+                    std::process::exit(2);
+                });
+                i += 2;
+            }
+            other => {
+                ids.push(other.to_owned());
+                i += 1;
+            }
+        }
+    }
+    let wanted: Vec<&str> = if ids.is_empty() || ids.iter().any(|a| a == "all") {
         ALL.to_vec()
     } else {
-        args.iter().map(String::as_str).collect()
+        ids.iter().map(String::as_str).collect()
     };
     for id in &wanted {
         if !ALL.contains(id) {
@@ -43,7 +89,10 @@ fn main() {
         }
     }
     let scale = Scale::from_env();
-    eprintln!("scale: {scale:?} (set SI_SCALE=paper for the paper's sizes)");
+    eprintln!(
+        "scale: {scale:?} (set SI_SCALE=paper for the paper's sizes), seed {:#x}",
+        harness::corpus_seed()
+    );
 
     // The build grid backs fig8/fig9/fig10/tab1; compute it once.
     let needs_grid = wanted
@@ -78,7 +127,19 @@ fn main() {
                 let rows = harness::run_streaming_ablation(scale);
                 harness::emit_streaming_ablation(scale, &rows).expect("write BENCH_streaming.json");
             }
+            "service" => {
+                let report = harness::run_service_bench(scale, threads);
+                harness::emit_service_bench(scale, &report).expect("write BENCH_service.json");
+            }
             _ => unreachable!("validated above"),
         }
+    }
+}
+
+fn parse_seed(v: &str) -> Option<u64> {
+    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
     }
 }

@@ -76,13 +76,28 @@ impl Scale {
     }
 }
 
-/// Seed of the indexed corpus; held-out trees use `SEED + 1`.
+/// Default seed of the indexed corpus; held-out trees use `seed + 1`,
+/// FB query sampling `seed + 2`.
 pub const CORPUS_SEED: u64 = 0x5EED_0001;
+
+static SEED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(CORPUS_SEED);
+
+/// Overrides the corpus RNG seed for this process (the `experiments
+/// --seed N` flag) so `BENCH_*.json` runs are reproducible across
+/// machines and re-runs.
+pub fn set_corpus_seed(seed: u64) {
+    SEED.store(seed, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The active corpus RNG seed ([`CORPUS_SEED`] unless overridden).
+pub fn corpus_seed() -> u64 {
+    SEED.load(std::sync::atomic::Ordering::Relaxed)
+}
 
 /// Generates the standard corpus of `n` sentences.
 pub fn corpus(n: usize) -> Corpus {
     GeneratorConfig::default()
-        .with_seed(CORPUS_SEED)
+        .with_seed(corpus_seed())
         .generate(n)
 }
 
@@ -127,9 +142,9 @@ pub fn workload(corpus: &Corpus, heldout_n: usize) -> (WhWorkload, FbWorkload) {
     let mut interner = corpus.interner().clone();
     let wh = wh_query_set(&mut interner);
     let heldout = GeneratorConfig::default()
-        .with_seed(CORPUS_SEED + 1)
+        .with_seed(corpus_seed() + 1)
         .generate_into(heldout_n, &mut interner);
-    let fb = fb_query_set(corpus, &heldout, CORPUS_SEED + 2);
+    let fb = fb_query_set(corpus, &heldout, corpus_seed() + 2);
     (
         wh.into_iter().map(|q| (q.text, q.query)).collect(),
         fb.into_iter().map(|q| (q.class, q.size, q.query)).collect(),
@@ -839,6 +854,211 @@ pub fn emit_streaming_ablation(scale: Scale, rows: &[AblationRow]) -> std::io::R
     println!(
         "wrote BENCH_streaming.json ({} query measurements)",
         rows.len()
+    );
+    Ok(())
+}
+
+// --------------------------------------------------------------------
+// Query-service throughput: BENCH_service.json
+// --------------------------------------------------------------------
+
+/// One query's figures under both serving modes.
+#[derive(Debug, Clone)]
+pub struct ServiceBenchRow {
+    /// Query text.
+    pub name: String,
+    /// Match count (asserted identical between modes).
+    pub matches: usize,
+    /// Mean seconds through the sequential streaming executor.
+    pub sequential_seconds: f64,
+    /// Mean in-worker latency through the batched service.
+    pub service_seconds: f64,
+}
+
+/// Aggregate figures of [`run_service_bench`].
+#[derive(Debug)]
+pub struct ServiceBenchReport {
+    /// Per-query rows.
+    pub rows: Vec<ServiceBenchRow>,
+    /// Worker threads used by the service.
+    pub threads: usize,
+    /// Repetitions of the full workload per mode.
+    pub reps: usize,
+    /// Queries per second issuing one at a time (PR 1 path).
+    pub qps_sequential: f64,
+    /// Queries per second through batched shared-scan execution.
+    pub qps_service: f64,
+    /// `qps_service / qps_sequential`.
+    pub speedup: f64,
+    /// Block-cache counters after the service runs.
+    pub cache: si_core::BlockCacheStats,
+    /// Cover keys shared per batch (from the final batch report).
+    pub shared_keys: usize,
+}
+
+/// Benchmarks the concurrent query service against issuing the same
+/// workload one query at a time through the PR 1 streaming executor,
+/// asserting identical match sets per query (a live equivalence check).
+pub fn run_service_bench(scale: Scale, threads: usize) -> ServiceBenchReport {
+    use si_service::{QueryService, ServiceConfig};
+
+    let work = Workdir::new("service");
+    let n = match scale {
+        Scale::Small => 5_000,
+        Scale::Paper => 100_000,
+    };
+    let big = corpus(n);
+    let (wh, fb) = workload(&big, 200);
+    let queries: Vec<(String, Query)> = wh
+        .into_iter()
+        .chain(fb.into_iter().map(|(c, s, q)| (format!("fb-{c}-{s}"), q)))
+        .collect();
+    // Throughput is a steady-state figure; use more reps than the
+    // latency experiments so scheduler noise averages out (both modes
+    // get the same count).
+    let reps = scale.reps().max(5);
+    let index = std::sync::Arc::new(
+        SubtreeIndex::build(
+            &work.path("idx"),
+            big.trees(),
+            big.interner(),
+            IndexOptions::new(3, Coding::RootSplit),
+        )
+        .expect("service bench build"),
+    );
+
+    // Sequential baseline: the same queries, one at a time. One untimed
+    // warmup pass per mode (standard steady-state methodology — both
+    // modes get it; it warms the pager here and the block cache below).
+    let mut seq_secs = vec![0.0f64; queries.len()];
+    let mut seq_matches: Vec<Vec<(si_parsetree::TreeId, u32)>> = vec![Vec::new(); queries.len()];
+    for (i, (_, q)) in queries.iter().enumerate() {
+        seq_matches[i] = index.evaluate(q).expect("sequential warmup").matches;
+    }
+    let (_, seq_wall) = time(|| {
+        for _ in 0..reps {
+            for (i, (_, q)) in queries.iter().enumerate() {
+                let (result, secs) = time(|| index.evaluate(q).expect("sequential evaluate"));
+                seq_secs[i] += secs;
+                assert_eq!(result.matches, seq_matches[i], "unstable sequential result");
+            }
+        }
+    });
+
+    // Batched service: same workload, same rep count, same warmup.
+    let service = QueryService::new(
+        index.clone(),
+        ServiceConfig {
+            threads,
+            ..ServiceConfig::default()
+        },
+    );
+    let query_refs: Vec<Query> = queries.iter().map(|(_, q)| q.clone()).collect();
+    let mut svc_secs = vec![0.0f64; queries.len()];
+    let mut shared_keys = 0usize;
+    service.run_batch(&query_refs).expect("service warmup");
+    let (_, svc_wall) = time(|| {
+        for _ in 0..reps {
+            let report = service.run_batch(&query_refs).expect("service batch");
+            shared_keys = report.shared_keys;
+            for (i, outcome) in report.outcomes.iter().enumerate() {
+                svc_secs[i] += outcome.seconds;
+                assert_eq!(
+                    outcome.result.matches, seq_matches[i],
+                    "service match-set mismatch on {}",
+                    queries[i].0
+                );
+            }
+        }
+    });
+
+    let total = (reps * queries.len()) as f64;
+    let qps_sequential = total / seq_wall;
+    let qps_service = total / svc_wall;
+    let rows = queries
+        .iter()
+        .enumerate()
+        .map(|(i, (name, _))| ServiceBenchRow {
+            name: name.clone(),
+            matches: seq_matches[i].len(),
+            sequential_seconds: seq_secs[i] / reps as f64,
+            service_seconds: svc_secs[i] / reps as f64,
+        })
+        .collect();
+    ServiceBenchReport {
+        rows,
+        threads,
+        reps,
+        qps_sequential,
+        qps_service,
+        speedup: qps_service / qps_sequential,
+        cache: service.cache_stats(),
+        shared_keys,
+    }
+}
+
+/// Prints the service throughput summary and writes `BENCH_service.json`
+/// into the current directory.
+pub fn emit_service_bench(scale: Scale, report: &ServiceBenchReport) -> std::io::Result<()> {
+    println!("# Query service: batched shared-scan execution vs one-at-a-time");
+    println!(
+        "{} queries x {} reps, {} threads, seed {:#x}",
+        report.rows.len(),
+        report.reps,
+        report.threads,
+        corpus_seed()
+    );
+    println!(
+        "sequential {:.0} QPS | service {:.0} QPS | speedup {:.2}x",
+        report.qps_sequential, report.qps_service, report.speedup
+    );
+    println!(
+        "block cache: {:.1}% hit rate ({} hits / {} misses, {} evictions, peak {} KiB), {} shared scans/batch",
+        report.cache.hit_rate() * 100.0,
+        report.cache.hits,
+        report.cache.misses,
+        report.cache.evictions,
+        report.cache.peak_bytes / 1024,
+        report.shared_keys
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"scale\": \"{scale:?}\",\n  \"mss\": 3,\n  \"coding\": \"root-split\",\n  \
+         \"seed\": {},\n  \"threads\": {},\n  \"reps\": {},\n  \
+         \"qps_sequential\": {:.2},\n  \"qps_service\": {:.2},\n  \"speedup\": {:.3},\n  \
+         \"cache_hit_rate\": {:.4},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
+         \"cache_evictions\": {},\n  \"cache_peak_bytes\": {},\n  \"shared_keys\": {},\n  \
+         \"queries\": [\n",
+        corpus_seed(),
+        report.threads,
+        report.reps,
+        report.qps_sequential,
+        report.qps_service,
+        report.speedup,
+        report.cache.hit_rate(),
+        report.cache.hits,
+        report.cache.misses,
+        report.cache.evictions,
+        report.cache.peak_bytes,
+        report.shared_keys,
+    ));
+    for (i, r) in report.rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"query\": \"{}\", \"matches\": {}, \"sequential_ms\": {:.4}, \
+             \"service_ms\": {:.4}}}{}\n",
+            json_escape(&r.name),
+            r.matches,
+            r.sequential_seconds * 1e3,
+            r.service_seconds * 1e3,
+            if i + 1 == report.rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_service.json", json)?;
+    println!(
+        "wrote BENCH_service.json ({} query measurements)",
+        report.rows.len()
     );
     Ok(())
 }

@@ -38,19 +38,33 @@ impl std::error::Error for ArgError {}
 
 impl Args {
     /// Parses `--name value` pairs; everything else is positional.
+    /// (The CLI dispatcher uses [`Args::parse_bools`]; this stays as the
+    /// no-boolean-flags entry point.)
+    #[allow(dead_code)]
     pub fn parse(argv: &[String]) -> Result<Self, ArgError> {
+        Self::parse_bools(argv, &[])
+    }
+
+    /// [`Args::parse`] with a set of boolean flags that take no value
+    /// (`--verbose`); they parse as `"true"`.
+    pub fn parse_bools(argv: &[String], bool_flags: &[&str]) -> Result<Self, ArgError> {
         let mut out = Args::default();
         let mut i = 0;
         while i < argv.len() {
             let a = &argv[i];
             if let Some(name) = a.strip_prefix("--") {
-                let value = argv
-                    .get(i + 1)
-                    .ok_or_else(|| ArgError::MissingValue(name.to_owned()))?;
-                if out.flags.insert(name.to_owned(), value.clone()).is_some() {
+                let (value, step) = if bool_flags.contains(&name) {
+                    ("true".to_owned(), 1)
+                } else {
+                    let value = argv
+                        .get(i + 1)
+                        .ok_or_else(|| ArgError::MissingValue(name.to_owned()))?;
+                    (value.clone(), 2)
+                };
+                if out.flags.insert(name.to_owned(), value).is_some() {
                     return Err(ArgError::Duplicate(name.to_owned()));
                 }
-                i += 2;
+                i += step;
             } else {
                 out.positional.push(a.clone());
                 i += 1;
@@ -131,6 +145,23 @@ mod tests {
             Err(ArgError::Invalid(_, _))
         ));
         assert!(matches!(a.required("x"), Err(ArgError::Required(_))));
+    }
+
+    #[test]
+    fn boolean_flags_take_no_value() {
+        let a =
+            Args::parse_bools(&argv(&["--verbose", "QUERY", "--show", "3"]), &["verbose"]).unwrap();
+        assert!(a.get_or("verbose", false).unwrap());
+        assert_eq!(a.get_or("show", 0usize).unwrap(), 3);
+        assert_eq!(a.positional(), &["QUERY".to_owned()]);
+        // Trailing boolean flag is fine.
+        let a = Args::parse_bools(&argv(&["Q", "--verbose"]), &["verbose"]).unwrap();
+        assert!(a.get_or("verbose", false).unwrap());
+        // Non-listed flags still require a value.
+        assert!(matches!(
+            Args::parse_bools(&argv(&["--show"]), &["verbose"]),
+            Err(ArgError::MissingValue(_))
+        ));
     }
 
     #[test]

@@ -23,8 +23,13 @@ USAGE:
   si build     --input FILE --index DIR [--mss 3]
                [--coding root-split|filter|interval]
                [--external true]                            build an index from PTB text
-  si query     --index DIR QUERY [--show N]
-               [--exec streaming|materialized]              evaluate a tree query
+  si query     --index DIR QUERY [--show N] [--verbose]
+               [--exec streaming|materialized]
+               [--cache-mb N]                               evaluate a tree query
+  si batch     --index DIR --queries FILE [--threads N]
+               [--cache-mb 64] [--batch-size 64]            run a query file concurrently
+  si serve     --index DIR [--threads N] [--cache-mb 64]
+               [--batch-size 64]                            serve queries from stdin, batched
   si scan      --input FILE QUERY [--show N]                TGrep2 mode: match without an index
   si extract   --input FILE [--mss 3] [--top 20]            most frequent subtree keys
   si stats     --index DIR                                  print index statistics
@@ -32,17 +37,26 @@ USAGE:
 
 Query syntax: LABEL('(' [//] node ')')*, e.g. S(NP(NNS))(VP(//NN))";
 
+/// Flags that take no value.
+const BOOL_FLAGS: &[&str] = &["verbose"];
+
 /// Dispatches a full argv (without the program name).
 pub fn run(argv: &[String]) -> Result<(), AnyError> {
     let Some((cmd, rest)) = argv.split_first() else {
         println!("{USAGE}");
         return Ok(());
     };
-    let args = Args::parse(rest)?;
+    let args = Args::parse_bools(rest, BOOL_FLAGS)?;
     match cmd.as_str() {
         "generate" => generate(&args),
         "build" => build(&args),
         "query" => query(&args),
+        "batch" => batch(&args),
+        "serve" => serve(
+            &args,
+            &mut std::io::stdin().lock(),
+            &mut std::io::stdout().lock(),
+        ),
         "scan" => scan(&args),
         "extract" => extract(&args),
         "stats" => stats(&args),
@@ -121,6 +135,8 @@ fn build(args: &Args) -> Result<(), AnyError> {
 fn query(args: &Args) -> Result<(), AnyError> {
     let index_dir = args.required("index")?;
     let show: usize = args.get_or("show", 0)?;
+    let verbose: bool = args.get_or("verbose", false)?;
+    let cache_mb: usize = args.get_or("cache-mb", 0)?;
     let [query_text] = args.positional() else {
         return Err("query: expected exactly one QUERY argument".into());
     };
@@ -129,8 +145,17 @@ fn query(args: &Args) -> Result<(), AnyError> {
     index.set_exec_mode(exec);
     let mut interner = index.interner();
     let query = parse_query(query_text, &mut interner)?;
+    let cache = (cache_mb > 0).then(|| {
+        std::sync::Arc::new(si_core::BlockCache::new(
+            si_core::BlockCacheConfig::with_budget(cache_mb << 20),
+        ))
+    });
+    let ctx = si_core::ExecContext {
+        cache,
+        ..Default::default()
+    };
     let started = std::time::Instant::now();
-    let result = index.evaluate(&query)?;
+    let result = index.evaluate_with(&query, &ctx)?;
     let elapsed = started.elapsed();
     println!(
         "{} matches in {:.3} ms  ({} executor, {} covers, {} joins, {} postings fetched, {} peak posting bytes{})",
@@ -147,6 +172,23 @@ fn query(args: &Args) -> Result<(), AnyError> {
             ""
         }
     );
+    if verbose {
+        let s = result.stats;
+        println!(
+            "pager       {} hits, {} misses, {} evictions",
+            s.pager_hits, s.pager_misses, s.pager_evictions
+        );
+        println!(
+            "block cache {} hits, {} misses ({})",
+            s.cache_hits,
+            s.cache_misses,
+            if cache_mb > 0 {
+                format!("{cache_mb} MiB budget")
+            } else {
+                "disabled; pass --cache-mb N".to_owned()
+            }
+        );
+    }
     for &(tid, pre) in result.matches.iter().take(show) {
         let tree = index.store().get(tid)?;
         println!(
@@ -155,6 +197,176 @@ fn query(args: &Args) -> Result<(), AnyError> {
         );
     }
     Ok(())
+}
+
+/// Parses the service flags shared by `si batch` and `si serve`.
+fn service_config(args: &Args) -> Result<si_service::ServiceConfig, AnyError> {
+    let defaults = si_service::ServiceConfig::default();
+    let cache_mb: usize = args.get_or("cache-mb", 64)?;
+    Ok(si_service::ServiceConfig {
+        threads: args.get_or("threads", defaults.threads)?,
+        cache: si_core::BlockCacheConfig::with_budget(cache_mb << 20),
+        batch_size: args.get_or("batch-size", defaults.batch_size)?,
+        ..defaults
+    })
+}
+
+/// Runs every query of `--queries FILE` (one per line; blank lines and
+/// `#` comments skipped) through the concurrent query service and
+/// prints per-query match counts plus a throughput summary.
+fn batch(args: &Args) -> Result<(), AnyError> {
+    let index_dir = args.required("index")?;
+    let queries_file = args.required("queries")?;
+    let config = service_config(args)?;
+    let index = std::sync::Arc::new(SubtreeIndex::open(Path::new(index_dir))?);
+    let service = si_service::QueryService::new(index, config);
+    let text = std::fs::read_to_string(queries_file)?;
+    let lines: Vec<String> = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(str::to_owned)
+        .collect();
+    let mut out = std::io::stdout().lock();
+    let summary = run_service_batches(&service, &lines, &mut out)?;
+    print_service_summary(&service, &summary, config.threads);
+    Ok(())
+}
+
+/// Long-running mode: reads queries line by line from `input`, groups
+/// them into batches of `--batch-size`, and evaluates each batch
+/// concurrently with shared scans. Runs until end of input.
+fn serve(
+    args: &Args,
+    input: &mut dyn std::io::BufRead,
+    out: &mut dyn Write,
+) -> Result<(), AnyError> {
+    let index_dir = args.required("index")?;
+    let config = service_config(args)?;
+    let index = std::sync::Arc::new(SubtreeIndex::open(Path::new(index_dir))?);
+    let service = si_service::QueryService::new(index, config);
+    let mut total = ServiceSummary::default();
+    let mut pending: Vec<String> = Vec::new();
+    loop {
+        let mut line = String::new();
+        let eof = input.read_line(&mut line)? == 0;
+        if !eof {
+            let line = line.trim();
+            if !line.is_empty() && !line.starts_with('#') {
+                pending.push(line.to_owned());
+            }
+        }
+        if pending.len() >= service.batch_size() || (eof && !pending.is_empty()) {
+            let batch: Vec<String> = std::mem::take(&mut pending);
+            let summary = run_service_batches(&service, &batch, out)?;
+            total.absorb(&summary);
+            out.flush()?;
+        }
+        if eof {
+            break;
+        }
+    }
+    print_service_summary(&service, &total, config.threads);
+    Ok(())
+}
+
+/// Accumulated service-run figures across batches.
+#[derive(Debug, Default)]
+struct ServiceSummary {
+    queries: usize,
+    matches: usize,
+    wall_seconds: f64,
+    latency_seconds: f64,
+    shared_keys: usize,
+}
+
+impl ServiceSummary {
+    fn absorb(&mut self, other: &ServiceSummary) {
+        self.queries += other.queries;
+        self.matches += other.matches;
+        self.wall_seconds += other.wall_seconds;
+        self.latency_seconds += other.latency_seconds;
+        self.shared_keys += other.shared_keys;
+    }
+}
+
+/// Parses `lines` against the service's index, evaluates them in
+/// batch-size groups, and writes one result line per query. A line
+/// that fails to parse gets an error line and the rest of the batch
+/// proceeds — a long-running `si serve` must survive client typos.
+fn run_service_batches(
+    service: &si_service::QueryService,
+    lines: &[String],
+    out: &mut dyn Write,
+) -> Result<ServiceSummary, AnyError> {
+    let mut interner = service.index().interner();
+    let mut summary = ServiceSummary::default();
+    for chunk in lines.chunks(service.batch_size().max(1)) {
+        let mut queries = Vec::with_capacity(chunk.len());
+        let mut parsed: Vec<Result<usize, String>> = Vec::with_capacity(chunk.len());
+        for text in chunk {
+            match parse_query(text, &mut interner) {
+                Ok(q) => {
+                    parsed.push(Ok(queries.len()));
+                    queries.push(q);
+                }
+                Err(e) => parsed.push(Err(e.to_string())),
+            }
+        }
+        let report = service.run_batch(&queries)?;
+        for (text, slot) in chunk.iter().zip(&parsed) {
+            match slot {
+                Ok(i) => {
+                    let outcome = &report.outcomes[*i];
+                    writeln!(
+                        out,
+                        "{}\t{} matches\t{:.3} ms",
+                        text,
+                        outcome.result.len(),
+                        outcome.seconds * 1e3
+                    )?;
+                    summary.matches += outcome.result.len();
+                    summary.latency_seconds += outcome.seconds;
+                }
+                Err(e) => writeln!(out, "{text}\terror: {e}")?,
+            }
+        }
+        summary.queries += report.outcomes.len();
+        summary.wall_seconds += report.wall_seconds;
+        summary.shared_keys += report.shared_keys;
+    }
+    Ok(summary)
+}
+
+fn print_service_summary(
+    service: &si_service::QueryService,
+    summary: &ServiceSummary,
+    threads: usize,
+) {
+    let cache = service.cache_stats();
+    eprintln!(
+        "{} queries in {:.3} s ({:.0} QPS, {threads} threads), {} matches, \
+         mean latency {:.3} ms, {} shared scans, block cache {:.1}% hits \
+         ({} hits / {} misses, {} evictions)",
+        summary.queries,
+        summary.wall_seconds,
+        if summary.wall_seconds > 0.0 {
+            summary.queries as f64 / summary.wall_seconds
+        } else {
+            0.0
+        },
+        summary.matches,
+        if summary.queries > 0 {
+            summary.latency_seconds * 1e3 / summary.queries as f64
+        } else {
+            0.0
+        },
+        summary.shared_keys,
+        cache.hit_rate() * 100.0,
+        cache.hits,
+        cache.misses,
+        cache.evictions,
+    );
 }
 
 /// TGrep2 / CorpusSearch mode: load the whole corpus and scan it with
@@ -453,6 +665,149 @@ mod tests {
     #[test]
     fn query_requires_exactly_one_positional() {
         assert!(run(&argv(&["query", "--index", "/nonexistent"])).is_err());
+    }
+
+    #[test]
+    fn query_verbose_prints_counters() {
+        let dir = tmp("verbose");
+        let corpus_file = dir.join("corpus.ptb");
+        let index_dir = dir.join("idx");
+        run(&argv(&[
+            "generate",
+            "--sentences",
+            "60",
+            "--out",
+            corpus_file.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "build",
+            "--input",
+            corpus_file.to_str().unwrap(),
+            "--index",
+            index_dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "query",
+            "--index",
+            index_dir.to_str().unwrap(),
+            "--verbose",
+            "NP(NN)",
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "query",
+            "--index",
+            index_dir.to_str().unwrap(),
+            "--verbose",
+            "--cache-mb",
+            "8",
+            "NP(NN)",
+        ]))
+        .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_runs_a_query_file() {
+        let dir = tmp("batch");
+        let corpus_file = dir.join("corpus.ptb");
+        let index_dir = dir.join("idx");
+        let queries_file = dir.join("queries.txt");
+        run(&argv(&[
+            "generate",
+            "--sentences",
+            "80",
+            "--out",
+            corpus_file.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "build",
+            "--input",
+            corpus_file.to_str().unwrap(),
+            "--index",
+            index_dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        std::fs::write(
+            &queries_file,
+            "# comment lines and blanks are skipped\n\nNP(NN)\nS(NP)(VP)\nVP(VBZ)\nNP(NN)\n",
+        )
+        .unwrap();
+        run(&argv(&[
+            "batch",
+            "--index",
+            index_dir.to_str().unwrap(),
+            "--queries",
+            queries_file.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--cache-mb",
+            "8",
+        ]))
+        .unwrap();
+        // Missing the queries flag errors.
+        assert!(run(&argv(&["batch", "--index", index_dir.to_str().unwrap()])).is_err());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_processes_stdin_batches() {
+        let dir = tmp("serve");
+        let corpus_file = dir.join("corpus.ptb");
+        let index_dir = dir.join("idx");
+        run(&argv(&[
+            "generate",
+            "--sentences",
+            "60",
+            "--out",
+            corpus_file.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "build",
+            "--input",
+            corpus_file.to_str().unwrap(),
+            "--index",
+            index_dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let args = Args::parse_bools(
+            &argv(&[
+                "--index",
+                index_dir.to_str().unwrap(),
+                "--threads",
+                "2",
+                "--batch-size",
+                "2",
+            ]),
+            BOOL_FLAGS,
+        )
+        .unwrap();
+        let input = b"NP(NN)\nS(NP)(VP)\nVP(VBZ)\n" as &[u8];
+        let mut reader = std::io::BufReader::new(input);
+        let mut out: Vec<u8> = Vec::new();
+        serve(&args, &mut reader, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "one result line per query: {text}");
+        assert!(lines[0].starts_with("NP(NN)\t"), "{text}");
+        assert!(lines[0].contains("matches"), "{text}");
+
+        // A malformed line must not kill the long-running service: it
+        // gets an error line and the rest of its batch still runs.
+        let input = b"NP(NN)\nNP((\nS(NP)(VP)\n" as &[u8];
+        let mut reader = std::io::BufReader::new(input);
+        let mut out: Vec<u8> = Vec::new();
+        serve(&args, &mut reader, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "every line answered: {text}");
+        assert!(lines[1].starts_with("NP((\terror:"), "{text}");
+        assert!(lines[2].contains("matches"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

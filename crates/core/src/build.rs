@@ -421,10 +421,34 @@ impl SubtreeIndex {
     /// streaming pipeline ([`crate::exec`]) or the legacy materializing
     /// evaluator ([`crate::eval`]) per [`SubtreeIndex::exec_mode`].
     pub fn evaluate(&self, query: &Query) -> Result<EvalResult> {
-        match self.exec_mode {
-            ExecMode::Streaming => crate::exec::evaluate_streaming(self, query),
+        self.evaluate_with(query, &crate::exec::ExecContext::default())
+    }
+
+    /// [`SubtreeIndex::evaluate`] with explicit execution resources —
+    /// the query service passes its block cache and batch-shared scans
+    /// here (the materializing oracle ignores them). Pager counter
+    /// deltas are folded into the returned stats; attribution is exact
+    /// single-threaded and approximate under concurrent traffic.
+    pub fn evaluate_with(
+        &self,
+        query: &Query,
+        ctx: &crate::exec::ExecContext<'_>,
+    ) -> Result<EvalResult> {
+        let before = self.btree.pager_counters();
+        let mut result = match self.exec_mode {
+            ExecMode::Streaming => crate::exec::evaluate_streaming_with(self, query, ctx),
             ExecMode::Materialized => crate::eval::evaluate(self, query),
-        }
+        }?;
+        let after = self.btree.pager_counters();
+        result.stats.pager_hits = after.hits.saturating_sub(before.hits);
+        result.stats.pager_misses = after.misses.saturating_sub(before.misses);
+        result.stats.pager_evictions = after.evictions.saturating_sub(before.evictions);
+        Ok(result)
+    }
+
+    /// Cumulative pager cache counters of the index's B+Tree file.
+    pub fn pager_counters(&self) -> si_storage::PagerCounters {
+        self.btree.pager_counters()
     }
 
     /// Encoded posting-list length of a key in bytes, without decoding —

@@ -199,6 +199,31 @@ impl PostingBuilder {
     }
 }
 
+/// An incremental source of decoded postings: a [`PostingCursor`]
+/// decoding raw bytes off the pager, or a
+/// [`crate::blockcache::CachedListReader`] serving pre-decoded blocks
+/// from the shared block cache. The streaming executor's scans are
+/// written against this trait so the cache slots in without touching
+/// the operator tree.
+pub trait PostingFeed {
+    /// Produces the next posting, or `None` at a clean end of list.
+    fn next_posting(&mut self) -> si_storage::Result<Option<Posting>>;
+
+    /// High-water mark of resident bytes attributable to this feed (the
+    /// executor's memory-meter contribution).
+    fn peak_buffer_bytes(&self) -> usize;
+}
+
+impl<S: ChunkSource> PostingFeed for PostingCursor<S> {
+    fn next_posting(&mut self) -> si_storage::Result<Option<Posting>> {
+        PostingCursor::next_posting(self)
+    }
+
+    fn peak_buffer_bytes(&self) -> usize {
+        PostingCursor::peak_buffer_bytes(self)
+    }
+}
+
 /// An incremental source of posting-list bytes: an in-memory slice
 /// ([`SliceSource`]) or a disk cursor walking B+Tree overflow chains
 /// page-by-page (`ValueReader`, see `crate::build`). The streaming

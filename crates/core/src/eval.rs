@@ -35,7 +35,9 @@ use crate::build::SubtreeIndex;
 use crate::canonical::{automorphisms, decode_key};
 use crate::coding::{Coding, Posting};
 use crate::cover::{decompose, Cover};
-use crate::join::{intersect_tids, join, tid_cross_join, tuples_bytes, JoinKind, Pred, Tuple};
+use crate::join::{
+    intersect_tids, join, tid_cross_join, tuples_bytes, JoinKind, Pred, Slots, Tuple,
+};
 use crate::plan::{cross_stream_predicates, PredKind};
 
 /// Instrumentation of one evaluation.
@@ -61,6 +63,19 @@ pub struct EvalStats {
     /// streaming executor pays the pages in flight plus its small
     /// operator windows — the ablation `crates/bench` measures.
     pub peak_posting_bytes: usize,
+    /// Pager cache hits during this evaluation (delta of the global
+    /// counters; exact single-threaded, attribution is approximate when
+    /// the query service runs other queries concurrently).
+    pub pager_hits: u64,
+    /// Pager cache misses (physical page reads) during this evaluation.
+    pub pager_misses: u64,
+    /// Pager cache evictions during this evaluation.
+    pub pager_evictions: u64,
+    /// Decoded-block cache hits by this query's scans (exact per query;
+    /// zero when no [`crate::blockcache::BlockCache`] is configured).
+    pub cache_hits: u64,
+    /// Decoded-block cache misses by this query's scans.
+    pub cache_misses: u64,
 }
 
 /// Matches plus statistics.
@@ -148,13 +163,34 @@ pub(crate) fn validate_candidates(
     candidates: &[TreeId],
     stats: &mut EvalStats,
 ) -> si_storage::Result<Vec<(TreeId, u32)>> {
+    validate_candidates_with(index, query, candidates, None, stats)
+}
+
+/// [`validate_candidates`] with an optional decoded-tree cache (the
+/// query service's batches revisit hot candidate trees).
+pub(crate) fn validate_candidates_with(
+    index: &SubtreeIndex,
+    query: &Query,
+    candidates: &[TreeId],
+    trees: Option<&crate::exec::TreeCache>,
+    stats: &mut EvalStats,
+) -> si_storage::Result<Vec<(TreeId, u32)>> {
     let mut matches = Vec::new();
     for &tid in candidates {
-        let tree = index.store().get(tid)?;
         stats.validated_trees += 1;
-        let matcher = Matcher::new(&tree, query);
-        for root in matcher.roots() {
-            matches.push((tid, root.0));
+        match trees {
+            Some(cache) => {
+                let tree = cache.get(index, tid)?;
+                for root in Matcher::new(&tree, query).roots() {
+                    matches.push((tid, root.0));
+                }
+            }
+            None => {
+                let tree = index.store().get(tid)?;
+                for root in Matcher::new(&tree, query).roots() {
+                    matches.push((tid, root.0));
+                }
+            }
         }
     }
     matches.sort_unstable();
@@ -236,7 +272,7 @@ fn eval_structural(
                     .filter_map(|p| match p {
                         Posting::Root { tid, root } => tid_ok(tid).then_some(Tuple {
                             tid,
-                            slots: vec![root],
+                            slots: Slots::one(root),
                         }),
                         _ => unreachable!("root-split index yields root postings"),
                     })

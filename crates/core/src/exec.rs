@@ -30,20 +30,114 @@
 //! tid lists are never materialized either.
 
 use std::cell::Cell;
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
+use std::sync::Arc;
 
 use si_parsetree::TreeId;
 use si_query::Query;
-use si_storage::{Result, StorageError, ValueReader};
+use si_storage::{Result, StorageError};
 
+use crate::blockcache::{BlockCache, CacheTally, CachedListReader};
 use crate::build::SubtreeIndex;
 use crate::canonical::{automorphisms, decode_key};
-use crate::coding::{Coding, Posting, PostingCursor};
+use crate::coding::{Coding, Posting, PostingFeed};
 use crate::cover::{decompose, Cover};
-use crate::eval::{validate_candidates, EvalResult, EvalStats};
-use crate::join::{JoinKind, Pred, Tuple};
+use crate::eval::{validate_candidates_with, EvalResult, EvalStats};
+use crate::join::{combine, JoinKind, Pred, Slots, Tuple};
 use crate::plan::{plan_structural, Plan, PlanStep};
+
+/// Pre-decoded tuple vectors shared across the queries of one service
+/// batch, keyed by canonical cover key: the product of one
+/// [`collect_scan_tuples`] pass, consumed by [`SharedScan`] operators in
+/// many pipelines.
+pub type SharedTuples = HashMap<Vec<u8>, Arc<Vec<Tuple>>>;
+
+/// A concurrent memo of `posting_len` lookups. Each lookup is a full
+/// B+Tree descent; a read-only index never changes its answers, so the
+/// query service shares one of these across queries, threads and
+/// batches.
+pub type LenCache = Arc<std::sync::Mutex<HashMap<Vec<u8>, Option<u64>>>>;
+
+/// A bounded concurrent cache of decoded parse trees, used by the
+/// validation/filtering phase: fetching a candidate tree parses it off
+/// the data file, and hot trees recur across the queries of a batch.
+pub struct TreeCache {
+    map: std::sync::Mutex<HashMap<TreeId, Arc<si_parsetree::ParseTree>>>,
+    cap: usize,
+}
+
+impl TreeCache {
+    /// A cache holding at most `cap` decoded trees (inserts beyond the
+    /// cap are dropped — validation still works, just uncached).
+    pub fn new(cap: usize) -> Self {
+        Self {
+            map: std::sync::Mutex::new(HashMap::new()),
+            cap,
+        }
+    }
+
+    /// Fetches tree `tid` through the cache.
+    pub fn get(&self, index: &SubtreeIndex, tid: TreeId) -> Result<Arc<si_parsetree::ParseTree>> {
+        if let Some(tree) = self.map.lock().unwrap_or_else(|e| e.into_inner()).get(&tid) {
+            return Ok(tree.clone());
+        }
+        let tree = Arc::new(index.store().get(tid)?);
+        let mut map = self.map.lock().unwrap_or_else(|e| e.into_inner());
+        if map.len() < self.cap {
+            map.insert(tid, tree.clone());
+        }
+        Ok(tree)
+    }
+}
+
+impl Default for TreeCache {
+    fn default() -> Self {
+        Self::new(1 << 16)
+    }
+}
+
+/// Ambient execution resources for one evaluation. The default (no
+/// cache, no shared scans) reproduces the plain PR 1 streaming executor;
+/// the query service (`si_service`) supplies all three.
+#[derive(Default)]
+pub struct ExecContext<'s> {
+    /// Decoded posting-block cache shared across queries and threads.
+    pub cache: Option<Arc<BlockCache>>,
+    /// Batch-shared tuple vectors: covers whose key appears here scan
+    /// the shared vector instead of re-reading the B+Tree.
+    pub shared: Option<&'s SharedTuples>,
+    /// Memoized posting-list lengths (planner statistics).
+    pub lens: Option<LenCache>,
+    /// Decoded-tree cache for the validation/filtering phase.
+    pub trees: Option<Arc<TreeCache>>,
+}
+
+impl ExecContext<'_> {
+    /// Whether any resource beyond the plain executor is configured.
+    pub fn is_plain(&self) -> bool {
+        self.cache.is_none() && self.shared.is_none() && self.lens.is_none() && self.trees.is_none()
+    }
+}
+
+/// `index.posting_len(key)` through the context's memo when present.
+pub fn posting_len_cached(
+    index: &SubtreeIndex,
+    key: &[u8],
+    ctx: &ExecContext<'_>,
+) -> Result<Option<u64>> {
+    let Some(lens) = &ctx.lens else {
+        return index.posting_len(key);
+    };
+    if let Some(len) = lens.lock().unwrap_or_else(|e| e.into_inner()).get(key) {
+        return Ok(*len);
+    }
+    let len = index.posting_len(key)?;
+    lens.lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .insert(key.to_vec(), len);
+    Ok(len)
+}
 
 /// Executor selector: the streaming pipeline (default) or the legacy
 /// materializing evaluator, retained as the equivalence oracle.
@@ -105,12 +199,14 @@ pub trait TupleStream {
 
 type BoxStream<'a> = Box<dyn TupleStream + 'a>;
 
-/// Leaf operator: streams one cover subtree's postings from the B+Tree
-/// and turns them into single- or multi-slot tuples, sorted by
-/// `(tid, slots[0].pre)` — the order [`crate::coding::PostingBuilder`]
-/// wrote them in.
+/// Leaf operator: streams one cover subtree's postings — from the
+/// B+Tree via a [`PostingCursor`](crate::coding::PostingCursor), or
+/// from the decoded-block cache via
+/// [`CachedListReader`] — and turns them into single- or multi-slot
+/// tuples, sorted by `(tid, slots[0].pre)` — the order
+/// [`crate::coding::PostingBuilder`] wrote them in.
 pub struct PostingScan<'a> {
-    cursor: PostingCursor<ValueReader<'a>>,
+    feed: Box<dyn PostingFeed + 'a>,
     /// Automorphic slot permutations (interval coding only).
     autos: Vec<Vec<usize>>,
     pending: VecDeque<Tuple>,
@@ -121,15 +217,23 @@ pub struct PostingScan<'a> {
 
 impl<'a> PostingScan<'a> {
     /// Opens a scan over `key`'s posting list; `None` when the key is
-    /// absent from the index.
+    /// absent from the index. With a block cache in `ctx`, the feed
+    /// serves decoded blocks (reporting hits/misses into `tally`);
+    /// otherwise it decodes straight off the pager.
     pub fn open(
         index: &'a SubtreeIndex,
         key: &[u8],
         fetched: Rc<Cell<usize>>,
         meter: MemMeter,
+        ctx: &ExecContext<'_>,
+        tally: Rc<CacheTally>,
     ) -> Result<Option<Self>> {
-        let Some(cursor) = index.posting_cursor(key)? else {
-            return Ok(None);
+        let feed: Box<dyn PostingFeed + 'a> = match &ctx.cache {
+            Some(cache) => Box::new(CachedListReader::new(index, cache.clone(), key, tally)),
+            None => match index.posting_cursor(key)? {
+                Some(cursor) => Box::new(cursor),
+                None => return Ok(None),
+            },
         };
         let autos = match index.options().coding {
             Coding::SubtreeInterval => {
@@ -140,7 +244,7 @@ impl<'a> PostingScan<'a> {
             _ => Vec::new(),
         };
         Ok(Some(Self {
-            cursor,
+            feed,
             autos,
             pending: VecDeque::new(),
             fetched,
@@ -154,7 +258,7 @@ impl<'a> PostingScan<'a> {
         // high-water mark so short inline lists register too) plus the
         // pending automorphic expansion.
         let now =
-            self.cursor.peak_buffer_bytes() + self.pending.iter().map(tuple_bytes).sum::<usize>();
+            self.feed.peak_buffer_bytes() + self.pending.iter().map(tuple_bytes).sum::<usize>();
         self.meter.adjust(self.reported, now);
         self.reported = now;
     }
@@ -167,7 +271,7 @@ impl TupleStream for PostingScan<'_> {
                 self.report();
                 return Ok(Some(t));
             }
-            let Some(posting) = self.cursor.next_posting()? else {
+            let Some(posting) = self.feed.next_posting()? else {
                 self.report();
                 return Ok(None);
             };
@@ -177,7 +281,7 @@ impl TupleStream for PostingScan<'_> {
                     self.report();
                     return Ok(Some(Tuple {
                         tid,
-                        slots: vec![root],
+                        slots: Slots::one(root),
                     }));
                 }
                 Posting::Occurrence { tid, nodes } => {
@@ -200,6 +304,67 @@ impl TupleStream for PostingScan<'_> {
             }
         }
     }
+}
+
+/// Leaf operator over a **batch-shared** tuple vector: one
+/// [`collect_scan_tuples`] pass over a posting list (decode +
+/// automorphic expansion done once) feeds any number of `SharedScan`s
+/// across the concurrent pipelines of a service batch — the paper-scale
+/// answer to many queries hitting the same hot cover key. Emits exactly
+/// the tuples (and order) a fresh [`PostingScan`] over the same key
+/// would.
+pub struct SharedScan {
+    tuples: Arc<Vec<Tuple>>,
+    pos: usize,
+    fetched: Rc<Cell<usize>>,
+}
+
+impl SharedScan {
+    /// A scan over `tuples`, counting consumed tuples into `fetched`.
+    pub fn new(tuples: Arc<Vec<Tuple>>, fetched: Rc<Cell<usize>>) -> Self {
+        Self {
+            tuples,
+            pos: 0,
+            fetched,
+        }
+    }
+}
+
+impl TupleStream for SharedScan {
+    fn next(&mut self) -> Result<Option<Tuple>> {
+        // The backing vector is owned by the batch, not this query; its
+        // bytes are accounted once by the service, not per consumer.
+        match self.tuples.get(self.pos) {
+            Some(t) => {
+                self.pos += 1;
+                self.fetched.set(self.fetched.get() + 1);
+                Ok(Some(t.clone()))
+            }
+            None => Ok(None),
+        }
+    }
+}
+
+/// Fully drains one cover key's posting scan into a tuple vector that
+/// [`SharedScan`] consumers can share. Runs through `ctx`'s block cache
+/// when configured (warming it for later misses). Returns an empty
+/// vector for an absent key.
+pub fn collect_scan_tuples(
+    index: &SubtreeIndex,
+    key: &[u8],
+    ctx: &ExecContext<'_>,
+) -> Result<Arc<Vec<Tuple>>> {
+    let fetched = Rc::new(Cell::new(0usize));
+    let meter = MemMeter::default();
+    let tally = Rc::new(CacheTally::default());
+    let Some(mut scan) = PostingScan::open(index, key, fetched, meter, ctx, tally)? else {
+        return Ok(Arc::new(Vec::new()));
+    };
+    let mut out = Vec::new();
+    while let Some(t) = scan.next()? {
+        out.push(t);
+    }
+    Ok(Arc::new(out))
 }
 
 /// Order enforcer: materializes its input and re-emits it sorted by
@@ -243,13 +408,6 @@ impl TupleStream for SortExchange<'_> {
             None => Ok(None),
         }
     }
-}
-
-fn combine(l: &Tuple, r: &Tuple) -> Tuple {
-    let mut slots = Vec::with_capacity(l.slots.len() + r.slots.len());
-    slots.extend_from_slice(&l.slots);
-    slots.extend_from_slice(&r.slots);
-    Tuple { tid: l.tid, slots }
 }
 
 fn passes(residuals: &[Pred], t: &Tuple) -> bool {
@@ -700,29 +858,53 @@ impl TupleStream for TidCrossJoin<'_> {
     }
 }
 
+/// Opens the tuple source for one cover key: a [`SharedScan`] when the
+/// batch pre-decoded the key, otherwise a fresh [`PostingScan`]
+/// (cache-aware when `ctx` has a block cache). `None` = key absent.
+fn open_source<'a>(
+    index: &'a SubtreeIndex,
+    key: &[u8],
+    ctx: &ExecContext<'_>,
+    fetched: Rc<Cell<usize>>,
+    meter: MemMeter,
+    tally: Rc<CacheTally>,
+) -> Result<Option<BoxStream<'a>>> {
+    if let Some(shared) = ctx.shared {
+        if let Some(tuples) = shared.get(key) {
+            return Ok(Some(Box::new(SharedScan::new(tuples.clone(), fetched))));
+        }
+    }
+    Ok(PostingScan::open(index, key, fetched, meter, ctx, tally)?
+        .map(|scan| Box::new(scan) as BoxStream<'a>))
+}
+
 /// Builds the operator tree for `plan` and fully evaluates it.
 fn run_structural(
     index: &SubtreeIndex,
     query: &Query,
     cover: &Cover,
     plan: &Plan,
+    ctx: &ExecContext<'_>,
     stats: &mut EvalStats,
 ) -> Result<Vec<(TreeId, u32)>> {
     let meter = MemMeter::default();
     let fetched = Rc::new(Cell::new(0usize));
-    let open_scan = |cover_idx: usize| -> Result<Option<PostingScan<'_>>> {
-        PostingScan::open(
+    let tally = Rc::new(CacheTally::default());
+    let open_scan = |cover_idx: usize| -> Result<Option<BoxStream<'_>>> {
+        open_source(
             index,
             &cover.subtrees[cover_idx].key,
+            ctx,
             fetched.clone(),
             meter.clone(),
+            tally.clone(),
         )
     };
 
     let Some(base) = open_scan(plan.base)? else {
         return Ok(Vec::new());
     };
-    let mut stream: BoxStream<'_> = Box::new(base);
+    let mut stream: BoxStream<'_> = base;
     for step in &plan.steps {
         let PlanStep {
             cover: ci,
@@ -734,7 +916,7 @@ fn run_structural(
         let Some(scan) = open_scan(*ci)? else {
             return Ok(Vec::new());
         };
-        let mut right: BoxStream<'_> = Box::new(scan);
+        let mut right: BoxStream<'_> = scan;
         if let Some(slot) = sort_right {
             right = Box::new(SortExchange::new(right, *slot, meter.clone()));
         }
@@ -792,19 +974,38 @@ fn run_structural(
         }
         tids.sort_unstable();
         tids.dedup();
-        validate_candidates(index, query, &tids, stats)?
+        validate_candidates_with(index, query, &tids, ctx.trees.as_deref(), stats)?
     } else {
         let root_slot = plan.root_slot.expect("projection slot planned");
-        let mut set: HashSet<(TreeId, u32)> = HashSet::new();
+        // A join-free root-split plan emits straight off the posting
+        // scan, which arrives sorted by (tid, root.pre) — dedup without
+        // the sort.
+        let presorted =
+            plan.steps.is_empty() && root_slot == 0 && index.options().coding == Coding::RootSplit;
+        // Sort-based dedup: cheaper than hashing for the output sizes
+        // the workload produces, and the result must be sorted anyway.
+        let mut matches: Vec<(TreeId, u32)> = Vec::new();
         while let Some(t) = stream.next()? {
-            set.insert((t.tid, t.slots[root_slot].pre));
+            let pair = (t.tid, t.slots[root_slot].pre);
+            if presorted {
+                debug_assert!(matches.last().is_none_or(|&last| last <= pair));
+                if matches.last() != Some(&pair) {
+                    matches.push(pair);
+                }
+            } else {
+                matches.push(pair);
+            }
         }
-        let mut matches: Vec<(TreeId, u32)> = set.into_iter().collect();
-        matches.sort_unstable();
+        if !presorted {
+            matches.sort_unstable();
+            matches.dedup();
+        }
         matches
     };
     stats.postings_fetched += fetched.get();
     stats.peak_posting_bytes = stats.peak_posting_bytes.max(meter.peak());
+    stats.cache_hits += tally.hits.get();
+    stats.cache_misses += tally.misses.get();
     Ok(matches)
 }
 
@@ -815,23 +1016,36 @@ fn eval_filter_streaming(
     index: &SubtreeIndex,
     query: &Query,
     cover: &Cover,
+    ctx: &ExecContext<'_>,
     stats: &mut EvalStats,
 ) -> Result<EvalResult> {
     let meter = MemMeter::default();
     let fetched = Rc::new(Cell::new(0usize));
-    let mut cursors = Vec::with_capacity(cover.subtrees.len());
+    let tally = Rc::new(CacheTally::default());
+    let mut cursors: Vec<Box<dyn PostingFeed + '_>> = Vec::with_capacity(cover.subtrees.len());
     for st in &cover.subtrees {
-        let Some(cursor) = index.posting_cursor(&st.key)? else {
-            return Ok(EvalResult {
-                matches: Vec::new(),
-                stats: *stats,
-            });
+        let feed: Box<dyn PostingFeed + '_> = match &ctx.cache {
+            Some(cache) => Box::new(CachedListReader::new(
+                index,
+                cache.clone(),
+                &st.key,
+                tally.clone(),
+            )),
+            None => match index.posting_cursor(&st.key)? {
+                Some(cursor) => Box::new(cursor),
+                None => {
+                    return Ok(EvalResult {
+                        matches: Vec::new(),
+                        stats: *stats,
+                    })
+                }
+            },
         };
-        cursors.push(cursor);
+        cursors.push(feed);
     }
     stats.joins = cursors.len().saturating_sub(1);
 
-    let advance = |cursor: &mut PostingCursor<ValueReader<'_>>| -> Result<Option<TreeId>> {
+    let advance = |cursor: &mut Box<dyn PostingFeed + '_>| -> Result<Option<TreeId>> {
         let Some(p) = cursor.next_posting()? else {
             return Ok(None);
         };
@@ -883,7 +1097,9 @@ fn eval_filter_streaming(
     let windows: usize = cursors.iter().map(|c| c.peak_buffer_bytes()).sum();
     meter.add(windows + candidates.len() * std::mem::size_of::<TreeId>());
     stats.postings_fetched += fetched.get();
-    let matches = validate_candidates(index, query, &candidates, stats)?;
+    stats.cache_hits += tally.hits.get();
+    stats.cache_misses += tally.misses.get();
+    let matches = validate_candidates_with(index, query, &candidates, ctx.trees.as_deref(), stats)?;
     stats.peak_posting_bytes = stats.peak_posting_bytes.max(meter.peak());
     Ok(EvalResult {
         matches,
@@ -895,6 +1111,16 @@ fn eval_filter_streaming(
 /// [`SubtreeIndex::evaluate`] when [`ExecMode::Streaming`] is selected
 /// (the default).
 pub fn evaluate_streaming(index: &SubtreeIndex, query: &Query) -> Result<EvalResult> {
+    evaluate_streaming_with(index, query, &ExecContext::default())
+}
+
+/// [`evaluate_streaming`] with explicit execution resources: the query
+/// service's entry point (block cache + batch-shared scans).
+pub fn evaluate_streaming_with(
+    index: &SubtreeIndex,
+    query: &Query,
+    ctx: &ExecContext<'_>,
+) -> Result<EvalResult> {
     let options = index.options();
     let cover = decompose(query, options.mss, options.coding);
     debug_assert_eq!(cover.validate(query, options.mss), Ok(()));
@@ -903,7 +1129,7 @@ pub fn evaluate_streaming(index: &SubtreeIndex, query: &Query) -> Result<EvalRes
         ..EvalStats::default()
     };
     if options.coding == Coding::FilterBased {
-        return eval_filter_streaming(index, query, &cover, &mut stats);
+        return eval_filter_streaming(index, query, &cover, ctx, &mut stats);
     }
 
     // Posting-list lengths from leaf entries — the planner's only
@@ -911,7 +1137,7 @@ pub fn evaluate_streaming(index: &SubtreeIndex, query: &Query) -> Result<EvalRes
     // no matches, and no posting list is ever opened.
     let mut lens = Vec::with_capacity(cover.subtrees.len());
     for st in &cover.subtrees {
-        match index.posting_len(&st.key)? {
+        match posting_len_cached(index, &st.key, ctx)? {
             Some(len) => lens.push(len),
             None => {
                 return Ok(EvalResult {
@@ -922,6 +1148,6 @@ pub fn evaluate_streaming(index: &SubtreeIndex, query: &Query) -> Result<EvalRes
         }
     }
     let plan = plan_structural(query, &cover, options.coding, &lens);
-    let matches = run_structural(index, query, &cover, &plan, &mut stats)?;
+    let matches = run_structural(index, query, &cover, &plan, ctx, &mut stats)?;
     Ok(EvalResult { matches, stats })
 }

@@ -20,6 +20,135 @@ use si_parsetree::TreeId;
 
 use crate::coding::NodeVal;
 
+/// Inline slot capacity of [`Slots`]: tuples bind one slot per exposed
+/// query node, and workload queries rarely exceed this many — so the
+/// hot pipeline runs allocation-free (the query service's throughput
+/// depends on it).
+const INLINE_SLOTS: usize = 6;
+
+const ZERO_VAL: NodeVal = NodeVal {
+    pre: 0,
+    post: 0,
+    level: 0,
+};
+
+/// A small-vector of bound node values: up to [`INLINE_SLOTS`] values
+/// inline, spilling to the heap beyond that. Dereferences to
+/// `[NodeVal]`, so indexing and iteration read like a `Vec`.
+#[derive(Debug, Clone)]
+pub struct Slots {
+    inline_len: u8,
+    inline: [NodeVal; INLINE_SLOTS],
+    spill: Vec<NodeVal>,
+}
+
+impl Slots {
+    /// An empty slot vector.
+    pub fn new() -> Self {
+        Self {
+            inline_len: 0,
+            inline: [ZERO_VAL; INLINE_SLOTS],
+            spill: Vec::new(),
+        }
+    }
+
+    /// A single-slot vector (the root-split scan's shape).
+    pub fn one(v: NodeVal) -> Self {
+        let mut s = Self::new();
+        s.inline[0] = v;
+        s.inline_len = 1;
+        s
+    }
+
+    /// Builds from a slice.
+    pub fn from_slice(vals: &[NodeVal]) -> Self {
+        let mut s = Self::new();
+        s.extend_from_slice(vals);
+        s
+    }
+
+    /// The concatenation of two slot slices (join output shape).
+    pub fn combined(l: &[NodeVal], r: &[NodeVal]) -> Self {
+        let mut s = Self::new();
+        if l.len() + r.len() > INLINE_SLOTS {
+            s.spill.reserve(l.len() + r.len());
+        }
+        s.extend_from_slice(l);
+        s.extend_from_slice(r);
+        s
+    }
+
+    /// Appends one value.
+    pub fn push(&mut self, v: NodeVal) {
+        if self.spill.is_empty() {
+            if (self.inline_len as usize) < INLINE_SLOTS {
+                self.inline[self.inline_len as usize] = v;
+                self.inline_len += 1;
+                return;
+            }
+            // Spill: move the inline prefix to the heap once.
+            self.spill.reserve(2 * INLINE_SLOTS);
+            self.spill.extend_from_slice(&self.inline[..INLINE_SLOTS]);
+            self.inline_len = 0;
+        }
+        self.spill.push(v);
+    }
+
+    /// Appends a slice.
+    pub fn extend_from_slice(&mut self, vals: &[NodeVal]) {
+        for &v in vals {
+            self.push(v);
+        }
+    }
+
+    /// Heap bytes in use (zero while inline).
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.spill.capacity() * std::mem::size_of::<NodeVal>()
+    }
+}
+
+impl Default for Slots {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for Slots {
+    type Target = [NodeVal];
+
+    fn deref(&self) -> &[NodeVal] {
+        if self.spill.is_empty() {
+            &self.inline[..self.inline_len as usize]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl PartialEq for Slots {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Slots {}
+
+impl From<Vec<NodeVal>> for Slots {
+    fn from(vals: Vec<NodeVal>) -> Self {
+        Self::from_slice(&vals)
+    }
+}
+
+impl FromIterator<NodeVal> for Slots {
+    fn from_iter<I: IntoIterator<Item = NodeVal>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for v in iter {
+            s.push(v);
+        }
+        s
+    }
+}
+
 /// One intermediate result row: a tree plus the data-node values bound to
 /// a set of slots (the caller tracks which query node each slot means).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,13 +156,13 @@ pub struct Tuple {
     /// The tree all slots live in.
     pub tid: TreeId,
     /// Bound node values.
-    pub slots: Vec<NodeVal>,
+    pub slots: Slots,
 }
 
 /// Approximate resident size of a tuple (memory instrumentation shared
 /// by both executors).
 pub(crate) fn tuple_bytes(t: &Tuple) -> usize {
-    std::mem::size_of::<Tuple>() + t.slots.len() * std::mem::size_of::<NodeVal>()
+    std::mem::size_of::<Tuple>() + t.slots.heap_bytes()
 }
 
 /// Sum of [`tuple_bytes`] over a buffer.
@@ -188,11 +317,13 @@ fn sort_by_slot(tuples: &[Tuple], slot: usize) -> Vec<&Tuple> {
     refs
 }
 
-fn combine(l: &Tuple, r: &Tuple) -> Tuple {
-    let mut slots = Vec::with_capacity(l.slots.len() + r.slots.len());
-    slots.extend_from_slice(&l.slots);
-    slots.extend_from_slice(&r.slots);
-    Tuple { tid: l.tid, slots }
+/// Concatenates two tuples of the same tree (join output); shared by
+/// the materializing evaluator and the streaming operators.
+pub(crate) fn combine(l: &Tuple, r: &Tuple) -> Tuple {
+    Tuple {
+        tid: l.tid,
+        slots: Slots::combined(&l.slots, &r.slots),
+    }
 }
 
 /// Sort-merge equality join on `(tid, pre)`.
@@ -336,7 +467,7 @@ mod tests {
     fn t1(tid: TreeId, v: NodeVal) -> Tuple {
         Tuple {
             tid,
-            slots: vec![v],
+            slots: Slots::one(v),
         }
     }
 
@@ -433,7 +564,7 @@ mod tests {
         let n = nodes();
         let left = vec![Tuple {
             tid: 1,
-            slots: vec![n[1], n[2]],
+            slots: Slots::from_slice(&[n[1], n[2]]),
         }];
         let right = vec![t1(1, n[2]), t1(1, n[3])];
         // Join a's tuple to children of a, requiring the right node to

@@ -19,6 +19,7 @@
 //! * [`eval`] — the legacy materializing query processor, retained as
 //!   the equivalence oracle behind [`exec::ExecMode::Materialized`].
 
+pub mod blockcache;
 pub mod build;
 pub mod build_ext;
 pub mod canonical;
@@ -31,8 +32,9 @@ pub mod holistic;
 pub mod join;
 pub mod plan;
 
+pub use blockcache::{BlockCache, BlockCacheConfig, BlockCacheStats};
 pub use build::{IndexOptions, IndexStats, SubtreeIndex};
 pub use coding::Coding;
 pub use cover::{minrc, optimal_cover, Cover, CoverSubtree};
-pub use exec::ExecMode;
+pub use exec::{ExecContext, ExecMode, LenCache, SharedTuples};
 pub use extract::{extract_subtrees, SubtreeRef};

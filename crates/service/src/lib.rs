@@ -1,0 +1,361 @@
+//! Concurrent query service over the Subtree Index: a shared-scan batch
+//! scheduler with a decoded posting-block cache.
+//!
+//! The single-query path (`si_core::exec`) is pull-based and fast, but
+//! serving heavy traffic one query at a time leaves two wins on the
+//! table that this crate collects:
+//!
+//! 1. **Shared scans.** Concurrent queries decompose into covers that
+//!    frequently collide on hot canonical keys (`NP(NN)` appears in half
+//!    a treebank workload). [`QueryService::run_batch`] groups the
+//!    batch's cover keys, pre-decodes every key used by ≥
+//!    [`ServiceConfig::shared_scan_min`] pipelines **once** into a
+//!    shared tuple vector ([`si_core::exec::collect_scan_tuples`]), and
+//!    every consumer pipeline scans it via
+//!    [`SharedScan`](si_core::exec::SharedScan) — one `PostingCursor`
+//!    pass feeding many queries.
+//! 2. **Decoded-block cache.** All remaining scans run through a
+//!    sharded, byte-bounded [`BlockCache`]: hot posting lists skip the
+//!    pager *and* varint decode on repeat access, across batches.
+//!
+//! Worker threads pull queries from a shared counter; the storage layer
+//! below (`si_storage::Pager`) uses sharded latches and positioned I/O,
+//! so workers streaming different lists never serialize on a global
+//! lock. Results are returned in input order with per-query latency,
+//! and match sets are bit-identical to the sequential streaming
+//! executor — the service differential suite and the
+//! `BENCH_service.json` harness both assert it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use si_core::cover::decompose;
+use si_core::eval::EvalResult;
+use si_core::exec::{
+    collect_scan_tuples, posting_len_cached, ExecContext, LenCache, SharedTuples, TreeCache,
+};
+use si_core::join::Tuple;
+use si_core::{BlockCache, BlockCacheConfig, BlockCacheStats, Coding, SubtreeIndex};
+use si_query::Query;
+use si_storage::{Result, StorageError};
+
+/// Tuning knobs of a [`QueryService`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Worker threads evaluating queries (and pre-decoding shared
+    /// scans). Defaults to the machine's available parallelism.
+    pub threads: usize,
+    /// Decoded-block cache configuration.
+    pub cache: BlockCacheConfig,
+    /// Queries per batch in line-oriented serving (`si serve`).
+    pub batch_size: usize,
+    /// Minimum number of pipelines that must scan a cover key before
+    /// the batch pre-decodes it once and shares the tuples.
+    pub shared_scan_min: usize,
+    /// Byte budget of the cross-batch pool keeping hot shared tuple
+    /// vectors pre-decoded between batches (0 disables pooling).
+    pub shared_pool_budget_bytes: usize,
+    /// Byte ceiling for eagerly pre-decoding a shared key that is not
+    /// the base scan of any query in the batch. Pipelines often consume
+    /// only a prefix of their *non-base* inputs (merge joins stop when
+    /// the other side exhausts), so fully pre-decoding a huge list can
+    /// cost more than it saves; above this size such keys rely on the
+    /// block cache's lazy per-block sharing instead. Base-scan keys are
+    /// always drained fully and are shared regardless of size.
+    pub shared_scan_max_bytes: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            threads: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            cache: BlockCacheConfig::default(),
+            batch_size: 64,
+            shared_scan_min: 2,
+            shared_scan_max_bytes: 64 << 10,
+            shared_pool_budget_bytes: 64 << 20,
+        }
+    }
+}
+
+/// One query's outcome within a batch.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Matches (identical to the sequential streaming executor's) plus
+    /// evaluation statistics. The *stats* reflect service execution:
+    /// shared scans count consumed tuples, cache/pager counters are
+    /// nonzero — they intentionally differ from a sequential run.
+    pub result: EvalResult,
+    /// Wall-clock seconds this query spent in its worker (queueing
+    /// excluded).
+    pub seconds: f64,
+}
+
+/// The result of [`QueryService::run_batch`].
+#[derive(Debug)]
+pub struct BatchReport {
+    /// Per-query outcomes, in input order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// Wall-clock seconds for the whole batch (grouping, shared decode
+    /// and evaluation).
+    pub wall_seconds: f64,
+    /// Cover keys pre-decoded once and shared.
+    pub shared_keys: usize,
+    /// Total pipelines fed by shared scans (each saved its own decode).
+    pub shared_consumers: usize,
+}
+
+impl BatchReport {
+    /// Queries per second over the batch wall-clock.
+    pub fn qps(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.outcomes.len() as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean per-query latency in seconds.
+    pub fn mean_latency(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            0.0
+        } else {
+            self.outcomes.iter().map(|o| o.seconds).sum::<f64>() / self.outcomes.len() as f64
+        }
+    }
+}
+
+/// A multi-threaded batch query service; see the module docs.
+pub struct QueryService {
+    index: Arc<SubtreeIndex>,
+    cache: Arc<BlockCache>,
+    /// Memoized planner statistics (`posting_len` descents); valid for
+    /// the service's lifetime because the index is read-only.
+    lens: LenCache,
+    /// Decoded-tree cache for validation phases (hot candidate trees
+    /// recur across a batch's queries).
+    trees: Arc<TreeCache>,
+    /// Cross-batch pool of shared tuple vectors, byte-bounded by
+    /// [`ServiceConfig::shared_pool_budget_bytes`]; hot keys stay
+    /// pre-decoded across batches (the index is read-only).
+    shared_pool: Mutex<SharedTuples>,
+    shared_pool_bytes: AtomicUsize,
+    config: ServiceConfig,
+}
+
+impl QueryService {
+    /// Creates a service over `index`. The index should be in the
+    /// default streaming exec mode; the materializing oracle works but
+    /// ignores the cache and shared scans.
+    pub fn new(index: Arc<SubtreeIndex>, config: ServiceConfig) -> Self {
+        Self {
+            index,
+            cache: Arc::new(BlockCache::new(config.cache)),
+            lens: LenCache::default(),
+            trees: Arc::new(TreeCache::default()),
+            shared_pool: Mutex::new(HashMap::new()),
+            shared_pool_bytes: AtomicUsize::new(0),
+            config,
+        }
+    }
+
+    /// Admits a freshly decoded shared vector into the cross-batch pool
+    /// if the byte budget allows; over budget it stays batch-local.
+    fn pool_insert(&self, key: &[u8], tuples: &Arc<Vec<Tuple>>) {
+        let bytes = key.len() + tuples.len() * std::mem::size_of::<Tuple>();
+        let budget = self.config.shared_pool_budget_bytes;
+        if self.shared_pool_bytes.load(Ordering::Relaxed) + bytes > budget {
+            return;
+        }
+        let mut pool = self.shared_pool.lock().unwrap_or_else(|e| e.into_inner());
+        if pool.contains_key(key) {
+            return;
+        }
+        if self.shared_pool_bytes.load(Ordering::Relaxed) + bytes > budget {
+            return;
+        }
+        pool.insert(key.to_vec(), tuples.clone());
+        self.shared_pool_bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// The underlying index.
+    pub fn index(&self) -> &Arc<SubtreeIndex> {
+        &self.index
+    }
+
+    /// The configured batch size for line-oriented serving.
+    pub fn batch_size(&self) -> usize {
+        self.config.batch_size.max(1)
+    }
+
+    /// Decoded-block cache counters (cumulative across batches).
+    pub fn cache_stats(&self) -> BlockCacheStats {
+        self.cache.stats()
+    }
+
+    /// Evaluates `queries` concurrently, sharing scans of cover keys
+    /// that several pipelines need. Results arrive in input order and
+    /// match the sequential streaming executor exactly.
+    pub fn run_batch(&self, queries: &[Query]) -> Result<BatchReport> {
+        let started = Instant::now();
+        if queries.is_empty() {
+            return Ok(BatchReport {
+                outcomes: Vec::new(),
+                wall_seconds: started.elapsed().as_secs_f64(),
+                shared_keys: 0,
+                shared_consumers: 0,
+            });
+        }
+        let threads = self.config.threads.max(1).min(queries.len());
+
+        // ---- Phase 1: group cover keys across the batch. ----
+        // Decomposition is pure CPU over tiny query trees; recomputing
+        // it inside evaluate() later is cheaper than threading covers
+        // through, and keeps the executor's entry point unchanged.
+        let options = self.index.options();
+        let ctx_base = || ExecContext {
+            cache: Some(self.cache.clone()),
+            shared: None,
+            lens: Some(self.lens.clone()),
+            trees: Some(self.trees.clone()),
+        };
+        let mut usage: HashMap<Vec<u8>, usize> = HashMap::new();
+        // Keys some pipeline drains fully (its base scan): always worth
+        // pre-decoding when shared. Other keys may be consumed only
+        // partially, so eager decode is capped by size.
+        let mut base_keys: std::collections::HashSet<Vec<u8>> = std::collections::HashSet::new();
+        if options.coding != Coding::FilterBased {
+            let probe_ctx = ctx_base();
+            for q in queries {
+                let cover = decompose(q, options.mss, options.coding);
+                let mut min_len: Option<(u64, usize)> = None;
+                for (i, st) in cover.subtrees.iter().enumerate() {
+                    *usage.entry(st.key.clone()).or_insert(0) += 1;
+                    if let Some(len) = posting_len_cached(&self.index, &st.key, &probe_ctx)? {
+                        if min_len.is_none_or(|(best, _)| len < best) {
+                            min_len = Some((len, i));
+                        }
+                    }
+                }
+                if let Some((_, i)) = min_len {
+                    base_keys.insert(cover.subtrees[i].key.clone());
+                }
+            }
+        }
+        let probe_ctx = ctx_base();
+        let mut shared_keys: Vec<Vec<u8>> = Vec::new();
+        let mut shared_consumers = 0usize;
+        for (key, count) in &usage {
+            if *count < self.config.shared_scan_min.max(2) {
+                continue;
+            }
+            let Some(len) = posting_len_cached(&self.index, key, &probe_ctx)? else {
+                continue;
+            };
+            if base_keys.contains(key) || len <= self.config.shared_scan_max_bytes {
+                shared_keys.push(key.clone());
+                shared_consumers += count;
+            }
+        }
+
+        // ---- Phase 2: pre-decode shared keys once, in parallel. ----
+        // The cross-batch pool short-circuits most of this on a warm
+        // service: the index is read-only, so a decoded tuple vector
+        // never goes stale and hot keys are re-shared for free.
+        let shared: Mutex<SharedTuples> = Mutex::new(HashMap::new());
+        let mut to_decode: Vec<Vec<u8>> = Vec::new();
+        {
+            let pool = self.shared_pool.lock().unwrap_or_else(|e| e.into_inner());
+            let mut shared = shared.lock().unwrap();
+            for key in &shared_keys {
+                match pool.get(key) {
+                    Some(tuples) => {
+                        shared.insert(key.clone(), tuples.clone());
+                    }
+                    None => to_decode.push(key.clone()),
+                }
+            }
+        }
+        let first_error: Mutex<Option<StorageError>> = Mutex::new(None);
+        let failed = std::sync::atomic::AtomicBool::new(false);
+        let next_key = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads.min(to_decode.len().max(1)) {
+                scope.spawn(|| {
+                    let ctx = ctx_base();
+                    loop {
+                        let i = next_key.fetch_add(1, Ordering::Relaxed);
+                        let Some(key) = to_decode.get(i) else { break };
+                        match collect_scan_tuples(&self.index, key, &ctx) {
+                            Ok(tuples) => {
+                                self.pool_insert(key, &tuples);
+                                shared.lock().unwrap().insert(key.clone(), tuples);
+                            }
+                            Err(e) => {
+                                first_error.lock().unwrap().get_or_insert(e);
+                                failed.store(true, Ordering::Release);
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        if let Some(e) = first_error.lock().unwrap().take() {
+            return Err(e);
+        }
+        let shared = shared.into_inner().unwrap();
+
+        // ---- Phase 3: evaluate all queries on the worker pool. ----
+        let slots: Vec<Mutex<Option<QueryOutcome>>> =
+            queries.iter().map(|_| Mutex::new(None)).collect();
+        let next_query = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    let ctx = ExecContext {
+                        cache: Some(self.cache.clone()),
+                        shared: Some(&shared),
+                        lens: Some(self.lens.clone()),
+                        trees: Some(self.trees.clone()),
+                    };
+                    while !failed.load(Ordering::Acquire) {
+                        let i = next_query.fetch_add(1, Ordering::Relaxed);
+                        let Some(query) = queries.get(i) else { break };
+                        let q_started = Instant::now();
+                        match self.index.evaluate_with(query, &ctx) {
+                            Ok(result) => {
+                                *slots[i].lock().unwrap() = Some(QueryOutcome {
+                                    result,
+                                    seconds: q_started.elapsed().as_secs_f64(),
+                                });
+                            }
+                            Err(e) => {
+                                first_error.lock().unwrap().get_or_insert(e);
+                                failed.store(true, Ordering::Release);
+                                break;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        if let Some(e) = first_error.lock().unwrap().take() {
+            return Err(e);
+        }
+        let outcomes = slots
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap().expect("worker filled slot"))
+            .collect();
+        Ok(BatchReport {
+            outcomes,
+            wall_seconds: started.elapsed().as_secs_f64(),
+            shared_keys: shared_keys.len(),
+            shared_consumers,
+        })
+    }
+}

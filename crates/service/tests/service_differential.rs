@@ -1,0 +1,189 @@
+//! Differential and resource-bound tests for the concurrent query
+//! service: whatever the thread count, batch composition, coding scheme
+//! or cache pressure, `run_batch` must return exactly the sequential
+//! streaming executor's match set per query — and the decoded-block
+//! cache must never exceed its byte budget.
+
+use std::sync::Arc;
+
+use si_core::{BlockCacheConfig, Coding, IndexOptions, SubtreeIndex};
+use si_corpus::{fb_query_set, wh_query_set, GeneratorConfig};
+use si_query::Query;
+use si_service::{QueryService, ServiceConfig};
+
+fn tmp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "si-service-{name}-{}-{}",
+        std::process::id(),
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .unwrap()
+            .subsec_nanos()
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A randomized workload: the corpus-derived FB query set (drawn from
+/// indexed and held-out trees, so it contains hits and misses) plus the
+/// fixed WH set — 118 queries with heavy cover-key overlap.
+fn workload(corpus: &si_corpus::Corpus, seed: u64) -> Vec<Query> {
+    let mut interner = corpus.interner().clone();
+    let heldout = GeneratorConfig::default()
+        .with_seed(seed + 1)
+        .generate_into(100, &mut interner);
+    let mut queries: Vec<Query> = wh_query_set(&mut interner)
+        .into_iter()
+        .map(|q| q.query)
+        .collect();
+    queries.extend(
+        fb_query_set(corpus, &heldout, seed + 2)
+            .into_iter()
+            .map(|q| q.query),
+    );
+    queries
+}
+
+#[test]
+fn batched_matches_equal_sequential_across_threads_and_codings() {
+    let seed = 0xBA7C_0001;
+    let corpus = GeneratorConfig::default().with_seed(seed).generate(400);
+    let queries = workload(&corpus, seed);
+    for coding in Coding::ALL {
+        let dir = tmp_dir(&format!("diff-{coding:?}").to_lowercase());
+        let index = Arc::new(
+            SubtreeIndex::build(
+                &dir,
+                corpus.trees(),
+                corpus.interner(),
+                IndexOptions::new(3, coding),
+            )
+            .unwrap(),
+        );
+        // Sequential ground truth through the plain streaming executor.
+        let expected: Vec<_> = queries
+            .iter()
+            .map(|q| index.evaluate(q).unwrap().matches)
+            .collect();
+        for threads in [1, 4] {
+            let service = QueryService::new(
+                index.clone(),
+                ServiceConfig {
+                    threads,
+                    ..ServiceConfig::default()
+                },
+            );
+            // Two rounds: cold cache, then warm.
+            for round in 0..2 {
+                let report = service.run_batch(&queries).unwrap();
+                assert_eq!(report.outcomes.len(), queries.len());
+                for (i, outcome) in report.outcomes.iter().enumerate() {
+                    assert_eq!(
+                        outcome.result.matches, expected[i],
+                        "query {i} under {coding}, {threads} threads, round {round}"
+                    );
+                }
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn shared_scans_actually_fire_on_overlapping_batches() {
+    let seed = 0xBA7C_0002;
+    let corpus = GeneratorConfig::default().with_seed(seed).generate(300);
+    let queries = workload(&corpus, seed);
+    let dir = tmp_dir("sharing");
+    let index = Arc::new(
+        SubtreeIndex::build(
+            &dir,
+            corpus.trees(),
+            corpus.interner(),
+            IndexOptions::new(3, Coding::RootSplit),
+        )
+        .unwrap(),
+    );
+    let service = QueryService::new(index, ServiceConfig::default());
+    let report = service.run_batch(&queries).unwrap();
+    assert!(
+        report.shared_keys > 0,
+        "the WH+FB workload must overlap on cover keys"
+    );
+    assert!(
+        report.shared_consumers >= 2 * report.shared_keys,
+        "each shared key feeds >= 2 pipelines: {} keys, {} consumers",
+        report.shared_keys,
+        report.shared_consumers
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn cache_never_exceeds_configured_budget() {
+    let seed = 0xBA7C_0003;
+    let corpus = GeneratorConfig::default().with_seed(seed).generate(400);
+    let queries = workload(&corpus, seed);
+    let dir = tmp_dir("evict");
+    let index = Arc::new(
+        SubtreeIndex::build(
+            &dir,
+            corpus.trees(),
+            corpus.interner(),
+            IndexOptions::new(3, Coding::RootSplit),
+        )
+        .unwrap(),
+    );
+    // A budget tiny enough that the workload's posting lists thrash it.
+    let budget = 16 << 10;
+    let service = QueryService::new(
+        index.clone(),
+        ServiceConfig {
+            threads: 4,
+            cache: BlockCacheConfig {
+                budget_bytes: budget,
+                shards: 4,
+                block_postings: 64,
+            },
+            ..ServiceConfig::default()
+        },
+    );
+    let expected: Vec<_> = queries
+        .iter()
+        .map(|q| index.evaluate(q).unwrap().matches)
+        .collect();
+    for _ in 0..2 {
+        let report = service.run_batch(&queries).unwrap();
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            assert_eq!(outcome.result.matches, expected[i], "query {i}");
+        }
+    }
+    let stats = service.cache_stats();
+    assert!(
+        stats.peak_bytes as usize <= budget,
+        "peak cache bytes {} exceed budget {budget}",
+        stats.peak_bytes
+    );
+    assert!(stats.evictions > 0, "a thrashed cache must evict");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn empty_batch_is_fine() {
+    let corpus = GeneratorConfig::default().with_seed(1).generate(50);
+    let dir = tmp_dir("empty");
+    let index = Arc::new(
+        SubtreeIndex::build(
+            &dir,
+            corpus.trees(),
+            corpus.interner(),
+            IndexOptions::new(2, Coding::RootSplit),
+        )
+        .unwrap(),
+    );
+    let service = QueryService::new(index, ServiceConfig::default());
+    let report = service.run_batch(&[]).unwrap();
+    assert!(report.outcomes.is_empty());
+    assert_eq!(report.shared_keys, 0);
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -304,6 +304,13 @@ impl BTree {
         self.pager.flush()
     }
 
+    /// Pager cache hit/miss/eviction counters — the storage half of the
+    /// per-query observability surface (`EvalStats`, `si query
+    /// --verbose`).
+    pub fn pager_counters(&self) -> crate::pager::PagerCounters {
+        self.pager.counters()
+    }
+
     /// Statistics snapshot.
     pub fn stats(&self) -> BTreeStats {
         BTreeStats {

@@ -22,4 +22,4 @@ pub mod pager;
 pub use btree::{BTree, BTreeStats, ValueReader};
 pub use datafile::CorpusStore;
 pub use error::{Result, StorageError};
-pub use pager::{PageId, Pager, PAGE_SIZE};
+pub use pager::{PageId, Pager, PagerCounters, PAGE_SIZE};

@@ -1,4 +1,4 @@
-//! Page-granular file access with a write-back LRU cache.
+//! Page-granular file access with a sharded write-back LRU cache.
 //!
 //! All index structures sit on 4096-byte pages (the system page size of the
 //! paper's test machine). The [`Pager`] owns the backing file, hands out
@@ -8,12 +8,23 @@
 //! and relied on the page buffering of the operating system"; ours exists
 //! mainly to batch writes during bulk load, and its size is tunable so
 //! experiments can approximate the paper's cold(ish)-cache regime.
+//!
+//! # Concurrency
+//!
+//! The cache is split into shards, each behind its own mutex, and file
+//! I/O uses positioned reads/writes (`pread`/`pwrite`) so no global file
+//! lock exists: worker threads streaming *different* posting lists hit
+//! different shards and read different file offsets fully in parallel,
+//! which is what the multi-query service layer (`si_service`) relies on.
+//! Page count and I/O counters are atomics. A small cache (as used by
+//! the eviction tests and the cold-cache experiments) collapses to a
+//! single shard, preserving exact global-LRU behavior.
 
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
-use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
-use std::sync::{Mutex, MutexGuard};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
 
 use crate::error::{Result, StorageError};
 
@@ -32,6 +43,12 @@ fn new_page_buf() -> PageBuf {
 
 /// Default number of cached pages (1 MiB).
 pub const DEFAULT_CACHE_PAGES: usize = 256;
+
+/// Shards only pay off once the cache is big enough for each shard to
+/// hold a meaningful working set; below this capacity the pager uses a
+/// single shard (exact global LRU).
+const PAGES_PER_SHARD: usize = 64;
+const MAX_SHARDS: usize = 16;
 
 struct CacheSlot {
     page: PageId,
@@ -144,31 +161,158 @@ impl Lru {
     }
 }
 
-struct PagerInner {
-    file: File,
-    page_count: u32,
-    lru: Lru,
-    /// Number of physical page reads (cache misses); exposed for tests
-    /// and experiment instrumentation.
-    physical_reads: u64,
-    physical_writes: u64,
+/// Cache traffic counters — the pager end of the query-service
+/// observability surface (`EvalStats` / `si query --verbose`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PagerCounters {
+    /// Read requests served from the cache.
+    pub hits: u64,
+    /// Read requests that went to disk (== physical reads).
+    pub misses: u64,
+    /// Cache slots recycled (clean or dirty).
+    pub evictions: u64,
 }
 
-/// A file of fixed-size pages with a write-back LRU cache.
+/// The backing file with positioned (seek-free) page I/O, shareable
+/// across threads without a lock on Unix.
+struct PageFile {
+    #[cfg(unix)]
+    file: File,
+    #[cfg(not(unix))]
+    file: Mutex<File>,
+}
+
+impl PageFile {
+    fn new(file: File) -> Self {
+        #[cfg(unix)]
+        {
+            Self { file }
+        }
+        #[cfg(not(unix))]
+        {
+            Self {
+                file: Mutex::new(file),
+            }
+        }
+    }
+
+    #[cfg(unix)]
+    fn read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        let base = id as u64 * PAGE_SIZE as u64;
+        // Pages past the materialized end of file read as zeroes.
+        let mut read = 0;
+        while read < PAGE_SIZE {
+            match self.file.read_at(&mut buf[read..], base + read as u64) {
+                Ok(0) => break,
+                Ok(n) => read += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        buf[read..].fill(0);
+        Ok(())
+    }
+
+    #[cfg(unix)]
+    fn write_page(&self, id: PageId, buf: &[u8; PAGE_SIZE]) -> Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.write_all_at(buf, id as u64 * PAGE_SIZE as u64)?;
+        Ok(())
+    }
+
+    #[cfg(not(unix))]
+    fn read_page(&self, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<()> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        let mut read = 0;
+        while read < PAGE_SIZE {
+            match file.read(&mut buf[read..]) {
+                Ok(0) => break,
+                Ok(n) => read += n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        buf[read..].fill(0);
+        Ok(())
+    }
+
+    #[cfg(not(unix))]
+    fn write_page(&self, id: PageId, buf: &[u8; PAGE_SIZE]) -> Result<()> {
+        use std::io::{Seek, SeekFrom, Write};
+        let mut file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        file.write_all(buf)?;
+        Ok(())
+    }
+
+    fn len(&self) -> Result<u64> {
+        #[cfg(unix)]
+        {
+            Ok(self.file.metadata()?.len())
+        }
+        #[cfg(not(unix))]
+        {
+            let file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+            Ok(file.metadata()?.len())
+        }
+    }
+
+    fn set_len(&self, len: u64) -> Result<()> {
+        #[cfg(unix)]
+        {
+            self.file.set_len(len)?;
+        }
+        #[cfg(not(unix))]
+        {
+            let file = self.file.lock().unwrap_or_else(|e| e.into_inner());
+            file.set_len(len)?;
+        }
+        Ok(())
+    }
+}
+
+/// A file of fixed-size pages with a sharded write-back LRU cache.
 ///
-/// Thread-safe: all state sits behind a single mutex, which is adequate
-/// because the workloads are read-mostly after bulk load and the cache
-/// hit path is short.
+/// Thread-safe: each cache shard sits behind its own mutex and file I/O
+/// is positioned, so concurrent readers of different pages proceed in
+/// parallel (see the module docs).
 pub struct Pager {
-    inner: Mutex<PagerInner>,
+    file: PageFile,
+    page_count: AtomicU32,
+    shards: Vec<Mutex<Lru>>,
+    physical_reads: AtomicU64,
+    physical_writes: AtomicU64,
+    cache_hits: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl Pager {
-    /// Locks the inner state; a poisoned lock (a panic mid-operation in
-    /// another thread) still yields the data, matching the previous
+    fn with_file(file: File, page_count: u32, cache_pages: usize) -> Self {
+        let cache_pages = cache_pages.max(1);
+        let n_shards = (cache_pages / PAGES_PER_SHARD).clamp(1, MAX_SHARDS);
+        let per_shard = cache_pages.div_ceil(n_shards);
+        Self {
+            file: PageFile::new(file),
+            page_count: AtomicU32::new(page_count),
+            shards: (0..n_shards)
+                .map(|_| Mutex::new(Lru::new(per_shard)))
+                .collect(),
+            physical_reads: AtomicU64::new(0),
+            physical_writes: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Locks the shard owning `id`; a poisoned lock (a panic mid-operation
+    /// in another thread) still yields the data, matching the previous
     /// panic-oblivious mutex semantics.
-    fn lock(&self) -> MutexGuard<'_, PagerInner> {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    fn shard(&self, id: PageId) -> std::sync::MutexGuard<'_, Lru> {
+        let i = id as usize % self.shards.len();
+        self.shards[i].lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Creates a new empty pager file at `path`, truncating any existing
@@ -185,15 +329,7 @@ impl Pager {
             .create(true)
             .truncate(true)
             .open(path)?;
-        Ok(Self {
-            inner: Mutex::new(PagerInner {
-                file,
-                page_count: 0,
-                lru: Lru::new(cache_pages),
-                physical_reads: 0,
-                physical_writes: 0,
-            }),
-        })
+        Ok(Self::with_file(file, 0, cache_pages))
     }
 
     /// Opens an existing pager file.
@@ -212,137 +348,146 @@ impl Pager {
         }
         let page_count = u32::try_from(len / PAGE_SIZE as u64)
             .map_err(|_| StorageError::Corrupt("too many pages".into()))?;
-        Ok(Self {
-            inner: Mutex::new(PagerInner {
-                file,
-                page_count,
-                lru: Lru::new(cache_pages),
-                physical_reads: 0,
-                physical_writes: 0,
-            }),
-        })
+        Ok(Self::with_file(file, page_count, cache_pages))
     }
 
     /// Number of pages currently allocated.
     pub fn page_count(&self) -> u32 {
-        self.lock().page_count
+        self.page_count.load(Ordering::Acquire)
     }
 
     /// `(physical_reads, physical_writes)` performed so far.
     pub fn io_stats(&self) -> (u64, u64) {
-        let g = self.lock();
-        (g.physical_reads, g.physical_writes)
+        (
+            self.physical_reads.load(Ordering::Relaxed),
+            self.physical_writes.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Cache hit/miss/eviction counters since creation.
+    pub fn counters(&self) -> PagerCounters {
+        PagerCounters {
+            hits: self.cache_hits.load(Ordering::Relaxed),
+            misses: self.physical_reads.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Writes back a dirty evictee. Must be called while still holding
+    /// the latch of the shard the eviction came from: the evicted page
+    /// maps to the same shard (ids are distributed by `id % shards`), so
+    /// the latch blocks concurrent readers of that page until its bytes
+    /// are durable — releasing first would let them read stale data.
+    fn write_back(&self, evicted: Option<(PageId, PageBuf)>) -> Result<()> {
+        if let Some((page, buf)) = evicted {
+            self.file.write_page(page, &buf)?;
+            self.physical_writes.fetch_add(1, Ordering::Relaxed);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
     }
 
     /// Allocates a fresh zeroed page at the end of the file.
     pub fn allocate(&self) -> Result<PageId> {
-        let mut g = self.lock();
-        let id = g.page_count;
-        g.page_count = g
-            .page_count
-            .checked_add(1)
-            .ok_or_else(|| StorageError::OutOfRange("page id overflow".into()))?;
-        let (_, evicted) = g.lru.insert(id, new_page_buf(), true);
-        if let Some((page, buf)) = evicted {
-            write_page_at(&mut g.file, page, &buf)?;
-            g.physical_writes += 1;
+        // CAS loop instead of fetch_add: a plain increment would wrap
+        // MAX → 0 before any corrective store, handing a concurrent
+        // allocator a duplicate low page id.
+        let mut cur = self.page_count.load(Ordering::Acquire);
+        let id = loop {
+            if cur == PageId::MAX {
+                return Err(StorageError::OutOfRange("page id overflow".into()));
+            }
+            match self.page_count.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break cur,
+                Err(seen) => cur = seen,
+            }
+        };
+        let mut shard = self.shard(id);
+        // The id became visible to readers at the CAS, before this latch
+        // was taken; a racing read of the (zeroed, past-EOF) page may
+        // have inserted a slot already. Reuse it rather than tripping
+        // Lru::insert's no-duplicates contract.
+        if let Some(slot) = shard.get(id) {
+            shard.slots[slot].buf.fill(0);
+            shard.slots[slot].dirty = true;
+        } else {
+            let (_, evicted) = shard.insert(id, new_page_buf(), true);
+            self.write_back(evicted)?;
         }
+        drop(shard);
         Ok(id)
     }
 
     /// Reads page `id` into `out`.
     pub fn read(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) -> Result<()> {
-        let mut g = self.lock();
-        if id >= g.page_count {
+        if id >= self.page_count() {
             return Err(StorageError::OutOfRange(format!("page {id}")));
         }
-        if let Some(slot) = g.lru.get(id) {
-            out.copy_from_slice(&g.lru.slots[slot].buf[..]);
+        let mut shard = self.shard(id);
+        if let Some(slot) = shard.get(id) {
+            out.copy_from_slice(&shard.slots[slot].buf[..]);
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(());
         }
+        // Miss: read while holding the shard latch so two threads cannot
+        // insert the same page twice; other shards proceed in parallel.
         let mut buf = new_page_buf();
-        read_page_at(&mut g.file, id, &mut buf)?;
-        g.physical_reads += 1;
+        self.file.read_page(id, &mut buf)?;
+        self.physical_reads.fetch_add(1, Ordering::Relaxed);
         out.copy_from_slice(&buf[..]);
-        let (_, evicted) = g.lru.insert(id, buf, false);
-        if let Some((page, ebuf)) = evicted {
-            write_page_at(&mut g.file, page, &ebuf)?;
-            g.physical_writes += 1;
-        }
-        Ok(())
+        let (_, evicted) = shard.insert(id, buf, false);
+        self.write_back(evicted)
     }
 
     /// Writes `data` as the new contents of page `id`.
     pub fn write(&self, id: PageId, data: &[u8; PAGE_SIZE]) -> Result<()> {
-        let mut g = self.lock();
-        if id >= g.page_count {
+        if id >= self.page_count() {
             return Err(StorageError::OutOfRange(format!("page {id}")));
         }
-        if let Some(slot) = g.lru.get(id) {
-            g.lru.slots[slot].buf.copy_from_slice(data);
-            g.lru.slots[slot].dirty = true;
+        let mut shard = self.shard(id);
+        if let Some(slot) = shard.get(id) {
+            shard.slots[slot].buf.copy_from_slice(data);
+            shard.slots[slot].dirty = true;
             return Ok(());
         }
         let mut buf = new_page_buf();
         buf.copy_from_slice(data);
-        let (_, evicted) = g.lru.insert(id, buf, true);
-        if let Some((page, ebuf)) = evicted {
-            write_page_at(&mut g.file, page, &ebuf)?;
-            g.physical_writes += 1;
-        }
-        Ok(())
+        let (_, evicted) = shard.insert(id, buf, true);
+        self.write_back(evicted)
     }
 
     /// Flushes all dirty pages (and the file) to disk.
     pub fn flush(&self) -> Result<()> {
-        let mut g = self.lock();
         // Ensure the file is long enough even if tail pages were never
         // explicitly flushed.
-        let want_len = g.page_count as u64 * PAGE_SIZE as u64;
-        if g.file.metadata()?.len() < want_len {
-            g.file.set_len(want_len)?;
+        let want_len = self.page_count() as u64 * PAGE_SIZE as u64;
+        if self.file.len()? < want_len {
+            self.file.set_len(want_len)?;
         }
-        let dirty: Vec<usize> = (0..g.lru.slots.len())
-            .filter(|&i| g.lru.slots[i].dirty)
-            .collect();
-        for i in dirty {
-            let page = g.lru.slots[i].page;
-            // Split borrow: copy out then write.
-            let buf = g.lru.slots[i].buf.clone();
-            write_page_at(&mut g.file, page, &buf)?;
-            g.physical_writes += 1;
-            g.lru.slots[i].dirty = false;
+        for shard in &self.shards {
+            let mut g = shard.lock().unwrap_or_else(|e| e.into_inner());
+            let dirty: Vec<usize> = (0..g.slots.len()).filter(|&i| g.slots[i].dirty).collect();
+            for i in dirty {
+                let page = g.slots[i].page;
+                // Split borrow: copy out then write.
+                let buf = g.slots[i].buf.clone();
+                self.file.write_page(page, &buf)?;
+                self.physical_writes.fetch_add(1, Ordering::Relaxed);
+                g.slots[i].dirty = false;
+            }
         }
-        g.file.flush()?;
         Ok(())
     }
 
     /// Total size of the file in bytes after a flush.
     pub fn size_bytes(&self) -> u64 {
-        self.lock().page_count as u64 * PAGE_SIZE as u64
+        self.page_count() as u64 * PAGE_SIZE as u64
     }
-}
-
-fn read_page_at(file: &mut File, id: PageId, buf: &mut [u8; PAGE_SIZE]) -> Result<()> {
-    file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
-    // Pages past the materialized end of file read as zeroes.
-    let mut read = 0;
-    while read < PAGE_SIZE {
-        match file.read(&mut buf[read..]) {
-            Ok(0) => break,
-            Ok(n) => read += n,
-            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e.into()),
-        }
-    }
-    buf[read..].fill(0);
-    Ok(())
-}
-
-fn write_page_at(file: &mut File, id: PageId, buf: &[u8; PAGE_SIZE]) -> Result<()> {
-    file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
-    file.write_all(buf)?;
-    Ok(())
 }
 
 #[cfg(test)]
@@ -463,6 +608,24 @@ mod tests {
         assert_eq!(reads_before, reads_after);
         std::fs::remove_file(path).ok();
     }
+
+    #[test]
+    fn counters_track_hits_and_misses() {
+        let path = tmp("counters");
+        let pager = Pager::create_with_cache(&path, 4).unwrap();
+        let ids: Vec<_> = (0..4).map(|_| pager.allocate().unwrap()).collect();
+        pager.flush().unwrap();
+        let mut out = [0u8; PAGE_SIZE];
+        // First pass misses only if pages fell out; with cap 4 they are
+        // all resident after allocate, so reads are hits.
+        for &id in &ids {
+            pager.read(id, &mut out).unwrap();
+        }
+        let c = pager.counters();
+        assert_eq!(c.hits, 4);
+        assert_eq!(c.misses, 0);
+        std::fs::remove_file(path).ok();
+    }
 }
 
 #[cfg(test)]
@@ -503,6 +666,44 @@ mod concurrency_tests {
                 assert_eq!(out[0], w as u8 + 1, "page {id}");
             }
         }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn parallel_shared_reads_see_consistent_data() {
+        // Many threads hammer the same page set through a sharded cache;
+        // every read must observe exactly the bytes written, and the
+        // cache must serve the hot set mostly from memory.
+        let path = std::env::temp_dir().join(format!("si-pager-shared-{}", std::process::id()));
+        let pager = std::sync::Arc::new(Pager::create_with_cache(&path, 256).unwrap());
+        let pages: Vec<PageId> = (0..64).map(|_| pager.allocate().unwrap()).collect();
+        for &id in &pages {
+            let mut page = [0u8; PAGE_SIZE];
+            page[..4].copy_from_slice(&id.to_le_bytes());
+            page[PAGE_SIZE - 4..].copy_from_slice(&id.to_le_bytes());
+            pager.write(id, &page).unwrap();
+        }
+        pager.flush().unwrap();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let pager = pager.clone();
+                let pages = pages.clone();
+                scope.spawn(move || {
+                    let mut out = [0u8; PAGE_SIZE];
+                    for round in 0..50 {
+                        let id = pages[(t * 13 + round * 7) % pages.len()];
+                        pager.read(id, &mut out).unwrap();
+                        assert_eq!(PageId::from_le_bytes(out[..4].try_into().unwrap()), id);
+                        assert_eq!(
+                            PageId::from_le_bytes(out[PAGE_SIZE - 4..].try_into().unwrap()),
+                            id
+                        );
+                    }
+                });
+            }
+        });
+        let c = pager.counters();
+        assert!(c.hits > 0, "hot pages should be cache hits: {c:?}");
         std::fs::remove_file(&path).ok();
     }
 }

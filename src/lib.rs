@@ -23,6 +23,8 @@
 //! * [`si_query`] — query model, parser and in-memory matcher;
 //! * [`si_core`] — subtree extraction, coding schemes, decomposition and
 //!   the query processor;
+//! * [`si_service`] — the concurrent query service: shared-scan batch
+//!   scheduler plus the decoded posting-block cache;
 //! * [`si_baselines`] — ATreeGrep and the frequency-based comparators.
 //!
 //! # Quickstart
@@ -57,6 +59,7 @@ pub use si_core;
 pub use si_corpus;
 pub use si_parsetree;
 pub use si_query;
+pub use si_service;
 pub use si_storage;
 
 /// Convenient single-import surface for applications.
@@ -65,5 +68,6 @@ pub mod prelude {
     pub use si_corpus::GeneratorConfig;
     pub use si_parsetree::{Label, LabelInterner, NodeId, ParseTree, TreeBuilder, TreeId};
     pub use si_query::{parse_query, Axis, Query};
+    pub use si_service::{QueryService, ServiceConfig};
     pub use si_storage::CorpusStore;
 }
