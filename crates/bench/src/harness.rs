@@ -1063,6 +1063,326 @@ pub fn emit_service_bench(scale: Scale, report: &ServiceBenchReport) -> std::io:
     Ok(())
 }
 
+// --------------------------------------------------------------------
+// Planner A/B: cost-based vs byte-ordered — BENCH_planner.json
+// --------------------------------------------------------------------
+
+/// One query's figures under both planner modes.
+#[derive(Debug, Clone)]
+pub struct PlannerBenchRow {
+    /// Query text.
+    pub name: String,
+    /// Coding scheme measured.
+    pub coding: Coding,
+    /// Match count (asserted identical between modes).
+    pub matches: usize,
+    /// Mean seconds under PR 1's byte-length ordering.
+    pub byte_seconds: f64,
+    /// Mean seconds under the cost-based planner (stats segment).
+    pub cost_seconds: f64,
+    /// Whether the cost-based run proved the result empty from
+    /// disjoint per-key tid ranges without opening a posting list.
+    pub range_pruned: bool,
+}
+
+/// Aggregate figures of [`run_planner_bench`].
+#[derive(Debug)]
+pub struct PlannerBenchReport {
+    /// Per-query rows across all codings.
+    pub rows: Vec<PlannerBenchRow>,
+    /// Timed repetitions per query per mode.
+    pub reps: usize,
+}
+
+fn measure_planner(
+    index: &SubtreeIndex,
+    q: &Query,
+    mode: si_core::PlannerMode,
+) -> (si_core::eval::EvalResult, f64) {
+    let ctx = si_core::ExecContext {
+        planner: mode,
+        ..Default::default()
+    };
+    let (result, secs) = time(|| index.evaluate_with(q, &ctx).expect("evaluate"));
+    (result, secs)
+}
+
+/// Renders a canonical key back into query syntax (labels resolved
+/// through the corpus interner).
+fn render_canon(key: &[u8], interner: &si_parsetree::LabelInterner) -> Option<String> {
+    fn go(
+        t: &si_core::canonical::CanonTree,
+        interner: &si_parsetree::LabelInterner,
+        out: &mut String,
+    ) {
+        out.push_str(interner.resolve(si_parsetree::Label(t.label)));
+        for c in &t.children {
+            out.push('(');
+            go(c, interner, out);
+            out.push(')');
+        }
+    }
+    let shape = si_core::canonical::decode_key(key)?;
+    let mut out = String::new();
+    go(&shape, interner, &mut out);
+    Some(out)
+}
+
+/// The selective ("sel-") query class: conjunctions of two rare corpus
+/// constructions — `S(//X)(//Y)` where `X` and `Y` are singleton index
+/// keys (each occurs in exactly one tree) drawn from opposite ends of
+/// the tid space. This is the regime §7's selectivity statistics are
+/// for: each branch is a real construction of the corpus, but the
+/// conjunction is almost always empty and the per-key tid ranges prove
+/// it without opening a posting list. Byte ordering cannot see that.
+/// Returns up to `n` queries; logs when fewer singleton keys exist.
+fn selective_pair_queries(
+    index: &SubtreeIndex,
+    interner: &mut si_parsetree::LabelInterner,
+    n: usize,
+) -> Vec<(String, Query)> {
+    // Singleton keys of 2–3 nodes, ordered by their single tid.
+    let mut singles: Vec<(si_parsetree::TreeId, Vec<u8>)> = Vec::new();
+    for entry in index.iter_keys().expect("iter keys") {
+        let (key, _) = entry.expect("key entry");
+        let size = si_core::canonical::key_size(&key).unwrap_or(0);
+        if !(2..=3).contains(&size) {
+            continue;
+        }
+        let stats = index
+            .key_stats(&key)
+            .expect("key stats")
+            .expect("indexed key has stats");
+        if stats.distinct_tids == 1 {
+            singles.push((stats.first_tid, key));
+        }
+    }
+    singles.sort();
+    let mut queries = Vec::new();
+    let (mut lo, mut hi) = (0usize, singles.len().saturating_sub(1));
+    while queries.len() < n && lo < hi {
+        let (tid_a, key_a) = &singles[lo];
+        let (tid_b, key_b) = &singles[hi];
+        lo += 1;
+        hi -= 1;
+        if tid_a == tid_b {
+            continue; // same tree: ranges overlap, nothing to prove
+        }
+        let (Some(a), Some(b)) = (render_canon(key_a, interner), render_canon(key_b, interner))
+        else {
+            continue;
+        };
+        let text = format!("S(//{a})(//{b})");
+        let Ok(q) = si_query::parse_query(&text, interner) else {
+            continue;
+        };
+        queries.push((format!("sel-{}", queries.len()), q));
+    }
+    if queries.len() < n {
+        eprintln!(
+            "planner bench: only {} of {n} selective pairs available \
+             ({} singleton keys in this corpus)",
+            queries.len(),
+            singles.len()
+        );
+    }
+    queries
+}
+
+/// Runs the planner A/B comparison: every workload query — the
+/// standard WH + FB sets plus the selective rare-pair class
+/// (`selective_pair_queries`) — under the byte-ordered heuristic
+/// (PR 1) and the cost-based planner (this PR's stats segment),
+/// interleaved per repetition so cache drift hits both modes equally,
+/// asserting identical match sets per query (join order and pruning
+/// must never change results — a live equivalence check). Per-query
+/// figures are the **minimum** over the timed repetitions, the
+/// standard noise-robust estimator for sub-millisecond runs.
+pub fn run_planner_bench(scale: Scale) -> PlannerBenchReport {
+    use si_core::PlannerMode;
+
+    let work = Workdir::new("planner");
+    let n = match scale {
+        Scale::Small => 5_000,
+        Scale::Paper => 100_000,
+    };
+    let big = corpus(n);
+    let (wh, fb) = workload(&big, 200);
+    let mut queries: Vec<(String, Query)> = wh
+        .into_iter()
+        .chain(fb.into_iter().map(|(c, s, q)| (format!("fb-{c}-{s}"), q)))
+        .collect();
+    let reps = scale.reps().max(7);
+    let mut rows = Vec::new();
+    let mut sel_added = false;
+    for coding in [
+        Coding::RootSplit,
+        Coding::SubtreeInterval,
+        Coding::FilterBased,
+    ] {
+        let dir = work.path(&format!("plan-{coding:?}"));
+        let index = SubtreeIndex::build(
+            &dir,
+            big.trees(),
+            big.interner(),
+            IndexOptions::new(3, coding),
+        )
+        .expect("planner bench build");
+        assert!(index.has_key_stats(), "build must write the stats segment");
+        if !sel_added {
+            // Canonical keys are coding-independent, so the pairs from
+            // the first index serve all three codings.
+            let mut interner = index.interner();
+            queries.extend(selective_pair_queries(&index, &mut interner, 48));
+            sel_added = true;
+        }
+        for (name, q) in &queries {
+            // Warm both paths (pager + stats) before timing.
+            let (warm_b, _) = measure_planner(&index, q, PlannerMode::ByteLen);
+            let (warm_c, _) = measure_planner(&index, q, PlannerMode::CostBased);
+            assert_eq!(
+                warm_b.matches, warm_c.matches,
+                "planner match-set mismatch on {name} under {coding}"
+            );
+            let range_pruned = warm_c.stats.range_pruned;
+            let mut byte_seconds = f64::INFINITY;
+            let mut cost_seconds = f64::INFINITY;
+            for _ in 0..reps {
+                let (rb, sb) = measure_planner(&index, q, PlannerMode::ByteLen);
+                let (rc, sc) = measure_planner(&index, q, PlannerMode::CostBased);
+                assert_eq!(rb.matches, rc.matches, "unstable match set on {name}");
+                byte_seconds = byte_seconds.min(sb);
+                cost_seconds = cost_seconds.min(sc);
+            }
+            rows.push(PlannerBenchRow {
+                name: name.clone(),
+                coding,
+                matches: warm_c.matches.len(),
+                byte_seconds,
+                cost_seconds,
+                range_pruned,
+            });
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    PlannerBenchReport { rows, reps }
+}
+
+/// Prints the planner A/B summary and writes `BENCH_planner.json` into
+/// the current directory.
+pub fn emit_planner_bench(scale: Scale, report: &PlannerBenchReport) -> std::io::Result<()> {
+    println!("# Planner A/B: cost-based (stats segment) vs byte-length ordering");
+    println!(
+        "{} queries x {} reps, seed {:#x}",
+        report.rows.len(),
+        report.reps,
+        corpus_seed()
+    );
+    println!(
+        "{:<18} {:>8} {:>12} {:>12} {:>9} {:>8} {:>8} {:>8}",
+        "coding", "queries", "byte ms", "cost ms", "speedup", "faster", "slower", "pruned"
+    );
+    // A query counts as faster/slower only beyond a 5% margin; the
+    // rest are ties (sub-millisecond runs are noisy).
+    let margin = 0.05;
+    let mut summaries = Vec::new();
+    let mut total_faster = 0usize;
+    let mut total_byte = 0.0;
+    let mut total_cost = 0.0;
+    for coding in [
+        Coding::RootSplit,
+        Coding::SubtreeInterval,
+        Coding::FilterBased,
+    ] {
+        let sel: Vec<&PlannerBenchRow> =
+            report.rows.iter().filter(|r| r.coding == coding).collect();
+        if sel.is_empty() {
+            continue;
+        }
+        let byte_ms: f64 = sel.iter().map(|r| r.byte_seconds).sum::<f64>() * 1e3;
+        let cost_ms: f64 = sel.iter().map(|r| r.cost_seconds).sum::<f64>() * 1e3;
+        let faster = sel
+            .iter()
+            .filter(|r| r.cost_seconds < r.byte_seconds * (1.0 - margin))
+            .count();
+        let slower = sel
+            .iter()
+            .filter(|r| r.cost_seconds > r.byte_seconds * (1.0 + margin))
+            .count();
+        let pruned = sel.iter().filter(|r| r.range_pruned).count();
+        total_faster += faster;
+        total_byte += byte_ms;
+        total_cost += cost_ms;
+        println!(
+            "{:<18} {:>8} {:>12.3} {:>12.3} {:>8.2}x {:>8} {:>8} {:>8}",
+            coding.name(),
+            sel.len(),
+            byte_ms,
+            cost_ms,
+            byte_ms / cost_ms.max(1e-9),
+            faster,
+            slower,
+            pruned
+        );
+        summaries.push(format!(
+            "    {{\"coding\": \"{}\", \"queries\": {}, \"byte_total_ms\": {:.4}, \
+             \"cost_total_ms\": {:.4}, \"speedup\": {:.3}, \"faster\": {}, \
+             \"slower\": {}, \"range_pruned\": {}}}",
+            coding.name(),
+            sel.len(),
+            byte_ms,
+            cost_ms,
+            byte_ms / cost_ms.max(1e-9),
+            faster,
+            slower,
+            pruned
+        ));
+    }
+    let overall_speedup = total_byte / total_cost.max(1e-9);
+    let faster_fraction = total_faster as f64 / report.rows.len().max(1) as f64;
+    println!(
+        "overall: {:.2}x total-time speedup, {}/{} queries ({:.0}%) faster by >{:.0}%",
+        overall_speedup,
+        total_faster,
+        report.rows.len(),
+        faster_fraction * 100.0,
+        margin * 100.0
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"scale\": \"{scale:?}\",\n  \"mss\": 3,\n  \"seed\": {},\n  \"reps\": {},\n  \
+         \"match_sets_identical\": true,\n  \"overall_speedup\": {:.3},\n  \
+         \"faster_fraction\": {:.4},\n  \"faster_margin\": {margin},\n  \"summary\": [\n",
+        corpus_seed(),
+        report.reps,
+        overall_speedup,
+        faster_fraction,
+    ));
+    json.push_str(&summaries.join(",\n"));
+    json.push_str("\n  ],\n  \"queries\": [\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"query\": \"{}\", \"coding\": \"{}\", \"matches\": {}, \
+             \"byte_ms\": {:.4}, \"cost_ms\": {:.4}, \"range_pruned\": {}}}{}\n",
+            json_escape(&r.name),
+            r.coding.name(),
+            r.matches,
+            r.byte_seconds * 1e3,
+            r.cost_seconds * 1e3,
+            r.range_pruned,
+            if i + 1 == report.rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_planner.json", json)?;
+    println!(
+        "wrote BENCH_planner.json ({} query measurements)",
+        report.rows.len()
+    );
+    Ok(())
+}
+
 /// Convenience: a tiny corpus + root-split index for Criterion benches.
 pub fn bench_fixture(
     sentences: usize,

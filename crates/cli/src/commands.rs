@@ -6,7 +6,9 @@ use std::path::Path;
 
 use si_core::build_ext::ExternalBuildConfig;
 use si_core::cover::decompose;
-use si_core::{Coding, ExecMode, IndexOptions, SubtreeIndex};
+use si_core::plan::{estimated_cardinality, plan_structural, PlannerMode};
+use si_core::stats::intersect_tid_ranges;
+use si_core::{Coding, ExecMode, IndexOptions, KeyStats, SubtreeIndex};
 use si_corpus::GeneratorConfig;
 use si_parsetree::{ptb, LabelInterner};
 use si_query::{parse_query, write_query};
@@ -25,6 +27,7 @@ USAGE:
                [--external true]                            build an index from PTB text
   si query     --index DIR QUERY [--show N] [--verbose]
                [--exec streaming|materialized]
+               [--planner cost|bytes]
                [--cache-mb N]                               evaluate a tree query
   si batch     --index DIR --queries FILE [--threads N]
                [--cache-mb 64] [--batch-size 64]            run a query file concurrently
@@ -32,7 +35,9 @@ USAGE:
                [--batch-size 64]                            serve queries from stdin, batched
   si scan      --input FILE QUERY [--show N]                TGrep2 mode: match without an index
   si extract   --input FILE [--mss 3] [--top 20]            most frequent subtree keys
-  si stats     --index DIR                                  print index statistics
+  si stats     --index DIR [KEY]                            index statistics; with a
+                                                            KEY (query syntax), per-key
+                                                            planner statistics
   si decompose [--mss 3] [--coding root-split] QUERY        show the query's cover
 
 Query syntax: LABEL('(' [//] node ')')*, e.g. S(NP(NNS))(VP(//NN))";
@@ -74,6 +79,14 @@ fn parse_exec(name: Option<&str>) -> Result<ExecMode, AnyError> {
         "streaming" | "s" => Ok(ExecMode::Streaming),
         "materialized" | "m" | "legacy" => Ok(ExecMode::Materialized),
         other => Err(format!("unknown executor {other:?} (streaming | materialized)").into()),
+    }
+}
+
+fn parse_planner(name: Option<&str>) -> Result<PlannerMode, AnyError> {
+    match name.unwrap_or("cost") {
+        "cost" | "cost-based" | "c" => Ok(PlannerMode::CostBased),
+        "bytes" | "byte-len" | "b" => Ok(PlannerMode::ByteLen),
+        other => Err(format!("unknown planner {other:?} (cost | bytes)").into()),
     }
 }
 
@@ -141,6 +154,7 @@ fn query(args: &Args) -> Result<(), AnyError> {
         return Err("query: expected exactly one QUERY argument".into());
     };
     let exec = parse_exec(args.get("exec"))?;
+    let planner = parse_planner(args.get("planner"))?;
     let mut index = SubtreeIndex::open(Path::new(index_dir))?;
     index.set_exec_mode(exec);
     let mut interner = index.interner();
@@ -152,6 +166,7 @@ fn query(args: &Args) -> Result<(), AnyError> {
     });
     let ctx = si_core::ExecContext {
         cache,
+        planner,
         ..Default::default()
     };
     let started = std::time::Instant::now();
@@ -173,7 +188,11 @@ fn query(args: &Args) -> Result<(), AnyError> {
         }
     );
     if verbose {
+        print_plan_debug(&index, &query, &interner, planner)?;
         let s = result.stats;
+        if s.range_pruned {
+            println!("planner     result proven empty from disjoint tid ranges; no list opened");
+        }
         println!(
             "pager       {} hits, {} misses, {} evictions",
             s.pager_hits, s.pager_misses, s.pager_evictions
@@ -453,10 +472,161 @@ fn render_key(key: &[u8], interner: &LabelInterner) -> String {
     }
 }
 
+/// One `si stats` / `--verbose` line for a cover key's statistics.
+fn key_stats_line(rendered: &str, stats: Option<&KeyStats>) -> String {
+    match stats {
+        None => format!("  {rendered}: not indexed (query has no matches)"),
+        Some(s) => format!(
+            "  {rendered}: {} postings, {} distinct trees, tids [{}, {}], \
+             {:.2} postings/tree, {} bytes{}",
+            s.postings,
+            s.distinct_tids,
+            s.first_tid,
+            s.last_tid,
+            s.mean_postings_per_tid(),
+            s.bytes,
+            if s.exact { "" } else { " (estimated)" }
+        ),
+    }
+}
+
+/// `si query --verbose`: recomputes the cover, per-key statistics and
+/// (for structural codings) the join order the planner chose, so
+/// planner decisions are debuggable straight from the CLI.
+fn print_plan_debug(
+    index: &SubtreeIndex,
+    query: &si_query::Query,
+    interner: &LabelInterner,
+    mode: PlannerMode,
+) -> Result<(), AnyError> {
+    let options = index.options();
+    let cover = decompose(query, options.mss, options.coding);
+    println!(
+        "planner     {} ({})",
+        mode.name(),
+        if index.has_key_stats() {
+            "exact stats segment"
+        } else {
+            "pre-stats index: estimates from encoded lengths"
+        }
+    );
+    let mut all: Vec<Option<KeyStats>> = Vec::with_capacity(cover.subtrees.len());
+    for st in &cover.subtrees {
+        let s = index.key_stats(&st.key)?;
+        println!(
+            "{}",
+            key_stats_line(&render_key(&st.key, interner), s.as_ref())
+        );
+        all.push(s);
+    }
+    if all.iter().any(|s| s.is_none()) {
+        return Ok(());
+    }
+    let stats: Vec<KeyStats> = all.into_iter().map(|s| s.unwrap()).collect();
+    // Range seeding and pruning happen only under the cost-based mode;
+    // a byte-ordered run executes unseeded, so don't claim otherwise.
+    let cost = mode == PlannerMode::CostBased;
+    let Some(common) = intersect_tid_ranges(&stats) else {
+        println!(
+            "join order  {}",
+            if cost {
+                "(none: tid ranges disjoint, result provably empty)"
+            } else {
+                "(tid ranges disjoint, but byte-ordered mode executes anyway)"
+            }
+        );
+        return Ok(());
+    };
+    if options.coding == Coding::FilterBased {
+        if cost {
+            println!(
+                "join order  leapfrog tid intersection over {} streams, seeded to tids [{}, {}]",
+                cover.subtrees.len(),
+                common.0,
+                common.1
+            );
+        } else {
+            println!(
+                "join order  leapfrog tid intersection over {} streams (unseeded)",
+                cover.subtrees.len()
+            );
+        }
+        return Ok(());
+    }
+    let plan = plan_structural(query, &cover, options.coding, &stats, mode);
+    let mut order = format!("[{}]", render_key(&cover.subtrees[plan.base].key, interner));
+    for step in &plan.steps {
+        let join = match step.driving {
+            Some((kind, _, _)) => format!("{kind:?}"),
+            None => "TidCross".to_owned(),
+        };
+        let sort = match (step.sort_left, step.sort_right) {
+            (None, None) => String::new(),
+            (l, r) => format!(
+                ", sort {}",
+                match (l, r) {
+                    (Some(_), Some(_)) => "both",
+                    (Some(_), None) => "left",
+                    _ => "right",
+                }
+            ),
+        };
+        order.push_str(&format!(
+            " -{join}{sort}-> {}",
+            render_key(&cover.subtrees[step.cover].key, interner)
+        ));
+    }
+    println!("join order  {order}");
+    if mode == PlannerMode::CostBased {
+        let est: Vec<String> = cover
+            .subtrees
+            .iter()
+            .zip(&stats)
+            .map(|(st, s)| {
+                format!(
+                    "{}≈{:.0}",
+                    render_key(&st.key, interner),
+                    estimated_cardinality(s, &st.key, options.coding, common)
+                )
+            })
+            .collect();
+        println!("est cards   {}", est.join("  "));
+    }
+    Ok(())
+}
+
 fn stats(args: &Args) -> Result<(), AnyError> {
     let index_dir = args.required("index")?;
     let index = SubtreeIndex::open(Path::new(index_dir))?;
-    print_stats(&index);
+    match args.positional() {
+        [] => {
+            print_stats(&index);
+            println!(
+                "key stats  {}",
+                if index.has_key_stats() {
+                    "persistent segment (exact)"
+                } else {
+                    "absent (pre-stats index; planner estimates from lengths)"
+                }
+            );
+        }
+        [key_text] => {
+            // The KEY is query syntax; its cover under the index's own
+            // mss/coding yields the canonical keys to look up — for a
+            // subtree of size <= mss that is exactly one key.
+            let mut interner = index.interner();
+            let query = parse_query(key_text, &mut interner)?;
+            let cover = decompose(&query, index.options().mss, index.options().coding);
+            for st in &cover.subtrees {
+                let s = index.key_stats(&st.key)?;
+                println!(
+                    "{}",
+                    key_stats_line(&render_key(&st.key, &interner), s.as_ref())
+                );
+            }
+        }
+        _ => return Err("stats: expected at most one KEY argument".into()),
+    }
     Ok(())
 }
 
@@ -706,6 +876,66 @@ mod tests {
             "NP(NN)",
         ]))
         .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stats_key_and_planner_flags() {
+        let dir = tmp("statskey");
+        let corpus_file = dir.join("corpus.ptb");
+        let index_dir = dir.join("idx");
+        run(&argv(&[
+            "generate",
+            "--sentences",
+            "60",
+            "--out",
+            corpus_file.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "build",
+            "--input",
+            corpus_file.to_str().unwrap(),
+            "--index",
+            index_dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let idx = index_dir.to_str().unwrap();
+        // Per-key statistics for a query-syntax KEY (single and
+        // multi-cover), and the plain index summary.
+        run(&argv(&["stats", "--index", idx, "NP(NN)"])).unwrap();
+        run(&argv(&["stats", "--index", idx, "S(NP(DT)(NN))(VP(VBZ))"])).unwrap();
+        run(&argv(&["stats", "--index", idx])).unwrap();
+        assert!(run(&argv(&["stats", "--index", idx, "NP(NN)", "extra"])).is_err());
+        // Both planner modes answer; bogus mode errors.
+        run(&argv(&[
+            "query",
+            "--index",
+            idx,
+            "--planner",
+            "cost",
+            "--verbose",
+            "S(NP)(VP)",
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "query",
+            "--index",
+            idx,
+            "--planner",
+            "bytes",
+            "NP(NN)",
+        ]))
+        .unwrap();
+        assert!(run(&argv(&[
+            "query",
+            "--index",
+            idx,
+            "--planner",
+            "x",
+            "NP(NN)"
+        ]))
+        .is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -123,20 +123,28 @@ impl SubtreeIndex {
             });
         }
 
-        // Bulk-load the B+Tree in key order.
+        // Bulk-load the B+Tree in key order, then persist the per-key
+        // statistics the builders tracked as the stats segment.
         let mut postings = 0u64;
         let mut posting_bytes = 0u64;
-        let mut pairs: Vec<(Vec<u8>, Vec<u8>)> = lists
+        let mut entries: Vec<(Vec<u8>, Vec<u8>, si_storage::KeyStats)> = lists
             .into_iter()
             .map(|(key, builder)| {
                 postings += builder.count();
                 posting_bytes += builder.byte_len() as u64;
-                (key, builder.finish())
+                let key_stats = builder.key_stats();
+                (key, builder.finish(), key_stats)
             })
             .collect();
-        pairs.sort_by(|a, b| a.0.cmp(&b.0));
-        let keys = pairs.len() as u64;
-        let mut btree = BTree::bulk_load(&dir.join("index.bt"), pairs)?;
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let keys = entries.len() as u64;
+        let stats_entries: Vec<(Vec<u8>, si_storage::KeyStats)> =
+            entries.iter().map(|(k, _, s)| (k.clone(), *s)).collect();
+        let mut btree = BTree::bulk_load(
+            &dir.join("index.bt"),
+            entries.into_iter().map(|(k, v, _)| (k, v)),
+        )?;
+        btree.write_stats_segment(stats_entries)?;
         btree.flush()?;
 
         let stats = IndexStats {
@@ -224,43 +232,73 @@ impl SubtreeIndex {
         });
 
         // Stitch fragments per key in tid order (workers cover disjoint,
-        // ascending tid ranges in `partials` order).
-        let mut merged: HashMap<Vec<u8>, (u64, Vec<u8>, Option<TreeId>)> = HashMap::new();
+        // ascending tid ranges in `partials` order). Posting counts,
+        // distinct-tid counts and tid ranges stitch the same way the
+        // bytes do: disjoint ranges add, the merged range spans from the
+        // first fragment's first tid to the last fragment's last tid.
+        #[derive(Default)]
+        struct MergedList {
+            bytes: Vec<u8>,
+            count: u64,
+            distinct_tids: u64,
+            first_tid: TreeId,
+            last_tid: Option<TreeId>,
+        }
+        let mut merged: HashMap<Vec<u8>, MergedList> = HashMap::new();
         for partial in partials {
             for (key, (first_tid, last_tid, builder)) in partial {
                 let count = builder.count();
+                let distinct = builder.distinct_tids();
                 let bytes = builder.finish();
-                let entry = merged.entry(key).or_insert((0, Vec::new(), None));
-                entry.0 += count;
-                match entry.2 {
-                    None => entry.1.extend_from_slice(&bytes),
+                let entry = merged.entry(key).or_default();
+                entry.count += count;
+                entry.distinct_tids += distinct;
+                match entry.last_tid {
+                    None => {
+                        entry.first_tid = first_tid;
+                        entry.bytes.extend_from_slice(&bytes);
+                    }
                     Some(prev_last) => {
                         // Rewrite the fragment's leading absolute tid as a
                         // delta from the previous fragment's last tid.
                         let (abs, used) = varint::read_u32(&bytes)
                             .ok_or_else(|| StorageError::Corrupt("fragment head".into()))?;
                         debug_assert!(abs == first_tid);
-                        varint::write_u32(&mut entry.1, abs - prev_last);
-                        entry.1.extend_from_slice(&bytes[used..]);
+                        varint::write_u32(&mut entry.bytes, abs - prev_last);
+                        entry.bytes.extend_from_slice(&bytes[used..]);
                     }
                 }
-                entry.2 = Some(last_tid);
+                entry.last_tid = Some(last_tid);
             }
         }
 
         let mut postings = 0u64;
         let mut posting_bytes = 0u64;
-        let mut pairs: Vec<(Vec<u8>, Vec<u8>)> = merged
+        let mut entries: Vec<(Vec<u8>, Vec<u8>, si_storage::KeyStats)> = merged
             .into_iter()
-            .map(|(key, (count, bytes, _))| {
-                postings += count;
-                posting_bytes += bytes.len() as u64;
-                (key, bytes)
+            .map(|(key, list)| {
+                postings += list.count;
+                posting_bytes += list.bytes.len() as u64;
+                let key_stats = si_storage::KeyStats {
+                    postings: list.count,
+                    distinct_tids: list.distinct_tids,
+                    first_tid: list.first_tid,
+                    last_tid: list.last_tid.unwrap_or(0),
+                    bytes: list.bytes.len() as u64,
+                    exact: true,
+                };
+                (key, list.bytes, key_stats)
             })
             .collect();
-        pairs.sort_by(|a, b| a.0.cmp(&b.0));
-        let keys = pairs.len() as u64;
-        let mut btree = BTree::bulk_load(&dir.join("index.bt"), pairs)?;
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let keys = entries.len() as u64;
+        let stats_entries: Vec<(Vec<u8>, si_storage::KeyStats)> =
+            entries.iter().map(|(k, _, s)| (k.clone(), *s)).collect();
+        let mut btree = BTree::bulk_load(
+            &dir.join("index.bt"),
+            entries.into_iter().map(|(k, v, _)| (k, v)),
+        )?;
+        btree.write_stats_segment(stats_entries)?;
         btree.flush()?;
 
         let stats = IndexStats {
@@ -308,12 +346,17 @@ impl SubtreeIndex {
         let keys = RefCell::new(0u64);
         let postings = RefCell::new(0u64);
         let posting_bytes = RefCell::new(0u64);
+        // Merged keys arrive in ascending order, so the stats entries
+        // accumulate pre-sorted while the same pass feeds the bulk
+        // loader.
+        let stats_entries: RefCell<Vec<(Vec<u8>, si_storage::KeyStats)>> = RefCell::new(Vec::new());
         let error: RefCell<Option<StorageError>> = RefCell::new(None);
         let pairs = std::iter::from_fn(|| match merger.next_key() {
-            Ok(Some((key, bytes, count))) => {
+            Ok(Some((key, bytes, key_stats))) => {
                 *keys.borrow_mut() += 1;
-                *postings.borrow_mut() += count;
+                *postings.borrow_mut() += key_stats.postings;
                 *posting_bytes.borrow_mut() += bytes.len() as u64;
+                stats_entries.borrow_mut().push((key.clone(), key_stats));
                 Some((key, bytes))
             }
             Ok(None) => None,
@@ -326,6 +369,7 @@ impl SubtreeIndex {
         if let Some(e) = error.into_inner() {
             return Err(e);
         }
+        btree.write_stats_segment(stats_entries.into_inner())?;
         btree.flush()?;
         std::fs::remove_dir_all(&tmp).ok();
 
@@ -456,6 +500,29 @@ impl SubtreeIndex {
     /// subtrees such as their selectivities").
     pub fn posting_len(&self, key: &[u8]) -> Result<Option<u64>> {
         self.btree.value_len(key)
+    }
+
+    /// Whether the index carries a persisted stats segment. Indexes
+    /// built before the segment existed report `false`; their
+    /// [`SubtreeIndex::key_stats`] answers are estimates.
+    pub fn has_key_stats(&self) -> bool {
+        self.btree.has_stats_segment()
+    }
+
+    /// Per-key statistics for planning ([`crate::stats`]): posting
+    /// count, distinct tid count, first/last tid and encoded bytes.
+    /// Exact from the stats segment when present; for pre-stats index
+    /// files the figures are estimated from [`SubtreeIndex::posting_len`]
+    /// (`exact == false`, full tid range — safe, never prunes). `None`
+    /// when the key is absent, meaning the query has no matches.
+    pub fn key_stats(&self, key: &[u8]) -> Result<Option<si_storage::KeyStats>> {
+        if let Some(stats) = self.btree.key_stats(key)? {
+            return Ok(Some(stats));
+        }
+        Ok(self
+            .btree
+            .value_len(key)?
+            .map(|bytes| crate::stats::estimate_from_len(bytes, self.options.coding, key)))
     }
 
     /// Opens a streaming posting cursor over `key`'s list: bytes flow

@@ -19,8 +19,16 @@
 //! Run-entry layout (all varints except raw bytes):
 //!
 //! ```text
-//! key_len key count first_tid last_tid bytes_len bytes
+//! key_len key count distinct_tids first_tid last_tid bytes_len bytes
 //! ```
+//!
+//! Each chunk carries enough to reconstruct the merged key's
+//! [`si_storage::KeyStats`] without re-decoding postings: chunks cover
+//! disjoint ascending tid ranges, so counts and distinct-tid counts
+//! add, and the merged range is `[first chunk's first, last chunk's
+//! last]`. [`RunMerger::next_key`] returns those stats alongside the
+//! stitched bytes so the external build can write the stats segment in
+//! the same streaming pass that feeds the B+Tree bulk loader.
 
 use std::collections::HashMap;
 use std::fs::File;
@@ -54,6 +62,7 @@ impl Default for ExternalBuildConfig {
 /// A posting-list fragment of one key within one run.
 struct Chunk {
     count: u64,
+    distinct_tids: u64,
     first_tid: TreeId,
     last_tid: TreeId,
     bytes: Vec<u8>,
@@ -95,6 +104,7 @@ pub fn build_runs(
             varint::write_u64(&mut scratch, key.len() as u64);
             scratch.extend_from_slice(&key);
             varint::write_u64(&mut scratch, open.builder.count());
+            varint::write_u64(&mut scratch, open.builder.distinct_tids());
             varint::write_u32(&mut scratch, open.first_tid);
             varint::write_u32(&mut scratch, open.last_tid);
             let bytes = open.builder.finish();
@@ -203,6 +213,9 @@ impl RunReader {
         let count = self
             .read_varint()?
             .ok_or_else(|| StorageError::Corrupt("run: count".into()))?;
+        let distinct_tids = self
+            .read_varint()?
+            .ok_or_else(|| StorageError::Corrupt("run: distinct tids".into()))?;
         let first_tid = self
             .read_varint()?
             .ok_or_else(|| StorageError::Corrupt("run: first_tid".into()))?
@@ -220,6 +233,7 @@ impl RunReader {
             key,
             Chunk {
                 count,
+                distinct_tids,
                 first_tid,
                 last_tid,
                 bytes,
@@ -228,11 +242,11 @@ impl RunReader {
     }
 }
 
-/// One merged entry: `(key, posting bytes, posting count)`.
-pub type MergedEntry = (Vec<u8>, Vec<u8>, u64);
+/// One merged entry: `(key, posting bytes, list statistics)`.
+pub type MergedEntry = (Vec<u8>, Vec<u8>, si_storage::KeyStats);
 
 /// Phase 3: a k-way merge over run files yielding
-/// `(key, posting bytes, posting count)` in ascending key order.
+/// `(key, posting bytes, list statistics)` in ascending key order.
 pub struct RunMerger {
     readers: Vec<RunReader>,
 }
@@ -277,10 +291,13 @@ impl RunMerger {
             }
         }
         let mut count = 0u64;
+        let mut distinct_tids = 0u64;
+        let first_tid = chunks.first().map_or(0, |c| c.first_tid);
         let mut bytes: Vec<u8> = Vec::new();
         let mut last_tid: Option<TreeId> = None;
         for chunk in chunks {
             count += chunk.count;
+            distinct_tids += chunk.distinct_tids;
             match last_tid {
                 None => bytes.extend_from_slice(&chunk.bytes),
                 Some(prev) => {
@@ -294,7 +311,15 @@ impl RunMerger {
             }
             last_tid = Some(chunk.last_tid);
         }
-        Ok(Some((key, bytes, count)))
+        let stats = si_storage::KeyStats {
+            postings: count,
+            distinct_tids,
+            first_tid,
+            last_tid: last_tid.unwrap_or(0),
+            bytes: bytes.len() as u64,
+            exact: true,
+        };
+        Ok(Some((key, bytes, stats)))
     }
 }
 
@@ -327,7 +352,7 @@ mod tests {
             assert!(runs.len() > 2, "expected multiple runs, got {}", runs.len());
             // Merge and compare against the in-memory aggregation.
             let mut merger = RunMerger::open(&runs).unwrap();
-            let mut merged: Vec<(Vec<u8>, Vec<u8>, u64)> = Vec::new();
+            let mut merged: Vec<MergedEntry> = Vec::new();
             while let Some(entry) = merger.next_key().unwrap() {
                 merged.push(entry);
             }
@@ -347,14 +372,14 @@ mod tests {
             .unwrap();
             assert_eq!(ref_runs.len(), 1);
             let mut ref_merger = RunMerger::open(&ref_runs).unwrap();
-            let mut reference: Vec<(Vec<u8>, Vec<u8>, u64)> = Vec::new();
+            let mut reference: Vec<MergedEntry> = Vec::new();
             while let Some(entry) = ref_merger.next_key().unwrap() {
                 reference.push(entry);
             }
             assert_eq!(merged.len(), reference.len(), "{coding:?} key counts");
             for (m, r) in merged.iter().zip(&reference) {
                 assert_eq!(m.0, r.0, "{coding:?} key order");
-                assert_eq!(m.2, r.2, "{coding:?} posting count");
+                assert_eq!(m.2, r.2, "{coding:?} merged stats");
                 assert_eq!(m.1, r.1, "{coding:?} stitched bytes");
             }
             std::fs::remove_dir_all(&dir).ok();

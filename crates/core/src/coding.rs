@@ -116,6 +116,8 @@ pub struct PostingBuilder {
     count: u64,
     last_tid: Option<TreeId>,
     last_root_pre: u32,
+    first_tid: Option<TreeId>,
+    distinct_tids: u64,
 }
 
 impl PostingBuilder {
@@ -127,6 +129,8 @@ impl PostingBuilder {
             count: 0,
             last_tid: None,
             last_root_pre: 0,
+            first_tid: None,
+            distinct_tids: 0,
         }
     }
 
@@ -159,6 +163,12 @@ impl PostingBuilder {
                 Coding::SubtreeInterval => {}
             }
         }
+        if self.last_tid != Some(tid) {
+            self.distinct_tids += 1;
+        }
+        if self.first_tid.is_none() {
+            self.first_tid = Some(tid);
+        }
         let delta = tid - self.last_tid.unwrap_or(0);
         varint::write_u32(&mut self.buf, delta);
         match self.coding {
@@ -186,6 +196,35 @@ impl PostingBuilder {
     /// Number of postings kept (after deduplication).
     pub fn count(&self) -> u64 {
         self.count
+    }
+
+    /// Number of distinct tree ids the kept postings span.
+    pub fn distinct_tids(&self) -> u64 {
+        self.distinct_tids
+    }
+
+    /// Smallest tree id pushed so far (`None` while empty).
+    pub fn first_tid(&self) -> Option<TreeId> {
+        self.first_tid
+    }
+
+    /// Largest tree id pushed so far (`None` while empty).
+    pub fn last_tid(&self) -> Option<TreeId> {
+        self.last_tid
+    }
+
+    /// Snapshot of this list's statistics in the on-disk stats-segment
+    /// form ([`si_storage::KeyStats`]); `bytes` is the encoded length so
+    /// far, so take it after the final push.
+    pub fn key_stats(&self) -> si_storage::KeyStats {
+        si_storage::KeyStats {
+            postings: self.count,
+            distinct_tids: self.distinct_tids,
+            first_tid: self.first_tid.unwrap_or(0),
+            last_tid: self.last_tid.unwrap_or(0),
+            bytes: self.buf.len() as u64,
+            exact: true,
+        }
     }
 
     /// Encoded size so far.

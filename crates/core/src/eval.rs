@@ -57,6 +57,10 @@ pub struct EvalStats {
     /// Whether root-split fell back to post-validation (sibling-label
     /// distinctness not expressible over roots; DESIGN.md §5).
     pub used_validation: bool,
+    /// Whether the cost-based planner proved the result empty from
+    /// disjoint per-key tid ranges and skipped execution entirely
+    /// (streaming executor with exact stats only).
+    pub range_pruned: bool,
     /// High-water mark of resident posting-derived bytes. The
     /// materializing evaluator pays every stream's full tuple expansion
     /// (plus the raw bytes of the list currently decoding); the

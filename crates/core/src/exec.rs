@@ -2,7 +2,8 @@
 //!
 //! Every operator is a pull-based [`TupleStream`] over `(tid, slots)`
 //! tuples sorted tid-major; posting bytes flow from the B+Tree one page
-//! at a time ([`si_storage::ValueReader`] → [`PostingCursor`]) and are
+//! at a time ([`si_storage::ValueReader`] →
+//! [`PostingCursor`](crate::coding::PostingCursor)) and are
 //! decoded, expanded and joined incrementally. Peak memory is bounded by
 //! the pages in flight plus the small per-operator windows (one tid
 //! group for merge joins, the ancestor stack for Stack-Tree) — never by
@@ -45,7 +46,8 @@ use crate::coding::{Coding, Posting, PostingFeed};
 use crate::cover::{decompose, Cover};
 use crate::eval::{validate_candidates_with, EvalResult, EvalStats};
 use crate::join::{combine, JoinKind, Pred, Slots, Tuple};
-use crate::plan::{plan_structural, Plan, PlanStep};
+use crate::plan::{plan_structural, Plan, PlanStep, PlannerMode};
+use crate::stats::{intersect_tid_ranges, key_stats_cached, KeyStats};
 
 /// Pre-decoded tuple vectors shared across the queries of one service
 /// batch, keyed by canonical cover key: the product of one
@@ -53,11 +55,7 @@ use crate::plan::{plan_structural, Plan, PlanStep};
 /// many pipelines.
 pub type SharedTuples = HashMap<Vec<u8>, Arc<Vec<Tuple>>>;
 
-/// A concurrent memo of `posting_len` lookups. Each lookup is a full
-/// B+Tree descent; a read-only index never changes its answers, so the
-/// query service shares one of these across queries, threads and
-/// batches.
-pub type LenCache = Arc<std::sync::Mutex<HashMap<Vec<u8>, Option<u64>>>>;
+pub use crate::stats::StatsCache;
 
 /// A bounded concurrent cache of decoded parse trees, used by the
 /// validation/filtering phase: fetching a candidate tree parses it off
@@ -107,36 +105,25 @@ pub struct ExecContext<'s> {
     /// Batch-shared tuple vectors: covers whose key appears here scan
     /// the shared vector instead of re-reading the B+Tree.
     pub shared: Option<&'s SharedTuples>,
-    /// Memoized posting-list lengths (planner statistics).
-    pub lens: Option<LenCache>,
+    /// Memoized per-key planner statistics ([`crate::stats`]; subsumes
+    /// the former `posting_len` memo — [`KeyStats::bytes`] carries the
+    /// encoded length).
+    pub stats: Option<StatsCache>,
     /// Decoded-tree cache for the validation/filtering phase.
     pub trees: Option<Arc<TreeCache>>,
+    /// Join-ordering heuristic ([`PlannerMode::CostBased`] default;
+    /// `ByteLen` reproduces PR 1's byte ordering for A/B comparison).
+    pub planner: PlannerMode,
 }
 
 impl ExecContext<'_> {
     /// Whether any resource beyond the plain executor is configured.
     pub fn is_plain(&self) -> bool {
-        self.cache.is_none() && self.shared.is_none() && self.lens.is_none() && self.trees.is_none()
+        self.cache.is_none()
+            && self.shared.is_none()
+            && self.stats.is_none()
+            && self.trees.is_none()
     }
-}
-
-/// `index.posting_len(key)` through the context's memo when present.
-pub fn posting_len_cached(
-    index: &SubtreeIndex,
-    key: &[u8],
-    ctx: &ExecContext<'_>,
-) -> Result<Option<u64>> {
-    let Some(lens) = &ctx.lens else {
-        return index.posting_len(key);
-    };
-    if let Some(len) = lens.lock().unwrap_or_else(|e| e.into_inner()).get(key) {
-        return Ok(*len);
-    }
-    let len = index.posting_len(key)?;
-    lens.lock()
-        .unwrap_or_else(|e| e.into_inner())
-        .insert(key.to_vec(), len);
-    Ok(len)
 }
 
 /// Executor selector: the streaming pipeline (default) or the legacy
@@ -1011,7 +998,12 @@ fn run_structural(
 
 /// Streaming evaluation under the filter-based coding: a k-way merge
 /// intersection of the covers' ascending tid streams feeds the
-/// filtering phase directly — no tid list is ever materialized.
+/// filtering phase directly — no tid list is ever materialized. With
+/// exact per-key statistics the intersection is **range-seeded**:
+/// disjoint tid ranges prune the whole query up front, the initial
+/// target is implicitly `max(first_tid)` (each stream's head *is* its
+/// first tid), and the merge stops once the target passes
+/// `min(last_tid)` instead of draining the longest list's tail.
 fn eval_filter_streaming(
     index: &SubtreeIndex,
     query: &Query,
@@ -1019,6 +1011,36 @@ fn eval_filter_streaming(
     ctx: &ExecContext<'_>,
     stats: &mut EvalStats,
 ) -> Result<EvalResult> {
+    // Per-key statistics: a missing key means no matches; disjoint tid
+    // ranges prove the intersection empty before any list is opened
+    // (exact stats only — the fallback estimate never prunes).
+    let mut key_stats: Vec<KeyStats> = Vec::with_capacity(cover.subtrees.len());
+    for st in &cover.subtrees {
+        match key_stats_cached(index, &st.key, ctx)? {
+            Some(s) => key_stats.push(s),
+            None => {
+                return Ok(EvalResult {
+                    matches: Vec::new(),
+                    stats: *stats,
+                })
+            }
+        }
+    }
+    let range = if ctx.planner == PlannerMode::CostBased {
+        match intersect_tid_ranges(&key_stats) {
+            Some(r) => Some(r),
+            None => {
+                stats.range_pruned = true;
+                return Ok(EvalResult {
+                    matches: Vec::new(),
+                    stats: *stats,
+                });
+            }
+        }
+    } else {
+        None
+    };
+
     let meter = MemMeter::default();
     let fetched = Rc::new(Cell::new(0usize));
     let tally = Rc::new(CacheTally::default());
@@ -1070,6 +1092,11 @@ fn eval_filter_streaming(
         }
         loop {
             let target = *heads.iter().max().unwrap();
+            // Ceiling: no candidate can exceed min(last_tid) across the
+            // cover, so stop instead of draining the remaining tails.
+            if range.is_some_and(|(_, hi)| target > hi) {
+                break 'outer;
+            }
             let mut all_equal = true;
             for (i, cursor) in cursors.iter_mut().enumerate() {
                 while heads[i] < target {
@@ -1132,13 +1159,14 @@ pub fn evaluate_streaming_with(
         return eval_filter_streaming(index, query, &cover, ctx, &mut stats);
     }
 
-    // Posting-list lengths from leaf entries — the planner's only
-    // statistic. A missing key means some cover subtree occurs nowhere:
-    // no matches, and no posting list is ever opened.
-    let mut lens = Vec::with_capacity(cover.subtrees.len());
+    // Per-key statistics (stats segment, or byte-length estimates for
+    // pre-stats index files) — the planner's only input. A missing key
+    // means some cover subtree occurs nowhere: no matches, and no
+    // posting list is ever opened.
+    let mut key_stats = Vec::with_capacity(cover.subtrees.len());
     for st in &cover.subtrees {
-        match posting_len_cached(index, &st.key, ctx)? {
-            Some(len) => lens.push(len),
+        match key_stats_cached(index, &st.key, ctx)? {
+            Some(s) => key_stats.push(s),
             None => {
                 return Ok(EvalResult {
                     matches: Vec::new(),
@@ -1147,7 +1175,19 @@ pub fn evaluate_streaming_with(
             }
         }
     }
-    let plan = plan_structural(query, &cover, options.coding, &lens);
+    // Tid-range pruning: every match needs all cover keys in the same
+    // tree, so disjoint [first, last] ranges prove the result empty
+    // before a single posting is decoded. Exact ranges only (the
+    // byte-length fallback carries the full range and never prunes);
+    // gated off in ByteLen mode so A/B runs isolate the cost model.
+    if ctx.planner == PlannerMode::CostBased && intersect_tid_ranges(&key_stats).is_none() {
+        stats.range_pruned = true;
+        return Ok(EvalResult {
+            matches: Vec::new(),
+            stats,
+        });
+    }
+    let plan = plan_structural(query, &cover, options.coding, &key_stats, ctx.planner);
     let matches = run_structural(index, query, &cover, &plan, ctx, &mut stats)?;
     Ok(EvalResult { matches, stats })
 }

@@ -1,6 +1,6 @@
 //! Holistic twig evaluation — the paper's §7 future-work item
 //! ("adapting more efficient structural join approaches such as
-//! TwigStack [5] over our subtree index").
+//! TwigStack \[5\] over our subtree index").
 //!
 //! A cascade of binary structural joins can build intermediate results
 //! much larger than the final answer (the problem TwigStack was designed

@@ -32,7 +32,7 @@ const ZERO_VAL: NodeVal = NodeVal {
     level: 0,
 };
 
-/// A small-vector of bound node values: up to [`INLINE_SLOTS`] values
+/// A small-vector of bound node values: up to `INLINE_SLOTS` (4) values
 /// inline, spilling to the heap beyond that. Dereferences to
 /// `[NodeVal]`, so indexing and iteration read like a `Vec`.
 #[derive(Debug, Clone)]

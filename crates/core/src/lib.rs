@@ -11,8 +11,12 @@
 //!   `minRC` (§5);
 //! * [`join`] — MPMGJN and stack-based structural joins plus sort-merge
 //!   equality joins (§2);
-//! * [`plan`] — left-deep streaming join planning over posting-list
-//!   byte lengths (no decoding at plan time);
+//! * [`stats`] — per-key planning statistics (§7's "statistics about
+//!   subtrees such as their selectivities"): persisted at build time in
+//!   the B+Tree's stats segment, estimated from byte lengths for
+//!   pre-stats index files;
+//! * [`plan`] — cost-based left-deep streaming join planning over the
+//!   per-key statistics (no decoding at plan time);
 //! * [`exec`] — the Volcano-style streaming executor: cursor-based
 //!   posting scans, merge/structural join operators and order
 //!   enforcers (§4.3, the default query path);
@@ -31,10 +35,13 @@ pub mod extract;
 pub mod holistic;
 pub mod join;
 pub mod plan;
+pub mod stats;
 
 pub use blockcache::{BlockCache, BlockCacheConfig, BlockCacheStats};
 pub use build::{IndexOptions, IndexStats, SubtreeIndex};
 pub use coding::Coding;
 pub use cover::{minrc, optimal_cover, Cover, CoverSubtree};
-pub use exec::{ExecContext, ExecMode, LenCache, SharedTuples};
+pub use exec::{ExecContext, ExecMode, SharedTuples};
 pub use extract::{extract_subtrees, SubtreeRef};
+pub use plan::PlannerMode;
+pub use stats::{KeyStats, Stats, StatsCache};

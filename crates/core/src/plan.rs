@@ -1,20 +1,57 @@
-//! Left-deep join planning for the streaming executor (§4.3's join
-//! phase, planned ahead of execution).
+//! Cost-based left-deep join planning for the streaming executor
+//! (§4.3's join phase, planned ahead of execution).
 //!
 //! The legacy evaluator materialized every cover's posting list and only
 //! then ordered the joins by tuple counts. This module plans the whole
-//! pipeline *before* a single posting is decoded, using
-//! [`BTree::value_len`](si_storage::BTree::value_len) — the encoded
-//! posting-list length read from the leaf entry — as the selectivity
-//! estimate (the statistic §7 of the paper anticipates). The resulting
-//! [`Plan`] is a left-deep operator tree:
+//! pipeline *before* a single posting is decoded, from per-key
+//! statistics ([`KeyStats`]) persisted in the
+//! index's stats segment — the "statistics about subtrees such as their
+//! selectivities" §7 of the paper anticipates as the step beyond its
+//! own implementation.
 //!
-//! * the shortest posting list becomes the base [`PostingScan`
+//! # The cost model
+//!
+//! Join order is chosen by **estimated cardinality**, not raw encoded
+//! bytes. For cover `i` with statistics `s(i)` and the batch-wide
+//! common tid range `common = ⋂ᵢ [s(i).first_tid, s(i).last_tid]`:
+//!
+//! ```text
+//! est(i) = postings(i) × autos(i) × |common| / span(i)
+//! ```
+//!
+//! * `postings(i)` — exact posting count from the stats segment (for
+//!   pre-stats index files, an estimate from the encoded byte length —
+//!   which degrades to the old byte-ordering heuristic);
+//! * `autos(i)` — the automorphism expansion factor of the key
+//!   (interval coding only): each stored posting expands into one join
+//!   tuple per automorphic slot assignment, so a symmetric key's true
+//!   stream cardinality is a multiple of its posting count. Byte length
+//!   systematically mis-ranks such keys;
+//! * `|common| / span(i)` — the fraction of the key's tid range that
+//!   can still participate after every cover's range is intersected
+//!   (assuming uniform posting density). A long list concentrated
+//!   outside the common range is cheaper than its byte length suggests.
+//!
+//! When `common` is empty the executor never calls this planner: no
+//! tree holds all cover keys, so the query provably has no matches
+//! (the pre-execution pruning in `crate::exec`).
+//!
+//! [`PlannerMode::ByteLen`] retains the previous ordering (encoded
+//! bytes, PR 1's heuristic) for A/B comparison — the `experiments
+//! planner` bench runs both modes on the same seeded workload and
+//! asserts identical match sets; join order never affects correctness,
+//! only cost.
+//!
+//! # Plan shape
+//!
+//! The resulting [`Plan`] is a left-deep operator tree:
+//!
+//! * the cheapest stream (by `est`) becomes the base [`PostingScan`
 //!   (`crate::exec::PostingScan`)];
-//! * each further step joins the smallest *connected* remaining list via
-//!   one driving predicate — a sort-merge equality join for shared query
-//!   nodes, MPMGJN or Stack-Tree for `/` and `//` edges (Zhang et al.
-//!   SIGMOD 2001; Al-Khalifa et al. ICDE 2002) — with every other
+//! * each further step joins the cheapest *connected* remaining stream
+//!   via one driving predicate — a sort-merge equality join for shared
+//!   query nodes, MPMGJN or Stack-Tree for `/` and `//` edges (Zhang et
+//!   al. SIGMOD 2001; Al-Khalifa et al. ICDE 2002) — with every other
 //!   predicate between the two sides applied as a residual filter;
 //! * order requirements are tracked symbolically: posting scans arrive
 //!   sorted by `(tid, root.pre)`, joins emit in right-input order, and a
@@ -28,9 +65,11 @@
 
 use si_query::{Axis, QNodeId, Query};
 
+use crate::canonical::{automorphisms, decode_key};
 use crate::coding::Coding;
 use crate::cover::Cover;
 use crate::join::{JoinKind, Pred};
+use crate::stats::{intersect_tid_ranges, KeyStats};
 
 /// Relation between two query nodes exposed by different streams.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -209,18 +248,139 @@ pub struct Plan {
     pub needs_validation: bool,
 }
 
+/// Selects how [`plan_structural`] orders joins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlannerMode {
+    /// Estimated-cardinality ordering plus tid-range pruning and
+    /// leapfrog seeding (the module-doc cost model). The default.
+    #[default]
+    CostBased,
+    /// PR 1's heuristic: order by encoded posting-list byte length, no
+    /// statistics beyond [`KeyStats::bytes`]. Retained for A/B
+    /// comparison (`experiments planner`, `si query --planner bytes`).
+    ByteLen,
+}
+
+impl PlannerMode {
+    /// Name for CLI/bench output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PlannerMode::CostBased => "cost-based",
+            PlannerMode::ByteLen => "byte-ordered",
+        }
+    }
+}
+
+/// The sort key the cost-based planner orders streams by: estimated
+/// cardinality, then encoded bytes, then cover index (deterministic
+/// ties). Build one with [`cost_rank`]; the `Ord` impl is total
+/// (`f64::total_cmp`). The service's base-scan prediction uses the
+/// same ranks, so it can never drift from the planner's ordering.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostRank {
+    /// Estimated stream cardinality ([`estimated_cardinality`]).
+    pub est: f64,
+    /// Encoded posting-list bytes (first tie-breaker).
+    pub bytes: u64,
+    /// Cover index (final tie-breaker).
+    pub idx: usize,
+}
+
+impl Eq for CostRank {}
+
+impl Ord for CostRank {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.est
+            .total_cmp(&other.est)
+            .then(self.bytes.cmp(&other.bytes))
+            .then(self.idx.cmp(&other.idx))
+    }
+}
+
+impl PartialOrd for CostRank {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The cost-based rank of cover `idx` (see [`CostRank`]).
+pub fn cost_rank(
+    stats: &KeyStats,
+    key: &[u8],
+    coding: Coding,
+    common: (si_parsetree::TreeId, si_parsetree::TreeId),
+    idx: usize,
+) -> CostRank {
+    CostRank {
+        est: estimated_cardinality(stats, key, coding, common),
+        bytes: stats.bytes,
+        idx,
+    }
+}
+
+/// The cost model's cardinality estimate for one cover stream (see the
+/// module docs): postings × automorphism expansion × the fraction of
+/// the key's tid range overlapping `common`.
+pub fn estimated_cardinality(
+    stats: &KeyStats,
+    key: &[u8],
+    coding: Coding,
+    common: (si_parsetree::TreeId, si_parsetree::TreeId),
+) -> f64 {
+    let autos = match coding {
+        Coding::SubtreeInterval => decode_key(key)
+            .map(|shape| automorphisms(&shape, 720).len().max(1))
+            .unwrap_or(1),
+        _ => 1,
+    };
+    let span = stats.tid_span() as f64;
+    let overlap_lo = common.0.max(stats.first_tid);
+    let overlap_hi = common.1.min(stats.last_tid);
+    let overlap = if overlap_lo > overlap_hi {
+        0.0
+    } else {
+        (u64::from(overlap_hi) - u64::from(overlap_lo) + 1) as f64
+    };
+    stats.postings as f64 * autos as f64 * (overlap / span).min(1.0)
+}
+
 /// Plans the streaming pipeline for `query` under a structural coding.
-/// `lens[i]` is the encoded posting-list byte length of cover `i` (from
-/// [`BTree::value_len`](si_storage::BTree::value_len)) — the plan's only
-/// statistic; nothing is decoded at planning time.
-pub fn plan_structural(query: &Query, cover: &Cover, coding: Coding, lens: &[u64]) -> Plan {
-    debug_assert_eq!(lens.len(), cover.subtrees.len());
+/// `stats[i]` holds cover `i`'s per-key statistics (exact from the
+/// stats segment, or byte-length estimates for pre-stats files) — the
+/// plan's only input; nothing is decoded at planning time. `mode`
+/// selects the ordering heuristic.
+pub fn plan_structural(
+    query: &Query,
+    cover: &Cover,
+    coding: Coding,
+    stats: &[KeyStats],
+    mode: PlannerMode,
+) -> Plan {
+    debug_assert_eq!(stats.len(), cover.subtrees.len());
     let exposed = exposed_qnodes(cover, coding);
     let (preds, needs_validation) = cross_stream_predicates(query, cover, &exposed);
 
-    // Left-deep order: smallest list first, then smallest connected.
+    // Per-stream cost ranks, computed once (the estimate enumerates key
+    // automorphisms, too costly for a sort comparator). Ties (and the
+    // ByteLen mode entirely) fall back to encoded bytes, then the cover
+    // index, so ordering is deterministic.
+    let common = intersect_tid_ranges(stats).unwrap_or((0, 0));
+    let ranks: Vec<CostRank> = (0..cover.subtrees.len())
+        .map(|i| match mode {
+            PlannerMode::CostBased => {
+                cost_rank(&stats[i], &cover.subtrees[i].key, coding, common, i)
+            }
+            PlannerMode::ByteLen => CostRank {
+                est: 0.0,
+                bytes: stats[i].bytes,
+                idx: i,
+            },
+        })
+        .collect();
+
+    // Left-deep order: cheapest stream first, then cheapest connected.
     let mut remaining: Vec<usize> = (0..cover.subtrees.len()).collect();
-    remaining.sort_by_key(|&i| lens[i]);
+    remaining.sort_by_key(|&i| ranks[i]);
     let base = remaining.remove(0);
     let mut placed = vec![base];
     let mut joined_qnodes: Vec<QNodeId> = exposed[base].clone();
@@ -336,6 +496,22 @@ mod tests {
     use si_parsetree::LabelInterner;
     use si_query::parse_query;
 
+    /// Uniform-density stats over the full tid range: the cost model's
+    /// estimate collapses to the posting count, which here equals the
+    /// byte length — so both planner modes order identically.
+    fn stats_of(lens: &[u64]) -> Vec<KeyStats> {
+        lens.iter()
+            .map(|&l| KeyStats {
+                postings: l,
+                distinct_tids: l.max(1),
+                first_tid: 0,
+                last_tid: si_parsetree::TreeId::MAX,
+                bytes: l,
+                exact: true,
+            })
+            .collect()
+    }
+
     fn plan_for(src: &str, mss: usize, coding: Coding, lens: &[u64]) -> (Plan, Cover) {
         let mut li = LabelInterner::new();
         let q = parse_query(src, &mut li).unwrap();
@@ -343,7 +519,7 @@ mod tests {
         let lens: Vec<u64> = (0..cover.subtrees.len())
             .map(|i| lens.get(i).copied().unwrap_or(10 * (i as u64 + 1)))
             .collect();
-        let plan = plan_structural(&q, &cover, coding, &lens);
+        let plan = plan_structural(&q, &cover, coding, &stats_of(&lens), PlannerMode::CostBased);
         (plan, cover)
     }
 
@@ -362,14 +538,107 @@ mod tests {
         let q = parse_query("S(NP(DT)(NN))(VP(VBZ)(NP))", &mut li).unwrap();
         let cover = decompose(&q, 2, Coding::RootSplit);
         assert!(cover.subtrees.len() >= 2);
-        // The base must be the cover with the smallest byte length.
+        // Under uniform stats the base must be the cover with the
+        // smallest list, in both planner modes.
         let lens: Vec<u64> = (0..cover.subtrees.len())
             .map(|i| [500u64, 40, 900, 7, 333, 61][i])
             .collect();
-        let plan = plan_structural(&q, &cover, Coding::RootSplit, &lens);
         let min = (0..cover.subtrees.len()).min_by_key(|&i| lens[i]).unwrap();
-        assert_eq!(plan.base, min);
-        assert_eq!(plan.steps.len(), cover.subtrees.len() - 1);
+        for mode in [PlannerMode::CostBased, PlannerMode::ByteLen] {
+            let plan = plan_structural(&q, &cover, Coding::RootSplit, &stats_of(&lens), mode);
+            assert_eq!(plan.base, min, "{mode:?}");
+            assert_eq!(plan.steps.len(), cover.subtrees.len() - 1);
+        }
+    }
+
+    #[test]
+    fn tid_range_overlap_outranks_raw_length() {
+        // One cover is long but concentrated outside the common tid
+        // range; the cost model discounts it below the short list,
+        // while byte ordering keeps it last. Both must produce valid
+        // (and, in the executor's differential suite, equivalent)
+        // plans.
+        let mut li = LabelInterner::new();
+        let q = parse_query("S(NP)(VP)", &mut li).unwrap();
+        let cover = decompose(&q, 1, Coding::RootSplit);
+        assert_eq!(cover.subtrees.len(), 3);
+        let stats = vec![
+            // Huge list, but only ~1% of its range survives the
+            // intersection: est ≈ 100.
+            KeyStats {
+                postings: 10_000,
+                distinct_tids: 10_000,
+                first_tid: 0,
+                last_tid: 99_999,
+                bytes: 70_000,
+                exact: true,
+            },
+            // Short list spanning exactly the common range: est = 500.
+            KeyStats {
+                postings: 500,
+                distinct_tids: 500,
+                first_tid: 0,
+                last_tid: 999,
+                bytes: 3_500,
+                exact: true,
+            },
+            // Medium list on the common range: est = 800.
+            KeyStats {
+                postings: 800,
+                distinct_tids: 800,
+                first_tid: 0,
+                last_tid: 999,
+                bytes: 5_600,
+                exact: true,
+            },
+        ];
+        let cost = plan_structural(
+            &q,
+            &cover,
+            Coding::RootSplit,
+            &stats,
+            PlannerMode::CostBased,
+        );
+        assert_eq!(cost.base, 0, "discounted long list becomes the base");
+        let bytes = plan_structural(&q, &cover, Coding::RootSplit, &stats, PlannerMode::ByteLen);
+        assert_eq!(bytes.base, 1, "byte ordering picks the short list");
+    }
+
+    #[test]
+    fn automorphic_interval_keys_cost_their_expansion() {
+        // A symmetric interval key (two same-label children) expands
+        // every posting by its automorphism count; the cost model
+        // charges for that, byte ordering cannot see it.
+        let mut li = LabelInterner::new();
+        let q = parse_query("S(NP(NN)(NN))(VP)", &mut li).unwrap();
+        let cover = decompose(&q, 3, Coding::SubtreeInterval);
+        assert_eq!(cover.subtrees.len(), 2);
+        // Find the symmetric NP(NN)(NN) cover.
+        let sym = (0..cover.subtrees.len())
+            .find(|&i| cover.subtrees[i].size() == 3)
+            .unwrap();
+        let other = 1 - sym;
+        // Equal posting counts and bytes: only the automorphism factor
+        // separates the two streams.
+        let stats = vec![
+            KeyStats {
+                postings: 100,
+                distinct_tids: 100,
+                first_tid: 0,
+                last_tid: 9_999,
+                bytes: 700,
+                exact: true,
+            };
+            2
+        ];
+        let plan = plan_structural(
+            &q,
+            &cover,
+            Coding::SubtreeInterval,
+            &stats,
+            PlannerMode::CostBased,
+        );
+        assert_eq!(plan.base, other, "symmetric key ranks as 2x its postings");
     }
 
     #[test]

@@ -33,10 +33,9 @@ use std::time::Instant;
 
 use si_core::cover::decompose;
 use si_core::eval::EvalResult;
-use si_core::exec::{
-    collect_scan_tuples, posting_len_cached, ExecContext, LenCache, SharedTuples, TreeCache,
-};
+use si_core::exec::{collect_scan_tuples, ExecContext, SharedTuples, TreeCache};
 use si_core::join::Tuple;
+use si_core::stats::{intersect_tid_ranges, key_stats_cached, KeyStats, StatsCache};
 use si_core::{BlockCache, BlockCacheConfig, BlockCacheStats, Coding, SubtreeIndex};
 use si_query::Query;
 use si_storage::{Result, StorageError};
@@ -133,9 +132,11 @@ impl BatchReport {
 pub struct QueryService {
     index: Arc<SubtreeIndex>,
     cache: Arc<BlockCache>,
-    /// Memoized planner statistics (`posting_len` descents); valid for
-    /// the service's lifetime because the index is read-only.
-    lens: LenCache,
+    /// Memoized per-key planner statistics (stats-segment probes /
+    /// B+Tree descents); valid for the service's lifetime because the
+    /// index is read-only. Subsumes PR 2's `LenCache` — the cached
+    /// [`KeyStats::bytes`] carries the encoded length.
+    stats: StatsCache,
     /// Decoded-tree cache for validation phases (hot candidate trees
     /// recur across a batch's queries).
     trees: Arc<TreeCache>,
@@ -155,7 +156,7 @@ impl QueryService {
         Self {
             index,
             cache: Arc::new(BlockCache::new(config.cache)),
-            lens: LenCache::default(),
+            stats: StatsCache::default(),
             trees: Arc::new(TreeCache::default()),
             shared_pool: Mutex::new(HashMap::new()),
             shared_pool_bytes: AtomicUsize::new(0),
@@ -220,8 +221,9 @@ impl QueryService {
         let ctx_base = || ExecContext {
             cache: Some(self.cache.clone()),
             shared: None,
-            lens: Some(self.lens.clone()),
+            stats: Some(self.stats.clone()),
             trees: Some(self.trees.clone()),
+            ..ExecContext::default()
         };
         let mut usage: HashMap<Vec<u8>, usize> = HashMap::new();
         // Keys some pipeline drains fully (its base scan): always worth
@@ -232,16 +234,37 @@ impl QueryService {
             let probe_ctx = ctx_base();
             for q in queries {
                 let cover = decompose(q, options.mss, options.coding);
-                let mut min_len: Option<(u64, usize)> = None;
-                for (i, st) in cover.subtrees.iter().enumerate() {
-                    *usage.entry(st.key.clone()).or_insert(0) += 1;
-                    if let Some(len) = posting_len_cached(&self.index, &st.key, &probe_ctx)? {
-                        if min_len.is_none_or(|(best, _)| len < best) {
-                            min_len = Some((len, i));
-                        }
-                    }
+                let mut cover_stats: Vec<Option<KeyStats>> =
+                    Vec::with_capacity(cover.subtrees.len());
+                for st in &cover.subtrees {
+                    cover_stats.push(key_stats_cached(&self.index, &st.key, &probe_ctx)?);
                 }
-                if let Some((_, i)) = min_len {
+                // A query with a missing key or disjoint tid ranges never
+                // opens a scan, so it must not count toward shared-scan
+                // usage (an eager decode for it would be pure waste).
+                if cover_stats.iter().any(|s| s.is_none()) {
+                    continue;
+                }
+                let all: Vec<KeyStats> = cover_stats.iter().map(|s| s.unwrap()).collect();
+                let Some(common) = intersect_tid_ranges(&all) else {
+                    continue;
+                };
+                for st in &cover.subtrees {
+                    *usage.entry(st.key.clone()).or_insert(0) += 1;
+                }
+                // The planner's own ranks predict the base scan (the one
+                // pipeline that drains its list fully) — shared ordering
+                // logic, so the prediction cannot drift from the plan.
+                let base = (0..all.len()).min_by_key(|&i| {
+                    si_core::plan::cost_rank(
+                        &all[i],
+                        &cover.subtrees[i].key,
+                        options.coding,
+                        common,
+                        i,
+                    )
+                });
+                if let Some(i) = base {
                     base_keys.insert(cover.subtrees[i].key.clone());
                 }
             }
@@ -253,10 +276,10 @@ impl QueryService {
             if *count < self.config.shared_scan_min.max(2) {
                 continue;
             }
-            let Some(len) = posting_len_cached(&self.index, key, &probe_ctx)? else {
+            let Some(key_stats) = key_stats_cached(&self.index, key, &probe_ctx)? else {
                 continue;
             };
-            if base_keys.contains(key) || len <= self.config.shared_scan_max_bytes {
+            if base_keys.contains(key) || key_stats.bytes <= self.config.shared_scan_max_bytes {
                 shared_keys.push(key.clone());
                 shared_consumers += count;
             }
@@ -320,8 +343,9 @@ impl QueryService {
                     let ctx = ExecContext {
                         cache: Some(self.cache.clone()),
                         shared: Some(&shared),
-                        lens: Some(self.lens.clone()),
+                        stats: Some(self.stats.clone()),
                         trees: Some(self.trees.clone()),
+                        ..ExecContext::default()
                     };
                     while !failed.load(Ordering::Acquire) {
                         let i = next_query.fetch_add(1, Ordering::Relaxed);

@@ -19,6 +19,7 @@
 //! ```text
 //! meta (page 0): "SIBTREE1" | root u32 | height u32 | key_count u64
 //!                | free_head u32 | value_bytes u64
+//!                | ["SISTATS1" | stats_head u32 | stats_len u64]   (optional)
 //! leaf:     0x01 | n u16 | next_leaf u32 | n * entry
 //!   entry:  key_len varint | key | flag u8
 //!           flag 0: val_len varint | val
@@ -27,8 +28,22 @@
 //! overflow: 0x03 | next u32 | len u16 | data
 //! free:     0x04 | next u32
 //! ```
+//!
+//! # The stats segment
+//!
+//! A tree may additionally carry a **per-key statistics segment**: one
+//! serialized table ([`KeyStats`] per key, sorted by key) stored in an
+//! overflow-page chain whose head is recorded in the meta page behind
+//! the `"SISTATS1"` marker. The segment is versioned by its own
+//! `"SISTATV1"` table header and fully optional — files written before
+//! it existed carry zeroes where the marker would be, open cleanly, and
+//! report no stats ([`BTree::key_stats`] returns `None`, callers fall
+//! back to [`BTree::value_len`]). [`BTree::insert`] invalidates the
+//! segment (frees its chain) because a mutated tree would make the
+//! recorded tid ranges unsafe for query pruning.
 
 use std::path::Path;
+use std::sync::{Arc, Mutex};
 
 use si_parsetree::varint;
 
@@ -44,6 +59,11 @@ pub const KEY_MAX: usize = 1024;
 const NIL: PageId = PageId::MAX;
 
 const MAGIC: &[u8; 8] = b"SIBTREE1";
+/// Meta-page marker guarding the stats-segment pointer (offset 36).
+/// Pre-stats files hold zeroes here, so the segment reads as absent.
+const STATS_MAGIC: &[u8; 8] = b"SISTATS1";
+/// Header of the serialized stats table itself (its format version).
+const STATS_TABLE_MAGIC: &[u8; 8] = b"SISTATV1";
 const TAG_LEAF: u8 = 1;
 const TAG_INTERNAL: u8 = 2;
 const TAG_OVERFLOW: u8 = 3;
@@ -212,6 +232,10 @@ struct Meta {
     key_count: u64,
     free_head: PageId,
     value_bytes: u64,
+    /// First page of the stats-segment chain; `NIL` = no segment.
+    stats_head: PageId,
+    /// Serialized byte length of the stats table.
+    stats_len: u64,
 }
 
 impl Meta {
@@ -223,18 +247,34 @@ impl Meta {
         out[16..24].copy_from_slice(&self.key_count.to_le_bytes());
         out[24..28].copy_from_slice(&self.free_head.to_le_bytes());
         out[28..36].copy_from_slice(&self.value_bytes.to_le_bytes());
+        if self.stats_head != NIL {
+            out[36..44].copy_from_slice(STATS_MAGIC);
+            out[44..48].copy_from_slice(&self.stats_head.to_le_bytes());
+            out[48..56].copy_from_slice(&self.stats_len.to_le_bytes());
+        }
     }
 
     fn decode(buf: &[u8; PAGE_SIZE]) -> Result<Meta> {
         if &buf[..8] != MAGIC {
             return Err(StorageError::Corrupt("bad btree magic".into()));
         }
+        // Pre-stats files hold zeroes at 36..: no marker, no segment.
+        let (stats_head, stats_len) = if &buf[36..44] == STATS_MAGIC {
+            (
+                PageId::from_le_bytes(buf[44..48].try_into().unwrap()),
+                u64::from_le_bytes(buf[48..56].try_into().unwrap()),
+            )
+        } else {
+            (NIL, 0)
+        };
         Ok(Meta {
             root: PageId::from_le_bytes(buf[8..12].try_into().unwrap()),
             height: u32::from_le_bytes(buf[12..16].try_into().unwrap()),
             key_count: u64::from_le_bytes(buf[16..24].try_into().unwrap()),
             free_head: PageId::from_le_bytes(buf[24..28].try_into().unwrap()),
             value_bytes: u64::from_le_bytes(buf[28..36].try_into().unwrap()),
+            stats_head,
+            stats_len,
         })
     }
 }
@@ -255,10 +295,131 @@ pub struct BTreeStats {
     pub file_bytes: u64,
 }
 
+/// Per-key statistics persisted in the stats segment (see the module
+/// docs). For a posting-list tree these describe one canonical key's
+/// list: how many postings it holds, how many distinct trees they span,
+/// and the tid range they cover — the selectivity statistics §7 of the
+/// paper anticipates ("statistics about subtrees such as their
+/// selectivities").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyStats {
+    /// Postings stored under the key (after coding-specific dedup).
+    pub postings: u64,
+    /// Distinct tree ids the postings span.
+    pub distinct_tids: u64,
+    /// Smallest tree id with a posting under the key.
+    pub first_tid: u32,
+    /// Largest tree id with a posting under the key.
+    pub last_tid: u32,
+    /// Encoded byte length of the stored value (same figure as
+    /// [`BTree::value_len`]).
+    pub bytes: u64,
+    /// `true` when read from a stats segment; `false` when synthesized
+    /// by a caller's fallback estimate (pre-stats index files). Only
+    /// exact ranges are safe for empty-join pruning.
+    pub exact: bool,
+}
+
+impl KeyStats {
+    /// Mean postings per distinct tree — the clustering statistic
+    /// (always ≥ 1 for a non-empty list).
+    pub fn mean_postings_per_tid(&self) -> f64 {
+        if self.distinct_tids == 0 {
+            0.0
+        } else {
+            self.postings as f64 / self.distinct_tids as f64
+        }
+    }
+
+    /// Width of the covered tid range, inclusive (`last - first + 1`).
+    pub fn tid_span(&self) -> u64 {
+        u64::from(self.last_tid) - u64::from(self.first_tid) + 1
+    }
+}
+
+/// The deserialized stats segment: entries sorted by key for binary
+/// search. Loaded lazily on first [`BTree::key_stats`] call and shared
+/// behind an `Arc` (the tree is read-mostly).
+struct StatsTable {
+    entries: Vec<(Vec<u8>, KeyStats)>,
+}
+
+impl StatsTable {
+    fn parse(bytes: &[u8]) -> Result<Self> {
+        let corrupt = |what: &str| StorageError::Corrupt(format!("stats segment: {what}"));
+        if bytes.len() < 8 || &bytes[..8] != STATS_TABLE_MAGIC {
+            return Err(corrupt("bad table magic"));
+        }
+        let mut r = varint::Reader::new(&bytes[8..]);
+        let count = r.u64().ok_or_else(|| corrupt("entry count"))? as usize;
+        let mut entries = Vec::with_capacity(count);
+        let mut prev_key: Option<Vec<u8>> = None;
+        for _ in 0..count {
+            let klen = r.u64().ok_or_else(|| corrupt("key len"))? as usize;
+            let key = r.bytes(klen).ok_or_else(|| corrupt("key bytes"))?.to_vec();
+            if prev_key.as_ref().is_some_and(|p| p >= &key) {
+                return Err(corrupt("keys not strictly ascending"));
+            }
+            let postings = r.u64().ok_or_else(|| corrupt("postings"))?;
+            let distinct_tids = r.u64().ok_or_else(|| corrupt("distinct tids"))?;
+            // Tid fields come from untrusted file bytes: a wrapped
+            // last_tid < first_tid would make range pruning silently
+            // report wrong-empty results, so reject instead.
+            let first_tid = u32::try_from(r.u64().ok_or_else(|| corrupt("first tid"))?)
+                .map_err(|_| corrupt("first tid out of range"))?;
+            let span = u32::try_from(r.u64().ok_or_else(|| corrupt("tid span"))?)
+                .map_err(|_| corrupt("tid span out of range"))?;
+            let last_tid = first_tid
+                .checked_add(span)
+                .ok_or_else(|| corrupt("tid range overflows"))?;
+            let bytes_len = r.u64().ok_or_else(|| corrupt("value bytes"))?;
+            prev_key = Some(key.clone());
+            entries.push((
+                key,
+                KeyStats {
+                    postings,
+                    distinct_tids,
+                    first_tid,
+                    last_tid,
+                    bytes: bytes_len,
+                    exact: true,
+                },
+            ));
+        }
+        Ok(Self { entries })
+    }
+
+    fn serialize(entries: &[(Vec<u8>, KeyStats)]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 * entries.len() + 16);
+        out.extend_from_slice(STATS_TABLE_MAGIC);
+        varint::write_u64(&mut out, entries.len() as u64);
+        for (key, s) in entries {
+            varint::write_u64(&mut out, key.len() as u64);
+            out.extend_from_slice(key);
+            varint::write_u64(&mut out, s.postings);
+            varint::write_u64(&mut out, s.distinct_tids);
+            varint::write_u64(&mut out, u64::from(s.first_tid));
+            varint::write_u64(&mut out, u64::from(s.last_tid - s.first_tid));
+            varint::write_u64(&mut out, s.bytes);
+        }
+        out
+    }
+
+    fn lookup(&self, key: &[u8]) -> Option<KeyStats> {
+        self.entries
+            .binary_search_by(|(k, _)| k.as_slice().cmp(key))
+            .ok()
+            .map(|i| self.entries[i].1)
+    }
+}
+
 /// A disk-resident B+Tree; see the module docs for the format.
 pub struct BTree {
     pager: Pager,
     meta: Meta,
+    /// Lazily loaded stats segment (`None` until first use or when the
+    /// file has no segment).
+    stats_table: Mutex<Option<Arc<StatsTable>>>,
 }
 
 impl BTree {
@@ -276,7 +437,10 @@ impl BTree {
                 key_count: 0,
                 free_head: NIL,
                 value_bytes: 0,
+                stats_head: NIL,
+                stats_len: 0,
             },
+            stats_table: Mutex::new(None),
         };
         tree.write_node(
             root,
@@ -295,7 +459,11 @@ impl BTree {
         let mut buf = [0u8; PAGE_SIZE];
         pager.read(0, &mut buf)?;
         let meta = Meta::decode(&buf)?;
-        Ok(Self { pager, meta })
+        Ok(Self {
+            pager,
+            meta,
+            stats_table: Mutex::new(None),
+        })
     }
 
     /// Flushes all buffered pages and the meta page.
@@ -377,7 +545,74 @@ impl BTree {
         Ok(self.lookup(key)?.is_some())
     }
 
-    /// Inserts or replaces `key`.
+    /// Whether this file carries a stats segment (see the module docs).
+    pub fn has_stats_segment(&self) -> bool {
+        self.meta.stats_head != NIL
+    }
+
+    /// Per-key statistics from the stats segment. `None` when the file
+    /// has no segment (pre-stats format — callers fall back to
+    /// [`BTree::value_len`]) or the key has no entry. The segment is
+    /// loaded on first use and cached for the tree's lifetime.
+    pub fn key_stats(&self, key: &[u8]) -> Result<Option<KeyStats>> {
+        if self.meta.stats_head == NIL {
+            return Ok(None);
+        }
+        let table = {
+            let mut slot = self.stats_table.lock().unwrap_or_else(|e| e.into_inner());
+            match &*slot {
+                Some(table) => table.clone(),
+                None => {
+                    let reader = self.reader_for(ValueRef::Overflow {
+                        first: self.meta.stats_head,
+                        len: self.meta.stats_len,
+                    });
+                    let table = Arc::new(StatsTable::parse(&reader.read_to_vec()?)?);
+                    *slot = Some(table.clone());
+                    table
+                }
+            }
+        };
+        Ok(table.lookup(key))
+    }
+
+    /// Writes (or replaces) the stats segment from `entries`. Call after
+    /// bulk-loading; entries are sorted by key internally. An empty
+    /// `entries` still writes a segment so [`BTree::has_stats_segment`]
+    /// distinguishes "stats computed, index empty" from "pre-stats
+    /// file". The meta page is synced.
+    pub fn write_stats_segment(&mut self, entries: Vec<(Vec<u8>, KeyStats)>) -> Result<()> {
+        let mut entries = entries;
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        self.drop_stats_segment()?;
+        let bytes = StatsTable::serialize(&entries);
+        let head = self.write_chain(&bytes)?;
+        self.meta.stats_head = head;
+        self.meta.stats_len = bytes.len() as u64;
+        *self.stats_table.lock().unwrap_or_else(|e| e.into_inner()) =
+            Some(Arc::new(StatsTable { entries }));
+        self.sync_meta()
+    }
+
+    /// Frees an existing stats segment and clears the cached table.
+    fn drop_stats_segment(&mut self) -> Result<()> {
+        if self.meta.stats_head != NIL {
+            let head = self.meta.stats_head;
+            self.meta.stats_head = NIL;
+            self.meta.stats_len = 0;
+            self.free_chain(head)?;
+        }
+        self.stats_table
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        Ok(())
+    }
+
+    /// Inserts or replaces `key`. Any stats segment is invalidated
+    /// (freed): its posting counts and tid ranges no longer describe
+    /// the mutated tree, and stale ranges would be unsafe for query
+    /// pruning. Rebuild it with [`BTree::write_stats_segment`].
     pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
         if key.len() > KEY_MAX {
             return Err(StorageError::OutOfRange(format!(
@@ -385,6 +620,7 @@ impl BTree {
                 key.len()
             )));
         }
+        self.drop_stats_segment()?;
         // Descend, recording the path.
         let mut path: Vec<(PageId, usize)> = Vec::with_capacity(self.meta.height as usize);
         let mut page = self.meta.root;
@@ -453,7 +689,10 @@ impl BTree {
                 key_count: 0,
                 free_head: NIL,
                 value_bytes: 0,
+                stats_head: NIL,
+                stats_len: 0,
             },
+            stats_table: Mutex::new(None),
         };
 
         // Fill leaves left to right.
@@ -667,8 +906,16 @@ impl BTree {
         if value.len() <= INLINE_MAX {
             return Ok(ValueRef::Inline(value.to_vec()));
         }
-        // Write the overflow chain back-to-front so each page knows its
-        // successor.
+        Ok(ValueRef::Overflow {
+            first: self.write_chain(value)?,
+            len: value.len() as u64,
+        })
+    }
+
+    /// Writes `value` as an overflow-page chain (back-to-front so each
+    /// page knows its successor), returning the head page. Shared by
+    /// [`BTree::store_value`] and the stats-segment writer.
+    fn write_chain(&mut self, value: &[u8]) -> Result<PageId> {
         let mut next = NIL;
         let mut chunks: Vec<&[u8]> = value.chunks(OVERFLOW_CAP).collect();
         while let Some(chunk) = chunks.pop() {
@@ -681,10 +928,7 @@ impl BTree {
             self.pager.write(page, &buf)?;
             next = page;
         }
-        Ok(ValueRef::Overflow {
-            first: next,
-            len: value.len() as u64,
-        })
+        Ok(next)
     }
 
     /// Builds a [`ValueReader`] over a leaf entry's value — the single
@@ -1148,6 +1392,141 @@ mod tests {
         assert_eq!(tree.get(b"bbb").unwrap().unwrap(), b"tiny");
         assert_eq!(tree.get(b"ccc").unwrap().unwrap(), big);
         std::fs::remove_file(path).ok();
+    }
+}
+
+#[cfg(test)]
+mod stats_segment_tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("si-btree-stats");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}-{}", std::process::id()))
+    }
+
+    fn sample_stats(i: u32) -> KeyStats {
+        KeyStats {
+            postings: u64::from(i) * 3 + 1,
+            distinct_tids: u64::from(i) + 1,
+            first_tid: i,
+            last_tid: i * 7 + 10,
+            bytes: u64::from(i) * 11 + 2,
+            exact: true,
+        }
+    }
+
+    #[test]
+    fn segment_round_trips_across_reopen() {
+        let path = tmp("roundtrip");
+        let n = 2_000u32; // large enough to span several chain pages
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..n)
+            .map(|i| {
+                (
+                    format!("k{i:06}").into_bytes(),
+                    vec![0u8; (i % 13) as usize],
+                )
+            })
+            .collect();
+        let entries: Vec<(Vec<u8>, KeyStats)> = (0..n)
+            .map(|i| (format!("k{i:06}").into_bytes(), sample_stats(i)))
+            .collect();
+        {
+            let mut tree = BTree::bulk_load(&path, pairs).unwrap();
+            assert!(!tree.has_stats_segment());
+            assert_eq!(tree.key_stats(b"k000000").unwrap(), None);
+            tree.write_stats_segment(entries.clone()).unwrap();
+            assert!(tree.has_stats_segment());
+            tree.flush().unwrap();
+        }
+        let tree = BTree::open(&path).unwrap();
+        assert!(tree.has_stats_segment());
+        for (key, want) in &entries {
+            assert_eq!(tree.key_stats(key).unwrap(), Some(*want));
+        }
+        assert_eq!(tree.key_stats(b"absent").unwrap(), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pre_stats_file_opens_without_segment() {
+        // A file written with no segment (the old format: zeroes where
+        // the marker would be) opens cleanly and reports no stats.
+        let path = tmp("prestats");
+        {
+            let mut tree = BTree::create(&path).unwrap();
+            tree.insert(b"a", b"1").unwrap();
+            tree.flush().unwrap();
+        }
+        let tree = BTree::open(&path).unwrap();
+        assert!(!tree.has_stats_segment());
+        assert_eq!(tree.key_stats(b"a").unwrap(), None);
+        assert_eq!(tree.value_len(b"a").unwrap(), Some(1));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rewrite_replaces_and_recycles_chain_pages() {
+        let path = tmp("rewrite");
+        let entries: Vec<(Vec<u8>, KeyStats)> = (0..3_000u32)
+            .map(|i| (format!("k{i:06}").into_bytes(), sample_stats(i)))
+            .collect();
+        let mut tree = BTree::create(&path).unwrap();
+        tree.write_stats_segment(entries.clone()).unwrap();
+        let pages_before = tree.stats().pages;
+        tree.write_stats_segment(entries.clone()).unwrap();
+        let pages_after = tree.stats().pages;
+        assert!(
+            pages_after <= pages_before + 1,
+            "old chain recycled: {pages_before} -> {pages_after}"
+        );
+        assert_eq!(tree.key_stats(b"k000042").unwrap(), Some(sample_stats(42)));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn insert_invalidates_segment() {
+        // Mutation makes recorded tid ranges unsafe for pruning, so the
+        // segment is dropped rather than served stale.
+        let path = tmp("invalidate");
+        let mut tree = BTree::create(&path).unwrap();
+        tree.insert(b"a", b"1").unwrap();
+        tree.write_stats_segment(vec![(b"a".to_vec(), sample_stats(0))])
+            .unwrap();
+        assert!(tree.has_stats_segment());
+        tree.insert(b"b", b"2").unwrap();
+        assert!(!tree.has_stats_segment());
+        assert_eq!(tree.key_stats(b"a").unwrap(), None);
+        tree.flush().unwrap();
+        let tree = BTree::open(&path).unwrap();
+        assert!(!tree.has_stats_segment());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_segment_still_marks_file() {
+        let path = tmp("emptyseg");
+        let mut tree = BTree::create(&path).unwrap();
+        tree.write_stats_segment(Vec::new()).unwrap();
+        assert!(tree.has_stats_segment());
+        assert_eq!(tree.key_stats(b"x").unwrap(), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn key_stats_helpers() {
+        let s = sample_stats(4); // postings 13, distinct 5, tids 4..=38
+        assert!((s.mean_postings_per_tid() - 13.0 / 5.0).abs() < 1e-12);
+        assert_eq!(s.tid_span(), 35);
+        let full = KeyStats {
+            postings: 1,
+            distinct_tids: 1,
+            first_tid: 0,
+            last_tid: u32::MAX,
+            bytes: 1,
+            exact: false,
+        };
+        assert_eq!(full.tid_span(), 1 << 32);
     }
 }
 

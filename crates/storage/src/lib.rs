@@ -19,7 +19,7 @@ pub mod datafile;
 pub mod error;
 pub mod pager;
 
-pub use btree::{BTree, BTreeStats, ValueReader};
+pub use btree::{BTree, BTreeStats, KeyStats, ValueReader};
 pub use datafile::CorpusStore;
 pub use error::{Result, StorageError};
 pub use pager::{PageId, Pager, PagerCounters, PAGE_SIZE};
