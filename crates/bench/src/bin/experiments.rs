@@ -8,15 +8,19 @@
 //! ```
 //!
 //! Experiment ids: fig2 fig3 fig8 fig9 fig10 tab1 fig11 fig12 tab2 fig13
-//! tab3 streaming service planner (or `all`). See DESIGN.md §6 for the
-//! per-experiment index and EXPERIMENTS.md for recorded paper-vs-measured
-//! results. `streaming` runs the executor ablation (streaming pipeline vs
-//! legacy materializing evaluator) and writes `BENCH_streaming.json`;
-//! `service` benchmarks the concurrent query service (shared scans +
-//! block cache) against one-at-a-time execution and writes
-//! `BENCH_service.json`; `planner` A/B-compares the cost-based planner
-//! (persistent per-key statistics) against PR 1's byte-length ordering,
-//! asserting identical match sets, and writes `BENCH_planner.json`.
+//! tab3 streaming service planner shard (or `all`). See DESIGN.md §6 for
+//! the per-experiment index and EXPERIMENTS.md for recorded
+//! paper-vs-measured results. `streaming` runs the executor ablation
+//! (streaming pipeline vs legacy materializing evaluator) and writes
+//! `BENCH_streaming.json`; `service` benchmarks the concurrent query
+//! service (shared scans + block cache) against one-at-a-time execution
+//! and writes `BENCH_service.json`; `planner` A/B-compares the
+//! cost-based planner (persistent per-key statistics) against PR 1's
+//! byte-length ordering, asserting identical match sets, and writes
+//! `BENCH_planner.json`; `shard` races the tid-partitioned parallel
+//! shard build against the single-file parallel build and the sharded
+//! scatter-gather service against one-at-a-time monolith execution
+//! (match sets asserted identical), writing `BENCH_shard.json`.
 //!
 //! Flags: `--seed N` pins the corpus RNG seed (default `0x5EED0001`) so
 //! every `BENCH_*.json` is reproducible across machines; `--threads N`
@@ -40,6 +44,7 @@ const ALL: &[&str] = &[
     "streaming",
     "service",
     "planner",
+    "shard",
 ];
 
 fn main() {
@@ -137,6 +142,10 @@ fn main() {
             "planner" => {
                 let report = harness::run_planner_bench(scale);
                 harness::emit_planner_bench(scale, &report).expect("write BENCH_planner.json");
+            }
+            "shard" => {
+                let report = harness::run_shard_bench(scale, threads);
+                harness::emit_shard_bench(scale, &report).expect("write BENCH_shard.json");
             }
             _ => unreachable!("validated above"),
         }

@@ -1383,6 +1383,291 @@ pub fn emit_planner_bench(scale: Scale, report: &PlannerBenchReport) -> std::io:
     Ok(())
 }
 
+// --------------------------------------------------------------------
+// Sharded index: parallel build + scatter-gather — BENCH_shard.json
+// --------------------------------------------------------------------
+
+/// Aggregate figures of [`run_shard_bench`].
+#[derive(Debug)]
+pub struct ShardBenchReport {
+    /// Shard count of the sharded index.
+    pub shards: usize,
+    /// Worker threads used by both timed builds.
+    pub workers: usize,
+    /// Service worker threads.
+    pub threads: usize,
+    /// Repetitions of the query workload per mode.
+    pub reps: usize,
+    /// Queries in the workload.
+    pub queries: usize,
+    /// Wall seconds of `SubtreeIndex::build_parallel` (the single-file
+    /// parallel build) with `workers` threads.
+    pub build_mono_seconds: f64,
+    /// Wall seconds of the sharded build (`workers` shard workers).
+    pub build_sharded_seconds: f64,
+    /// `build_mono_seconds / build_sharded_seconds`.
+    pub build_speedup: f64,
+    /// QPS issuing the workload one query at a time on the monolith.
+    pub qps_sequential: f64,
+    /// QPS through the sharded scatter-gather service.
+    pub qps_sharded: f64,
+    /// `qps_sharded / qps_sequential`.
+    pub query_speedup: f64,
+    /// Mean per-query worker latency, sequential monolith (ms).
+    pub latency_ms_sequential: f64,
+    /// Mean per-query worker latency, sharded service (ms).
+    pub latency_ms_sharded: f64,
+    /// Total shard skips across the workload (one service pass).
+    pub shard_skips: u64,
+    /// Queries that skipped at least one shard.
+    pub queries_with_skips: usize,
+    /// Summed per-shard block-cache counters after the service runs.
+    pub cache: si_core::BlockCacheStats,
+}
+
+/// Benchmarks the sharded subsystem end to end: (1) wall-clock of the
+/// tid-partitioned parallel shard build vs the single-file parallel
+/// build over the same corpus, and (2) query throughput of the sharded
+/// scatter-gather service vs one-at-a-time monolith execution —
+/// asserting, per query, that the sharded index returns exactly the
+/// monolith's match set (a live equivalence check; any divergence
+/// panics the run).
+pub fn run_shard_bench(scale: Scale, threads: usize) -> ShardBenchReport {
+    use si_core::sharded::{ShardBuildMode, ShardedBuildConfig, ShardedIndex};
+    use si_service::{ServiceConfig, ShardedQueryService};
+
+    let work = Workdir::new("shard");
+    // Sharding is a corpus-scale feature: below ~10k sentences the
+    // monolithic build's aggregation map still fits in cache and the
+    // build race is a coin flip; at this size the smaller per-shard
+    // maps and sorts win even on one core (and shard workers scale on
+    // real multicore).
+    let n = match scale {
+        Scale::Small => 30_000,
+        Scale::Paper => 100_000,
+    };
+    let big = corpus(n);
+    let (wh, fb) = workload(&big, 200);
+    let queries: Vec<(String, Query)> = wh
+        .into_iter()
+        .chain(fb.into_iter().map(|(c, s, q)| (format!("fb-{c}-{s}"), q)))
+        .collect();
+    let reps = scale.reps().max(5);
+    let shards = 4;
+    let workers = threads.max(2);
+    let options = IndexOptions::new(3, Coding::RootSplit);
+
+    // ---- Build race: single-file parallel vs tid-partitioned shards,
+    // same worker count, same corpus. Min-of-reps wall time (the same
+    // methodology as the planner bench), with the two builds
+    // *interleaved* per rep — and the order within each rep alternating
+    // — so time-correlated machine noise and allocator warm-up land on
+    // both sides equally; each rep builds into a fresh directory.
+    let build_reps = scale.reps().max(7);
+    let mut build_mono_seconds = f64::INFINITY;
+    let mut build_sharded_seconds = f64::INFINITY;
+    let mut mono = None;
+    let mut sharded = None;
+    let build_mono = |rep: usize| {
+        time(|| {
+            SubtreeIndex::build_parallel(
+                &work.path(&format!("mono-{rep}")),
+                big.trees(),
+                big.interner(),
+                options,
+                workers,
+            )
+            .expect("monolithic parallel build")
+        })
+    };
+    let build_sharded = |rep: usize| {
+        time(|| {
+            ShardedIndex::build(
+                &work.path(&format!("sharded-{rep}")),
+                big.trees(),
+                big.interner(),
+                options,
+                ShardedBuildConfig {
+                    shards,
+                    workers,
+                    mode: ShardBuildMode::InMemory,
+                },
+            )
+            .expect("sharded build")
+        })
+    };
+    for rep in 0..build_reps {
+        if rep % 2 == 0 {
+            let (index, secs) = build_mono(rep);
+            build_mono_seconds = build_mono_seconds.min(secs);
+            mono = Some(index);
+            let (index, secs) = build_sharded(rep);
+            build_sharded_seconds = build_sharded_seconds.min(secs);
+            sharded = Some(index);
+        } else {
+            let (index, secs) = build_sharded(rep);
+            build_sharded_seconds = build_sharded_seconds.min(secs);
+            sharded = Some(index);
+            let (index, secs) = build_mono(rep);
+            build_mono_seconds = build_mono_seconds.min(secs);
+            mono = Some(index);
+        }
+        // The previous rep's index copies are dead (both handles now
+        // point at this rep's); delete them outside the timed closures
+        // so disk residency stays at ~2 copies instead of 2×reps —
+        // at Paper scale the difference is many GB.
+        if rep > 0 {
+            std::fs::remove_dir_all(work.path(&format!("mono-{}", rep - 1))).ok();
+            std::fs::remove_dir_all(work.path(&format!("sharded-{}", rep - 1))).ok();
+        }
+    }
+    let mono = mono.expect("at least one build rep");
+    let sharded = sharded.expect("at least one build rep");
+    assert_eq!(sharded.num_trees() as usize, big.trees().len());
+    let sharded = std::sync::Arc::new(sharded);
+
+    // ---- Sequential monolith baseline (also the expected answers). ----
+    let mut seq_matches: Vec<Vec<(si_parsetree::TreeId, u32)>> = vec![Vec::new(); queries.len()];
+    for (i, (_, q)) in queries.iter().enumerate() {
+        seq_matches[i] = mono.evaluate(q).expect("sequential warmup").matches;
+    }
+    let mut seq_secs = 0.0f64;
+    let (_, seq_wall) = time(|| {
+        for _ in 0..reps {
+            for (i, (_, q)) in queries.iter().enumerate() {
+                let (result, secs) = time(|| mono.evaluate(q).expect("sequential evaluate"));
+                seq_secs += secs;
+                assert_eq!(result.matches, seq_matches[i], "unstable sequential result");
+            }
+        }
+    });
+
+    // ---- Sharded scatter-gather service, same workload and reps. ----
+    let service = ShardedQueryService::new(
+        sharded.clone(),
+        ServiceConfig {
+            threads,
+            ..ServiceConfig::default()
+        },
+    );
+    let query_refs: Vec<Query> = queries.iter().map(|(_, q)| q.clone()).collect();
+    service.run_batch(&query_refs).expect("service warmup");
+    let mut svc_secs = 0.0f64;
+    let mut shard_skips = 0u64;
+    let mut queries_with_skips = 0usize;
+    let (_, svc_wall) = time(|| {
+        for rep in 0..reps {
+            let report = service.run_batch(&query_refs).expect("sharded batch");
+            for (i, outcome) in report.outcomes.iter().enumerate() {
+                svc_secs += outcome.seconds;
+                assert_eq!(
+                    outcome.result.matches, seq_matches[i],
+                    "sharded match-set mismatch on {}",
+                    queries[i].0
+                );
+                if rep == 0 {
+                    shard_skips += outcome.result.stats.shards_skipped as u64;
+                    if outcome.result.stats.shards_skipped > 0 {
+                        queries_with_skips += 1;
+                    }
+                }
+            }
+        }
+    });
+
+    let total = (reps * queries.len()) as f64;
+    ShardBenchReport {
+        shards,
+        workers,
+        threads,
+        reps,
+        queries: queries.len(),
+        build_mono_seconds,
+        build_sharded_seconds,
+        build_speedup: build_mono_seconds / build_sharded_seconds.max(1e-9),
+        qps_sequential: total / seq_wall,
+        qps_sharded: total / svc_wall,
+        query_speedup: seq_wall / svc_wall.max(1e-9),
+        latency_ms_sequential: seq_secs * 1e3 / total,
+        latency_ms_sharded: svc_secs * 1e3 / total,
+        shard_skips,
+        queries_with_skips,
+        cache: service.cache_stats(),
+    }
+}
+
+/// Prints the sharded-subsystem summary and writes `BENCH_shard.json`
+/// into the current directory.
+pub fn emit_shard_bench(scale: Scale, report: &ShardBenchReport) -> std::io::Result<()> {
+    println!("# Sharded index: parallel build + scatter-gather service vs monolith");
+    println!(
+        "{} queries x {} reps, {} shards, {} build workers, {} service threads, seed {:#x}",
+        report.queries,
+        report.reps,
+        report.shards,
+        report.workers,
+        report.threads,
+        corpus_seed()
+    );
+    println!(
+        "build: single-file parallel {:.2} s | {} shards {:.2} s | speedup {:.2}x",
+        report.build_mono_seconds,
+        report.shards,
+        report.build_sharded_seconds,
+        report.build_speedup
+    );
+    println!(
+        "query: sequential {:.0} QPS | sharded service {:.0} QPS | speedup {:.2}x",
+        report.qps_sequential, report.qps_sharded, report.query_speedup
+    );
+    println!(
+        "shard skips: {} total across {} queries ({} queries skipped >= 1 shard)",
+        report.shard_skips, report.queries, report.queries_with_skips
+    );
+    println!(
+        "block caches: {:.1}% hit rate ({} hits / {} misses, {} evictions)",
+        report.cache.hit_rate() * 100.0,
+        report.cache.hits,
+        report.cache.misses,
+        report.cache.evictions
+    );
+
+    let json = format!(
+        "{{\n  \"scale\": \"{scale:?}\",\n  \"mss\": 3,\n  \"coding\": \"root-split\",\n  \
+         \"seed\": {},\n  \"shards\": {},\n  \"build_workers\": {},\n  \"threads\": {},\n  \
+         \"reps\": {},\n  \"queries\": {},\n  \"match_sets_identical\": true,\n  \
+         \"build_mono_parallel_seconds\": {:.4},\n  \"build_sharded_seconds\": {:.4},\n  \
+         \"build_speedup\": {:.3},\n  \"qps_sequential\": {:.2},\n  \"qps_sharded\": {:.2},\n  \
+         \"query_speedup\": {:.3},\n  \"latency_ms_sequential\": {:.4},\n  \
+         \"latency_ms_sharded\": {:.4},\n  \"shard_skips\": {},\n  \
+         \"queries_with_skips\": {},\n  \"cache_hit_rate\": {:.4},\n  \"cache_hits\": {},\n  \
+         \"cache_misses\": {},\n  \"cache_evictions\": {}\n}}\n",
+        corpus_seed(),
+        report.shards,
+        report.workers,
+        report.threads,
+        report.reps,
+        report.queries,
+        report.build_mono_seconds,
+        report.build_sharded_seconds,
+        report.build_speedup,
+        report.qps_sequential,
+        report.qps_sharded,
+        report.query_speedup,
+        report.latency_ms_sequential,
+        report.latency_ms_sharded,
+        report.shard_skips,
+        report.queries_with_skips,
+        report.cache.hit_rate(),
+        report.cache.hits,
+        report.cache.misses,
+        report.cache.evictions,
+    );
+    std::fs::write("BENCH_shard.json", json)?;
+    println!("wrote BENCH_shard.json");
+    Ok(())
+}
+
 /// Convenience: a tiny corpus + root-split index for Criterion benches.
 pub fn bench_fixture(
     sentences: usize,

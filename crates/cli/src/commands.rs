@@ -7,8 +7,9 @@ use std::path::Path;
 use si_core::build_ext::ExternalBuildConfig;
 use si_core::cover::decompose;
 use si_core::plan::{estimated_cardinality, plan_structural, PlannerMode};
+use si_core::sharded::{shard_provably_empty, ShardBuildMode, ShardedBuildConfig, ShardedIndex};
 use si_core::stats::intersect_tid_ranges;
-use si_core::{Coding, ExecMode, IndexOptions, KeyStats, SubtreeIndex};
+use si_core::{AnyIndex, Coding, ExecMode, IndexOptions, KeyStats, SubtreeIndex};
 use si_corpus::GeneratorConfig;
 use si_parsetree::{ptb, LabelInterner};
 use si_query::{parse_query, write_query};
@@ -24,7 +25,13 @@ USAGE:
   si generate  --sentences N [--seed S] [--out FILE]        write a synthetic PTB corpus
   si build     --input FILE --index DIR [--mss 3]
                [--coding root-split|filter|interval]
-               [--external true]                            build an index from PTB text
+               [--external true]
+               [--shards N] [--workers W]                   build an index from PTB text;
+                                                            --shards > 1 makes a tid-range
+                                                            sharded index built in parallel
+  si ingest    --input FILE --index DIR                     append new documents to a
+                                                            sharded index as a fresh shard
+                                                            (existing shards untouched)
   si query     --index DIR QUERY [--show N] [--verbose]
                [--exec streaming|materialized]
                [--planner cost|bytes]
@@ -55,6 +62,7 @@ pub fn run(argv: &[String]) -> Result<(), AnyError> {
     match cmd.as_str() {
         "generate" => generate(&args),
         "build" => build(&args),
+        "ingest" => ingest(&args),
         "query" => query(&args),
         "batch" => batch(&args),
         "serve" => serve(
@@ -123,6 +131,9 @@ fn build(args: &Args) -> Result<(), AnyError> {
     let mss: usize = args.get_or("mss", 3)?;
     let coding = parse_coding(args.get("coding"))?;
     let external: bool = args.get_or("external", false)?;
+    let shards: usize = args.get_or("shards", 1)?;
+    let defaults = ShardedBuildConfig::default();
+    let workers: usize = args.get_or("workers", defaults.workers)?;
 
     let text = std::fs::read_to_string(input)?;
     let mut interner = LabelInterner::new();
@@ -130,6 +141,36 @@ fn build(args: &Args) -> Result<(), AnyError> {
     eprintln!("parsed {} trees, {} labels", trees.len(), interner.len());
 
     let options = IndexOptions::new(mss, coding);
+    if shards > 1 {
+        let started = std::time::Instant::now();
+        let sharded = ShardedIndex::build(
+            Path::new(index_dir),
+            &trees,
+            &interner,
+            options,
+            ShardedBuildConfig {
+                shards,
+                workers,
+                mode: if external {
+                    ShardBuildMode::External
+                } else {
+                    ShardBuildMode::InMemory
+                },
+            },
+        )?;
+        eprintln!(
+            "built {} shards on {} workers in {:.2} s wall",
+            sharded.shards().len(),
+            workers.clamp(1, sharded.shards().len()),
+            started.elapsed().as_secs_f64()
+        );
+        print_stats_any(&AnyIndex::Sharded(sharded));
+        return Ok(());
+    }
+    // A stale MANIFEST.si would shadow the fresh monolithic index
+    // (readers dispatch on its presence), so a previous sharded layout
+    // in this directory is torn down first.
+    si_core::sharded::remove_sharded_layout(Path::new(index_dir))?;
     let index = if external {
         SubtreeIndex::build_external(
             Path::new(index_dir),
@@ -145,6 +186,42 @@ fn build(args: &Args) -> Result<(), AnyError> {
     Ok(())
 }
 
+/// Appends the documents of `--input` to a sharded index as one fresh
+/// shard; only `MANIFEST.si` is rewritten, existing shard files stay
+/// untouched. The new corpus is parsed against the index's interner so
+/// existing label ids keep their meaning (new labels extend it).
+fn ingest(args: &Args) -> Result<(), AnyError> {
+    let input = args.required("input")?;
+    let index_dir = args.required("index")?;
+    let dir = Path::new(index_dir);
+    if !ShardedIndex::is_sharded(dir) {
+        return Err(format!(
+            "{index_dir} is not a sharded index; rebuild it with `si build --shards N` \
+             to enable incremental ingest"
+        )
+        .into());
+    }
+    let mut sharded = ShardedIndex::open(dir)?;
+    let mut interner = sharded.interner();
+    let text = std::fs::read_to_string(input)?;
+    let trees = ptb::parse_corpus(&text, &mut interner)?;
+    if trees.is_empty() {
+        return Err("ingest: input holds no trees".into());
+    }
+    let started = std::time::Instant::now();
+    let entry = sharded.ingest(&trees, &interner)?;
+    eprintln!(
+        "ingested {} trees as {} (global tids {}..={}) in {:.2} s; {} shards total",
+        trees.len(),
+        entry.dir_name(),
+        entry.first_tid(),
+        entry.last_tid(),
+        started.elapsed().as_secs_f64(),
+        sharded.shards().len()
+    );
+    Ok(())
+}
+
 fn query(args: &Args) -> Result<(), AnyError> {
     let index_dir = args.required("index")?;
     let show: usize = args.get_or("show", 0)?;
@@ -155,11 +232,21 @@ fn query(args: &Args) -> Result<(), AnyError> {
     };
     let exec = parse_exec(args.get("exec"))?;
     let planner = parse_planner(args.get("planner"))?;
-    let mut index = SubtreeIndex::open(Path::new(index_dir))?;
+    let mut index = AnyIndex::open(Path::new(index_dir))?;
     index.set_exec_mode(exec);
     let mut interner = index.interner();
     let query = parse_query(query_text, &mut interner)?;
-    let cache = (cache_mb > 0).then(|| {
+    // The block cache applies to the monolithic path only: shards store
+    // the same canonical keys over different posting lists, so a single
+    // cache must never span shards (the sharded service keeps one per
+    // shard instead).
+    if cache_mb > 0 && matches!(index, AnyIndex::Sharded(_)) {
+        eprintln!(
+            "warning: --cache-mb is ignored on a sharded index \
+             (per-shard caches live in `si batch` / `si serve`)"
+        );
+    }
+    let cache = (cache_mb > 0 && matches!(index, AnyIndex::Mono(_))).then(|| {
         std::sync::Arc::new(si_core::BlockCache::new(
             si_core::BlockCacheConfig::with_budget(cache_mb << 20),
         ))
@@ -188,8 +275,19 @@ fn query(args: &Args) -> Result<(), AnyError> {
         }
     );
     if verbose {
-        print_plan_debug(&index, &query, &interner, planner)?;
+        match &index {
+            AnyIndex::Mono(mono) => print_plan_debug(mono, &query, &interner, planner)?,
+            AnyIndex::Sharded(sharded) => print_shard_debug(sharded, &query, &interner, planner)?,
+        }
         let s = result.stats;
+        if s.shards > 0 {
+            println!(
+                "shards      {} of {} evaluated, {} skipped from per-shard statistics",
+                s.shards - s.shards_skipped,
+                s.shards,
+                s.shards_skipped
+            );
+        }
         if s.range_pruned {
             println!("planner     result proven empty from disjoint tid ranges; no list opened");
         }
@@ -201,15 +299,17 @@ fn query(args: &Args) -> Result<(), AnyError> {
             "block cache {} hits, {} misses ({})",
             s.cache_hits,
             s.cache_misses,
-            if cache_mb > 0 {
+            if cache_mb > 0 && matches!(index, AnyIndex::Mono(_)) {
                 format!("{cache_mb} MiB budget")
+            } else if matches!(index, AnyIndex::Sharded(_)) {
+                "per-shard caches live in `si batch` / `si serve`".to_owned()
             } else {
                 "disabled; pass --cache-mb N".to_owned()
             }
         );
     }
     for &(tid, pre) in result.matches.iter().take(show) {
-        let tree = index.store().get(tid)?;
+        let tree = index.tree(tid)?;
         println!(
             "  tree {tid} @ node {pre}: {}",
             ptb::write(&tree, &interner)
@@ -237,8 +337,7 @@ fn batch(args: &Args) -> Result<(), AnyError> {
     let index_dir = args.required("index")?;
     let queries_file = args.required("queries")?;
     let config = service_config(args)?;
-    let index = std::sync::Arc::new(SubtreeIndex::open(Path::new(index_dir))?);
-    let service = si_service::QueryService::new(index, config);
+    let service = si_service::AnyQueryService::open(Path::new(index_dir), config)?;
     let text = std::fs::read_to_string(queries_file)?;
     let lines: Vec<String> = text
         .lines()
@@ -262,8 +361,7 @@ fn serve(
 ) -> Result<(), AnyError> {
     let index_dir = args.required("index")?;
     let config = service_config(args)?;
-    let index = std::sync::Arc::new(SubtreeIndex::open(Path::new(index_dir))?);
-    let service = si_service::QueryService::new(index, config);
+    let service = si_service::AnyQueryService::open(Path::new(index_dir), config)?;
     let mut total = ServiceSummary::default();
     let mut pending: Vec<String> = Vec::new();
     loop {
@@ -314,11 +412,11 @@ impl ServiceSummary {
 /// that fails to parse gets an error line and the rest of the batch
 /// proceeds — a long-running `si serve` must survive client typos.
 fn run_service_batches(
-    service: &si_service::QueryService,
+    service: &si_service::AnyQueryService,
     lines: &[String],
     out: &mut dyn Write,
 ) -> Result<ServiceSummary, AnyError> {
-    let mut interner = service.index().interner();
+    let mut interner = service.interner();
     let mut summary = ServiceSummary::default();
     for chunk in lines.chunks(service.batch_size().max(1)) {
         let mut queries = Vec::with_capacity(chunk.len());
@@ -358,7 +456,7 @@ fn run_service_batches(
 }
 
 fn print_service_summary(
-    service: &si_service::QueryService,
+    service: &si_service::AnyQueryService,
     summary: &ServiceSummary,
     threads: usize,
 ) {
@@ -595,25 +693,73 @@ fn print_plan_debug(
     Ok(())
 }
 
+/// `si query --verbose` on a sharded index: aggregated per-key
+/// statistics plus every shard's skip verdict — which shards the
+/// scatter-gather will consult and which its statistics already prove
+/// empty.
+fn print_shard_debug(
+    sharded: &ShardedIndex,
+    query: &si_query::Query,
+    interner: &LabelInterner,
+    mode: PlannerMode,
+) -> Result<(), AnyError> {
+    let options = sharded.options();
+    let cover = decompose(query, options.mss, options.coding);
+    println!(
+        "planner     {} over {} shards (per-shard stats segments; key stats below aggregated)",
+        mode.name(),
+        sharded.shards().len()
+    );
+    for st in &cover.subtrees {
+        let s = sharded.key_stats(&st.key)?;
+        println!(
+            "{}",
+            key_stats_line(&render_key(&st.key, interner), s.as_ref())
+        );
+    }
+    for (entry, shard) in sharded.manifest().shards.iter().zip(sharded.shards()) {
+        let skip = shard_provably_empty(shard, &cover.subtrees, mode)?;
+        println!(
+            "  {}  tids [{}, {}]  {}",
+            entry.dir_name(),
+            entry.first_tid(),
+            entry.last_tid(),
+            if skip {
+                "skip (provably empty from shard statistics)"
+            } else {
+                "evaluate"
+            }
+        );
+    }
+    Ok(())
+}
+
 fn stats(args: &Args) -> Result<(), AnyError> {
     let index_dir = args.required("index")?;
-    let index = SubtreeIndex::open(Path::new(index_dir))?;
+    let index = AnyIndex::open(Path::new(index_dir))?;
     match args.positional() {
         [] => {
-            print_stats(&index);
-            println!(
-                "key stats  {}",
-                if index.has_key_stats() {
-                    "persistent segment (exact)"
-                } else {
-                    "absent (pre-stats index; planner estimates from lengths)"
+            print_stats_any(&index);
+            match &index {
+                AnyIndex::Mono(mono) => println!(
+                    "key stats  {}",
+                    if mono.has_key_stats() {
+                        "persistent segment (exact)"
+                    } else {
+                        "absent (pre-stats index; planner estimates from lengths)"
+                    }
+                ),
+                AnyIndex::Sharded(_) => {
+                    println!("key stats  per-shard segments, aggregated on lookup")
                 }
-            );
+            }
         }
         [key_text] => {
             // The KEY is query syntax; its cover under the index's own
             // mss/coding yields the canonical keys to look up — for a
-            // subtree of size <= mss that is exactly one key.
+            // subtree of size <= mss that is exactly one key. On a
+            // sharded index the per-shard records aggregate: counts and
+            // bytes sum, the tid range spans the covering shards.
             let mut interner = index.interner();
             let query = parse_query(key_text, &mut interner)?;
             let cover = decompose(&query, index.options().mss, index.options().coding);
@@ -632,11 +778,56 @@ fn stats(args: &Args) -> Result<(), AnyError> {
 
 fn print_stats(index: &SubtreeIndex) {
     let o = index.options();
-    let s = index.stats();
-    println!("index      {}", index.dir().display());
+    print_stats_common(
+        index.dir(),
+        o,
+        index.store().len() as u64,
+        index.stats(),
+        "built in",
+    );
+}
+
+/// `si stats` / post-build summary for either index layout. A sharded
+/// index aggregates per-shard records: `keys` counts per-shard B+Tree
+/// entries (a key hot in every shard counts once per shard) and the
+/// build time sums per-shard CPU seconds.
+fn print_stats_any(index: &AnyIndex) {
+    match index {
+        AnyIndex::Mono(mono) => print_stats(mono),
+        AnyIndex::Sharded(sharded) => {
+            print_stats_common(
+                sharded.dir(),
+                sharded.options(),
+                sharded.num_trees(),
+                sharded.stats(),
+                "built in (cpu, summed over shards)",
+            );
+            println!("shards     {}", sharded.shards().len());
+            for (entry, shard) in sharded.manifest().shards.iter().zip(sharded.shards()) {
+                println!(
+                    "  {}  tids [{}, {}]  {} keys  {} bytes",
+                    entry.dir_name(),
+                    entry.first_tid(),
+                    entry.last_tid(),
+                    shard.stats().keys,
+                    shard.stats().index_bytes
+                );
+            }
+        }
+    }
+}
+
+fn print_stats_common(
+    dir: &Path,
+    o: IndexOptions,
+    sentences: u64,
+    s: si_core::IndexStats,
+    built_label: &str,
+) {
+    println!("index      {}", dir.display());
     println!("coding     {}", o.coding);
     println!("mss        {}", o.mss);
-    println!("sentences  {}", index.store().len());
+    println!("sentences  {sentences}");
     println!("keys       {}", s.keys);
     println!("postings   {}", s.postings);
     println!(
@@ -646,7 +837,7 @@ fn print_stats(index: &SubtreeIndex) {
     );
     println!("postings   {} bytes", s.posting_bytes);
     println!("data file  {} bytes", s.data_bytes);
-    println!("built in   {:.2} s", s.build_seconds);
+    println!("{built_label}   {:.2} s", s.build_seconds);
 }
 
 fn decompose_cmd(args: &Args) -> Result<(), AnyError> {
@@ -1037,6 +1228,213 @@ mod tests {
         assert_eq!(lines.len(), 3, "every line answered: {text}");
         assert!(lines[1].starts_with("NP((\terror:"), "{text}");
         assert!(lines[2].contains("matches"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_build_ingest_query_stats_batch() {
+        let dir = tmp("sharded");
+        let corpus_file = dir.join("corpus.ptb");
+        let more_file = dir.join("more.ptb");
+        let index_dir = dir.join("idx");
+        let queries_file = dir.join("queries.txt");
+        run(&argv(&[
+            "generate",
+            "--sentences",
+            "90",
+            "--seed",
+            "11",
+            "--out",
+            corpus_file.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "generate",
+            "--sentences",
+            "30",
+            "--seed",
+            "12",
+            "--out",
+            more_file.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "build",
+            "--input",
+            corpus_file.to_str().unwrap(),
+            "--index",
+            index_dir.to_str().unwrap(),
+            "--shards",
+            "3",
+            "--workers",
+            "2",
+        ]))
+        .unwrap();
+        let idx = index_dir.to_str().unwrap();
+        assert!(index_dir.join("MANIFEST.si").is_file());
+        assert!(index_dir.join("shard-0000").is_dir());
+        // Query (plain + verbose + show), stats (summary + per-key).
+        run(&argv(&[
+            "query",
+            "--index",
+            idx,
+            "S(NP)(VP)",
+            "--show",
+            "1",
+        ]))
+        .unwrap();
+        run(&argv(&["query", "--index", idx, "--verbose", "NP(NN)"])).unwrap();
+        run(&argv(&["stats", "--index", idx])).unwrap();
+        run(&argv(&["stats", "--index", idx, "NP(NN)"])).unwrap();
+        // Ingest appends a shard; queries and stats keep working.
+        run(&argv(&[
+            "ingest",
+            "--input",
+            more_file.to_str().unwrap(),
+            "--index",
+            idx,
+        ]))
+        .unwrap();
+        assert!(index_dir.join("shard-0003").is_dir());
+        run(&argv(&["query", "--index", idx, "S(NP)(VP)"])).unwrap();
+        run(&argv(&["stats", "--index", idx])).unwrap();
+        // Batch through the sharded service.
+        std::fs::write(&queries_file, "NP(NN)\nS(NP)(VP)\nVP(VBZ)\nNP(NN)\n").unwrap();
+        run(&argv(&[
+            "batch",
+            "--index",
+            idx,
+            "--queries",
+            queries_file.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--cache-mb",
+            "8",
+        ]))
+        .unwrap();
+        // Ingest into a monolithic index is a helpful error.
+        let mono_dir = dir.join("mono");
+        run(&argv(&[
+            "build",
+            "--input",
+            corpus_file.to_str().unwrap(),
+            "--index",
+            mono_dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let err = run(&argv(&[
+            "ingest",
+            "--input",
+            more_file.to_str().unwrap(),
+            "--index",
+            mono_dir.to_str().unwrap(),
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("--shards"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn monolithic_rebuild_tears_down_a_stale_sharded_layout() {
+        let dir = tmp("rebuild-over-sharded");
+        let big = dir.join("big.ptb");
+        let small = dir.join("small.ptb");
+        let index_dir = dir.join("idx");
+        run(&argv(&[
+            "generate",
+            "--sentences",
+            "90",
+            "--seed",
+            "31",
+            "--out",
+            big.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "generate",
+            "--sentences",
+            "30",
+            "--seed",
+            "32",
+            "--out",
+            small.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "build",
+            "--input",
+            big.to_str().unwrap(),
+            "--index",
+            index_dir.to_str().unwrap(),
+            "--shards",
+            "3",
+        ]))
+        .unwrap();
+        assert!(index_dir.join("MANIFEST.si").is_file());
+        // A monolithic rebuild into the same directory must become
+        // authoritative: the stale manifest (which readers dispatch on)
+        // and its shard directories are removed.
+        run(&argv(&[
+            "build",
+            "--input",
+            small.to_str().unwrap(),
+            "--index",
+            index_dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        assert!(!index_dir.join("MANIFEST.si").exists());
+        assert!(!index_dir.join("shard-0000").exists());
+        let reopened = AnyIndex::open(&index_dir).unwrap();
+        assert!(matches!(reopened, AnyIndex::Mono(_)));
+        match &reopened {
+            AnyIndex::Mono(mono) => assert_eq!(mono.store().len(), 30),
+            AnyIndex::Sharded(_) => unreachable!(),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_and_mono_cli_answers_agree() {
+        let dir = tmp("sharded-agree");
+        let corpus_file = dir.join("corpus.ptb");
+        run(&argv(&[
+            "generate",
+            "--sentences",
+            "70",
+            "--seed",
+            "21",
+            "--out",
+            corpus_file.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let mono_dir = dir.join("mono");
+        let shard_dir = dir.join("sharded");
+        for (target, shards) in [(&mono_dir, None), (&shard_dir, Some("4"))] {
+            let mut cmd = vec![
+                "build",
+                "--input",
+                corpus_file.to_str().unwrap(),
+                "--index",
+                target.to_str().unwrap(),
+            ];
+            if let Some(n) = shards {
+                cmd.extend(["--shards", n, "--workers", "2"]);
+            }
+            run(&argv(&cmd)).unwrap();
+        }
+        // Same answers through the public evaluate path.
+        let mono = AnyIndex::open(&mono_dir).unwrap();
+        let sharded = AnyIndex::open(&shard_dir).unwrap();
+        let mut qi = mono.interner();
+        for text in ["NP(NN)", "S(NP)(VP)", "VP(//NN)", "XXUNKNOWN"] {
+            let q = parse_query(text, &mut qi).unwrap();
+            let ctx = si_core::ExecContext::default();
+            assert_eq!(
+                mono.evaluate_with(&q, &ctx).unwrap().matches,
+                sharded.evaluate_with(&q, &ctx).unwrap().matches,
+                "{text}"
+            );
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -93,33 +93,43 @@ impl SubtreeIndex {
         std::fs::create_dir_all(dir)?;
         let store = CorpusStore::build(&dir.join("corpus"), trees.iter(), interner)?;
 
-        // Aggregate posting lists per canonical key.
+        // Aggregate posting lists per canonical key. The occurrence and
+        // rank buffers are reused across the (many) occurrences and the
+        // key is only cloned when first seen — this loop dominates the
+        // build, so it must stay allocation-free on the hot path.
         let mut lists: HashMap<Vec<u8>, PostingBuilder> = HashMap::new();
-        let mut occurrence = Vec::new();
+        let mut occurrence: Vec<(NodeVal, u8)> = Vec::new();
+        let mut pres: Vec<u32> = Vec::new();
         for (tid, tree) in trees.iter().enumerate() {
             let tid = tid as TreeId;
             for_each_subtree(tree, options.mss, |sub| {
                 occurrence.clear();
-                occurrence.extend(sub.nodes.iter().map(|&n| NodeVal {
-                    pre: tree.pre(n),
-                    post: tree.post(n),
-                    level: tree.level(n),
+                occurrence.extend(sub.nodes.iter().map(|&n| {
+                    (
+                        NodeVal {
+                            pre: tree.pre(n),
+                            post: tree.post(n),
+                            level: tree.level(n),
+                        },
+                        0u8,
+                    )
                 }));
                 // `order`: the node's pre-order rank within the
                 // occurrence (1-based), §4.4.2.
-                let mut pres: Vec<u32> = occurrence.iter().map(|v| v.pre).collect();
+                pres.clear();
+                pres.extend(occurrence.iter().map(|(v, _)| v.pre));
                 pres.sort_unstable();
-                let with_order: Vec<(NodeVal, u8)> = occurrence
-                    .iter()
-                    .map(|v| {
-                        let rank = pres.binary_search(&v.pre).expect("own pre") as u8 + 1;
-                        (*v, rank)
-                    })
-                    .collect();
-                lists
-                    .entry(sub.key.clone())
-                    .or_insert_with(|| PostingBuilder::new(options.coding))
-                    .push(tid, &with_order);
+                for (v, order) in occurrence.iter_mut() {
+                    *order = pres.binary_search(&v.pre).expect("own pre") as u8 + 1;
+                }
+                match lists.get_mut(sub.key.as_slice()) {
+                    Some(builder) => builder.push(tid, &occurrence),
+                    None => {
+                        let mut builder = PostingBuilder::new(options.coding);
+                        builder.push(tid, &occurrence);
+                        lists.insert(sub.key.clone(), builder);
+                    }
+                }
             });
         }
 
@@ -136,7 +146,7 @@ impl SubtreeIndex {
                 (key, builder.finish(), key_stats)
             })
             .collect();
-        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         let keys = entries.len() as u64;
         let stats_entries: Vec<(Vec<u8>, si_storage::KeyStats)> =
             entries.iter().map(|(k, _, s)| (k.clone(), *s)).collect();
@@ -196,6 +206,7 @@ impl SubtreeIndex {
                 handles.push(scope.spawn(move || {
                     let mut lists: HashMap<Vec<u8>, Fragment> = HashMap::new();
                     let mut occurrence: Vec<(NodeVal, u8)> = Vec::new();
+                    let mut pres: Vec<u32> = Vec::new();
                     for (off, tree) in slice.iter().enumerate() {
                         let tid = base + off as TreeId;
                         for_each_subtree(tree, options.mss, |sub| {
@@ -210,17 +221,23 @@ impl SubtreeIndex {
                                     0u8,
                                 )
                             }));
-                            let mut pres: Vec<u32> =
-                                occurrence.iter().map(|(v, _)| v.pre).collect();
+                            pres.clear();
+                            pres.extend(occurrence.iter().map(|(v, _)| v.pre));
                             pres.sort_unstable();
                             for (v, order) in occurrence.iter_mut() {
                                 *order = pres.binary_search(&v.pre).expect("own pre") as u8 + 1;
                             }
-                            let entry = lists
-                                .entry(sub.key.clone())
-                                .or_insert_with(|| (tid, tid, PostingBuilder::new(options.coding)));
-                            entry.2.push(tid, &occurrence);
-                            entry.1 = tid;
+                            match lists.get_mut(sub.key.as_slice()) {
+                                Some(entry) => {
+                                    entry.2.push(tid, &occurrence);
+                                    entry.1 = tid;
+                                }
+                                None => {
+                                    let mut builder = PostingBuilder::new(options.coding);
+                                    builder.push(tid, &occurrence);
+                                    lists.insert(sub.key.clone(), (tid, tid, builder));
+                                }
+                            }
                         });
                     }
                     lists
@@ -290,7 +307,7 @@ impl SubtreeIndex {
                 (key, list.bytes, key_stats)
             })
             .collect();
-        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         let keys = entries.len() as u64;
         let stats_entries: Vec<(Vec<u8>, si_storage::KeyStats)> =
             entries.iter().map(|(k, _, s)| (k.clone(), *s)).collect();
@@ -569,11 +586,7 @@ impl SubtreeIndex {
         let mut buf = Vec::new();
         buf.extend_from_slice(b"SIMETA1\0");
         varint::write_u64(&mut buf, self.options.mss as u64);
-        buf.push(match self.options.coding {
-            Coding::FilterBased => 0,
-            Coding::SubtreeInterval => 1,
-            Coding::RootSplit => 2,
-        });
+        buf.push(self.options.coding.id());
         varint::write_u64(&mut buf, self.stats.keys);
         varint::write_u64(&mut buf, self.stats.postings);
         varint::write_u64(&mut buf, self.stats.index_bytes);
@@ -592,12 +605,7 @@ fn decode_meta(bytes: &[u8]) -> Option<(IndexOptions, IndexStats)> {
     }
     let mut r = varint::Reader::new(&bytes[8..]);
     let mss = r.u64()? as usize;
-    let coding = match r.bytes(1)?[0] {
-        0 => Coding::FilterBased,
-        1 => Coding::SubtreeInterval,
-        2 => Coding::RootSplit,
-        _ => return None,
-    };
+    let coding = Coding::from_id(r.bytes(1)?[0])?;
     if !(1..=8).contains(&mss) {
         return None;
     }

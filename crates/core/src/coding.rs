@@ -49,6 +49,25 @@ impl Coding {
             Coding::RootSplit => "root-split",
         }
     }
+
+    /// Stable on-disk id of the coding (`si.meta`, `MANIFEST.si`).
+    pub fn id(self) -> u8 {
+        match self {
+            Coding::FilterBased => 0,
+            Coding::SubtreeInterval => 1,
+            Coding::RootSplit => 2,
+        }
+    }
+
+    /// The coding a stable on-disk id denotes, if valid.
+    pub fn from_id(id: u8) -> Option<Self> {
+        match id {
+            0 => Some(Coding::FilterBased),
+            1 => Some(Coding::SubtreeInterval),
+            2 => Some(Coding::RootSplit),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for Coding {

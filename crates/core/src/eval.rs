@@ -80,6 +80,13 @@ pub struct EvalStats {
     pub cache_hits: u64,
     /// Decoded-block cache misses by this query's scans.
     pub cache_misses: u64,
+    /// Shards consulted by a sharded evaluation
+    /// ([`crate::sharded::ShardedIndex`]); zero for a monolithic index.
+    pub shards: usize,
+    /// Shards answered without opening a single posting list: some cover
+    /// key is absent from the shard, or (cost-based planner) the shard's
+    /// per-key tid ranges are disjoint.
+    pub shards_skipped: usize,
 }
 
 /// Matches plus statistics.

@@ -21,7 +21,10 @@
 //!   posting scans, merge/structural join operators and order
 //!   enforcers (§4.3, the default query path);
 //! * [`eval`] — the legacy materializing query processor, retained as
-//!   the equivalence oracle behind [`exec::ExecMode::Materialized`].
+//!   the equivalence oracle behind [`exec::ExecMode::Materialized`];
+//! * [`sharded`] — tid-range partitioned shards: parallel build,
+//!   scatter-gather execution with shard-skip pruning, and incremental
+//!   ingest via the shard manifest (`si_storage::shard`).
 
 pub mod blockcache;
 pub mod build;
@@ -35,6 +38,7 @@ pub mod extract;
 pub mod holistic;
 pub mod join;
 pub mod plan;
+pub mod sharded;
 pub mod stats;
 
 pub use blockcache::{BlockCache, BlockCacheConfig, BlockCacheStats};
@@ -44,4 +48,5 @@ pub use cover::{minrc, optimal_cover, Cover, CoverSubtree};
 pub use exec::{ExecContext, ExecMode, SharedTuples};
 pub use extract::{extract_subtrees, SubtreeRef};
 pub use plan::PlannerMode;
+pub use sharded::{AnyIndex, ShardBuildMode, ShardedBuildConfig, ShardedIndex};
 pub use stats::{KeyStats, Stats, StatsCache};

@@ -32,9 +32,10 @@ use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use si_core::cover::decompose;
-use si_core::eval::EvalResult;
+use si_core::eval::{EvalResult, EvalStats};
 use si_core::exec::{collect_scan_tuples, ExecContext, SharedTuples, TreeCache};
 use si_core::join::Tuple;
+use si_core::sharded::{merge_shard_stats, shard_provably_empty_with, ShardedIndex};
 use si_core::stats::{intersect_tid_ranges, key_stats_cached, KeyStats, StatsCache};
 use si_core::{BlockCache, BlockCacheConfig, BlockCacheStats, Coding, SubtreeIndex};
 use si_query::Query;
@@ -128,6 +129,121 @@ impl BatchReport {
     }
 }
 
+/// Counter snapshot of a [`QueryService`]'s cross-batch tuple pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TuplePoolStats {
+    /// Shared keys served from the pool (no re-decode).
+    pub hits: u64,
+    /// Shared keys the pool did not hold.
+    pub misses: u64,
+    /// Vectors admitted.
+    pub insertions: u64,
+    /// Vectors evicted to stay within budget.
+    pub evictions: u64,
+    /// Bytes currently resident.
+    pub current_bytes: u64,
+    /// High-water mark of resident bytes (must stay ≤ the budget).
+    pub peak_bytes: u64,
+}
+
+struct PoolEntry {
+    tuples: Arc<Vec<Tuple>>,
+    bytes: usize,
+    /// Logical clock of the last touch (get or insert).
+    stamp: u64,
+}
+
+/// Byte-bounded **LRU** pool of decoded shared tuple vectors, the
+/// cross-batch successor of PR 2's insert-until-budget pool: like the
+/// block cache, an insert over budget evicts the least-recently-used
+/// entries until the new vector fits, so hot keys rotate in as the
+/// workload shifts instead of the first-seen keys squatting the budget
+/// forever. Entries are few and large (whole decoded lists), so
+/// recency is a per-entry stamp and eviction scans for the minimum —
+/// no intrusive list needed at this granularity.
+struct TuplePool {
+    map: HashMap<Vec<u8>, PoolEntry>,
+    clock: u64,
+    bytes: usize,
+    budget: usize,
+    stats: TuplePoolStats,
+}
+
+impl TuplePool {
+    fn new(budget: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            clock: 0,
+            bytes: 0,
+            budget,
+            stats: TuplePoolStats::default(),
+        }
+    }
+
+    fn entry_bytes(key: &[u8], tuples: &[Tuple]) -> usize {
+        key.len() + std::mem::size_of_val(tuples)
+    }
+
+    /// Looks `key` up, refreshing its recency on a hit.
+    fn get(&mut self, key: &[u8]) -> Option<Arc<Vec<Tuple>>> {
+        self.clock += 1;
+        match self.map.get_mut(key) {
+            Some(entry) => {
+                entry.stamp = self.clock;
+                self.stats.hits += 1;
+                Some(entry.tuples.clone())
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Admits a freshly decoded vector, evicting least-recently-used
+    /// entries until it fits; a vector larger than the whole budget is
+    /// never admitted (it would evict everything for one key).
+    fn insert(&mut self, key: &[u8], tuples: &Arc<Vec<Tuple>>) {
+        let bytes = Self::entry_bytes(key, tuples);
+        if bytes > self.budget || self.map.contains_key(key) {
+            return;
+        }
+        while self.bytes + bytes > self.budget {
+            let Some(lru) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            let evicted = self.map.remove(&lru).expect("lru key present");
+            self.bytes -= evicted.bytes;
+            self.stats.evictions += 1;
+        }
+        self.clock += 1;
+        self.map.insert(
+            key.to_vec(),
+            PoolEntry {
+                tuples: tuples.clone(),
+                bytes,
+                stamp: self.clock,
+            },
+        );
+        self.bytes += bytes;
+        self.stats.insertions += 1;
+        self.stats.current_bytes = self.bytes as u64;
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.bytes as u64);
+    }
+
+    fn stats(&self) -> TuplePoolStats {
+        TuplePoolStats {
+            current_bytes: self.bytes as u64,
+            ..self.stats
+        }
+    }
+}
+
 /// A multi-threaded batch query service; see the module docs.
 pub struct QueryService {
     index: Arc<SubtreeIndex>,
@@ -140,11 +256,11 @@ pub struct QueryService {
     /// Decoded-tree cache for validation phases (hot candidate trees
     /// recur across a batch's queries).
     trees: Arc<TreeCache>,
-    /// Cross-batch pool of shared tuple vectors, byte-bounded by
+    /// Cross-batch LRU pool of shared tuple vectors, byte-bounded by
     /// [`ServiceConfig::shared_pool_budget_bytes`]; hot keys stay
-    /// pre-decoded across batches (the index is read-only).
-    shared_pool: Mutex<SharedTuples>,
-    shared_pool_bytes: AtomicUsize,
+    /// pre-decoded across batches (the index is read-only) and cold
+    /// ones are evicted as the workload rotates.
+    shared_pool: Mutex<TuplePool>,
     config: ServiceConfig,
 }
 
@@ -158,29 +274,26 @@ impl QueryService {
             cache: Arc::new(BlockCache::new(config.cache)),
             stats: StatsCache::default(),
             trees: Arc::new(TreeCache::default()),
-            shared_pool: Mutex::new(HashMap::new()),
-            shared_pool_bytes: AtomicUsize::new(0),
+            shared_pool: Mutex::new(TuplePool::new(config.shared_pool_budget_bytes)),
             config,
         }
     }
 
     /// Admits a freshly decoded shared vector into the cross-batch pool
-    /// if the byte budget allows; over budget it stays batch-local.
+    /// (LRU replacement within the byte budget).
     fn pool_insert(&self, key: &[u8], tuples: &Arc<Vec<Tuple>>) {
-        let bytes = key.len() + tuples.len() * std::mem::size_of::<Tuple>();
-        let budget = self.config.shared_pool_budget_bytes;
-        if self.shared_pool_bytes.load(Ordering::Relaxed) + bytes > budget {
-            return;
-        }
-        let mut pool = self.shared_pool.lock().unwrap_or_else(|e| e.into_inner());
-        if pool.contains_key(key) {
-            return;
-        }
-        if self.shared_pool_bytes.load(Ordering::Relaxed) + bytes > budget {
-            return;
-        }
-        pool.insert(key.to_vec(), tuples.clone());
-        self.shared_pool_bytes.fetch_add(bytes, Ordering::Relaxed);
+        self.shared_pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .insert(key, tuples);
+    }
+
+    /// Cross-batch tuple-pool counters (cumulative).
+    pub fn pool_stats(&self) -> TuplePoolStats {
+        self.shared_pool
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .stats()
     }
 
     /// The underlying index.
@@ -292,12 +405,12 @@ impl QueryService {
         let shared: Mutex<SharedTuples> = Mutex::new(HashMap::new());
         let mut to_decode: Vec<Vec<u8>> = Vec::new();
         {
-            let pool = self.shared_pool.lock().unwrap_or_else(|e| e.into_inner());
+            let mut pool = self.shared_pool.lock().unwrap_or_else(|e| e.into_inner());
             let mut shared = shared.lock().unwrap();
             for key in &shared_keys {
                 match pool.get(key) {
                     Some(tuples) => {
-                        shared.insert(key.clone(), tuples.clone());
+                        shared.insert(key.clone(), tuples);
                     }
                     None => to_decode.push(key.clone()),
                 }
@@ -381,5 +494,224 @@ impl QueryService {
             shared_keys: shared_keys.len(),
             shared_consumers,
         })
+    }
+}
+
+/// The batch service over a tid-range sharded index
+/// ([`ShardedIndex`]): one [`QueryService`] per shard, each with its
+/// own block cache, stats cache, tree cache and shared-scan pool —
+/// shards store the *same canonical keys* over different posting
+/// lists, so no decoded state may ever cross a shard boundary. The
+/// parent budgets ([`ServiceConfig::cache`],
+/// [`ServiceConfig::shared_pool_budget_bytes`]) are split evenly
+/// across shards so a sharded service is bounded like a monolithic
+/// one.
+///
+/// A batch runs shard by shard (each shard batch uses the full worker
+/// pool and its shared-scan machinery): queries a shard's own
+/// statistics prove empty there are dropped from that shard's batch
+/// ([`EvalStats::shards_skipped`]), and per-shard outcomes merge by
+/// concatenating the tid-disjoint match sets in shard order — exactly
+/// the scatter-gather of `ShardedIndex::evaluate`, with batching
+/// inside each shard.
+pub struct ShardedQueryService {
+    index: Arc<ShardedIndex>,
+    services: Vec<QueryService>,
+    config: ServiceConfig,
+}
+
+impl ShardedQueryService {
+    /// Creates a service over a sharded index, splitting the cache and
+    /// pool budgets evenly across per-shard services.
+    pub fn new(index: Arc<ShardedIndex>, config: ServiceConfig) -> Self {
+        let n = index.shards().len().max(1);
+        let per_shard = ServiceConfig {
+            cache: BlockCacheConfig {
+                budget_bytes: (config.cache.budget_bytes / n).max(1),
+                ..config.cache
+            },
+            shared_pool_budget_bytes: config.shared_pool_budget_bytes / n,
+            ..config
+        };
+        let services = index
+            .shards()
+            .iter()
+            .map(|shard| QueryService::new(shard.clone(), per_shard))
+            .collect();
+        Self {
+            index,
+            services,
+            config,
+        }
+    }
+
+    /// The underlying sharded index.
+    pub fn index(&self) -> &Arc<ShardedIndex> {
+        &self.index
+    }
+
+    /// The configured batch size for line-oriented serving.
+    pub fn batch_size(&self) -> usize {
+        self.config.batch_size.max(1)
+    }
+
+    /// Block-cache counters summed across shards.
+    pub fn cache_stats(&self) -> BlockCacheStats {
+        let mut agg = BlockCacheStats::default();
+        for s in &self.services {
+            let c = s.cache_stats();
+            agg.hits += c.hits;
+            agg.misses += c.misses;
+            agg.insertions += c.insertions;
+            agg.evictions += c.evictions;
+            agg.current_bytes += c.current_bytes;
+            agg.peak_bytes += c.peak_bytes;
+        }
+        agg
+    }
+
+    /// Evaluates `queries` across all shards; results arrive in input
+    /// order and match the monolithic service (and the sequential
+    /// executor) exactly. Per-query `seconds` sums the query's worker
+    /// time across shards.
+    pub fn run_batch(&self, queries: &[Query]) -> Result<BatchReport> {
+        let started = Instant::now();
+        let options = self.index.options();
+        let covers: Vec<_> = queries
+            .iter()
+            .map(|q| decompose(q, options.mss, options.coding))
+            .collect();
+        let mut outcomes: Vec<QueryOutcome> = queries
+            .iter()
+            .zip(&covers)
+            .map(|(_, cover)| QueryOutcome {
+                result: EvalResult {
+                    matches: Vec::new(),
+                    stats: EvalStats {
+                        covers: cover.subtrees.len(),
+                        shards: self.services.len(),
+                        ..EvalStats::default()
+                    },
+                },
+                seconds: 0.0,
+            })
+            .collect();
+        let mut shared_keys = 0usize;
+        let mut shared_consumers = 0usize;
+
+        for (entry, service) in self.index.manifest().shards.iter().zip(&self.services) {
+            // Shard-skip pruning: this shard's own stats segment can
+            // prove a query empty here before any list is opened. The
+            // probes run through the per-shard service's StatsCache, so
+            // repeat batches pay one B+Tree descent per key per shard
+            // lifetime, not per query.
+            let probe_ctx = ExecContext {
+                stats: Some(service.stats.clone()),
+                ..ExecContext::default()
+            };
+            let mut live: Vec<usize> = Vec::with_capacity(queries.len());
+            for (i, cover) in covers.iter().enumerate() {
+                if shard_provably_empty_with(
+                    service.index(),
+                    &cover.subtrees,
+                    si_core::PlannerMode::CostBased,
+                    &probe_ctx,
+                )? {
+                    outcomes[i].result.stats.shards_skipped += 1;
+                } else {
+                    live.push(i);
+                }
+            }
+            if live.is_empty() {
+                continue;
+            }
+            let shard_queries: Vec<Query> = live.iter().map(|&i| queries[i].clone()).collect();
+            let report = service.run_batch(&shard_queries)?;
+            shared_keys += report.shared_keys;
+            shared_consumers += report.shared_consumers;
+            for (&i, outcome) in live.iter().zip(report.outcomes) {
+                let out = &mut outcomes[i];
+                // Shards ascend in tid order and their answers are
+                // tid-disjoint: appending keeps the global set sorted.
+                out.result.matches.extend(
+                    outcome
+                        .result
+                        .matches
+                        .iter()
+                        .map(|&(tid, pre)| (entry.base + tid, pre)),
+                );
+                merge_shard_stats(&mut out.result.stats, &outcome.result.stats);
+                out.seconds += outcome.seconds;
+            }
+        }
+        Ok(BatchReport {
+            outcomes,
+            wall_seconds: started.elapsed().as_secs_f64(),
+            shared_keys,
+            shared_consumers,
+        })
+    }
+}
+
+/// The batch service over either index layout — the service-level
+/// mirror of `si_core::AnyIndex`, so embedders (the CLI's `si batch` /
+/// `si serve` included) get one dispatch seam instead of re-writing
+/// it: monolithic directories get the shared-scan [`QueryService`],
+/// sharded ones the scatter-gather [`ShardedQueryService`].
+pub enum AnyQueryService {
+    /// Service over a single `index.bt` directory.
+    Mono(QueryService),
+    /// Service over a `MANIFEST.si` directory of tid-range shards.
+    Sharded(ShardedQueryService),
+}
+
+impl AnyQueryService {
+    /// Opens `dir` and wraps the matching service (sharded when
+    /// `MANIFEST.si` is present).
+    pub fn open(dir: &std::path::Path, config: ServiceConfig) -> Result<Self> {
+        Ok(if ShardedIndex::is_sharded(dir) {
+            AnyQueryService::Sharded(ShardedQueryService::new(
+                Arc::new(ShardedIndex::open(dir)?),
+                config,
+            ))
+        } else {
+            AnyQueryService::Mono(QueryService::new(
+                Arc::new(SubtreeIndex::open(dir)?),
+                config,
+            ))
+        })
+    }
+
+    /// The interner queries should be parsed against.
+    pub fn interner(&self) -> si_parsetree::LabelInterner {
+        match self {
+            AnyQueryService::Mono(s) => s.index().interner(),
+            AnyQueryService::Sharded(s) => s.index().interner(),
+        }
+    }
+
+    /// The configured batch size for line-oriented serving.
+    pub fn batch_size(&self) -> usize {
+        match self {
+            AnyQueryService::Mono(s) => s.batch_size(),
+            AnyQueryService::Sharded(s) => s.batch_size(),
+        }
+    }
+
+    /// Evaluates a batch on whichever layout is open; results arrive in
+    /// input order and match the sequential executor exactly.
+    pub fn run_batch(&self, queries: &[Query]) -> Result<BatchReport> {
+        match self {
+            AnyQueryService::Mono(s) => s.run_batch(queries),
+            AnyQueryService::Sharded(s) => s.run_batch(queries),
+        }
+    }
+
+    /// Block-cache counters (summed across shards when sharded).
+    pub fn cache_stats(&self) -> BlockCacheStats {
+        match self {
+            AnyQueryService::Mono(s) => s.cache_stats(),
+            AnyQueryService::Sharded(s) => s.cache_stats(),
+        }
     }
 }

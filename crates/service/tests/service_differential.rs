@@ -6,10 +6,11 @@
 
 use std::sync::Arc;
 
+use si_core::sharded::{ShardBuildMode, ShardedBuildConfig, ShardedIndex};
 use si_core::{BlockCacheConfig, Coding, IndexOptions, SubtreeIndex};
 use si_corpus::{fb_query_set, wh_query_set, GeneratorConfig};
 use si_query::Query;
-use si_service::{QueryService, ServiceConfig};
+use si_service::{QueryService, ServiceConfig, ShardedQueryService};
 
 fn tmp_dir(name: &str) -> std::path::PathBuf {
     let dir = std::env::temp_dir().join(format!(
@@ -165,6 +166,132 @@ fn cache_never_exceeds_configured_budget() {
         stats.peak_bytes
     );
     assert!(stats.evictions > 0, "a thrashed cache must evict");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The sharded service must return, per query, exactly the sequential
+/// streaming executor's matches over a monolithic index of the same
+/// corpus — across codings, thread counts and cold/warm caches.
+#[test]
+fn sharded_service_matches_monolith_sequential() {
+    let seed = 0xBA7C_0004;
+    let corpus = GeneratorConfig::default().with_seed(seed).generate(350);
+    let queries = workload(&corpus, seed);
+    for coding in Coding::ALL {
+        let mono_dir = tmp_dir(&format!("shsvc-mono-{coding:?}").to_lowercase());
+        let shard_dir = tmp_dir(&format!("shsvc-shard-{coding:?}").to_lowercase());
+        let options = IndexOptions::new(3, coding);
+        let mono =
+            SubtreeIndex::build(&mono_dir, corpus.trees(), corpus.interner(), options).unwrap();
+        let sharded = Arc::new(
+            ShardedIndex::build(
+                &shard_dir,
+                corpus.trees(),
+                corpus.interner(),
+                options,
+                ShardedBuildConfig {
+                    shards: 4,
+                    workers: 2,
+                    mode: ShardBuildMode::InMemory,
+                },
+            )
+            .unwrap(),
+        );
+        let expected: Vec<_> = queries
+            .iter()
+            .map(|q| mono.evaluate(q).unwrap().matches)
+            .collect();
+        for threads in [1, 4] {
+            let service = ShardedQueryService::new(
+                sharded.clone(),
+                ServiceConfig {
+                    threads,
+                    ..ServiceConfig::default()
+                },
+            );
+            for round in 0..2 {
+                let report = service.run_batch(&queries).unwrap();
+                assert_eq!(report.outcomes.len(), queries.len());
+                for (i, outcome) in report.outcomes.iter().enumerate() {
+                    assert_eq!(
+                        outcome.result.matches, expected[i],
+                        "query {i} under {coding}, {threads} threads, round {round}"
+                    );
+                    assert_eq!(outcome.result.stats.shards, 4, "query {i}");
+                }
+            }
+        }
+        std::fs::remove_dir_all(&mono_dir).ok();
+        std::fs::remove_dir_all(&shard_dir).ok();
+    }
+}
+
+/// The cross-batch shared-scan pool is a byte-bounded LRU now: under a
+/// budget far smaller than the workload's shared vectors it must evict
+/// (not refuse admission), keep residency within budget, and hit on
+/// keys hot across consecutive batches — all without changing answers.
+#[test]
+fn shared_pool_lru_evicts_and_stays_within_budget() {
+    let seed = 0xBA7C_0005;
+    let corpus = GeneratorConfig::default().with_seed(seed).generate(400);
+    let queries = workload(&corpus, seed);
+    let dir = tmp_dir("pool-lru");
+    let index = Arc::new(
+        SubtreeIndex::build(
+            &dir,
+            corpus.trees(),
+            corpus.interner(),
+            IndexOptions::new(3, Coding::RootSplit),
+        )
+        .unwrap(),
+    );
+    let budget = 32 << 10;
+    let service = QueryService::new(
+        index.clone(),
+        ServiceConfig {
+            threads: 2,
+            shared_pool_budget_bytes: budget,
+            ..ServiceConfig::default()
+        },
+    );
+    let expected: Vec<_> = queries
+        .iter()
+        .map(|q| index.evaluate(q).unwrap().matches)
+        .collect();
+    // Two rounds per workload half: the repeat round must hit the pool
+    // on whatever survived the first (insert order varies with worker
+    // scheduling, but the key sets are identical, so any resident
+    // vector hits), and switching halves under the tiny budget forces
+    // evictions — the insert-until-budget pool would instead pin the
+    // first half's keys forever.
+    let mid = queries.len() / 2;
+    for round in 0..4 {
+        let (slice, offset) = if round < 2 {
+            (&queries[..mid], 0)
+        } else {
+            (&queries[mid..], mid)
+        };
+        let report = service.run_batch(slice).unwrap();
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            assert_eq!(outcome.result.matches, expected[offset + i], "query {i}");
+        }
+    }
+    let pool = service.pool_stats();
+    assert!(
+        pool.peak_bytes <= budget as u64,
+        "pool peak {} exceeds budget {budget}",
+        pool.peak_bytes
+    );
+    assert!(pool.current_bytes <= budget as u64);
+    assert!(pool.insertions > 0, "shared vectors must be admitted");
+    assert!(
+        pool.evictions > 0,
+        "a rotating workload over a tiny budget must evict: {pool:?}"
+    );
+    assert!(
+        pool.hits > 0,
+        "keys hot across batches must be served from the pool: {pool:?}"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 

@@ -12,14 +12,18 @@
 //!   (canonical subtree encodings) to arbitrary byte values (posting
 //!   lists), with overflow chains for values larger than a page;
 //! * [`datafile`] — the corpus store ([`CorpusStore`]): the data file of
-//!   flattened trees, its offset index and the label interner.
+//!   flattened trees, its offset index and the label interner;
+//! * [`shard`] — the shard manifest ([`ShardManifest`]) describing a
+//!   tid-range partitioned index directory of N full per-shard indexes.
 
 pub mod btree;
 pub mod datafile;
 pub mod error;
 pub mod pager;
+pub mod shard;
 
 pub use btree::{BTree, BTreeStats, KeyStats, ValueReader};
 pub use datafile::CorpusStore;
 pub use error::{Result, StorageError};
 pub use pager::{PageId, Pager, PagerCounters, PAGE_SIZE};
+pub use shard::{ShardEntry, ShardManifest, MANIFEST_FILE};
