@@ -8,7 +8,7 @@
 //! ```
 //!
 //! Experiment ids: fig2 fig3 fig8 fig9 fig10 tab1 fig11 fig12 tab2 fig13
-//! tab3 streaming service planner shard (or `all`). See DESIGN.md §6 for
+//! tab3 streaming service planner shard pipeline (or `all`). See DESIGN.md §6 for
 //! the per-experiment index and EXPERIMENTS.md for recorded
 //! paper-vs-measured results. `streaming` runs the executor ablation
 //! (streaming pipeline vs legacy materializing evaluator) and writes
@@ -20,7 +20,13 @@
 //! `BENCH_planner.json`; `shard` races the tid-partitioned parallel
 //! shard build against the single-file parallel build and the sharded
 //! scatter-gather service against one-at-a-time monolith execution
-//! (match sets asserted identical), writing `BENCH_shard.json`.
+//! (match sets asserted identical), writing `BENCH_shard.json`;
+//! `pipeline` measures the zero-copy posting pipeline (owned
+//! materializing path vs borrow-based streaming vs warm-cache borrowed
+//! postings — latency, peak resident bytes, borrowed-posting and
+//! avoided-sort counters), asserting match-set equality across codings,
+//! executors, planner modes and shard counts, and writes
+//! `BENCH_pipeline.json`.
 //!
 //! Flags: `--seed N` pins the corpus RNG seed (default `0x5EED0001`) so
 //! every `BENCH_*.json` is reproducible across machines; `--threads N`
@@ -45,6 +51,7 @@ const ALL: &[&str] = &[
     "service",
     "planner",
     "shard",
+    "pipeline",
 ];
 
 fn main() {
@@ -146,6 +153,10 @@ fn main() {
             "shard" => {
                 let report = harness::run_shard_bench(scale, threads);
                 harness::emit_shard_bench(scale, &report).expect("write BENCH_shard.json");
+            }
+            "pipeline" => {
+                let report = harness::run_pipeline_bench(scale);
+                harness::emit_pipeline_bench(scale, &report).expect("write BENCH_pipeline.json");
             }
             _ => unreachable!("validated above"),
         }

@@ -1668,6 +1668,340 @@ pub fn emit_shard_bench(scale: Scale, report: &ShardBenchReport) -> std::io::Res
     Ok(())
 }
 
+// --------------------------------------------------------------------
+// Zero-copy posting pipeline: BENCH_pipeline.json
+// --------------------------------------------------------------------
+
+/// One path's measurement of one query in the pipeline bench.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PipelineMeasure {
+    /// Minimum wall-clock seconds over the timed repetitions.
+    pub seconds: f64,
+    /// Peak resident posting-derived bytes.
+    pub peak_posting_bytes: usize,
+    /// Postings served as zero-copy borrows out of cached blocks.
+    pub postings_borrowed: u64,
+    /// Order enforcers avoided (plan preference + run detection).
+    pub sort_exchanges_avoided: usize,
+}
+
+/// One query's figures across the three posting paths.
+#[derive(Debug, Clone)]
+pub struct PipelineBenchRow {
+    /// Query text.
+    pub name: String,
+    /// Coding scheme measured.
+    pub coding: Coding,
+    /// Match count (asserted identical across every configuration).
+    pub matches: usize,
+    /// The owned pre-refactor baseline: the materializing evaluator
+    /// (every posting decoded into an owned `Vec` before the joins).
+    pub owned: PipelineMeasure,
+    /// Borrow-based streaming without a cache (postings lent out of the
+    /// cursor's reusable decode slot).
+    pub streaming: PipelineMeasure,
+    /// Borrow-based streaming over a pre-warmed block cache (postings
+    /// lent straight out of pinned cached blocks — the zero-copy hit
+    /// path).
+    pub warm: PipelineMeasure,
+}
+
+/// Aggregate figures of [`run_pipeline_bench`].
+#[derive(Debug)]
+pub struct PipelineBenchReport {
+    /// Per-query rows across all codings.
+    pub rows: Vec<PipelineBenchRow>,
+    /// Timed repetitions per query per path.
+    pub reps: usize,
+    /// Match-set equivalence checks performed (codings × executors ×
+    /// planner modes × shard counts, per query).
+    pub equivalence_checks: usize,
+}
+
+fn pipeline_measure(result: &si_core::eval::EvalResult, seconds: f64, acc: &mut PipelineMeasure) {
+    if acc.seconds == 0.0 || seconds < acc.seconds {
+        acc.seconds = seconds;
+    }
+    acc.peak_posting_bytes = acc.peak_posting_bytes.max(result.stats.peak_posting_bytes);
+    acc.postings_borrowed = acc.postings_borrowed.max(result.stats.postings_borrowed);
+    acc.sort_exchanges_avoided = acc
+        .sort_exchanges_avoided
+        .max(result.stats.sort_exchanges_avoided);
+}
+
+/// Runs the zero-copy pipeline bench: every workload query (WH + FB +
+/// the selective rare-pair class) under the owned materializing path,
+/// plain borrow-based streaming, and warm-cache zero-copy streaming,
+/// with match sets asserted identical across **every** configuration —
+/// 3 codings × {materialized, streaming} × {cost-based, byte-ordered}
+/// × {monolith, 2-shard} — plus a live check that the sort-free plan
+/// rule fires on the interval workload.
+pub fn run_pipeline_bench(scale: Scale) -> PipelineBenchReport {
+    use si_core::sharded::{ShardBuildMode, ShardedBuildConfig, ShardedIndex};
+    use si_core::{BlockCache, BlockCacheConfig, ExecContext, PlannerMode};
+    use std::sync::Arc;
+
+    let work = Workdir::new("pipeline");
+    let n = match scale {
+        Scale::Small => 5_000,
+        Scale::Paper => 100_000,
+    };
+    let big = corpus(n);
+    let (wh, fb) = workload(&big, 200);
+    let mut queries: Vec<(String, Query)> = wh
+        .into_iter()
+        .chain(fb.into_iter().map(|(c, s, q)| (format!("fb-{c}-{s}"), q)))
+        .collect();
+    let reps = scale.reps().max(5);
+    let mut rows = Vec::new();
+    let mut equivalence_checks = 0usize;
+    let mut sel_added = false;
+    for coding in [
+        Coding::RootSplit,
+        Coding::SubtreeInterval,
+        Coding::FilterBased,
+    ] {
+        let dir = work.path(&format!("pipe-{coding:?}"));
+        let shard_dir = work.path(&format!("pipe-sh-{coding:?}"));
+        let mut index = SubtreeIndex::build(
+            &dir,
+            big.trees(),
+            big.interner(),
+            IndexOptions::new(3, coding),
+        )
+        .expect("pipeline bench build");
+        let sharded = ShardedIndex::build(
+            &shard_dir,
+            big.trees(),
+            big.interner(),
+            IndexOptions::new(3, coding),
+            ShardedBuildConfig {
+                shards: 2,
+                workers: 2,
+                mode: ShardBuildMode::InMemory,
+            },
+        )
+        .expect("pipeline bench sharded build");
+        if !sel_added {
+            let mut interner = index.interner();
+            queries.extend(selective_pair_queries(&index, &mut interner, 48));
+            sel_added = true;
+        }
+        let cache = Arc::new(BlockCache::new(BlockCacheConfig::with_budget(128 << 20)));
+        let warm_ctx = ExecContext {
+            cache: Some(cache),
+            ..Default::default()
+        };
+        for (name, q) in &queries {
+            let mut owned = PipelineMeasure::default();
+            let mut streaming = PipelineMeasure::default();
+            let mut warm = PipelineMeasure::default();
+
+            // Live equivalence matrix (executors × planners × shards),
+            // which doubles as the warmup pass for the timed reps.
+            index.set_exec_mode(si_core::ExecMode::Materialized);
+            let oracle = index.evaluate(q).expect("owned evaluate").matches;
+            index.set_exec_mode(si_core::ExecMode::Streaming);
+            for planner in [PlannerMode::CostBased, PlannerMode::ByteLen] {
+                let ctx = ExecContext {
+                    planner,
+                    ..Default::default()
+                };
+                let got = index.evaluate_with(q, &ctx).expect("streaming evaluate");
+                assert_eq!(
+                    got.matches, oracle,
+                    "divergence: {name} {coding} streaming/{planner:?}"
+                );
+                equivalence_checks += 1;
+                let sh = sharded
+                    .evaluate_with_planner(q, planner)
+                    .expect("sharded evaluate");
+                assert_eq!(
+                    sh.matches, oracle,
+                    "divergence: {name} {coding} sharded/{planner:?}"
+                );
+                equivalence_checks += 1;
+            }
+            let warmed = index.evaluate_with(q, &warm_ctx).expect("cache warmup");
+            assert_eq!(warmed.matches, oracle, "divergence: {name} {coding} cached");
+            equivalence_checks += 1;
+
+            // Timed repetitions, interleaved so drift hits all paths.
+            for _ in 0..reps {
+                index.set_exec_mode(si_core::ExecMode::Materialized);
+                let (r, secs) = time(|| index.evaluate(q).expect("owned"));
+                pipeline_measure(&r, secs, &mut owned);
+                index.set_exec_mode(si_core::ExecMode::Streaming);
+                let (r, secs) = time(|| index.evaluate(q).expect("streaming"));
+                pipeline_measure(&r, secs, &mut streaming);
+                let (r, secs) = time(|| index.evaluate_with(q, &warm_ctx).expect("warm"));
+                assert_eq!(r.matches, oracle, "divergence: {name} {coding} warm rep");
+                pipeline_measure(&r, secs, &mut warm);
+            }
+            rows.push(PipelineBenchRow {
+                name: name.clone(),
+                coding,
+                matches: oracle.len(),
+                owned,
+                streaming,
+                warm,
+            });
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&shard_dir).ok();
+    }
+
+    // The sort-free plan rule must fire on the interval workload (the
+    // CI smoke gate): multi-cover interval queries are root-slot
+    // drivable, and a refactor that stopped avoiding their sorts would
+    // zero this counter.
+    let interval_avoided: usize = rows
+        .iter()
+        .filter(|r| r.coding == Coding::SubtreeInterval)
+        .map(|r| r.warm.sort_exchanges_avoided)
+        .sum();
+    assert!(
+        interval_avoided > 0,
+        "no sort exchange avoided across the interval workload"
+    );
+    // Warm zero-copy scans must beat the owned path on peak resident
+    // bytes for the interval coding — the refactor's headline claim.
+    let (warm_peak, owned_peak) = rows
+        .iter()
+        .filter(|r| r.coding == Coding::SubtreeInterval)
+        .fold((0usize, 0usize), |(w, o), r| {
+            (
+                w + r.warm.peak_posting_bytes,
+                o + r.owned.peak_posting_bytes,
+            )
+        });
+    assert!(
+        (warm_peak as f64) < 0.5 * owned_peak as f64,
+        "warm interval peak bytes {warm_peak} not below half of owned {owned_peak}"
+    );
+
+    PipelineBenchReport {
+        rows,
+        reps,
+        equivalence_checks,
+    }
+}
+
+/// Prints the pipeline summary and writes `BENCH_pipeline.json` into
+/// the current directory.
+pub fn emit_pipeline_bench(scale: Scale, report: &PipelineBenchReport) -> std::io::Result<()> {
+    println!("# Zero-copy posting pipeline: owned vs borrowed vs warm-cache borrowed");
+    println!(
+        "{} queries x {} reps, {} equivalence checks, seed {:#x}",
+        report.rows.len(),
+        report.reps,
+        report.equivalence_checks,
+        corpus_seed()
+    );
+    println!(
+        "{:<18} {:>8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9} {:>8}",
+        "coding",
+        "queries",
+        "owned ms",
+        "str ms",
+        "warm ms",
+        "owned KiB",
+        "str KiB",
+        "warm KiB",
+        "borrowed",
+        "avoided"
+    );
+    let mut summaries = Vec::new();
+    for coding in [
+        Coding::RootSplit,
+        Coding::SubtreeInterval,
+        Coding::FilterBased,
+    ] {
+        let sel: Vec<&PipelineBenchRow> =
+            report.rows.iter().filter(|r| r.coding == coding).collect();
+        if sel.is_empty() {
+            continue;
+        }
+        let sum = |f: &dyn Fn(&PipelineBenchRow) -> f64| -> f64 { sel.iter().map(|r| f(r)).sum() };
+        let owned_ms = sum(&|r| r.owned.seconds) * 1e3;
+        let str_ms = sum(&|r| r.streaming.seconds) * 1e3;
+        let warm_ms = sum(&|r| r.warm.seconds) * 1e3;
+        let owned_kib = sum(&|r| r.owned.peak_posting_bytes as f64) / sel.len() as f64 / 1024.0;
+        let str_kib = sum(&|r| r.streaming.peak_posting_bytes as f64) / sel.len() as f64 / 1024.0;
+        let warm_kib = sum(&|r| r.warm.peak_posting_bytes as f64) / sel.len() as f64 / 1024.0;
+        let borrowed: u64 = sel.iter().map(|r| r.warm.postings_borrowed).sum();
+        let avoided: usize = sel.iter().map(|r| r.warm.sort_exchanges_avoided).sum();
+        println!(
+            "{:<18} {:>8} {:>10.3} {:>10.3} {:>10.3} {:>10.1} {:>10.1} {:>10.1} {:>9} {:>8}",
+            coding.name(),
+            sel.len(),
+            owned_ms,
+            str_ms,
+            warm_ms,
+            owned_kib,
+            str_kib,
+            warm_kib,
+            borrowed,
+            avoided
+        );
+        summaries.push(format!(
+            "    {{\"coding\": \"{}\", \"queries\": {}, \"owned_total_ms\": {:.4}, \
+             \"streaming_total_ms\": {:.4}, \"warm_total_ms\": {:.4}, \
+             \"owned_mean_peak_bytes\": {:.0}, \"streaming_mean_peak_bytes\": {:.0}, \
+             \"warm_mean_peak_bytes\": {:.0}, \"postings_borrowed\": {}, \
+             \"sort_exchanges_avoided\": {}}}",
+            coding.name(),
+            sel.len(),
+            owned_ms,
+            str_ms,
+            warm_ms,
+            owned_kib * 1024.0,
+            str_kib * 1024.0,
+            warm_kib * 1024.0,
+            borrowed,
+            avoided
+        ));
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"scale\": \"{scale:?}\",\n  \"mss\": 3,\n  \"seed\": {},\n  \"reps\": {},\n  \
+         \"match_sets_identical\": true,\n  \"equivalence_checks\": {},\n  \"summary\": [\n",
+        corpus_seed(),
+        report.reps,
+        report.equivalence_checks,
+    ));
+    json.push_str(&summaries.join(",\n"));
+    json.push_str("\n  ],\n  \"queries\": [\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"query\": \"{}\", \"coding\": \"{}\", \"matches\": {}, \
+             \"owned\": {{\"ms\": {:.4}, \"peak_bytes\": {}}}, \
+             \"streaming\": {{\"ms\": {:.4}, \"peak_bytes\": {}}}, \
+             \"warm\": {{\"ms\": {:.4}, \"peak_bytes\": {}, \"borrowed\": {}, \"sorts_avoided\": {}}}}}{}\n",
+            json_escape(&r.name),
+            r.coding.name(),
+            r.matches,
+            r.owned.seconds * 1e3,
+            r.owned.peak_posting_bytes,
+            r.streaming.seconds * 1e3,
+            r.streaming.peak_posting_bytes,
+            r.warm.seconds * 1e3,
+            r.warm.peak_posting_bytes,
+            r.warm.postings_borrowed,
+            r.warm.sort_exchanges_avoided,
+            if i + 1 == report.rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_pipeline.json", json)?;
+    println!(
+        "wrote BENCH_pipeline.json ({} query measurements)",
+        report.rows.len()
+    );
+    Ok(())
+}
+
 /// Convenience: a tiny corpus + root-split index for Criterion benches.
 pub fn bench_fixture(
     sentences: usize,

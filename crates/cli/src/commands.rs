@@ -35,7 +35,11 @@ USAGE:
   si query     --index DIR QUERY [--show N] [--verbose]
                [--exec streaming|materialized]
                [--planner cost|bytes]
-               [--cache-mb N]                               evaluate a tree query
+               [--cache-mb N] [--sort-pref 4.0]             evaluate a tree query
+                                                            (--sort-pref: prefer sort-free
+                                                            root-slot plans when stream
+                                                            estimates are within the factor;
+                                                            1.0 disables)
   si batch     --index DIR --queries FILE [--threads N]
                [--cache-mb 64] [--batch-size 64]            run a query file concurrently
   si serve     --index DIR [--threads N] [--cache-mb 64]
@@ -251,9 +255,11 @@ fn query(args: &Args) -> Result<(), AnyError> {
             si_core::BlockCacheConfig::with_budget(cache_mb << 20),
         ))
     });
+    let sort_pref: f64 = args.get_or("sort-pref", si_core::plan::DEFAULT_ROOT_PREF_FACTOR)?;
     let ctx = si_core::ExecContext {
         cache,
         planner,
+        root_pref_factor: sort_pref,
         ..Default::default()
     };
     let started = std::time::Instant::now();
@@ -306,6 +312,10 @@ fn query(args: &Args) -> Result<(), AnyError> {
             } else {
                 "disabled; pass --cache-mb N".to_owned()
             }
+        );
+        println!(
+            "zero-copy   {} postings borrowed from cached blocks, {} sort exchanges avoided",
+            s.postings_borrowed, s.sort_exchanges_avoided
         );
     }
     for &(tid, pre) in result.matches.iter().take(show) {
@@ -395,6 +405,8 @@ struct ServiceSummary {
     wall_seconds: f64,
     latency_seconds: f64,
     shared_keys: usize,
+    postings_borrowed: u64,
+    sort_exchanges_avoided: usize,
 }
 
 impl ServiceSummary {
@@ -404,6 +416,8 @@ impl ServiceSummary {
         self.wall_seconds += other.wall_seconds;
         self.latency_seconds += other.latency_seconds;
         self.shared_keys += other.shared_keys;
+        self.postings_borrowed += other.postings_borrowed;
+        self.sort_exchanges_avoided += other.sort_exchanges_avoided;
     }
 }
 
@@ -444,6 +458,8 @@ fn run_service_batches(
                     )?;
                     summary.matches += outcome.result.len();
                     summary.latency_seconds += outcome.seconds;
+                    summary.postings_borrowed += outcome.result.stats.postings_borrowed;
+                    summary.sort_exchanges_avoided += outcome.result.stats.sort_exchanges_avoided;
                 }
                 Err(e) => writeln!(out, "{text}\terror: {e}")?,
             }
@@ -461,10 +477,10 @@ fn print_service_summary(
     threads: usize,
 ) {
     let cache = service.cache_stats();
+    let pool = service.pool_stats();
     eprintln!(
         "{} queries in {:.3} s ({:.0} QPS, {threads} threads), {} matches, \
-         mean latency {:.3} ms, {} shared scans, block cache {:.1}% hits \
-         ({} hits / {} misses, {} evictions)",
+         mean latency {:.3} ms, {} shared scans",
         summary.queries,
         summary.wall_seconds,
         if summary.wall_seconds > 0.0 {
@@ -479,10 +495,27 @@ fn print_service_summary(
             0.0
         },
         summary.shared_keys,
+    );
+    eprintln!(
+        "block cache: {:.1}% hits ({} hits / {} misses, {} evictions, peak {} KiB); \
+         {} postings borrowed zero-copy, {} sort exchanges avoided",
         cache.hit_rate() * 100.0,
         cache.hits,
         cache.misses,
         cache.evictions,
+        cache.peak_bytes >> 10,
+        summary.postings_borrowed,
+        summary.sort_exchanges_avoided,
+    );
+    eprintln!(
+        "tuple pool:  {} hits / {} misses, {} insertions, {} evictions, \
+         {} KiB resident (peak {} KiB)",
+        pool.hits,
+        pool.misses,
+        pool.insertions,
+        pool.evictions,
+        pool.current_bytes >> 10,
+        pool.peak_bytes >> 10,
     );
 }
 

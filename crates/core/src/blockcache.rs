@@ -23,9 +23,14 @@
 //!
 //! [`CachedListReader`] adapts the cache to the executor's
 //! [`PostingFeed`] seam: it walks a list block by block, serving hits
-//! from the cache and filling misses from a lazily opened
+//! **as zero-copy borrows out of the pinned block** (the reader's
+//! `Arc` keeps the block alive while the scan consumes it, even across
+//! a concurrent eviction) and filling misses from a lazily opened
 //! [`PostingCursor`] over the B+Tree value (inserting every block it
-//! decodes on the way, so one cold scan warms the whole list).
+//! decodes on the way, so one cold scan warms the whole list). A warm
+//! interval-coded scan therefore allocates nothing per posting — the
+//! `nodes` vectors live in the cached block and every consumer reads
+//! the same memory.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -357,11 +362,31 @@ pub struct CacheTally {
     pub hits: std::cell::Cell<u64>,
     /// Block misses.
     pub misses: std::cell::Cell<u64>,
+    /// Postings served as zero-copy borrows out of a cache-hit block
+    /// (no decode, no clone — the refactor's observable win).
+    pub borrowed: std::cell::Cell<u64>,
 }
 
 /// A [`PostingFeed`] over one key's posting list that serves decoded
 /// blocks from a [`BlockCache`], falling back to a B+Tree cursor on
 /// misses (and inserting what it decodes). See the module docs.
+///
+/// # Pinning contract
+///
+/// The reader holds its current block as an `Arc<DecodedBlock>`: a
+/// cache hit is **pinned** for exactly as long as the scan consumes it,
+/// so the borrows lent through [`PostingFeed::next_posting`] stay valid
+/// even if the cache evicts the block concurrently. Pinned hit blocks
+/// are charged to the cache's byte budget while resident, not to the
+/// scan — only blocks the reader itself decodes on a miss (plus the
+/// cursor's page window) count toward
+/// [`PostingFeed::peak_buffer_bytes`], which is what makes a warm
+/// interval-coded scan as cheap, memory-wise, as a root-split one.
+/// One deliberate gap: a hit block evicted *while* pinned leaves the
+/// cache ledger immediately but lives on until its reader moves past
+/// it, so for that window its bytes appear in neither meter. The
+/// excess is bounded by one block per open scan (a reader pins at
+/// most its current block) and ends at the next block boundary.
 pub struct CachedListReader<'a> {
     index: &'a SubtreeIndex,
     cache: Arc<BlockCache>,
@@ -372,12 +397,15 @@ pub struct CachedListReader<'a> {
     /// Position within `current`.
     in_block: usize,
     current: Option<Arc<DecodedBlock>>,
+    /// Whether `current` came from a cache hit (borrows served out of
+    /// it are zero-copy and its bytes are the cache's, not the scan's).
+    current_is_hit: bool,
     /// Lazily opened decode cursor and the index of the next block it
     /// would produce.
     cursor: Option<PostingCursor<ValueReader<'a>>>,
     cursor_block: u32,
     done: bool,
-    peak_block_bytes: usize,
+    peak_miss_block_bytes: usize,
 }
 
 impl<'a> CachedListReader<'a> {
@@ -397,10 +425,11 @@ impl<'a> CachedListReader<'a> {
             block_idx: 0,
             in_block: 0,
             current: None,
+            current_is_hit: false,
             cursor: None,
             cursor_block: 0,
             done: false,
-            peak_block_bytes: 0,
+            peak_miss_block_bytes: 0,
         }
     }
 
@@ -429,9 +458,12 @@ impl<'a> CachedListReader<'a> {
             let mut last = false;
             while postings.len() < bp {
                 match cursor.next_posting()? {
+                    // The one copy of the miss path: the cursor lends a
+                    // borrow of its decode slot, and the block takes an
+                    // owned clone so the cache outlives the cursor.
                     Some(p) => {
-                        bytes += posting_bytes(&p);
-                        postings.push(p);
+                        bytes += posting_bytes(p);
+                        postings.push(p.clone());
                     }
                     None => {
                         last = true;
@@ -462,52 +494,74 @@ impl<'a> CachedListReader<'a> {
     }
 }
 
-impl PostingFeed for CachedListReader<'_> {
-    fn next_posting(&mut self) -> Result<Option<Posting>> {
+impl CachedListReader<'_> {
+    /// Positions `self.current`/`self.in_block` on the next posting,
+    /// fetching or decoding the next block as needed. Returns whether a
+    /// posting is available at `current.postings[in_block - 1]`.
+    fn position_next(&mut self) -> Result<bool> {
         loop {
             if self.done {
-                return Ok(None);
+                return Ok(false);
             }
             if let Some(block) = &self.current {
                 if self.in_block < block.postings.len() {
-                    let p = block.postings[self.in_block].clone();
                     self.in_block += 1;
-                    return Ok(Some(p));
+                    if self.current_is_hit {
+                        self.tally.borrowed.set(self.tally.borrowed.get() + 1);
+                    }
+                    return Ok(true);
                 }
                 if block.last {
                     self.done = true;
-                    return Ok(None);
+                    return Ok(false);
                 }
                 self.block_idx += 1;
                 self.in_block = 0;
                 self.current = None;
             }
-            let block = match self.cache.get(&self.key, self.block_idx) {
+            let (block, hit) = match self.cache.get(&self.key, self.block_idx) {
                 Some(b) => {
                     self.tally.hits.set(self.tally.hits.get() + 1);
-                    b
+                    (b, true)
                 }
                 None => {
                     self.tally.misses.set(self.tally.misses.get() + 1);
                     match self.fill_through(self.block_idx)? {
-                        Some(b) => b,
+                        Some(b) => (b, false),
                         None => {
                             self.done = true;
-                            return Ok(None);
+                            return Ok(false);
                         }
                     }
                 }
             };
-            self.peak_block_bytes = self.peak_block_bytes.max(block.bytes);
+            if !hit {
+                // A block this reader decoded itself is its own resident
+                // footprint; a hit block is pinned shared cache memory.
+                self.peak_miss_block_bytes = self.peak_miss_block_bytes.max(block.bytes);
+            }
             self.in_block = 0;
             self.current = Some(block);
+            self.current_is_hit = hit;
         }
+    }
+}
+
+impl PostingFeed for CachedListReader<'_> {
+    fn next_posting(&mut self) -> Result<Option<&Posting>> {
+        Ok(if self.position_next()? {
+            let block = self.current.as_ref().expect("positioned on a block");
+            Some(&block.postings[self.in_block - 1])
+        } else {
+            None
+        })
     }
 
     fn peak_buffer_bytes(&self) -> usize {
-        // One decoded block resident at a time, plus the cursor window
-        // when a miss forced a decode.
-        self.peak_block_bytes
+        // Only self-decoded (miss) blocks plus the cursor's page window
+        // count against the scan; cache-hit blocks are pinned via `Arc`
+        // and charged to the cache budget (see the type docs).
+        self.peak_miss_block_bytes
             + self
                 .cursor
                 .as_ref()

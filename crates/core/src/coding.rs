@@ -125,6 +125,18 @@ pub enum Posting {
     },
 }
 
+impl Posting {
+    /// The containing tree, whichever coding the posting uses.
+    #[inline]
+    pub fn tid(&self) -> TreeId {
+        match self {
+            Posting::Tid(tid) => *tid,
+            Posting::Root { tid, .. } => *tid,
+            Posting::Occurrence { tid, .. } => *tid,
+        }
+    }
+}
+
 /// Builds one key's posting list during index construction. Occurrences
 /// must be pushed in `(tid, root.pre)` order, which
 /// [`crate::extract::for_each_subtree`] guarantees.
@@ -263,17 +275,32 @@ impl PostingBuilder {
 /// from the shared block cache. The streaming executor's scans are
 /// written against this trait so the cache slots in without touching
 /// the operator tree.
+///
+/// # Borrowing contract (zero-copy)
+///
+/// `next_posting` yields a **borrow** of the feed's internal buffer —
+/// the cursor's reusable decode slot, or a cached block the feed pins
+/// alive via `Arc` for as long as it is the current block. The borrow
+/// is valid until the next `next_posting` call (the lending-iterator
+/// shape); consumers copy node values into owned tuples only at the
+/// single point a tuple outlives its source posting. Interval-coded
+/// postings therefore never re-allocate their `nodes` vector per
+/// consumer: a cache hit is served straight out of the shared block.
 pub trait PostingFeed {
-    /// Produces the next posting, or `None` at a clean end of list.
-    fn next_posting(&mut self) -> si_storage::Result<Option<Posting>>;
+    /// Produces the next posting as a borrow from the feed's internal
+    /// buffer, or `None` at a clean end of list. The borrow is
+    /// invalidated by the next call.
+    fn next_posting(&mut self) -> si_storage::Result<Option<&Posting>>;
 
     /// High-water mark of resident bytes attributable to this feed (the
-    /// executor's memory-meter contribution).
+    /// executor's memory-meter contribution). Bytes owned by a shared
+    /// cache (pinned blocks) are charged to the cache's budget, not to
+    /// the feed.
     fn peak_buffer_bytes(&self) -> usize;
 }
 
 impl<S: ChunkSource> PostingFeed for PostingCursor<S> {
-    fn next_posting(&mut self) -> si_storage::Result<Option<Posting>> {
+    fn next_posting(&mut self) -> si_storage::Result<Option<&Posting>> {
         PostingCursor::next_posting(self)
     }
 
@@ -328,11 +355,14 @@ impl ChunkSource for SliceSource<'_> {
 }
 
 /// Streaming decoder of a posting list produced by [`PostingBuilder`]:
-/// pulls bytes from any [`ChunkSource`] and yields one [`Posting`] at a
-/// time, carrying the `tid` delta-decode state across chunk (and hence
-/// disk-page) boundaries. The resident buffer holds at most one source
-/// chunk plus one partial posting, so decoding a multi-page posting list
-/// costs O(chunk) memory instead of O(list).
+/// pulls bytes from any [`ChunkSource`] and lends one [`Posting`] at a
+/// time out of a reusable decode slot, carrying the `tid` delta-decode
+/// state across chunk (and hence disk-page) boundaries. The resident
+/// buffer holds at most one source chunk plus one partial posting, so
+/// decoding a multi-page posting list costs O(chunk) memory instead of
+/// O(list) — and because the slot (including an interval posting's
+/// `nodes` vector) is reused across postings, steady-state decoding
+/// performs **zero allocations per posting**.
 pub struct PostingCursor<S> {
     coding: Coding,
     key_nodes: usize,
@@ -345,6 +375,9 @@ pub struct PostingCursor<S> {
     src_done: bool,
     decoded: usize,
     peak_buf: usize,
+    /// Reusable decode slot the borrow returned by
+    /// [`PostingCursor::next_posting`] points into.
+    current: Posting,
 }
 
 impl<S: ChunkSource> PostingCursor<S> {
@@ -362,6 +395,7 @@ impl<S: ChunkSource> PostingCursor<S> {
             src_done: false,
             decoded: 0,
             peak_buf: 0,
+            current: Posting::Tid(0),
         }
     }
 
@@ -394,34 +428,25 @@ impl<S: ChunkSource> PostingCursor<S> {
         Ok(n > 0)
     }
 
-    /// Attempts to decode one posting from the current window without
-    /// consuming on failure. `None` = window truncated mid-posting.
-    fn try_decode(&self) -> Option<(Posting, usize)> {
-        decode_one(
-            self.coding,
-            self.key_nodes,
-            self.first,
-            self.tid,
-            &self.buf[self.pos..],
-        )
-    }
-
-    /// Decodes the next posting, refilling from the source as needed.
-    /// Returns `Ok(None)` at a clean end of list; a list that ends
-    /// mid-posting is reported as corruption.
-    pub fn next_posting(&mut self) -> si_storage::Result<Option<Posting>> {
+    /// Advances the cursor by decoding one posting into the reusable
+    /// slot, refilling from the source as needed. Returns whether a
+    /// posting is now available in `self.current`.
+    fn advance(&mut self) -> si_storage::Result<bool> {
         loop {
             if self.pos < self.buf.len() {
-                if let Some((posting, used)) = self.try_decode() {
+                if let Some(used) = decode_one_into(
+                    self.coding,
+                    self.key_nodes,
+                    self.first,
+                    self.tid,
+                    &self.buf[self.pos..],
+                    &mut self.current,
+                ) {
                     self.pos += used;
-                    self.tid = match posting {
-                        Posting::Tid(tid) => tid,
-                        Posting::Root { tid, .. } => tid,
-                        Posting::Occurrence { tid, .. } => tid,
-                    };
+                    self.tid = self.current.tid();
                     self.first = false;
                     self.decoded += 1;
-                    return Ok(Some(posting));
+                    return Ok(true);
                 }
             }
             if !self.refill()? {
@@ -430,51 +455,87 @@ impl<S: ChunkSource> PostingCursor<S> {
                         "posting list ends mid-posting".into(),
                     ))
                 } else {
-                    Ok(None)
+                    Ok(false)
                 };
             }
         }
     }
+
+    /// Decodes the next posting into the cursor's reusable slot and
+    /// lends it out. Returns `Ok(None)` at a clean end of list; a list
+    /// that ends mid-posting is reported as corruption. The borrow is
+    /// invalidated by the next call (the [`PostingFeed`] contract).
+    pub fn next_posting(&mut self) -> si_storage::Result<Option<&Posting>> {
+        Ok(if self.advance()? {
+            Some(&self.current)
+        } else {
+            None
+        })
+    }
 }
 
-/// Decodes one posting from the front of `bytes`, returning it and the
-/// bytes consumed; `None` when `bytes` ends mid-posting. The single
-/// decode implementation behind both [`PostingCursor`] (chunked) and
-/// [`PostingIter`] (borrowed slice).
-fn decode_one(
+/// Decodes one posting from the front of `bytes` **into** `slot`,
+/// returning the bytes consumed; `None` when `bytes` ends mid-posting
+/// (in which case `slot` holds garbage but stays structurally valid).
+/// The single decode implementation behind both [`PostingCursor`]
+/// (chunked, slot reused across postings — allocation-free) and
+/// [`PostingIter`] (borrowed slice, fresh slot per posting). An
+/// interval slot's `nodes` vector is recycled, so steady-state decode
+/// never allocates.
+fn decode_one_into(
     coding: Coding,
     key_nodes: usize,
     first: bool,
     prev_tid: TreeId,
     bytes: &[u8],
-) -> Option<(Posting, usize)> {
+    slot: &mut Posting,
+) -> Option<usize> {
     let mut r = varint::Reader::new(bytes);
     let delta = r.u32()?;
     let tid = if first { delta } else { prev_tid + delta };
-    let posting = match coding {
-        Coding::FilterBased => Posting::Tid(tid),
+    match coding {
+        Coding::FilterBased => *slot = Posting::Tid(tid),
         Coding::RootSplit => {
             let pre = r.u32()?;
             let post = r.u32()?;
             let level = r.u32()? as u16;
-            Posting::Root {
+            *slot = Posting::Root {
                 tid,
                 root: NodeVal { pre, post, level },
-            }
+            };
         }
         Coding::SubtreeInterval => {
-            let mut nodes = Vec::with_capacity(key_nodes);
+            let mut nodes = match std::mem::replace(slot, Posting::Tid(0)) {
+                Posting::Occurrence { nodes, .. } => nodes,
+                _ => Vec::with_capacity(key_nodes),
+            };
+            nodes.clear();
+            let mut complete = true;
             for _ in 0..key_nodes {
-                let pre = r.u32()?;
-                let post = r.u32()?;
-                let level = r.u32()? as u16;
-                let order = r.u32()? as u8;
-                nodes.push((NodeVal { pre, post, level }, order));
+                let (Some(pre), Some(post), Some(level), Some(order)) =
+                    (r.u32(), r.u32(), r.u32(), r.u32())
+                else {
+                    complete = false;
+                    break;
+                };
+                nodes.push((
+                    NodeVal {
+                        pre,
+                        post,
+                        level: level as u16,
+                    },
+                    order as u8,
+                ));
             }
-            Posting::Occurrence { tid, nodes }
+            // Park the vector back in the slot even on truncation, so
+            // its capacity survives for the retry after a refill.
+            *slot = Posting::Occurrence { tid, nodes };
+            if !complete {
+                return None;
+            }
         }
-    };
-    Some((posting, r.position()))
+    }
+    Some(r.position())
 }
 
 /// Decodes a posting list produced by [`PostingBuilder`]. `key_nodes` is
@@ -511,19 +572,17 @@ impl Iterator for PostingIter<'_> {
         if self.pos >= self.bytes.len() {
             return None;
         }
-        let (posting, used) = decode_one(
+        let mut posting = Posting::Tid(0);
+        let used = decode_one_into(
             self.coding,
             self.key_nodes,
             self.first,
             self.tid,
             &self.bytes[self.pos..],
+            &mut posting,
         )?;
         self.pos += used;
-        self.tid = match &posting {
-            Posting::Tid(tid) => *tid,
-            Posting::Root { tid, .. } => *tid,
-            Posting::Occurrence { tid, .. } => *tid,
-        };
+        self.tid = posting.tid();
         self.first = false;
         Some(posting)
     }
@@ -711,7 +770,7 @@ mod tests {
                 );
                 let mut got = Vec::new();
                 while let Some(p) = cursor.next_posting().unwrap() {
-                    got.push(p);
+                    got.push(p.clone());
                 }
                 assert_eq!(got, want, "{coding} chunk={chunk}");
                 assert_eq!(cursor.decoded(), want.len());
@@ -724,6 +783,32 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn cursor_reuses_the_occurrence_buffer_across_postings() {
+        // The zero-copy pipeline's decode side: after the first
+        // interval posting, the cursor's `nodes` vector is recycled —
+        // the lent borrows all point into the same allocation, so
+        // steady-state decoding allocates nothing per posting.
+        let mut b = PostingBuilder::new(Coding::SubtreeInterval);
+        for tid in 0u32..50 {
+            b.push(tid, &[(nv(1, 4, 1), 1), (nv(2, 3, 2), 2)]);
+        }
+        let bytes = b.finish();
+        let mut cursor = PostingCursor::new(Coding::SubtreeInterval, 2, SliceSource::new(&bytes));
+        let mut ptrs = Vec::new();
+        while let Some(p) = cursor.next_posting().unwrap() {
+            let Posting::Occurrence { nodes, .. } = p else {
+                panic!("interval cursor yields occurrences");
+            };
+            ptrs.push(nodes.as_ptr());
+        }
+        assert_eq!(ptrs.len(), 50);
+        assert!(
+            ptrs.windows(2).all(|w| w[0] == w[1]),
+            "nodes buffer must be reused across postings"
+        );
     }
 
     #[test]

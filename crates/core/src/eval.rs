@@ -80,6 +80,15 @@ pub struct EvalStats {
     pub cache_hits: u64,
     /// Decoded-block cache misses by this query's scans.
     pub cache_misses: u64,
+    /// Postings served as zero-copy borrows straight out of cache-hit
+    /// blocks (no decode, no clone) — the observable win of the
+    /// borrow-based [`crate::coding::PostingFeed`] pipeline.
+    pub postings_borrowed: u64,
+    /// Order enforcers this evaluation did without: planner steps where
+    /// the root-slot preference chose a sort-free driving predicate or
+    /// stream, plus `SortExchange`s whose run detection drained the
+    /// input without ever sorting a tid group.
+    pub sort_exchanges_avoided: usize,
     /// Shards consulted by a sharded evaluation
     /// ([`crate::sharded::ShardedIndex`]); zero for a monolithic index.
     pub shards: usize,

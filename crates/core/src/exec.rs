@@ -46,7 +46,7 @@ use crate::coding::{Coding, Posting, PostingFeed};
 use crate::cover::{decompose, Cover};
 use crate::eval::{validate_candidates_with, EvalResult, EvalStats};
 use crate::join::{combine, JoinKind, Pred, Slots, Tuple};
-use crate::plan::{plan_structural, Plan, PlanStep, PlannerMode};
+use crate::plan::{plan_structural_with, Plan, PlanStep, PlannerMode};
 use crate::stats::{intersect_tid_ranges, key_stats_cached, KeyStats};
 
 /// Pre-decoded tuple vectors shared across the queries of one service
@@ -98,7 +98,6 @@ impl Default for TreeCache {
 /// Ambient execution resources for one evaluation. The default (no
 /// cache, no shared scans) reproduces the plain PR 1 streaming executor;
 /// the query service (`si_service`) supplies all three.
-#[derive(Default)]
 pub struct ExecContext<'s> {
     /// Decoded posting-block cache shared across queries and threads.
     pub cache: Option<Arc<BlockCache>>,
@@ -114,6 +113,27 @@ pub struct ExecContext<'s> {
     /// Join-ordering heuristic ([`PlannerMode::CostBased`] default;
     /// `ByteLen` reproduces PR 1's byte ordering for A/B comparison).
     pub planner: PlannerMode,
+    /// Root-slot preference factor of the sort-free plan rule: when the
+    /// cheapest joinable stream would need an order enforcer, a stream
+    /// drivable on its scan's root slot (already in posting order) is
+    /// preferred instead, as long as its estimated cardinality is
+    /// within this factor of the cheapest. Values ≤ 1.0 disable the
+    /// preference; the default is
+    /// [`crate::plan::DEFAULT_ROOT_PREF_FACTOR`].
+    pub root_pref_factor: f64,
+}
+
+impl Default for ExecContext<'_> {
+    fn default() -> Self {
+        Self {
+            cache: None,
+            shared: None,
+            stats: None,
+            trees: None,
+            planner: PlannerMode::default(),
+            root_pref_factor: crate::plan::DEFAULT_ROOT_PREF_FACTOR,
+        }
+    }
 }
 
 impl ExecContext<'_> {
@@ -186,12 +206,42 @@ pub trait TupleStream {
 
 type BoxStream<'a> = Box<dyn TupleStream + 'a>;
 
+/// Opens the borrow-lending posting feed for one cover key — the
+/// single construction point of the `Box<dyn PostingFeed>` seam, shared
+/// by [`PostingScan`] and the filter-coding leapfrog intersection. With
+/// a block cache in `ctx` the feed is a [`CachedListReader`] (hits are
+/// served as zero-copy borrows out of pinned blocks, misses warm the
+/// cache; an absent key yields an empty feed); without one it is a
+/// [`PostingCursor`](crate::coding::PostingCursor) decoding straight
+/// off the pager, where an absent key returns `None`.
+pub fn make_feed<'a>(
+    index: &'a SubtreeIndex,
+    key: &[u8],
+    ctx: &ExecContext<'_>,
+    tally: &Rc<CacheTally>,
+) -> Result<Option<Box<dyn PostingFeed + 'a>>> {
+    Ok(match &ctx.cache {
+        Some(cache) => Some(Box::new(CachedListReader::new(
+            index,
+            cache.clone(),
+            key,
+            tally.clone(),
+        ))),
+        None => index
+            .posting_cursor(key)?
+            .map(|cursor| Box::new(cursor) as Box<dyn PostingFeed + 'a>),
+    })
+}
+
 /// Leaf operator: streams one cover subtree's postings — from the
 /// B+Tree via a [`PostingCursor`](crate::coding::PostingCursor), or
 /// from the decoded-block cache via
 /// [`CachedListReader`] — and turns them into single- or multi-slot
 /// tuples, sorted by `(tid, slots[0].pre)` — the order
-/// [`crate::coding::PostingBuilder`] wrote them in.
+/// [`crate::coding::PostingBuilder`] wrote them in. Postings arrive as
+/// borrows from the feed's buffer; node values are copied into owned
+/// [`Slots`] only here, the point where a tuple outlives its source
+/// posting.
 pub struct PostingScan<'a> {
     feed: Box<dyn PostingFeed + 'a>,
     /// Automorphic slot permutations (interval coding only).
@@ -215,12 +265,8 @@ impl<'a> PostingScan<'a> {
         ctx: &ExecContext<'_>,
         tally: Rc<CacheTally>,
     ) -> Result<Option<Self>> {
-        let feed: Box<dyn PostingFeed + 'a> = match &ctx.cache {
-            Some(cache) => Box::new(CachedListReader::new(index, cache.clone(), key, tally)),
-            None => match index.posting_cursor(key)? {
-                Some(cursor) => Box::new(cursor),
-                None => return Ok(None),
-            },
+        let Some(feed) = make_feed(index, key, ctx, &tally)? else {
+            return Ok(None);
         };
         let autos = match index.options().coding {
             Coding::SubtreeInterval => {
@@ -258,6 +304,9 @@ impl TupleStream for PostingScan<'_> {
                 self.report();
                 return Ok(Some(t));
             }
+            // The posting is a borrow of the feed's buffer; everything
+            // below copies node values (plain `Copy` data) into owned
+            // tuples before the borrow ends.
             let Some(posting) = self.feed.next_posting()? else {
                 self.report();
                 return Ok(None);
@@ -265,11 +314,12 @@ impl TupleStream for PostingScan<'_> {
             self.fetched.set(self.fetched.get() + 1);
             match posting {
                 Posting::Root { tid, root } => {
+                    let t = Tuple {
+                        tid: *tid,
+                        slots: Slots::one(*root),
+                    };
                     self.report();
-                    return Ok(Some(Tuple {
-                        tid,
-                        slots: Slots::one(root),
-                    }));
+                    return Ok(Some(t));
                 }
                 Posting::Occurrence { tid, nodes } => {
                     // Each posting fixes one arbitrary assignment of data
@@ -278,7 +328,7 @@ impl TupleStream for PostingScan<'_> {
                     // them all.
                     for perm in &self.autos {
                         self.pending.push_back(Tuple {
-                            tid,
+                            tid: *tid,
                             slots: perm.iter().map(|&j| nodes[j].0).collect(),
                         });
                     }
@@ -354,45 +404,120 @@ pub fn collect_scan_tuples(
     Ok(Arc::new(out))
 }
 
-/// Order enforcer: materializes its input and re-emits it sorted by
-/// `(tid, slots[slot].pre)`. The planner inserts one only where the
-/// driving slot's order is not already established.
+/// Order enforcer: re-emits its input sorted by `(tid,
+/// slots[slot].pre)`. The planner inserts one only where the driving
+/// slot's order is not already established symbolically; at runtime the
+/// exchange exploits two facts the plan cannot see:
+///
+/// * every [`TupleStream`] is already **tid-major**, so only one tid
+///   group is ever buffered (memory is bounded by the widest group, not
+///   the stream — the old enforcer materialized everything);
+/// * a group that *arrives* ordered on the driving slot is passed
+///   through untouched (run detection), and an exchange that drains its
+///   whole input without sorting a single group reports itself into
+///   [`EvalStats::sort_exchanges_avoided`] — the observable "sort-free
+///   plan" win.
 struct SortExchange<'a> {
-    input: Option<BoxStream<'a>>,
+    input: BoxStream<'a>,
     slot: usize,
-    buf: VecDeque<Tuple>,
+    group: VecDeque<Tuple>,
+    /// One-tuple lookahead: the first tuple of the *next* tid group.
+    lookahead: Option<Tuple>,
+    started: bool,
+    input_done: bool,
+    /// Whether any tuple flowed at all (an empty input avoids nothing).
+    saw_tuples: bool,
+    /// Whether any group actually needed sorting.
+    sorted_any: bool,
+    /// Whether the drain outcome was already reported into `avoided`.
+    reported: bool,
+    /// Shared per-evaluation counter of avoided sorts.
+    avoided: Rc<Cell<usize>>,
     meter: MemMeter,
 }
 
 impl<'a> SortExchange<'a> {
-    fn new(input: BoxStream<'a>, slot: usize, meter: MemMeter) -> Self {
+    fn new(input: BoxStream<'a>, slot: usize, avoided: Rc<Cell<usize>>, meter: MemMeter) -> Self {
         Self {
-            input: Some(input),
+            input,
             slot,
-            buf: VecDeque::new(),
+            group: VecDeque::new(),
+            lookahead: None,
+            started: false,
+            input_done: false,
+            saw_tuples: false,
+            sorted_any: false,
+            reported: false,
+            avoided,
             meter,
         }
+    }
+
+    /// Buffers the next tid group from the input, sorting it only when
+    /// it arrived out of driving-slot order. Returns whether any tuples
+    /// were buffered.
+    fn fill_group(&mut self) -> Result<bool> {
+        if !self.started {
+            self.started = true;
+            self.lookahead = self.input.next()?;
+        }
+        let Some(first) = self.lookahead.take() else {
+            self.input_done = true;
+            return Ok(false);
+        };
+        let tid = first.tid;
+        let slot = self.slot;
+        let mut group = vec![first];
+        let mut ordered = true;
+        loop {
+            match self.input.next()? {
+                Some(t) if t.tid == tid => {
+                    if t.slots[slot].pre < group.last().expect("non-empty group").slots[slot].pre {
+                        ordered = false;
+                    }
+                    group.push(t);
+                }
+                next => {
+                    self.input_done = next.is_none();
+                    self.lookahead = next;
+                    break;
+                }
+            }
+        }
+        for t in &group {
+            self.meter.add(tuple_bytes(t));
+        }
+        if !ordered {
+            self.sorted_any = true;
+            group.sort_by_key(|t| t.slots[slot].pre);
+        }
+        self.saw_tuples = true;
+        self.group = group.into();
+        Ok(true)
     }
 }
 
 impl TupleStream for SortExchange<'_> {
     fn next(&mut self) -> Result<Option<Tuple>> {
-        if let Some(mut input) = self.input.take() {
-            let mut all = Vec::new();
-            while let Some(t) = input.next()? {
-                self.meter.add(tuple_bytes(&t));
-                all.push(t);
-            }
-            let slot = self.slot;
-            all.sort_by_key(|t| (t.tid, t.slots[slot].pre));
-            self.buf = all.into();
-        }
-        match self.buf.pop_front() {
-            Some(t) => {
+        loop {
+            if let Some(t) = self.group.pop_front() {
                 self.meter.sub(tuple_bytes(&t));
-                Ok(Some(t))
+                return Ok(Some(t));
             }
-            None => Ok(None),
+            if !self.input_done && self.fill_group()? {
+                continue;
+            }
+            if !self.reported {
+                self.reported = true;
+                // An avoided sort requires tuples to have flowed: an
+                // empty input (key absent from this shard, say) never
+                // had anything to sort and must not inflate the
+                // counter the CI smoke gate watches.
+                if self.saw_tuples && !self.sorted_any {
+                    self.avoided.set(self.avoided.get() + 1);
+                }
+            }
+            return Ok(None);
         }
     }
 }
@@ -877,6 +1002,11 @@ fn run_structural(
     let meter = MemMeter::default();
     let fetched = Rc::new(Cell::new(0usize));
     let tally = Rc::new(CacheTally::default());
+    // Seeded with the sorts the planner itself proved unnecessary (a
+    // root-slot driver chosen over one that would have required an
+    // order enforcer); remaining exchanges add themselves when their
+    // run detection never had to sort.
+    let avoided = Rc::new(Cell::new(plan.sorts_avoided));
     let open_scan = |cover_idx: usize| -> Result<Option<BoxStream<'_>>> {
         open_source(
             index,
@@ -905,10 +1035,20 @@ fn run_structural(
         };
         let mut right: BoxStream<'_> = scan;
         if let Some(slot) = sort_right {
-            right = Box::new(SortExchange::new(right, *slot, meter.clone()));
+            right = Box::new(SortExchange::new(
+                right,
+                *slot,
+                avoided.clone(),
+                meter.clone(),
+            ));
         }
         if let Some(slot) = sort_left {
-            stream = Box::new(SortExchange::new(stream, *slot, meter.clone()));
+            stream = Box::new(SortExchange::new(
+                stream,
+                *slot,
+                avoided.clone(),
+                meter.clone(),
+            ));
         }
         stream = match driving {
             Some((JoinKind::Eq, l, rs)) => Box::new(MergeEqJoin::new(
@@ -993,6 +1133,8 @@ fn run_structural(
     stats.peak_posting_bytes = stats.peak_posting_bytes.max(meter.peak());
     stats.cache_hits += tally.hits.get();
     stats.cache_misses += tally.misses.get();
+    stats.postings_borrowed += tally.borrowed.get();
+    stats.sort_exchanges_avoided += avoided.get();
     Ok(matches)
 }
 
@@ -1046,22 +1188,11 @@ fn eval_filter_streaming(
     let tally = Rc::new(CacheTally::default());
     let mut cursors: Vec<Box<dyn PostingFeed + '_>> = Vec::with_capacity(cover.subtrees.len());
     for st in &cover.subtrees {
-        let feed: Box<dyn PostingFeed + '_> = match &ctx.cache {
-            Some(cache) => Box::new(CachedListReader::new(
-                index,
-                cache.clone(),
-                &st.key,
-                tally.clone(),
-            )),
-            None => match index.posting_cursor(&st.key)? {
-                Some(cursor) => Box::new(cursor),
-                None => {
-                    return Ok(EvalResult {
-                        matches: Vec::new(),
-                        stats: *stats,
-                    })
-                }
-            },
+        let Some(feed) = make_feed(index, &st.key, ctx, &tally)? else {
+            return Ok(EvalResult {
+                matches: Vec::new(),
+                stats: *stats,
+            });
         };
         cursors.push(feed);
     }
@@ -1073,7 +1204,7 @@ fn eval_filter_streaming(
         };
         fetched.set(fetched.get() + 1);
         match p {
-            Posting::Tid(tid) => Ok(Some(tid)),
+            Posting::Tid(tid) => Ok(Some(*tid)),
             _ => Err(StorageError::Corrupt(
                 "structural posting in filter index".into(),
             )),
@@ -1126,6 +1257,7 @@ fn eval_filter_streaming(
     stats.postings_fetched += fetched.get();
     stats.cache_hits += tally.hits.get();
     stats.cache_misses += tally.misses.get();
+    stats.postings_borrowed += tally.borrowed.get();
     let matches = validate_candidates_with(index, query, &candidates, ctx.trees.as_deref(), stats)?;
     stats.peak_posting_bytes = stats.peak_posting_bytes.max(meter.peak());
     Ok(EvalResult {
@@ -1187,7 +1319,14 @@ pub fn evaluate_streaming_with(
             stats,
         });
     }
-    let plan = plan_structural(query, &cover, options.coding, &key_stats, ctx.planner);
+    let plan = plan_structural_with(
+        query,
+        &cover,
+        options.coding,
+        &key_stats,
+        ctx.planner,
+        ctx.root_pref_factor,
+    );
     let matches = run_structural(index, query, &cover, &plan, ctx, &mut stats)?;
     Ok(EvalResult { matches, stats })
 }

@@ -246,7 +246,19 @@ pub struct Plan {
     /// Whether matches must be re-validated against the data file
     /// (sibling distinctness not expressible over the exposed slots).
     pub needs_validation: bool,
+    /// Order enforcers the planner proved unnecessary: steps where the
+    /// root-slot preference picked a driving predicate (or stream)
+    /// already in posting order while the first-come rule would have
+    /// inserted a `SortExchange`. Seeds
+    /// [`crate::eval::EvalStats::sort_exchanges_avoided`].
+    pub sorts_avoided: usize,
 }
+
+/// Default [`crate::exec::ExecContext::root_pref_factor`]: a stream
+/// drivable sort-free on its scan's root slot is preferred over a
+/// cheaper stream needing an order enforcer as long as its estimated
+/// cardinality is within this factor of the cheapest.
+pub const DEFAULT_ROOT_PREF_FACTOR: f64 = 4.0;
 
 /// Selects how [`plan_structural`] orders joins.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -344,17 +356,148 @@ pub fn estimated_cardinality(
     stats.postings as f64 * autos as f64 * (overlap / span).min(1.0)
 }
 
+/// Resolves a predicate between stream `s` and the placed prefix into
+/// `(left combined slot, right stream-local slot, forward)`; `None`
+/// when the predicate does not touch `s` or a slot is unexposed.
+fn step_endpoints(
+    p: &StreamPred,
+    placed: &[usize],
+    joined_qnodes: &[QNodeId],
+    qnodes: &[QNodeId],
+    s: usize,
+) -> Option<(usize, usize, bool)> {
+    let (placed_q, new_q, forward) = if p.b == s && placed.contains(&p.a) {
+        (p.aq, p.bq, true)
+    } else if p.a == s && placed.contains(&p.b) {
+        (p.bq, p.aq, false)
+    } else {
+        return None;
+    };
+    let l = joined_qnodes.iter().position(|&x| x == placed_q)?;
+    let rs = qnodes.iter().position(|&x| x == new_q)?;
+    Some((l, rs, forward))
+}
+
+/// Picks the driving condition for joining stream `s` to the placed
+/// prefix — no residuals are built, so this doubles as the planner's
+/// cheap "would this step need a sort?" probe. Returns the chosen
+/// candidate `(kind, l, rs, pred_idx)` plus how many order enforcers
+/// the sort-free preference saved relative to the legacy first-come
+/// choice.
+///
+/// The preference: a driving predicate whose right slot is the scan's
+/// root slot (slot 0 — posting order) needs no `sort_right`, and one
+/// whose left slot matches the established order needs no `sort_left`.
+/// Fewest enforcers win; predicate order breaks ties, reproducing the
+/// legacy rule when it was already sort-free. Parent/Ancestor
+/// predicates whose child end is already placed cannot drive the merge
+/// forms and are never candidates.
+fn choose_driving(
+    preds: &[StreamPred],
+    placed: &[usize],
+    joined_qnodes: &[QNodeId],
+    qnodes: &[QNodeId],
+    s: usize,
+    left_sorted: Option<usize>,
+) -> (Option<(JoinKind, usize, usize, usize)>, usize) {
+    let sorts_needed = |l: usize, rs: usize| -> usize {
+        usize::from(left_sorted != Some(l)) + usize::from(rs != 0)
+    };
+    let mut first: Option<(usize, usize)> = None;
+    let mut chosen: Option<(JoinKind, usize, usize, usize)> = None;
+    for (pi, p) in preds.iter().enumerate() {
+        let Some((l, rs, forward)) = step_endpoints(p, placed, joined_qnodes, qnodes, s) else {
+            continue;
+        };
+        let kind = match (p.kind, forward) {
+            (PredKind::Eq, _) => JoinKind::Eq,
+            (PredKind::Parent, true) => JoinKind::Parent,
+            (PredKind::Ancestor, true) => JoinKind::Ancestor,
+            _ => continue,
+        };
+        if first.is_none() {
+            first = Some((l, rs));
+        }
+        let better = match chosen {
+            None => true,
+            // Candidates arrive in predicate order, so a strict
+            // improvement is required to displace the incumbent.
+            Some((_, cl, crs, _)) => sorts_needed(l, rs) < sorts_needed(cl, crs),
+        };
+        if better {
+            chosen = Some((kind, l, rs, pi));
+        }
+    }
+    let saved = match (first, chosen) {
+        (Some((fl, frs)), Some((_, cl, crs, _))) => {
+            sorts_needed(fl, frs).saturating_sub(sorts_needed(cl, crs))
+        }
+        _ => 0,
+    };
+    (chosen, saved)
+}
+
+/// One step's predicate split: the chosen driving condition (stream-
+/// local right slot), the residual filters (combined slot indexing),
+/// and how many order enforcers the sort-free preference saved relative
+/// to the legacy first-come driving choice (see [`choose_driving`]).
+fn split_step_preds(
+    preds: &[StreamPred],
+    placed: &[usize],
+    joined_qnodes: &[QNodeId],
+    qnodes: &[QNodeId],
+    s: usize,
+    left_sorted: Option<usize>,
+) -> (Option<(JoinKind, usize, usize)>, Vec<Pred>, usize) {
+    let offset = joined_qnodes.len();
+    let (chosen, saved) = choose_driving(preds, placed, joined_qnodes, qnodes, s, left_sorted);
+    let chosen_pi = chosen.map(|(_, _, _, pi)| pi);
+    let mut residuals: Vec<Pred> = Vec::new();
+    for (pi, p) in preds.iter().enumerate() {
+        if Some(pi) == chosen_pi {
+            continue;
+        }
+        let Some((l, rs, forward)) = step_endpoints(p, placed, joined_qnodes, qnodes, s) else {
+            continue;
+        };
+        let r_combined = offset + rs;
+        match (p.kind, forward) {
+            (PredKind::Eq, _) => residuals.push(Pred::Eq(l, r_combined)),
+            (PredKind::Parent, true) => residuals.push(Pred::Parent(l, r_combined)),
+            (PredKind::Parent, false) => residuals.push(Pred::Parent(r_combined, l)),
+            (PredKind::Ancestor, true) => residuals.push(Pred::Ancestor(l, r_combined)),
+            (PredKind::Ancestor, false) => residuals.push(Pred::Ancestor(r_combined, l)),
+            (PredKind::Neq, _) => residuals.push(Pred::Neq(l, r_combined)),
+        }
+    }
+    (chosen.map(|(k, l, rs, _)| (k, l, rs)), residuals, saved)
+}
+
 /// Plans the streaming pipeline for `query` under a structural coding.
 /// `stats[i]` holds cover `i`'s per-key statistics (exact from the
 /// stats segment, or byte-length estimates for pre-stats files) — the
 /// plan's only input; nothing is decoded at planning time. `mode`
-/// selects the ordering heuristic.
+/// selects the ordering heuristic; the root-slot preference runs at
+/// [`DEFAULT_ROOT_PREF_FACTOR`].
 pub fn plan_structural(
     query: &Query,
     cover: &Cover,
     coding: Coding,
     stats: &[KeyStats],
     mode: PlannerMode,
+) -> Plan {
+    plan_structural_with(query, cover, coding, stats, mode, DEFAULT_ROOT_PREF_FACTOR)
+}
+
+/// [`plan_structural`] with an explicit root-slot preference factor
+/// (see [`crate::exec::ExecContext::root_pref_factor`]).
+pub fn plan_structural_with(
+    query: &Query,
+    cover: &Cover,
+    coding: Coding,
+    stats: &[KeyStats],
+    mode: PlannerMode,
+    root_pref_factor: f64,
 ) -> Plan {
     debug_assert_eq!(stats.len(), cover.subtrees.len());
     let exposed = exposed_qnodes(cover, coding);
@@ -389,67 +532,69 @@ pub fn plan_structural(
     let mut left_sorted: Option<usize> = Some(0);
 
     let mut steps = Vec::new();
+    let mut sorts_avoided = 0usize;
     while !remaining.is_empty() {
-        let next_pos = remaining
+        // Positions (into `remaining`) of streams connected to the
+        // placed prefix, cheapest first (`remaining` is rank-sorted).
+        let connected: Vec<usize> = remaining
             .iter()
-            .position(|&s| {
+            .enumerate()
+            .filter(|&(_, &s)| {
                 preds.iter().any(|p| {
                     (p.a == s && placed.contains(&p.b)) || (p.b == s && placed.contains(&p.a))
                 })
             })
-            .unwrap_or(0);
+            .map(|(pos, _)| pos)
+            .collect();
+        let next_pos = match connected.first() {
+            None => 0,
+            Some(&first_pos) => {
+                let mut pick = first_pos;
+                // Root-slot preference (cost-based mode): when the
+                // cheapest connected stream cannot be joined sort-free,
+                // a slightly costlier stream that can is the better
+                // step — its scan feeds the join in posting order and
+                // no tuple is ever buffered for re-ordering.
+                if mode == PlannerMode::CostBased && root_pref_factor > 1.0 {
+                    let driving_of = |pos: usize| {
+                        let s = remaining[pos];
+                        choose_driving(&preds, &placed, &joined_qnodes, &exposed[s], s, left_sorted)
+                            .0
+                    };
+                    // Only a stream with a *driving* predicate that still
+                    // needs an enforcer is worth trading away; and only a
+                    // stream joinable by a sort-free **merge** join may
+                    // replace it — a driving-less stream would degrade the
+                    // step to a per-tid cross join, which is no win.
+                    let first_needs_sort = matches!(
+                        driving_of(first_pos),
+                        Some((_, l, rs, _)) if rs != 0 || left_sorted != Some(l)
+                    );
+                    if first_needs_sort {
+                        let budget = ranks[remaining[first_pos]].est * root_pref_factor;
+                        for &c in &connected[1..] {
+                            let sort_free_merge = matches!(
+                                driving_of(c),
+                                Some((_, l, rs, _)) if rs == 0 && left_sorted == Some(l)
+                            );
+                            if ranks[remaining[c]].est <= budget && sort_free_merge {
+                                pick = c;
+                                sorts_avoided += 1;
+                                break;
+                            }
+                        }
+                    }
+                }
+                pick
+            }
+        };
         let s = remaining.remove(next_pos);
         let qnodes = &exposed[s];
         let offset = joined_qnodes.len();
 
-        // Split predicates between `s` and the placed prefix into one
-        // driving condition plus residuals (combined slot indexing).
-        // Parent/Ancestor predicates whose child end is already placed
-        // cannot drive the merge forms and become residuals.
-        let mut driving: Option<(JoinKind, usize, usize)> = None;
-        let mut residuals: Vec<Pred> = Vec::new();
-        for p in preds.iter() {
-            let (placed_q, new_q, forward) = if p.b == s && placed.contains(&p.a) {
-                (p.aq, p.bq, true)
-            } else if p.a == s && placed.contains(&p.b) {
-                (p.bq, p.aq, false)
-            } else {
-                continue;
-            };
-            let Some(l) = joined_qnodes.iter().position(|&x| x == placed_q) else {
-                continue;
-            };
-            let Some(rs) = qnodes.iter().position(|&x| x == new_q) else {
-                continue;
-            };
-            let r_combined = offset + rs;
-            match (p.kind, forward) {
-                (PredKind::Eq, _) => {
-                    if driving.is_none() {
-                        driving = Some((JoinKind::Eq, l, rs));
-                    } else {
-                        residuals.push(Pred::Eq(l, r_combined));
-                    }
-                }
-                (PredKind::Parent, true) => {
-                    if driving.is_none() {
-                        driving = Some((JoinKind::Parent, l, rs));
-                    } else {
-                        residuals.push(Pred::Parent(l, r_combined));
-                    }
-                }
-                (PredKind::Parent, false) => residuals.push(Pred::Parent(r_combined, l)),
-                (PredKind::Ancestor, true) => {
-                    if driving.is_none() {
-                        driving = Some((JoinKind::Ancestor, l, rs));
-                    } else {
-                        residuals.push(Pred::Ancestor(l, r_combined));
-                    }
-                }
-                (PredKind::Ancestor, false) => residuals.push(Pred::Ancestor(r_combined, l)),
-                (PredKind::Neq, _) => residuals.push(Pred::Neq(l, r_combined)),
-            }
-        }
+        let (driving, residuals, saved) =
+            split_step_preds(&preds, &placed, &joined_qnodes, qnodes, s, left_sorted);
+        sorts_avoided += saved;
 
         let (sort_left, sort_right) = match driving {
             Some((_, l, rs)) => (
@@ -486,6 +631,7 @@ pub fn plan_structural(
         steps,
         root_slot,
         needs_validation,
+        sorts_avoided,
     }
 }
 
@@ -662,6 +808,60 @@ mod tests {
         assert_eq!(plan.steps.len(), 1);
         let (kind, _, _) = plan.steps[0].driving.unwrap();
         assert!(matches!(kind, JoinKind::Ancestor | JoinKind::Parent));
+    }
+
+    #[test]
+    fn root_slot_preference_trades_a_sort_for_a_close_stream() {
+        // With cover 2 cheapest (base) and cover 1 the cheapest
+        // connected stream, joining 1 first needs an order enforcer;
+        // cover 3 is within the preference factor and joins sort-free
+        // on its root slot. Factor 1.0 reproduces the legacy greedy
+        // order; the default factor swaps the step and reports it.
+        let mut li = LabelInterner::new();
+        let q = parse_query("NP(NP(NN))(PP(IN)(NP))", &mut li).unwrap();
+        let cover = decompose(&q, 2, Coding::SubtreeInterval);
+        assert_eq!(cover.subtrees.len(), 4);
+        let stats: Vec<KeyStats> = (0..4)
+            .map(|i| {
+                let l = [33u64, 20, 10, 35][i];
+                KeyStats {
+                    postings: l,
+                    distinct_tids: 10,
+                    first_tid: 0,
+                    last_tid: 1000,
+                    bytes: l,
+                    exact: true,
+                }
+            })
+            .collect();
+        let legacy = plan_structural_with(
+            &q,
+            &cover,
+            Coding::SubtreeInterval,
+            &stats,
+            PlannerMode::CostBased,
+            1.0,
+        );
+        let pref = plan_structural_with(
+            &q,
+            &cover,
+            Coding::SubtreeInterval,
+            &stats,
+            PlannerMode::CostBased,
+            DEFAULT_ROOT_PREF_FACTOR,
+        );
+        assert_eq!(legacy.sorts_avoided, 0);
+        assert!(pref.sorts_avoided >= 1, "preference must report its win");
+        let legacy_order: Vec<usize> = legacy.steps.iter().map(|s| s.cover).collect();
+        let pref_order: Vec<usize> = pref.steps.iter().map(|s| s.cover).collect();
+        assert_ne!(legacy_order, pref_order, "preference must reorder steps");
+        // Both plans still place every stream exactly once.
+        for plan in [&legacy, &pref] {
+            let mut seen: Vec<usize> = plan.steps.iter().map(|s| s.cover).collect();
+            seen.push(plan.base);
+            seen.sort_unstable();
+            assert_eq!(seen, vec![0, 1, 2, 3]);
+        }
     }
 
     #[test]

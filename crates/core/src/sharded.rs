@@ -377,6 +377,19 @@ impl ShardedIndex {
     /// (global tids = shard-local tids + shard base). The result is
     /// identical to evaluating a monolithic index over the same corpus.
     pub fn evaluate_with_planner(&self, query: &Query, planner: PlannerMode) -> Result<EvalResult> {
+        self.evaluate_with_prefs(query, planner, crate::plan::DEFAULT_ROOT_PREF_FACTOR)
+    }
+
+    /// [`ShardedIndex::evaluate_with_planner`] with an explicit
+    /// root-slot preference factor (see
+    /// [`crate::exec::ExecContext::root_pref_factor`]), threaded into
+    /// every per-shard evaluation.
+    pub fn evaluate_with_prefs(
+        &self,
+        query: &Query,
+        planner: PlannerMode,
+        root_pref_factor: f64,
+    ) -> Result<EvalResult> {
         let options = self.options();
         let cover = decompose(query, options.mss, options.coding);
         let mut stats = EvalStats {
@@ -415,6 +428,7 @@ impl ShardedIndex {
                     query,
                     self.exec_mode,
                     planner,
+                    root_pref_factor,
                 )?);
             }
         } else {
@@ -427,7 +441,13 @@ impl ShardedIndex {
                         while !failed.load(Ordering::Acquire) {
                             let slot = next.fetch_add(1, Ordering::Relaxed);
                             let Some(&i) = live.get(slot) else { break };
-                            match eval_one_shard(&self.shards[i], query, self.exec_mode, planner) {
+                            match eval_one_shard(
+                                &self.shards[i],
+                                query,
+                                self.exec_mode,
+                                planner,
+                                root_pref_factor,
+                            ) {
                                 Ok(result) => *results[slot].lock().unwrap() = Some(result),
                                 Err(e) => {
                                     first_error.lock().unwrap().get_or_insert(e);
@@ -654,9 +674,11 @@ fn eval_one_shard(
     query: &Query,
     exec_mode: ExecMode,
     planner: PlannerMode,
+    root_pref_factor: f64,
 ) -> Result<EvalResult> {
     let ctx = ExecContext {
         planner,
+        root_pref_factor,
         ..ExecContext::default()
     };
     let before = shard.pager_counters();
@@ -686,6 +708,8 @@ pub fn merge_shard_stats(agg: &mut EvalStats, shard: &EvalStats) {
     agg.pager_evictions += shard.pager_evictions;
     agg.cache_hits += shard.cache_hits;
     agg.cache_misses += shard.cache_misses;
+    agg.postings_borrowed += shard.postings_borrowed;
+    agg.sort_exchanges_avoided += shard.sort_exchanges_avoided;
 }
 
 /// A monolithic or sharded index behind one seam — how the CLI (and any
@@ -748,7 +772,7 @@ impl AnyIndex {
     pub fn evaluate_with(&self, query: &Query, ctx: &ExecContext<'_>) -> Result<EvalResult> {
         match self {
             AnyIndex::Mono(i) => i.evaluate_with(query, ctx),
-            AnyIndex::Sharded(i) => i.evaluate_with_planner(query, ctx.planner),
+            AnyIndex::Sharded(i) => i.evaluate_with_prefs(query, ctx.planner, ctx.root_pref_factor),
         }
     }
 

@@ -570,6 +570,21 @@ impl ShardedQueryService {
         agg
     }
 
+    /// Cross-batch tuple-pool counters summed across shards.
+    pub fn pool_stats(&self) -> TuplePoolStats {
+        let mut agg = TuplePoolStats::default();
+        for s in &self.services {
+            let p = s.pool_stats();
+            agg.hits += p.hits;
+            agg.misses += p.misses;
+            agg.insertions += p.insertions;
+            agg.evictions += p.evictions;
+            agg.current_bytes += p.current_bytes;
+            agg.peak_bytes += p.peak_bytes;
+        }
+        agg
+    }
+
     /// Evaluates `queries` across all shards; results arrive in input
     /// order and match the monolithic service (and the sequential
     /// executor) exactly. Per-query `seconds` sums the query's worker
@@ -712,6 +727,16 @@ impl AnyQueryService {
         match self {
             AnyQueryService::Mono(s) => s.cache_stats(),
             AnyQueryService::Sharded(s) => s.cache_stats(),
+        }
+    }
+
+    /// Cross-batch tuple-pool counters (summed across shards when
+    /// sharded) — how often shared-scan vectors were re-served without
+    /// a re-decode.
+    pub fn pool_stats(&self) -> TuplePoolStats {
+        match self {
+            AnyQueryService::Mono(s) => s.pool_stats(),
+            AnyQueryService::Sharded(s) => s.pool_stats(),
         }
     }
 }

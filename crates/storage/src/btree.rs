@@ -1104,6 +1104,12 @@ impl ValueReader<'_> {
     /// of bytes appended. `Ok(0)` signals the end of the value. Chunks
     /// are at most one page's payload (`PAGE_SIZE - 7` bytes) for
     /// overflow values; inline values arrive as a single chunk.
+    ///
+    /// Overflow payloads are appended straight out of the pager's cache
+    /// slot via [`crate::Pager::with_page`] (no intermediate page copy);
+    /// the page is pinned only for the duration of the append, so a
+    /// reader may stay open across an arbitrarily long scan without
+    /// holding any latch between chunks.
     pub fn read_chunk(&mut self, out: &mut Vec<u8>) -> Result<usize> {
         match std::mem::replace(&mut self.state, ReaderState::Done) {
             ReaderState::Done => Ok(0),
@@ -1120,32 +1126,33 @@ impl ValueReader<'_> {
                     }
                     return Ok(0);
                 }
-                let mut buf = [0u8; PAGE_SIZE];
-                self.tree.pager.read(next, &mut buf)?;
-                if buf[0] != TAG_OVERFLOW {
-                    return Err(StorageError::Corrupt("overflow chain broken".into()));
-                }
-                let succ = PageId::from_le_bytes(buf[1..5].try_into().unwrap());
-                let len = u16::from_le_bytes([buf[5], buf[6]]) as usize;
-                if len > OVERFLOW_CAP {
-                    return Err(StorageError::Corrupt("overflow page length".into()));
-                }
-                if len == 0 {
-                    // Chains are written from non-empty chunks; an empty
-                    // page would read as end-of-value to incremental
-                    // consumers and silently truncate the stream.
-                    return Err(StorageError::Corrupt("empty overflow page".into()));
-                }
-                let delivered = delivered + len as u64;
-                if delivered > self.total {
-                    return Err(StorageError::Corrupt(
-                        "overflow chain longer than declared".into(),
-                    ));
-                }
-                out.extend_from_slice(&buf[7..7 + len]);
+                let total = self.total;
+                let (succ, len) = self.tree.pager.with_page(next, |buf| {
+                    if buf[0] != TAG_OVERFLOW {
+                        return Err(StorageError::Corrupt("overflow chain broken".into()));
+                    }
+                    let succ = PageId::from_le_bytes(buf[1..5].try_into().unwrap());
+                    let len = u16::from_le_bytes([buf[5], buf[6]]) as usize;
+                    if len > OVERFLOW_CAP {
+                        return Err(StorageError::Corrupt("overflow page length".into()));
+                    }
+                    if len == 0 {
+                        // Chains are written from non-empty chunks; an empty
+                        // page would read as end-of-value to incremental
+                        // consumers and silently truncate the stream.
+                        return Err(StorageError::Corrupt("empty overflow page".into()));
+                    }
+                    if delivered + len as u64 > total {
+                        return Err(StorageError::Corrupt(
+                            "overflow chain longer than declared".into(),
+                        ));
+                    }
+                    out.extend_from_slice(&buf[7..7 + len]);
+                    Ok((succ, len))
+                })??;
                 self.state = ReaderState::Chain {
                     next: succ,
-                    delivered,
+                    delivered: delivered + len as u64,
                 };
                 Ok(len)
             }

@@ -444,6 +444,42 @@ impl Pager {
         self.write_back(evicted)
     }
 
+    /// Runs `f` over page `id`'s bytes **in place** in the cache slot —
+    /// the zero-copy read path of the posting pipeline. Where
+    /// [`Pager::read`] copies the whole page into a caller buffer,
+    /// `with_page` lends the cached buffer directly, so consumers that
+    /// extract only part of a page (a B+Tree overflow chunk, say) pay
+    /// one copy instead of two.
+    ///
+    /// # Pinning contract
+    ///
+    /// The page is pinned by the owning shard latch for exactly the
+    /// duration of `f`; the borrow cannot escape the closure, and no
+    /// latch is held between calls — which is what lets long-lived
+    /// readers ([`crate::btree::ValueReader`], and the posting feeds
+    /// built over it) stay open across an entire scan without blocking
+    /// writers or other shards. `f` must not call back into this pager
+    /// (the shard latch is not reentrant).
+    pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> Result<R> {
+        if id >= self.page_count() {
+            return Err(StorageError::OutOfRange(format!("page {id}")));
+        }
+        let mut shard = self.shard(id);
+        if let Some(slot) = shard.get(id) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(f(&shard.slots[slot].buf));
+        }
+        // Miss: read while holding the shard latch so two threads cannot
+        // insert the same page twice; other shards proceed in parallel.
+        let mut buf = new_page_buf();
+        self.file.read_page(id, &mut buf)?;
+        self.physical_reads.fetch_add(1, Ordering::Relaxed);
+        let (slot, evicted) = shard.insert(id, buf, false);
+        let out = f(&shard.slots[slot].buf);
+        self.write_back(evicted)?;
+        Ok(out)
+    }
+
     /// Writes `data` as the new contents of page `id`.
     pub fn write(&self, id: PageId, data: &[u8; PAGE_SIZE]) -> Result<()> {
         if id >= self.page_count() {
