@@ -8,7 +8,7 @@
 //! ```
 //!
 //! Experiment ids: fig2 fig3 fig8 fig9 fig10 tab1 fig11 fig12 tab2 fig13
-//! tab3 streaming service planner shard pipeline (or `all`). See DESIGN.md §6 for
+//! tab3 streaming service planner shard pipeline seek (or `all`). See DESIGN.md §6 for
 //! the per-experiment index and EXPERIMENTS.md for recorded
 //! paper-vs-measured results. `streaming` runs the executor ablation
 //! (streaming pipeline vs legacy materializing evaluator) and writes
@@ -26,7 +26,10 @@
 //! postings — latency, peak resident bytes, borrowed-posting and
 //! avoided-sort counters), asserting match-set equality across codings,
 //! executors, planner modes and shard counts, and writes
-//! `BENCH_pipeline.json`.
+//! `BENCH_pipeline.json`; `seek` A/B-compares restart-point seeking
+//! against linear drains on a selective singleton workload (match sets
+//! asserted identical per query, seeks and skipped-posting counters
+//! asserted nonzero) and writes `BENCH_seek.json`.
 //!
 //! Flags: `--seed N` pins the corpus RNG seed (default `0x5EED0001`) so
 //! every `BENCH_*.json` is reproducible across machines; `--threads N`
@@ -52,6 +55,7 @@ const ALL: &[&str] = &[
     "planner",
     "shard",
     "pipeline",
+    "seek",
 ];
 
 fn main() {
@@ -157,6 +161,10 @@ fn main() {
             "pipeline" => {
                 let report = harness::run_pipeline_bench(scale);
                 harness::emit_pipeline_bench(scale, &report).expect("write BENCH_pipeline.json");
+            }
+            "seek" => {
+                let report = harness::run_seek_bench(scale);
+                harness::emit_seek_bench(scale, &report).expect("write BENCH_seek.json");
             }
             _ => unreachable!("validated above"),
         }

@@ -2002,6 +2002,303 @@ pub fn emit_pipeline_bench(scale: Scale, report: &PipelineBenchReport) -> std::i
     Ok(())
 }
 
+// --------------------------------------------------------------------
+// Seekable postings: seeking vs draining executor — BENCH_seek.json
+// --------------------------------------------------------------------
+
+/// One query's figures with restart-point seeking on vs off.
+#[derive(Debug, Clone)]
+pub struct SeekBenchRow {
+    /// Query text id.
+    pub name: String,
+    /// Coding scheme measured.
+    pub coding: Coding,
+    /// Match count (asserted identical between modes, every rep).
+    pub matches: usize,
+    /// Mean seconds with seeking disabled (linear drains).
+    pub drain_seconds: f64,
+    /// Mean seconds with restart-point seeking enabled.
+    pub seek_seconds: f64,
+    /// Restart-point seeks the seeking run performed.
+    pub seeks: u64,
+    /// Postings the seeking run jumped without decoding.
+    pub postings_skipped: u64,
+}
+
+/// Aggregate figures of [`run_seek_bench`].
+#[derive(Debug)]
+pub struct SeekBenchReport {
+    /// Per-query rows across all codings.
+    pub rows: Vec<SeekBenchRow>,
+    /// Timed repetitions per query per mode.
+    pub reps: usize,
+}
+
+fn measure_seek(index: &SubtreeIndex, q: &Query, seeks: bool) -> (si_core::eval::EvalResult, f64) {
+    let ctx = si_core::ExecContext {
+        seeks,
+        ..Default::default()
+    };
+    let (result, secs) = time(|| index.evaluate_with(q, &ctx).expect("evaluate"));
+    (result, secs)
+}
+
+/// The seek workload: `S(//X)` where `X` is a singleton index key (it
+/// occurs in exactly one tree). The cover then mixes the
+/// corpus-spanning `S` list with a one-tid key, so the common tid
+/// range collapses to that single tree: a seeking executor jumps the
+/// big list's restart blocks straight to it, while a draining executor
+/// decodes every posting before it. Singletons are sampled evenly
+/// across the tid space, so shallow and deep seeks both appear.
+fn seek_probe_queries(
+    index: &SubtreeIndex,
+    interner: &mut si_parsetree::LabelInterner,
+    n: usize,
+) -> Vec<(String, Query)> {
+    let mut singles: Vec<(si_parsetree::TreeId, Vec<u8>)> = Vec::new();
+    for entry in index.iter_keys().expect("iter keys") {
+        let (key, _) = entry.expect("key entry");
+        let size = si_core::canonical::key_size(&key).unwrap_or(0);
+        if !(2..=3).contains(&size) {
+            continue;
+        }
+        let stats = index
+            .key_stats(&key)
+            .expect("key stats")
+            .expect("indexed key has stats");
+        if stats.distinct_tids == 1 {
+            singles.push((stats.first_tid, key));
+        }
+    }
+    singles.sort();
+    singles.dedup_by_key(|(tid, _)| *tid);
+    let stride = (singles.len() / n.max(1)).max(1);
+    let mut queries = Vec::new();
+    for (tid, key) in singles.iter().step_by(stride) {
+        if queries.len() >= n {
+            break;
+        }
+        let Some(rendered) = render_canon(key, interner) else {
+            continue;
+        };
+        let text = format!("S(//{rendered})");
+        let Ok(q) = si_query::parse_query(&text, interner) else {
+            continue;
+        };
+        queries.push((format!("seek-{tid}"), q));
+    }
+    if queries.len() < n {
+        eprintln!(
+            "seek bench: only {} of {n} singleton probes available \
+             ({} singleton keys in this corpus)",
+            queries.len(),
+            singles.len()
+        );
+    }
+    queries
+}
+
+/// Runs the seek-vs-drain A/B: the selective singleton workload
+/// (`seek_probe_queries`) under identical cost-based plans, with
+/// restart-point seeking toggled through [`si_core::ExecContext::seeks`]
+/// — same join orders, same range seeding decision, only jump-vs-drain
+/// differs. Match sets are asserted identical per query on every
+/// repetition (live equivalence). The run also asserts the workload
+/// actually exercised the machinery: at least one seek happened and a
+/// majority of probes skipped postings — the CI smoke job relies on
+/// these panics to catch a silently degraded seek path.
+pub fn run_seek_bench(scale: Scale) -> SeekBenchReport {
+    let work = Workdir::new("seek");
+    let n = match scale {
+        Scale::Small => 5_000,
+        Scale::Paper => 100_000,
+    };
+    let big = corpus(n);
+    let reps = scale.reps().max(5);
+    let mut rows = Vec::new();
+    for coding in [
+        Coding::RootSplit,
+        Coding::SubtreeInterval,
+        Coding::FilterBased,
+    ] {
+        let dir = work.path(&format!("seek-{coding:?}"));
+        let index = SubtreeIndex::build(
+            &dir,
+            big.trees(),
+            big.interner(),
+            IndexOptions::new(3, coding),
+        )
+        .expect("seek bench build");
+        assert!(
+            index.has_skip_headers(),
+            "fresh builds must write skip headers"
+        );
+        let mut interner = index.interner();
+        let queries = seek_probe_queries(&index, &mut interner, 40);
+        assert!(!queries.is_empty(), "seek bench needs singleton keys");
+        for (name, q) in &queries {
+            // Warm both paths (pager + stats caches) before timing.
+            let (warm_d, _) = measure_seek(&index, q, false);
+            let (warm_s, _) = measure_seek(&index, q, true);
+            assert_eq!(
+                warm_d.matches, warm_s.matches,
+                "seek/drain match-set mismatch on {name} under {coding}"
+            );
+            assert_eq!(warm_d.stats.seeks, 0, "drain run must not seek ({name})");
+            let mut drain_seconds = f64::INFINITY;
+            let mut seek_seconds = f64::INFINITY;
+            for _ in 0..reps {
+                let (rd, sd) = measure_seek(&index, q, false);
+                let (rs, ss) = measure_seek(&index, q, true);
+                assert_eq!(rd.matches, rs.matches, "unstable match set on {name}");
+                drain_seconds = drain_seconds.min(sd);
+                seek_seconds = seek_seconds.min(ss);
+            }
+            rows.push(SeekBenchRow {
+                name: name.clone(),
+                coding,
+                matches: warm_s.matches.len(),
+                drain_seconds,
+                seek_seconds,
+                seeks: warm_s.stats.seeks,
+                postings_skipped: warm_s.stats.postings_skipped,
+            });
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+    let total_seeks: u64 = rows.iter().map(|r| r.seeks).sum();
+    assert!(total_seeks > 0, "selective workload produced zero seeks");
+    let with_skips = rows.iter().filter(|r| r.postings_skipped > 0).count();
+    assert!(
+        with_skips * 2 >= rows.len(),
+        "only {with_skips}/{} probes skipped postings",
+        rows.len()
+    );
+    SeekBenchReport { rows, reps }
+}
+
+/// Median over a slice (mean of the middle pair on even lengths).
+fn median(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    let mid = values.len() / 2;
+    if values.len() % 2 == 1 {
+        values[mid]
+    } else {
+        (values[mid - 1] + values[mid]) / 2.0
+    }
+}
+
+/// Prints the seek A/B summary and writes `BENCH_seek.json` into the
+/// current directory.
+pub fn emit_seek_bench(scale: Scale, report: &SeekBenchReport) -> std::io::Result<()> {
+    println!("# Seekable postings: restart-point seeks vs linear drains");
+    println!(
+        "{} probes x {} reps, seed {:#x}",
+        report.rows.len(),
+        report.reps,
+        corpus_seed()
+    );
+    println!(
+        "{:<18} {:>7} {:>12} {:>12} {:>9} {:>8} {:>12}",
+        "coding", "probes", "drain ms", "seek ms", "median x", "seeks", "skipped"
+    );
+    let mut summaries = Vec::new();
+    let mut all_speedups: Vec<f64> = Vec::new();
+    for coding in [
+        Coding::RootSplit,
+        Coding::SubtreeInterval,
+        Coding::FilterBased,
+    ] {
+        let sel: Vec<&SeekBenchRow> = report.rows.iter().filter(|r| r.coding == coding).collect();
+        if sel.is_empty() {
+            continue;
+        }
+        let drain_ms: f64 = sel.iter().map(|r| r.drain_seconds).sum::<f64>() * 1e3;
+        let seek_ms: f64 = sel.iter().map(|r| r.seek_seconds).sum::<f64>() * 1e3;
+        let mut speedups: Vec<f64> = sel
+            .iter()
+            .map(|r| r.drain_seconds / r.seek_seconds.max(1e-9))
+            .collect();
+        all_speedups.extend(speedups.iter().copied());
+        let med = median(&mut speedups);
+        let seeks: u64 = sel.iter().map(|r| r.seeks).sum();
+        let skipped: u64 = sel.iter().map(|r| r.postings_skipped).sum();
+        println!(
+            "{:<18} {:>7} {:>12.3} {:>12.3} {:>8.2}x {:>8} {:>12}",
+            coding.name(),
+            sel.len(),
+            drain_ms,
+            seek_ms,
+            med,
+            seeks,
+            skipped
+        );
+        summaries.push(format!(
+            "    {{\"coding\": \"{}\", \"probes\": {}, \"drain_total_ms\": {:.4}, \
+             \"seek_total_ms\": {:.4}, \"median_speedup\": {:.3}, \"seeks\": {}, \
+             \"postings_skipped\": {}}}",
+            coding.name(),
+            sel.len(),
+            drain_ms,
+            seek_ms,
+            med,
+            seeks,
+            skipped
+        ));
+    }
+    let overall_median = median(&mut all_speedups);
+    let with_skips = report
+        .rows
+        .iter()
+        .filter(|r| r.postings_skipped > 0)
+        .count();
+    println!(
+        "overall: {:.2}x median speedup, {}/{} probes skipped postings",
+        overall_median,
+        with_skips,
+        report.rows.len()
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"scale\": \"{scale:?}\",\n  \"mss\": 3,\n  \"seed\": {},\n  \"reps\": {},\n  \
+         \"match_sets_identical\": true,\n  \"median_speedup\": {:.3},\n  \
+         \"probes_with_skips\": {},\n  \"probes\": {},\n  \"summary\": [\n",
+        corpus_seed(),
+        report.reps,
+        overall_median,
+        with_skips,
+        report.rows.len(),
+    ));
+    json.push_str(&summaries.join(",\n"));
+    json.push_str("\n  ],\n  \"queries\": [\n");
+    for (i, r) in report.rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"query\": \"{}\", \"coding\": \"{}\", \"matches\": {}, \
+             \"drain_ms\": {:.4}, \"seek_ms\": {:.4}, \"seeks\": {}, \
+             \"postings_skipped\": {}}}{}\n",
+            json_escape(&r.name),
+            r.coding.name(),
+            r.matches,
+            r.drain_seconds * 1e3,
+            r.seek_seconds * 1e3,
+            r.seeks,
+            r.postings_skipped,
+            if i + 1 == report.rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_seek.json", json)?;
+    println!(
+        "wrote BENCH_seek.json ({} query measurements)",
+        report.rows.len()
+    );
+    Ok(())
+}
+
 /// Convenience: a tiny corpus + root-split index for Criterion benches.
 pub fn bench_fixture(
     sentences: usize,

@@ -317,6 +317,10 @@ fn query(args: &Args) -> Result<(), AnyError> {
             "zero-copy   {} postings borrowed from cached blocks, {} sort exchanges avoided",
             s.postings_borrowed, s.sort_exchanges_avoided
         );
+        println!(
+            "seeks       {} restart-point seeks, {} postings skipped undecoded",
+            s.seeks, s.postings_skipped
+        );
     }
     for &(tid, pre) in result.matches.iter().take(show) {
         let tree = index.tree(tid)?;
@@ -607,17 +611,27 @@ fn render_key(key: &[u8], interner: &LabelInterner) -> String {
 fn key_stats_line(rendered: &str, stats: Option<&KeyStats>) -> String {
     match stats {
         None => format!("  {rendered}: not indexed (query has no matches)"),
-        Some(s) => format!(
-            "  {rendered}: {} postings, {} distinct trees, tids [{}, {}], \
-             {:.2} postings/tree, {} bytes{}",
-            s.postings,
-            s.distinct_tids,
-            s.first_tid,
-            s.last_tid,
-            s.mean_postings_per_tid(),
-            s.bytes,
-            if s.exact { "" } else { " (estimated)" }
-        ),
+        Some(s) => {
+            let mut line = format!(
+                "  {rendered}: {} postings, {} distinct trees, tids [{}, {}], \
+                 {:.2} postings/tree, {} bytes{}",
+                s.postings,
+                s.distinct_tids,
+                s.first_tid,
+                s.last_tid,
+                s.mean_postings_per_tid(),
+                s.bytes,
+                if s.exact { "" } else { " (estimated)" }
+            );
+            // Per-key tid histogram (stats segment v2): how the key's
+            // occurrences spread across its [first, last] range — what
+            // the planner's range-overlap refinement reads.
+            if s.has_hist() {
+                let buckets: Vec<String> = s.tid_hist.iter().map(u32::to_string).collect();
+                line.push_str(&format!("\n      tid histogram [{}]", buckets.join(" ")));
+            }
+            line
+        }
     }
 }
 
@@ -774,14 +788,32 @@ fn stats(args: &Args) -> Result<(), AnyError> {
         [] => {
             print_stats_any(&index);
             match &index {
-                AnyIndex::Mono(mono) => println!(
-                    "key stats  {}",
-                    if mono.has_key_stats() {
-                        "persistent segment (exact)"
-                    } else {
-                        "absent (pre-stats index; planner estimates from lengths)"
-                    }
-                ),
+                AnyIndex::Mono(mono) => {
+                    println!(
+                        "key stats  {}",
+                        if mono.has_key_stats() {
+                            "persistent segment (exact)"
+                        } else {
+                            "absent (pre-stats index; planner estimates from lengths)"
+                        }
+                    );
+                    println!(
+                        "skip index {}",
+                        if mono.has_skip_headers() {
+                            "restart-point headers on posting lists (seekable)"
+                        } else {
+                            "absent (pre-skip index; scans decode linearly)"
+                        }
+                    );
+                    println!(
+                        "read path  {}",
+                        if mono.is_mapped() {
+                            "mmap (read-only page images served from the mapping)"
+                        } else {
+                            "buffered pager"
+                        }
+                    );
+                }
                 AnyIndex::Sharded(_) => {
                     println!("key stats  per-shard segments, aggregated on lookup")
                 }

@@ -38,6 +38,7 @@ use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::build::SubtreeIndex;
 use crate::coding::{NodeVal, Posting, PostingCursor, PostingFeed};
+use si_parsetree::TreeId;
 use si_storage::{Result, ValueReader};
 
 /// Approximate resident size of one decoded posting.
@@ -492,6 +493,53 @@ impl<'a> CachedListReader<'a> {
     pub fn tally(&self) -> (u64, u64) {
         (self.tally.hits.get(), self.tally.misses.get())
     }
+
+    /// Forward-only seek mapping the list's skip header onto the
+    /// cache's block grid. Restart blocks align with cache blocks
+    /// exactly when the header's restart interval equals
+    /// [`BlockCache::block_postings`] (both default to 1024): restart
+    /// point `p` then begins cache block `p`, so a seek just moves the
+    /// reader's `block_idx` — skipped cached blocks are never fetched,
+    /// skipped cold blocks are never decoded *or inserted* (the list is
+    /// warmed from the seek target onward). Returns the number of
+    /// postings jumped; `Ok(0)` on legacy lists, when already at or
+    /// past the target restart, or when the grids are misaligned (a
+    /// non-default cache config — seeking is then skipped rather than
+    /// served wrong).
+    fn seek_forward(&mut self, t: TreeId) -> Result<u64> {
+        if self.done {
+            return Ok(0);
+        }
+        // The skip header lives at the head of the B+Tree value, so a
+        // seek needs the cursor even if the target block is cached: one
+        // key lookup, after which the cursor is parked right at the
+        // restart point a future miss would decode from.
+        if self.cursor.is_none() {
+            self.cursor = match self.index.posting_cursor(&self.key)? {
+                Some(c) => Some(c),
+                None => return Ok(0),
+            };
+            self.cursor_block = 0;
+        }
+        let bp = self.cache.block_postings() as u64;
+        let cursor = self.cursor.as_mut().expect("cursor open");
+        let p = match cursor.skip_table()? {
+            Some(table) if u64::from(table.interval()) == bp => table.restart_before(t),
+            _ => return Ok(0),
+        };
+        let consumed = u64::from(self.block_idx) * bp + self.in_block as u64;
+        let target = u64::from(p) * bp;
+        if target <= consumed {
+            return Ok(0);
+        }
+        cursor.seek_to_restart(p)?;
+        self.cursor_block = self.cursor_block.max(p);
+        self.block_idx = p;
+        self.in_block = 0;
+        self.current = None;
+        self.current_is_hit = false;
+        Ok(target - consumed)
+    }
 }
 
 impl CachedListReader<'_> {
@@ -548,6 +596,10 @@ impl CachedListReader<'_> {
 }
 
 impl PostingFeed for CachedListReader<'_> {
+    fn seek_to_tid(&mut self, t: TreeId) -> Result<u64> {
+        self.seek_forward(t)
+    }
+
     fn next_posting(&mut self) -> Result<Option<&Posting>> {
         Ok(if self.position_next()? {
             let block = self.current.as_ref().expect("positioned on a block");

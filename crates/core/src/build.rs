@@ -76,6 +76,34 @@ pub struct SubtreeIndex {
     stats: IndexStats,
     join_algo: JoinAlgo,
     exec_mode: ExecMode,
+    /// Whether posting-list values carry the per-list skip header
+    /// (`si.meta` magic `SIMETA2`). Pre-skip indexes (`SIMETA1`) decode
+    /// the bare payload and simply never seek.
+    skip_headers: bool,
+}
+
+/// Wraps one key's finished payload into the stored value (skip header
+/// then the byte-identical payload) and folds the resulting
+/// histogram/length into its stats entry — the shared tail of all
+/// three build paths.
+fn finalize_list(
+    coding: Coding,
+    key: &[u8],
+    payload: &[u8],
+    key_stats: &mut si_storage::KeyStats,
+) -> Result<Vec<u8>> {
+    let m = key_size(key).ok_or_else(|| StorageError::Corrupt("bad canonical key".into()))?;
+    let (value, hist) = crate::coding::build_list_value(
+        coding,
+        m,
+        payload,
+        crate::coding::DEFAULT_RESTART_INTERVAL,
+        key_stats.first_tid,
+        key_stats.last_tid,
+    )?;
+    key_stats.tid_hist = hist;
+    key_stats.bytes = value.len() as u64;
+    Ok(value)
 }
 
 impl SubtreeIndex {
@@ -137,15 +165,16 @@ impl SubtreeIndex {
         // statistics the builders tracked as the stats segment.
         let mut postings = 0u64;
         let mut posting_bytes = 0u64;
-        let mut entries: Vec<(Vec<u8>, Vec<u8>, si_storage::KeyStats)> = lists
-            .into_iter()
-            .map(|(key, builder)| {
-                postings += builder.count();
-                posting_bytes += builder.byte_len() as u64;
-                let key_stats = builder.key_stats();
-                (key, builder.finish(), key_stats)
-            })
-            .collect();
+        let mut entries: Vec<(Vec<u8>, Vec<u8>, si_storage::KeyStats)> =
+            Vec::with_capacity(lists.len());
+        for (key, builder) in lists {
+            postings += builder.count();
+            posting_bytes += builder.byte_len() as u64;
+            let mut key_stats = builder.key_stats();
+            let payload = builder.finish();
+            let value = finalize_list(options.coding, &key, &payload, &mut key_stats)?;
+            entries.push((key, value, key_stats));
+        }
         entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         let keys = entries.len() as u64;
         let stats_entries: Vec<(Vec<u8>, si_storage::KeyStats)> =
@@ -173,6 +202,7 @@ impl SubtreeIndex {
             stats,
             join_algo: JoinAlgo::Mpmgjn,
             exec_mode: ExecMode::Streaming,
+            skip_headers: true,
         };
         index.write_meta()?;
         Ok(index)
@@ -291,22 +321,23 @@ impl SubtreeIndex {
 
         let mut postings = 0u64;
         let mut posting_bytes = 0u64;
-        let mut entries: Vec<(Vec<u8>, Vec<u8>, si_storage::KeyStats)> = merged
-            .into_iter()
-            .map(|(key, list)| {
-                postings += list.count;
-                posting_bytes += list.bytes.len() as u64;
-                let key_stats = si_storage::KeyStats {
-                    postings: list.count,
-                    distinct_tids: list.distinct_tids,
-                    first_tid: list.first_tid,
-                    last_tid: list.last_tid.unwrap_or(0),
-                    bytes: list.bytes.len() as u64,
-                    exact: true,
-                };
-                (key, list.bytes, key_stats)
-            })
-            .collect();
+        let mut entries: Vec<(Vec<u8>, Vec<u8>, si_storage::KeyStats)> =
+            Vec::with_capacity(merged.len());
+        for (key, list) in merged {
+            postings += list.count;
+            posting_bytes += list.bytes.len() as u64;
+            let mut key_stats = si_storage::KeyStats {
+                postings: list.count,
+                distinct_tids: list.distinct_tids,
+                first_tid: list.first_tid,
+                last_tid: list.last_tid.unwrap_or(0),
+                bytes: list.bytes.len() as u64,
+                exact: true,
+                ..si_storage::KeyStats::default()
+            };
+            let value = finalize_list(options.coding, &key, &list.bytes, &mut key_stats)?;
+            entries.push((key, value, key_stats));
+        }
         entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
         let keys = entries.len() as u64;
         let stats_entries: Vec<(Vec<u8>, si_storage::KeyStats)> =
@@ -334,6 +365,7 @@ impl SubtreeIndex {
             stats,
             join_algo: JoinAlgo::Mpmgjn,
             exec_mode: ExecMode::Streaming,
+            skip_headers: true,
         };
         index.write_meta()?;
         Ok(index)
@@ -369,12 +401,20 @@ impl SubtreeIndex {
         let stats_entries: RefCell<Vec<(Vec<u8>, si_storage::KeyStats)>> = RefCell::new(Vec::new());
         let error: RefCell<Option<StorageError>> = RefCell::new(None);
         let pairs = std::iter::from_fn(|| match merger.next_key() {
-            Ok(Some((key, bytes, key_stats))) => {
+            Ok(Some((key, bytes, mut key_stats))) => {
                 *keys.borrow_mut() += 1;
                 *postings.borrow_mut() += key_stats.postings;
                 *posting_bytes.borrow_mut() += bytes.len() as u64;
-                stats_entries.borrow_mut().push((key.clone(), key_stats));
-                Some((key, bytes))
+                match finalize_list(options.coding, &key, &bytes, &mut key_stats) {
+                    Ok(value) => {
+                        stats_entries.borrow_mut().push((key.clone(), key_stats));
+                        Some((key, value))
+                    }
+                    Err(e) => {
+                        *error.borrow_mut() = Some(e);
+                        None
+                    }
+                }
             }
             Ok(None) => None,
             Err(e) => {
@@ -406,17 +446,20 @@ impl SubtreeIndex {
             stats,
             join_algo: JoinAlgo::Mpmgjn,
             exec_mode: ExecMode::Streaming,
+            skip_headers: true,
         };
         index.write_meta()?;
         Ok(index)
     }
 
-    /// Opens an existing index directory.
+    /// Opens an existing index directory. Read-only opens prefer the
+    /// mmap-backed pager (borrowed, latch-free page reads) and fall back
+    /// to the buffered pager transparently.
     pub fn open(dir: &Path) -> Result<Self> {
         let meta = std::fs::read(dir.join("si.meta"))?;
-        let (options, stats) =
+        let (options, stats, skip_headers) =
             decode_meta(&meta).ok_or_else(|| StorageError::Corrupt("si.meta".into()))?;
-        let btree = BTree::open(&dir.join("index.bt"))?;
+        let btree = BTree::open_readonly(&dir.join("index.bt"))?;
         let store = CorpusStore::open(&dir.join("corpus"))?;
         Ok(Self {
             dir: dir.to_path_buf(),
@@ -426,7 +469,22 @@ impl SubtreeIndex {
             stats,
             join_algo: JoinAlgo::Mpmgjn,
             exec_mode: ExecMode::Streaming,
+            skip_headers,
         })
+    }
+
+    /// Whether stored posting lists carry skip headers (restart-point
+    /// tables). Pre-skip index files answer `false`; cursors over them
+    /// never seek but return identical postings.
+    pub fn has_skip_headers(&self) -> bool {
+        self.skip_headers
+    }
+
+    /// Whether the B+Tree is served from an mmap-backed read-only pager
+    /// (a read-only open that mapped cleanly) rather than the buffered
+    /// pager. Purely informational — reads are byte-identical either way.
+    pub fn is_mapped(&self) -> bool {
+        self.btree.is_mapped()
     }
 
     /// The build options.
@@ -554,7 +612,12 @@ impl SubtreeIndex {
             return Ok(None);
         };
         let m = key_size(key).ok_or_else(|| StorageError::Corrupt("bad canonical key".into()))?;
-        Ok(Some(PostingCursor::new(self.options.coding, m, reader)))
+        Ok(Some(PostingCursor::with_format(
+            self.options.coding,
+            m,
+            reader,
+            self.skip_headers,
+        )))
     }
 
     /// Fetches the decoded posting list of a canonical key, if indexed.
@@ -570,8 +633,13 @@ impl SubtreeIndex {
             return Ok(None);
         };
         let m = key_size(key).ok_or_else(|| StorageError::Corrupt("bad canonical key".into()))?;
+        let payload = if self.skip_headers {
+            crate::coding::split_skip_header(&bytes)?.1
+        } else {
+            &bytes[..]
+        };
         Ok(Some((
-            decode_postings(self.options.coding, m, &bytes).collect(),
+            decode_postings(self.options.coding, m, payload).collect(),
             bytes.len(),
         )))
     }
@@ -584,7 +652,7 @@ impl SubtreeIndex {
 
     fn write_meta(&self) -> Result<()> {
         let mut buf = Vec::new();
-        buf.extend_from_slice(b"SIMETA1\0");
+        buf.extend_from_slice(b"SIMETA2\0");
         varint::write_u64(&mut buf, self.options.mss as u64);
         buf.push(self.options.coding.id());
         varint::write_u64(&mut buf, self.stats.keys);
@@ -598,11 +666,16 @@ impl SubtreeIndex {
     }
 }
 
-fn decode_meta(bytes: &[u8]) -> Option<(IndexOptions, IndexStats)> {
+fn decode_meta(bytes: &[u8]) -> Option<(IndexOptions, IndexStats, bool)> {
     let magic = bytes.get(..8)?;
-    if magic != b"SIMETA1\0" {
-        return None;
-    }
+    // SIMETA2 lists carry skip headers; SIMETA1 files predate them and
+    // store the bare payload — both open cleanly, the cursor format
+    // follows the flag.
+    let skip_headers = match magic {
+        b"SIMETA2\0" => true,
+        b"SIMETA1\0" => false,
+        _ => return None,
+    };
     let mut r = varint::Reader::new(&bytes[8..]);
     let mss = r.u64()? as usize;
     let coding = Coding::from_id(r.bytes(1)?[0])?;
@@ -625,5 +698,6 @@ fn decode_meta(bytes: &[u8]) -> Option<(IndexOptions, IndexStats)> {
             data_bytes,
             build_seconds: build_micros as f64 / 1e6,
         },
+        skip_headers,
     ))
 }

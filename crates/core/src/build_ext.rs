@@ -318,6 +318,7 @@ impl RunMerger {
             last_tid: last_tid.unwrap_or(0),
             bytes: bytes.len() as u64,
             exact: true,
+            ..si_storage::KeyStats::default()
         };
         Ok(Some((key, bytes, stats)))
     }

@@ -255,6 +255,7 @@ impl PostingBuilder {
             last_tid: self.last_tid.unwrap_or(0),
             bytes: self.buf.len() as u64,
             exact: true,
+            ..si_storage::KeyStats::default()
         }
     }
 
@@ -267,6 +268,202 @@ impl PostingBuilder {
     pub fn finish(self) -> Vec<u8> {
         self.buf
     }
+}
+
+/// Postings per restart block in freshly built indexes. Matches the
+/// default [`crate::blockcache::BlockCacheConfig::block_postings`] so a
+/// skip jump lands exactly on a decoded-block-cache boundary.
+pub const DEFAULT_RESTART_INTERVAL: u32 = 1024;
+
+/// On-disk version byte of the per-list skip header.
+pub const SKIP_HEADER_VERSION: u8 = 1;
+
+fn corrupt(msg: &str) -> si_storage::StorageError {
+    si_storage::StorageError::Corrupt(msg.into())
+}
+
+/// A posting list's restart points, decoded from its skip header.
+///
+/// Entry `k` (0-based) describes restart block `k + 1`, which starts at
+/// posting index `(k + 1) * interval`: it records the tid of the
+/// posting *immediately before* the restart (the absolute delta-decode
+/// state a seek resumes from) and the byte offset of the restart
+/// posting within the unchanged legacy payload. Restart block 0 is
+/// implicit (offset 0, fresh decode state).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SkipTable {
+    interval: u32,
+    entries: Vec<(TreeId, u64)>,
+}
+
+impl SkipTable {
+    /// Postings per restart block.
+    pub fn interval(&self) -> u32 {
+        self.interval
+    }
+
+    /// Number of explicit restart points (excludes the implicit block 0).
+    pub fn restarts(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// The restart block to seek to for target tid `t`: the largest `p`
+    /// whose recorded prior tid is `< t` (every posting before block `p`
+    /// then has tid `< t`, so skipping them is safe even with duplicate
+    /// tids). `0` means "stay where you are".
+    pub fn restart_before(&self, t: TreeId) -> u32 {
+        self.entries.partition_point(|&(prev, _)| prev < t) as u32
+    }
+
+    /// `(prior tid, payload byte offset)` of restart block `p >= 1`.
+    fn entry(&self, p: u32) -> Option<(TreeId, u64)> {
+        self.entries.get((p as usize).checked_sub(1)?).copied()
+    }
+
+    /// Parses the exact header bytes (as delimited by
+    /// [`skip_header_extent`]).
+    fn parse(header: &[u8]) -> si_storage::Result<SkipTable> {
+        if header.first() != Some(&SKIP_HEADER_VERSION) {
+            return Err(corrupt("unsupported skip-header version"));
+        }
+        let mut r = varint::Reader::new(&header[1..]);
+        let body_len = r.u64().ok_or_else(|| corrupt("skip header truncated"))? as usize;
+        let body = r
+            .bytes(body_len)
+            .ok_or_else(|| corrupt("skip header truncated"))?;
+        let mut r = varint::Reader::new(body);
+        let interval = r.u32().ok_or_else(|| corrupt("skip header truncated"))?;
+        if interval == 0 {
+            return Err(corrupt("skip header has zero restart interval"));
+        }
+        let n = r.u64().ok_or_else(|| corrupt("skip header truncated"))?;
+        let mut entries = Vec::with_capacity(n.min(1 << 20) as usize);
+        let (mut tid, mut off) = (0u32, 0u64);
+        for i in 0..n {
+            let dt = r.u32().ok_or_else(|| corrupt("skip header truncated"))?;
+            let doff = r.u64().ok_or_else(|| corrupt("skip header truncated"))?;
+            tid = tid
+                .checked_add(dt)
+                .ok_or_else(|| corrupt("skip-table tid overflows"))?;
+            if doff == 0 && i > 0 {
+                return Err(corrupt("skip-table offsets must ascend"));
+            }
+            off = off
+                .checked_add(doff)
+                .ok_or_else(|| corrupt("skip-table offset overflows"))?;
+            entries.push((tid, off));
+        }
+        if !r.is_empty() {
+            return Err(corrupt("skip header has trailing bytes"));
+        }
+        Ok(SkipTable { interval, entries })
+    }
+}
+
+/// Total byte length of the skip header at the front of `bytes`, or
+/// `None` while the version byte plus length varint are incomplete.
+fn skip_header_extent(bytes: &[u8]) -> Option<usize> {
+    if bytes.is_empty() {
+        return None;
+    }
+    let (body_len, used) = varint::read_u64(&bytes[1..])?;
+    (1usize + used).checked_add(usize::try_from(body_len).ok()?)
+}
+
+/// Wraps a finished legacy payload (the exact [`PostingBuilder`] bytes)
+/// into the versioned on-disk list value — skip header followed by the
+/// byte-identical payload — and returns it together with the list's tid
+/// histogram (posting counts over [`si_storage::TID_HIST_BUCKETS`]
+/// equal-width buckets spanning `[first_tid, last_tid]`, saturating).
+///
+/// This is a pure post-pass varint skim: it never materializes
+/// postings, so all three build paths call it on their final merged
+/// bytes without changing how those bytes are produced. An empty
+/// payload stays an empty value.
+pub fn build_list_value(
+    coding: Coding,
+    key_nodes: usize,
+    payload: &[u8],
+    interval: u32,
+    first_tid: TreeId,
+    last_tid: TreeId,
+) -> si_storage::Result<(Vec<u8>, [u32; si_storage::TID_HIST_BUCKETS])> {
+    let mut hist = [0u32; si_storage::TID_HIST_BUCKETS];
+    if payload.is_empty() {
+        return Ok((Vec::new(), hist));
+    }
+    let interval = interval.max(1);
+    let span = u64::from(last_tid.saturating_sub(first_tid)) + 1;
+    let fields_after_tid = match coding {
+        Coding::FilterBased => 0,
+        Coding::RootSplit => 3,
+        Coding::SubtreeInterval => 4 * key_nodes,
+    };
+    let mut entries: Vec<(TreeId, u64)> = Vec::new();
+    let mut r = varint::Reader::new(payload);
+    let mut tid: TreeId = 0;
+    let mut index: u64 = 0;
+    while !r.is_empty() {
+        if index > 0 && index.is_multiple_of(u64::from(interval)) {
+            entries.push((tid, r.position() as u64));
+        }
+        let delta = r
+            .u32()
+            .ok_or_else(|| corrupt("posting payload ends mid-posting"))?;
+        tid = if index == 0 {
+            delta
+        } else {
+            tid.checked_add(delta)
+                .ok_or_else(|| corrupt("posting tid overflows"))?
+        };
+        for _ in 0..fields_after_tid {
+            r.u64()
+                .ok_or_else(|| corrupt("posting payload ends mid-posting"))?;
+        }
+        let bucket = if tid <= first_tid {
+            0
+        } else {
+            ((u64::from(tid - first_tid) * si_storage::TID_HIST_BUCKETS as u64) / span)
+                .min(si_storage::TID_HIST_BUCKETS as u64 - 1) as usize
+        };
+        hist[bucket] = hist[bucket].saturating_add(1);
+        index += 1;
+    }
+    let mut body = Vec::new();
+    varint::write_u32(&mut body, interval);
+    varint::write_u64(&mut body, entries.len() as u64);
+    let (mut ptid, mut poff) = (0u32, 0u64);
+    for &(t, off) in &entries {
+        varint::write_u32(&mut body, t - ptid);
+        varint::write_u64(&mut body, off - poff);
+        ptid = t;
+        poff = off;
+    }
+    let mut out =
+        Vec::with_capacity(1 + varint::len_u64(body.len() as u64) + body.len() + payload.len());
+    out.push(SKIP_HEADER_VERSION);
+    varint::write_u64(&mut out, body.len() as u64);
+    out.extend_from_slice(&body);
+    out.extend_from_slice(payload);
+    Ok((out, hist))
+}
+
+/// Splits a whole in-memory list value built by [`build_list_value`]
+/// into its skip table and the legacy payload it prefixes. An empty
+/// value has neither. Used by whole-list consumers
+/// ([`crate::SubtreeIndex::postings`], CLI dumps) on skip-header
+/// indexes before handing the payload to [`decode_postings`].
+pub fn split_skip_header(bytes: &[u8]) -> si_storage::Result<(Option<SkipTable>, &[u8])> {
+    if bytes.is_empty() {
+        return Ok((None, bytes));
+    }
+    let extent =
+        skip_header_extent(bytes).ok_or_else(|| corrupt("posting list ends mid skip header"))?;
+    let header = bytes
+        .get(..extent)
+        .ok_or_else(|| corrupt("posting list ends mid skip header"))?;
+    let table = SkipTable::parse(header)?;
+    Ok((Some(table), &bytes[extent..]))
 }
 
 /// An incremental source of decoded postings: a [`PostingCursor`]
@@ -297,6 +494,17 @@ pub trait PostingFeed {
     /// cache (pinned blocks) are charged to the cache's budget, not to
     /// the feed.
     fn peak_buffer_bytes(&self) -> usize;
+
+    /// Forward-only seek: positions the feed so no posting with
+    /// `tid >= t` is skipped, jumping whole restart blocks when the
+    /// list carries a skip header. Returns how many postings were
+    /// **never decoded** because of the jump (`0` when the feed cannot
+    /// seek, the list has no skip table, or it is already close enough
+    /// that no restart lies strictly between). Safe to call at any
+    /// point between `next_posting` calls; never moves backwards.
+    fn seek_to_tid(&mut self, _t: TreeId) -> si_storage::Result<u64> {
+        Ok(0)
+    }
 }
 
 impl<S: ChunkSource> PostingFeed for PostingCursor<S> {
@@ -306,6 +514,10 @@ impl<S: ChunkSource> PostingFeed for PostingCursor<S> {
 
     fn peak_buffer_bytes(&self) -> usize {
         PostingCursor::peak_buffer_bytes(self)
+    }
+
+    fn seek_to_tid(&mut self, t: TreeId) -> si_storage::Result<u64> {
+        PostingCursor::seek_to_tid(self, t)
     }
 }
 
@@ -318,14 +530,28 @@ pub trait ChunkSource {
     /// Appends the next chunk of bytes to `out`, returning how many bytes
     /// were appended. `Ok(0)` signals exhaustion.
     fn read_chunk(&mut self, out: &mut Vec<u8>) -> si_storage::Result<usize>;
+
+    /// Drops up to `n` upcoming bytes **at chunk granularity** without
+    /// copying them, returning how many were dropped. `Ok(0)` is always
+    /// a valid answer (the caller then falls back to reading and
+    /// discarding); sources backed by linked disk pages override this to
+    /// hop whole pages during a [`PostingCursor::seek_to_tid`].
+    fn skip_bytes(&mut self, _n: u64) -> si_storage::Result<u64> {
+        Ok(0)
+    }
 }
 
 /// A B+Tree value cursor is a chunk source: each chunk is one disk
 /// page's payload, so a [`PostingCursor`] over it decodes straight off
-/// the pager without ever materializing the list.
+/// the pager without ever materializing the list. Seeks hop whole
+/// overflow pages without copying their payload out of the page cache.
 impl ChunkSource for si_storage::btree::ValueReader<'_> {
     fn read_chunk(&mut self, out: &mut Vec<u8>) -> si_storage::Result<usize> {
         si_storage::btree::ValueReader::read_chunk(self, out)
+    }
+
+    fn skip_bytes(&mut self, n: u64) -> si_storage::Result<u64> {
+        si_storage::btree::ValueReader::skip_chunk_bytes(self, n)
     }
 }
 
@@ -352,6 +578,17 @@ impl ChunkSource for SliceSource<'_> {
         out.extend_from_slice(self.bytes);
         Ok(self.bytes.len())
     }
+
+    fn skip_bytes(&mut self, n: u64) -> si_storage::Result<u64> {
+        if self.done {
+            return Ok(0);
+        }
+        let take = usize::try_from(n)
+            .unwrap_or(usize::MAX)
+            .min(self.bytes.len());
+        self.bytes = &self.bytes[take..];
+        Ok(take as u64)
+    }
 }
 
 /// Streaming decoder of a posting list produced by [`PostingBuilder`]:
@@ -375,15 +612,30 @@ pub struct PostingCursor<S> {
     src_done: bool,
     decoded: usize,
     peak_buf: usize,
+    /// Whether the leading skip header (if the format has one) has been
+    /// consumed; starts `true` for legacy headerless lists.
+    header_done: bool,
+    skip: Option<SkipTable>,
+    /// Payload byte offset of `buf[pos]` (excludes the skip header).
+    payload_consumed: u64,
+    /// Postings jumped over by seeks — never decoded.
+    skipped_postings: u64,
     /// Reusable decode slot the borrow returned by
     /// [`PostingCursor::next_posting`] points into.
     current: Posting,
 }
 
 impl<S: ChunkSource> PostingCursor<S> {
-    /// Creates a cursor. `key_nodes` is the key's node count (needed by
-    /// the interval coding; ignored otherwise).
+    /// Creates a cursor over a legacy (headerless) list. `key_nodes` is
+    /// the key's node count (needed by the interval coding; ignored
+    /// otherwise).
     pub fn new(coding: Coding, key_nodes: usize, src: S) -> Self {
+        Self::with_format(coding, key_nodes, src, false)
+    }
+
+    /// Creates a cursor, stating whether the value starts with a skip
+    /// header ([`build_list_value`] format) or is a bare legacy payload.
+    pub fn with_format(coding: Coding, key_nodes: usize, src: S, skip_header: bool) -> Self {
         Self {
             coding,
             key_nodes,
@@ -395,6 +647,10 @@ impl<S: ChunkSource> PostingCursor<S> {
             src_done: false,
             decoded: 0,
             peak_buf: 0,
+            header_done: !skip_header,
+            skip: None,
+            payload_consumed: 0,
+            skipped_postings: 0,
             current: Posting::Tid(0),
         }
     }
@@ -402,6 +658,12 @@ impl<S: ChunkSource> PostingCursor<S> {
     /// Postings decoded so far.
     pub fn decoded(&self) -> usize {
         self.decoded
+    }
+
+    /// Index of the next posting in the full list — decoded plus
+    /// seek-skipped.
+    pub fn position(&self) -> u64 {
+        self.decoded as u64 + self.skipped_postings
     }
 
     /// High-water mark of resident undecoded bytes — the streaming
@@ -428,10 +690,105 @@ impl<S: ChunkSource> PostingCursor<S> {
         Ok(n > 0)
     }
 
+    /// Parses the skip header (when the format has one) before the first
+    /// payload byte is decoded, refilling from the source as needed. A
+    /// zero-length value stays a clean empty list.
+    fn ensure_header(&mut self) -> si_storage::Result<()> {
+        if self.header_done {
+            return Ok(());
+        }
+        loop {
+            let window = &self.buf[self.pos..];
+            if let Some(extent) = skip_header_extent(window) {
+                if window.len() >= extent {
+                    self.skip = Some(SkipTable::parse(&window[..extent])?);
+                    self.pos += extent;
+                    self.header_done = true;
+                    return Ok(());
+                }
+            }
+            if !self.refill()? {
+                return if self.pos >= self.buf.len() {
+                    // Zero-length value: an empty list has no header.
+                    self.header_done = true;
+                    Ok(())
+                } else {
+                    Err(corrupt("posting list ends mid skip header"))
+                };
+            }
+        }
+    }
+
+    /// The list's restart points, or `None` for legacy/empty lists.
+    /// Forces the header parse.
+    pub fn skip_table(&mut self) -> si_storage::Result<Option<&SkipTable>> {
+        self.ensure_header()?;
+        Ok(self.skip.as_ref())
+    }
+
+    /// Forward-only seek to the latest restart point whose prior tid is
+    /// `< t` (see [`SkipTable::restart_before`]); returns the number of
+    /// postings jumped over without decoding. No-op (`Ok(0)`) on legacy
+    /// lists or when already at or past that restart.
+    pub fn seek_to_tid(&mut self, t: TreeId) -> si_storage::Result<u64> {
+        self.ensure_header()?;
+        let Some(table) = &self.skip else {
+            return Ok(0);
+        };
+        let p = table.restart_before(t);
+        self.seek_to_restart(p)
+    }
+
+    /// Forward-only jump to restart block `p` (`0` = no-op). Returns the
+    /// number of postings skipped without decoding.
+    pub fn seek_to_restart(&mut self, p: u32) -> si_storage::Result<u64> {
+        self.ensure_header()?;
+        let (prev_tid, offset, target_index) = {
+            let Some(table) = &self.skip else {
+                return Ok(0);
+            };
+            let Some((prev_tid, offset)) = table.entry(p) else {
+                return Ok(0);
+            };
+            (prev_tid, offset, u64::from(p) * u64::from(table.interval()))
+        };
+        if offset <= self.payload_consumed {
+            return Ok(0);
+        }
+        let mut need = offset - self.payload_consumed;
+        loop {
+            let avail = (self.buf.len() - self.pos) as u64;
+            let take = need.min(avail);
+            self.pos += take as usize;
+            self.payload_consumed += take;
+            need -= take;
+            if need == 0 {
+                break;
+            }
+            // Buffer drained — let the source hop whole chunks (disk
+            // pages) without copying, then refill for the remainder.
+            let fast = self.src.skip_bytes(need)?;
+            self.payload_consumed += fast;
+            need -= fast;
+            if need == 0 {
+                break;
+            }
+            if !self.refill()? {
+                return Err(corrupt("posting-list seek past end of list"));
+            }
+        }
+        self.tid = prev_tid;
+        self.first = false;
+        let skipped = target_index.saturating_sub(self.position());
+        self.skipped_postings += skipped;
+        Ok(skipped)
+    }
+
     /// Advances the cursor by decoding one posting into the reusable
     /// slot, refilling from the source as needed. Returns whether a
     /// posting is now available in `self.current`.
     fn advance(&mut self) -> si_storage::Result<bool> {
+        self.ensure_header()?;
         loop {
             if self.pos < self.buf.len() {
                 if let Some(used) = decode_one_into(
@@ -443,6 +800,7 @@ impl<S: ChunkSource> PostingCursor<S> {
                     &mut self.current,
                 ) {
                     self.pos += used;
+                    self.payload_consumed += used as u64;
                     self.tid = self.current.tid();
                     self.first = false;
                     self.decoded += 1;

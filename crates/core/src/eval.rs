@@ -96,6 +96,14 @@ pub struct EvalStats {
     /// key is absent from the shard, or (cost-based planner) the shard's
     /// per-key tid ranges are disjoint.
     pub shards_skipped: usize,
+    /// Restart-block jumps performed by posting feeds
+    /// ([`crate::coding::PostingFeed::seek_to_tid`]): leapfrog targets
+    /// and tid-range seeding that actually moved a cursor forward.
+    /// Zero on pre-skip-header indexes (no skip tables to jump).
+    pub seeks: u64,
+    /// Postings those seeks jumped over — bytes the evaluation **never
+    /// decoded** (and, cold, never even copied off their disk pages).
+    pub postings_skipped: u64,
 }
 
 /// Matches plus statistics.

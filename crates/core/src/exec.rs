@@ -121,6 +121,14 @@ pub struct ExecContext<'s> {
     /// preference; the default is
     /// [`crate::plan::DEFAULT_ROOT_PREF_FACTOR`].
     pub root_pref_factor: f64,
+    /// Whether cursors may **seek** (skip restart blocks via the
+    /// per-list skip tables) instead of draining postings one by one.
+    /// On by default; the bench's seek-vs-drain A/B and the executor
+    /// differential tests turn it off to prove answer equivalence.
+    /// Requires cost-based planning (seeks are seeded from the exact
+    /// common tid range) and an index with skip headers — otherwise
+    /// it is a silent no-op.
+    pub seeks: bool,
 }
 
 impl Default for ExecContext<'_> {
@@ -132,6 +140,7 @@ impl Default for ExecContext<'_> {
             trees: None,
             planner: PlannerMode::default(),
             root_pref_factor: crate::plan::DEFAULT_ROOT_PREF_FACTOR,
+            seeks: true,
         }
     }
 }
@@ -199,9 +208,36 @@ impl MemMeter {
 use crate::join::{tuple_bytes, tuples_bytes};
 
 /// A pull-based stream of join tuples, tid-major ordered.
+///
+/// The stream **lends** each tuple: the borrow lives until the next
+/// `next` call, extending the posting pipeline's borrow contract (pager
+/// page → cursor window → posting → tuple) one level further up.
+/// Consumers that only inspect the tuple (joins reading the driving
+/// slots, the final projection) pay no copy at all; consumers that
+/// buffer it (sort groups, join windows, merge lookaheads) clone
+/// exactly what they would previously have owned. The big winner is
+/// [`SharedScan`], which now serves borrows straight out of the
+/// batch-shared vector instead of cloning every tuple for every
+/// consumer.
 pub trait TupleStream {
     /// Produces the next tuple, or `None` at end of stream.
-    fn next(&mut self) -> Result<Option<Tuple>>;
+    fn next(&mut self) -> Result<Option<&Tuple>>;
+}
+
+/// Clones a child stream's next tuple into an owned buffer slot —
+/// the one copy point of operators that must hold tuples across pulls
+/// (`lnext`/`rnext` lookaheads). Free function over disjoint `&mut`s so
+/// callers can keep a borrow of a *different* child stream alive.
+fn pull_into(stream: &mut BoxStream<'_>, next: &mut Option<Tuple>, done: &mut bool) -> Result<()> {
+    if *done {
+        *next = None;
+        return Ok(());
+    }
+    *next = stream.next()?.cloned();
+    if next.is_none() {
+        *done = true;
+    }
+    Ok(())
 }
 
 type BoxStream<'a> = Box<dyn TupleStream + 'a>;
@@ -250,6 +286,8 @@ pub struct PostingScan<'a> {
     fetched: Rc<Cell<usize>>,
     meter: MemMeter,
     reported: usize,
+    /// Lending slot the borrow returned by `next` points into.
+    slot: Option<Tuple>,
 }
 
 impl<'a> PostingScan<'a> {
@@ -283,7 +321,19 @@ impl<'a> PostingScan<'a> {
             fetched,
             meter,
             reported: 0,
+            slot: None,
         }))
+    }
+
+    /// Forwards a seek to the underlying feed: postings with `tid <
+    /// target` are skipped at restart-block granularity without being
+    /// decoded. Only meaningful before the first tuple is pulled (the
+    /// executor seeds scans to the cover's common tid-range start).
+    /// Returns the number of postings skipped; 0 when the list has no
+    /// skip table or the target lands in the current block.
+    pub fn seek_to_tid(&mut self, target: TreeId) -> Result<u64> {
+        debug_assert!(self.pending.is_empty() && self.slot.is_none());
+        self.feed.seek_to_tid(target)
     }
 
     fn report(&mut self) {
@@ -298,15 +348,16 @@ impl<'a> PostingScan<'a> {
 }
 
 impl TupleStream for PostingScan<'_> {
-    fn next(&mut self) -> Result<Option<Tuple>> {
+    fn next(&mut self) -> Result<Option<&Tuple>> {
         loop {
             if let Some(t) = self.pending.pop_front() {
                 self.report();
-                return Ok(Some(t));
+                self.slot = Some(t);
+                return Ok(self.slot.as_ref());
             }
             // The posting is a borrow of the feed's buffer; everything
-            // below copies node values (plain `Copy` data) into owned
-            // tuples before the borrow ends.
+            // below copies node values (plain `Copy` data) into the
+            // owned lending slot before the borrow ends.
             let Some(posting) = self.feed.next_posting()? else {
                 self.report();
                 return Ok(None);
@@ -319,7 +370,8 @@ impl TupleStream for PostingScan<'_> {
                         slots: Slots::one(*root),
                     };
                     self.report();
-                    return Ok(Some(t));
+                    self.slot = Some(t);
+                    return Ok(self.slot.as_ref());
                 }
                 Posting::Occurrence { tid, nodes } => {
                     // Each posting fixes one arbitrary assignment of data
@@ -365,17 +417,30 @@ impl SharedScan {
             fetched,
         }
     }
+
+    /// Seeks the cursor past every tuple with `tid < target` — the
+    /// shared-vector analogue of a posting seek, a binary search over
+    /// the tid-major order instead of a skip table. Returns the number
+    /// of tuples jumped (never handed to the consumer).
+    pub fn seek_to_tid(&mut self, target: TreeId) -> u64 {
+        let at = self.tuples.partition_point(|t| t.tid < target);
+        let skipped = at.saturating_sub(self.pos);
+        self.pos = self.pos.max(at);
+        skipped as u64
+    }
 }
 
 impl TupleStream for SharedScan {
-    fn next(&mut self) -> Result<Option<Tuple>> {
+    fn next(&mut self) -> Result<Option<&Tuple>> {
         // The backing vector is owned by the batch, not this query; its
-        // bytes are accounted once by the service, not per consumer.
+        // bytes are accounted once by the service, not per consumer —
+        // and the tuple is **lent** straight out of it: no clone, the
+        // zero-copy contract extended to batch-shared scans.
         match self.tuples.get(self.pos) {
             Some(t) => {
                 self.pos += 1;
                 self.fetched.set(self.fetched.get() + 1);
-                Ok(Some(t.clone()))
+                Ok(Some(t))
             }
             None => Ok(None),
         }
@@ -399,7 +464,7 @@ pub fn collect_scan_tuples(
     };
     let mut out = Vec::new();
     while let Some(t) = scan.next()? {
-        out.push(t);
+        out.push(t.clone());
     }
     Ok(Arc::new(out))
 }
@@ -434,6 +499,8 @@ struct SortExchange<'a> {
     /// Shared per-evaluation counter of avoided sorts.
     avoided: Rc<Cell<usize>>,
     meter: MemMeter,
+    /// Lending slot the borrow returned by `next` points into.
+    out_slot: Option<Tuple>,
 }
 
 impl<'a> SortExchange<'a> {
@@ -450,6 +517,7 @@ impl<'a> SortExchange<'a> {
             reported: false,
             avoided,
             meter,
+            out_slot: None,
         }
     }
 
@@ -459,7 +527,7 @@ impl<'a> SortExchange<'a> {
     fn fill_group(&mut self) -> Result<bool> {
         if !self.started {
             self.started = true;
-            self.lookahead = self.input.next()?;
+            self.lookahead = self.input.next()?.cloned();
         }
         let Some(first) = self.lookahead.take() else {
             self.input_done = true;
@@ -475,11 +543,11 @@ impl<'a> SortExchange<'a> {
                     if t.slots[slot].pre < group.last().expect("non-empty group").slots[slot].pre {
                         ordered = false;
                     }
-                    group.push(t);
+                    group.push(t.clone());
                 }
                 next => {
                     self.input_done = next.is_none();
-                    self.lookahead = next;
+                    self.lookahead = next.cloned();
                     break;
                 }
             }
@@ -498,11 +566,12 @@ impl<'a> SortExchange<'a> {
 }
 
 impl TupleStream for SortExchange<'_> {
-    fn next(&mut self) -> Result<Option<Tuple>> {
+    fn next(&mut self) -> Result<Option<&Tuple>> {
         loop {
             if let Some(t) = self.group.pop_front() {
                 self.meter.sub(tuple_bytes(&t));
-                return Ok(Some(t));
+                self.out_slot = Some(t);
+                return Ok(self.out_slot.as_ref());
             }
             if !self.input_done && self.fill_group()? {
                 continue;
@@ -540,6 +609,7 @@ struct MergeEqJoin<'a> {
     started: bool,
     out: VecDeque<Tuple>,
     meter: MemMeter,
+    out_slot: Option<Tuple>,
 }
 
 impl<'a> MergeEqJoin<'a> {
@@ -562,21 +632,23 @@ impl<'a> MergeEqJoin<'a> {
             started: false,
             out: VecDeque::new(),
             meter,
+            out_slot: None,
         }
     }
 }
 
 impl TupleStream for MergeEqJoin<'_> {
-    fn next(&mut self) -> Result<Option<Tuple>> {
+    fn next(&mut self) -> Result<Option<&Tuple>> {
         loop {
             if let Some(t) = self.out.pop_front() {
                 self.meter.sub(tuple_bytes(&t));
-                return Ok(Some(t));
+                self.out_slot = Some(t);
+                return Ok(self.out_slot.as_ref());
             }
             if !self.started {
                 self.started = true;
-                self.lnext = self.left.next()?;
-                self.rnext = self.right.next()?;
+                self.lnext = self.left.next()?.cloned();
+                self.rnext = self.right.next()?.cloned();
             }
             let (Some(l), Some(r)) = (&self.lnext, &self.rnext) else {
                 return Ok(None);
@@ -584,8 +656,8 @@ impl TupleStream for MergeEqJoin<'_> {
             let lk = (l.tid, l.slots[self.ls].pre);
             let rk = (r.tid, r.slots[self.rs].pre);
             match lk.cmp(&rk) {
-                std::cmp::Ordering::Less => self.lnext = self.left.next()?,
-                std::cmp::Ordering::Greater => self.rnext = self.right.next()?,
+                std::cmp::Ordering::Less => self.lnext = self.left.next()?.cloned(),
+                std::cmp::Ordering::Greater => self.rnext = self.right.next()?.cloned(),
                 std::cmp::Ordering::Equal => {
                     // Gather both equal-key groups and emit their cross
                     // product (groups are tiny: same data node in the
@@ -596,7 +668,7 @@ impl TupleStream for MergeEqJoin<'_> {
                             break;
                         }
                         lgroup.push(self.lnext.take().unwrap());
-                        self.lnext = self.left.next()?;
+                        self.lnext = self.left.next()?.cloned();
                     }
                     let mut rgroup = Vec::new();
                     while let Some(r) = &self.rnext {
@@ -604,7 +676,7 @@ impl TupleStream for MergeEqJoin<'_> {
                             break;
                         }
                         rgroup.push(self.rnext.take().unwrap());
-                        self.rnext = self.right.next()?;
+                        self.rnext = self.right.next()?.cloned();
                     }
                     for l in &lgroup {
                         for r in &rgroup {
@@ -639,6 +711,7 @@ struct MpmgjnJoin<'a> {
     started: bool,
     out: VecDeque<Tuple>,
     meter: MemMeter,
+    out_slot: Option<Tuple>,
 }
 
 impl<'a> MpmgjnJoin<'a> {
@@ -666,57 +739,49 @@ impl<'a> MpmgjnJoin<'a> {
             started: false,
             out: VecDeque::new(),
             meter,
+            out_slot: None,
         }
-    }
-
-    fn pull_left(&mut self) -> Result<()> {
-        if self.left_done {
-            self.lnext = None;
-            return Ok(());
-        }
-        self.lnext = self.left.next()?;
-        if self.lnext.is_none() {
-            self.left_done = true;
-        }
-        Ok(())
-    }
-
-    fn clear_window(&mut self) {
-        self.meter.sub(self.window_bytes);
-        self.window_bytes = 0;
-        self.window.clear();
     }
 }
 
 impl TupleStream for MpmgjnJoin<'_> {
-    fn next(&mut self) -> Result<Option<Tuple>> {
+    fn next(&mut self) -> Result<Option<&Tuple>> {
         loop {
             if let Some(t) = self.out.pop_front() {
                 self.meter.sub(tuple_bytes(&t));
-                return Ok(Some(t));
+                self.out_slot = Some(t);
+                return Ok(self.out_slot.as_ref());
             }
             if !self.started {
                 self.started = true;
-                self.pull_left()?;
+                pull_into(&mut self.left, &mut self.lnext, &mut self.left_done)?;
             }
+            // `r` stays a borrow of the right child for the whole round:
+            // every mutation below touches fields disjoint from
+            // `self.right` (which is why the pulls go through the free
+            // `pull_into` rather than a `&mut self` method).
             let Some(r) = self.right.next()? else {
-                self.clear_window();
+                self.meter.sub(self.window_bytes);
+                self.window_bytes = 0;
+                self.window.clear();
                 return Ok(None);
             };
             // Left tuples of earlier trees can never match this or any
             // future right tuple.
             if self.window.first().is_some_and(|w| w.tid < r.tid) {
-                self.clear_window();
+                self.meter.sub(self.window_bytes);
+                self.window_bytes = 0;
+                self.window.clear();
             }
             while let Some(l) = &self.lnext {
                 if l.tid < r.tid {
-                    self.pull_left()?;
+                    pull_into(&mut self.left, &mut self.lnext, &mut self.left_done)?;
                 } else if l.tid == r.tid && l.slots[self.ls].pre < r.slots[self.rs].pre {
                     let l = self.lnext.take().unwrap();
                     self.window_bytes += tuple_bytes(&l);
                     self.meter.add(tuple_bytes(&l));
                     self.window.push(l);
-                    self.pull_left()?;
+                    pull_into(&mut self.left, &mut self.lnext, &mut self.left_done)?;
                 } else {
                     break;
                 }
@@ -737,7 +802,7 @@ impl TupleStream for MpmgjnJoin<'_> {
                     JoinKind::Eq => unreachable!("Eq uses MergeEqJoin"),
                 };
                 if ok {
-                    let c = combine(l, &r);
+                    let c = combine(l, r);
                     if passes(&self.residuals, &c) {
                         self.meter.add(tuple_bytes(&c));
                         self.out.push_back(c);
@@ -764,6 +829,7 @@ struct StackTreeJoin<'a> {
     started: bool,
     out: VecDeque<Tuple>,
     meter: MemMeter,
+    out_slot: Option<Tuple>,
 }
 
 impl<'a> StackTreeJoin<'a> {
@@ -790,33 +856,25 @@ impl<'a> StackTreeJoin<'a> {
             started: false,
             out: VecDeque::new(),
             meter,
+            out_slot: None,
         }
-    }
-
-    fn pull_left(&mut self) -> Result<()> {
-        if self.left_done {
-            self.lnext = None;
-            return Ok(());
-        }
-        self.lnext = self.left.next()?;
-        if self.lnext.is_none() {
-            self.left_done = true;
-        }
-        Ok(())
     }
 }
 
 impl TupleStream for StackTreeJoin<'_> {
-    fn next(&mut self) -> Result<Option<Tuple>> {
+    fn next(&mut self) -> Result<Option<&Tuple>> {
         loop {
             if let Some(t) = self.out.pop_front() {
                 self.meter.sub(tuple_bytes(&t));
-                return Ok(Some(t));
+                self.out_slot = Some(t);
+                return Ok(self.out_slot.as_ref());
             }
             if !self.started {
                 self.started = true;
-                self.pull_left()?;
+                pull_into(&mut self.left, &mut self.lnext, &mut self.left_done)?;
             }
+            // As in MPMGJN, `r` borrows the right child across the
+            // round; all mutation below stays on disjoint fields.
             let Some(r) = self.right.next()? else {
                 let freed = tuples_bytes(&self.stack);
                 self.meter.sub(freed);
@@ -858,7 +916,7 @@ impl TupleStream for StackTreeJoin<'_> {
                     self.meter.add(tuple_bytes(&l));
                     self.stack.push(l);
                 }
-                self.pull_left()?;
+                pull_into(&mut self.left, &mut self.lnext, &mut self.left_done)?;
             }
             if self.stack.is_empty() && self.left_done {
                 return Ok(None);
@@ -874,7 +932,7 @@ impl TupleStream for StackTreeJoin<'_> {
                     JoinKind::Eq => unreachable!("Eq uses MergeEqJoin"),
                 };
                 if ok {
-                    let c = combine(l, &r);
+                    let c = combine(l, r);
                     if passes(&self.residuals, &c) {
                         self.meter.add(tuple_bytes(&c));
                         self.out.push_back(c);
@@ -897,6 +955,7 @@ struct TidCrossJoin<'a> {
     started: bool,
     out: VecDeque<Tuple>,
     meter: MemMeter,
+    out_slot: Option<Tuple>,
 }
 
 impl<'a> TidCrossJoin<'a> {
@@ -915,28 +974,30 @@ impl<'a> TidCrossJoin<'a> {
             started: false,
             out: VecDeque::new(),
             meter,
+            out_slot: None,
         }
     }
 }
 
 impl TupleStream for TidCrossJoin<'_> {
-    fn next(&mut self) -> Result<Option<Tuple>> {
+    fn next(&mut self) -> Result<Option<&Tuple>> {
         loop {
             if let Some(t) = self.out.pop_front() {
                 self.meter.sub(tuple_bytes(&t));
-                return Ok(Some(t));
+                self.out_slot = Some(t);
+                return Ok(self.out_slot.as_ref());
             }
             if !self.started {
                 self.started = true;
-                self.lnext = self.left.next()?;
-                self.rnext = self.right.next()?;
+                self.lnext = self.left.next()?.cloned();
+                self.rnext = self.right.next()?.cloned();
             }
             let (Some(l), Some(r)) = (&self.lnext, &self.rnext) else {
                 return Ok(None);
             };
             match l.tid.cmp(&r.tid) {
-                std::cmp::Ordering::Less => self.lnext = self.left.next()?,
-                std::cmp::Ordering::Greater => self.rnext = self.right.next()?,
+                std::cmp::Ordering::Less => self.lnext = self.left.next()?.cloned(),
+                std::cmp::Ordering::Greater => self.rnext = self.right.next()?.cloned(),
                 std::cmp::Ordering::Equal => {
                     let tid = l.tid;
                     let mut lgroup = Vec::new();
@@ -945,7 +1006,7 @@ impl TupleStream for TidCrossJoin<'_> {
                             break;
                         }
                         lgroup.push(self.lnext.take().unwrap());
-                        self.lnext = self.left.next()?;
+                        self.lnext = self.left.next()?.cloned();
                     }
                     let mut rgroup = Vec::new();
                     while let Some(r) = &self.rnext {
@@ -953,7 +1014,7 @@ impl TupleStream for TidCrossJoin<'_> {
                             break;
                         }
                         rgroup.push(self.rnext.take().unwrap());
-                        self.rnext = self.right.next()?;
+                        self.rnext = self.right.next()?.cloned();
                     }
                     for l in &lgroup {
                         for r in &rgroup {
@@ -970,9 +1031,33 @@ impl TupleStream for TidCrossJoin<'_> {
     }
 }
 
+/// Seek accounting shared by every scan of one evaluation.
+#[derive(Default)]
+struct SeekTally {
+    seeks: Cell<u64>,
+    postings_skipped: Cell<u64>,
+}
+
+impl SeekTally {
+    fn record(&self, skipped: u64) {
+        if skipped > 0 {
+            self.seeks.set(self.seeks.get() + 1);
+            self.postings_skipped
+                .set(self.postings_skipped.get() + skipped);
+        }
+    }
+}
+
 /// Opens the tuple source for one cover key: a [`SharedScan`] when the
 /// batch pre-decoded the key, otherwise a fresh [`PostingScan`]
 /// (cache-aware when `ctx` has a block cache). `None` = key absent.
+///
+/// When `seek_lo` is set every match is known to live at `tid >=
+/// seek_lo` (the cover's common tid-range start), so the scan is
+/// **seeded**: it seeks past the prefix of its list below `seek_lo`
+/// instead of decoding and join-discarding it — restart-block jumps for
+/// posting feeds, a binary search for shared vectors.
+#[allow(clippy::too_many_arguments)]
 fn open_source<'a>(
     index: &'a SubtreeIndex,
     key: &[u8],
@@ -980,28 +1065,49 @@ fn open_source<'a>(
     fetched: Rc<Cell<usize>>,
     meter: MemMeter,
     tally: Rc<CacheTally>,
+    seek_lo: Option<TreeId>,
+    seek_tally: &Rc<SeekTally>,
 ) -> Result<Option<BoxStream<'a>>> {
     if let Some(shared) = ctx.shared {
         if let Some(tuples) = shared.get(key) {
-            return Ok(Some(Box::new(SharedScan::new(tuples.clone(), fetched))));
+            let mut scan = SharedScan::new(tuples.clone(), fetched);
+            if let Some(lo) = seek_lo {
+                seek_tally.record(scan.seek_to_tid(lo));
+            }
+            return Ok(Some(Box::new(scan)));
         }
     }
-    Ok(PostingScan::open(index, key, fetched, meter, ctx, tally)?
-        .map(|scan| Box::new(scan) as BoxStream<'a>))
+    let Some(mut scan) = PostingScan::open(index, key, fetched, meter, ctx, tally)? else {
+        return Ok(None);
+    };
+    if let Some(lo) = seek_lo {
+        seek_tally.record(scan.seek_to_tid(lo)?);
+    }
+    Ok(Some(Box::new(scan)))
 }
 
 /// Builds the operator tree for `plan` and fully evaluates it.
+/// `common_range` is the intersection of the cover keys' exact tid
+/// ranges when known (cost-based planning over exact stats): every scan
+/// is seeded to its start, since a match needs all cover keys in one
+/// tree.
 fn run_structural(
     index: &SubtreeIndex,
     query: &Query,
     cover: &Cover,
     plan: &Plan,
     ctx: &ExecContext<'_>,
+    common_range: Option<(TreeId, TreeId)>,
     stats: &mut EvalStats,
 ) -> Result<Vec<(TreeId, u32)>> {
     let meter = MemMeter::default();
     let fetched = Rc::new(Cell::new(0usize));
     let tally = Rc::new(CacheTally::default());
+    let seek_tally = Rc::new(SeekTally::default());
+    let seek_lo = match common_range {
+        Some((lo, _)) if ctx.seeks => Some(lo),
+        _ => None,
+    };
     // Seeded with the sorts the planner itself proved unnecessary (a
     // root-slot driver chosen over one that would have required an
     // order enforcer); remaining exchanges add themselves when their
@@ -1015,6 +1121,8 @@ fn run_structural(
             fetched.clone(),
             meter.clone(),
             tally.clone(),
+            seek_lo,
+            &seek_tally,
         )
     };
 
@@ -1135,6 +1243,8 @@ fn run_structural(
     stats.cache_misses += tally.misses.get();
     stats.postings_borrowed += tally.borrowed.get();
     stats.sort_exchanges_avoided += avoided.get();
+    stats.seeks += seek_tally.seeks.get();
+    stats.postings_skipped += seek_tally.postings_skipped.get();
     Ok(matches)
 }
 
@@ -1186,14 +1296,24 @@ fn eval_filter_streaming(
     let meter = MemMeter::default();
     let fetched = Rc::new(Cell::new(0usize));
     let tally = Rc::new(CacheTally::default());
+    let seek_tally = SeekTally::default();
+    let use_seeks = ctx.seeks;
     let mut cursors: Vec<Box<dyn PostingFeed + '_>> = Vec::with_capacity(cover.subtrees.len());
     for st in &cover.subtrees {
-        let Some(feed) = make_feed(index, &st.key, ctx, &tally)? else {
+        let Some(mut feed) = make_feed(index, &st.key, ctx, &tally)? else {
             return Ok(EvalResult {
                 matches: Vec::new(),
                 stats: *stats,
             });
         };
+        // Seed each stream to the common range start: postings below
+        // max(first_tid) can never survive the intersection, so jump
+        // their restart blocks instead of decoding them.
+        if use_seeks {
+            if let Some((lo, _)) = range {
+                seek_tally.record(feed.seek_to_tid(lo)?);
+            }
+        }
         cursors.push(feed);
     }
     stats.joins = cursors.len().saturating_sub(1);
@@ -1230,6 +1350,13 @@ fn eval_filter_streaming(
             }
             let mut all_equal = true;
             for (i, cursor) in cursors.iter_mut().enumerate() {
+                // Leapfrog: a lagging stream seeks to the target's
+                // restart block first (skipping whole blocks of
+                // postings undecoded), then drains the remainder of
+                // the block posting by posting as before.
+                if use_seeks && heads[i] < target {
+                    seek_tally.record(cursor.seek_to_tid(target)?);
+                }
                 while heads[i] < target {
                     match advance(cursor)? {
                         Some(tid) => heads[i] = tid,
@@ -1258,6 +1385,8 @@ fn eval_filter_streaming(
     stats.cache_hits += tally.hits.get();
     stats.cache_misses += tally.misses.get();
     stats.postings_borrowed += tally.borrowed.get();
+    stats.seeks += seek_tally.seeks.get();
+    stats.postings_skipped += seek_tally.postings_skipped.get();
     let matches = validate_candidates_with(index, query, &candidates, ctx.trees.as_deref(), stats)?;
     stats.peak_posting_bytes = stats.peak_posting_bytes.max(meter.peak());
     Ok(EvalResult {
@@ -1312,13 +1441,20 @@ pub fn evaluate_streaming_with(
     // before a single posting is decoded. Exact ranges only (the
     // byte-length fallback carries the full range and never prunes);
     // gated off in ByteLen mode so A/B runs isolate the cost model.
-    if ctx.planner == PlannerMode::CostBased && intersect_tid_ranges(&key_stats).is_none() {
-        stats.range_pruned = true;
-        return Ok(EvalResult {
-            matches: Vec::new(),
-            stats,
-        });
-    }
+    let common_range = if ctx.planner == PlannerMode::CostBased {
+        match intersect_tid_ranges(&key_stats) {
+            Some(range) => Some(range),
+            None => {
+                stats.range_pruned = true;
+                return Ok(EvalResult {
+                    matches: Vec::new(),
+                    stats,
+                });
+            }
+        }
+    } else {
+        None
+    };
     let plan = plan_structural_with(
         query,
         &cover,
@@ -1327,6 +1463,6 @@ pub fn evaluate_streaming_with(
         ctx.planner,
         ctx.root_pref_factor,
     );
-    let matches = run_structural(index, query, &cover, &plan, ctx, &mut stats)?;
+    let matches = run_structural(index, query, &cover, &plan, ctx, common_range, &mut stats)?;
     Ok(EvalResult { matches, stats })
 }

@@ -348,12 +348,50 @@ pub fn estimated_cardinality(
     let span = stats.tid_span() as f64;
     let overlap_lo = common.0.max(stats.first_tid);
     let overlap_hi = common.1.min(stats.last_tid);
-    let overlap = if overlap_lo > overlap_hi {
+    let surviving = if overlap_lo > overlap_hi {
         0.0
+    } else if stats.has_hist() {
+        hist_overlap_fraction(stats, overlap_lo, overlap_hi)
     } else {
-        (u64::from(overlap_hi) - u64::from(overlap_lo) + 1) as f64
+        let overlap = (u64::from(overlap_hi) - u64::from(overlap_lo) + 1) as f64;
+        (overlap / span).min(1.0)
     };
-    stats.postings as f64 * autos as f64 * (overlap / span).min(1.0)
+    stats.postings as f64 * autos as f64 * surviving
+}
+
+/// Fraction of a key's postings falling inside `[lo, hi]`, refined by
+/// the persisted tid histogram: each of the 8 buckets covers an equal
+/// slice of the key's tid span, so the estimate sums fully-covered
+/// buckets plus pro-rated boundary buckets instead of assuming uniform
+/// density over the whole span. This is what makes block-granular
+/// skipping costable: a list whose mass sits outside the common range
+/// ranks as nearly free even when its span overlaps it.
+fn hist_overlap_fraction(
+    stats: &KeyStats,
+    lo: si_parsetree::TreeId,
+    hi: si_parsetree::TreeId,
+) -> f64 {
+    let total: u64 = stats.tid_hist.iter().map(|&c| u64::from(c)).sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let span = stats.tid_span() as f64;
+    let n = stats.tid_hist.len() as f64;
+    let first = f64::from(stats.first_tid);
+    let mut surviving = 0.0;
+    for (b, &count) in stats.tid_hist.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let b_lo = first + (b as f64) * span / n;
+        let b_hi = first + (b as f64 + 1.0) * span / n;
+        let o_lo = b_lo.max(f64::from(lo));
+        let o_hi = b_hi.min(f64::from(hi) + 1.0);
+        if o_hi > o_lo {
+            surviving += f64::from(count) * (o_hi - o_lo) / (b_hi - b_lo);
+        }
+    }
+    (surviving / total as f64).min(1.0)
 }
 
 /// Resolves a predicate between stream `s` and the placed prefix into
@@ -654,6 +692,7 @@ mod tests {
                 last_tid: si_parsetree::TreeId::MAX,
                 bytes: l,
                 exact: true,
+                ..KeyStats::default()
             })
             .collect()
     }
@@ -718,6 +757,7 @@ mod tests {
                 last_tid: 99_999,
                 bytes: 70_000,
                 exact: true,
+                ..KeyStats::default()
             },
             // Short list spanning exactly the common range: est = 500.
             KeyStats {
@@ -727,6 +767,7 @@ mod tests {
                 last_tid: 999,
                 bytes: 3_500,
                 exact: true,
+                ..KeyStats::default()
             },
             // Medium list on the common range: est = 800.
             KeyStats {
@@ -736,6 +777,7 @@ mod tests {
                 last_tid: 999,
                 bytes: 5_600,
                 exact: true,
+                ..KeyStats::default()
             },
         ];
         let cost = plan_structural(
@@ -774,6 +816,7 @@ mod tests {
                 last_tid: 9_999,
                 bytes: 700,
                 exact: true,
+                ..KeyStats::default()
             };
             2
         ];
@@ -831,6 +874,7 @@ mod tests {
                     last_tid: 1000,
                     bytes: l,
                     exact: true,
+                    ..KeyStats::default()
                 }
             })
             .collect();

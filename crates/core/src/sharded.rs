@@ -348,6 +348,9 @@ impl ShardedIndex {
                     a.bytes += s.bytes;
                     a.last_tid = last; // shards ascend in tid order
                     a.exact &= s.exact;
+                    // Per-shard histograms bucket shard-local ranges and
+                    // cannot be re-bucketed onto the merged span.
+                    a.tid_hist = [0; si_storage::TID_HIST_BUCKETS];
                 }
             }
         }
@@ -710,6 +713,8 @@ pub fn merge_shard_stats(agg: &mut EvalStats, shard: &EvalStats) {
     agg.cache_misses += shard.cache_misses;
     agg.postings_borrowed += shard.postings_borrowed;
     agg.sort_exchanges_avoided += shard.sort_exchanges_avoided;
+    agg.seeks += shard.seeks;
+    agg.postings_skipped += shard.postings_skipped;
 }
 
 /// A monolithic or sharded index behind one seam — how the CLI (and any

@@ -121,6 +121,7 @@ pub fn estimate_from_len(bytes: u64, coding: Coding, key: &[u8]) -> KeyStats {
         last_tid: TreeId::MAX,
         bytes,
         exact: false,
+        ..KeyStats::default()
     }
 }
 
@@ -159,6 +160,7 @@ mod tests {
             last_tid: last,
             bytes: 70,
             exact: true,
+            ..KeyStats::default()
         }
     }
 

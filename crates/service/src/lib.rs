@@ -614,7 +614,22 @@ impl ShardedQueryService {
         let mut shared_keys = 0usize;
         let mut shared_consumers = 0usize;
 
-        for (entry, service) in self.index.manifest().shards.iter().zip(&self.services) {
+        // Shard-level parallelism complements the per-shard worker
+        // pool. A big batch already saturates the inner pool, so shards
+        // run one after another (`outer == 1`, the pre-existing
+        // behavior); a *single* query leaves the inner pool almost idle
+        // — its per-shard sub-batch has one query, hence one inner
+        // worker — so the shards themselves fan out across the
+        // configured threads instead. The product of outer and inner
+        // workers stays around `config.threads` either way.
+        let nshards = self.services.len();
+        let outer = (self.config.threads.max(1) / queries.len().max(1)).clamp(1, nshards.max(1));
+        // Per shard: (live query indices, skipped query indices, report
+        // if any query was live). Computed possibly out of order, always
+        // merged in shard order below.
+        type ShardRun = (Vec<usize>, Vec<usize>, Option<BatchReport>);
+        let run_shard = |s: usize| -> Result<ShardRun> {
+            let service = &self.services[s];
             // Shard-skip pruning: this shard's own stats segment can
             // prove a query empty here before any list is opened. The
             // probes run through the per-shard service's StatsCache, so
@@ -625,6 +640,7 @@ impl ShardedQueryService {
                 ..ExecContext::default()
             };
             let mut live: Vec<usize> = Vec::with_capacity(queries.len());
+            let mut skipped: Vec<usize> = Vec::new();
             for (i, cover) in covers.iter().enumerate() {
                 if shard_provably_empty_with(
                     service.index(),
@@ -632,16 +648,44 @@ impl ShardedQueryService {
                     si_core::PlannerMode::CostBased,
                     &probe_ctx,
                 )? {
-                    outcomes[i].result.stats.shards_skipped += 1;
+                    skipped.push(i);
                 } else {
                     live.push(i);
                 }
             }
             if live.is_empty() {
-                continue;
+                return Ok((live, skipped, None));
             }
             let shard_queries: Vec<Query> = live.iter().map(|&i| queries[i].clone()).collect();
             let report = service.run_batch(&shard_queries)?;
+            Ok((live, skipped, Some(report)))
+        };
+        let slots: Vec<Mutex<Option<Result<ShardRun>>>> =
+            self.services.iter().map(|_| Mutex::new(None)).collect();
+        if outer == 1 {
+            for (s, slot) in slots.iter().enumerate() {
+                *slot.lock().unwrap() = Some(run_shard(s));
+            }
+        } else {
+            let next_shard = AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..outer {
+                    scope.spawn(|| loop {
+                        let s = next_shard.fetch_add(1, Ordering::Relaxed);
+                        if s >= nshards {
+                            break;
+                        }
+                        *slots[s].lock().unwrap() = Some(run_shard(s));
+                    });
+                }
+            });
+        }
+        for (entry, slot) in self.index.manifest().shards.iter().zip(slots) {
+            let (live, skipped, report) = slot.into_inner().unwrap().expect("shard ran")?;
+            for i in skipped {
+                outcomes[i].result.stats.shards_skipped += 1;
+            }
+            let Some(report) = report else { continue };
             shared_keys += report.shared_keys;
             shared_consumers += report.shared_consumers;
             for (&i, outcome) in live.iter().zip(report.outcomes) {

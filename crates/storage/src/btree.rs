@@ -63,7 +63,11 @@ const MAGIC: &[u8; 8] = b"SIBTREE1";
 /// Pre-stats files hold zeroes here, so the segment reads as absent.
 const STATS_MAGIC: &[u8; 8] = b"SISTATS1";
 /// Header of the serialized stats table itself (its format version).
-const STATS_TABLE_MAGIC: &[u8; 8] = b"SISTATV1";
+const STATS_TABLE_MAGIC_V1: &[u8; 8] = b"SISTATV1";
+const STATS_TABLE_MAGIC: &[u8; 8] = b"SISTATV2";
+
+/// Buckets of the per-key tid histogram ([`KeyStats::tid_hist`]).
+pub const TID_HIST_BUCKETS: usize = 8;
 const TAG_LEAF: u8 = 1;
 const TAG_INTERNAL: u8 = 2;
 const TAG_OVERFLOW: u8 = 3;
@@ -318,9 +322,18 @@ pub struct KeyStats {
     /// by a caller's fallback estimate (pre-stats index files). Only
     /// exact ranges are safe for empty-join pruning.
     pub exact: bool,
+    /// Posting counts over [`TID_HIST_BUCKETS`] equal-width tid buckets
+    /// spanning `[first_tid, last_tid]` (saturating). All-zero means
+    /// "no histogram" — V1 stats segments and synthesized estimates —
+    /// and planners fall back to uniform-density costing.
+    pub tid_hist: [u32; TID_HIST_BUCKETS],
 }
 
 impl KeyStats {
+    /// Whether a tid histogram was persisted for this key.
+    pub fn has_hist(&self) -> bool {
+        self.tid_hist.iter().any(|&c| c != 0)
+    }
     /// Mean postings per distinct tree — the clustering statistic
     /// (always ≥ 1 for a non-empty list).
     pub fn mean_postings_per_tid(&self) -> f64 {
@@ -337,6 +350,20 @@ impl KeyStats {
     }
 }
 
+impl Default for KeyStats {
+    fn default() -> Self {
+        KeyStats {
+            postings: 0,
+            distinct_tids: 0,
+            first_tid: 0,
+            last_tid: 0,
+            bytes: 0,
+            exact: false,
+            tid_hist: [0; TID_HIST_BUCKETS],
+        }
+    }
+}
+
 /// The deserialized stats segment: entries sorted by key for binary
 /// search. Loaded lazily on first [`BTree::key_stats`] call and shared
 /// behind an `Arc` (the tree is read-mostly).
@@ -347,9 +374,17 @@ struct StatsTable {
 impl StatsTable {
     fn parse(bytes: &[u8]) -> Result<Self> {
         let corrupt = |what: &str| StorageError::Corrupt(format!("stats segment: {what}"));
-        if bytes.len() < 8 || &bytes[..8] != STATS_TABLE_MAGIC {
+        if bytes.len() < 8 {
             return Err(corrupt("bad table magic"));
         }
+        // V2 appends a tid histogram per entry; V1 segments (earlier
+        // index builds) parse with all-zero histograms and behave
+        // exactly as before.
+        let has_hist = match &bytes[..8] {
+            m if m == STATS_TABLE_MAGIC => true,
+            m if m == STATS_TABLE_MAGIC_V1 => false,
+            _ => return Err(corrupt("bad table magic")),
+        };
         let mut r = varint::Reader::new(&bytes[8..]);
         let count = r.u64().ok_or_else(|| corrupt("entry count"))? as usize;
         let mut entries = Vec::with_capacity(count);
@@ -373,6 +408,13 @@ impl StatsTable {
                 .checked_add(span)
                 .ok_or_else(|| corrupt("tid range overflows"))?;
             let bytes_len = r.u64().ok_or_else(|| corrupt("value bytes"))?;
+            let mut tid_hist = [0u32; TID_HIST_BUCKETS];
+            if has_hist {
+                for b in &mut tid_hist {
+                    *b = u32::try_from(r.u64().ok_or_else(|| corrupt("tid histogram"))?)
+                        .map_err(|_| corrupt("histogram bucket out of range"))?;
+                }
+            }
             prev_key = Some(key.clone());
             entries.push((
                 key,
@@ -383,6 +425,7 @@ impl StatsTable {
                     last_tid,
                     bytes: bytes_len,
                     exact: true,
+                    tid_hist,
                 },
             ));
         }
@@ -401,6 +444,9 @@ impl StatsTable {
             varint::write_u64(&mut out, u64::from(s.first_tid));
             varint::write_u64(&mut out, u64::from(s.last_tid - s.first_tid));
             varint::write_u64(&mut out, s.bytes);
+            for b in s.tid_hist {
+                varint::write_u64(&mut out, u64::from(b));
+            }
         }
         out
     }
@@ -464,6 +510,29 @@ impl BTree {
             meta,
             stats_table: Mutex::new(None),
         })
+    }
+
+    /// Opens an existing tree read-only, preferring the mmap-backed
+    /// pager ([`Pager::open_readonly`]): page reads become borrowed
+    /// slices of the mapping with no shard latch, and any mutation
+    /// errors instead of silently touching the file. Falls back to the
+    /// buffered pager when mapping fails, so this is always safe to
+    /// call where [`BTree::open`] would be.
+    pub fn open_readonly(path: &Path) -> Result<Self> {
+        let pager = Pager::open_readonly(path)?;
+        let mut buf = [0u8; PAGE_SIZE];
+        pager.read(0, &mut buf)?;
+        let meta = Meta::decode(&buf)?;
+        Ok(Self {
+            pager,
+            meta,
+            stats_table: Mutex::new(None),
+        })
+    }
+
+    /// Whether reads are served from a read-only mmap of the file.
+    pub fn is_mapped(&self) -> bool {
+        self.pager.is_mapped()
     }
 
     /// Flushes all buffered pages and the meta page.
@@ -1159,6 +1228,63 @@ impl ValueReader<'_> {
         }
     }
 
+    /// Drops up to `n` upcoming bytes **at chunk granularity** without
+    /// copying them out of the page cache, returning how many were
+    /// dropped. Only whole chunks (overflow pages, or the entire inline
+    /// value) are skipped; the tail the caller still needs arrives via
+    /// [`ValueReader::read_chunk`]. This is the disk half of a
+    /// posting-list seek: hopping an overflow chain reads each page
+    /// header but never materializes the payload.
+    pub fn skip_chunk_bytes(&mut self, mut n: u64) -> Result<u64> {
+        let mut skipped = 0u64;
+        loop {
+            match std::mem::replace(&mut self.state, ReaderState::Done) {
+                ReaderState::Done => return Ok(skipped),
+                ReaderState::Inline(v) => {
+                    if (v.len() as u64) <= n {
+                        skipped += v.len() as u64;
+                        return Ok(skipped);
+                    }
+                    self.state = ReaderState::Inline(v);
+                    return Ok(skipped);
+                }
+                ReaderState::Chain { next, delivered } => {
+                    if next == NIL {
+                        self.state = ReaderState::Chain { next, delivered };
+                        return Ok(skipped);
+                    }
+                    let total = self.total;
+                    let (succ, len) = self.tree.pager.with_page(next, |buf| {
+                        if buf[0] != TAG_OVERFLOW {
+                            return Err(StorageError::Corrupt("overflow chain broken".into()));
+                        }
+                        let succ = PageId::from_le_bytes(buf[1..5].try_into().unwrap());
+                        let len = u16::from_le_bytes([buf[5], buf[6]]) as usize;
+                        if len > OVERFLOW_CAP || len == 0 {
+                            return Err(StorageError::Corrupt("overflow page length".into()));
+                        }
+                        if delivered + len as u64 > total {
+                            return Err(StorageError::Corrupt(
+                                "overflow chain longer than declared".into(),
+                            ));
+                        }
+                        Ok((succ, len))
+                    })??;
+                    if (len as u64) > n {
+                        self.state = ReaderState::Chain { next, delivered };
+                        return Ok(skipped);
+                    }
+                    n -= len as u64;
+                    skipped += len as u64;
+                    self.state = ReaderState::Chain {
+                        next: succ,
+                        delivered: delivered + len as u64,
+                    };
+                }
+            }
+        }
+    }
+
     /// Materializes the remainder of the value (the implementation behind
     /// [`BTree::get`]).
     pub fn read_to_vec(mut self) -> Result<Vec<u8>> {
@@ -1413,6 +1539,8 @@ mod stats_segment_tests {
     }
 
     fn sample_stats(i: u32) -> KeyStats {
+        let mut tid_hist = [0u32; TID_HIST_BUCKETS];
+        tid_hist[(i as usize) % TID_HIST_BUCKETS] = i + 1;
         KeyStats {
             postings: u64::from(i) * 3 + 1,
             distinct_tids: u64::from(i) + 1,
@@ -1420,6 +1548,7 @@ mod stats_segment_tests {
             last_tid: i * 7 + 10,
             bytes: u64::from(i) * 11 + 2,
             exact: true,
+            tid_hist,
         }
     }
 
@@ -1531,7 +1660,7 @@ mod stats_segment_tests {
             first_tid: 0,
             last_tid: u32::MAX,
             bytes: 1,
-            exact: false,
+            ..KeyStats::default()
         };
         assert_eq!(full.tid_span(), 1 << 32);
     }

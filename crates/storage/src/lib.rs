@@ -22,7 +22,7 @@ pub mod error;
 pub mod pager;
 pub mod shard;
 
-pub use btree::{BTree, BTreeStats, KeyStats, ValueReader};
+pub use btree::{BTree, BTreeStats, KeyStats, ValueReader, TID_HIST_BUCKETS};
 pub use datafile::CorpusStore;
 pub use error::{Result, StorageError};
 pub use pager::{PageId, Pager, PagerCounters, PAGE_SIZE};

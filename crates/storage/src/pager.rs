@@ -274,13 +274,114 @@ impl PageFile {
     }
 }
 
+/// A read-only `mmap(2)` of a whole pager file, unmapped on drop.
+///
+/// Raw-syscall shim rather than a binding crate: the constants are the
+/// POSIX values shared by Linux and the BSDs, and std already links
+/// libc on Unix so the symbols resolve without any new dependency.
+/// Mappings are only taken over *immutable* index files (every build
+/// and every shard-ingest writes a fresh directory and never mutates an
+/// opened one), so the file cannot shrink under the map.
+#[cfg(unix)]
+mod mapped {
+    use std::fs::File;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: i32 = 1;
+    const MAP_SHARED: i32 = 1;
+
+    extern "C" {
+        fn mmap(addr: *mut u8, len: usize, prot: i32, flags: i32, fd: i32, offset: i64) -> *mut u8;
+        fn munmap(addr: *mut u8, len: usize) -> i32;
+    }
+
+    pub struct MappedFile {
+        ptr: *mut u8,
+        len: usize,
+    }
+
+    // SAFETY: the mapping is PROT_READ over a file no live code path
+    // writes; the pointer is valid for `len` bytes until drop.
+    unsafe impl Send for MappedFile {}
+    unsafe impl Sync for MappedFile {}
+
+    impl MappedFile {
+        /// Maps `len` bytes of `file` read-only; `len` must be non-zero.
+        pub fn map(file: &File, len: usize) -> std::io::Result<Self> {
+            // SAFETY: null hint, length validated non-zero by the
+            // caller, fd lives across the call; failure is checked.
+            let ptr = unsafe {
+                mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    PROT_READ,
+                    MAP_SHARED,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as usize == usize::MAX {
+                return Err(std::io::Error::last_os_error());
+            }
+            Ok(Self { ptr, len })
+        }
+
+        pub fn as_slice(&self) -> &[u8] {
+            // SAFETY: ptr/len describe a live PROT_READ mapping.
+            unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+        }
+    }
+
+    impl Drop for MappedFile {
+        fn drop(&mut self) {
+            // SAFETY: exactly the region map() returned; errors at
+            // unmap leak the region, which is harmless at drop.
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+/// Non-Unix stub: mapping always fails, so read-only opens fall back to
+/// the buffered pager.
+#[cfg(not(unix))]
+mod mapped {
+    use std::fs::File;
+
+    pub struct MappedFile;
+
+    impl MappedFile {
+        pub fn map(_file: &File, _len: usize) -> std::io::Result<Self> {
+            Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "mmap unavailable on this platform",
+            ))
+        }
+
+        pub fn as_slice(&self) -> &[u8] {
+            &[]
+        }
+    }
+}
+
 /// A file of fixed-size pages with a sharded write-back LRU cache.
 ///
 /// Thread-safe: each cache shard sits behind its own mutex and file I/O
 /// is positioned, so concurrent readers of different pages proceed in
 /// parallel (see the module docs).
+///
+/// # Read-only mmap mode
+///
+/// [`Pager::open_readonly`] maps the whole file instead of buffering
+/// pages: every read is served as a borrowed slice of the mapping with
+/// **no shard latch and no copy**, mutations are rejected, and flush is
+/// a no-op. Reads under the map count as cache hits (the OS page cache
+/// is the cache). Any mapping failure falls back to the buffered pager
+/// transparently.
 pub struct Pager {
     file: PageFile,
+    map: Option<mapped::MappedFile>,
     page_count: AtomicU32,
     shards: Vec<Mutex<Lru>>,
     physical_reads: AtomicU64,
@@ -296,6 +397,7 @@ impl Pager {
         let per_shard = cache_pages.div_ceil(n_shards);
         Self {
             file: PageFile::new(file),
+            map: None,
             page_count: AtomicU32::new(page_count),
             shards: (0..n_shards)
                 .map(|_| Mutex::new(Lru::new(per_shard)))
@@ -351,6 +453,63 @@ impl Pager {
         Ok(Self::with_file(file, page_count, cache_pages))
     }
 
+    /// Opens an existing pager file read-only, preferring an mmap of
+    /// the whole file (borrowed, latch-free page reads; see the struct
+    /// docs). Falls back to the buffered read-write pager on any
+    /// mapping failure — empty files, exotic filesystems, non-Unix
+    /// platforms — so callers need no error handling of their own.
+    pub fn open_readonly(path: &Path) -> Result<Self> {
+        match Self::open_mapped(path) {
+            Ok(pager) => Ok(pager),
+            Err(_) => Self::open(path),
+        }
+    }
+
+    fn open_mapped(path: &Path) -> Result<Self> {
+        let file = OpenOptions::new().read(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len == 0 || len % PAGE_SIZE as u64 != 0 {
+            return Err(StorageError::Corrupt(format!(
+                "file length {len} not mappable as whole pages"
+            )));
+        }
+        let page_count = u32::try_from(len / PAGE_SIZE as u64)
+            .map_err(|_| StorageError::Corrupt("too many pages".into()))?;
+        let map_len =
+            usize::try_from(len).map_err(|_| StorageError::Corrupt("file too large".into()))?;
+        let map = mapped::MappedFile::map(&file, map_len)?;
+        let mut pager = Self::with_file(file, page_count, 1);
+        pager.map = Some(map);
+        Ok(pager)
+    }
+
+    /// Whether this pager serves reads from a read-only mmap.
+    pub fn is_mapped(&self) -> bool {
+        self.map.is_some()
+    }
+
+    fn mapped_page(&self, id: PageId) -> Result<Option<&[u8; PAGE_SIZE]>> {
+        let Some(map) = &self.map else {
+            return Ok(None);
+        };
+        if id >= self.page_count() {
+            return Err(StorageError::OutOfRange(format!("page {id}")));
+        }
+        let off = id as usize * PAGE_SIZE;
+        let page = map.as_slice()[off..off + PAGE_SIZE]
+            .try_into()
+            .expect("page-sized slice");
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        Ok(Some(page))
+    }
+
+    fn read_only_rejected(op: &str) -> StorageError {
+        StorageError::Io(std::io::Error::new(
+            std::io::ErrorKind::PermissionDenied,
+            format!("{op} on a read-only (mmap) pager"),
+        ))
+    }
+
     /// Number of pages currently allocated.
     pub fn page_count(&self) -> u32 {
         self.page_count.load(Ordering::Acquire)
@@ -389,6 +548,9 @@ impl Pager {
 
     /// Allocates a fresh zeroed page at the end of the file.
     pub fn allocate(&self) -> Result<PageId> {
+        if self.map.is_some() {
+            return Err(Self::read_only_rejected("allocate"));
+        }
         // CAS loop instead of fetch_add: a plain increment would wrap
         // MAX → 0 before any corrective store, handing a concurrent
         // allocator a duplicate low page id.
@@ -425,6 +587,10 @@ impl Pager {
 
     /// Reads page `id` into `out`.
     pub fn read(&self, id: PageId, out: &mut [u8; PAGE_SIZE]) -> Result<()> {
+        if let Some(page) = self.mapped_page(id)? {
+            out.copy_from_slice(page);
+            return Ok(());
+        }
         if id >= self.page_count() {
             return Err(StorageError::OutOfRange(format!("page {id}")));
         }
@@ -461,6 +627,9 @@ impl Pager {
     /// writers or other shards. `f` must not call back into this pager
     /// (the shard latch is not reentrant).
     pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&[u8; PAGE_SIZE]) -> R) -> Result<R> {
+        if let Some(page) = self.mapped_page(id)? {
+            return Ok(f(page));
+        }
         if id >= self.page_count() {
             return Err(StorageError::OutOfRange(format!("page {id}")));
         }
@@ -482,6 +651,9 @@ impl Pager {
 
     /// Writes `data` as the new contents of page `id`.
     pub fn write(&self, id: PageId, data: &[u8; PAGE_SIZE]) -> Result<()> {
+        if self.map.is_some() {
+            return Err(Self::read_only_rejected("write"));
+        }
         if id >= self.page_count() {
             return Err(StorageError::OutOfRange(format!("page {id}")));
         }
@@ -497,8 +669,12 @@ impl Pager {
         self.write_back(evicted)
     }
 
-    /// Flushes all dirty pages (and the file) to disk.
+    /// Flushes all dirty pages (and the file) to disk. A no-op on a
+    /// read-only mapped pager (nothing can be dirty).
     pub fn flush(&self) -> Result<()> {
+        if self.map.is_some() {
+            return Ok(());
+        }
         // Ensure the file is long enough even if tail pages were never
         // explicitly flushed.
         let want_len = self.page_count() as u64 * PAGE_SIZE as u64;
