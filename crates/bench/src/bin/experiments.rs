@@ -8,7 +8,7 @@
 //! ```
 //!
 //! Experiment ids: fig2 fig3 fig8 fig9 fig10 tab1 fig11 fig12 tab2 fig13
-//! tab3 streaming service planner shard pipeline seek (or `all`). See DESIGN.md §6 for
+//! tab3 streaming service planner shard pipeline seek obs (or `all`). See DESIGN.md §6 for
 //! the per-experiment index and EXPERIMENTS.md for recorded
 //! paper-vs-measured results. `streaming` runs the executor ablation
 //! (streaming pipeline vs legacy materializing evaluator) and writes
@@ -29,7 +29,11 @@
 //! `BENCH_pipeline.json`; `seek` A/B-compares restart-point seeking
 //! against linear drains on a selective singleton workload (match sets
 //! asserted identical per query, seeks and skipped-posting counters
-//! asserted nonzero) and writes `BENCH_seek.json`.
+//! asserted nonzero) and writes `BENCH_seek.json`; `obs` measures what
+//! the PR 7 instrumentation itself costs (no timings vs disabled vs
+//! enabled spans, match sets asserted identical; panics if the disabled
+//! path exceeds 5% overhead or the stage partition attributes under 90%
+//! of the enabled wall) and writes `BENCH_obs.json`.
 //!
 //! Flags: `--seed N` pins the corpus RNG seed (default `0x5EED0001`) so
 //! every `BENCH_*.json` is reproducible across machines; `--threads N`
@@ -56,6 +60,7 @@ const ALL: &[&str] = &[
     "shard",
     "pipeline",
     "seek",
+    "obs",
 ];
 
 fn main() {
@@ -165,6 +170,10 @@ fn main() {
             "seek" => {
                 let report = harness::run_seek_bench(scale);
                 harness::emit_seek_bench(scale, &report).expect("write BENCH_seek.json");
+            }
+            "obs" => {
+                let report = harness::run_obs_bench(scale);
+                harness::emit_obs_bench(scale, &report).expect("write BENCH_obs.json");
             }
             _ => unreachable!("validated above"),
         }

@@ -12,6 +12,7 @@ use si_baselines::{ATreeGrep, FreqIndex};
 use si_core::cover::{minrc, optimal_cover};
 use si_core::{Coding, IndexOptions, SubtreeIndex};
 use si_corpus::{fb_query_set, wh_query_set, Corpus, FbClass, GeneratorConfig, WhGroup};
+use si_obs::{Histogram, HistogramSummary, Timings};
 use si_parsetree::ParseTree;
 use si_query::Query;
 
@@ -766,6 +767,44 @@ fn json_escape(s: &str) -> String {
         .collect()
 }
 
+/// Folds per-query seconds through the shared `si_obs` log-linear
+/// histogram — the same readout the query service prints — so every
+/// `BENCH_*.json` reports latency quantiles with identical bucket
+/// semantics (~3% wide buckets; quantiles are bucket midpoints).
+pub fn latency_quantiles(seconds: impl IntoIterator<Item = f64>) -> HistogramSummary {
+    let h = Histogram::new();
+    for s in seconds {
+        h.record_secs(s);
+    }
+    h.summary()
+}
+
+/// Renders a latency summary as a JSON object fragment (milliseconds).
+fn quantiles_json(s: &HistogramSummary) -> String {
+    format!(
+        "{{\"count\": {}, \"p50_ms\": {:.4}, \"p90_ms\": {:.4}, \"p99_ms\": {:.4}, \
+         \"p999_ms\": {:.4}, \"max_ms\": {:.4}}}",
+        s.count,
+        s.p50 as f64 / 1e6,
+        s.p90 as f64 / 1e6,
+        s.p99 as f64 / 1e6,
+        s.p999 as f64 / 1e6,
+        s.max as f64 / 1e6,
+    )
+}
+
+/// Prints one `label: p50 | p90 | p99 | p999` latency line.
+fn print_quantiles(label: &str, s: &HistogramSummary) {
+    println!(
+        "{label}: p50 {:.3} ms | p90 {:.3} ms | p99 {:.3} ms | p999 {:.3} ms ({} samples)",
+        s.p50 as f64 / 1e6,
+        s.p90 as f64 / 1e6,
+        s.p99 as f64 / 1e6,
+        s.p999 as f64 / 1e6,
+        s.count
+    );
+}
+
 /// Prints the ablation summary and writes `BENCH_streaming.json` into
 /// the current directory so future PRs have a perf trajectory to diff
 /// against.
@@ -847,6 +886,15 @@ pub fn emit_streaming_ablation(scale: Scale, rows: &[AblationRow]) -> std::io::R
             below_half
         ));
     }
+    let stream_q = latency_quantiles(rows.iter().map(|r| r.streaming.seconds));
+    let mat_q = latency_quantiles(rows.iter().map(|r| r.materialized.seconds));
+    print_quantiles("streaming latency", &stream_q);
+    print_quantiles("materialized latency", &mat_q);
+    json.push_str(&format!(
+        "  \"latency_quantiles\": {{\"streaming\": {}, \"materialized\": {}}},\n",
+        quantiles_json(&stream_q),
+        quantiles_json(&mat_q)
+    ));
     json.push_str("  \"summary\": [\n");
     json.push_str(&summaries.join(",\n"));
     json.push_str("\n  ]\n}\n");
@@ -1021,6 +1069,10 @@ pub fn emit_service_bench(scale: Scale, report: &ServiceBenchReport) -> std::io:
         report.cache.peak_bytes / 1024,
         report.shared_keys
     );
+    let seq_q = latency_quantiles(report.rows.iter().map(|r| r.sequential_seconds));
+    let svc_q = latency_quantiles(report.rows.iter().map(|r| r.service_seconds));
+    print_quantiles("sequential latency", &seq_q);
+    print_quantiles("service latency", &svc_q);
 
     let mut json = String::from("{\n");
     json.push_str(&format!(
@@ -1029,6 +1081,7 @@ pub fn emit_service_bench(scale: Scale, report: &ServiceBenchReport) -> std::io:
          \"qps_sequential\": {:.2},\n  \"qps_service\": {:.2},\n  \"speedup\": {:.3},\n  \
          \"cache_hit_rate\": {:.4},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
          \"cache_evictions\": {},\n  \"cache_peak_bytes\": {},\n  \"shared_keys\": {},\n  \
+         \"latency_quantiles\": {{\"sequential\": {}, \"service\": {}}},\n  \
          \"queries\": [\n",
         corpus_seed(),
         report.threads,
@@ -1042,6 +1095,8 @@ pub fn emit_service_bench(scale: Scale, report: &ServiceBenchReport) -> std::io:
         report.cache.evictions,
         report.cache.peak_bytes,
         report.shared_keys,
+        quantiles_json(&seq_q),
+        quantiles_json(&svc_q),
     ));
     for (i, r) in report.rows.iter().enumerate() {
         json.push_str(&format!(
@@ -1348,16 +1403,23 @@ pub fn emit_planner_bench(scale: Scale, report: &PlannerBenchReport) -> std::io:
         faster_fraction * 100.0,
         margin * 100.0
     );
+    let byte_q = latency_quantiles(report.rows.iter().map(|r| r.byte_seconds));
+    let cost_q = latency_quantiles(report.rows.iter().map(|r| r.cost_seconds));
+    print_quantiles("byte-ordered latency", &byte_q);
+    print_quantiles("cost-based latency", &cost_q);
 
     let mut json = String::from("{\n");
     json.push_str(&format!(
         "  \"scale\": \"{scale:?}\",\n  \"mss\": 3,\n  \"seed\": {},\n  \"reps\": {},\n  \
          \"match_sets_identical\": true,\n  \"overall_speedup\": {:.3},\n  \
-         \"faster_fraction\": {:.4},\n  \"faster_margin\": {margin},\n  \"summary\": [\n",
+         \"faster_fraction\": {:.4},\n  \"faster_margin\": {margin},\n  \
+         \"latency_quantiles\": {{\"byte\": {}, \"cost\": {}}},\n  \"summary\": [\n",
         corpus_seed(),
         report.reps,
         overall_speedup,
         faster_fraction,
+        quantiles_json(&byte_q),
+        quantiles_json(&cost_q),
     ));
     json.push_str(&summaries.join(",\n"));
     json.push_str("\n  ],\n  \"queries\": [\n");
@@ -1417,6 +1479,11 @@ pub struct ShardBenchReport {
     pub latency_ms_sequential: f64,
     /// Mean per-query worker latency, sharded service (ms).
     pub latency_ms_sharded: f64,
+    /// Per-query latency quantiles, sequential monolith (every timed
+    /// rep recorded into the shared `si_obs` histogram).
+    pub latency_sequential: HistogramSummary,
+    /// Per-query latency quantiles, sharded service workers.
+    pub latency_sharded: HistogramSummary,
     /// Total shard skips across the workload (one service pass).
     pub shard_skips: u64,
     /// Queries that skipped at least one shard.
@@ -1532,11 +1599,13 @@ pub fn run_shard_bench(scale: Scale, threads: usize) -> ShardBenchReport {
         seq_matches[i] = mono.evaluate(q).expect("sequential warmup").matches;
     }
     let mut seq_secs = 0.0f64;
+    let seq_hist = Histogram::new();
     let (_, seq_wall) = time(|| {
         for _ in 0..reps {
             for (i, (_, q)) in queries.iter().enumerate() {
                 let (result, secs) = time(|| mono.evaluate(q).expect("sequential evaluate"));
                 seq_secs += secs;
+                seq_hist.record_secs(secs);
                 assert_eq!(result.matches, seq_matches[i], "unstable sequential result");
             }
         }
@@ -1553,6 +1622,7 @@ pub fn run_shard_bench(scale: Scale, threads: usize) -> ShardBenchReport {
     let query_refs: Vec<Query> = queries.iter().map(|(_, q)| q.clone()).collect();
     service.run_batch(&query_refs).expect("service warmup");
     let mut svc_secs = 0.0f64;
+    let svc_hist = Histogram::new();
     let mut shard_skips = 0u64;
     let mut queries_with_skips = 0usize;
     let (_, svc_wall) = time(|| {
@@ -1560,6 +1630,7 @@ pub fn run_shard_bench(scale: Scale, threads: usize) -> ShardBenchReport {
             let report = service.run_batch(&query_refs).expect("sharded batch");
             for (i, outcome) in report.outcomes.iter().enumerate() {
                 svc_secs += outcome.seconds;
+                svc_hist.record_secs(outcome.seconds);
                 assert_eq!(
                     outcome.result.matches, seq_matches[i],
                     "sharded match-set mismatch on {}",
@@ -1590,6 +1661,8 @@ pub fn run_shard_bench(scale: Scale, threads: usize) -> ShardBenchReport {
         query_speedup: seq_wall / svc_wall.max(1e-9),
         latency_ms_sequential: seq_secs * 1e3 / total,
         latency_ms_sharded: svc_secs * 1e3 / total,
+        latency_sequential: seq_hist.summary(),
+        latency_sharded: svc_hist.summary(),
         shard_skips,
         queries_with_skips,
         cache: service.cache_stats(),
@@ -1631,6 +1704,8 @@ pub fn emit_shard_bench(scale: Scale, report: &ShardBenchReport) -> std::io::Res
         report.cache.misses,
         report.cache.evictions
     );
+    print_quantiles("sequential latency", &report.latency_sequential);
+    print_quantiles("sharded latency", &report.latency_sharded);
 
     let json = format!(
         "{{\n  \"scale\": \"{scale:?}\",\n  \"mss\": 3,\n  \"coding\": \"root-split\",\n  \
@@ -1639,7 +1714,9 @@ pub fn emit_shard_bench(scale: Scale, report: &ShardBenchReport) -> std::io::Res
          \"build_mono_parallel_seconds\": {:.4},\n  \"build_sharded_seconds\": {:.4},\n  \
          \"build_speedup\": {:.3},\n  \"qps_sequential\": {:.2},\n  \"qps_sharded\": {:.2},\n  \
          \"query_speedup\": {:.3},\n  \"latency_ms_sequential\": {:.4},\n  \
-         \"latency_ms_sharded\": {:.4},\n  \"shard_skips\": {},\n  \
+         \"latency_ms_sharded\": {:.4},\n  \
+         \"latency_quantiles\": {{\"sequential\": {}, \"sharded\": {}}},\n  \
+         \"shard_skips\": {},\n  \
          \"queries_with_skips\": {},\n  \"cache_hit_rate\": {:.4},\n  \"cache_hits\": {},\n  \
          \"cache_misses\": {},\n  \"cache_evictions\": {}\n}}\n",
         corpus_seed(),
@@ -1656,6 +1733,8 @@ pub fn emit_shard_bench(scale: Scale, report: &ShardBenchReport) -> std::io::Res
         report.query_speedup,
         report.latency_ms_sequential,
         report.latency_ms_sharded,
+        quantiles_json(&report.latency_sequential),
+        quantiles_json(&report.latency_sharded),
         report.shard_skips,
         report.queries_with_skips,
         report.cache.hit_rate(),
@@ -1963,13 +2042,25 @@ pub fn emit_pipeline_bench(scale: Scale, report: &PipelineBenchReport) -> std::i
         ));
     }
 
+    let owned_q = latency_quantiles(report.rows.iter().map(|r| r.owned.seconds));
+    let stream_q = latency_quantiles(report.rows.iter().map(|r| r.streaming.seconds));
+    let warm_q = latency_quantiles(report.rows.iter().map(|r| r.warm.seconds));
+    print_quantiles("owned latency", &owned_q);
+    print_quantiles("streaming latency", &stream_q);
+    print_quantiles("warm latency", &warm_q);
+
     let mut json = String::from("{\n");
     json.push_str(&format!(
         "  \"scale\": \"{scale:?}\",\n  \"mss\": 3,\n  \"seed\": {},\n  \"reps\": {},\n  \
-         \"match_sets_identical\": true,\n  \"equivalence_checks\": {},\n  \"summary\": [\n",
+         \"match_sets_identical\": true,\n  \"equivalence_checks\": {},\n  \
+         \"latency_quantiles\": {{\"owned\": {}, \"streaming\": {}, \"warm\": {}}},\n  \
+         \"summary\": [\n",
         corpus_seed(),
         report.reps,
         report.equivalence_checks,
+        quantiles_json(&owned_q),
+        quantiles_json(&stream_q),
+        quantiles_json(&warm_q),
     ));
     json.push_str(&summaries.join(",\n"));
     json.push_str("\n  ],\n  \"queries\": [\n");
@@ -2262,16 +2353,24 @@ pub fn emit_seek_bench(scale: Scale, report: &SeekBenchReport) -> std::io::Resul
         report.rows.len()
     );
 
+    let drain_q = latency_quantiles(report.rows.iter().map(|r| r.drain_seconds));
+    let seek_q = latency_quantiles(report.rows.iter().map(|r| r.seek_seconds));
+    print_quantiles("drain latency", &drain_q);
+    print_quantiles("seek latency", &seek_q);
+
     let mut json = String::from("{\n");
     json.push_str(&format!(
         "  \"scale\": \"{scale:?}\",\n  \"mss\": 3,\n  \"seed\": {},\n  \"reps\": {},\n  \
          \"match_sets_identical\": true,\n  \"median_speedup\": {:.3},\n  \
-         \"probes_with_skips\": {},\n  \"probes\": {},\n  \"summary\": [\n",
+         \"probes_with_skips\": {},\n  \"probes\": {},\n  \
+         \"latency_quantiles\": {{\"drain\": {}, \"seek\": {}}},\n  \"summary\": [\n",
         corpus_seed(),
         report.reps,
         overall_median,
         with_skips,
         report.rows.len(),
+        quantiles_json(&drain_q),
+        quantiles_json(&seek_q),
     ));
     json.push_str(&summaries.join(",\n"));
     json.push_str("\n  ],\n  \"queries\": [\n");
@@ -2294,6 +2393,241 @@ pub fn emit_seek_bench(scale: Scale, report: &SeekBenchReport) -> std::io::Resul
     std::fs::write("BENCH_seek.json", json)?;
     println!(
         "wrote BENCH_seek.json ({} query measurements)",
+        report.rows.len()
+    );
+    Ok(())
+}
+
+// --------------------------------------------------------------------
+// Observability overhead: BENCH_obs.json
+// --------------------------------------------------------------------
+
+/// One query's figures across the three instrumentation states.
+#[derive(Debug, Clone)]
+pub struct ObsBenchRow {
+    /// Query text id.
+    pub name: String,
+    /// Match count (asserted identical across every state, every rep).
+    pub matches: usize,
+    /// Min seconds with no `Timings` in the context at all.
+    pub baseline_seconds: f64,
+    /// Min seconds with a disabled `Timings` attached — the path every
+    /// production query pays when tracing is compiled in but off (one
+    /// branch per span site).
+    pub disabled_seconds: f64,
+    /// Min seconds with full span + operator collection.
+    pub enabled_seconds: f64,
+    /// `Σ stage_total / Σ wall` over the query's enabled reps: the
+    /// fraction of measured wall time the stage partition attributes.
+    pub stage_ratio: f64,
+}
+
+/// Aggregate figures of [`run_obs_bench`].
+#[derive(Debug)]
+pub struct ObsBenchReport {
+    /// Per-query rows (interval coding).
+    pub rows: Vec<ObsBenchRow>,
+    /// Timed repetitions per query per state.
+    pub reps: usize,
+    /// `Σ disabled / Σ baseline − 1` over per-query minima.
+    pub disabled_overhead: f64,
+    /// `Σ enabled / Σ baseline − 1` over per-query minima.
+    pub enabled_overhead: f64,
+    /// `Σ stage_total / Σ wall` across every enabled rep.
+    pub stage_ratio: f64,
+}
+
+/// Measures what the PR 7 instrumentation itself costs: every workload
+/// query under (a) no `Timings` in the context, (b) a disabled
+/// `Timings` attached, and (c) full span + operator collection —
+/// interleaved per repetition so cache drift hits all three states
+/// equally, with match sets asserted identical on every rep (a live
+/// equivalence check). The run is also the CI overhead gate: it panics
+/// if the disabled path costs more than 5% over baseline, if the
+/// enabled path exceeds a 25% sanity cap, or if the stage partition
+/// attributes less than 90% (or more than 110%) of the enabled wall.
+pub fn run_obs_bench(scale: Scale) -> ObsBenchReport {
+    use si_core::ExecContext;
+
+    let work = Workdir::new("obs");
+    let n = match scale {
+        Scale::Small => 5_000,
+        Scale::Paper => 100_000,
+    };
+    let big = corpus(n);
+    let (wh, fb) = workload(&big, 200);
+    let queries: Vec<(String, Query)> = wh
+        .into_iter()
+        .chain(fb.into_iter().map(|(c, s, q)| (format!("fb-{c}-{s}"), q)))
+        .collect();
+    let reps = scale.reps().max(7);
+    let index = SubtreeIndex::build(
+        &work.path("idx"),
+        big.trees(),
+        big.interner(),
+        IndexOptions::new(3, Coding::SubtreeInterval),
+    )
+    .expect("obs bench build");
+
+    let mut rows = Vec::new();
+    let mut stage_ns_total = 0u128;
+    let mut wall_ns_total = 0u128;
+    for (name, q) in &queries {
+        // Warmup (pager + stats caches) doubling as the oracle.
+        let oracle = index.evaluate(q).expect("obs warmup").matches;
+        let mut baseline_seconds = f64::INFINITY;
+        let mut disabled_seconds = f64::INFINITY;
+        let mut enabled_seconds = f64::INFINITY;
+        let mut q_stage = 0u128;
+        let mut q_wall = 0u128;
+        for _ in 0..reps {
+            let (r, secs) = time(|| index.evaluate(q).expect("baseline evaluate"));
+            assert_eq!(r.matches, oracle, "unstable baseline on {name}");
+            baseline_seconds = baseline_seconds.min(secs);
+
+            let t = Timings::new(false);
+            let ctx = ExecContext {
+                timings: Some(&t),
+                ..ExecContext::default()
+            };
+            let (r, secs) = time(|| index.evaluate_with(q, &ctx).expect("disabled evaluate"));
+            assert_eq!(
+                r.matches, oracle,
+                "disabled instrumentation changed the answer on {name}"
+            );
+            disabled_seconds = disabled_seconds.min(secs);
+            assert_eq!(
+                t.snapshot().stage_total(),
+                0,
+                "disabled timings recorded spans on {name}"
+            );
+
+            let t = Timings::new(true);
+            let ctx = ExecContext {
+                timings: Some(&t),
+                ..ExecContext::default()
+            };
+            let (r, secs) = time(|| index.evaluate_with(q, &ctx).expect("enabled evaluate"));
+            assert_eq!(
+                r.matches, oracle,
+                "enabled instrumentation changed the answer on {name}"
+            );
+            enabled_seconds = enabled_seconds.min(secs);
+            q_stage += t.snapshot().stage_total() as u128;
+            q_wall += ((secs * 1e9) as u128).max(1);
+        }
+        stage_ns_total += q_stage;
+        wall_ns_total += q_wall;
+        rows.push(ObsBenchRow {
+            name: name.clone(),
+            matches: oracle.len(),
+            baseline_seconds,
+            disabled_seconds,
+            enabled_seconds,
+            stage_ratio: q_stage as f64 / q_wall.max(1) as f64,
+        });
+    }
+
+    let sum = |f: &dyn Fn(&ObsBenchRow) -> f64| -> f64 { rows.iter().map(f).sum() };
+    let baseline = sum(&|r| r.baseline_seconds).max(1e-12);
+    let disabled_overhead = sum(&|r| r.disabled_seconds) / baseline - 1.0;
+    let enabled_overhead = sum(&|r| r.enabled_seconds) / baseline - 1.0;
+    let stage_ratio = stage_ns_total as f64 / wall_ns_total.max(1) as f64;
+    assert!(
+        disabled_overhead < 0.05,
+        "disabled-instrumentation overhead {:.2}% exceeds the 5% gate",
+        disabled_overhead * 100.0
+    );
+    assert!(
+        enabled_overhead < 0.25,
+        "enabled-instrumentation overhead {:.2}% exceeds the 25% sanity cap",
+        enabled_overhead * 100.0
+    );
+    assert!(
+        (0.9..=1.1).contains(&stage_ratio),
+        "stage partition attributes {:.1}% of the enabled wall (gate: 90-110%)",
+        stage_ratio * 100.0
+    );
+    ObsBenchReport {
+        rows,
+        reps,
+        disabled_overhead,
+        enabled_overhead,
+        stage_ratio,
+    }
+}
+
+/// Prints the instrumentation-overhead summary and writes
+/// `BENCH_obs.json` into the current directory.
+pub fn emit_obs_bench(scale: Scale, report: &ObsBenchReport) -> std::io::Result<()> {
+    println!("# Observability overhead: no timings vs disabled vs enabled instrumentation");
+    println!(
+        "{} queries x {} reps, interval coding, seed {:#x}",
+        report.rows.len(),
+        report.reps,
+        corpus_seed()
+    );
+    let sum = |f: &dyn Fn(&ObsBenchRow) -> f64| -> f64 { report.rows.iter().map(f).sum() };
+    let baseline_ms = sum(&|r| r.baseline_seconds) * 1e3;
+    let disabled_ms = sum(&|r| r.disabled_seconds) * 1e3;
+    let enabled_ms = sum(&|r| r.enabled_seconds) * 1e3;
+    println!(
+        "baseline {:.3} ms | disabled {:.3} ms ({:+.2}%) | enabled {:.3} ms ({:+.2}%)",
+        baseline_ms,
+        disabled_ms,
+        report.disabled_overhead * 100.0,
+        enabled_ms,
+        report.enabled_overhead * 100.0
+    );
+    println!(
+        "stage partition attributes {:.1}% of the enabled wall",
+        report.stage_ratio * 100.0
+    );
+    let base_q = latency_quantiles(report.rows.iter().map(|r| r.baseline_seconds));
+    let dis_q = latency_quantiles(report.rows.iter().map(|r| r.disabled_seconds));
+    let en_q = latency_quantiles(report.rows.iter().map(|r| r.enabled_seconds));
+    print_quantiles("baseline latency", &base_q);
+    print_quantiles("disabled latency", &dis_q);
+    print_quantiles("enabled latency", &en_q);
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"scale\": \"{scale:?}\",\n  \"mss\": 3,\n  \"coding\": \"interval\",\n  \
+         \"seed\": {},\n  \"reps\": {},\n  \"match_sets_identical\": true,\n  \
+         \"baseline_total_ms\": {:.4},\n  \"disabled_total_ms\": {:.4},\n  \
+         \"enabled_total_ms\": {:.4},\n  \"disabled_overhead\": {:.5},\n  \
+         \"enabled_overhead\": {:.5},\n  \"stage_sum_ratio\": {:.4},\n  \
+         \"latency_quantiles\": {{\"baseline\": {}, \"disabled\": {}, \"enabled\": {}}},\n  \
+         \"queries\": [\n",
+        corpus_seed(),
+        report.reps,
+        baseline_ms,
+        disabled_ms,
+        enabled_ms,
+        report.disabled_overhead,
+        report.enabled_overhead,
+        report.stage_ratio,
+        quantiles_json(&base_q),
+        quantiles_json(&dis_q),
+        quantiles_json(&en_q),
+    ));
+    for (i, r) in report.rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"query\": \"{}\", \"matches\": {}, \"baseline_ms\": {:.4}, \
+             \"disabled_ms\": {:.4}, \"enabled_ms\": {:.4}, \"stage_ratio\": {:.4}}}{}\n",
+            json_escape(&r.name),
+            r.matches,
+            r.baseline_seconds * 1e3,
+            r.disabled_seconds * 1e3,
+            r.enabled_seconds * 1e3,
+            r.stage_ratio,
+            if i + 1 == report.rows.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_obs.json", json)?;
+    println!(
+        "wrote BENCH_obs.json ({} query measurements)",
         report.rows.len()
     );
     Ok(())

@@ -7,10 +7,13 @@ use std::path::Path;
 use si_core::build_ext::ExternalBuildConfig;
 use si_core::cover::decompose;
 use si_core::plan::{estimated_cardinality, plan_structural, PlannerMode};
-use si_core::sharded::{shard_provably_empty, ShardBuildMode, ShardedBuildConfig, ShardedIndex};
+use si_core::sharded::{
+    merge_shard_stats, shard_provably_empty, ShardBuildMode, ShardedBuildConfig, ShardedIndex,
+};
 use si_core::stats::intersect_tid_ranges;
-use si_core::{AnyIndex, Coding, ExecMode, IndexOptions, KeyStats, SubtreeIndex};
+use si_core::{AnyIndex, Coding, EvalStats, ExecMode, IndexOptions, KeyStats, SubtreeIndex};
 use si_corpus::GeneratorConfig;
+use si_obs::{json_escape, Stage, Timings, TimingsSnapshot};
 use si_parsetree::{ptb, LabelInterner};
 use si_query::{parse_query, write_query};
 
@@ -35,15 +38,20 @@ USAGE:
   si query     --index DIR QUERY [--show N] [--verbose]
                [--exec streaming|materialized]
                [--planner cost|bytes]
-               [--cache-mb N] [--sort-pref 4.0]             evaluate a tree query
+               [--cache-mb N] [--sort-pref 4.0]
+               [--explain-analyze] [--trace-json FILE]      evaluate a tree query
                                                             (--sort-pref: prefer sort-free
                                                             root-slot plans when stream
                                                             estimates are within the factor;
-                                                            1.0 disables)
+                                                            1.0 disables; --explain-analyze:
+                                                            per-stage times + executed
+                                                            operator tree; --trace-json:
+                                                            append one span-tree JSON line)
   si batch     --index DIR --queries FILE [--threads N]
-               [--cache-mb 64] [--batch-size 64]            run a query file concurrently
+               [--cache-mb 64] [--batch-size 64]
+               [--trace-json FILE]                          run a query file concurrently
   si serve     --index DIR [--threads N] [--cache-mb 64]
-               [--batch-size 64]                            serve queries from stdin, batched
+               [--batch-size 64] [--trace-json FILE]        serve queries from stdin, batched
   si scan      --input FILE QUERY [--show N]                TGrep2 mode: match without an index
   si extract   --input FILE [--mss 3] [--top 20]            most frequent subtree keys
   si stats     --index DIR [KEY]                            index statistics; with a
@@ -54,7 +62,7 @@ USAGE:
 Query syntax: LABEL('(' [//] node ')')*, e.g. S(NP(NNS))(VP(//NN))";
 
 /// Flags that take no value.
-const BOOL_FLAGS: &[&str] = &["verbose"];
+const BOOL_FLAGS: &[&str] = &["verbose", "explain-analyze"];
 
 /// Dispatches a full argv (without the program name).
 pub fn run(argv: &[String]) -> Result<(), AnyError> {
@@ -230,6 +238,8 @@ fn query(args: &Args) -> Result<(), AnyError> {
     let index_dir = args.required("index")?;
     let show: usize = args.get_or("show", 0)?;
     let verbose: bool = args.get_or("verbose", false)?;
+    let explain_analyze: bool = args.get_or("explain-analyze", false)?;
+    let trace_json = args.get("trace-json");
     let cache_mb: usize = args.get_or("cache-mb", 0)?;
     let [query_text] = args.positional() else {
         return Err("query: expected exactly one QUERY argument".into());
@@ -239,7 +249,11 @@ fn query(args: &Args) -> Result<(), AnyError> {
     let mut index = AnyIndex::open(Path::new(index_dir))?;
     index.set_exec_mode(exec);
     let mut interner = index.interner();
-    let query = parse_query(query_text, &mut interner)?;
+    let timings = (explain_analyze || trace_json.is_some()).then(|| Timings::new(true));
+    let query = {
+        let _span = timings.as_ref().map(|t| t.span(Stage::Parse));
+        parse_query(query_text, &mut interner)?
+    };
     // The block cache applies to the monolithic path only: shards store
     // the same canonical keys over different posting lists, so a single
     // cache must never span shards (the sharded service keeps one per
@@ -260,6 +274,7 @@ fn query(args: &Args) -> Result<(), AnyError> {
         cache,
         planner,
         root_pref_factor: sort_pref,
+        timings: timings.as_ref(),
         ..Default::default()
     };
     let started = std::time::Instant::now();
@@ -285,42 +300,39 @@ fn query(args: &Args) -> Result<(), AnyError> {
             AnyIndex::Mono(mono) => print_plan_debug(mono, &query, &interner, planner)?,
             AnyIndex::Sharded(sharded) => print_shard_debug(sharded, &query, &interner, planner)?,
         }
-        let s = result.stats;
-        if s.shards > 0 {
-            println!(
-                "shards      {} of {} evaluated, {} skipped from per-shard statistics",
-                s.shards - s.shards_skipped,
-                s.shards,
-                s.shards_skipped
-            );
+        let cache_note = if cache_mb > 0 && matches!(index, AnyIndex::Mono(_)) {
+            format!("{cache_mb} MiB budget")
+        } else if matches!(index, AnyIndex::Sharded(_)) {
+            "per-shard caches live in `si batch` / `si serve`".to_owned()
+        } else {
+            "disabled; pass --cache-mb N".to_owned()
+        };
+        print!("{}", render_eval_stats(&result.stats, &cache_note));
+    }
+    if let Some(t) = &timings {
+        let snap = t.snapshot();
+        let total_ns = elapsed.as_nanos() as u64;
+        if explain_analyze {
+            let options = index.options();
+            let cover = decompose(&query, options.mss, options.coding);
+            let covers: Vec<String> = cover
+                .subtrees
+                .iter()
+                .map(|st| render_key(&st.key, &interner))
+                .collect();
+            print_explain_analyze(&snap, total_ns, &covers);
         }
-        if s.range_pruned {
-            println!("planner     result proven empty from disjoint tid ranges; no list opened");
+        if let Some(path) = trace_json {
+            let mut file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?;
+            writeln!(
+                file,
+                "{}",
+                trace_line(query_text, result.len(), total_ns, &snap)
+            )?;
         }
-        println!(
-            "pager       {} hits, {} misses, {} evictions",
-            s.pager_hits, s.pager_misses, s.pager_evictions
-        );
-        println!(
-            "block cache {} hits, {} misses ({})",
-            s.cache_hits,
-            s.cache_misses,
-            if cache_mb > 0 && matches!(index, AnyIndex::Mono(_)) {
-                format!("{cache_mb} MiB budget")
-            } else if matches!(index, AnyIndex::Sharded(_)) {
-                "per-shard caches live in `si batch` / `si serve`".to_owned()
-            } else {
-                "disabled; pass --cache-mb N".to_owned()
-            }
-        );
-        println!(
-            "zero-copy   {} postings borrowed from cached blocks, {} sort exchanges avoided",
-            s.postings_borrowed, s.sort_exchanges_avoided
-        );
-        println!(
-            "seeks       {} restart-point seeks, {} postings skipped undecoded",
-            s.seeks, s.postings_skipped
-        );
     }
     for &(tid, pre) in result.matches.iter().take(show) {
         let tree = index.tree(tid)?;
@@ -333,6 +345,8 @@ fn query(args: &Args) -> Result<(), AnyError> {
 }
 
 /// Parses the service flags shared by `si batch` and `si serve`.
+/// `--trace-json` turns per-query span collection on — that is the
+/// only way the service's outcomes carry snapshots to write out.
 fn service_config(args: &Args) -> Result<si_service::ServiceConfig, AnyError> {
     let defaults = si_service::ServiceConfig::default();
     let cache_mb: usize = args.get_or("cache-mb", 64)?;
@@ -340,7 +354,21 @@ fn service_config(args: &Args) -> Result<si_service::ServiceConfig, AnyError> {
         threads: args.get_or("threads", defaults.threads)?,
         cache: si_core::BlockCacheConfig::with_budget(cache_mb << 20),
         batch_size: args.get_or("batch-size", defaults.batch_size)?,
+        collect_timings: args.get("trace-json").is_some(),
         ..defaults
+    })
+}
+
+/// Opens the `--trace-json` sink in append mode, if requested.
+fn trace_sink(args: &Args) -> Result<Option<std::fs::File>, AnyError> {
+    Ok(match args.get("trace-json") {
+        Some(path) => Some(
+            std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)?,
+        ),
+        None => None,
     })
 }
 
@@ -359,8 +387,14 @@ fn batch(args: &Args) -> Result<(), AnyError> {
         .filter(|l| !l.is_empty() && !l.starts_with('#'))
         .map(str::to_owned)
         .collect();
+    let mut trace = trace_sink(args)?;
     let mut out = std::io::stdout().lock();
-    let summary = run_service_batches(&service, &lines, &mut out)?;
+    let summary = run_service_batches(
+        &service,
+        &lines,
+        &mut out,
+        trace.as_mut().map(|f| f as &mut dyn Write),
+    )?;
     print_service_summary(&service, &summary, config.threads);
     Ok(())
 }
@@ -376,6 +410,7 @@ fn serve(
     let index_dir = args.required("index")?;
     let config = service_config(args)?;
     let service = si_service::AnyQueryService::open(Path::new(index_dir), config)?;
+    let mut trace = trace_sink(args)?;
     let mut total = ServiceSummary::default();
     let mut pending: Vec<String> = Vec::new();
     loop {
@@ -389,7 +424,12 @@ fn serve(
         }
         if pending.len() >= service.batch_size() || (eof && !pending.is_empty()) {
             let batch: Vec<String> = std::mem::take(&mut pending);
-            let summary = run_service_batches(&service, &batch, out)?;
+            let summary = run_service_batches(
+                &service,
+                &batch,
+                out,
+                trace.as_mut().map(|f| f as &mut dyn Write),
+            )?;
             total.absorb(&summary);
             out.flush()?;
         }
@@ -409,8 +449,9 @@ struct ServiceSummary {
     wall_seconds: f64,
     latency_seconds: f64,
     shared_keys: usize,
-    postings_borrowed: u64,
-    sort_exchanges_avoided: usize,
+    /// Every query's `EvalStats` folded together, rendered by the same
+    /// helper as `si query --verbose`.
+    stats: EvalStats,
 }
 
 impl ServiceSummary {
@@ -420,9 +461,18 @@ impl ServiceSummary {
         self.wall_seconds += other.wall_seconds;
         self.latency_seconds += other.latency_seconds;
         self.shared_keys += other.shared_keys;
-        self.postings_borrowed += other.postings_borrowed;
-        self.sort_exchanges_avoided += other.sort_exchanges_avoided;
+        absorb_stats(&mut self.stats, &other.stats);
     }
+}
+
+/// Folds one query's (or batch aggregate's) counters into a summary:
+/// `merge_shard_stats` handles every counter field exhaustively, and
+/// the caller-set fields it deliberately skips accumulate here.
+fn absorb_stats(agg: &mut EvalStats, s: &EvalStats) {
+    merge_shard_stats(agg, s);
+    agg.covers += s.covers;
+    agg.shards = agg.shards.max(s.shards);
+    agg.shards_skipped += s.shards_skipped;
 }
 
 /// Parses `lines` against the service's index, evaluates them in
@@ -433,6 +483,7 @@ fn run_service_batches(
     service: &si_service::AnyQueryService,
     lines: &[String],
     out: &mut dyn Write,
+    mut trace: Option<&mut dyn Write>,
 ) -> Result<ServiceSummary, AnyError> {
     let mut interner = service.interner();
     let mut summary = ServiceSummary::default();
@@ -462,8 +513,21 @@ fn run_service_batches(
                     )?;
                     summary.matches += outcome.result.len();
                     summary.latency_seconds += outcome.seconds;
-                    summary.postings_borrowed += outcome.result.stats.postings_borrowed;
-                    summary.sort_exchanges_avoided += outcome.result.stats.sort_exchanges_avoided;
+                    absorb_stats(&mut summary.stats, &outcome.result.stats);
+                    if let (Some(trace), Some(snap)) =
+                        (trace.as_deref_mut(), outcome.timings.as_ref())
+                    {
+                        writeln!(
+                            trace,
+                            "{}",
+                            trace_line(
+                                text,
+                                outcome.result.len(),
+                                (outcome.seconds * 1e9) as u64,
+                                snap
+                            )
+                        )?;
+                    }
                 }
                 Err(e) => writeln!(out, "{text}\terror: {e}")?,
             }
@@ -500,16 +564,25 @@ fn print_service_summary(
         },
         summary.shared_keys,
     );
+    let lat = service.latency_summary();
+    if lat.count > 0 {
+        eprintln!(
+            "latency     p50 {:.3} ms, p90 {:.3} ms, p99 {:.3} ms, p999 {:.3} ms \
+             ({} queries, cumulative)",
+            lat.p50 as f64 / 1e6,
+            lat.p90 as f64 / 1e6,
+            lat.p99 as f64 / 1e6,
+            lat.p999 as f64 / 1e6,
+            lat.count,
+        );
+    }
     eprintln!(
-        "block cache: {:.1}% hits ({} hits / {} misses, {} evictions, peak {} KiB); \
-         {} postings borrowed zero-copy, {} sort exchanges avoided",
+        "block cache: {:.1}% hits ({} hits / {} misses, {} evictions, peak {} KiB)",
         cache.hit_rate() * 100.0,
         cache.hits,
         cache.misses,
         cache.evictions,
         cache.peak_bytes >> 10,
-        summary.postings_borrowed,
-        summary.sort_exchanges_avoided,
     );
     eprintln!(
         "tuple pool:  {} hits / {} misses, {} insertions, {} evictions, \
@@ -521,6 +594,136 @@ fn print_service_summary(
         pool.current_bytes >> 10,
         pool.peak_bytes >> 10,
     );
+    eprint!(
+        "{}",
+        render_eval_stats(&summary.stats, "summed per-query counters")
+    );
+}
+
+/// The one formatting path for an `EvalStats` counter block, shared by
+/// `si query --verbose` and the `si batch` / `si serve` summaries.
+/// `cache_note` qualifies the block-cache counters (budget for a
+/// single query, aggregation note for a service summary).
+fn render_eval_stats(s: &EvalStats, cache_note: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if s.shards > 0 {
+        let _ = writeln!(
+            out,
+            "shards      {} shard evaluations, {} skipped from per-shard statistics",
+            (s.shards as u64).saturating_sub(s.shards_skipped as u64),
+            s.shards_skipped
+        );
+    }
+    if s.range_pruned {
+        let _ = writeln!(
+            out,
+            "planner     result proven empty from disjoint tid ranges; no list opened"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "pager       {} hits, {} misses, {} evictions",
+        s.pager_hits, s.pager_misses, s.pager_evictions
+    );
+    let _ = writeln!(
+        out,
+        "block cache {} hits, {} misses ({cache_note})",
+        s.cache_hits, s.cache_misses
+    );
+    let _ = writeln!(
+        out,
+        "zero-copy   {} postings borrowed from cached blocks, {} sort exchanges avoided",
+        s.postings_borrowed, s.sort_exchanges_avoided
+    );
+    let _ = writeln!(
+        out,
+        "seeks       {} restart-point seeks, {} postings skipped undecoded",
+        s.seeks, s.postings_skipped
+    );
+    out
+}
+
+fn fmt_ns(ns: u64) -> String {
+    format!("{:.3} ms", ns as f64 / 1e6)
+}
+
+/// `si query --explain-analyze`: the stage-time table followed by the
+/// executed operator tree, each node annotated with rows out, posting
+/// counters, seeks and elapsed time. `covers` are the rendered cover
+/// keys, indexed by the operators' cover slots.
+fn print_explain_analyze(snap: &TimingsSnapshot, total_ns: u64, covers: &[String]) {
+    let attributed = snap.stage_total();
+    println!("stage times (measured total {}):", fmt_ns(total_ns));
+    let pct = |ns: u64| {
+        if total_ns > 0 {
+            ns as f64 * 100.0 / total_ns as f64
+        } else {
+            0.0
+        }
+    };
+    for stage in Stage::ALL {
+        let ns = snap.stage(stage);
+        if ns == 0 {
+            continue;
+        }
+        println!(
+            "  {:<13} {:>12}  {:>5.1}%",
+            stage.name(),
+            fmt_ns(ns),
+            pct(ns)
+        );
+    }
+    println!(
+        "  {:<13} {:>12}  {:>5.1}% of measured wall",
+        "attributed",
+        fmt_ns(attributed),
+        pct(attributed)
+    );
+    println!("operators:");
+    for r in snap.roots() {
+        print_op(snap, r, covers, 1);
+    }
+}
+
+/// One operator line of the EXPLAIN ANALYZE tree, then its children
+/// indented below it.
+fn print_op(snap: &TimingsSnapshot, id: usize, covers: &[String], depth: usize) {
+    let op = &snap.ops[id];
+    let mut line = format!("{}{}", "  ".repeat(depth), op.label);
+    if let Some(key) = op.cover.and_then(|c| covers.get(c)) {
+        line.push_str(&format!(" [{key}]"));
+    }
+    line.push_str(&format!("  rows={} time={}", op.rows, fmt_ns(op.nanos)));
+    if op.postings_fetched > 0 || op.postings_borrowed > 0 {
+        line.push_str(&format!(
+            " fetched={} borrowed={}",
+            op.postings_fetched, op.postings_borrowed
+        ));
+    }
+    if op.seeks > 0 || op.postings_skipped > 0 {
+        line.push_str(&format!(
+            " seeks={} skipped={}",
+            op.seeks, op.postings_skipped
+        ));
+    }
+    println!("{line}");
+    for &c in &op.children {
+        print_op(snap, c, covers, depth + 1);
+    }
+}
+
+/// One single-line JSON trace record (`--trace-json`): query text,
+/// match count, measured total nanoseconds, then the snapshot's own
+/// `stages` / `ops` fields spliced in.
+fn trace_line(query_text: &str, matches: usize, total_ns: u64, snap: &TimingsSnapshot) -> String {
+    let mut frag = String::new();
+    snap.write_json(&mut frag);
+    format!(
+        "{{\"query\":\"{}\",\"matches\":{matches},\"total_ns\":{total_ns},{}",
+        json_escape(query_text),
+        &frag[1..]
+    )
 }
 
 /// TGrep2 / CorpusSearch mode: load the whole corpus and scan it with
@@ -1132,6 +1335,83 @@ mod tests {
             "NP(NN)",
         ]))
         .unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn explain_analyze_and_trace_json() {
+        let dir = tmp("explain");
+        let corpus_file = dir.join("corpus.ptb");
+        let index_dir = dir.join("idx");
+        let trace_file = dir.join("trace.jsonl");
+        run(&argv(&[
+            "generate",
+            "--sentences",
+            "80",
+            "--out",
+            corpus_file.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "build",
+            "--input",
+            corpus_file.to_str().unwrap(),
+            "--index",
+            index_dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let idx = index_dir.to_str().unwrap();
+        run(&argv(&[
+            "query",
+            "--index",
+            idx,
+            "--explain-analyze",
+            "NP(DT)(NN)",
+        ]))
+        .unwrap();
+        // Two traced queries append two JSON lines.
+        for q in ["NP(NN)", "S(NP)(VP)"] {
+            run(&argv(&[
+                "query",
+                "--index",
+                idx,
+                "--trace-json",
+                trace_file.to_str().unwrap(),
+                q,
+            ]))
+            .unwrap();
+        }
+        let text = std::fs::read_to_string(&trace_file).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        for line in &lines {
+            assert!(line.starts_with("{\"query\":\""), "{line}");
+            assert!(line.ends_with('}'), "{line}");
+            for key in ["\"matches\":", "\"total_ns\":", "\"stages\":", "\"ops\":"] {
+                assert!(line.contains(key), "missing {key} in {line}");
+            }
+        }
+        // The service path traces too (collect_timings via --trace-json).
+        let queries_file = dir.join("queries.txt");
+        let batch_trace = dir.join("batch-trace.jsonl");
+        std::fs::write(&queries_file, "NP(NN)\nS(NP)(VP)\nVP(VBZ)\n").unwrap();
+        run(&argv(&[
+            "batch",
+            "--index",
+            idx,
+            "--queries",
+            queries_file.to_str().unwrap(),
+            "--threads",
+            "2",
+            "--trace-json",
+            batch_trace.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let text = std::fs::read_to_string(&batch_trace).unwrap();
+        assert_eq!(text.lines().count(), 3, "{text}");
+        for line in text.lines() {
+            assert!(line.contains("\"ops\":"), "{line}");
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

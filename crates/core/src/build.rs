@@ -546,19 +546,22 @@ impl SubtreeIndex {
     /// [`SubtreeIndex::evaluate`] with explicit execution resources —
     /// the query service passes its block cache and batch-shared scans
     /// here (the materializing oracle ignores them). Pager counter
-    /// deltas are folded into the returned stats; attribution is exact
-    /// single-threaded and approximate under concurrent traffic.
+    /// deltas are folded into the returned stats as **thread-local**
+    /// snapshots ([`si_storage::thread_counters`]): a query evaluates
+    /// entirely on the calling thread, so the delta is exactly this
+    /// query's traffic even while other service workers hammer the same
+    /// pager concurrently.
     pub fn evaluate_with(
         &self,
         query: &Query,
         ctx: &crate::exec::ExecContext<'_>,
     ) -> Result<EvalResult> {
-        let before = self.btree.pager_counters();
+        let before = si_storage::thread_counters();
         let mut result = match self.exec_mode {
             ExecMode::Streaming => crate::exec::evaluate_streaming_with(self, query, ctx),
             ExecMode::Materialized => crate::eval::evaluate(self, query),
         }?;
-        let after = self.btree.pager_counters();
+        let after = si_storage::thread_counters();
         result.stats.pager_hits = after.hits.saturating_sub(before.hits);
         result.stats.pager_misses = after.misses.saturating_sub(before.misses);
         result.stats.pager_evictions = after.evictions.saturating_sub(before.evictions);

@@ -67,9 +67,11 @@ pub struct EvalStats {
     /// streaming executor pays the pages in flight plus its small
     /// operator windows — the ablation `crates/bench` measures.
     pub peak_posting_bytes: usize,
-    /// Pager cache hits during this evaluation (delta of the global
-    /// counters; exact single-threaded, attribution is approximate when
-    /// the query service runs other queries concurrently).
+    /// Pager cache hits during this evaluation (delta of the
+    /// **thread-local** counters, [`si_storage::thread_counters`]: a
+    /// query evaluates entirely on one thread, so attribution is exact
+    /// even while the query service runs other queries concurrently on
+    /// the same pager).
     pub pager_hits: u64,
     /// Pager cache misses (physical page reads) during this evaluation.
     pub pager_misses: u64,

@@ -35,6 +35,7 @@ use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 use std::sync::Arc;
 
+use si_obs::{Stage, StageSpan, Timings};
 use si_parsetree::TreeId;
 use si_query::Query;
 use si_storage::{Result, StorageError};
@@ -98,6 +99,7 @@ impl Default for TreeCache {
 /// Ambient execution resources for one evaluation. The default (no
 /// cache, no shared scans) reproduces the plain PR 1 streaming executor;
 /// the query service (`si_service`) supplies all three.
+#[derive(Clone)]
 pub struct ExecContext<'s> {
     /// Decoded posting-block cache shared across queries and threads.
     pub cache: Option<Arc<BlockCache>>,
@@ -129,6 +131,13 @@ pub struct ExecContext<'s> {
     /// common tid range) and an index with skip headers — otherwise
     /// it is a silent no-op.
     pub seeks: bool,
+    /// Per-query timing accumulator ([`si_obs::Timings`]). `None` — or
+    /// a disabled `Timings` — keeps the instrumented paths at one
+    /// branch per record point; when present and enabled the executor
+    /// attributes nanoseconds to pipeline [`Stage`]s and fills in a
+    /// per-operator node tree (the `--explain-analyze` /
+    /// `--trace-json` surface).
+    pub timings: Option<&'s Timings>,
 }
 
 impl Default for ExecContext<'_> {
@@ -141,6 +150,7 @@ impl Default for ExecContext<'_> {
             planner: PlannerMode::default(),
             root_pref_factor: crate::plan::DEFAULT_ROOT_PREF_FACTOR,
             seeks: true,
+            timings: None,
         }
     }
 }
@@ -152,6 +162,12 @@ impl ExecContext<'_> {
             && self.shared.is_none()
             && self.stats.is_none()
             && self.trees.is_none()
+    }
+
+    /// Opens a stage span against the context's timings; a no-op guard
+    /// when timings are absent or disabled.
+    pub fn span(&self, stage: Stage) -> Option<StageSpan<'_>> {
+        self.timings.map(|t| t.span(stage))
     }
 }
 
@@ -1048,6 +1064,135 @@ impl SeekTally {
     }
 }
 
+/// A scan operator's **private** tally cells. When timings are enabled
+/// each scan writes into its own cells instead of the query-shared
+/// ones, so attribution is exact with zero work on the pull path: the
+/// operator wrapper reads the totals once at drop, and the drain folds
+/// them back into the query-wide counters afterwards.
+struct ScanSnap {
+    fetched: Rc<Cell<usize>>,
+    tally: Rc<CacheTally>,
+    seeks: Rc<SeekTally>,
+}
+
+/// Clock reads dominate the cost of per-pull operator timing (two
+/// `Instant` calls against pulls that often decode a single posting),
+/// so the wrapper samples the clock: the first `OP_WARM` pulls are
+/// timed exactly (they cover open/seek work and short streams
+/// entirely), then every `OP_SAMPLE`th pull after that, and the drop
+/// scales sampled nanoseconds to the pull count. Rows and posting
+/// tallies stay exact — rows are a plain increment, tallies live in
+/// the scan's private cells ([`ScanSnap`]).
+const OP_SAMPLE: u64 = 64;
+const OP_WARM: u64 = 8;
+
+/// Decorator stream measuring one operator: inclusive wall time
+/// (clock-sampled, see [`OP_SAMPLE`]) and exact rows out per pull.
+/// Only constructed when timings are enabled, so the disabled pipeline
+/// runs the undecorated operators. Totals — including a scan's private
+/// posting tallies — flush to the owning [`Timings`] node on drop.
+struct TimedStream<'t, 'a> {
+    inner: BoxStream<'a>,
+    timings: &'t Timings,
+    id: usize,
+    sampled_nanos: u64,
+    sampled_pulls: u64,
+    pulls: u64,
+    rows: u64,
+    scan: Option<ScanSnap>,
+}
+
+impl TupleStream for TimedStream<'_, '_> {
+    fn next(&mut self) -> Result<Option<&Tuple>> {
+        let sampled = self.pulls < OP_WARM || self.pulls.is_multiple_of(OP_SAMPLE);
+        self.pulls += 1;
+        if sampled {
+            return self.next_timed();
+        }
+        let r = self.inner.next();
+        if matches!(r, Ok(Some(_))) {
+            self.rows += 1;
+        }
+        r
+    }
+}
+
+impl TimedStream<'_, '_> {
+    /// The sampled pull: wraps `inner.next()` in a clock-read pair.
+    /// Outlined and `#[cold]` so the clock machinery stays off the
+    /// unsampled hot path — keeping it inline costs measurably more
+    /// than the sampled clock reads themselves.
+    #[cold]
+    #[inline(never)]
+    fn next_timed(&mut self) -> Result<Option<&Tuple>> {
+        let start = std::time::Instant::now();
+        let r = self.inner.next();
+        self.sampled_nanos += u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.sampled_pulls += 1;
+        if matches!(r, Ok(Some(_))) {
+            self.rows += 1;
+        }
+        r
+    }
+}
+
+impl Drop for TimedStream<'_, '_> {
+    fn drop(&mut self) {
+        let nanos = if self.sampled_pulls == 0 {
+            0
+        } else {
+            u64::try_from(
+                u128::from(self.sampled_nanos) * u128::from(self.pulls)
+                    / u128::from(self.sampled_pulls),
+            )
+            .unwrap_or(u64::MAX)
+        };
+        let (fetched, borrowed, skipped, seeks) = match &self.scan {
+            Some(s) => (
+                s.fetched.get() as u64,
+                s.tally.borrowed.get(),
+                s.seeks.postings_skipped.get(),
+                s.seeks.seeks.get(),
+            ),
+            None => (0, 0, 0, 0),
+        };
+        self.timings
+            .record_op(self.id, nanos, self.rows, fetched, borrowed, skipped, seeks);
+    }
+}
+
+/// Wraps `stream` in a [`TimedStream`] when timings are enabled,
+/// registering an operator node with the given label/cover/children.
+/// Returns the (possibly undecorated) stream plus the node id.
+fn wrap_op<'t: 'a, 'a>(
+    timings: Option<&'t Timings>,
+    stream: BoxStream<'a>,
+    label: &str,
+    cover: Option<usize>,
+    children: Vec<usize>,
+    scan: Option<ScanSnap>,
+) -> (BoxStream<'a>, Option<usize>) {
+    match timings {
+        Some(t) => {
+            let id = t.push_op(label, cover, children);
+            (
+                Box::new(TimedStream {
+                    inner: stream,
+                    timings: t,
+                    id,
+                    sampled_nanos: 0,
+                    sampled_pulls: 0,
+                    pulls: 0,
+                    rows: 0,
+                    scan,
+                }),
+                Some(id),
+            )
+        }
+        None => (stream, None),
+    }
+}
+
 /// Opens the tuple source for one cover key: a [`SharedScan`] when the
 /// batch pre-decoded the key, otherwise a fresh [`PostingScan`]
 /// (cache-aware when `ctx` has a block cache). `None` = key absent.
@@ -1067,14 +1212,14 @@ fn open_source<'a>(
     tally: Rc<CacheTally>,
     seek_lo: Option<TreeId>,
     seek_tally: &Rc<SeekTally>,
-) -> Result<Option<BoxStream<'a>>> {
+) -> Result<Option<(BoxStream<'a>, &'static str)>> {
     if let Some(shared) = ctx.shared {
         if let Some(tuples) = shared.get(key) {
             let mut scan = SharedScan::new(tuples.clone(), fetched);
             if let Some(lo) = seek_lo {
                 seek_tally.record(scan.seek_to_tid(lo));
             }
-            return Ok(Some(Box::new(scan)));
+            return Ok(Some((Box::new(scan), "shared scan")));
         }
     }
     let Some(mut scan) = PostingScan::open(index, key, fetched, meter, ctx, tally)? else {
@@ -1083,7 +1228,7 @@ fn open_source<'a>(
     if let Some(lo) = seek_lo {
         seek_tally.record(scan.seek_to_tid(lo)?);
     }
-    Ok(Some(Box::new(scan)))
+    Ok(Some((Box::new(scan), "scan")))
 }
 
 /// Builds the operator tree for `plan` and fully evaluates it.
@@ -1104,6 +1249,17 @@ fn run_structural(
     let fetched = Rc::new(Cell::new(0usize));
     let tally = Rc::new(CacheTally::default());
     let seek_tally = Rc::new(SeekTally::default());
+    // Only an **enabled** accumulator decorates the pipeline; a
+    // disabled one costs exactly the branches on this option.
+    let timings = ctx.timings.filter(|t| t.enabled());
+    let run_start = timings.map(|_| std::time::Instant::now());
+    let (seek_before, validate_before) = timings.map_or((0, 0), |t| {
+        (
+            t.stage_nanos(Stage::PostingSeek),
+            t.stage_nanos(Stage::Validate),
+        )
+    });
+    let mut scan_ops: Vec<usize> = Vec::new();
     let seek_lo = match common_range {
         Some((lo, _)) if ctx.seeks => Some(lo),
         _ => None,
@@ -1113,23 +1269,64 @@ fn run_structural(
     // order enforcer); remaining exchanges add themselves when their
     // run detection never had to sort.
     let avoided = Rc::new(Cell::new(plan.sorts_avoided));
-    let open_scan = |cover_idx: usize| -> Result<Option<BoxStream<'_>>> {
-        open_source(
-            index,
-            &cover.subtrees[cover_idx].key,
-            ctx,
-            fetched.clone(),
-            meter.clone(),
-            tally.clone(),
-            seek_lo,
-            &seek_tally,
-        )
-    };
+    // When instrumenting, each scan writes its posting tallies into
+    // private cells (exact per-operator attribution with no work on
+    // the pull path); the cells fold back into the query totals after
+    // the drain. Kept here so the totals survive the operator drops.
+    let scan_cells: std::cell::RefCell<Vec<ScanSnap>> = std::cell::RefCell::new(Vec::new());
+    let open_scan =
+        |cover_idx: usize| -> Result<Option<(BoxStream<'_>, &'static str, Option<ScanSnap>)>> {
+            // Opening seeds the scan to the cover's common range start —
+            // the structural path's posting-seek work.
+            let _span = ctx.span(Stage::PostingSeek);
+            let (f, t, s) = if timings.is_some() {
+                (
+                    Rc::new(Cell::new(0usize)),
+                    Rc::new(CacheTally::default()),
+                    Rc::new(SeekTally::default()),
+                )
+            } else {
+                (fetched.clone(), tally.clone(), seek_tally.clone())
+            };
+            let opened = open_source(
+                index,
+                &cover.subtrees[cover_idx].key,
+                ctx,
+                f.clone(),
+                meter.clone(),
+                t.clone(),
+                seek_lo,
+                &s,
+            )?;
+            Ok(opened.map(|(stream, label)| {
+                let snap = timings.is_some().then(|| {
+                    scan_cells.borrow_mut().push(ScanSnap {
+                        fetched: f.clone(),
+                        tally: t.clone(),
+                        seeks: s.clone(),
+                    });
+                    ScanSnap {
+                        fetched: f,
+                        tally: t,
+                        seeks: s,
+                    }
+                });
+                (stream, label, snap)
+            }))
+        };
 
-    let Some(base) = open_scan(plan.base)? else {
+    let Some((base, base_label, base_snap)) = open_scan(plan.base)? else {
         return Ok(Vec::new());
     };
-    let mut stream: BoxStream<'_> = base;
+    let (mut stream, mut left_id) = wrap_op(
+        timings,
+        base,
+        base_label,
+        Some(plan.base),
+        vec![],
+        base_snap,
+    );
+    scan_ops.extend(left_id);
     for step in &plan.steps {
         let PlanStep {
             cover: ci,
@@ -1138,27 +1335,57 @@ fn run_structural(
             sort_left,
             sort_right,
         } = step;
-        let Some(scan) = open_scan(*ci)? else {
+        let Some((scan, scan_label, scan_snap)) = open_scan(*ci)? else {
             return Ok(Vec::new());
         };
-        let mut right: BoxStream<'_> = scan;
+        let (mut right, mut right_id) =
+            wrap_op(timings, scan, scan_label, Some(*ci), vec![], scan_snap);
+        scan_ops.extend(right_id);
         if let Some(slot) = sort_right {
-            right = Box::new(SortExchange::new(
+            let sorted: BoxStream<'_> = Box::new(SortExchange::new(
                 right,
                 *slot,
                 avoided.clone(),
                 meter.clone(),
             ));
+            (right, right_id) = wrap_op(
+                timings,
+                sorted,
+                &format!("sort (slot {slot})"),
+                None,
+                right_id.into_iter().collect(),
+                None,
+            );
         }
         if let Some(slot) = sort_left {
-            stream = Box::new(SortExchange::new(
+            let sorted: BoxStream<'_> = Box::new(SortExchange::new(
                 stream,
                 *slot,
                 avoided.clone(),
                 meter.clone(),
             ));
+            (stream, left_id) = wrap_op(
+                timings,
+                sorted,
+                &format!("sort (slot {slot})"),
+                None,
+                left_id.into_iter().collect(),
+                None,
+            );
         }
-        stream = match driving {
+        let join_label = match driving {
+            Some((JoinKind::Eq, ..)) => "merge-eq join",
+            Some((JoinKind::Parent, ..)) => match index.join_algo() {
+                crate::join::JoinAlgo::Mpmgjn => "mpmgjn parent",
+                crate::join::JoinAlgo::StackTree => "stack-tree parent",
+            },
+            Some((JoinKind::Ancestor, ..)) => match index.join_algo() {
+                crate::join::JoinAlgo::Mpmgjn => "mpmgjn ancestor",
+                crate::join::JoinAlgo::StackTree => "stack-tree ancestor",
+            },
+            None => "tid-cross join",
+        };
+        let joined: BoxStream<'_> = match driving {
             Some((JoinKind::Eq, l, rs)) => Box::new(MergeEqJoin::new(
                 stream,
                 right,
@@ -1196,6 +1423,14 @@ fn run_structural(
                 meter.clone(),
             )),
         };
+        (stream, left_id) = wrap_op(
+            timings,
+            joined,
+            join_label,
+            None,
+            left_id.into_iter().chain(right_id).collect(),
+            None,
+        );
         stats.joins += 1;
     }
 
@@ -1209,6 +1444,7 @@ fn run_structural(
         }
         tids.sort_unstable();
         tids.dedup();
+        let _span = ctx.span(Stage::Validate);
         validate_candidates_with(index, query, &tids, ctx.trees.as_deref(), stats)?
     } else {
         let root_slot = plan.root_slot.expect("projection slot planned");
@@ -1237,6 +1473,48 @@ fn run_structural(
         }
         matches
     };
+    // Flush the operator wrappers (their totals land in the timings on
+    // drop), then partition the run's wall time into stages: decode is
+    // the scan leaves' inclusive time, join is everything else in the
+    // drain once seeding and validation are taken back out.
+    drop(stream);
+    if let (Some(t), Some(start)) = (timings, run_start) {
+        let total = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let seek_delta = t.stage_nanos(Stage::PostingSeek) - seek_before;
+        let validate_delta = t.stage_nanos(Stage::Validate) - validate_before;
+        // Seek and validate were measured exactly by their spans; the
+        // remaining budget splits into decode (the scan leaves' clock-
+        // sampled inclusive time, capped so the sampled estimate can
+        // never push the stage sum past the wall) and join (the rest
+        // of the drain).
+        let budget = total.saturating_sub(seek_delta + validate_delta);
+        let decode: u64 = scan_ops.iter().map(|&id| t.op_nanos(id)).sum();
+        let decode = decode.min(budget);
+        t.add(Stage::Decode, decode);
+        t.add(Stage::Join, budget - decode);
+        if plan.needs_validation {
+            let vid = t.push_op("validate", None, left_id.into_iter().collect());
+            t.record_op(vid, validate_delta, matches.len() as u64, 0, 0, 0, 0);
+        }
+    }
+    // Fold the scans' private tallies (instrumented runs only; see
+    // `open_scan`) back into the query-wide cells before aggregating.
+    for snap in scan_cells.borrow().iter() {
+        fetched.set(fetched.get() + snap.fetched.get());
+        tally.hits.set(tally.hits.get() + snap.tally.hits.get());
+        tally
+            .misses
+            .set(tally.misses.get() + snap.tally.misses.get());
+        tally
+            .borrowed
+            .set(tally.borrowed.get() + snap.tally.borrowed.get());
+        seek_tally
+            .seeks
+            .set(seek_tally.seeks.get() + snap.seeks.seeks.get());
+        seek_tally
+            .postings_skipped
+            .set(seek_tally.postings_skipped.get() + snap.seeks.postings_skipped.get());
+    }
     stats.postings_fetched += fetched.get();
     stats.peak_posting_bytes = stats.peak_posting_bytes.max(meter.peak());
     stats.cache_hits += tally.hits.get();
@@ -1266,6 +1544,7 @@ fn eval_filter_streaming(
     // Per-key statistics: a missing key means no matches; disjoint tid
     // ranges prove the intersection empty before any list is opened
     // (exact stats only — the fallback estimate never prunes).
+    let plan_span = ctx.span(Stage::Plan);
     let mut key_stats: Vec<KeyStats> = Vec::with_capacity(cover.subtrees.len());
     for st in &cover.subtrees {
         match key_stats_cached(index, &st.key, ctx)? {
@@ -1292,31 +1571,40 @@ fn eval_filter_streaming(
     } else {
         None
     };
+    drop(plan_span);
 
     let meter = MemMeter::default();
     let fetched = Rc::new(Cell::new(0usize));
     let tally = Rc::new(CacheTally::default());
     let seek_tally = SeekTally::default();
+    let timings = ctx.timings.filter(|t| t.enabled());
     let use_seeks = ctx.seeks;
     let mut cursors: Vec<Box<dyn PostingFeed + '_>> = Vec::with_capacity(cover.subtrees.len());
-    for st in &cover.subtrees {
-        let Some(mut feed) = make_feed(index, &st.key, ctx, &tally)? else {
-            return Ok(EvalResult {
-                matches: Vec::new(),
-                stats: *stats,
-            });
-        };
-        // Seed each stream to the common range start: postings below
-        // max(first_tid) can never survive the intersection, so jump
-        // their restart blocks instead of decoding them.
-        if use_seeks {
-            if let Some((lo, _)) = range {
-                seek_tally.record(feed.seek_to_tid(lo)?);
+    {
+        let _span = ctx.span(Stage::PostingSeek);
+        for st in &cover.subtrees {
+            let Some(mut feed) = make_feed(index, &st.key, ctx, &tally)? else {
+                return Ok(EvalResult {
+                    matches: Vec::new(),
+                    stats: *stats,
+                });
+            };
+            // Seed each stream to the common range start: postings below
+            // max(first_tid) can never survive the intersection, so jump
+            // their restart blocks instead of decoding them.
+            if use_seeks {
+                if let Some((lo, _)) = range {
+                    seek_tally.record(feed.seek_to_tid(lo)?);
+                }
             }
+            cursors.push(feed);
         }
-        cursors.push(feed);
     }
     stats.joins = cursors.len().saturating_sub(1);
+    // Snapshot after seeding: only the seeks inside the merge loop are
+    // subtracted from its wall time below.
+    let seek_before = timings.map_or(0, |t| t.stage_nanos(Stage::PostingSeek));
+    let isect_start = timings.map(|_| std::time::Instant::now());
 
     let advance = |cursor: &mut Box<dyn PostingFeed + '_>| -> Result<Option<TreeId>> {
         let Some(p) = cursor.next_posting()? else {
@@ -1355,6 +1643,7 @@ fn eval_filter_streaming(
                 // postings undecoded), then drains the remainder of
                 // the block posting by posting as before.
                 if use_seeks && heads[i] < target {
+                    let _span = ctx.span(Stage::PostingSeek);
                     seek_tally.record(cursor.seek_to_tid(target)?);
                 }
                 while heads[i] < target {
@@ -1378,6 +1667,12 @@ fn eval_filter_streaming(
             }
         }
     }
+    // Stage attribution: the merge loop's wall time minus the seek time
+    // it contains is decode (pulling + comparing postings); the seeks
+    // themselves were recorded in place.
+    let isect_nanos = isect_start.map_or(0, |s| {
+        u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    });
     // Resident bytes: the cursor windows plus the candidate list.
     let windows: usize = cursors.iter().map(|c| c.peak_buffer_bytes()).sum();
     meter.add(windows + candidates.len() * std::mem::size_of::<TreeId>());
@@ -1387,7 +1682,35 @@ fn eval_filter_streaming(
     stats.postings_borrowed += tally.borrowed.get();
     stats.seeks += seek_tally.seeks.get();
     stats.postings_skipped += seek_tally.postings_skipped.get();
-    let matches = validate_candidates_with(index, query, &candidates, ctx.trees.as_deref(), stats)?;
+    let validate_before = timings.map_or(0, |t| t.stage_nanos(Stage::Validate));
+    let matches = {
+        let _span = ctx.span(Stage::Validate);
+        validate_candidates_with(index, query, &candidates, ctx.trees.as_deref(), stats)?
+    };
+    if let Some(t) = timings {
+        let seek_delta = t.stage_nanos(Stage::PostingSeek) - seek_before;
+        t.add(Stage::Decode, isect_nanos.saturating_sub(seek_delta));
+        let leap = t.push_op("tid leapfrog", None, Vec::new());
+        t.record_op(
+            leap,
+            isect_nanos,
+            candidates.len() as u64,
+            fetched.get() as u64,
+            tally.borrowed.get(),
+            seek_tally.postings_skipped.get(),
+            seek_tally.seeks.get(),
+        );
+        let vid = t.push_op("validate", None, vec![leap]);
+        t.record_op(
+            vid,
+            t.stage_nanos(Stage::Validate) - validate_before,
+            matches.len() as u64,
+            0,
+            0,
+            0,
+            0,
+        );
+    }
     stats.peak_posting_bytes = stats.peak_posting_bytes.max(meter.peak());
     Ok(EvalResult {
         matches,
@@ -1410,7 +1733,10 @@ pub fn evaluate_streaming_with(
     ctx: &ExecContext<'_>,
 ) -> Result<EvalResult> {
     let options = index.options();
-    let cover = decompose(query, options.mss, options.coding);
+    let cover = {
+        let _span = ctx.span(Stage::Canonicalize);
+        decompose(query, options.mss, options.coding)
+    };
     debug_assert_eq!(cover.validate(query, options.mss), Ok(()));
     let mut stats = EvalStats {
         covers: cover.subtrees.len(),
@@ -1424,6 +1750,7 @@ pub fn evaluate_streaming_with(
     // pre-stats index files) — the planner's only input. A missing key
     // means some cover subtree occurs nowhere: no matches, and no
     // posting list is ever opened.
+    let plan_span = ctx.span(Stage::Plan);
     let mut key_stats = Vec::with_capacity(cover.subtrees.len());
     for st in &cover.subtrees {
         match key_stats_cached(index, &st.key, ctx)? {
@@ -1463,6 +1790,7 @@ pub fn evaluate_streaming_with(
         ctx.planner,
         ctx.root_pref_factor,
     );
+    drop(plan_span);
     let matches = run_structural(index, query, &cover, &plan, ctx, common_range, &mut stats)?;
     Ok(EvalResult { matches, stats })
 }

@@ -45,6 +45,7 @@ pub use blockcache::{BlockCache, BlockCacheConfig, BlockCacheStats};
 pub use build::{IndexOptions, IndexStats, SubtreeIndex};
 pub use coding::Coding;
 pub use cover::{minrc, optimal_cover, Cover, CoverSubtree};
+pub use eval::{EvalResult, EvalStats};
 pub use exec::{ExecContext, ExecMode, SharedTuples};
 pub use extract::{extract_subtrees, SubtreeRef};
 pub use plan::PlannerMode;

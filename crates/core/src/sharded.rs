@@ -37,6 +37,7 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
+use si_obs::Stage;
 use si_parsetree::{LabelInterner, ParseTree, TreeId};
 use si_query::Query;
 use si_storage::{KeyStats, Result, ShardEntry, ShardManifest, StorageError};
@@ -393,8 +394,32 @@ impl ShardedIndex {
         planner: PlannerMode,
         root_pref_factor: f64,
     ) -> Result<EvalResult> {
+        let ctx = ExecContext {
+            planner,
+            root_pref_factor,
+            ..ExecContext::default()
+        };
+        self.evaluate_with(query, &ctx)
+    }
+
+    /// Scatter-gather evaluation honouring the context's planner
+    /// settings and timings. Per-shard resources are still built fresh
+    /// inside each worker (shard posting lists share canonical keys, so
+    /// one block cache must never span shards); when `ctx` carries
+    /// enabled timings each worker collects its own and the gather
+    /// phase folds every shard's snapshot in under a `shard-N` group
+    /// node, with the gather itself attributed to the merge stage.
+    /// Stage nanoseconds therefore sum **CPU time across shards**,
+    /// which exceeds wall time when workers run in parallel.
+    pub fn evaluate_with(&self, query: &Query, ctx: &ExecContext<'_>) -> Result<EvalResult> {
+        let planner = ctx.planner;
+        let root_pref_factor = ctx.root_pref_factor;
+        let timings = ctx.timings.filter(|t| t.enabled());
         let options = self.options();
-        let cover = decompose(query, options.mss, options.coding);
+        let cover = {
+            let _span = ctx.span(Stage::Canonicalize);
+            decompose(query, options.mss, options.coding)
+        };
         let mut stats = EvalStats {
             covers: cover.subtrees.len(),
             shards: self.shards.len(),
@@ -419,8 +444,9 @@ impl ShardedIndex {
         }
 
         // Scatter: evaluate live shards on a worker pool.
-        let results: Vec<Mutex<Option<EvalResult>>> =
-            live.iter().map(|_| Mutex::new(None)).collect();
+        let collect = timings.is_some();
+        type ShardSlot = Mutex<Option<(EvalResult, Option<si_obs::TimingsSnapshot>)>>;
+        let results: Vec<ShardSlot> = live.iter().map(|_| Mutex::new(None)).collect();
         let first_error: Mutex<Option<StorageError>> = Mutex::new(None);
         let next = AtomicUsize::new(0);
         let workers = self.query_threads.clamp(1, live.len());
@@ -432,6 +458,7 @@ impl ShardedIndex {
                     self.exec_mode,
                     planner,
                     root_pref_factor,
+                    collect,
                 )?);
             }
         } else {
@@ -450,6 +477,7 @@ impl ShardedIndex {
                                 self.exec_mode,
                                 planner,
                                 root_pref_factor,
+                                collect,
                             ) {
                                 Ok(result) => *results[slot].lock().unwrap() = Some(result),
                                 Err(e) => {
@@ -469,17 +497,22 @@ impl ShardedIndex {
 
         // Gather: tid-disjoint shard answers concatenate in shard order;
         // each is already sorted, so the global set is sorted too.
+        let merge_span = ctx.span(Stage::Merge);
         let mut matches: Vec<(TreeId, u32)> = Vec::new();
         for (slot, &i) in results.iter().zip(&live) {
-            let result = slot
+            let (result, snap) = slot
                 .lock()
                 .unwrap()
                 .take()
                 .expect("worker filled shard slot");
+            if let (Some(t), Some(snap)) = (timings, snap.as_ref()) {
+                t.absorb(snap, &format!("shard-{i}"));
+            }
             let base = self.manifest.shards[i].base;
             matches.extend(result.matches.iter().map(|&(tid, pre)| (base + tid, pre)));
             merge_shard_stats(&mut stats, &result.stats);
         }
+        drop(merge_span);
         Ok(EvalResult { matches, stats })
     }
 
@@ -671,29 +704,36 @@ pub fn shard_provably_empty_with(
 
 /// Evaluates `query` against one shard with a fresh default context,
 /// folding pager counter deltas into the stats the way
-/// [`SubtreeIndex::evaluate_with`] does.
+/// [`SubtreeIndex::evaluate_with`] does — thread-local snapshots, so
+/// each worker's delta is exactly its own shard's traffic even with the
+/// pool running shards in parallel. With `collect_timings` the worker
+/// records a private [`si_obs::Timings`] and returns its snapshot for
+/// the gather phase to fold in.
 fn eval_one_shard(
     shard: &SubtreeIndex,
     query: &Query,
     exec_mode: ExecMode,
     planner: PlannerMode,
     root_pref_factor: f64,
-) -> Result<EvalResult> {
+    collect_timings: bool,
+) -> Result<(EvalResult, Option<si_obs::TimingsSnapshot>)> {
+    let timings = collect_timings.then(|| si_obs::Timings::new(true));
     let ctx = ExecContext {
         planner,
         root_pref_factor,
+        timings: timings.as_ref(),
         ..ExecContext::default()
     };
-    let before = shard.pager_counters();
+    let before = si_storage::thread_counters();
     let mut result = match exec_mode {
         ExecMode::Streaming => crate::exec::evaluate_streaming_with(shard, query, &ctx),
         ExecMode::Materialized => crate::eval::evaluate(shard, query),
     }?;
-    let after = shard.pager_counters();
+    let after = si_storage::thread_counters();
     result.stats.pager_hits = after.hits.saturating_sub(before.hits);
     result.stats.pager_misses = after.misses.saturating_sub(before.misses);
     result.stats.pager_evictions = after.evictions.saturating_sub(before.evictions);
-    Ok(result)
+    Ok((result, timings.map(|t| t.snapshot())))
 }
 
 /// Folds one shard's evaluation stats into the gathered totals. Counters
@@ -770,14 +810,14 @@ impl AnyIndex {
         }
     }
 
-    /// Evaluates `query`; `ctx` applies to the monolithic path (the
-    /// sharded path builds per-shard contexts itself and honours only
-    /// `ctx.planner` — shard posting lists share canonical keys, so one
-    /// block cache must never span shards).
+    /// Evaluates `query`; `ctx` applies fully to the monolithic path.
+    /// The sharded path builds per-shard contexts itself and honours
+    /// the planner settings and timings only — shard posting lists
+    /// share canonical keys, so one block cache must never span shards.
     pub fn evaluate_with(&self, query: &Query, ctx: &ExecContext<'_>) -> Result<EvalResult> {
         match self {
             AnyIndex::Mono(i) => i.evaluate_with(query, ctx),
-            AnyIndex::Sharded(i) => i.evaluate_with_prefs(query, ctx.planner, ctx.root_pref_factor),
+            AnyIndex::Sharded(i) => i.evaluate_with(query, ctx),
         }
     }
 

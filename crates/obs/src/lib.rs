@@ -1,0 +1,27 @@
+//! Observability primitives for the Subtree Index engine.
+//!
+//! Three layers, all `std`-only and allocation-free on their hot paths:
+//!
+//! * [`metrics`] — lock-free [`Counter`]s, [`Gauge`]s and log-linear
+//!   (HDR-style) [`Histogram`]s with p50/p90/p99/p999 quantile readout,
+//!   plus a named [`Registry`] for long-lived processes (the query
+//!   service's cumulative latency distribution lives in one).
+//! * [`timings`] — per-query [`Timings`]: nanosecond attribution to
+//!   named pipeline [`Stage`]s (parse, canonicalize, plan,
+//!   posting-seek, decode, join, validate, merge) plus a per-operator
+//!   node tree the streaming executor fills in. A disabled `Timings`
+//!   (and an absent one) costs the instrumented code one branch.
+//! * [`json`] — the hand-rolled JSON escapes the trace sinks share
+//!   (this workspace links no external crates).
+//!
+//! [`TimingsSnapshot`] is the plain-data hand-off: workers snapshot
+//! their per-query `Timings`, snapshots travel across threads, merge
+//! across shards and serialize to the `--trace-json` sink.
+
+pub mod json;
+pub mod metrics;
+pub mod timings;
+
+pub use json::json_escape;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, Registry};
+pub use timings::{OpNode, Stage, StageSpan, Timings, TimingsSnapshot, STAGE_COUNT};

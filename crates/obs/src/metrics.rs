@@ -1,0 +1,478 @@
+//! Lock-free metrics: counters, gauges and log-linear histograms.
+//!
+//! Everything here is shared by `&` across threads and records through
+//! relaxed atomics — no mutex, no allocation after construction. The
+//! histogram is the HDR idea at fixed precision: one octave of values
+//! per bucket *group*, `SUB` linear sub-buckets per group, so any
+//! recorded value lands in a bucket whose width is at most `value /
+//! SUB` (≈3% relative error) and quantile readout is a single
+//! cumulative walk.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing event count.
+#[derive(Default, Debug)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A signed instantaneous level (queue depths, resident bytes).
+#[derive(Default, Debug)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Replaces the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Moves the level by `delta` (negative to decrease).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Sub-buckets per octave: 2^5 = 32 linear steps inside each power of
+/// two, bounding quantile error at ~1/32 of the value.
+const SUB_BITS: u32 = 5;
+const SUB: u64 = 1 << SUB_BITS;
+/// Bucket count covering the full `u64` range: values below `2·SUB`
+/// get exact unit buckets, every octave above contributes `SUB` more.
+const BUCKETS: usize = ((63 - SUB_BITS as usize) << SUB_BITS as usize) + 2 * SUB as usize;
+
+/// Bucket index of `v` (monotone in `v`).
+fn bucket_index(v: u64) -> usize {
+    if v < 2 * SUB {
+        v as usize
+    } else {
+        let msb = 63 - u64::from(v.leading_zeros());
+        let shift = msb - u64::from(SUB_BITS);
+        ((shift << SUB_BITS) + (v >> shift)) as usize
+    }
+}
+
+/// Inclusive `[lo, hi]` value range of bucket `i` (unit-width below
+/// `2·SUB`, width `2^group` above).
+fn bucket_bounds(i: usize) -> (u64, u64) {
+    if i < 2 * SUB as usize {
+        (i as u64, i as u64)
+    } else {
+        let g = (i as u64 >> SUB_BITS) - 1;
+        let top = i as u64 - (g << SUB_BITS);
+        let lo = top << g;
+        // `(top + 1) << g` would overflow on the topmost bucket; adding
+        // the bucket width minus one is equivalent and stays in range.
+        (lo, lo + ((1u64 << g) - 1))
+    }
+}
+
+/// A lock-free log-linear histogram of `u64` samples (nanoseconds, by
+/// convention). Recording touches four relaxed atomics and allocates
+/// nothing; reading walks the bucket array. Suitable for sharing by
+/// `&`/`Arc` across recording threads.
+pub struct Histogram {
+    counts: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            counts: (0..BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample. Lock-free, allocation-free.
+    pub fn record(&self, v: u64) {
+        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.min.fetch_min(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a wall-clock duration in nanoseconds.
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Records a latency given in (non-negative) seconds, as nanoseconds.
+    pub fn record_secs(&self, secs: f64) {
+        self.record((secs.max(0.0) * 1e9) as u64);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded samples (wraps only past `u64::MAX` total).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        let v = self.min.load(Ordering::Relaxed);
+        if v == u64::MAX {
+            0
+        } else {
+            v
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) of the recorded samples: the
+    /// representative value of the bucket holding the sample of rank
+    /// `ceil(q · count)` — the same rank a sorted vector would select,
+    /// so the readout is exact up to the bucket's ~3% width. Returns 0
+    /// on an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut cum = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cum += c.load(Ordering::Relaxed);
+            if cum >= rank {
+                let (lo, hi) = bucket_bounds(i);
+                return lo + (hi - lo) / 2;
+            }
+        }
+        self.max()
+    }
+
+    /// Folds `other`'s samples into `self` bucket-by-bucket. Merging is
+    /// associative and commutative (each bucket is a plain sum), so
+    /// per-shard histograms can be gathered in any order.
+    pub fn merge_from(&self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter().zip(other.counts.iter()) {
+            let n = theirs.load(Ordering::Relaxed);
+            if n > 0 {
+                mine.fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum
+            .fetch_add(other.sum.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.min
+            .fetch_min(other.min.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max
+            .fetch_max(other.max.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Point-in-time summary with the standard quantile set.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count(),
+            sum: self.sum(),
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+        }
+    }
+
+    /// Per-bucket counts, for equality in tests.
+    #[doc(hidden)]
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+}
+
+/// Plain-data snapshot of a [`Histogram`]: count, extrema and the
+/// p50/p90/p99/p999 quantiles (same unit as the samples, nanoseconds by
+/// convention).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Recorded samples.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Median.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
+}
+
+impl HistogramSummary {
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A named-metric registry for long-lived processes: get-or-create by
+/// name behind one mutex, record through the returned `Arc` without
+/// ever touching the registry again (the record path stays lock-free).
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<Counter>>>,
+    gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
+    histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Snapshot of every histogram, sorted by name.
+    pub fn histogram_summaries(&self) -> Vec<(String, HistogramSummary)> {
+        let map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+        map.iter().map(|(k, h)| (k.clone(), h.summary())).collect()
+    }
+
+    /// Snapshot of every counter, sorted by name.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        let map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+        map.iter().map(|(k, c)| (k.clone(), c.get())).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// xorshift64* — deterministic, dependency-free test randomness.
+    struct Rng(u64);
+
+    impl Rng {
+        fn next(&mut self) -> u64 {
+            self.0 ^= self.0 << 13;
+            self.0 ^= self.0 >> 7;
+            self.0 ^= self.0 << 17;
+            self.0.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounds_invert_it() {
+        let probes = [
+            0u64,
+            1,
+            31,
+            63,
+            64,
+            65,
+            127,
+            128,
+            1000,
+            4096,
+            1 << 20,
+            (1 << 40) + 12345,
+            u64::MAX / 2,
+            u64::MAX,
+        ];
+        let mut last = 0usize;
+        for (n, &v) in probes.iter().enumerate() {
+            let i = bucket_index(v);
+            assert!(i < BUCKETS, "index {i} out of range for {v}");
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo <= v && v <= hi, "{v} outside bucket [{lo}, {hi}]");
+            if n > 0 {
+                assert!(i >= last, "index not monotone at {v}");
+            }
+            last = i;
+        }
+        // Adjacent buckets tile the line with no gaps.
+        for i in 0..BUCKETS - 1 {
+            let (_, hi) = bucket_bounds(i);
+            let (lo, _) = bucket_bounds(i + 1);
+            assert_eq!(hi + 1, lo, "gap between buckets {i} and {}", i + 1);
+        }
+    }
+
+    /// Randomized differential test: histogram quantiles vs the exact
+    /// sorted-vector quantile at the same rank, across value ranges
+    /// spanning nanoseconds to hours. The histogram must land in the
+    /// same bucket as the exact answer, i.e. within one bucket width.
+    #[test]
+    fn quantiles_match_sorted_vector_within_bucket_width() {
+        let mut rng = Rng(0x5EED_0001);
+        for &span in &[100u64, 10_000, 1_000_000, 10_000_000_000, u64::MAX / 2] {
+            let h = Histogram::new();
+            let mut exact: Vec<u64> = Vec::new();
+            for _ in 0..5000 {
+                let v = rng.next() % span;
+                h.record(v);
+                exact.push(v);
+            }
+            exact.sort_unstable();
+            for &q in &[0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+                let rank = ((q * exact.len() as f64).ceil() as usize).clamp(1, exact.len());
+                let want = exact[rank - 1];
+                let got = h.quantile(q);
+                let (lo, hi) = bucket_bounds(bucket_index(want));
+                assert!(
+                    lo <= got && got <= hi,
+                    "span {span} q {q}: got {got}, exact {want} in bucket [{lo}, {hi}]"
+                );
+            }
+            assert_eq!(h.min(), exact[0]);
+            assert_eq!(h.max(), *exact.last().unwrap());
+            assert_eq!(h.count(), exact.len() as u64);
+        }
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let mut rng = Rng(42);
+        let parts: Vec<Vec<u64>> = (0..3)
+            .map(|_| (0..1000).map(|_| rng.next() % 1_000_000).collect())
+            .collect();
+        let hist = |values: &[&[u64]]| {
+            let h = Histogram::new();
+            for vs in values {
+                for &v in *vs {
+                    h.record(v);
+                }
+            }
+            h
+        };
+        // (a ⊕ b) ⊕ c
+        let left = hist(&[&parts[0], &parts[1]]);
+        left.merge_from(&hist(&[&parts[2]]));
+        // a ⊕ (b ⊕ c)
+        let right = hist(&[&parts[0]]);
+        let bc = hist(&[&parts[1], &parts[2]]);
+        right.merge_from(&bc);
+        assert_eq!(left.bucket_counts(), right.bucket_counts());
+        assert_eq!(left.summary(), right.summary());
+    }
+
+    #[test]
+    fn counters_gauges_and_registry() {
+        let r = Registry::new();
+        r.counter("queries").add(3);
+        r.counter("queries").inc();
+        assert_eq!(r.counter("queries").get(), 4);
+        r.gauge("depth").set(7);
+        r.gauge("depth").add(-2);
+        assert_eq!(r.gauge("depth").get(), 5);
+        r.histogram("latency").record(100);
+        let sums = r.histogram_summaries();
+        assert_eq!(sums.len(), 1);
+        assert_eq!(sums[0].0, "latency");
+        assert_eq!(sums[0].1.count, 1);
+        assert_eq!(r.counter_values(), vec![("queries".to_owned(), 4)]);
+    }
+
+    #[test]
+    fn empty_histogram_reads_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 0);
+        let s = h.summary();
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.p999, 0);
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = std::sync::Arc::new(Histogram::new());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let h = h.clone();
+                scope.spawn(move || {
+                    for i in 0..10_000u64 {
+                        h.record(t * 10_000 + i);
+                    }
+                });
+            }
+        });
+        assert_eq!(h.count(), 40_000);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), 39_999);
+    }
+}

@@ -1,0 +1,468 @@
+//! Per-query timing spans and per-operator node timings.
+//!
+//! One [`Timings`] lives for one query evaluation on one thread
+//! (interior mutability through `Cell`/`RefCell`, the same shape as the
+//! executor's shared tallies). Instrumented code holds an
+//! `Option<&Timings>`; a `None` — or a `Timings` built disabled —
+//! costs exactly one branch, which is what lets the instrumentation
+//! stay compiled into the hot paths. [`Timings::snapshot`] turns the
+//! accumulated state into a [`TimingsSnapshot`] — plain `Send` data
+//! that crosses worker threads, merges across shards
+//! ([`TimingsSnapshot::absorb`]) and serializes to the JSON trace sink.
+
+use std::cell::{Cell, RefCell};
+use std::time::Instant;
+
+use crate::json::json_escape;
+
+/// The named pipeline stages nanoseconds are attributed to. `Decode`
+/// and `Join` are derived from the operator tree (scan self-time vs
+/// everything else in the drain); the rest are direct span
+/// measurements at their call sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Query-text parsing (CLI/service front door).
+    Parse,
+    /// Cover decomposition + canonical-key construction.
+    Canonicalize,
+    /// Statistics probes + join-order planning.
+    Plan,
+    /// Restart-block seeks: scan seeding and leapfrog jumps.
+    PostingSeek,
+    /// Posting decode: scan operators pulling off feeds.
+    Decode,
+    /// Join/sort operators and the drain loop around them.
+    Join,
+    /// Candidate validation against decoded trees.
+    Validate,
+    /// Gathering shard answers / batch result merging.
+    Merge,
+}
+
+/// Number of [`Stage`] variants.
+pub const STAGE_COUNT: usize = 8;
+
+impl Stage {
+    /// Every stage, in pipeline order.
+    pub const ALL: [Stage; STAGE_COUNT] = [
+        Stage::Parse,
+        Stage::Canonicalize,
+        Stage::Plan,
+        Stage::PostingSeek,
+        Stage::Decode,
+        Stage::Join,
+        Stage::Validate,
+        Stage::Merge,
+    ];
+
+    /// Stable lowercase name (JSON keys, CLI output).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Parse => "parse",
+            Stage::Canonicalize => "canonicalize",
+            Stage::Plan => "plan",
+            Stage::PostingSeek => "posting-seek",
+            Stage::Decode => "decode",
+            Stage::Join => "join",
+            Stage::Validate => "validate",
+            Stage::Merge => "merge",
+        }
+    }
+
+    fn idx(self) -> usize {
+        match self {
+            Stage::Parse => 0,
+            Stage::Canonicalize => 1,
+            Stage::Plan => 2,
+            Stage::PostingSeek => 3,
+            Stage::Decode => 4,
+            Stage::Join => 5,
+            Stage::Validate => 6,
+            Stage::Merge => 7,
+        }
+    }
+}
+
+/// One operator in the executed plan tree, with its measured inclusive
+/// time and the counters attributable to it. `children` index into the
+/// owning snapshot's `ops` vector; a node referenced by no other node
+/// is a root.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpNode {
+    /// Operator name (`scan`, `shared scan`, `merge-eq join`, …).
+    pub label: String,
+    /// Cover-subtree index for scan nodes (lets callers render the
+    /// canonical key behind the scan).
+    pub cover: Option<usize>,
+    /// Child operator indices (inputs of a join, the wrapped input of
+    /// a sort).
+    pub children: Vec<usize>,
+    /// Inclusive wall nanoseconds spent inside this operator's pulls
+    /// (children included — subtract theirs for self-time).
+    pub nanos: u64,
+    /// Tuples this operator emitted.
+    pub rows: u64,
+    /// Postings decoded by this scan.
+    pub postings_fetched: u64,
+    /// Postings served zero-copy from cache-hit blocks.
+    pub postings_borrowed: u64,
+    /// Postings skipped undecoded by seeks on this scan.
+    pub postings_skipped: u64,
+    /// Seeks this scan performed.
+    pub seeks: u64,
+}
+
+/// Accumulates one query's stage nanoseconds and operator tree. See the
+/// module docs for the threading model.
+pub struct Timings {
+    enabled: bool,
+    stages: [Cell<u64>; STAGE_COUNT],
+    ops: RefCell<Vec<OpNode>>,
+}
+
+impl Timings {
+    /// A fresh accumulator. `enabled == false` builds the disabled
+    /// variant every record call bails out of after one branch — the
+    /// configuration the overhead bench measures.
+    pub fn new(enabled: bool) -> Self {
+        Self {
+            enabled,
+            stages: Default::default(),
+            ops: RefCell::new(Vec::new()),
+        }
+    }
+
+    /// Whether recording is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Adds `nanos` to `stage`.
+    pub fn add(&self, stage: Stage, nanos: u64) {
+        if !self.enabled {
+            return;
+        }
+        let cell = &self.stages[stage.idx()];
+        cell.set(cell.get() + nanos);
+    }
+
+    /// Nanoseconds attributed to `stage` so far.
+    pub fn stage_nanos(&self, stage: Stage) -> u64 {
+        self.stages[stage.idx()].get()
+    }
+
+    /// An RAII span: measures from now until drop and adds the elapsed
+    /// nanoseconds to `stage`. Disabled timings never read the clock.
+    pub fn span(&self, stage: Stage) -> StageSpan<'_> {
+        StageSpan {
+            target: self.enabled.then(|| (self, stage, Instant::now())),
+        }
+    }
+
+    /// Appends an operator node and returns its index. No-op (returns
+    /// 0) when disabled — callers guard on [`Timings::enabled`] anyway.
+    pub fn push_op(&self, label: &str, cover: Option<usize>, children: Vec<usize>) -> usize {
+        if !self.enabled {
+            return 0;
+        }
+        let mut ops = self.ops.borrow_mut();
+        ops.push(OpNode {
+            label: label.to_owned(),
+            cover,
+            children,
+            ..OpNode::default()
+        });
+        ops.len() - 1
+    }
+
+    /// Folds measured totals into operator `id` (the flush point of the
+    /// executor's stream wrappers).
+    #[allow(clippy::too_many_arguments)]
+    pub fn record_op(
+        &self,
+        id: usize,
+        nanos: u64,
+        rows: u64,
+        postings_fetched: u64,
+        postings_borrowed: u64,
+        postings_skipped: u64,
+        seeks: u64,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        let mut ops = self.ops.borrow_mut();
+        let op = &mut ops[id];
+        op.nanos += nanos;
+        op.rows += rows;
+        op.postings_fetched += postings_fetched;
+        op.postings_borrowed += postings_borrowed;
+        op.postings_skipped += postings_skipped;
+        op.seeks += seeks;
+    }
+
+    /// Inclusive nanoseconds recorded for operator `id` so far.
+    pub fn op_nanos(&self, id: usize) -> u64 {
+        self.ops.borrow().get(id).map_or(0, |op| op.nanos)
+    }
+
+    /// Plain-data copy of the accumulated state.
+    pub fn snapshot(&self) -> TimingsSnapshot {
+        let mut stage_nanos = [0u64; STAGE_COUNT];
+        for (out, cell) in stage_nanos.iter_mut().zip(self.stages.iter()) {
+            *out = cell.get();
+        }
+        TimingsSnapshot {
+            stage_nanos,
+            ops: self.ops.borrow().clone(),
+        }
+    }
+
+    /// Folds a snapshot (a shard's, say) into this accumulator: stage
+    /// nanoseconds add, and the snapshot's operator forest is appended
+    /// under a fresh group node labeled `group_label`.
+    pub fn absorb(&self, snap: &TimingsSnapshot, group_label: &str) {
+        if !self.enabled {
+            return;
+        }
+        for (stage, &n) in Stage::ALL.iter().zip(snap.stage_nanos.iter()) {
+            self.add(*stage, n);
+        }
+        let mut ops = self.ops.borrow_mut();
+        let base = ops.len();
+        for op in &snap.ops {
+            let mut op = op.clone();
+            for c in &mut op.children {
+                *c += base;
+            }
+            ops.push(op);
+        }
+        let roots: Vec<usize> = snap.roots().iter().map(|&r| r + base).collect();
+        let nanos = snap.ops.iter().enumerate().fold(0, |acc, (i, op)| {
+            if roots.contains(&(i + base)) {
+                acc + op.nanos
+            } else {
+                acc
+            }
+        });
+        let rows = roots.iter().map(|&r| ops[r].rows).sum();
+        ops.push(OpNode {
+            label: group_label.to_owned(),
+            cover: None,
+            children: roots,
+            nanos,
+            rows,
+            ..OpNode::default()
+        });
+    }
+}
+
+/// RAII guard of [`Timings::span`].
+pub struct StageSpan<'a> {
+    target: Option<(&'a Timings, Stage, Instant)>,
+}
+
+impl Drop for StageSpan<'_> {
+    fn drop(&mut self) {
+        if let Some((t, stage, start)) = self.target.take() {
+            t.add(
+                stage,
+                u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            );
+        }
+    }
+}
+
+/// Plain-data snapshot of a [`Timings`]: `Send + Sync`, mergeable, and
+/// the unit the JSON trace sink serializes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimingsSnapshot {
+    /// Nanoseconds per stage, indexed like [`Stage::ALL`].
+    pub stage_nanos: [u64; STAGE_COUNT],
+    /// The operator forest (see [`OpNode::children`]).
+    pub ops: Vec<OpNode>,
+}
+
+impl TimingsSnapshot {
+    /// Nanoseconds attributed to `stage`.
+    pub fn stage(&self, stage: Stage) -> u64 {
+        self.stage_nanos[stage.idx()]
+    }
+
+    /// Sum over all stages — the span-accounted fraction of the query's
+    /// wall time.
+    pub fn stage_total(&self) -> u64 {
+        self.stage_nanos.iter().sum()
+    }
+
+    /// Indices of operator nodes no other node references — the tree
+    /// roots, in insertion order.
+    pub fn roots(&self) -> Vec<usize> {
+        let mut is_child = vec![false; self.ops.len()];
+        for op in &self.ops {
+            for &c in &op.children {
+                is_child[c] = true;
+            }
+        }
+        (0..self.ops.len()).filter(|&i| !is_child[i]).collect()
+    }
+
+    /// Folds `other` into `self` the way [`Timings::absorb`] does:
+    /// stage nanoseconds add, operators append under a group node.
+    pub fn absorb(&mut self, other: &TimingsSnapshot, group_label: &str) {
+        for (mine, theirs) in self.stage_nanos.iter_mut().zip(other.stage_nanos.iter()) {
+            *mine += theirs;
+        }
+        let base = self.ops.len();
+        for op in &other.ops {
+            let mut op = op.clone();
+            for c in &mut op.children {
+                *c += base;
+            }
+            self.ops.push(op);
+        }
+        let roots: Vec<usize> = other.roots().iter().map(|&r| r + base).collect();
+        let nanos = roots.iter().map(|&r| self.ops[r].nanos).sum();
+        let rows = roots.iter().map(|&r| self.ops[r].rows).sum();
+        self.ops.push(OpNode {
+            label: group_label.to_owned(),
+            cover: None,
+            children: roots,
+            nanos,
+            rows,
+            ..OpNode::default()
+        });
+    }
+
+    /// Serializes the snapshot as a JSON object fragment
+    /// (`{"stages": {...}, "ops": [...]}`) appended to `out`. Stages
+    /// with zero nanoseconds are kept so the schema is stable.
+    pub fn write_json(&self, out: &mut String) {
+        out.push_str("{\"stages\":{");
+        for (i, stage) in Stage::ALL.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", stage.name(), self.stage(*stage)));
+        }
+        out.push_str("},\"ops\":[");
+        for (i, op) in self.ops.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"label\":\"{}\",\"nanos\":{},\"rows\":{}",
+                json_escape(&op.label),
+                op.nanos,
+                op.rows
+            ));
+            if let Some(cover) = op.cover {
+                out.push_str(&format!(",\"cover\":{cover}"));
+            }
+            if op.postings_fetched + op.postings_borrowed + op.postings_skipped + op.seeks > 0 {
+                out.push_str(&format!(
+                    ",\"postings_fetched\":{},\"postings_borrowed\":{},\"postings_skipped\":{},\"seeks\":{}",
+                    op.postings_fetched, op.postings_borrowed, op.postings_skipped, op.seeks
+                ));
+            }
+            out.push_str(",\"children\":[");
+            for (j, c) in op.children.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&c.to_string());
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_timings_record_nothing() {
+        let t = Timings::new(false);
+        t.add(Stage::Join, 100);
+        {
+            let _s = t.span(Stage::Plan);
+        }
+        let id = t.push_op("scan", Some(0), vec![]);
+        t.record_op(id, 5, 5, 0, 0, 0, 0);
+        let snap = t.snapshot();
+        assert_eq!(snap.stage_total(), 0);
+        assert!(snap.ops.is_empty());
+    }
+
+    #[test]
+    fn spans_and_ops_accumulate() {
+        let t = Timings::new(true);
+        t.add(Stage::Decode, 40);
+        t.add(Stage::Decode, 2);
+        {
+            let _s = t.span(Stage::Plan);
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(t.stage_nanos(Stage::Decode), 42);
+        assert!(t.stage_nanos(Stage::Plan) >= 1_000_000);
+        let scan = t.push_op("scan", Some(1), vec![]);
+        let join = t.push_op("join", None, vec![scan]);
+        t.record_op(scan, 10, 3, 7, 1, 2, 1);
+        t.record_op(join, 25, 2, 0, 0, 0, 0);
+        assert_eq!(t.op_nanos(join), 25);
+        let snap = t.snapshot();
+        assert_eq!(snap.roots(), vec![join]);
+        assert_eq!(snap.ops[scan].postings_fetched, 7);
+        assert_eq!(snap.ops[join].rows, 2);
+    }
+
+    #[test]
+    fn absorb_groups_a_shard_forest() {
+        let shard = {
+            let t = Timings::new(true);
+            t.add(Stage::Decode, 100);
+            let s = t.push_op("scan", Some(0), vec![]);
+            let j = t.push_op("join", None, vec![s]);
+            t.record_op(s, 60, 10, 10, 0, 0, 0);
+            t.record_op(j, 90, 4, 0, 0, 0, 0);
+            t.snapshot()
+        };
+        let total = Timings::new(true);
+        total.absorb(&shard, "shard-0");
+        total.absorb(&shard, "shard-1");
+        let snap = total.snapshot();
+        assert_eq!(snap.stage(Stage::Decode), 200);
+        // Two group roots, each holding a two-node subtree.
+        let roots = snap.roots();
+        assert_eq!(roots.len(), 2);
+        for r in roots {
+            assert_eq!(snap.ops[r].label.as_str().split('-').next(), Some("shard"));
+            assert_eq!(snap.ops[r].children.len(), 1);
+            assert_eq!(snap.ops[r].rows, 4);
+            let j = snap.ops[r].children[0];
+            assert_eq!(snap.ops[j].label, "join");
+            assert_eq!(snap.ops[snap.ops[j].children[0]].label, "scan");
+        }
+        // Snapshot-level absorb agrees with Timings-level absorb.
+        let mut a = shard.clone();
+        a.absorb(&shard, "shard-1");
+        assert_eq!(a.stage(Stage::Decode), 200);
+    }
+
+    #[test]
+    fn json_fragment_is_well_formed() {
+        let t = Timings::new(true);
+        t.add(Stage::Parse, 5);
+        let s = t.push_op("scan \"quoted\"", Some(0), vec![]);
+        t.record_op(s, 10, 1, 2, 0, 0, 0);
+        let mut out = String::new();
+        t.snapshot().write_json(&mut out);
+        assert!(out.starts_with('{') && out.ends_with('}'));
+        assert!(out.contains("\"parse\":5"));
+        assert!(out.contains("\\\"quoted\\\""));
+        assert!(out.contains("\"postings_fetched\":2"));
+        assert_eq!(out.matches('{').count(), out.matches('}').count());
+    }
+}

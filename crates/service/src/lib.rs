@@ -38,6 +38,7 @@ use si_core::join::Tuple;
 use si_core::sharded::{merge_shard_stats, shard_provably_empty_with, ShardedIndex};
 use si_core::stats::{intersect_tid_ranges, key_stats_cached, KeyStats, StatsCache};
 use si_core::{BlockCache, BlockCacheConfig, BlockCacheStats, Coding, SubtreeIndex};
+use si_obs::{Histogram, HistogramSummary, Timings, TimingsSnapshot};
 use si_query::Query;
 use si_storage::{Result, StorageError};
 
@@ -65,6 +66,12 @@ pub struct ServiceConfig {
     /// block cache's lazy per-block sharing instead. Base-scan keys are
     /// always drained fully and are shared regardless of size.
     pub shared_scan_max_bytes: u64,
+    /// Collect per-query timing spans ([`si_obs::Timings`]) into every
+    /// [`QueryOutcome::timings`]. Off by default: workers then pass no
+    /// accumulator at all, so the executor's instrumented paths cost
+    /// one branch. Latency histograms are always recorded — they cost
+    /// four relaxed atomics per query.
+    pub collect_timings: bool,
 }
 
 impl Default for ServiceConfig {
@@ -78,6 +85,7 @@ impl Default for ServiceConfig {
             shared_scan_min: 2,
             shared_scan_max_bytes: 64 << 10,
             shared_pool_budget_bytes: 64 << 20,
+            collect_timings: false,
         }
     }
 }
@@ -93,6 +101,11 @@ pub struct QueryOutcome {
     /// Wall-clock seconds this query spent in its worker (queueing
     /// excluded).
     pub seconds: f64,
+    /// Stage/operator timing snapshot, when the service was configured
+    /// with [`ServiceConfig::collect_timings`]. For a sharded service
+    /// the per-shard snapshots are folded in under `shard-N` group
+    /// nodes.
+    pub timings: Option<TimingsSnapshot>,
 }
 
 /// The result of [`QueryService::run_batch`].
@@ -107,6 +120,10 @@ pub struct BatchReport {
     pub shared_keys: usize,
     /// Total pipelines fed by shared scans (each saved its own decode).
     pub shared_consumers: usize,
+    /// This batch's per-query latency distribution (nanoseconds):
+    /// count/min/max and p50/p90/p99/p999 from the shared log-linear
+    /// histogram type.
+    pub latency: HistogramSummary,
 }
 
 impl BatchReport {
@@ -261,6 +278,10 @@ pub struct QueryService {
     /// pre-decoded across batches (the index is read-only) and cold
     /// ones are evicted as the workload rotates.
     shared_pool: Mutex<TuplePool>,
+    /// Cumulative per-query latency histogram (nanoseconds), recorded
+    /// for every query the service ever ran. Lock-free: workers record
+    /// straight into the shared atomics.
+    latency: Histogram,
     config: ServiceConfig,
 }
 
@@ -275,8 +296,15 @@ impl QueryService {
             stats: StatsCache::default(),
             trees: Arc::new(TreeCache::default()),
             shared_pool: Mutex::new(TuplePool::new(config.shared_pool_budget_bytes)),
+            latency: Histogram::new(),
             config,
         }
+    }
+
+    /// Cumulative per-query latency quantiles (nanoseconds) across
+    /// every batch this service has run.
+    pub fn latency_summary(&self) -> HistogramSummary {
+        self.latency.summary()
     }
 
     /// Admits a freshly decoded shared vector into the cross-batch pool
@@ -322,6 +350,7 @@ impl QueryService {
                 wall_seconds: started.elapsed().as_secs_f64(),
                 shared_keys: 0,
                 shared_consumers: 0,
+                latency: HistogramSummary::default(),
             });
         }
         let threads = self.config.threads.max(1).min(queries.len());
@@ -464,11 +493,29 @@ impl QueryService {
                         let i = next_query.fetch_add(1, Ordering::Relaxed);
                         let Some(query) = queries.get(i) else { break };
                         let q_started = Instant::now();
-                        match self.index.evaluate_with(query, &ctx) {
+                        // A `Timings` is single-threaded state, so an
+                        // instrumented run gets a fresh one per query;
+                        // the uninstrumented path reuses the worker's
+                        // context untouched.
+                        let timings = self.config.collect_timings.then(|| Timings::new(true));
+                        let eval = match &timings {
+                            Some(t) => {
+                                let q_ctx = ExecContext {
+                                    timings: Some(t),
+                                    ..ctx.clone()
+                                };
+                                self.index.evaluate_with(query, &q_ctx)
+                            }
+                            None => self.index.evaluate_with(query, &ctx),
+                        };
+                        match eval {
                             Ok(result) => {
+                                let seconds = q_started.elapsed().as_secs_f64();
+                                self.latency.record_secs(seconds);
                                 *slots[i].lock().unwrap() = Some(QueryOutcome {
                                     result,
-                                    seconds: q_started.elapsed().as_secs_f64(),
+                                    seconds,
+                                    timings: timings.map(|t| t.snapshot()),
                                 });
                             }
                             Err(e) => {
@@ -484,17 +531,29 @@ impl QueryService {
         if let Some(e) = first_error.lock().unwrap().take() {
             return Err(e);
         }
-        let outcomes = slots
+        let outcomes: Vec<QueryOutcome> = slots
             .into_iter()
             .map(|slot| slot.into_inner().unwrap().expect("worker filled slot"))
             .collect();
         Ok(BatchReport {
+            latency: batch_latency(&outcomes),
             outcomes,
             wall_seconds: started.elapsed().as_secs_f64(),
             shared_keys: shared_keys.len(),
             shared_consumers,
         })
     }
+}
+
+/// This batch's latency distribution, from the per-outcome worker
+/// seconds (same histogram type as the cumulative services record
+/// into, so quantile resolution matches everywhere).
+fn batch_latency(outcomes: &[QueryOutcome]) -> HistogramSummary {
+    let h = Histogram::new();
+    for o in outcomes {
+        h.record_secs(o.seconds);
+    }
+    h.summary()
 }
 
 /// The batch service over a tid-range sharded index
@@ -517,6 +576,9 @@ impl QueryService {
 pub struct ShardedQueryService {
     index: Arc<ShardedIndex>,
     services: Vec<QueryService>,
+    /// Cumulative whole-query latency (nanoseconds): one record per
+    /// query per batch, over the summed per-shard worker time.
+    latency: Histogram,
     config: ServiceConfig,
 }
 
@@ -541,8 +603,16 @@ impl ShardedQueryService {
         Self {
             index,
             services,
+            latency: Histogram::new(),
             config,
         }
+    }
+
+    /// Cumulative per-query latency quantiles (nanoseconds) across
+    /// every batch, over the summed per-shard worker time of each
+    /// query.
+    pub fn latency_summary(&self) -> HistogramSummary {
+        self.latency.summary()
     }
 
     /// The underlying sharded index.
@@ -609,6 +679,7 @@ impl ShardedQueryService {
                     },
                 },
                 seconds: 0.0,
+                timings: None,
             })
             .collect();
         let mut shared_keys = 0usize;
@@ -701,9 +772,21 @@ impl ShardedQueryService {
                 );
                 merge_shard_stats(&mut out.result.stats, &outcome.result.stats);
                 out.seconds += outcome.seconds;
+                // Shard-merge aware timings: fold this shard's span
+                // tree in under a `shard-N` group node, mirroring the
+                // core sharded executor's presentation.
+                if let Some(snap) = &outcome.timings {
+                    out.timings
+                        .get_or_insert_with(TimingsSnapshot::default)
+                        .absorb(snap, &format!("shard-{}", entry.id));
+                }
             }
         }
+        for o in &outcomes {
+            self.latency.record_secs(o.seconds);
+        }
         Ok(BatchReport {
+            latency: batch_latency(&outcomes),
             outcomes,
             wall_seconds: started.elapsed().as_secs_f64(),
             shared_keys,
@@ -781,6 +864,15 @@ impl AnyQueryService {
         match self {
             AnyQueryService::Mono(s) => s.pool_stats(),
             AnyQueryService::Sharded(s) => s.pool_stats(),
+        }
+    }
+
+    /// Cumulative per-query latency quantiles (nanoseconds) across
+    /// every batch this service has run.
+    pub fn latency_summary(&self) -> HistogramSummary {
+        match self {
+            AnyQueryService::Mono(s) => s.latency_summary(),
+            AnyQueryService::Sharded(s) => s.latency_summary(),
         }
     }
 }

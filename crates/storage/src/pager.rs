@@ -173,6 +173,51 @@ pub struct PagerCounters {
     pub evictions: u64,
 }
 
+impl PagerCounters {
+    /// Field-wise `self - earlier`, saturating. The idiom for
+    /// attributing traffic to a window: snapshot before, snapshot
+    /// after, diff.
+    pub fn delta_since(&self, earlier: &PagerCounters) -> PagerCounters {
+        PagerCounters {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            evictions: self.evictions.saturating_sub(earlier.evictions),
+        }
+    }
+}
+
+thread_local! {
+    // Per-thread mirror of the pager counters. Every bump site below
+    // updates both the shared atomics (process-wide totals, cheap
+    // relaxed adds) and this cell, so a query that runs entirely on one
+    // thread — which is how both the CLI and the service's batch
+    // workers execute — can attribute cache traffic to itself exactly,
+    // even while other workers hammer the same pager.
+    static THREAD_COUNTERS: std::cell::Cell<PagerCounters> =
+        const { std::cell::Cell::new(PagerCounters { hits: 0, misses: 0, evictions: 0 }) };
+}
+
+#[inline]
+fn bump_thread(hits: u64, misses: u64, evictions: u64) {
+    THREAD_COUNTERS.with(|c| {
+        let mut v = c.get();
+        v.hits += hits;
+        v.misses += misses;
+        v.evictions += evictions;
+        c.set(v);
+    });
+}
+
+/// Cache hit/miss/eviction totals accumulated by the **calling thread**
+/// across every pager, monotone since thread start. Unlike
+/// [`Pager::counters`] (a process-wide total shared by all threads),
+/// deltas of this snapshot are exact for work the current thread did —
+/// the query engine uses it to make per-query `EvalStats` attribution
+/// precise under concurrency.
+pub fn thread_counters() -> PagerCounters {
+    THREAD_COUNTERS.with(|c| c.get())
+}
+
 /// The backing file with positioned (seek-free) page I/O, shareable
 /// across threads without a lock on Unix.
 struct PageFile {
@@ -500,6 +545,7 @@ impl Pager {
             .try_into()
             .expect("page-sized slice");
         self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        bump_thread(1, 0, 0);
         Ok(Some(page))
     }
 
@@ -542,6 +588,7 @@ impl Pager {
             self.file.write_page(page, &buf)?;
             self.physical_writes.fetch_add(1, Ordering::Relaxed);
             self.evictions.fetch_add(1, Ordering::Relaxed);
+            bump_thread(0, 0, 1);
         }
         Ok(())
     }
@@ -598,6 +645,7 @@ impl Pager {
         if let Some(slot) = shard.get(id) {
             out.copy_from_slice(&shard.slots[slot].buf[..]);
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            bump_thread(1, 0, 0);
             return Ok(());
         }
         // Miss: read while holding the shard latch so two threads cannot
@@ -605,6 +653,7 @@ impl Pager {
         let mut buf = new_page_buf();
         self.file.read_page(id, &mut buf)?;
         self.physical_reads.fetch_add(1, Ordering::Relaxed);
+        bump_thread(0, 1, 0);
         out.copy_from_slice(&buf[..]);
         let (_, evicted) = shard.insert(id, buf, false);
         self.write_back(evicted)
@@ -636,6 +685,7 @@ impl Pager {
         let mut shard = self.shard(id);
         if let Some(slot) = shard.get(id) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            bump_thread(1, 0, 0);
             return Ok(f(&shard.slots[slot].buf));
         }
         // Miss: read while holding the shard latch so two threads cannot
@@ -643,6 +693,7 @@ impl Pager {
         let mut buf = new_page_buf();
         self.file.read_page(id, &mut buf)?;
         self.physical_reads.fetch_add(1, Ordering::Relaxed);
+        bump_thread(0, 1, 0);
         let (slot, evicted) = shard.insert(id, buf, false);
         let out = f(&shard.slots[slot].buf);
         self.write_back(evicted)?;
@@ -774,6 +825,42 @@ mod tests {
         let (reads, writes) = pager.io_stats();
         assert!(writes >= 6, "expected evictions to hit disk, got {writes}");
         assert!(reads >= 6, "expected cache misses, got {reads}");
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn thread_counters_attribute_exactly_under_concurrency() {
+        // Two threads hammer the same pager; each thread's TLS delta
+        // must equal exactly its own access count, while the shared
+        // counters see the blended total.
+        let path = tmp("tls");
+        let pager = std::sync::Arc::new(Pager::create(&path).unwrap());
+        let id = pager.allocate().unwrap();
+        let mut page = [0u8; PAGE_SIZE];
+        page[0] = 1;
+        pager.write(id, &page).unwrap();
+        let barrier = std::sync::Arc::new(std::sync::Barrier::new(2));
+        let spawn = |reps: u64| {
+            let pager = std::sync::Arc::clone(&pager);
+            let barrier = std::sync::Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let before = thread_counters();
+                barrier.wait();
+                let mut out = [0u8; PAGE_SIZE];
+                for _ in 0..reps {
+                    pager.read(id, &mut out).unwrap();
+                }
+                let d = thread_counters().delta_since(&before);
+                assert_eq!(d.hits + d.misses, reps, "thread did {reps} reads");
+                d
+            })
+        };
+        let global_before = pager.counters();
+        let (a, b) = (spawn(400), spawn(300));
+        let (da, db) = (a.join().unwrap(), b.join().unwrap());
+        let dg = pager.counters().delta_since(&global_before);
+        assert_eq!(da.hits + da.misses + db.hits + db.misses, 700);
+        assert_eq!(dg.hits + dg.misses, 700);
         std::fs::remove_file(path).ok();
     }
 
