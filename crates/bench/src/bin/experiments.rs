@@ -8,7 +8,7 @@
 //! ```
 //!
 //! Experiment ids: fig2 fig3 fig8 fig9 fig10 tab1 fig11 fig12 tab2 fig13
-//! tab3 streaming service planner shard pipeline seek obs (or `all`). See DESIGN.md §6 for
+//! tab3 streaming service planner shard pipeline seek obs cache (or `all`). See DESIGN.md §6 for
 //! the per-experiment index and EXPERIMENTS.md for recorded
 //! paper-vs-measured results. `streaming` runs the executor ablation
 //! (streaming pipeline vs legacy materializing evaluator) and writes
@@ -33,7 +33,12 @@
 //! the PR 7 instrumentation itself costs (no timings vs disabled vs
 //! enabled spans, match sets asserted identical; panics if the disabled
 //! path exceeds 5% overhead or the stage partition attributes under 90%
-//! of the enabled wall) and writes `BENCH_obs.json`.
+//! of the enabled wall) and writes `BENCH_obs.json`; `cache` replays a
+//! Zipfian query stream with interleaved ingests through the cached
+//! sharded service (every event checked against the uncached evaluator;
+//! panics on divergence, a warm hit rate under 0.4, a warm/cold median
+//! ratio under 10x, or zero reused shard partials after an ingest) and
+//! writes `BENCH_cache.json`.
 //!
 //! Flags: `--seed N` pins the corpus RNG seed (default `0x5EED0001`) so
 //! every `BENCH_*.json` is reproducible across machines; `--threads N`
@@ -61,6 +66,7 @@ const ALL: &[&str] = &[
     "pipeline",
     "seek",
     "obs",
+    "cache",
 ];
 
 fn main() {
@@ -174,6 +180,10 @@ fn main() {
             "obs" => {
                 let report = harness::run_obs_bench(scale);
                 harness::emit_obs_bench(scale, &report).expect("write BENCH_obs.json");
+            }
+            "cache" => {
+                let report = harness::run_cache_bench(scale, threads);
+                harness::emit_cache_bench(scale, &report).expect("write BENCH_cache.json");
             }
             _ => unreachable!("validated above"),
         }

@@ -2633,6 +2633,370 @@ pub fn emit_obs_bench(scale: Scale, report: &ObsBenchReport) -> std::io::Result<
     Ok(())
 }
 
+// --------------------------------------------------------------------
+// Result cache: Zipfian replay with interleaved ingests
+// --------------------------------------------------------------------
+
+/// One skew point of the hit-rate sweep (fresh cache, no ingests).
+pub struct CacheSkewRow {
+    /// Zipf exponent `s` of the replayed stream.
+    pub skew: f64,
+    /// Events replayed at this skew.
+    pub events: usize,
+    /// Fraction of events answered entirely from the cache.
+    pub hit_rate: f64,
+}
+
+/// Figures of the result-cache replay (`BENCH_cache.json`).
+pub struct CacheBenchReport {
+    /// Shards of the replayed index.
+    pub shards: usize,
+    /// Events in the main (ingest-interleaved) stream.
+    pub events: usize,
+    /// Ingests interleaved into the stream.
+    pub ingests: usize,
+    /// Distinct queries in the Zipf-ranked pool.
+    pub pool: usize,
+    /// Whole-query cache hits across the main stream.
+    pub result_hits: u64,
+    /// Queries that evaluated at least one shard.
+    pub result_misses: u64,
+    /// Negative-entry probes that answered a shard.
+    pub negative_hits: u64,
+    /// Cached shard partials reused by miss queries — nonzero proves
+    /// an ingest invalidated only the shards it touched.
+    pub partial_reuses: u64,
+    /// `result_hits / events` of the main stream.
+    pub warm_hit_rate: f64,
+    /// Median wall milliseconds of miss (evaluating) events.
+    pub cold_median_ms: f64,
+    /// Median wall milliseconds of whole-query-hit events.
+    pub warm_median_ms: f64,
+    /// `cold_median_ms / warm_median_ms`.
+    pub warm_speedup: f64,
+    /// Latency quantiles of miss events.
+    pub cold: HistogramSummary,
+    /// Latency quantiles of hit events.
+    pub warm: HistogramSummary,
+    /// Hit rate vs Zipf exponent, fresh cache per point.
+    pub skew_rows: Vec<CacheSkewRow>,
+    /// Cache counters after the main stream.
+    pub cache: si_core::ResultCacheStats,
+}
+
+/// Samples ranks `0..k` with `P(r) ∝ 1/(r+1)^s`: precomputed harmonic
+/// CDF, binary search per draw.
+struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(k: usize, s: f64) -> Self {
+        let mut cdf = Vec::with_capacity(k);
+        let mut acc = 0.0;
+        for r in 1..=k {
+            acc += 1.0 / (r as f64).powf(s);
+            cdf.push(acc);
+        }
+        Zipf { cdf }
+    }
+
+    fn sample(&self, rng: &mut si_corpus::rng::StdRng) -> usize {
+        let total = *self.cdf.last().expect("nonempty rank pool");
+        let u = rng.gen::<f64>() * total;
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
+/// Replays a Zipfian (s = 1.0) query stream with interleaved ingests
+/// through the cached sharded service, asserting byte-identical match
+/// sets against the uncached scatter-gather evaluator on **every**
+/// event. Panics if no shard partial was reused after an ingest, if
+/// the warm hit rate falls below the floor, or if whole-query hits are
+/// not at least 10x faster than evaluating misses at the median.
+pub fn run_cache_bench(scale: Scale, threads: usize) -> CacheBenchReport {
+    use si_core::sharded::{ShardBuildMode, ShardedBuildConfig, ShardedIndex};
+    use si_core::{ResultCache, ResultCacheConfig};
+    use si_corpus::rng::StdRng;
+    use si_service::{ServiceConfig, ShardedQueryService};
+    use std::sync::Arc;
+
+    let work = Workdir::new("cache");
+    let n = match scale {
+        Scale::Small => 8_000,
+        Scale::Paper => 50_000,
+    };
+    let big = corpus(n);
+    let trees = big.trees();
+    let (wh, fb) = workload(&big, 200);
+    let pool: Vec<(String, Query)> = wh
+        .into_iter()
+        .chain(fb.into_iter().map(|(c, s, q)| (format!("fb-{c}-{s}"), q)))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(corpus_seed() ^ 0xCAC4E);
+    // Shuffle the rank→query assignment so Zipf popularity is not
+    // correlated with the workload's construction order.
+    let mut order: Vec<usize> = (0..pool.len()).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..i + 1);
+        order.swap(i, j);
+    }
+
+    let shards = 4;
+    let ingest_target = 3usize;
+    let chunk = n / 20;
+    let initial = n - ingest_target * chunk;
+    let dir = work.path("idx");
+    ShardedIndex::build(
+        &dir,
+        &trees[..initial],
+        big.interner(),
+        IndexOptions::new(3, Coding::RootSplit),
+        ShardedBuildConfig {
+            shards,
+            workers: threads.max(2),
+            mode: ShardBuildMode::InMemory,
+        },
+    )
+    .expect("cache bench build");
+    let config = ServiceConfig {
+        threads,
+        ..ServiceConfig::default()
+    };
+    let open = |cache: &Arc<ResultCache>| {
+        ShardedQueryService::new(
+            Arc::new(ShardedIndex::open(&dir).expect("reopen index")),
+            config,
+        )
+        .with_result_cache(cache.clone())
+    };
+
+    // ---- Main stream: Zipf(1.0) replay with interleaved ingests. ----
+    let events = match scale {
+        Scale::Small => 600,
+        Scale::Paper => 4_000,
+    };
+    let zipf = Zipf::new(pool.len(), 1.0);
+    let cache = Arc::new(ResultCache::new(ResultCacheConfig::with_budget(32 << 20)));
+    let mut service = open(&cache);
+    let mut ingested = initial;
+    let mut ingests = 0usize;
+    let (mut hits, mut misses, mut negs, mut partials) = (0u64, 0u64, 0u64, 0u64);
+    let mut cold_seconds: Vec<f64> = Vec::new();
+    let mut warm_seconds: Vec<f64> = Vec::new();
+    let cold_hist = Histogram::new();
+    let warm_hist = Histogram::new();
+    for e in 0..events {
+        if e > 0 && e % (events / (ingest_target + 1)) == 0 && ingested + chunk <= n {
+            let mut writer = ShardedIndex::open(&dir).expect("reopen for ingest");
+            writer
+                .ingest(&trees[ingested..ingested + chunk], big.interner())
+                .expect("interleaved ingest");
+            ingested += chunk;
+            ingests += 1;
+            // The cache outlives the service: reopening over the grown
+            // manifest keeps every untouched shard's partials valid.
+            service = open(&cache);
+        }
+        let (name, q) = &pool[order[zipf.sample(&mut rng)]];
+        let (report, secs) = time(|| {
+            service
+                .run_batch(std::slice::from_ref(q))
+                .expect("cache replay batch")
+        });
+        let outcome = &report.outcomes[0];
+        // Live oracle: the uncached scatter-gather evaluator over the
+        // exact same index state.
+        let oracle = service.index().evaluate(q).expect("oracle evaluate");
+        assert_eq!(
+            outcome.result.matches, oracle.matches,
+            "cached replay diverged from the oracle on {name} (event {e})"
+        );
+        let s = &outcome.result.stats;
+        hits += s.result_hits;
+        misses += s.result_misses;
+        negs += s.negative_hits;
+        partials += s.partial_reuses;
+        if s.result_hits > 0 {
+            warm_seconds.push(secs);
+            warm_hist.record_secs(secs);
+        } else if s.result_misses > 0 {
+            cold_seconds.push(secs);
+            cold_hist.record_secs(secs);
+        }
+        // A cold query every shard skip-pruned involves no evaluation
+        // and no cache — it belongs to neither latency population.
+    }
+    assert_eq!(ingests, ingest_target, "stream too short for the ingests");
+    assert!(
+        partials > 0,
+        "no shard partial was reused across {ingests} ingests — epoch \
+         invalidation is discarding untouched shards"
+    );
+    let warm_hit_rate = hits as f64 / events as f64;
+    assert!(
+        warm_hit_rate >= 0.4,
+        "warm hit rate {warm_hit_rate:.3} below the 0.4 floor on a \
+         Zipf(1.0) stream of {events} events over {} queries",
+        pool.len()
+    );
+    let cold_median_ms = median(&mut cold_seconds) * 1e3;
+    let warm_median_ms = median(&mut warm_seconds) * 1e3;
+    let warm_speedup = cold_median_ms / warm_median_ms.max(1e-9);
+    assert!(
+        warm_speedup >= 10.0,
+        "median warm hit ({warm_median_ms:.4} ms) is only {warm_speedup:.1}x \
+         faster than a median evaluating miss ({cold_median_ms:.4} ms); \
+         the gate is 10x"
+    );
+
+    // ---- Hit rate vs skew: fresh cache per point, no ingests. ----
+    let sweep_events = match scale {
+        Scale::Small => 400,
+        Scale::Paper => 2_000,
+    };
+    let mut skew_rows = Vec::new();
+    for skew in [0.2, 0.6, 1.0, 1.4] {
+        let zipf = Zipf::new(pool.len(), skew);
+        let fresh = Arc::new(ResultCache::new(ResultCacheConfig::with_budget(32 << 20)));
+        let service = open(&fresh);
+        let mut skew_hits = 0u64;
+        for _ in 0..sweep_events {
+            let (_, q) = &pool[order[zipf.sample(&mut rng)]];
+            let report = service
+                .run_batch(std::slice::from_ref(q))
+                .expect("skew sweep batch");
+            skew_hits += report.outcomes[0].result.stats.result_hits;
+        }
+        skew_rows.push(CacheSkewRow {
+            skew,
+            events: sweep_events,
+            hit_rate: skew_hits as f64 / sweep_events as f64,
+        });
+    }
+
+    CacheBenchReport {
+        shards,
+        events,
+        ingests,
+        pool: pool.len(),
+        result_hits: hits,
+        result_misses: misses,
+        negative_hits: negs,
+        partial_reuses: partials,
+        warm_hit_rate,
+        cold_median_ms,
+        warm_median_ms,
+        warm_speedup,
+        cold: cold_hist.summary(),
+        warm: warm_hist.summary(),
+        skew_rows,
+        cache: cache.stats(),
+    }
+}
+
+/// Prints the result-cache replay summary and writes
+/// `BENCH_cache.json` into the current directory.
+pub fn emit_cache_bench(scale: Scale, report: &CacheBenchReport) -> std::io::Result<()> {
+    println!("# Result cache: Zipfian replay with shard-epoch invalidation");
+    println!(
+        "{} events over {} queries, {} shards, {} interleaved ingests, seed {:#x}",
+        report.events,
+        report.pool,
+        report.shards,
+        report.ingests,
+        corpus_seed()
+    );
+    println!(
+        "warm hit rate {:.1}% ({} hits / {} misses, {} negative shard hits, \
+         {} shard partials reused across ingests)",
+        report.warm_hit_rate * 100.0,
+        report.result_hits,
+        report.result_misses,
+        report.negative_hits,
+        report.partial_reuses,
+    );
+    println!(
+        "median latency: miss {:.4} ms, hit {:.4} ms ({:.0}x)",
+        report.cold_median_ms, report.warm_median_ms, report.warm_speedup
+    );
+    print_quantiles("miss latency", &report.cold);
+    print_quantiles("hit latency", &report.warm);
+    for row in &report.skew_rows {
+        println!(
+            "  zipf s={:.1}: {:.1}% hit rate over {} events",
+            row.skew,
+            row.hit_rate * 100.0,
+            row.events
+        );
+    }
+    let c = &report.cache;
+    println!(
+        "cache: {} insertions, {} evictions, {} KiB resident (peak {} KiB)",
+        c.insertions,
+        c.evictions,
+        c.current_bytes >> 10,
+        c.peak_bytes >> 10,
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str(&format!(
+        "  \"scale\": \"{scale:?}\",\n  \"seed\": {},\n  \"shards\": {},\n  \
+         \"events\": {},\n  \"ingests\": {},\n  \"pool_queries\": {},\n  \
+         \"zipf_s\": 1.0,\n  \"match_sets_identical\": true,\n  \
+         \"result_hits\": {},\n  \"result_misses\": {},\n  \
+         \"negative_hits\": {},\n  \"partial_reuses\": {},\n  \
+         \"warm_hit_rate\": {:.4},\n  \"cold_median_ms\": {:.4},\n  \
+         \"warm_median_ms\": {:.4},\n  \"warm_speedup\": {:.2},\n  \
+         \"latency_quantiles\": {{\"miss\": {}, \"hit\": {}}},\n  \
+         \"cache\": {{\"hits\": {}, \"misses\": {}, \"negative_hits\": {}, \
+         \"insertions\": {}, \"evictions\": {}, \"current_bytes\": {}, \
+         \"peak_bytes\": {}}},\n  \"skew_sweep\": [\n",
+        corpus_seed(),
+        report.shards,
+        report.events,
+        report.ingests,
+        report.pool,
+        report.result_hits,
+        report.result_misses,
+        report.negative_hits,
+        report.partial_reuses,
+        report.warm_hit_rate,
+        report.cold_median_ms,
+        report.warm_median_ms,
+        report.warm_speedup,
+        quantiles_json(&report.cold),
+        quantiles_json(&report.warm),
+        report.cache.hits,
+        report.cache.misses,
+        report.cache.negative_hits,
+        report.cache.insertions,
+        report.cache.evictions,
+        report.cache.current_bytes,
+        report.cache.peak_bytes,
+    ));
+    for (i, row) in report.skew_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"s\": {:.1}, \"events\": {}, \"hit_rate\": {:.4}}}{}\n",
+            row.skew,
+            row.events,
+            row.hit_rate,
+            if i + 1 == report.skew_rows.len() {
+                ""
+            } else {
+                ","
+            }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_cache.json", json)?;
+    println!(
+        "wrote BENCH_cache.json ({} skew points)",
+        report.skew_rows.len()
+    );
+    Ok(())
+}
+
 /// Convenience: a tiny corpus + root-split index for Criterion benches.
 pub fn bench_fixture(
     sentences: usize,

@@ -48,10 +48,14 @@ USAGE:
                                                             operator tree; --trace-json:
                                                             append one span-tree JSON line)
   si batch     --index DIR --queries FILE [--threads N]
-               [--cache-mb 64] [--batch-size 64]
-               [--trace-json FILE]                          run a query file concurrently
+               [--cache-mb 64] [--result-cache-mb 32]
+               [--batch-size 64] [--trace-json FILE]        run a query file concurrently
+                                                            (--result-cache-mb: byte budget
+                                                            for cached match sets, epoch-
+                                                            invalidated on ingest; 0 = off)
   si serve     --index DIR [--threads N] [--cache-mb 64]
-               [--batch-size 64] [--trace-json FILE]        serve queries from stdin, batched
+               [--result-cache-mb 32] [--batch-size 64]
+               [--trace-json FILE]                          serve queries from stdin, batched
   si scan      --input FILE QUERY [--show N]                TGrep2 mode: match without an index
   si extract   --input FILE [--mss 3] [--top 20]            most frequent subtree keys
   si stats     --index DIR [KEY]                            index statistics; with a
@@ -330,7 +334,7 @@ fn query(args: &Args) -> Result<(), AnyError> {
             writeln!(
                 file,
                 "{}",
-                trace_line(query_text, result.len(), total_ns, &snap)
+                trace_line(query_text, result.len(), total_ns, &result.stats, &snap)
             )?;
         }
     }
@@ -355,6 +359,9 @@ fn service_config(args: &Args) -> Result<si_service::ServiceConfig, AnyError> {
         cache: si_core::BlockCacheConfig::with_budget(cache_mb << 20),
         batch_size: args.get_or("batch-size", defaults.batch_size)?,
         collect_timings: args.get("trace-json").is_some(),
+        // The result cache defaults ON for the service commands (the
+        // library default is off); `--result-cache-mb 0` disables it.
+        result_cache_mb: args.get_or("result-cache-mb", 32)?,
         ..defaults
     })
 }
@@ -524,6 +531,7 @@ fn run_service_batches(
                                 text,
                                 outcome.result.len(),
                                 (outcome.seconds * 1e9) as u64,
+                                &outcome.result.stats,
                                 snap
                             )
                         )?;
@@ -584,6 +592,18 @@ fn print_service_summary(
         cache.evictions,
         cache.peak_bytes >> 10,
     );
+    if let Some(results) = service.result_cache_stats() {
+        eprintln!(
+            "result cache: {:.1}% hits ({} hits / {} misses, {} negative, \
+             {} evictions, {} KiB resident)",
+            results.hit_rate() * 100.0,
+            results.hits,
+            results.misses,
+            results.negative_hits,
+            results.evictions,
+            results.current_bytes >> 10,
+        );
+    }
     eprintln!(
         "tuple pool:  {} hits / {} misses, {} insertions, {} evictions, \
          {} KiB resident (peak {} KiB)",
@@ -640,6 +660,11 @@ fn render_eval_stats(s: &EvalStats, cache_note: &str) -> String {
         out,
         "seeks       {} restart-point seeks, {} postings skipped undecoded",
         s.seeks, s.postings_skipped
+    );
+    let _ = writeln!(
+        out,
+        "results     {} whole-query hits ({} negative), {} misses, {} shard partials reused",
+        s.result_hits, s.negative_hits, s.result_misses, s.partial_reuses
     );
     out
 }
@@ -714,14 +739,26 @@ fn print_op(snap: &TimingsSnapshot, id: usize, covers: &[String], depth: usize) 
 }
 
 /// One single-line JSON trace record (`--trace-json`): query text,
-/// match count, measured total nanoseconds, then the snapshot's own
-/// `stages` / `ops` fields spliced in.
-fn trace_line(query_text: &str, matches: usize, total_ns: u64, snap: &TimingsSnapshot) -> String {
+/// match count, measured total nanoseconds, the result-cache counters,
+/// then the snapshot's own `stages` / `ops` fields spliced in.
+fn trace_line(
+    query_text: &str,
+    matches: usize,
+    total_ns: u64,
+    stats: &EvalStats,
+    snap: &TimingsSnapshot,
+) -> String {
     let mut frag = String::new();
     snap.write_json(&mut frag);
     format!(
-        "{{\"query\":\"{}\",\"matches\":{matches},\"total_ns\":{total_ns},{}",
+        "{{\"query\":\"{}\",\"matches\":{matches},\"total_ns\":{total_ns},\
+         \"cache\":{{\"result_hits\":{},\"result_misses\":{},\
+         \"partial_reuses\":{},\"negative_hits\":{}}},{}",
         json_escape(query_text),
+        stats.result_hits,
+        stats.result_misses,
+        stats.partial_reuses,
+        stats.negative_hits,
         &frag[1..]
     )
 }

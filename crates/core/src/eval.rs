@@ -106,6 +106,23 @@ pub struct EvalStats {
     /// Postings those seeks jumped over — bytes the evaluation **never
     /// decoded** (and, cold, never even copied off their disk pages).
     pub postings_skipped: u64,
+    /// Queries answered **entirely** from the result cache: every live
+    /// shard's partial match set was cached at the shard's current
+    /// generation, so no join pipeline ran at all.
+    pub result_hits: u64,
+    /// Queries that ran the join pipeline for at least one shard (the
+    /// complement of [`EvalStats::result_hits`] when a result cache is
+    /// configured; zero when it is off).
+    pub result_misses: u64,
+    /// Cached per-shard partial match sets reused by queries counted in
+    /// [`EvalStats::result_misses`] — the ingest story: an ingest bumps
+    /// only the shards it touched, so untouched shards' partials keep
+    /// serving while just the new shards are evaluated.
+    pub partial_reuses: u64,
+    /// Result-cache probes answered by an explicit empty entry — a
+    /// shard the cache *knows* has no match for this query (including
+    /// shards skip-pruned on an earlier run).
+    pub negative_hits: u64,
 }
 
 /// Matches plus statistics.

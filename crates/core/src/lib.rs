@@ -38,6 +38,7 @@ pub mod extract;
 pub mod holistic;
 pub mod join;
 pub mod plan;
+pub mod resultcache;
 pub mod sharded;
 pub mod stats;
 
@@ -49,5 +50,8 @@ pub use eval::{EvalResult, EvalStats};
 pub use exec::{ExecContext, ExecMode, SharedTuples};
 pub use extract::{extract_subtrees, SubtreeRef};
 pub use plan::PlannerMode;
+pub use resultcache::{
+    canonical_query_key, pack_match, unpack_match, ResultCache, ResultCacheConfig, ResultCacheStats,
+};
 pub use sharded::{AnyIndex, ShardBuildMode, ShardedBuildConfig, ShardedIndex};
 pub use stats::{KeyStats, Stats, StatsCache};

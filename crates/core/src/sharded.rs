@@ -122,6 +122,14 @@ impl ShardedIndex {
         // teardown below with the ingest's shard build + manifest
         // rewrite and wedge the directory.
         let _lock = acquire_writer_lock(dir)?;
+        // A rebuild into a directory that already held a sharded index
+        // stamps its shards *above* the old maximum generation: shard
+        // ids restart at 0, so a result cache outliving the rebuild
+        // must see fresh `(id, generation)` keys or it would serve the
+        // previous corpus's answers.
+        let generation = ShardManifest::read(dir)
+            .map(|old| old.max_generation() + 1)
+            .unwrap_or(0);
         // Rebuilding over an existing sharded directory: tear the old
         // layout down *first* (manifest before shard dirs). The old
         // manifest is replaced only at the very end of the build, so
@@ -147,6 +155,7 @@ impl ShardedIndex {
                 id: i as u64,
                 base: (i * chunk) as TreeId,
                 len: slice.len() as TreeId,
+                generation,
             })
             .collect();
 
@@ -558,10 +567,15 @@ impl ShardedIndex {
                 "ingest interner must extend the index's interner".into(),
             ));
         }
+        // The new shard gets a generation strictly above every live
+        // one: `(id, generation)` then names this exact shard state,
+        // so result-cache entries for untouched shards stay valid
+        // while nothing stale can ever be served for this id.
         let entry = ShardEntry {
             id: self.manifest.next_id(),
             base: self.manifest.next_base(),
             len: trees.len() as TreeId,
+            generation: self.manifest.max_generation() + 1,
         };
         let shard_dir = self.dir.join(entry.dir_name());
         let shard = SubtreeIndex::build(&shard_dir, trees, interner, self.options())?;
@@ -755,6 +769,10 @@ pub fn merge_shard_stats(agg: &mut EvalStats, shard: &EvalStats) {
     agg.sort_exchanges_avoided += shard.sort_exchanges_avoided;
     agg.seeks += shard.seeks;
     agg.postings_skipped += shard.postings_skipped;
+    agg.result_hits += shard.result_hits;
+    agg.result_misses += shard.result_misses;
+    agg.partial_reuses += shard.partial_reuses;
+    agg.negative_hits += shard.negative_hits;
 }
 
 /// A monolithic or sharded index behind one seam — how the CLI (and any

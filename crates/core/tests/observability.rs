@@ -188,6 +188,10 @@ fn merge_shard_stats_covers_every_field() {
         shards_skipped: 1,
         seeks: 37,
         postings_skipped: 41,
+        result_hits: 83,
+        result_misses: 89,
+        partial_reuses: 97,
+        negative_hits: 101,
     };
     let b = EvalStats {
         covers: 5,
@@ -208,6 +212,10 @@ fn merge_shard_stats_covers_every_field() {
         shards_skipped: 2,
         seeks: 73,
         postings_skipped: 79,
+        result_hits: 103,
+        result_misses: 107,
+        partial_reuses: 109,
+        negative_hits: 113,
     };
     let mut agg = a;
     merge_shard_stats(&mut agg, &b);
@@ -236,6 +244,10 @@ fn merge_shard_stats_covers_every_field() {
         agg.postings_skipped,
         a.postings_skipped + b.postings_skipped
     );
+    assert_eq!(agg.result_hits, a.result_hits + b.result_hits);
+    assert_eq!(agg.result_misses, a.result_misses + b.result_misses);
+    assert_eq!(agg.partial_reuses, a.partial_reuses + b.partial_reuses);
+    assert_eq!(agg.negative_hits, a.negative_hits + b.negative_hits);
     // ORed flags; per-shard maximum.
     assert!(agg.used_validation && agg.range_pruned);
     assert_eq!(

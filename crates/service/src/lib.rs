@@ -37,7 +37,10 @@ use si_core::exec::{collect_scan_tuples, ExecContext, SharedTuples, TreeCache};
 use si_core::join::Tuple;
 use si_core::sharded::{merge_shard_stats, shard_provably_empty_with, ShardedIndex};
 use si_core::stats::{intersect_tid_ranges, key_stats_cached, KeyStats, StatsCache};
-use si_core::{BlockCache, BlockCacheConfig, BlockCacheStats, Coding, SubtreeIndex};
+use si_core::{
+    canonical_query_key, pack_match, unpack_match, BlockCache, BlockCacheConfig, BlockCacheStats,
+    Coding, ResultCache, ResultCacheConfig, ResultCacheStats, SubtreeIndex,
+};
 use si_obs::{Histogram, HistogramSummary, Timings, TimingsSnapshot};
 use si_query::Query;
 use si_storage::{Result, StorageError};
@@ -72,6 +75,12 @@ pub struct ServiceConfig {
     /// one branch. Latency histograms are always recorded — they cost
     /// four relaxed atomics per query.
     pub collect_timings: bool,
+    /// Byte budget (MiB) of the result cache storing whole per-shard
+    /// match sets keyed by `(canonical query, coding, shard id, shard
+    /// generation)`; 0 disables it. Off by default at the library
+    /// level so differential tests compare like with like; the CLI's
+    /// batch/serve modes turn it on. See `si_core::resultcache`.
+    pub result_cache_mb: usize,
 }
 
 impl Default for ServiceConfig {
@@ -86,8 +95,18 @@ impl Default for ServiceConfig {
             shared_scan_max_bytes: 64 << 10,
             shared_pool_budget_bytes: 64 << 20,
             collect_timings: false,
+            result_cache_mb: 0,
         }
     }
+}
+
+/// The result cache a [`ServiceConfig`] asks for, if any.
+fn result_cache_from(config: &ServiceConfig) -> Option<Arc<ResultCache>> {
+    (config.result_cache_mb > 0).then(|| {
+        Arc::new(ResultCache::new(ResultCacheConfig::with_budget(
+            config.result_cache_mb << 20,
+        )))
+    })
 }
 
 /// One query's outcome within a batch.
@@ -282,6 +301,15 @@ pub struct QueryService {
     /// for every query the service ever ran. Lock-free: workers record
     /// straight into the shared atomics.
     latency: Histogram,
+    /// Whole-answer result cache ([`si_core::resultcache`]), when
+    /// [`ServiceConfig::result_cache_mb`] is nonzero. A monolithic
+    /// index is one immutable state for the service's lifetime, so
+    /// every entry lives under the fixed epoch `(shard 0, generation
+    /// 0)` — an injected cache shared across services must therefore
+    /// only ever see *this* index's answers (the sharded service,
+    /// whose manifest generations disambiguate states, is the one that
+    /// shares a cache across an ingest).
+    results: Option<Arc<ResultCache>>,
     config: ServiceConfig,
 }
 
@@ -297,8 +325,26 @@ impl QueryService {
             trees: Arc::new(TreeCache::default()),
             shared_pool: Mutex::new(TuplePool::new(config.shared_pool_budget_bytes)),
             latency: Histogram::new(),
+            results: result_cache_from(&config),
             config,
         }
+    }
+
+    /// Replaces the result cache with a shared instance (see the
+    /// `results` field docs for the aliasing contract).
+    pub fn with_result_cache(mut self, cache: Arc<ResultCache>) -> Self {
+        self.results = Some(cache);
+        self
+    }
+
+    /// Result-cache counters, when a result cache is configured.
+    pub fn result_cache_stats(&self) -> Option<ResultCacheStats> {
+        self.results.as_ref().map(|c| c.stats())
+    }
+
+    /// The result cache, if one is configured.
+    pub fn result_cache(&self) -> Option<Arc<ResultCache>> {
+        self.results.clone()
     }
 
     /// Cumulative per-query latency quantiles (nanoseconds) across
@@ -354,12 +400,58 @@ impl QueryService {
             });
         }
         let threads = self.config.threads.max(1).min(queries.len());
+        let options = self.index.options();
+        let coding = options.coding.id();
+
+        // ---- Phase 0: result-cache probe. ----
+        // A monolithic index is one immutable state, so every entry
+        // lives under epoch (0, 0). A hit bypasses the whole pipeline
+        // — grouping, shared decode, worker eval — and costs one map
+        // probe plus the unpack; only misses proceed.
+        let mut prefilled: Vec<Option<QueryOutcome>> = Vec::with_capacity(queries.len());
+        let mut miss: Vec<usize> = Vec::with_capacity(queries.len());
+        let mut miss_keys: Vec<Arc<[u8]>> = Vec::new();
+        match &self.results {
+            Some(rcache) => {
+                for (i, q) in queries.iter().enumerate() {
+                    let q_started = Instant::now();
+                    let key = canonical_query_key(q);
+                    match rcache.get(&key, coding, 0, 0) {
+                        Some(packed) => {
+                            let stats = EvalStats {
+                                result_hits: 1,
+                                negative_hits: u64::from(packed.is_empty()),
+                                ..EvalStats::default()
+                            };
+                            let seconds = q_started.elapsed().as_secs_f64();
+                            self.latency.record_secs(seconds);
+                            prefilled.push(Some(QueryOutcome {
+                                result: EvalResult {
+                                    matches: packed.iter().map(|&p| unpack_match(p)).collect(),
+                                    stats,
+                                },
+                                seconds,
+                                timings: None,
+                            }));
+                        }
+                        None => {
+                            prefilled.push(None);
+                            miss.push(i);
+                            miss_keys.push(key);
+                        }
+                    }
+                }
+            }
+            None => {
+                prefilled.resize_with(queries.len(), || None);
+                miss.extend(0..queries.len());
+            }
+        }
 
         // ---- Phase 1: group cover keys across the batch. ----
         // Decomposition is pure CPU over tiny query trees; recomputing
         // it inside evaluate() later is cheaper than threading covers
         // through, and keeps the executor's entry point unchanged.
-        let options = self.index.options();
         let ctx_base = || ExecContext {
             cache: Some(self.cache.clone()),
             shared: None,
@@ -374,7 +466,7 @@ impl QueryService {
         let mut base_keys: std::collections::HashSet<Vec<u8>> = std::collections::HashSet::new();
         if options.coding != Coding::FilterBased {
             let probe_ctx = ctx_base();
-            for q in queries {
+            for q in miss.iter().map(|&i| &queries[i]) {
                 let cover = decompose(q, options.mss, options.coding);
                 let mut cover_stats: Vec<Option<KeyStats>> =
                     Vec::with_capacity(cover.subtrees.len());
@@ -475,9 +567,10 @@ impl QueryService {
         }
         let shared = shared.into_inner().unwrap();
 
-        // ---- Phase 3: evaluate all queries on the worker pool. ----
+        // ---- Phase 3: evaluate the cache misses on the worker pool.
+        // (With no result cache configured, every query is a "miss".)
         let slots: Vec<Mutex<Option<QueryOutcome>>> =
-            queries.iter().map(|_| Mutex::new(None)).collect();
+            prefilled.into_iter().map(Mutex::new).collect();
         let next_query = AtomicUsize::new(0);
         std::thread::scope(|scope| {
             for _ in 0..threads {
@@ -490,8 +583,9 @@ impl QueryService {
                         ..ExecContext::default()
                     };
                     while !failed.load(Ordering::Acquire) {
-                        let i = next_query.fetch_add(1, Ordering::Relaxed);
-                        let Some(query) = queries.get(i) else { break };
+                        let j = next_query.fetch_add(1, Ordering::Relaxed);
+                        let Some(&qi) = miss.get(j) else { break };
+                        let query = &queries[qi];
                         let q_started = Instant::now();
                         // A `Timings` is single-threaded state, so an
                         // instrumented run gets a fresh one per query;
@@ -509,10 +603,19 @@ impl QueryService {
                             None => self.index.evaluate_with(query, &ctx),
                         };
                         match eval {
-                            Ok(result) => {
+                            Ok(mut result) => {
+                                if let Some(rcache) = &self.results {
+                                    result.stats.result_misses = 1;
+                                    let packed: Vec<u64> = result
+                                        .matches
+                                        .iter()
+                                        .map(|&(tid, pre)| pack_match(tid, pre))
+                                        .collect();
+                                    rcache.insert(&miss_keys[j], coding, 0, 0, Arc::new(packed));
+                                }
                                 let seconds = q_started.elapsed().as_secs_f64();
                                 self.latency.record_secs(seconds);
-                                *slots[i].lock().unwrap() = Some(QueryOutcome {
+                                *slots[qi].lock().unwrap() = Some(QueryOutcome {
                                     result,
                                     seconds,
                                     timings: timings.map(|t| t.snapshot()),
@@ -579,6 +682,15 @@ pub struct ShardedQueryService {
     /// Cumulative whole-query latency (nanoseconds): one record per
     /// query per batch, over the summed per-shard worker time.
     latency: Histogram,
+    /// Per-shard partial-result cache, keyed by the manifest's
+    /// `(shard id, generation)` epochs — this layer owns result
+    /// caching outright (the inner per-shard services run with theirs
+    /// disabled: their fixed `(0, 0)` epoch cannot express an ingest).
+    /// Because epochs name immutable shard states, one instance may
+    /// outlive the service and be re-injected after an ingest via
+    /// [`ShardedQueryService::with_result_cache`]; entries for
+    /// untouched shards keep serving.
+    results: Option<Arc<ResultCache>>,
     config: ServiceConfig,
 }
 
@@ -593,6 +705,9 @@ impl ShardedQueryService {
                 ..config.cache
             },
             shared_pool_budget_bytes: config.shared_pool_budget_bytes / n,
+            // Result caching happens once, at this layer, with the
+            // manifest epochs in the key.
+            result_cache_mb: 0,
             ..config
         };
         let services = index
@@ -604,8 +719,29 @@ impl ShardedQueryService {
             index,
             services,
             latency: Histogram::new(),
+            results: result_cache_from(&config),
             config,
         }
+    }
+
+    /// Replaces the result cache with a shared instance — the ingest
+    /// story: rebuild the service over the reloaded index and hand the
+    /// old cache back in; `(id, generation)` keys keep every untouched
+    /// shard's entries valid and make stale ones unreachable.
+    pub fn with_result_cache(mut self, cache: Arc<ResultCache>) -> Self {
+        self.results = Some(cache);
+        self
+    }
+
+    /// The shared result cache, if one is configured (to carry across
+    /// an ingest via [`ShardedQueryService::with_result_cache`]).
+    pub fn result_cache(&self) -> Option<Arc<ResultCache>> {
+        self.results.clone()
+    }
+
+    /// Result-cache counters, when a result cache is configured.
+    pub fn result_cache_stats(&self) -> Option<ResultCacheStats> {
+        self.results.as_ref().map(|c| c.stats())
     }
 
     /// Cumulative per-query latency quantiles (nanoseconds) across
@@ -684,6 +820,60 @@ impl ShardedQueryService {
             .collect();
         let mut shared_keys = 0usize;
         let mut shared_consumers = 0usize;
+        // Result cache: one canonical key per query, probed per shard
+        // under that shard's `(id, generation)` epoch.
+        let keys: Option<Vec<Arc<[u8]>>> = self
+            .results
+            .as_ref()
+            .map(|_| queries.iter().map(canonical_query_key).collect());
+        let coding = options.coding.id();
+
+        // Per-query cache bookkeeping across shards: whether any shard
+        // actually evaluated the query, how many cached partials it
+        // reused and how many of those were negative entries.
+        let mut evaluated = vec![false; queries.len()];
+        let mut reused = vec![0u64; queries.len()];
+        let mut negative = vec![0u64; queries.len()];
+        // Phase 0: probe every `(query, shard)` pair once, up front and
+        // sequentially — these are hash lookups. A query whose *every*
+        // shard answers from cache is filled here and never reaches the
+        // shard machinery, so a warm batch spawns no threads; the
+        // partially-hit probes are kept and consumed by the shard pass
+        // below instead of probing again.
+        let mut preprobe: Vec<Vec<Option<Arc<Vec<u64>>>>> = Vec::new();
+        let mut pending: Vec<usize> = Vec::new();
+        if let (Some(rcache), Some(keys)) = (&self.results, &keys) {
+            for (i, key) in keys.iter().enumerate() {
+                let q_started = Instant::now();
+                let row: Vec<Option<Arc<Vec<u64>>>> = self
+                    .index
+                    .manifest()
+                    .shards
+                    .iter()
+                    .map(|entry| rcache.get(key, coding, entry.id, entry.generation))
+                    .collect();
+                if row.iter().all(Option::is_some) {
+                    // Shards ascend in tid order with tid-disjoint
+                    // answers: splicing in shard order keeps the global
+                    // set sorted.
+                    for (entry, partial) in self.index.manifest().shards.iter().zip(&row) {
+                        let partial = partial.as_ref().expect("probed above");
+                        reused[i] += 1;
+                        negative[i] += u64::from(partial.is_empty());
+                        outcomes[i].result.matches.extend(partial.iter().map(|&p| {
+                            let (tid, pre) = unpack_match(p);
+                            (entry.base + tid, pre)
+                        }));
+                    }
+                    outcomes[i].seconds = q_started.elapsed().as_secs_f64();
+                } else {
+                    pending.push(i);
+                }
+                preprobe.push(row);
+            }
+        } else {
+            pending.extend(0..queries.len());
+        }
 
         // Shard-level parallelism complements the per-shard worker
         // pool. A big batch already saturates the inner pool, so shards
@@ -694,13 +884,19 @@ impl ShardedQueryService {
         // configured threads instead. The product of outer and inner
         // workers stays around `config.threads` either way.
         let nshards = self.services.len();
-        let outer = (self.config.threads.max(1) / queries.len().max(1)).clamp(1, nshards.max(1));
-        // Per shard: (live query indices, skipped query indices, report
-        // if any query was live). Computed possibly out of order, always
-        // merged in shard order below.
-        type ShardRun = (Vec<usize>, Vec<usize>, Option<BatchReport>);
+        let outer = (self.config.threads.max(1) / pending.len().max(1)).clamp(1, nshards.max(1));
+        // Per shard: (live query indices, skipped query indices, cached
+        // partial results, report if any query was live). Computed
+        // possibly out of order, always merged in shard order below.
+        type ShardRun = (
+            Vec<usize>,
+            Vec<usize>,
+            Vec<(usize, Arc<Vec<u64>>)>,
+            Option<BatchReport>,
+        );
         let run_shard = |s: usize| -> Result<ShardRun> {
             let service = &self.services[s];
+            let entry = &self.index.manifest().shards[s];
             // Shard-skip pruning: this shard's own stats segment can
             // prove a query empty here before any list is opened. The
             // probes run through the per-shard service's StatsCache, so
@@ -710,9 +906,18 @@ impl ShardedQueryService {
                 stats: Some(service.stats.clone()),
                 ..ExecContext::default()
             };
-            let mut live: Vec<usize> = Vec::with_capacity(queries.len());
+            let mut live: Vec<usize> = Vec::with_capacity(pending.len());
             let mut skipped: Vec<usize> = Vec::new();
-            for (i, cover) in covers.iter().enumerate() {
+            let mut cached: Vec<(usize, Arc<Vec<u64>>)> = Vec::new();
+            for &i in &pending {
+                let cover = &covers[i];
+                // Phase-0 probe first: a cached partial (positive or
+                // negative) answers this shard without even the
+                // provably-empty stats probes.
+                if let Some(partial) = preprobe.get(i).and_then(|row| row[s].clone()) {
+                    cached.push((i, partial));
+                    continue;
+                }
                 if shard_provably_empty_with(
                     service.index(),
                     &cover.subtrees,
@@ -720,66 +925,135 @@ impl ShardedQueryService {
                     &probe_ctx,
                 )? {
                     skipped.push(i);
+                    // A proven-empty shard is a zero answer known
+                    // without opening a list — store it as an explicit
+                    // negative entry so the repeat query skips even
+                    // the stats probes.
+                    if let (Some(rcache), Some(keys)) = (&self.results, &keys) {
+                        rcache.insert(
+                            &keys[i],
+                            coding,
+                            entry.id,
+                            entry.generation,
+                            Arc::new(Vec::new()),
+                        );
+                    }
                 } else {
                     live.push(i);
                 }
             }
             if live.is_empty() {
-                return Ok((live, skipped, None));
+                return Ok((live, skipped, cached, None));
             }
             let shard_queries: Vec<Query> = live.iter().map(|&i| queries[i].clone()).collect();
             let report = service.run_batch(&shard_queries)?;
-            Ok((live, skipped, Some(report)))
-        };
-        let slots: Vec<Mutex<Option<Result<ShardRun>>>> =
-            self.services.iter().map(|_| Mutex::new(None)).collect();
-        if outer == 1 {
-            for (s, slot) in slots.iter().enumerate() {
-                *slot.lock().unwrap() = Some(run_shard(s));
-            }
-        } else {
-            let next_shard = AtomicUsize::new(0);
-            std::thread::scope(|scope| {
-                for _ in 0..outer {
-                    scope.spawn(|| loop {
-                        let s = next_shard.fetch_add(1, Ordering::Relaxed);
-                        if s >= nshards {
-                            break;
-                        }
-                        *slots[s].lock().unwrap() = Some(run_shard(s));
-                    });
-                }
-            });
-        }
-        for (entry, slot) in self.index.manifest().shards.iter().zip(slots) {
-            let (live, skipped, report) = slot.into_inner().unwrap().expect("shard ran")?;
-            for i in skipped {
-                outcomes[i].result.stats.shards_skipped += 1;
-            }
-            let Some(report) = report else { continue };
-            shared_keys += report.shared_keys;
-            shared_consumers += report.shared_consumers;
-            for (&i, outcome) in live.iter().zip(report.outcomes) {
-                let out = &mut outcomes[i];
-                // Shards ascend in tid order and their answers are
-                // tid-disjoint: appending keeps the global set sorted.
-                out.result.matches.extend(
-                    outcome
+            if let (Some(rcache), Some(keys)) = (&self.results, &keys) {
+                for (&i, outcome) in live.iter().zip(&report.outcomes) {
+                    let packed: Vec<u64> = outcome
                         .result
                         .matches
                         .iter()
-                        .map(|&(tid, pre)| (entry.base + tid, pre)),
-                );
-                merge_shard_stats(&mut out.result.stats, &outcome.result.stats);
-                out.seconds += outcome.seconds;
-                // Shard-merge aware timings: fold this shard's span
-                // tree in under a `shard-N` group node, mirroring the
-                // core sharded executor's presentation.
-                if let Some(snap) = &outcome.timings {
-                    out.timings
-                        .get_or_insert_with(TimingsSnapshot::default)
-                        .absorb(snap, &format!("shard-{}", entry.id));
+                        .map(|&(tid, pre)| pack_match(tid, pre))
+                        .collect();
+                    rcache.insert(
+                        &keys[i],
+                        coding,
+                        entry.id,
+                        entry.generation,
+                        Arc::new(packed),
+                    );
                 }
+            }
+            Ok((live, skipped, cached, Some(report)))
+        };
+        if pending.is_empty() {
+            // Every query answered from the cache (or the batch was
+            // empty): no shard pass at all.
+        } else {
+            let slots: Vec<Mutex<Option<Result<ShardRun>>>> =
+                self.services.iter().map(|_| Mutex::new(None)).collect();
+            if outer == 1 {
+                for (s, slot) in slots.iter().enumerate() {
+                    *slot.lock().unwrap() = Some(run_shard(s));
+                }
+            } else {
+                let next_shard = AtomicUsize::new(0);
+                std::thread::scope(|scope| {
+                    for _ in 0..outer {
+                        scope.spawn(|| loop {
+                            let s = next_shard.fetch_add(1, Ordering::Relaxed);
+                            if s >= nshards {
+                                break;
+                            }
+                            *slots[s].lock().unwrap() = Some(run_shard(s));
+                        });
+                    }
+                });
+            }
+            for (entry, slot) in self.index.manifest().shards.iter().zip(slots) {
+                let (live, skipped, cached, report) =
+                    slot.into_inner().unwrap().expect("shard ran")?;
+                for i in skipped {
+                    outcomes[i].result.stats.shards_skipped += 1;
+                }
+                // Cached partials splice into the same shard-order walk as
+                // evaluated ones, so the concatenated global set stays
+                // sorted regardless of where each shard's answer came from.
+                for (i, partial) in cached {
+                    reused[i] += 1;
+                    negative[i] += u64::from(partial.is_empty());
+                    outcomes[i].result.matches.extend(partial.iter().map(|&p| {
+                        let (tid, pre) = unpack_match(p);
+                        (entry.base + tid, pre)
+                    }));
+                }
+                let Some(report) = report else { continue };
+                shared_keys += report.shared_keys;
+                shared_consumers += report.shared_consumers;
+                for (&i, outcome) in live.iter().zip(report.outcomes) {
+                    evaluated[i] = true;
+                    let out = &mut outcomes[i];
+                    // Shards ascend in tid order and their answers are
+                    // tid-disjoint: appending keeps the global set sorted.
+                    out.result.matches.extend(
+                        outcome
+                            .result
+                            .matches
+                            .iter()
+                            .map(|&(tid, pre)| (entry.base + tid, pre)),
+                    );
+                    merge_shard_stats(&mut out.result.stats, &outcome.result.stats);
+                    out.seconds += outcome.seconds;
+                    // Shard-merge aware timings: fold this shard's span
+                    // tree in under a `shard-N` group node, mirroring the
+                    // core sharded executor's presentation.
+                    if let Some(snap) = &outcome.timings {
+                        out.timings
+                            .get_or_insert_with(TimingsSnapshot::default)
+                            .absorb(snap, &format!("shard-{}", entry.id));
+                    }
+                }
+            }
+        }
+        if self.results.is_some() {
+            for (i, out) in outcomes.iter_mut().enumerate() {
+                let s = &mut out.result.stats;
+                // The inner services run with result caching disabled,
+                // so these counters are exclusively this layer's. A
+                // query no shard evaluated that reused at least one
+                // cached partial (the rest skip-pruned at worst) is a
+                // whole-query hit; cached partials riding along an
+                // evaluation are the reuses that make an ingest
+                // invalidate only the shards it touched. A cold query
+                // every shard skip-pruned counts as neither — the
+                // cache played no part in answering it.
+                if evaluated[i] {
+                    s.result_misses = 1;
+                    s.partial_reuses = reused[i];
+                } else if reused[i] > 0 {
+                    s.result_hits = 1;
+                }
+                s.negative_hits = negative[i];
             }
         }
         for o in &outcomes {
@@ -854,6 +1128,15 @@ impl AnyQueryService {
         match self {
             AnyQueryService::Mono(s) => s.cache_stats(),
             AnyQueryService::Sharded(s) => s.cache_stats(),
+        }
+    }
+
+    /// Result-cache counters, when a result cache is configured
+    /// ([`ServiceConfig::result_cache_mb`] > 0).
+    pub fn result_cache_stats(&self) -> Option<ResultCacheStats> {
+        match self {
+            AnyQueryService::Mono(s) => s.result_cache_stats(),
+            AnyQueryService::Sharded(s) => s.result_cache_stats(),
         }
     }
 

@@ -24,16 +24,24 @@
 //! reader either sees the old shard set or the new one, never a torn
 //! state.
 //!
-//! ## On-disk format (`MANIFEST.si`, version 1)
+//! ## On-disk format (`MANIFEST.si`, version 2)
 //!
 //! ```text
 //! magic    8 bytes  "SISHRD1\0"
-//! version  varint   1
+//! version  varint   2
 //! mss      varint   build-time mss, identical across shards
 //! coding   1 byte   posting coding id, identical across shards
 //! count    varint   number of shards (>= 1)
-//! entry*   varint id, varint base, varint len   (per shard)
+//! entry*   varint id, varint base, varint len, varint generation
 //! ```
+//!
+//! Version 1 manifests (no per-entry generation varint) still decode;
+//! every entry loads with `generation == 0`. The generation is an
+//! epoch counter for result caching: `si ingest` stamps the shard it
+//! writes with a fresh generation, and a full rebuild into the same
+//! directory stamps every shard above the old maximum, so a cache
+//! entry keyed by `(shard id, generation)` can never alias a shard's
+//! earlier contents.
 //!
 //! Decoding validates structure: shard ids strictly increase (directory
 //! names never collide, even after future shard drops), `len > 0`, and
@@ -51,7 +59,10 @@ use crate::error::{Result, StorageError};
 pub const MANIFEST_FILE: &str = "MANIFEST.si";
 
 const MAGIC: &[u8; 8] = b"SISHRD1\0";
-const VERSION: u64 = 1;
+const VERSION: u64 = 2;
+/// Oldest manifest version this reader still decodes (entries carry no
+/// generation varint and load as generation 0).
+const MIN_VERSION: u64 = 1;
 
 /// One shard's manifest record.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +74,12 @@ pub struct ShardEntry {
     pub base: u32,
     /// Number of trees in the shard (local tids `0..len`).
     pub len: u32,
+    /// Epoch counter bumped every time this shard's contents change
+    /// (ingest writes a fresh shard at a fresh generation; a rebuild
+    /// stamps above the old maximum). `(id, generation)` uniquely
+    /// names one immutable shard state — the invalidation key of the
+    /// result cache. Version-1 manifests load with generation 0.
+    pub generation: u64,
 }
 
 impl ShardEntry {
@@ -127,6 +144,13 @@ impl ShardManifest {
         self.shards.last().map_or(0, |s| s.base + s.len)
     }
 
+    /// The highest generation across all shards (0 for an empty or
+    /// pre-generation manifest); a rebuild stamps its shards above
+    /// this.
+    pub fn max_generation(&self) -> u64 {
+        self.shards.iter().map(|s| s.generation).max().unwrap_or(0)
+    }
+
     /// The shard covering global `tid`, as an index into
     /// [`ShardManifest::shards`].
     pub fn shard_of(&self, tid: u32) -> Option<usize> {
@@ -156,6 +180,7 @@ impl ShardManifest {
             varint::write_u64(&mut out, s.id);
             varint::write_u64(&mut out, u64::from(s.base));
             varint::write_u64(&mut out, u64::from(s.len));
+            varint::write_u64(&mut out, s.generation);
         }
         out
     }
@@ -170,7 +195,7 @@ impl ShardManifest {
         }
         let mut r = varint::Reader::new(&bytes[8..]);
         let version = r.u64().ok_or_else(|| corrupt("truncated version"))?;
-        if version != VERSION {
+        if !(MIN_VERSION..=VERSION).contains(&version) {
             return Err(corrupt(&format!("unsupported version {version}")));
         }
         let mss = r.u64().ok_or_else(|| corrupt("truncated mss"))?;
@@ -187,6 +212,14 @@ impl ShardManifest {
             let id = r.u64().ok_or_else(|| corrupt("truncated shard id"))?;
             let base = r.u64().ok_or_else(|| corrupt("truncated shard base"))?;
             let len = r.u64().ok_or_else(|| corrupt("truncated shard len"))?;
+            // Pre-generation manifests carry no per-entry epoch; they
+            // load as generation 0 and answer identically.
+            let generation = if version >= 2 {
+                r.u64()
+                    .ok_or_else(|| corrupt("truncated shard generation"))?
+            } else {
+                0
+            };
             let base = u32::try_from(base).map_err(|_| corrupt("shard base overflows u32"))?;
             let len = u32::try_from(len).map_err(|_| corrupt("shard len overflows u32"))?;
             if len == 0 {
@@ -194,7 +227,12 @@ impl ShardManifest {
             }
             base.checked_add(len - 1)
                 .ok_or_else(|| corrupt("tid range overflows u32"))?;
-            let entry = ShardEntry { id, base, len };
+            let entry = ShardEntry {
+                id,
+                base,
+                len,
+                generation,
+            };
             if let Some(prev) = shards.last() {
                 let prev: &ShardEntry = prev;
                 if entry.id <= prev.id {
@@ -248,19 +286,38 @@ mod tests {
                     id: 0,
                     base: 0,
                     len: 100,
+                    generation: 1,
                 },
                 ShardEntry {
                     id: 1,
                     base: 100,
                     len: 50,
+                    generation: 1,
                 },
                 ShardEntry {
                     id: 4,
                     base: 150,
                     len: 7,
+                    generation: 3,
                 },
             ],
         }
+    }
+
+    /// Hand-encodes the version-1 (pre-generation) layout of `m`.
+    fn encode_v1(m: &ShardManifest) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        varint::write_u64(&mut out, 1);
+        varint::write_u64(&mut out, m.mss);
+        out.push(m.coding);
+        varint::write_u64(&mut out, m.shards.len() as u64);
+        for s in &m.shards {
+            varint::write_u64(&mut out, s.id);
+            varint::write_u64(&mut out, u64::from(s.base));
+            varint::write_u64(&mut out, u64::from(s.len));
+        }
+        out
     }
 
     #[test]
@@ -271,6 +328,55 @@ mod tests {
         assert_eq!(decoded.total_trees(), 157);
         assert_eq!(decoded.next_id(), 5);
         assert_eq!(decoded.next_base(), 157);
+        assert_eq!(decoded.max_generation(), 3);
+    }
+
+    /// Satellite: generations round-trip exactly, including large
+    /// multi-byte varint values.
+    #[test]
+    fn generation_round_trips() {
+        let mut m = manifest();
+        m.shards[0].generation = 0;
+        m.shards[1].generation = 300; // two varint bytes
+        m.shards[2].generation = u64::MAX >> 1;
+        let decoded = ShardManifest::decode(&m.encode()).unwrap();
+        assert_eq!(decoded, m);
+        assert_eq!(decoded.max_generation(), u64::MAX >> 1);
+    }
+
+    /// Satellite: a pre-generation (version 1) `MANIFEST.si` loads with
+    /// every generation zero and is otherwise identical.
+    #[test]
+    fn version1_manifest_loads_with_zero_generations() {
+        let m = manifest();
+        let decoded = ShardManifest::decode(&encode_v1(&m)).unwrap();
+        assert!(decoded.shards.iter().all(|s| s.generation == 0));
+        assert_eq!(decoded.max_generation(), 0);
+        let mut expect = m.clone();
+        for s in &mut expect.shards {
+            s.generation = 0;
+        }
+        assert_eq!(decoded, expect);
+    }
+
+    /// Satellite: a version-2 header whose generation block is cut off
+    /// is corruption, not a silent zero.
+    #[test]
+    fn truncated_generation_block_is_rejected() {
+        let good = manifest().encode();
+        // The last entry's generation (3) is the final varint byte.
+        let cut = &good[..good.len() - 1];
+        let err = ShardManifest::decode(cut).unwrap_err();
+        assert!(
+            err.to_string().contains("generation"),
+            "unexpected error: {err}"
+        );
+        // A v1 body *claiming* version 2 truncates at the first
+        // missing generation varint.
+        let m = manifest();
+        let mut lying = encode_v1(&m);
+        lying[8] = 2;
+        assert!(ShardManifest::decode(&lying).is_err());
     }
 
     #[test]
