@@ -2435,6 +2435,14 @@ pub struct ObsBenchReport {
     pub enabled_overhead: f64,
     /// `Σ stage_total / Σ wall` across every enabled rep.
     pub stage_ratio: f64,
+    /// Min whole-workload batch seconds through a `QueryService` with
+    /// the metrics registry off (`collect_metrics: false`).
+    pub registry_off_seconds: f64,
+    /// Min whole-workload batch seconds with the registry folding
+    /// every query's counters in (the default).
+    pub registry_on_seconds: f64,
+    /// `registry_on / registry_off − 1`, gated at 2%.
+    pub registry_overhead: f64,
 }
 
 /// Measures what the PR 7 instrumentation itself costs: every workload
@@ -2444,8 +2452,10 @@ pub struct ObsBenchReport {
 /// equally, with match sets asserted identical on every rep (a live
 /// equivalence check). The run is also the CI overhead gate: it panics
 /// if the disabled path costs more than 5% over baseline, if the
-/// enabled path exceeds a 25% sanity cap, or if the stage partition
-/// attributes less than 90% (or more than 110%) of the enabled wall.
+/// enabled path exceeds a 25% sanity cap, if the stage partition
+/// attributes less than 90% (or more than 110%) of the enabled wall,
+/// or if the PR 9 metrics registry costs the query service more than
+/// 2% of batch throughput over a `collect_metrics: false` twin.
 pub fn run_obs_bench(scale: Scale) -> ObsBenchReport {
     use si_core::ExecContext;
 
@@ -2461,13 +2471,15 @@ pub fn run_obs_bench(scale: Scale) -> ObsBenchReport {
         .chain(fb.into_iter().map(|(c, s, q)| (format!("fb-{c}-{s}"), q)))
         .collect();
     let reps = scale.reps().max(7);
-    let index = SubtreeIndex::build(
-        &work.path("idx"),
-        big.trees(),
-        big.interner(),
-        IndexOptions::new(3, Coding::SubtreeInterval),
-    )
-    .expect("obs bench build");
+    let index = std::sync::Arc::new(
+        SubtreeIndex::build(
+            &work.path("idx"),
+            big.trees(),
+            big.interner(),
+            IndexOptions::new(3, Coding::SubtreeInterval),
+        )
+        .expect("obs bench build"),
+    );
 
     let mut rows = Vec::new();
     let mut stage_ns_total = 0u128;
@@ -2548,12 +2560,67 @@ pub fn run_obs_bench(scale: Scale) -> ObsBenchReport {
         "stage partition attributes {:.1}% of the enabled wall (gate: 90-110%)",
         stage_ratio * 100.0
     );
+
+    // Registry-spine overhead: the same workload batched through two
+    // otherwise-identical query services, one folding every query into
+    // the process-wide metrics registry (the default) and one with
+    // `collect_metrics: false`. Reps interleave so cache drift hits
+    // both states equally; min-of-reps total wall is compared.
+    let batch: Vec<Query> = queries.iter().map(|(_, q)| q.clone()).collect();
+    let service_with = |collect_metrics: bool| {
+        si_service::QueryService::new(
+            index.clone(),
+            si_service::ServiceConfig {
+                threads: 4,
+                collect_metrics,
+                ..si_service::ServiceConfig::default()
+            },
+        )
+    };
+    let on = service_with(true);
+    let off = service_with(false);
+    // Warm both services' caches before timing.
+    on.run_batch(&batch).expect("registry warmup (on)");
+    off.run_batch(&batch).expect("registry warmup (off)");
+    let mut registry_on_seconds = f64::INFINITY;
+    let mut registry_off_seconds = f64::INFINITY;
+    for _ in 0..reps {
+        let (report_on, secs) = time(|| on.run_batch(&batch).expect("registry-on batch"));
+        registry_on_seconds = registry_on_seconds.min(secs);
+        let (report_off, secs) = time(|| off.run_batch(&batch).expect("registry-off batch"));
+        registry_off_seconds = registry_off_seconds.min(secs);
+        // Live equivalence check: metrics must never change answers.
+        for ((a, b), (_, q)) in report_on
+            .outcomes
+            .iter()
+            .zip(&report_off.outcomes)
+            .zip(&queries)
+        {
+            assert_eq!(
+                a.result.matches, b.result.matches,
+                "metrics registry changed the answer on {q:?}"
+            );
+        }
+    }
+    let registry_overhead = registry_on_seconds / registry_off_seconds.max(1e-12) - 1.0;
+    assert!(
+        registry_overhead < 0.02,
+        "metrics-registry overhead {:.2}% exceeds the 2% gate \
+         (on {:.3} ms vs off {:.3} ms)",
+        registry_overhead * 100.0,
+        registry_on_seconds * 1e3,
+        registry_off_seconds * 1e3
+    );
+
     ObsBenchReport {
         rows,
         reps,
         disabled_overhead,
         enabled_overhead,
         stage_ratio,
+        registry_off_seconds,
+        registry_on_seconds,
+        registry_overhead,
     }
 }
 
@@ -2583,6 +2650,12 @@ pub fn emit_obs_bench(scale: Scale, report: &ObsBenchReport) -> std::io::Result<
         "stage partition attributes {:.1}% of the enabled wall",
         report.stage_ratio * 100.0
     );
+    println!(
+        "metrics registry: batch {:.3} ms on vs {:.3} ms off ({:+.2}%, gate < 2%)",
+        report.registry_on_seconds * 1e3,
+        report.registry_off_seconds * 1e3,
+        report.registry_overhead * 100.0
+    );
     let base_q = latency_quantiles(report.rows.iter().map(|r| r.baseline_seconds));
     let dis_q = latency_quantiles(report.rows.iter().map(|r| r.disabled_seconds));
     let en_q = latency_quantiles(report.rows.iter().map(|r| r.enabled_seconds));
@@ -2597,6 +2670,8 @@ pub fn emit_obs_bench(scale: Scale, report: &ObsBenchReport) -> std::io::Result<
          \"baseline_total_ms\": {:.4},\n  \"disabled_total_ms\": {:.4},\n  \
          \"enabled_total_ms\": {:.4},\n  \"disabled_overhead\": {:.5},\n  \
          \"enabled_overhead\": {:.5},\n  \"stage_sum_ratio\": {:.4},\n  \
+         \"registry_on_batch_ms\": {:.4},\n  \"registry_off_batch_ms\": {:.4},\n  \
+         \"registry_overhead\": {:.5},\n  \"registry_gate\": 0.02,\n  \
          \"latency_quantiles\": {{\"baseline\": {}, \"disabled\": {}, \"enabled\": {}}},\n  \
          \"queries\": [\n",
         corpus_seed(),
@@ -2607,6 +2682,9 @@ pub fn emit_obs_bench(scale: Scale, report: &ObsBenchReport) -> std::io::Result<
         report.disabled_overhead,
         report.enabled_overhead,
         report.stage_ratio,
+        report.registry_on_seconds * 1e3,
+        report.registry_off_seconds * 1e3,
+        report.registry_overhead,
         quantiles_json(&base_q),
         quantiles_json(&dis_q),
         quantiles_json(&en_q),

@@ -1,8 +1,10 @@
 //! Subcommand implementations.
 
+use std::collections::BTreeMap;
 use std::error::Error;
 use std::io::Write;
 use std::path::Path;
+use std::sync::Mutex;
 
 use si_core::build_ext::ExternalBuildConfig;
 use si_core::cover::decompose;
@@ -13,7 +15,7 @@ use si_core::sharded::{
 use si_core::stats::intersect_tid_ranges;
 use si_core::{AnyIndex, Coding, EvalStats, ExecMode, IndexOptions, KeyStats, SubtreeIndex};
 use si_corpus::GeneratorConfig;
-use si_obs::{json_escape, Stage, Timings, TimingsSnapshot};
+use si_obs::{json_escape, Json, MetricsSnapshot, Stage, Timings, TimingsSnapshot};
 use si_parsetree::{ptb, LabelInterner};
 use si_query::{parse_query, write_query};
 
@@ -49,13 +51,28 @@ USAGE:
                                                             append one span-tree JSON line)
   si batch     --index DIR --queries FILE [--threads N]
                [--cache-mb 64] [--result-cache-mb 32]
-               [--batch-size 64] [--trace-json FILE]        run a query file concurrently
+               [--batch-size 64] [--trace-json FILE]
+               [--stats-interval SECS] [--metrics-json FILE]
+               [--slow-query-ms N] [--slow-log FILE]        run a query file concurrently
                                                             (--result-cache-mb: byte budget
                                                             for cached match sets, epoch-
                                                             invalidated on ingest; 0 = off)
   si serve     --index DIR [--threads N] [--cache-mb 64]
                [--result-cache-mb 32] [--batch-size 64]
-               [--trace-json FILE]                          serve queries from stdin, batched
+               [--trace-json FILE]
+               [--stats-interval SECS] [--metrics-json FILE]
+               [--slow-query-ms N] [--slow-log FILE]        serve queries from stdin, batched
+                                                            (--stats-interval: one JSON
+                                                            metrics-snapshot line per tick,
+                                                            to --metrics-json or stderr;
+                                                            --slow-query-ms: append span
+                                                            trees of threshold-breaching
+                                                            queries to --slow-log or stderr)
+  si report    FILE... [--top 5]                            aggregate trace-json / slow-log /
+                                                            metrics-json lines offline: stage
+                                                            breakdown, top-N slowest queries
+                                                            with their dominant operator, and
+                                                            cache/seek efficiency summaries
   si scan      --input FILE QUERY [--show N]                TGrep2 mode: match without an index
   si extract   --input FILE [--mss 3] [--top 20]            most frequent subtree keys
   si stats     --index DIR [KEY]                            index statistics; with a
@@ -89,6 +106,7 @@ pub fn run(argv: &[String]) -> Result<(), AnyError> {
         "scan" => scan(&args),
         "extract" => extract(&args),
         "stats" => stats(&args),
+        "report" => report(&args, &mut std::io::stdout().lock()),
         "decompose" => decompose_cmd(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -243,7 +261,7 @@ fn query(args: &Args) -> Result<(), AnyError> {
     let show: usize = args.get_or("show", 0)?;
     let verbose: bool = args.get_or("verbose", false)?;
     let explain_analyze: bool = args.get_or("explain-analyze", false)?;
-    let trace_json = args.get("trace-json");
+    let trace = trace_sink(args)?;
     let cache_mb: usize = args.get_or("cache-mb", 0)?;
     let [query_text] = args.positional() else {
         return Err("query: expected exactly one QUERY argument".into());
@@ -253,7 +271,7 @@ fn query(args: &Args) -> Result<(), AnyError> {
     let mut index = AnyIndex::open(Path::new(index_dir))?;
     index.set_exec_mode(exec);
     let mut interner = index.interner();
-    let timings = (explain_analyze || trace_json.is_some()).then(|| Timings::new(true));
+    let timings = (explain_analyze || trace.is_some()).then(|| Timings::new(true));
     let query = {
         let _span = timings.as_ref().map(|t| t.span(Stage::Parse));
         parse_query(query_text, &mut interner)?
@@ -326,16 +344,14 @@ fn query(args: &Args) -> Result<(), AnyError> {
                 .collect();
             print_explain_analyze(&snap, total_ns, &covers);
         }
-        if let Some(path) = trace_json {
-            let mut file = std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(path)?;
-            writeln!(
-                file,
-                "{}",
-                trace_line(query_text, result.len(), total_ns, &result.stats, &snap)
-            )?;
+        if let Some(sink) = &trace {
+            sink.write_line(&trace_line(
+                query_text,
+                result.len(),
+                total_ns,
+                &result.stats,
+                &snap,
+            ))?;
         }
     }
     for &(tid, pre) in result.matches.iter().take(show) {
@@ -349,8 +365,9 @@ fn query(args: &Args) -> Result<(), AnyError> {
 }
 
 /// Parses the service flags shared by `si batch` and `si serve`.
-/// `--trace-json` turns per-query span collection on — that is the
-/// only way the service's outcomes carry snapshots to write out.
+/// `--trace-json` and `--slow-query-ms` both turn per-query span
+/// collection on — that is the only way the service's outcomes carry
+/// snapshots to write out.
 fn service_config(args: &Args) -> Result<si_service::ServiceConfig, AnyError> {
     let defaults = si_service::ServiceConfig::default();
     let cache_mb: usize = args.get_or("cache-mb", 64)?;
@@ -358,7 +375,7 @@ fn service_config(args: &Args) -> Result<si_service::ServiceConfig, AnyError> {
         threads: args.get_or("threads", defaults.threads)?,
         cache: si_core::BlockCacheConfig::with_budget(cache_mb << 20),
         batch_size: args.get_or("batch-size", defaults.batch_size)?,
-        collect_timings: args.get("trace-json").is_some(),
+        collect_timings: args.get("trace-json").is_some() || args.get("slow-query-ms").is_some(),
         // The result cache defaults ON for the service commands (the
         // library default is off); `--result-cache-mb 0` disables it.
         result_cache_mb: args.get_or("result-cache-mb", 32)?,
@@ -366,17 +383,193 @@ fn service_config(args: &Args) -> Result<si_service::ServiceConfig, AnyError> {
     })
 }
 
+/// A shared, line-atomic JSON-lines sink: every record is assembled in
+/// full and written (with its newline) in a single `write_all`, so the
+/// concurrent writers of serve mode — per-batch trace/slow records and
+/// the periodic stats ticker — never interleave mid-line. This is the
+/// one appender behind `--trace-json`, `--slow-log` and
+/// `--metrics-json` for `si query`, `si batch` and `si serve` alike.
+struct LineSink(Mutex<Box<dyn Write + Send>>);
+
+impl LineSink {
+    /// Appends to `path`, creating it if needed.
+    fn file(path: &str) -> Result<Self, AnyError> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Self(Mutex::new(Box::new(file))))
+    }
+
+    /// Writes lines to stderr (the default telemetry destination, so
+    /// stdout stays pure query results).
+    fn stderr() -> Self {
+        Self(Mutex::new(Box::new(std::io::stderr())))
+    }
+
+    /// Writes one complete record line atomically.
+    fn write_line(&self, line: &str) -> std::io::Result<()> {
+        let mut buf = Vec::with_capacity(line.len() + 1);
+        buf.extend_from_slice(line.as_bytes());
+        buf.push(b'\n');
+        let mut w = self.0.lock().unwrap_or_else(|e| e.into_inner());
+        w.write_all(&buf)?;
+        w.flush()
+    }
+}
+
 /// Opens the `--trace-json` sink in append mode, if requested.
-fn trace_sink(args: &Args) -> Result<Option<std::fs::File>, AnyError> {
+fn trace_sink(args: &Args) -> Result<Option<LineSink>, AnyError> {
     Ok(match args.get("trace-json") {
-        Some(path) => Some(
-            std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(path)?,
-        ),
+        Some(path) => Some(LineSink::file(path)?),
         None => None,
     })
+}
+
+/// `--slow-query-ms`: latency threshold plus the sink breaching
+/// queries' span trees append to (`--slow-log FILE`, stderr otherwise).
+struct SlowLog {
+    threshold_ms: f64,
+    sink: LineSink,
+}
+
+fn slow_log(args: &Args) -> Result<Option<SlowLog>, AnyError> {
+    let Some(raw) = args.get("slow-query-ms") else {
+        return Ok(None);
+    };
+    let threshold_ms: f64 = raw
+        .parse()
+        .map_err(|_| format!("--slow-query-ms: cannot parse {raw:?}"))?;
+    let sink = match args.get("slow-log") {
+        Some(path) => LineSink::file(path)?,
+        None => LineSink::stderr(),
+    };
+    Ok(Some(SlowLog { threshold_ms, sink }))
+}
+
+/// One slow-query-log record: the regular trace line tagged with
+/// `"type":"slow"` and the threshold it breached, so mixed files still
+/// classify unambiguously in `si report`.
+fn slow_line(
+    threshold_ms: f64,
+    query_text: &str,
+    matches: usize,
+    total_ns: u64,
+    stats: &EvalStats,
+    snap: &TimingsSnapshot,
+) -> String {
+    let body = trace_line(query_text, matches, total_ns, stats, snap);
+    format!(
+        "{{\"type\":\"slow\",\"threshold_ms\":{threshold_ms},{}",
+        &body[1..]
+    )
+}
+
+/// Appends `{"name":value,...}` from name/number pairs.
+fn write_num_obj<'a, V: std::fmt::Display>(
+    out: &mut String,
+    entries: impl Iterator<Item = (&'a str, V)>,
+) {
+    use std::fmt::Write as _;
+    out.push('{');
+    for (i, (name, v)) in entries.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":{v}", json_escape(name));
+    }
+    out.push('}');
+}
+
+/// Ticker bookkeeping shared between the periodic thread and the final
+/// at-exit tick: the tick ordinal and the previous cumulative snapshot
+/// the next delta subtracts against.
+struct TickState(Mutex<(u64, MetricsSnapshot)>);
+
+/// Emits one `{"type":"metrics",...}` line: full cumulative counters,
+/// the delta since the previous tick, gauge levels, and the two latency
+/// views (windowed quantiles over just this interval, drained here, and
+/// the cumulative distribution).
+fn emit_metrics_tick(
+    service: &si_service::AnyQueryService,
+    sink: &LineSink,
+    state: &TickState,
+    interval_secs: u64,
+) {
+    let snap = service.sync_metrics();
+    let window = service.metrics().latency().reset_window();
+    let total = snap
+        .histograms
+        .get("service.latency_ns")
+        .copied()
+        .unwrap_or_default();
+    let mut st = state.0.lock().unwrap_or_else(|e| e.into_inner());
+    st.0 += 1;
+    let delta = snap.counter_delta_since(&st.1);
+    let mut line = format!(
+        "{{\"type\":\"metrics\",\"tick\":{},\"interval_secs\":{interval_secs},\"counters\":",
+        st.0
+    );
+    write_num_obj(
+        &mut line,
+        snap.counters.iter().map(|(k, &v)| (k.as_str(), v)),
+    );
+    line.push_str(",\"delta\":");
+    write_num_obj(&mut line, delta.iter().map(|(k, &v)| (k.as_str(), v)));
+    line.push_str(",\"gauges\":");
+    write_num_obj(&mut line, snap.gauges.iter().map(|(k, &v)| (k.as_str(), v)));
+    line.push_str(",\"latency_window\":");
+    window.write_json(&mut line);
+    line.push_str(",\"latency_total\":");
+    total.write_json(&mut line);
+    line.push('}');
+    st.1 = snap;
+    drop(st);
+    let _ = sink.write_line(&line);
+}
+
+/// Runs `body` with the periodic metrics ticker alive around it, then
+/// emits one final snapshot after `body` returns — so even a run
+/// shorter than one interval produces at least one metrics line (and
+/// CI can assert on the schema deterministically).
+fn with_stats_ticker<T>(
+    service: &si_service::AnyQueryService,
+    interval_secs: u64,
+    sink: Option<&LineSink>,
+    body: impl FnOnce() -> Result<T, AnyError>,
+) -> Result<T, AnyError> {
+    let (Some(sink), true) = (sink, interval_secs > 0) else {
+        return body();
+    };
+    let state = TickState(Mutex::new((0, service.metrics().registry().snapshot())));
+    std::thread::scope(|scope| {
+        let (stop_tx, stop_rx) = std::sync::mpsc::channel::<()>();
+        let state_ref = &state;
+        let ticker = scope.spawn(move || {
+            while let Err(std::sync::mpsc::RecvTimeoutError::Timeout) =
+                stop_rx.recv_timeout(std::time::Duration::from_secs(interval_secs))
+            {
+                emit_metrics_tick(service, sink, state_ref, interval_secs);
+            }
+        });
+        let result = body();
+        drop(stop_tx);
+        let _ = ticker.join();
+        emit_metrics_tick(service, sink, &state, interval_secs);
+        result
+    })
+}
+
+/// The `--metrics-json` sink (stderr when the flag is absent); only
+/// built when `--stats-interval` actually enables the ticker.
+fn metrics_sink(args: &Args) -> Result<Option<LineSink>, AnyError> {
+    if args.get_or("stats-interval", 0u64)? == 0 {
+        return Ok(None);
+    }
+    Ok(Some(match args.get("metrics-json") {
+        Some(path) => LineSink::file(path)?,
+        None => LineSink::stderr(),
+    }))
 }
 
 /// Runs every query of `--queries FILE` (one per line; blank lines and
@@ -394,14 +587,14 @@ fn batch(args: &Args) -> Result<(), AnyError> {
         .filter(|l| !l.is_empty() && !l.starts_with('#'))
         .map(str::to_owned)
         .collect();
-    let mut trace = trace_sink(args)?;
+    let trace = trace_sink(args)?;
+    let slow = slow_log(args)?;
+    let stats_interval: u64 = args.get_or("stats-interval", 0)?;
+    let msink = metrics_sink(args)?;
     let mut out = std::io::stdout().lock();
-    let summary = run_service_batches(
-        &service,
-        &lines,
-        &mut out,
-        trace.as_mut().map(|f| f as &mut dyn Write),
-    )?;
+    let summary = with_stats_ticker(&service, stats_interval, msink.as_ref(), || {
+        run_service_batches(&service, &lines, &mut out, trace.as_ref(), slow.as_ref())
+    })?;
     print_service_summary(&service, &summary, config.threads);
     Ok(())
 }
@@ -417,34 +610,81 @@ fn serve(
     let index_dir = args.required("index")?;
     let config = service_config(args)?;
     let service = si_service::AnyQueryService::open(Path::new(index_dir), config)?;
-    let mut trace = trace_sink(args)?;
-    let mut total = ServiceSummary::default();
-    let mut pending: Vec<String> = Vec::new();
-    loop {
-        let mut line = String::new();
-        let eof = input.read_line(&mut line)? == 0;
-        if !eof {
-            let line = line.trim();
-            if !line.is_empty() && !line.starts_with('#') {
-                pending.push(line.to_owned());
+    let trace = trace_sink(args)?;
+    let slow = slow_log(args)?;
+    let stats_interval: u64 = args.get_or("stats-interval", 0)?;
+    let msink = metrics_sink(args)?;
+    print_serve_banner(args, index_dir, &service, &config, stats_interval, &slow)?;
+    let total = with_stats_ticker(&service, stats_interval, msink.as_ref(), || {
+        let mut total = ServiceSummary::default();
+        let mut pending: Vec<String> = Vec::new();
+        loop {
+            let mut line = String::new();
+            let eof = input.read_line(&mut line)? == 0;
+            if !eof {
+                let line = line.trim();
+                if !line.is_empty() && !line.starts_with('#') {
+                    pending.push(line.to_owned());
+                }
+            }
+            if pending.len() >= service.batch_size() || (eof && !pending.is_empty()) {
+                let batch: Vec<String> = std::mem::take(&mut pending);
+                let summary =
+                    run_service_batches(&service, &batch, out, trace.as_ref(), slow.as_ref())?;
+                total.absorb(&summary);
+                out.flush()?;
+            }
+            if eof {
+                break;
             }
         }
-        if pending.len() >= service.batch_size() || (eof && !pending.is_empty()) {
-            let batch: Vec<String> = std::mem::take(&mut pending);
-            let summary = run_service_batches(
-                &service,
-                &batch,
-                out,
-                trace.as_mut().map(|f| f as &mut dyn Write),
-            )?;
-            total.absorb(&summary);
-            out.flush()?;
-        }
-        if eof {
-            break;
-        }
-    }
+        Ok(total)
+    })?;
     print_service_summary(&service, &total, config.threads);
+    Ok(())
+}
+
+/// The `si serve` startup banner: what is being served and through
+/// which machinery — index layout, read path (mmap vs buffered pager),
+/// cache configuration and any telemetry sinks — so a long-running
+/// process's log records how it was actually configured.
+fn print_serve_banner(
+    args: &Args,
+    index_dir: &str,
+    service: &si_service::AnyQueryService,
+    config: &si_service::ServiceConfig,
+    stats_interval: u64,
+    slow: &Option<SlowLog>,
+) -> Result<(), AnyError> {
+    let layout = match service {
+        si_service::AnyQueryService::Mono(_) => "monolithic",
+        si_service::AnyQueryService::Sharded(_) => "sharded",
+    };
+    let cache_mb: usize = args.get_or("cache-mb", 64)?;
+    eprintln!("serving    {index_dir} ({layout} index)");
+    eprintln!("read path  {}", service.read_path());
+    let result_cache = match service.result_cache_mb() {
+        0 => "off".to_owned(),
+        mb => format!("{mb} MiB (epoch-invalidated)"),
+    };
+    eprintln!(
+        "config     {} threads, batch size {}, block cache {cache_mb} MiB, result cache {result_cache}",
+        config.threads,
+        service.batch_size(),
+    );
+    if stats_interval > 0 {
+        eprintln!(
+            "telemetry  metrics snapshot every {stats_interval} s -> {}",
+            args.get("metrics-json").unwrap_or("stderr")
+        );
+    }
+    if let Some(s) = slow {
+        eprintln!(
+            "telemetry  slow-query log (>= {} ms) -> {}",
+            s.threshold_ms,
+            args.get("slow-log").unwrap_or("stderr")
+        );
+    }
     Ok(())
 }
 
@@ -490,7 +730,8 @@ fn run_service_batches(
     service: &si_service::AnyQueryService,
     lines: &[String],
     out: &mut dyn Write,
-    mut trace: Option<&mut dyn Write>,
+    trace: Option<&LineSink>,
+    slow: Option<&SlowLog>,
 ) -> Result<ServiceSummary, AnyError> {
     let mut interner = service.interner();
     let mut summary = ServiceSummary::default();
@@ -521,20 +762,29 @@ fn run_service_batches(
                     summary.matches += outcome.result.len();
                     summary.latency_seconds += outcome.seconds;
                     absorb_stats(&mut summary.stats, &outcome.result.stats);
-                    if let (Some(trace), Some(snap)) =
-                        (trace.as_deref_mut(), outcome.timings.as_ref())
-                    {
-                        writeln!(
-                            trace,
-                            "{}",
-                            trace_line(
+                    if let Some(snap) = outcome.timings.as_ref() {
+                        let total_ns = (outcome.seconds * 1e9) as u64;
+                        if let Some(trace) = trace {
+                            trace.write_line(&trace_line(
                                 text,
                                 outcome.result.len(),
-                                (outcome.seconds * 1e9) as u64,
+                                total_ns,
                                 &outcome.result.stats,
-                                snap
-                            )
-                        )?;
+                                snap,
+                            ))?;
+                        }
+                        if let Some(slow) = slow {
+                            if outcome.seconds * 1e3 >= slow.threshold_ms {
+                                slow.sink.write_line(&slow_line(
+                                    slow.threshold_ms,
+                                    text,
+                                    outcome.result.len(),
+                                    total_ns,
+                                    &outcome.result.stats,
+                                    snap,
+                                ))?;
+                            }
+                        }
                     }
                 }
                 Err(e) => writeln!(out, "{text}\terror: {e}")?,
@@ -1081,6 +1331,261 @@ fn stats(args: &Args) -> Result<(), AnyError> {
     Ok(())
 }
 
+/// One query record as `si report` keeps it: trace-json and slow-log
+/// lines both reduce to this.
+#[derive(Default)]
+struct ReportQuery {
+    query: String,
+    matches: u64,
+    total_ns: u64,
+    slow: bool,
+    /// Operator with the largest *self* time (nanos minus the sum of
+    /// its children's), and that self time.
+    dominant: Option<(String, u64)>,
+    result_hits: u64,
+    result_misses: u64,
+    partial_reuses: u64,
+    negative_hits: u64,
+}
+
+/// The dominant operator of a trace record's `ops` forest: largest
+/// self-time (a node's nanoseconds minus its children's — inclusive
+/// times would always elect the root). The synthetic `shard-N` group
+/// nodes `absorb` adds have zero self time, so they never win.
+fn dominant_op(ops: &[Json]) -> Option<(String, u64)> {
+    let nanos: Vec<u64> = ops
+        .iter()
+        .map(|op| op.get("nanos").and_then(Json::as_u64).unwrap_or(0))
+        .collect();
+    let mut best: Option<(String, u64)> = None;
+    for (i, op) in ops.iter().enumerate() {
+        let child_ns: u64 = op
+            .get("children")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .filter_map(Json::as_u64)
+            .filter_map(|c| nanos.get(c as usize))
+            .sum();
+        let self_ns = nanos[i].saturating_sub(child_ns);
+        let label = op.get("label").and_then(Json::as_str).unwrap_or("?");
+        if best.as_ref().is_none_or(|(_, b)| self_ns > *b) {
+            best = Some((label.to_owned(), self_ns));
+        }
+    }
+    best
+}
+
+/// `si report FILE...`: offline aggregation over the JSON-lines
+/// telemetry the serve/batch/query commands emit. Lines classify by
+/// shape — `"stages"` marks a per-query trace or slow record,
+/// `"counters"` a metrics snapshot — so trace files, slow logs and
+/// metrics files mix freely on one command line.
+fn report(args: &Args, out: &mut dyn Write) -> Result<(), AnyError> {
+    let top: usize = args.get_or("top", 5)?;
+    let files = args.positional();
+    if files.is_empty() {
+        return Err(
+            "report: expected one or more FILE arguments (trace-json / slow-log / metrics-json \
+             lines)"
+                .into(),
+        );
+    }
+
+    let mut queries: Vec<ReportQuery> = Vec::new();
+    let mut stage_ns: BTreeMap<String, u64> = BTreeMap::new();
+    let mut metrics_lines = 0usize;
+    let mut last_counters: BTreeMap<String, u64> = BTreeMap::new();
+    let mut skipped = 0usize;
+    for path in files {
+        let text = std::fs::read_to_string(path)?;
+        for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
+            let Ok(v) = Json::parse(line) else {
+                skipped += 1;
+                continue;
+            };
+            if let Some(stages) = v.get("stages") {
+                let mut rec = ReportQuery {
+                    query: v
+                        .get("query")
+                        .and_then(Json::as_str)
+                        .unwrap_or("?")
+                        .to_owned(),
+                    matches: v.get("matches").and_then(Json::as_u64).unwrap_or(0),
+                    total_ns: v.get("total_ns").and_then(Json::as_u64).unwrap_or(0),
+                    slow: v.get("type").and_then(Json::as_str) == Some("slow"),
+                    ..ReportQuery::default()
+                };
+                for (name, ns) in stages.as_obj().unwrap_or(&[]) {
+                    *stage_ns.entry(name.clone()).or_insert(0) += ns.as_u64().unwrap_or(0);
+                }
+                if let Some(cache) = v.get("cache") {
+                    let n = |k: &str| cache.get(k).and_then(Json::as_u64).unwrap_or(0);
+                    rec.result_hits = n("result_hits");
+                    rec.result_misses = n("result_misses");
+                    rec.partial_reuses = n("partial_reuses");
+                    rec.negative_hits = n("negative_hits");
+                }
+                rec.dominant = dominant_op(v.get("ops").and_then(Json::as_arr).unwrap_or(&[]));
+                queries.push(rec);
+            } else if let Some(counters) = v.get("counters") {
+                // Counters are cumulative, so the last snapshot line
+                // seen supersedes earlier ones.
+                metrics_lines += 1;
+                last_counters = counters
+                    .as_obj()
+                    .unwrap_or(&[])
+                    .iter()
+                    .filter_map(|(k, n)| n.as_u64().map(|n| (k.clone(), n)))
+                    .collect();
+            } else {
+                skipped += 1;
+            }
+        }
+    }
+
+    writeln!(
+        out,
+        "report over {} file{}{}",
+        files.len(),
+        if files.len() == 1 { "" } else { "s" },
+        if skipped > 0 {
+            format!(" ({skipped} unrecognized lines skipped)")
+        } else {
+            String::new()
+        }
+    )?;
+    let slow_count = queries.iter().filter(|q| q.slow).count();
+    writeln!(
+        out,
+        "queries aggregated: {} ({} slow-log records)",
+        queries.len(),
+        slow_count
+    )?;
+
+    if !queries.is_empty() {
+        let stage_total: u64 = stage_ns.values().sum();
+        writeln!(out, "stage breakdown (summed over traced queries):")?;
+        let mut stages: Vec<(&String, &u64)> = stage_ns.iter().filter(|(_, &ns)| ns > 0).collect();
+        stages.sort_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        for (name, &ns) in stages {
+            writeln!(
+                out,
+                "  {name:<13} {:>12}  {:>5.1}%",
+                fmt_ns(ns),
+                if stage_total > 0 {
+                    ns as f64 * 100.0 / stage_total as f64
+                } else {
+                    0.0
+                }
+            )?;
+        }
+        writeln!(out, "  {:<13} {:>12}", "total", fmt_ns(stage_total))?;
+
+        let mut by_latency: Vec<&ReportQuery> = queries.iter().collect();
+        by_latency.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.query.cmp(&b.query)));
+        writeln!(out, "top {} slowest queries:", top.min(by_latency.len()))?;
+        for (i, q) in by_latency.iter().take(top).enumerate() {
+            let dominant = match &q.dominant {
+                Some((label, self_ns)) => {
+                    format!(", dominant op {label} ({} self)", fmt_ns(*self_ns))
+                }
+                None => String::new(),
+            };
+            writeln!(
+                out,
+                "  {}. {:>12}  {}  ({} matches{}{})",
+                i + 1,
+                fmt_ns(q.total_ns),
+                q.query,
+                q.matches,
+                dominant,
+                if q.slow { ", slow-log" } else { "" }
+            )?;
+        }
+
+        let sum = |f: fn(&ReportQuery) -> u64| -> u64 { queries.iter().map(f).sum() };
+        let hits = sum(|q| q.result_hits);
+        let misses = sum(|q| q.result_misses);
+        writeln!(
+            out,
+            "result cache (traced queries): {} hits ({} negative), {} misses, {} shard partials \
+             reused{}",
+            hits,
+            sum(|q| q.negative_hits),
+            misses,
+            sum(|q| q.partial_reuses),
+            if hits + misses > 0 {
+                format!(
+                    " — {:.1}% hit rate",
+                    hits as f64 * 100.0 / (hits + misses) as f64
+                )
+            } else {
+                String::new()
+            }
+        )?;
+    }
+
+    if metrics_lines > 0 {
+        writeln!(
+            out,
+            "metrics snapshots: {metrics_lines} line{}; final cumulative counters:",
+            if metrics_lines == 1 { "" } else { "s" }
+        )?;
+        let c = |k: &str| last_counters.get(k).copied().unwrap_or(0);
+        let rate = |h: u64, m: u64| {
+            if h + m > 0 {
+                format!("{:.1}%", h as f64 * 100.0 / (h + m) as f64)
+            } else {
+                "-".to_owned()
+            }
+        };
+        writeln!(
+            out,
+            "  service     {} queries, {} matches",
+            c("service.queries"),
+            c("service.matches")
+        )?;
+        writeln!(
+            out,
+            "  block cache {} hit rate ({} hits / {} misses)",
+            rate(c("blockcache.hits"), c("blockcache.misses")),
+            c("blockcache.hits"),
+            c("blockcache.misses")
+        )?;
+        writeln!(
+            out,
+            "  result cache {} hit rate ({} hits / {} misses, {} negative)",
+            rate(c("resultcache.hits"), c("resultcache.misses")),
+            c("resultcache.hits"),
+            c("resultcache.misses"),
+            c("resultcache.negative_hits")
+        )?;
+        writeln!(
+            out,
+            "  pager       {} hit rate ({} hits / {} reads, {} mmap reads)",
+            rate(c("pager.hits"), c("pager.reads")),
+            c("pager.hits"),
+            c("pager.reads"),
+            c("pager.mmap_reads")
+        )?;
+        writeln!(
+            out,
+            "  seeks       {} restart-point seeks, {} postings skipped undecoded, {} fetched",
+            c("eval.seeks"),
+            c("eval.postings_skipped"),
+            c("eval.postings_fetched")
+        )?;
+        writeln!(
+            out,
+            "  shards      {} visits, {} skipped from statistics",
+            c("shard.visits"),
+            c("shard.skips")
+        )?;
+    }
+    Ok(())
+}
+
 fn print_stats(index: &SubtreeIndex) {
     let o = index.options();
     print_stats_common(
@@ -1610,6 +2115,181 @@ mod tests {
         assert_eq!(lines.len(), 3, "every line answered: {text}");
         assert!(lines[1].starts_with("NP((\terror:"), "{text}");
         assert!(lines[2].contains("matches"), "{text}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_emits_metrics_snapshots_and_slow_log() {
+        let dir = tmp("telemetry");
+        let corpus_file = dir.join("corpus.ptb");
+        let index_dir = dir.join("idx");
+        run(&argv(&[
+            "generate",
+            "--sentences",
+            "60",
+            "--out",
+            corpus_file.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "build",
+            "--input",
+            corpus_file.to_str().unwrap(),
+            "--index",
+            index_dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let metrics_file = dir.join("metrics.jsonl");
+        let slow_file = dir.join("slow.jsonl");
+        // Threshold 0 ms: every query breaches, so the slow log holds
+        // one span tree per query.
+        let args = Args::parse_bools(
+            &argv(&[
+                "--index",
+                index_dir.to_str().unwrap(),
+                "--threads",
+                "2",
+                "--stats-interval",
+                "1",
+                "--metrics-json",
+                metrics_file.to_str().unwrap(),
+                "--slow-query-ms",
+                "0",
+                "--slow-log",
+                slow_file.to_str().unwrap(),
+            ]),
+            BOOL_FLAGS,
+        )
+        .unwrap();
+        let input = b"NP(NN)\nS(NP)(VP)\nVP(VBZ)\n" as &[u8];
+        let mut reader = std::io::BufReader::new(input);
+        let mut out: Vec<u8> = Vec::new();
+        serve(&args, &mut reader, &mut out).unwrap();
+        // At least the final at-exit snapshot, schema-complete.
+        let metrics = std::fs::read_to_string(&metrics_file).unwrap();
+        assert!(!metrics.lines().collect::<Vec<_>>().is_empty(), "{metrics}");
+        for line in metrics.lines() {
+            for key in [
+                "\"type\":\"metrics\"",
+                "\"tick\":",
+                "\"counters\":",
+                "\"delta\":",
+                "\"gauges\":",
+                "\"latency_window\":",
+                "\"latency_total\":",
+                "\"service.queries\":",
+            ] {
+                assert!(line.contains(key), "missing {key} in {line}");
+            }
+            Json::parse(line).unwrap();
+        }
+        let slow = std::fs::read_to_string(&slow_file).unwrap();
+        assert_eq!(slow.lines().count(), 3, "{slow}");
+        for line in slow.lines() {
+            assert!(
+                line.starts_with("{\"type\":\"slow\",\"threshold_ms\":0"),
+                "{line}"
+            );
+            assert!(line.contains("\"ops\":"), "{line}");
+            Json::parse(line).unwrap();
+        }
+        // An unreachable threshold captures nothing: the span-tree cost
+        // is paid only by queries that actually breach it.
+        let quiet_slow = dir.join("quiet-slow.jsonl");
+        let args = Args::parse_bools(
+            &argv(&[
+                "--index",
+                index_dir.to_str().unwrap(),
+                "--slow-query-ms",
+                "100000",
+                "--slow-log",
+                quiet_slow.to_str().unwrap(),
+            ]),
+            BOOL_FLAGS,
+        )
+        .unwrap();
+        let input = b"NP(NN)\nS(NP)(VP)\n" as &[u8];
+        let mut reader = std::io::BufReader::new(input);
+        let mut out: Vec<u8> = Vec::new();
+        serve(&args, &mut reader, &mut out).unwrap();
+        assert_eq!(std::fs::read_to_string(&quiet_slow).unwrap(), "");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn report_aggregates_trace_slow_and_metrics_files() {
+        let dir = tmp("report");
+        let corpus_file = dir.join("corpus.ptb");
+        let index_dir = dir.join("idx");
+        let queries_file = dir.join("queries.txt");
+        run(&argv(&[
+            "generate",
+            "--sentences",
+            "80",
+            "--out",
+            corpus_file.to_str().unwrap(),
+        ]))
+        .unwrap();
+        run(&argv(&[
+            "build",
+            "--input",
+            corpus_file.to_str().unwrap(),
+            "--index",
+            index_dir.to_str().unwrap(),
+        ]))
+        .unwrap();
+        std::fs::write(&queries_file, "NP(NN)\nS(NP)(VP)\nVP(VBZ)\nNP(DT)(NN)\n").unwrap();
+        let trace_file = dir.join("trace.jsonl");
+        let slow_file = dir.join("slow.jsonl");
+        let metrics_file = dir.join("metrics.jsonl");
+        run(&argv(&[
+            "batch",
+            "--index",
+            index_dir.to_str().unwrap(),
+            "--queries",
+            queries_file.to_str().unwrap(),
+            "--trace-json",
+            trace_file.to_str().unwrap(),
+            "--slow-query-ms",
+            "0",
+            "--slow-log",
+            slow_file.to_str().unwrap(),
+            "--stats-interval",
+            "30",
+            "--metrics-json",
+            metrics_file.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let args = Args::parse_bools(
+            &argv(&[
+                "--top",
+                "2",
+                trace_file.to_str().unwrap(),
+                slow_file.to_str().unwrap(),
+                metrics_file.to_str().unwrap(),
+            ]),
+            BOOL_FLAGS,
+        )
+        .unwrap();
+        let mut out: Vec<u8> = Vec::new();
+        report(&args, &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        // 4 trace records + 4 slow records, every line classified.
+        assert!(
+            text.contains("queries aggregated: 8 (4 slow-log records)"),
+            "{text}"
+        );
+        assert!(!text.contains("unrecognized"), "{text}");
+        assert!(text.contains("stage breakdown"), "{text}");
+        assert!(text.contains("top 2 slowest queries:"), "{text}");
+        assert!(text.contains("dominant op"), "{text}");
+        assert!(text.contains("metrics snapshots: 1 line"), "{text}");
+        // The registry counted each of the 4 queries once, even though
+        // trace + slow views record them twice.
+        assert!(text.contains("service     4 queries"), "{text}");
+        // The dispatcher wires `si report` up, and no files is an error.
+        run(&argv(&["report", trace_file.to_str().unwrap()])).unwrap();
+        assert!(run(&argv(&["report"])).is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -125,6 +125,25 @@ impl BlockCacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Mirrors this snapshot into `registry` under the stable
+    /// `blockcache.*` dotted names (monotone counters via
+    /// `Counter::set`, resident bytes as a gauge). Call at snapshot
+    /// time; the cache itself stays registry-free on its hot path.
+    pub fn register_into(&self, registry: &si_obs::Registry) {
+        registry.counter("blockcache.hits").set(self.hits);
+        registry.counter("blockcache.misses").set(self.misses);
+        registry
+            .counter("blockcache.insertions")
+            .set(self.insertions);
+        registry.counter("blockcache.evictions").set(self.evictions);
+        registry
+            .gauge("blockcache.bytes")
+            .set(i64::try_from(self.current_bytes).unwrap_or(i64::MAX));
+        registry
+            .gauge("blockcache.peak_bytes")
+            .set(i64::try_from(self.peak_bytes).unwrap_or(i64::MAX));
+    }
 }
 
 const NIL: usize = usize::MAX;

@@ -163,6 +163,30 @@ impl ResultCacheStats {
             self.hits as f64 / total as f64
         }
     }
+
+    /// Mirrors this snapshot into `registry` under the stable
+    /// `resultcache.*` dotted names (monotone counters via
+    /// `Counter::set`, resident bytes as a gauge). Call at snapshot
+    /// time; the cache itself stays registry-free on its hot path.
+    pub fn register_into(&self, registry: &si_obs::Registry) {
+        registry.counter("resultcache.hits").set(self.hits);
+        registry.counter("resultcache.misses").set(self.misses);
+        registry
+            .counter("resultcache.negative_hits")
+            .set(self.negative_hits);
+        registry
+            .counter("resultcache.insertions")
+            .set(self.insertions);
+        registry
+            .counter("resultcache.evictions")
+            .set(self.evictions);
+        registry
+            .gauge("resultcache.bytes")
+            .set(i64::try_from(self.current_bytes).unwrap_or(i64::MAX));
+        registry
+            .gauge("resultcache.peak_bytes")
+            .set(i64::try_from(self.peak_bytes).unwrap_or(i64::MAX));
+    }
 }
 
 const NIL: usize = usize::MAX;

@@ -1,5 +1,7 @@
-//! Minimal JSON string escaping shared by the trace sinks and bench
-//! emitters (this workspace links no external crates).
+//! Minimal JSON support shared by the trace sinks, bench emitters and
+//! the offline `si report` reader (this workspace links no external
+//! crates): string escaping for writers and a small recursive-descent
+//! value parser for readers.
 
 /// Escapes `s` for inclusion inside a double-quoted JSON string.
 pub fn json_escape(s: &str) -> String {
@@ -18,9 +20,248 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
+/// A parsed JSON value. Numbers are `f64` — every count this engine
+/// emits (nanoseconds, posting tallies) stays far below 2^53, where
+/// `f64` is exact.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any number.
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order preserved, first match wins on `get`.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses one complete JSON value; trailing non-whitespace is an
+    /// error (one trace/metrics line is one value).
+    pub fn parse(s: &str) -> Result<Json, String> {
+        let b = s.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(b, &mut pos)?;
+        skip_ws(b, &mut pos);
+        if pos != b.len() {
+            return Err(format!("trailing input at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    /// Member `key` of an object (`None` for other variants or a
+    /// missing key).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a non-negative integer, if it is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_owned()),
+        Some(b'n') => expect(b, pos, "null").map(|()| Json::Null),
+        Some(b't') => expect(b, pos, "true").map(|()| Json::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|()| Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut members = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(members));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                let value = parse_value(b, pos)?;
+                members.push((key, value));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(members));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_owned()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let cp = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape")?;
+                        *pos += 4;
+                        // Surrogate pairs: peek for the low half.
+                        let c = if (0xd800..0xdc00).contains(&cp) {
+                            let low = b
+                                .get(*pos + 1..*pos + 7)
+                                .filter(|t| t.starts_with(b"\\u"))
+                                .and_then(|t| std::str::from_utf8(&t[2..]).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .filter(|lo| (0xdc00..0xe000).contains(lo));
+                            match low {
+                                Some(lo) => {
+                                    *pos += 6;
+                                    let c = 0x10000 + ((cp - 0xd800) << 10) + (lo - 0xdc00);
+                                    char::from_u32(c).unwrap_or('\u{fffd}')
+                                }
+                                None => '\u{fffd}',
+                            }
+                        } else {
+                            char::from_u32(cp).unwrap_or('\u{fffd}')
+                        };
+                        out.push(c);
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so this is
+                // always a valid boundary walk).
+                let rest = std::str::from_utf8(&b[*pos..]).map_err(|_| "invalid utf-8")?;
+                let c = rest.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| "invalid utf-8")?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number `{text}` at byte {start}"))
+}
+
 #[cfg(test)]
 mod tests {
-    use super::json_escape;
+    use super::{json_escape, Json};
 
     #[test]
     fn escapes_quotes_backslashes_and_controls() {
@@ -29,5 +270,49 @@ mod tests {
         assert_eq!(json_escape("a\\b"), "a\\\\b");
         assert_eq!(json_escape("a\nb\tc"), "a\\nb\\tc");
         assert_eq!(json_escape("\u{01}"), "\\u0001");
+    }
+
+    #[test]
+    fn parses_scalars_arrays_and_objects() {
+        assert_eq!(Json::parse("null").unwrap(), Json::Null);
+        assert_eq!(Json::parse(" true ").unwrap(), Json::Bool(true));
+        assert_eq!(Json::parse("-12.5e2").unwrap(), Json::Num(-1250.0));
+        assert_eq!(Json::parse("\"a b\"").unwrap().as_str(), Some("a b"));
+        let v = Json::parse("[1, 2, [3]]").unwrap();
+        assert_eq!(v.as_arr().unwrap().len(), 3);
+        let v = Json::parse("{\"a\": {\"b\": 7}, \"c\": []}").unwrap();
+        assert_eq!(v.get("a").unwrap().get("b").unwrap().as_u64(), Some(7));
+        assert_eq!(v.get("c").unwrap().as_arr(), Some(&[][..]));
+        assert!(v.get("missing").is_none());
+    }
+
+    #[test]
+    fn unescapes_strings() {
+        assert_eq!(
+            Json::parse(r#""a\"b\\c\n\u0041""#).unwrap().as_str(),
+            Some("a\"b\\c\nA")
+        );
+        // Surrogate pair → one scalar.
+        assert_eq!(
+            Json::parse(r#""\ud83d\ude00""#).unwrap().as_str(),
+            Some("\u{1f600}")
+        );
+    }
+
+    #[test]
+    fn round_trips_own_escapes() {
+        let original = "tricky \"quotes\"\\slashes\nnewlines\tand \u{01} controls";
+        let line = format!("{{\"q\":\"{}\"}}", json_escape(original));
+        let parsed = Json::parse(&line).unwrap();
+        assert_eq!(parsed.get("q").unwrap().as_str(), Some(original));
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{\"a\":}").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("12 34").is_err());
+        assert!(Json::parse("\"open").is_err());
     }
 }

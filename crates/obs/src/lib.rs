@@ -11,8 +11,10 @@
 //!   posting-seek, decode, join, validate, merge) plus a per-operator
 //!   node tree the streaming executor fills in. A disabled `Timings`
 //!   (and an absent one) costs the instrumented code one branch.
-//! * [`json`] — the hand-rolled JSON escapes the trace sinks share
-//!   (this workspace links no external crates).
+//! * [`json`] — the hand-rolled JSON escaping the trace sinks share
+//!   and the small [`Json`] value parser `si report` reads trace /
+//!   slow-log / metrics lines back with (this workspace links no
+//!   external crates).
 //!
 //! [`TimingsSnapshot`] is the plain-data hand-off: workers snapshot
 //! their per-query `Timings`, snapshots travel across threads, merge
@@ -22,6 +24,8 @@ pub mod json;
 pub mod metrics;
 pub mod timings;
 
-pub use json::json_escape;
-pub use metrics::{Counter, Gauge, Histogram, HistogramSummary, Registry};
+pub use json::{json_escape, Json};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSummary, MetricsSnapshot, Registry, WindowedHistogram,
+};
 pub use timings::{OpNode, Stage, StageSpan, Timings, TimingsSnapshot, STAGE_COUNT};

@@ -10,7 +10,9 @@
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
+
+use crate::json::json_escape;
 
 /// A monotonically increasing event count.
 #[derive(Default, Debug)]
@@ -35,6 +37,14 @@ impl Counter {
     /// Current value.
     pub fn get(&self) -> u64 {
         self.0.load(Ordering::Relaxed)
+    }
+
+    /// Overwrites the count. Only for mirroring an *external* monotonic
+    /// source (e.g. a subsystem that keeps its own atomics) into a
+    /// registry cell at snapshot time; never mix `set` with `add` on
+    /// the same counter.
+    pub fn set(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
     }
 }
 
@@ -272,6 +282,138 @@ impl HistogramSummary {
     }
 }
 
+impl HistogramSummary {
+    /// Appends this summary as a JSON object
+    /// (`{"count":..,"sum":..,"min":..,"max":..,"p50":..,"p90":..,"p99":..,"p999":..}`).
+    pub fn write_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        let _ = write!(
+            out,
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}",
+            self.count, self.sum, self.min, self.max, self.p50, self.p90, self.p99, self.p999
+        );
+    }
+}
+
+/// A cumulative histogram paired with a resettable *window*: every
+/// sample lands in both, a periodic reader drains the window to get
+/// quantiles over just the last interval while the cumulative side
+/// keeps the full distribution. Recording takes a shared read lock
+/// (uncontended except during the brief per-tick reset) plus the usual
+/// relaxed atomics.
+pub struct WindowedHistogram {
+    cumulative: Histogram,
+    window: RwLock<Histogram>,
+}
+
+impl Default for WindowedHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl WindowedHistogram {
+    /// An empty windowed histogram.
+    pub fn new() -> Self {
+        Self {
+            cumulative: Histogram::new(),
+            window: RwLock::new(Histogram::new()),
+        }
+    }
+
+    /// Records one sample into both the cumulative and window sides.
+    pub fn record(&self, v: u64) {
+        self.cumulative.record(v);
+        self.window
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .record(v);
+    }
+
+    /// Records a latency given in (non-negative) seconds, as nanoseconds.
+    pub fn record_secs(&self, secs: f64) {
+        self.record((secs.max(0.0) * 1e9) as u64);
+    }
+
+    /// The cumulative (never-reset) side.
+    pub fn cumulative(&self) -> &Histogram {
+        &self.cumulative
+    }
+
+    /// Summary of the current window without resetting it.
+    pub fn window_summary(&self) -> HistogramSummary {
+        self.window
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .summary()
+    }
+
+    /// Summarizes the window and starts a fresh one; the cumulative
+    /// side is untouched.
+    pub fn reset_window(&self) -> HistogramSummary {
+        let mut w = self.window.write().unwrap_or_else(|e| e.into_inner());
+        let summary = w.summary();
+        *w = Histogram::new();
+        summary
+    }
+}
+
+/// Plain-data, point-in-time copy of every metric in a [`Registry`],
+/// sorted by name. Snapshots subtract ([`MetricsSnapshot::counter_delta_since`])
+/// to give per-interval rates and serialize to one JSON object.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge levels by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histogram summaries by name (cumulative side for windowed ones).
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+impl MetricsSnapshot {
+    /// Per-counter increase since `prev` (saturating: a counter absent
+    /// from `prev` counts from zero, and mirrors that move backwards
+    /// clamp at zero rather than wrapping).
+    pub fn counter_delta_since(&self, prev: &MetricsSnapshot) -> BTreeMap<String, u64> {
+        self.counters
+            .iter()
+            .map(|(name, &now)| {
+                let before = prev.counters.get(name).copied().unwrap_or(0);
+                (name.clone(), now.saturating_sub(before))
+            })
+            .collect()
+    }
+
+    /// Appends `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+    pub fn write_json(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        out.push_str("{\"counters\":{");
+        for (i, (name, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", json_escape(name), v);
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (name, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", json_escape(name), v);
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (name, s)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":", json_escape(name));
+            s.write_json(out);
+        }
+        out.push_str("}}");
+    }
+}
+
 /// A named-metric registry for long-lived processes: get-or-create by
 /// name behind one mutex, record through the returned `Arc` without
 /// ever touching the registry again (the record path stays lock-free).
@@ -280,6 +422,7 @@ pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    windowed: Mutex<BTreeMap<String, Arc<WindowedHistogram>>>,
 }
 
 impl Registry {
@@ -316,6 +459,47 @@ impl Registry {
     pub fn counter_values(&self) -> Vec<(String, u64)> {
         let map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
         map.iter().map(|(k, c)| (k.clone(), c.get())).collect()
+    }
+
+    /// The windowed histogram named `name`, created on first use.
+    pub fn windowed(&self, name: &str) -> Arc<WindowedHistogram> {
+        let mut map = self.windowed.lock().unwrap_or_else(|e| e.into_inner());
+        map.entry(name.to_owned()).or_default().clone()
+    }
+
+    /// Snapshot of every gauge, sorted by name.
+    pub fn gauge_values(&self) -> Vec<(String, i64)> {
+        let map = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+        map.iter().map(|(k, g)| (k.clone(), g.get())).collect()
+    }
+
+    /// Point-in-time copy of every metric. Windowed histograms
+    /// contribute their cumulative side (the window is a per-reader
+    /// concern, drained via [`WindowedHistogram::reset_window`]).
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let counters = {
+            let map = self.counters.lock().unwrap_or_else(|e| e.into_inner());
+            map.iter().map(|(k, c)| (k.clone(), c.get())).collect()
+        };
+        let gauges = {
+            let map = self.gauges.lock().unwrap_or_else(|e| e.into_inner());
+            map.iter().map(|(k, g)| (k.clone(), g.get())).collect()
+        };
+        let mut histograms: BTreeMap<String, HistogramSummary> = {
+            let map = self.histograms.lock().unwrap_or_else(|e| e.into_inner());
+            map.iter().map(|(k, h)| (k.clone(), h.summary())).collect()
+        };
+        {
+            let map = self.windowed.lock().unwrap_or_else(|e| e.into_inner());
+            for (k, w) in map.iter() {
+                histograms.insert(k.clone(), w.cumulative().summary());
+            }
+        }
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
     }
 }
 
@@ -456,6 +640,114 @@ mod tests {
         let s = h.summary();
         assert_eq!(s.mean(), 0.0);
         assert_eq!(s.p999, 0);
+    }
+
+    #[test]
+    fn registry_snapshot_and_delta() {
+        let r = Registry::new();
+        r.counter("pager.reads").add(10);
+        r.counter("eval.seeks").add(3);
+        r.gauge("service.queue_depth").set(5);
+        r.histogram("decode.ns").record(1000);
+        r.windowed("service.latency").record(2000);
+
+        let first = r.snapshot();
+        assert_eq!(first.counters["pager.reads"], 10);
+        assert_eq!(first.gauges["service.queue_depth"], 5);
+        assert_eq!(first.histograms["decode.ns"].count, 1);
+        // Windowed histograms surface their cumulative side.
+        assert_eq!(first.histograms["service.latency"].count, 1);
+
+        r.counter("pager.reads").add(7);
+        r.counter("blockcache.hits").add(2); // born between snapshots
+        r.gauge("service.queue_depth").add(-5);
+        let second = r.snapshot();
+
+        let delta = second.counter_delta_since(&first);
+        assert_eq!(delta["pager.reads"], 7);
+        assert_eq!(delta["eval.seeks"], 0);
+        assert_eq!(delta["blockcache.hits"], 2, "new counters count from zero");
+        assert_eq!(second.gauges["service.queue_depth"], 0);
+
+        // A mirror that (incorrectly) moved backwards clamps at zero.
+        r.counter("pager.reads").set(1);
+        let third = r.snapshot();
+        assert_eq!(third.counter_delta_since(&second)["pager.reads"], 0);
+
+        // Snapshots serialize to one JSON object with all three sections.
+        let mut line = String::new();
+        second.write_json(&mut line);
+        assert!(line.starts_with("{\"counters\":{"));
+        assert!(line.contains("\"pager.reads\":17"));
+        assert!(line.contains("\"gauges\":{"));
+        assert!(line.contains("\"service.latency\":{\"count\":1"));
+    }
+
+    #[test]
+    fn gauge_set_and_add_under_concurrency() {
+        // N threads each do +1 ... -1 pairs around a critical region;
+        // the final level must return to the initial `set`. Exercises
+        // `add` atomicity under contention.
+        let g = std::sync::Arc::new(Gauge::new());
+        g.set(0);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let g = g.clone();
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        g.add(1);
+                        g.add(-1);
+                    }
+                });
+            }
+        });
+        assert_eq!(g.get(), 0);
+
+        // Registry hands out the *same* cell for the same name, so
+        // concurrent get-or-create keeps one level.
+        let r = std::sync::Arc::new(Registry::new());
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let r = r.clone();
+                scope.spawn(move || {
+                    for _ in 0..1000 {
+                        r.gauge("workers").add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.gauge("workers").get(), 4000);
+    }
+
+    #[test]
+    fn windowed_reset_leaves_cumulative_untouched() {
+        let w = WindowedHistogram::new();
+        for v in [100u64, 200, 300] {
+            w.record(v);
+        }
+        assert_eq!(w.window_summary().count, 3);
+        let drained = w.reset_window();
+        assert_eq!(drained.count, 3);
+        assert_eq!(drained.min, 100);
+        assert_eq!(drained.max, 300);
+
+        // Window is now empty; cumulative still holds everything.
+        assert_eq!(w.window_summary().count, 0);
+        assert_eq!(w.cumulative().count(), 3);
+
+        // New samples only populate the fresh window.
+        w.record(5000);
+        let s = w.window_summary();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.min, 5000, "window quantiles cover the window only");
+        assert_eq!(w.cumulative().count(), 4);
+        assert_eq!(w.cumulative().min(), 100);
+
+        // record_secs lands in nanoseconds like Histogram::record_secs.
+        w.record_secs(0.001);
+        let s = w.window_summary();
+        assert_eq!(s.count, 2);
+        assert!(s.max >= 900_000 && s.max <= 1_100_000);
     }
 
     #[test]

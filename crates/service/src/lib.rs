@@ -41,7 +41,10 @@ use si_core::{
     canonical_query_key, pack_match, unpack_match, BlockCache, BlockCacheConfig, BlockCacheStats,
     Coding, ResultCache, ResultCacheConfig, ResultCacheStats, SubtreeIndex,
 };
-use si_obs::{Histogram, HistogramSummary, Timings, TimingsSnapshot};
+use si_obs::{
+    Counter, Gauge, Histogram, HistogramSummary, MetricsSnapshot, Registry, Timings,
+    TimingsSnapshot, WindowedHistogram,
+};
 use si_query::Query;
 use si_storage::{Result, StorageError};
 
@@ -81,6 +84,13 @@ pub struct ServiceConfig {
     /// level so differential tests compare like with like; the CLI's
     /// batch/serve modes turn it on. See `si_core::resultcache`.
     pub result_cache_mb: usize,
+    /// Feed the process-wide metrics registry ([`ServiceMetrics`]):
+    /// queue-depth / busy-worker gauges around the worker pool and a
+    /// per-query fold of `EvalStats` plus latency into the registry's
+    /// counters and windowed histogram. On by default — the whole path
+    /// is relaxed atomics (the `experiments obs` bench gates it at
+    /// ≤2% of batch throughput); turn off to measure that floor.
+    pub collect_metrics: bool,
 }
 
 impl Default for ServiceConfig {
@@ -96,6 +106,7 @@ impl Default for ServiceConfig {
             shared_pool_budget_bytes: 64 << 20,
             collect_timings: false,
             result_cache_mb: 0,
+            collect_metrics: true,
         }
     }
 }
@@ -180,6 +191,163 @@ pub struct TuplePoolStats {
     pub current_bytes: u64,
     /// High-water mark of resident bytes (must stay ≤ the budget).
     pub peak_bytes: u64,
+}
+
+impl TuplePoolStats {
+    /// Mirrors this snapshot into `registry` under the stable
+    /// `tuplepool.*` dotted names (monotone counters via
+    /// `Counter::set`, resident bytes as a gauge).
+    pub fn register_into(&self, registry: &Registry) {
+        registry.counter("tuplepool.hits").set(self.hits);
+        registry.counter("tuplepool.misses").set(self.misses);
+        registry
+            .counter("tuplepool.insertions")
+            .set(self.insertions);
+        registry.counter("tuplepool.evictions").set(self.evictions);
+        registry
+            .gauge("tuplepool.bytes")
+            .set(i64::try_from(self.current_bytes).unwrap_or(i64::MAX));
+        registry
+            .gauge("tuplepool.peak_bytes")
+            .set(i64::try_from(self.peak_bytes).unwrap_or(i64::MAX));
+    }
+}
+
+/// The process-wide metrics spine of a query service: one shared
+/// [`Registry`] plus pre-resolved cells for everything the hot path
+/// touches, so recording never takes the registry's name lock.
+///
+/// Two kinds of metric feed it:
+///
+/// * **Folded** — after each batch the service folds every query's
+///   final merged [`EvalStats`] into cumulative `eval.*` / `shard.*`
+///   counters and its latency into the `service.latency_ns` windowed
+///   histogram, exactly once per query (a sharded service folds at the
+///   outer layer; its inner per-shard services share these cells but
+///   have folding disabled). `EvalStats` thus stays the per-query view
+///   over the same quantities the registry accumulates for the process.
+/// * **Mirrored** — subsystems that already keep their own monotone
+///   atomics (pager, block cache, result cache, tuple pool) are copied
+///   in at snapshot time via `Counter::set` / `Gauge::set` by
+///   [`QueryService::sync_metrics`] (`pager.*`, `blockcache.*`,
+///   `resultcache.*`, `tuplepool.*` names).
+///
+/// The `service.queue_depth` / `service.workers_busy` gauges are
+/// updated live by the worker pool regardless of layer — they describe
+/// the workers wherever those run.
+#[derive(Clone)]
+pub struct ServiceMetrics {
+    registry: Arc<Registry>,
+    queries: Arc<Counter>,
+    batches: Arc<Counter>,
+    matches: Arc<Counter>,
+    queue_depth: Arc<Gauge>,
+    workers_busy: Arc<Gauge>,
+    latency: Arc<WindowedHistogram>,
+    covers: Arc<Counter>,
+    joins: Arc<Counter>,
+    postings_fetched: Arc<Counter>,
+    validated_trees: Arc<Counter>,
+    postings_borrowed: Arc<Counter>,
+    sort_exchanges_avoided: Arc<Counter>,
+    seeks: Arc<Counter>,
+    postings_skipped: Arc<Counter>,
+    range_pruned: Arc<Counter>,
+    shard_visits: Arc<Counter>,
+    shard_skips: Arc<Counter>,
+}
+
+impl Default for ServiceMetrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ServiceMetrics {
+    /// A fresh spine over its own registry.
+    pub fn new() -> Self {
+        Self::with_registry(Arc::new(Registry::new()))
+    }
+
+    /// A spine over an existing registry (cells are get-or-created by
+    /// their stable dotted names, so two spines over one registry share
+    /// cells).
+    pub fn with_registry(registry: Arc<Registry>) -> Self {
+        Self {
+            queries: registry.counter("service.queries"),
+            batches: registry.counter("service.batches"),
+            matches: registry.counter("service.matches"),
+            queue_depth: registry.gauge("service.queue_depth"),
+            workers_busy: registry.gauge("service.workers_busy"),
+            latency: registry.windowed("service.latency_ns"),
+            covers: registry.counter("eval.covers"),
+            joins: registry.counter("eval.joins"),
+            postings_fetched: registry.counter("eval.postings_fetched"),
+            validated_trees: registry.counter("eval.validated_trees"),
+            postings_borrowed: registry.counter("eval.postings_borrowed"),
+            sort_exchanges_avoided: registry.counter("eval.sort_exchanges_avoided"),
+            seeks: registry.counter("eval.seeks"),
+            postings_skipped: registry.counter("eval.postings_skipped"),
+            range_pruned: registry.counter("eval.range_pruned"),
+            shard_visits: registry.counter("shard.visits"),
+            shard_skips: registry.counter("shard.skips"),
+            registry,
+        }
+    }
+
+    /// The backing registry (snapshot it for telemetry lines).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The `service.latency_ns` windowed histogram — cumulative
+    /// quantiles plus a per-tick resettable window for the periodic
+    /// telemetry emitter.
+    pub fn latency(&self) -> &Arc<WindowedHistogram> {
+        &self.latency
+    }
+
+    /// Folds one completed query's outcome into the cumulative cells.
+    /// Called exactly once per query by the outermost service layer.
+    fn fold_outcome(&self, outcome: &QueryOutcome) {
+        self.queries.inc();
+        self.matches.add(outcome.result.matches.len() as u64);
+        self.latency.record_secs(outcome.seconds);
+        let s = &outcome.result.stats;
+        self.covers.add(s.covers as u64);
+        self.joins.add(s.joins as u64);
+        self.postings_fetched.add(s.postings_fetched as u64);
+        self.validated_trees.add(s.validated_trees as u64);
+        self.postings_borrowed.add(s.postings_borrowed);
+        self.sort_exchanges_avoided
+            .add(s.sort_exchanges_avoided as u64);
+        self.seeks.add(s.seeks);
+        self.postings_skipped.add(s.postings_skipped);
+        self.range_pruned.add(u64::from(s.range_pruned));
+        self.shard_visits.add(s.shards as u64);
+        self.shard_skips.add(s.shards_skipped as u64);
+    }
+
+    /// Folds a whole batch: one `service.batches` tick plus every
+    /// outcome.
+    fn fold_batch(&self, outcomes: &[QueryOutcome]) {
+        self.batches.inc();
+        for outcome in outcomes {
+            self.fold_outcome(outcome);
+        }
+    }
+}
+
+/// Mirrors the process-wide pager totals
+/// ([`si_storage::process_counters`]) into `registry` under the
+/// `pager.*` names: `reads` are physical page reads (cache misses),
+/// `mmap_reads` the zero-copy mapped subset of hits.
+pub fn register_pager_metrics(registry: &Registry) {
+    let p = si_storage::process_counters();
+    registry.counter("pager.hits").set(p.hits);
+    registry.counter("pager.reads").set(p.misses);
+    registry.counter("pager.evictions").set(p.evictions);
+    registry.counter("pager.mmap_reads").set(p.mmap_reads);
 }
 
 struct PoolEntry {
@@ -310,6 +478,14 @@ pub struct QueryService {
     /// whose manifest generations disambiguate states, is the one that
     /// shares a cache across an ingest).
     results: Option<Arc<ResultCache>>,
+    /// Process-wide metrics spine (shared cells when this service is a
+    /// shard of a [`ShardedQueryService`]).
+    metrics: ServiceMetrics,
+    /// Whether this layer folds completed outcomes into the metrics
+    /// cells. True standalone; false for the inner per-shard services
+    /// of a sharded service, whose *outer* layer folds each query's
+    /// final merged stats exactly once.
+    fold_outcomes: bool,
     config: ServiceConfig,
 }
 
@@ -318,6 +494,18 @@ impl QueryService {
     /// default streaming exec mode; the materializing oracle works but
     /// ignores the cache and shared scans.
     pub fn new(index: Arc<SubtreeIndex>, config: ServiceConfig) -> Self {
+        Self::with_metrics(index, config, ServiceMetrics::new(), true)
+    }
+
+    /// [`QueryService::new`] recording into an existing metrics spine.
+    /// `fold_outcomes` must be false when a parent layer (the sharded
+    /// service) folds final merged outcomes itself.
+    pub fn with_metrics(
+        index: Arc<SubtreeIndex>,
+        config: ServiceConfig,
+        metrics: ServiceMetrics,
+        fold_outcomes: bool,
+    ) -> Self {
         Self {
             index,
             cache: Arc::new(BlockCache::new(config.cache)),
@@ -326,8 +514,29 @@ impl QueryService {
             shared_pool: Mutex::new(TuplePool::new(config.shared_pool_budget_bytes)),
             latency: Histogram::new(),
             results: result_cache_from(&config),
+            metrics,
+            fold_outcomes,
             config,
         }
+    }
+
+    /// The metrics spine this service records into.
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// Mirrors every subsystem's own counters (pager, block cache,
+    /// result cache, tuple pool) into the registry and returns a full
+    /// snapshot — the scrape entry point for telemetry ticks.
+    pub fn sync_metrics(&self) -> MetricsSnapshot {
+        let registry = self.metrics.registry();
+        self.cache_stats().register_into(registry);
+        if let Some(rc) = self.result_cache_stats() {
+            rc.register_into(registry);
+        }
+        self.pool_stats().register_into(registry);
+        register_pager_metrics(registry);
+        registry.snapshot()
     }
 
     /// Replaces the result cache with a shared instance (see the
@@ -572,6 +781,14 @@ impl QueryService {
         let slots: Vec<Mutex<Option<QueryOutcome>>> =
             prefilled.into_iter().map(Mutex::new).collect();
         let next_query = AtomicUsize::new(0);
+        // Live pool gauges: the whole miss set is "queued" the moment
+        // the pool starts; each pick moves one unit from queue depth to
+        // busy workers. Updated here regardless of layer — this is
+        // where workers actually run, shard-inner or not.
+        let collect_metrics = self.config.collect_metrics;
+        if collect_metrics {
+            self.metrics.queue_depth.add(miss.len() as i64);
+        }
         std::thread::scope(|scope| {
             for _ in 0..threads {
                 scope.spawn(|| {
@@ -585,6 +802,10 @@ impl QueryService {
                     while !failed.load(Ordering::Acquire) {
                         let j = next_query.fetch_add(1, Ordering::Relaxed);
                         let Some(&qi) = miss.get(j) else { break };
+                        if collect_metrics {
+                            self.metrics.queue_depth.add(-1);
+                            self.metrics.workers_busy.add(1);
+                        }
                         let query = &queries[qi];
                         let q_started = Instant::now();
                         // A `Timings` is single-threaded state, so an
@@ -620,10 +841,16 @@ impl QueryService {
                                     seconds,
                                     timings: timings.map(|t| t.snapshot()),
                                 });
+                                if collect_metrics {
+                                    self.metrics.workers_busy.add(-1);
+                                }
                             }
                             Err(e) => {
                                 first_error.lock().unwrap().get_or_insert(e);
                                 failed.store(true, Ordering::Release);
+                                if collect_metrics {
+                                    self.metrics.workers_busy.add(-1);
+                                }
                                 break;
                             }
                         }
@@ -631,6 +858,16 @@ impl QueryService {
                 });
             }
         });
+        if collect_metrics {
+            // Queries never picked (an error aborted the pool early)
+            // must leave the queue gauge, too — `add`, not `set`: a
+            // sharded service's shards share this gauge concurrently.
+            let picked = next_query.load(Ordering::Relaxed).min(miss.len());
+            let leftover = miss.len() - picked;
+            if leftover > 0 {
+                self.metrics.queue_depth.add(-(leftover as i64));
+            }
+        }
         if let Some(e) = first_error.lock().unwrap().take() {
             return Err(e);
         }
@@ -638,6 +875,9 @@ impl QueryService {
             .into_iter()
             .map(|slot| slot.into_inner().unwrap().expect("worker filled slot"))
             .collect();
+        if collect_metrics && self.fold_outcomes {
+            self.metrics.fold_batch(&outcomes);
+        }
         Ok(BatchReport {
             latency: batch_latency(&outcomes),
             outcomes,
@@ -691,6 +931,11 @@ pub struct ShardedQueryService {
     /// [`ShardedQueryService::with_result_cache`]; entries for
     /// untouched shards keep serving.
     results: Option<Arc<ResultCache>>,
+    /// Process-wide metrics spine; the inner per-shard services share
+    /// its cells (live worker gauges) but this layer alone folds each
+    /// query's final merged outcome, so `service.queries` and the
+    /// `eval.*` counters count every query exactly once.
+    metrics: ServiceMetrics,
     config: ServiceConfig,
 }
 
@@ -710,18 +955,41 @@ impl ShardedQueryService {
             result_cache_mb: 0,
             ..config
         };
+        let metrics = ServiceMetrics::new();
         let services = index
             .shards()
             .iter()
-            .map(|shard| QueryService::new(shard.clone(), per_shard))
+            .map(|shard| {
+                QueryService::with_metrics(shard.clone(), per_shard, metrics.clone(), false)
+            })
             .collect();
         Self {
             index,
             services,
             latency: Histogram::new(),
             results: result_cache_from(&config),
+            metrics,
             config,
         }
+    }
+
+    /// The metrics spine this service records into.
+    pub fn metrics(&self) -> &ServiceMetrics {
+        &self.metrics
+    }
+
+    /// Mirrors every subsystem's counters (pager, aggregated block
+    /// cache / tuple pool, this layer's result cache) into the registry
+    /// and returns a full snapshot.
+    pub fn sync_metrics(&self) -> MetricsSnapshot {
+        let registry = self.metrics.registry();
+        self.cache_stats().register_into(registry);
+        if let Some(rc) = self.result_cache_stats() {
+            rc.register_into(registry);
+        }
+        self.pool_stats().register_into(registry);
+        register_pager_metrics(registry);
+        registry.snapshot()
     }
 
     /// Replaces the result cache with a shared instance — the ingest
@@ -1059,6 +1327,11 @@ impl ShardedQueryService {
         for o in &outcomes {
             self.latency.record_secs(o.seconds);
         }
+        if self.config.collect_metrics {
+            // Exactly-once fold of the final merged per-query stats —
+            // the inner shard services share the cells but never fold.
+            self.metrics.fold_batch(&outcomes);
+        }
         Ok(BatchReport {
             latency: batch_latency(&outcomes),
             outcomes,
@@ -1156,6 +1429,47 @@ impl AnyQueryService {
         match self {
             AnyQueryService::Mono(s) => s.latency_summary(),
             AnyQueryService::Sharded(s) => s.latency_summary(),
+        }
+    }
+
+    /// The metrics spine this service records into.
+    pub fn metrics(&self) -> &ServiceMetrics {
+        match self {
+            AnyQueryService::Mono(s) => s.metrics(),
+            AnyQueryService::Sharded(s) => s.metrics(),
+        }
+    }
+
+    /// Mirrors every subsystem's counters into the registry and returns
+    /// a full snapshot — one call per telemetry tick.
+    pub fn sync_metrics(&self) -> MetricsSnapshot {
+        match self {
+            AnyQueryService::Mono(s) => s.sync_metrics(),
+            AnyQueryService::Sharded(s) => s.sync_metrics(),
+        }
+    }
+
+    /// The read path the open index serves from: `"mmap"` when every
+    /// B+Tree is a read-only mapping, `"buffered"` otherwise (any
+    /// fallback demotes the whole answer — operators care about the
+    /// slowest member).
+    pub fn read_path(&self) -> &'static str {
+        let mapped = match self {
+            AnyQueryService::Mono(s) => s.index().is_mapped(),
+            AnyQueryService::Sharded(s) => s.index().shards().iter().all(|sh| sh.is_mapped()),
+        };
+        if mapped {
+            "mmap"
+        } else {
+            "buffered"
+        }
+    }
+
+    /// The configured result-cache budget in MiB (0 = disabled).
+    pub fn result_cache_mb(&self) -> usize {
+        match self {
+            AnyQueryService::Mono(s) => s.config.result_cache_mb,
+            AnyQueryService::Sharded(s) => s.config.result_cache_mb,
         }
     }
 }

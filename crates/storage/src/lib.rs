@@ -25,5 +25,8 @@ pub mod shard;
 pub use btree::{BTree, BTreeStats, KeyStats, ValueReader, TID_HIST_BUCKETS};
 pub use datafile::CorpusStore;
 pub use error::{Result, StorageError};
-pub use pager::{thread_counters, PageId, Pager, PagerCounters, PAGE_SIZE};
+pub use pager::{
+    process_counters, thread_counters, PageId, Pager, PagerCounters, ProcessPagerCounters,
+    PAGE_SIZE,
+};
 pub use shard::{ShardEntry, ShardManifest, MANIFEST_FILE};

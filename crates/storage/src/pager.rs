@@ -186,19 +186,64 @@ impl PagerCounters {
     }
 }
 
+/// Pager traffic summed over **every pager in the process** since
+/// start: the feed for the long-lived metrics registry (`pager.*`
+/// dotted names), where per-instance [`Pager::counters`] would vanish
+/// with each reopened index. `mmap_reads` counts page reads served
+/// straight from a read-only mapping (those also count as `hits`, the
+/// OS page cache being the cache).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcessPagerCounters {
+    /// Read requests served from a cache (including the mmap path).
+    pub hits: u64,
+    /// Read requests that went to disk (== physical reads).
+    pub misses: u64,
+    /// Cache slots recycled with a dirty write-back.
+    pub evictions: u64,
+    /// Reads served zero-copy from a read-only mmap.
+    pub mmap_reads: u64,
+}
+
+static PROCESS_HITS: AtomicU64 = AtomicU64::new(0);
+static PROCESS_MISSES: AtomicU64 = AtomicU64::new(0);
+static PROCESS_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+static PROCESS_MMAP_READS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide pager traffic totals, monotone since process start and
+/// aggregated across all pagers (and all threads). Scrape-and-mirror
+/// this into a metrics registry; for per-query attribution use
+/// [`thread_counters`] instead.
+pub fn process_counters() -> ProcessPagerCounters {
+    ProcessPagerCounters {
+        hits: PROCESS_HITS.load(Ordering::Relaxed),
+        misses: PROCESS_MISSES.load(Ordering::Relaxed),
+        evictions: PROCESS_EVICTIONS.load(Ordering::Relaxed),
+        mmap_reads: PROCESS_MMAP_READS.load(Ordering::Relaxed),
+    }
+}
+
 thread_local! {
     // Per-thread mirror of the pager counters. Every bump site below
-    // updates both the shared atomics (process-wide totals, cheap
-    // relaxed adds) and this cell, so a query that runs entirely on one
-    // thread — which is how both the CLI and the service's batch
-    // workers execute — can attribute cache traffic to itself exactly,
-    // even while other workers hammer the same pager.
+    // updates the per-pager atomics, the process-wide statics above,
+    // and this cell, so a query that runs entirely on one thread —
+    // which is how both the CLI and the service's batch workers
+    // execute — can attribute cache traffic to itself exactly, even
+    // while other workers hammer the same pager.
     static THREAD_COUNTERS: std::cell::Cell<PagerCounters> =
         const { std::cell::Cell::new(PagerCounters { hits: 0, misses: 0, evictions: 0 }) };
 }
 
 #[inline]
 fn bump_thread(hits: u64, misses: u64, evictions: u64) {
+    if hits > 0 {
+        PROCESS_HITS.fetch_add(hits, Ordering::Relaxed);
+    }
+    if misses > 0 {
+        PROCESS_MISSES.fetch_add(misses, Ordering::Relaxed);
+    }
+    if evictions > 0 {
+        PROCESS_EVICTIONS.fetch_add(evictions, Ordering::Relaxed);
+    }
     THREAD_COUNTERS.with(|c| {
         let mut v = c.get();
         v.hits += hits;
@@ -545,6 +590,7 @@ impl Pager {
             .try_into()
             .expect("page-sized slice");
         self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        PROCESS_MMAP_READS.fetch_add(1, Ordering::Relaxed);
         bump_thread(1, 0, 0);
         Ok(Some(page))
     }
@@ -862,6 +908,32 @@ mod tests {
         assert_eq!(da.hits + da.misses + db.hits + db.misses, 700);
         assert_eq!(dg.hits + dg.misses, 700);
         std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn process_counters_accumulate_across_pagers() {
+        // Two separate pagers both feed the same process-wide totals;
+        // the delta across a known access pattern covers every read.
+        let before = process_counters();
+        for name in ["proc-a", "proc-b"] {
+            let path = tmp(name);
+            let pager = Pager::create_with_cache(&path, 4).unwrap();
+            let id = pager.allocate().unwrap();
+            pager.flush().unwrap();
+            let mut out = [0u8; PAGE_SIZE];
+            for _ in 0..5 {
+                pager.read(id, &mut out).unwrap();
+            }
+            std::fs::remove_file(path).ok();
+        }
+        let after = process_counters();
+        // Other tests run concurrently, so only assert our contribution
+        // as a lower bound: 10 reads happened on this thread.
+        assert!(
+            after.hits + after.misses >= before.hits + before.misses + 10,
+            "process totals must cover this thread's 10 reads: {before:?} -> {after:?}"
+        );
+        assert!(after.mmap_reads >= before.mmap_reads);
     }
 
     #[test]
