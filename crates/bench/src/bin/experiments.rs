@@ -8,7 +8,8 @@
 //! ```
 //!
 //! Experiment ids: fig2 fig3 fig8 fig9 fig10 tab1 fig11 fig12 tab2 fig13
-//! tab3 streaming service planner shard pipeline seek obs cache (or `all`). See DESIGN.md §6 for
+//! tab3 streaming service planner shard pipeline seek obs cache
+//! prefetch (or `all`). See DESIGN.md §6 for
 //! the per-experiment index and EXPERIMENTS.md for recorded
 //! paper-vs-measured results. `streaming` runs the executor ablation
 //! (streaming pipeline vs legacy materializing evaluator) and writes
@@ -38,7 +39,13 @@
 //! sharded service (every event checked against the uncached evaluator;
 //! panics on divergence, a warm hit rate under 0.4, a warm/cold median
 //! ratio under 10x, or zero reused shard partials after an ingest) and
-//! writes `BENCH_cache.json`.
+//! writes `BENCH_cache.json`; `prefetch` A/B-compares overlapped
+//! posting I/O (the prefetch scheduler plus plan-driven cover hints)
+//! against serial page reads on cold buffered, fully-warm, and mmap
+//! read paths with interleaved on/off reps (match sets asserted
+//! identical on every rep; panics if the cold buffered median speedup
+//! falls under 1.2x or the warm/disabled overhead exceeds 2%) and
+//! writes `BENCH_prefetch.json`.
 //!
 //! Flags: `--seed N` pins the corpus RNG seed (default `0x5EED0001`) so
 //! every `BENCH_*.json` is reproducible across machines; `--threads N`
@@ -67,6 +74,7 @@ const ALL: &[&str] = &[
     "seek",
     "obs",
     "cache",
+    "prefetch",
 ];
 
 fn main() {
@@ -184,6 +192,10 @@ fn main() {
             "cache" => {
                 let report = harness::run_cache_bench(scale, threads);
                 harness::emit_cache_bench(scale, &report).expect("write BENCH_cache.json");
+            }
+            "prefetch" => {
+                let report = harness::run_prefetch_bench(scale);
+                harness::emit_prefetch_bench(scale, &report).expect("write BENCH_prefetch.json");
             }
             _ => unreachable!("validated above"),
         }

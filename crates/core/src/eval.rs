@@ -123,6 +123,17 @@ pub struct EvalStats {
     /// shard the cache *knows* has no match for this query (including
     /// shards skip-pruned on an earlier run).
     pub negative_hits: u64,
+    /// Prefetch requests this evaluation submitted (plan-time cover
+    /// hints plus `ValueReader` chain lookahead; delta of the
+    /// **thread-local** counters,
+    /// [`si_storage::thread_prefetch_counters`] — exact per query, same
+    /// attribution argument as [`EvalStats::pager_hits`]).
+    pub prefetch_hints: u64,
+    /// Prefetched pages this evaluation consumed: pager hits on pages a
+    /// prefetch worker loaded before the cursor arrived (the overlap
+    /// that actually paid off; `issued - useful` process-wide is the
+    /// waste figure `si report` tracks).
+    pub prefetch_useful: u64,
 }
 
 /// Matches plus statistics.

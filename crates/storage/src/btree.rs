@@ -614,6 +614,28 @@ impl BTree {
         Ok(self.lookup(key)?.is_some())
     }
 
+    /// Hints the prefetcher at the first `max_bytes` of `key`'s value,
+    /// so a cursor opened over it shortly finds its leading pages warm
+    /// — the storage end of plan-driven prefetch (the executor hints
+    /// every cover key once the join order is fixed). Costs one tree
+    /// descent on the calling thread; inline and absent values return
+    /// `None` (nothing to overlap). Dropping the ticket cancels the
+    /// remainder.
+    pub fn prefetch_value(
+        &self,
+        key: &[u8],
+        max_bytes: u64,
+    ) -> Result<Option<crate::prefetch::PrefetchTicket>> {
+        match self.lookup(key)? {
+            Some(ValueRef::Overflow { first, len }) => {
+                let take = len.min(max_bytes).max(1);
+                let pages = take.div_ceil(OVERFLOW_CAP as u64).min(u64::from(u32::MAX)) as u32;
+                Ok(self.pager.prefetch_chain(first, pages))
+            }
+            _ => Ok(None),
+        }
+    }
+
     /// Whether this file carries a stats segment (see the module docs).
     pub fn has_stats_segment(&self) -> bool {
         self.meta.stats_head != NIL
@@ -1005,17 +1027,23 @@ impl BTree {
     /// [`BTree::value_reader`] and [`Iter`].
     fn reader_for(&self, val: ValueRef) -> ValueReader<'_> {
         let total = val.len();
+        let mut lookahead = None;
         let state = match val {
             ValueRef::Inline(v) => ReaderState::Inline(v),
-            ValueRef::Overflow { first, .. } => ReaderState::Chain {
-                next: first,
-                delivered: 0,
-            },
+            ValueRef::Overflow { first, .. } => {
+                lookahead = self.pager.prefetch_chain(first, CHAIN_LOOKAHEAD_PAGES);
+                ReaderState::Chain {
+                    next: first,
+                    delivered: 0,
+                }
+            }
         };
         ValueReader {
             tree: self,
             total,
             state,
+            lookahead,
+            chunks_since_hint: 0,
         }
     }
 
@@ -1144,18 +1172,47 @@ enum ReaderState {
         next: PageId,
         delivered: u64,
     },
+    /// A chunk whose page was already descended to (and validated)
+    /// during a skip that stopped on it: the payload rides along so the
+    /// next `read_chunk` delivers it without a second pager descent —
+    /// the skip and the reader share one chain cursor.
+    Pending {
+        data: Vec<u8>,
+        succ: PageId,
+        delivered: u64,
+    },
     Done,
 }
+
+/// Chain pages a reader keeps requested ahead of its own position (the
+/// read/decode pipeline depth: ~64 KiB of postings in flight while the
+/// consumer decodes).
+const CHAIN_LOOKAHEAD_PAGES: u32 = 16;
+/// Chunks consumed between lookahead refreshes. Re-hinting from the
+/// current position overlaps the tail of the previous window — cheap,
+/// because the worker follows already-cached links without I/O.
+const CHAIN_REHINT_INTERVAL: u32 = 8;
 
 /// A streaming cursor over one stored value (see
 /// [`BTree::value_reader`]). Each [`ValueReader::read_chunk`] call pulls
 /// at most one page's payload through the pager, so a consumer that
 /// processes chunks incrementally holds O(pages in flight) bytes even
 /// for multi-megabyte overflow chains.
+///
+/// # Lookahead
+///
+/// A reader over an overflow chain keeps a rolling prefetch window
+/// ahead of itself: on open, and every `CHAIN_REHINT_INTERVAL`
+/// chunks, it hints the next `CHAIN_LOOKAHEAD_PAGES` links of its own
+/// chain to the [prefetcher](crate::prefetch), so chunk N+1 is in
+/// flight while chunk N decodes. Dropping the reader drops the ticket,
+/// cancelling whatever was not yet loaded.
 pub struct ValueReader<'a> {
     tree: &'a BTree,
     total: u64,
     state: ReaderState,
+    lookahead: Option<crate::prefetch::PrefetchTicket>,
+    chunks_since_hint: u32,
 }
 
 impl ValueReader<'_> {
@@ -1185,6 +1242,23 @@ impl ValueReader<'_> {
             ReaderState::Inline(v) => {
                 out.extend_from_slice(&v);
                 Ok(v.len())
+            }
+            ReaderState::Pending {
+                data,
+                succ,
+                delivered,
+            } => {
+                // Page already descended to (and validated) by a skip
+                // that stopped on it: deliver without touching the
+                // pager.
+                let len = data.len();
+                out.extend_from_slice(&data);
+                self.state = ReaderState::Chain {
+                    next: succ,
+                    delivered: delivered + len as u64,
+                };
+                self.roll_lookahead(succ);
+                Ok(len)
             }
             ReaderState::Chain { next, delivered } => {
                 if next == NIL {
@@ -1223,7 +1297,27 @@ impl ValueReader<'_> {
                     next: succ,
                     delivered: delivered + len as u64,
                 };
+                self.roll_lookahead(succ);
                 Ok(len)
+            }
+        }
+    }
+
+    /// Keeps the prefetch window rolling ahead of the cursor: every
+    /// [`CHAIN_REHINT_INTERVAL`] consumed chunks, re-hint the next
+    /// [`CHAIN_LOOKAHEAD_PAGES`] links starting at the cursor's current
+    /// chain position. Replacing the ticket drops (cancels) the old
+    /// one, which by now has either completed or fallen behind.
+    fn roll_lookahead(&mut self, from: PageId) {
+        if from == NIL {
+            self.lookahead = None;
+            return;
+        }
+        self.chunks_since_hint += 1;
+        if self.chunks_since_hint >= CHAIN_REHINT_INTERVAL {
+            self.chunks_since_hint = 0;
+            if let Some(ticket) = self.tree.pager.prefetch_chain(from, CHAIN_LOOKAHEAD_PAGES) {
+                self.lookahead = Some(ticket);
             }
         }
     }
@@ -1236,6 +1330,16 @@ impl ValueReader<'_> {
     /// posting-list seek: hopping an overflow chain reads each page
     /// header but never materializes the payload.
     pub fn skip_chunk_bytes(&mut self, mut n: u64) -> Result<u64> {
+        // A long hop is its own scan of page headers: hint the walk so
+        // the worker's batched reads stay ahead of it.
+        if n as usize >= 4 * OVERFLOW_CAP {
+            if let ReaderState::Chain { next, .. } = self.state {
+                let pages = (n / OVERFLOW_CAP as u64 + 2).min(64) as u32;
+                if let Some(ticket) = self.tree.pager.prefetch_chain(next, pages) {
+                    self.lookahead = Some(ticket);
+                }
+            }
+        }
         let mut skipped = 0u64;
         loop {
             match std::mem::replace(&mut self.state, ReaderState::Done) {
@@ -1248,13 +1352,38 @@ impl ValueReader<'_> {
                     self.state = ReaderState::Inline(v);
                     return Ok(skipped);
                 }
+                ReaderState::Pending {
+                    data,
+                    succ,
+                    delivered,
+                } => {
+                    if (data.len() as u64) > n {
+                        self.state = ReaderState::Pending {
+                            data,
+                            succ,
+                            delivered,
+                        };
+                        return Ok(skipped);
+                    }
+                    let len = data.len() as u64;
+                    n -= len;
+                    skipped += len;
+                    self.state = ReaderState::Chain {
+                        next: succ,
+                        delivered: delivered + len,
+                    };
+                }
                 ReaderState::Chain { next, delivered } => {
                     if next == NIL {
                         self.state = ReaderState::Chain { next, delivered };
                         return Ok(skipped);
                     }
                     let total = self.total;
-                    let (succ, len) = self.tree.pager.with_page(next, |buf| {
+                    // The boundary page — the first chunk the caller
+                    // still needs — carries its payload out of this
+                    // single descent (`ReaderState::Pending`), so the
+                    // next `read_chunk` does not descend to it again.
+                    let (succ, len, keep) = self.tree.pager.with_page(next, |buf| {
                         if buf[0] != TAG_OVERFLOW {
                             return Err(StorageError::Corrupt("overflow chain broken".into()));
                         }
@@ -1268,10 +1397,15 @@ impl ValueReader<'_> {
                                 "overflow chain longer than declared".into(),
                             ));
                         }
-                        Ok((succ, len))
+                        let keep = ((len as u64) > n).then(|| buf[7..7 + len].to_vec());
+                        Ok((succ, len, keep))
                     })??;
-                    if (len as u64) > n {
-                        self.state = ReaderState::Chain { next, delivered };
+                    if let Some(data) = keep {
+                        self.state = ReaderState::Pending {
+                            data,
+                            succ,
+                            delivered,
+                        };
                         return Ok(skipped);
                     }
                     n -= len as u64;
@@ -1766,6 +1900,131 @@ mod value_reader_tests {
             total += n;
         }
         assert_eq!(total, 64 * PAGE_SIZE);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// Builds a tree holding one `n_bytes` overflow value under `key`,
+    /// then hands it to `check` twice: once opened buffered, once
+    /// read-only (mmap when the platform allows). Skip behavior must be
+    /// identical on both read paths.
+    fn on_both_read_paths(name: &str, n_bytes: usize, check: impl Fn(&BTree, &[u8])) {
+        let path = tmp(name);
+        let value: Vec<u8> = (0..n_bytes).map(|i| (i % 251) as u8).collect();
+        {
+            let mut tree = BTree::create(&path).unwrap();
+            tree.insert(b"k", &value).unwrap();
+            tree.flush().unwrap();
+        }
+        let buffered = BTree::open(&path).unwrap();
+        assert!(!buffered.is_mapped());
+        check(&buffered, &value);
+        let mapped = BTree::open_readonly(&path).unwrap();
+        check(&mapped, &value);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn skip_landing_exactly_on_page_boundary() {
+        // Skipping exactly k whole chunks must drop exactly k chunks
+        // and resume delivery at the first byte of chunk k.
+        on_both_read_paths("skip-boundary", 4 * OVERFLOW_CAP, |tree, value| {
+            for k in 1..=3u64 {
+                let n = k * OVERFLOW_CAP as u64;
+                let mut r = tree.value_reader(b"k").unwrap().unwrap();
+                assert_eq!(r.skip_chunk_bytes(n).unwrap(), n);
+                let mut out = Vec::new();
+                assert_eq!(r.read_chunk(&mut out).unwrap(), OVERFLOW_CAP);
+                assert_eq!(&out[..], &value[n as usize..n as usize + OVERFLOW_CAP]);
+            }
+        });
+    }
+
+    #[test]
+    fn skip_past_end_of_list_stops_at_last_chunk() {
+        // Asking for more than remains skips every whole chunk and
+        // leaves the reader cleanly at end-of-value.
+        on_both_read_paths("skip-past-end", 3 * OVERFLOW_CAP + 17, |tree, value| {
+            let mut r = tree.value_reader(b"k").unwrap().unwrap();
+            let skipped = r.skip_chunk_bytes(u64::MAX).unwrap();
+            assert_eq!(skipped, value.len() as u64);
+            let mut out = Vec::new();
+            assert_eq!(r.read_chunk(&mut out).unwrap(), 0, "nothing left");
+            // A second over-ask on an exhausted reader is a no-op.
+            let mut r = tree.value_reader(b"k").unwrap().unwrap();
+            assert_eq!(r.skip_chunk_bytes(u64::MAX).unwrap(), value.len() as u64);
+            assert_eq!(r.skip_chunk_bytes(u64::MAX).unwrap(), 0);
+        });
+    }
+
+    #[test]
+    fn skip_mid_chunk_keeps_boundary_chunk_whole() {
+        // A skip that lands inside a chunk must not skip it: the whole
+        // boundary chunk arrives via read_chunk (chunk-granularity
+        // contract), and the bytes after it line up.
+        on_both_read_paths("skip-mid", 3 * OVERFLOW_CAP, |tree, value| {
+            let mut r = tree.value_reader(b"k").unwrap().unwrap();
+            let n = OVERFLOW_CAP as u64 + 100;
+            assert_eq!(
+                r.skip_chunk_bytes(n).unwrap(),
+                OVERFLOW_CAP as u64,
+                "only the whole first chunk is skippable"
+            );
+            let mut rest = Vec::new();
+            while r.read_chunk(&mut rest).unwrap() > 0 {}
+            assert_eq!(&rest[..], &value[OVERFLOW_CAP..]);
+        });
+    }
+
+    #[test]
+    fn skip_on_zero_length_and_inline_values() {
+        let path = tmp("skip-zero");
+        let mut tree = BTree::create(&path).unwrap();
+        tree.insert(b"empty", b"").unwrap();
+        tree.insert(b"inline", b"abc").unwrap();
+        // Zero-length value: nothing to skip, reader is already done.
+        let mut r = tree.value_reader(b"empty").unwrap().unwrap();
+        assert!(r.is_empty());
+        assert_eq!(r.skip_chunk_bytes(10).unwrap(), 0);
+        let mut out = Vec::new();
+        assert_eq!(r.read_chunk(&mut out).unwrap(), 0);
+        // Inline value: skippable only as a whole.
+        let mut r = tree.value_reader(b"inline").unwrap().unwrap();
+        assert_eq!(r.skip_chunk_bytes(2).unwrap(), 0, "partial inline skip");
+        assert_eq!(r.read_chunk(&mut out).unwrap(), 3);
+        let mut r = tree.value_reader(b"inline").unwrap().unwrap();
+        assert_eq!(r.skip_chunk_bytes(3).unwrap(), 3, "whole inline skip");
+        assert_eq!(r.read_chunk(&mut out).unwrap(), 0);
+        // Zero-byte skip request is a no-op from any state.
+        let mut r = tree.value_reader(b"inline").unwrap().unwrap();
+        assert_eq!(r.skip_chunk_bytes(0).unwrap(), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn boundary_page_descended_once_after_skip() {
+        // The chain-cursor contract: a skip that stops on a chunk
+        // carries its payload, so the read_chunk that follows performs
+        // zero additional pager descents (buffered path; descents show
+        // up as hits+misses).
+        let path = tmp("skip-once");
+        {
+            let mut tree = BTree::create(&path).unwrap();
+            let value: Vec<u8> = (0..3 * OVERFLOW_CAP).map(|i| (i % 251) as u8).collect();
+            tree.insert(b"k", &value).unwrap();
+            tree.flush().unwrap();
+        }
+        let tree = BTree::open(&path).unwrap();
+        let mut r = tree.value_reader(b"k").unwrap().unwrap();
+        r.skip_chunk_bytes(OVERFLOW_CAP as u64 + 1).unwrap();
+        let before = tree.pager_counters();
+        let mut out = Vec::new();
+        assert_eq!(r.read_chunk(&mut out).unwrap(), OVERFLOW_CAP);
+        let d = tree.pager_counters().delta_since(&before);
+        assert_eq!(
+            d.hits + d.misses,
+            0,
+            "skip already descended to the boundary page: {d:?}"
+        );
         std::fs::remove_file(&path).ok();
     }
 }
